@@ -1,0 +1,219 @@
+//! The InfluxDB-like baseline: a TSM-tree-style storage engine.
+//!
+//! InfluxDB v1 stores each series as compressed blocks of (timestamps,
+//! values) — timestamps delta-of-delta encoded, float values XOR-compressed
+//! (the Gorilla scheme InfluxDB adopted) — with the tag set (here: the
+//! denormalized dimensions) stored once per series in the series index.
+
+use std::collections::BTreeMap;
+
+use mdb_encoding::{delta, xor};
+use mdb_types::{MdbError, Result, Tid, Timestamp, Value};
+
+use crate::{Accum, TimeSeriesStore};
+
+/// Points per TSM block (InfluxDB caps blocks at 1000 points by default).
+const BLOCK_POINTS: usize = 1000;
+
+#[derive(Debug, Default)]
+struct Block {
+    min_ts: Timestamp,
+    max_ts: Timestamp,
+    count: usize,
+    timestamps: Vec<u8>,
+    values: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct Series {
+    /// The series key: measurement + tags, stored once.
+    key: String,
+    blocks: Vec<Block>,
+    pending_ts: Vec<Timestamp>,
+    pending_values: Vec<Value>,
+}
+
+impl Series {
+    fn seal(&mut self) {
+        if self.pending_ts.is_empty() {
+            return;
+        }
+        let block = Block {
+            min_ts: self.pending_ts[0],
+            max_ts: *self.pending_ts.last().unwrap(),
+            count: self.pending_ts.len(),
+            timestamps: delta::encode(&self.pending_ts),
+            values: xor::encode_all(&self.pending_values),
+        };
+        self.blocks.push(block);
+        self.pending_ts.clear();
+        self.pending_values.clear();
+    }
+
+    fn for_each(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+        f: &mut dyn FnMut(Timestamp, Value),
+    ) -> Result<()> {
+        for block in &self.blocks {
+            if block.max_ts < from || block.min_ts > to {
+                continue; // block-level time pruning
+            }
+            let ts = delta::decode(&mut block.timestamps.as_slice())
+                .ok_or_else(|| MdbError::Corrupt("bad timestamp block".into()))?;
+            let values = xor::decode_all(&block.values, block.count)
+                .ok_or_else(|| MdbError::Corrupt("bad value block".into()))?;
+            for (t, v) in ts.into_iter().zip(values) {
+                if t >= from && t <= to {
+                    f(t, v);
+                }
+            }
+        }
+        for (&t, &v) in self.pending_ts.iter().zip(&self.pending_values) {
+            if t >= from && t <= to {
+                f(t, v);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The InfluxDB-like store.
+#[derive(Debug, Default)]
+pub struct InfluxLike {
+    series: BTreeMap<Tid, Series>,
+}
+
+impl InfluxLike {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TimeSeriesStore for InfluxLike {
+    fn name(&self) -> &'static str {
+        "InfluxDB-like"
+    }
+
+    fn ingest(&mut self, tid: Tid, ts: Timestamp, value: Value, dims: &[&str]) -> Result<()> {
+        let series = self.series.entry(tid).or_default();
+        if series.key.is_empty() {
+            // Tags once per series, like the TSM series index.
+            series.key = format!("measurement,tid={tid},{}", dims.join(","));
+        }
+        series.pending_ts.push(ts);
+        series.pending_values.push(value);
+        if series.pending_ts.len() >= BLOCK_POINTS {
+            series.seal();
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        for series in self.series.values_mut() {
+            series.seal();
+        }
+        Ok(())
+    }
+
+    fn size_bytes(&self) -> u64 {
+        self.series
+            .values()
+            .map(|s| {
+                let blocks: usize = s
+                    .blocks
+                    .iter()
+                    // 8+8+4 block index entry per block.
+                    .map(|b| b.timestamps.len() + b.values.len() + 20)
+                    .sum();
+                (s.key.len() + blocks + s.pending_ts.len() * 12) as u64
+            })
+            .sum()
+    }
+
+    fn supports_online_analytics(&self) -> bool {
+        true
+    }
+
+    fn aggregate(&self, tids: Option<&[Tid]>, from: Timestamp, to: Timestamp) -> Result<Accum> {
+        let mut acc = Accum::default();
+        match tids {
+            Some(list) => {
+                for tid in list {
+                    if let Some(series) = self.series.get(tid) {
+                        series.for_each(from, to, &mut |_, v| acc.add(v))?;
+                    }
+                }
+            }
+            None => {
+                for series in self.series.values() {
+                    series.for_each(from, to, &mut |_, v| acc.add(v))?;
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    fn scan_points(
+        &self,
+        tid: Tid,
+        from: Timestamp,
+        to: Timestamp,
+        f: &mut dyn FnMut(Timestamp, Value),
+    ) -> Result<()> {
+        if let Some(series) = self.series.get(&tid) {
+            series.for_each(from, to, f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        let mut store = InfluxLike::new();
+        conformance::run_all(&mut store);
+        assert_eq!(store.name(), "InfluxDB-like");
+        assert!(store.supports_online_analytics());
+    }
+
+    #[test]
+    fn queries_see_unsealed_points() {
+        // Online analytics: points are visible before a block is sealed.
+        let mut store = InfluxLike::new();
+        store.ingest(1, 100, 5.0, &["a"]).unwrap();
+        let acc = store.aggregate(Some(&[1]), 0, 1_000).unwrap();
+        assert_eq!(acc.count, 1);
+    }
+
+    #[test]
+    fn blocks_seal_at_capacity_and_prune_by_time() {
+        let mut store = InfluxLike::new();
+        for i in 0..2_500i64 {
+            store.ingest(1, i * 100, i as f32, &["a"]).unwrap();
+        }
+        store.flush().unwrap();
+        assert_eq!(store.series[&1].blocks.len(), 3);
+        let mut seen = 0;
+        store.scan_points(1, 0, 99_900, &mut |_, _| seen += 1).unwrap();
+        assert_eq!(seen, 1000);
+    }
+
+    #[test]
+    fn tags_are_stored_once_per_series() {
+        let mut store = InfluxLike::new();
+        for i in 0..100i64 {
+            store.ingest(7, i * 100, 1.0, &["WindTurbine", "entity7", "ProductionMWh"]).unwrap();
+        }
+        store.flush().unwrap();
+        // Size must be far below 100 × tag-length.
+        let tag_len = "WindTurbine,entity7,ProductionMWh".len() as u64;
+        assert!(store.size_bytes() < 100 * tag_len);
+    }
+}

@@ -1,0 +1,226 @@
+//! The comparison systems of the evaluation (Section 7.1), re-implemented
+//! as storage formats behind one trait.
+//!
+//! The paper compares ModelarDB+ against InfluxDB, Apache Cassandra, Apache
+//! Parquet, and Apache ORC, storing data points with the Data Point View's
+//! schema `(Tid, TS, Value, dimensions…)`. None of those systems can be
+//! embedded here, so each is substituted with a faithful storage-engine
+//! *format*: the encodings each system's engine uses determine both its
+//! on-disk footprint (Figures 14–15) and its scan behaviour (Figures 19–28),
+//! which is what the evaluation measures.
+//!
+//! * [`influx::InfluxLike`] — TSM-style: per-series blocks, delta-of-delta
+//!   timestamps, Gorilla-XOR values, tags stored once per series.
+//! * [`cassandra::CassandraLike`] — wide-row store: `(Tid, TS)` keyed rows
+//!   with *per-row* denormalized dimensions, memtable + LZSS-compressed
+//!   SSTable blocks (why Cassandra is the largest format in the paper).
+//! * [`parquet::ParquetLike`] — columnar: one file per series (as §7.1
+//!   configures), delta+varint timestamp column, LZSS-compressed value
+//!   pages, dictionary-encoded dimension columns, row-group min/max stats;
+//!   not queryable before a file is fully written (no online analytics).
+//! * [`orc::OrcLike`] — stripes with RLE-encoded timestamp deltas and
+//!   LZSS value streams.
+
+pub mod cassandra;
+pub mod influx;
+pub mod orc;
+pub mod parquet;
+
+use mdb_types::{Result, Tid, Timestamp, Value};
+
+pub use cassandra::CassandraLike;
+pub use influx::InfluxLike;
+pub use orc::OrcLike;
+pub use parquet::ParquetLike;
+
+/// Aggregate scan result (sum/count/min/max cover the paper's aggregate
+/// functions; AVG follows from sum and count).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accum {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Default for Accum {
+    fn default() -> Self {
+        Self { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl Accum {
+    /// Folds one value in.
+    pub fn add(&mut self, v: Value) {
+        self.count += 1;
+        self.sum += f64::from(v);
+        self.min = self.min.min(f64::from(v));
+        self.max = self.max.max(f64::from(v));
+    }
+
+    /// Merges another accumulator.
+    pub fn merge(&mut self, other: &Accum) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A baseline time series store. Dimensions are passed denormalized with
+/// every data point, matching how the paper feeds the existing formats
+/// ("the denormalized dimensions are appended to the data points using an
+/// in-memory cache").
+pub trait TimeSeriesStore: Send {
+    /// The system this format stands in for.
+    fn name(&self) -> &'static str;
+
+    /// Appends one data point with its denormalized dimension members.
+    fn ingest(&mut self, tid: Tid, ts: Timestamp, value: Value, dims: &[&str]) -> Result<()>;
+
+    /// Finishes all pending blocks/files.
+    fn flush(&mut self) -> Result<()>;
+
+    /// Total stored bytes (the Figures 14–15 metric).
+    fn size_bytes(&self) -> u64;
+
+    /// Whether the format can answer queries while ingesting (InfluxDB and
+    /// Cassandra can; Parquet and ORC "cannot be queried before a file is
+    /// completely written", Section 7.3).
+    fn supports_online_analytics(&self) -> bool;
+
+    /// Aggregates values of `tids` (all series when `None`) in
+    /// `[from, to]` — the S-AGG/L-AGG query shape.
+    fn aggregate(&self, tids: Option<&[Tid]>, from: Timestamp, to: Timestamp) -> Result<Accum>;
+
+    /// Streams the points of one series in `[from, to]` — the P/R shape.
+    fn scan_points(
+        &self,
+        tid: Tid,
+        from: Timestamp,
+        to: Timestamp,
+        f: &mut dyn FnMut(Timestamp, Value),
+    ) -> Result<()>;
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! A conformance suite every baseline must pass, exercised from each
+    //! format's test module.
+
+    use super::*;
+
+    pub fn ingest_sample(store: &mut dyn TimeSeriesStore) {
+        for tid in 1..=3u32 {
+            for i in 0..500i64 {
+                let ts = 1_000_000 + i * 100;
+                let value = (i as f32 * 0.01).sin() * 50.0 + tid as f32 * 100.0;
+                store
+                    .ingest(tid, ts, value, &["WindTurbine", &format!("entity{tid}"), "ProductionMWh"])
+                    .unwrap();
+            }
+        }
+        store.flush().unwrap();
+    }
+
+    pub fn check_aggregate_full(store: &dyn TimeSeriesStore) {
+        let acc = store.aggregate(None, i64::MIN, i64::MAX).unwrap();
+        assert_eq!(acc.count, 1500);
+        // Ground truth sum.
+        let mut expected = 0.0f64;
+        for tid in 1..=3u32 {
+            for i in 0..500i64 {
+                expected += f64::from((i as f32 * 0.01).sin() * 50.0 + tid as f32 * 100.0);
+            }
+        }
+        assert!((acc.sum - expected).abs() < 1e-3 * expected.abs(), "{} vs {expected}", acc.sum);
+    }
+
+    pub fn check_aggregate_filtered(store: &dyn TimeSeriesStore) {
+        let acc = store.aggregate(Some(&[2]), i64::MIN, i64::MAX).unwrap();
+        assert_eq!(acc.count, 500);
+        assert!(acc.min >= 150.0 && acc.max <= 250.0, "{acc:?}");
+        // Time-restricted: first 100 ticks only.
+        let acc = store.aggregate(Some(&[2]), 1_000_000, 1_000_000 + 99 * 100).unwrap();
+        assert_eq!(acc.count, 100);
+        // Empty range.
+        let acc = store.aggregate(Some(&[2]), 5, 4).unwrap();
+        assert_eq!(acc.count, 0);
+    }
+
+    pub fn check_point_scan(store: &dyn TimeSeriesStore) {
+        let mut points = Vec::new();
+        store
+            .scan_points(1, 1_000_000 + 10 * 100, 1_000_000 + 19 * 100, &mut |ts, v| {
+                points.push((ts, v))
+            })
+            .unwrap();
+        assert_eq!(points.len(), 10);
+        assert_eq!(points[0].0, 1_000_000 + 1000);
+        let expected = (10.0f32 * 0.01).sin() * 50.0 + 100.0;
+        assert!((points[0].1 - expected).abs() < 1e-4);
+        // Points arrive in time order.
+        assert!(points.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    pub fn run_all(store: &mut dyn TimeSeriesStore) {
+        ingest_sample(store);
+        assert!(store.size_bytes() > 0);
+        check_aggregate_full(store);
+        check_aggregate_filtered(store);
+        check_point_scan(store);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accum_basics() {
+        let mut a = Accum::default();
+        a.add(1.0);
+        a.add(-3.0);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.sum, -2.0);
+        assert_eq!(a.min, -3.0);
+        assert_eq!(a.max, 1.0);
+        let mut b = Accum::default();
+        b.add(10.0);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.max, 10.0);
+    }
+
+    #[test]
+    fn relative_sizes_match_the_papers_shape() {
+        // The EP-flavoured shape of Figure 14: Cassandra largest; the
+        // columnar formats and InfluxDB's XOR encoding much smaller.
+        let ds = mdb_datagen::ep(11, mdb_datagen::Scale::tiny()).unwrap();
+        let mut influx = InfluxLike::new();
+        let mut cassandra = CassandraLike::new();
+        let mut parquet = ParquetLike::new();
+        let mut orc = OrcLike::new();
+        let stores: &mut [&mut dyn TimeSeriesStore] =
+            &mut [&mut influx, &mut cassandra, &mut parquet, &mut orc];
+        for tick in 0..ds.scale.ticks {
+            let ts = ds.timestamp(tick);
+            for (i, v) in ds.row(tick).into_iter().enumerate() {
+                let Some(v) = v else { continue };
+                let tid = i as u32 + 1;
+                let entity = format!("entity{}", ds.cluster_of(tid));
+                let dims = ["WindTurbine", entity.as_str(), "ProductionMWh"];
+                for store in stores.iter_mut() {
+                    store.ingest(tid, ts, v, &dims).unwrap();
+                }
+            }
+        }
+        for store in stores.iter_mut() {
+            store.flush().unwrap();
+        }
+        let (i, c, p, o) =
+            (influx.size_bytes(), cassandra.size_bytes(), parquet.size_bytes(), orc.size_bytes());
+        assert!(c > i && c > p && c > o, "cassandra must be largest: i={i} c={c} p={p} o={o}");
+        assert!(p < c / 2, "columnar beats row store by a wide margin: p={p} c={c}");
+    }
+}

@@ -1,0 +1,224 @@
+//! The ORC-like baseline: stripes with run-length-encoded integer streams.
+//!
+//! ORC organizes rows into stripes; integer columns use RLE (v2), and the
+//! general-purpose codec compresses the streams. Timestamps are stored as
+//! deltas (constant for regular series, so the RLE collapses them), values
+//! as an LZSS-compressed float stream, and dimensions as a dictionary —
+//! the same architecture as the Parquet-like store with ORC's encoder mix.
+
+use std::collections::BTreeMap;
+
+use mdb_encoding::{dict, lzss, rle};
+use mdb_types::{MdbError, Result, Tid, Timestamp, Value};
+
+use crate::{Accum, TimeSeriesStore};
+
+/// Rows per stripe.
+const STRIPE_ROWS: usize = 5_000;
+
+#[derive(Debug)]
+struct Stripe {
+    min_ts: Timestamp,
+    max_ts: Timestamp,
+    rows: usize,
+    first_ts: Timestamp,
+    /// RLE over timestamp deltas.
+    ts_deltas: Vec<u8>,
+    value_stream: Vec<u8>,
+    dims_stream: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct SeriesStripes {
+    stripes: Vec<Stripe>,
+    pending_ts: Vec<Timestamp>,
+    pending_values: Vec<Value>,
+    pending_dims: Vec<String>,
+}
+
+impl SeriesStripes {
+    fn seal(&mut self) {
+        if self.pending_ts.is_empty() {
+            return;
+        }
+        let deltas: Vec<i64> =
+            self.pending_ts.windows(2).map(|w| w[1] - w[0]).collect();
+        let raw_values: Vec<u8> = self.pending_values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut dims = dict::DictEncoder::new();
+        for d in &self.pending_dims {
+            dims.push(d);
+        }
+        self.stripes.push(Stripe {
+            min_ts: self.pending_ts[0],
+            max_ts: *self.pending_ts.last().unwrap(),
+            rows: self.pending_ts.len(),
+            first_ts: self.pending_ts[0],
+            ts_deltas: rle::encode(&deltas),
+            value_stream: lzss::compress(&raw_values),
+            dims_stream: dims.finish(),
+        });
+        self.pending_ts.clear();
+        self.pending_values.clear();
+        self.pending_dims.clear();
+    }
+
+    fn for_each(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+        f: &mut dyn FnMut(Timestamp, Value),
+    ) -> Result<()> {
+        for stripe in &self.stripes {
+            if stripe.max_ts < from || stripe.min_ts > to {
+                continue;
+            }
+            let deltas = rle::decode(&mut stripe.ts_deltas.as_slice())
+                .ok_or_else(|| MdbError::Corrupt("bad ts stream".into()))?;
+            let raw = lzss::decompress(&stripe.value_stream)
+                .ok_or_else(|| MdbError::Corrupt("bad value stream".into()))?;
+            if raw.len() != stripe.rows * 4 || deltas.len() + 1 != stripe.rows {
+                return Err(MdbError::Corrupt("stripe shape mismatch".into()));
+            }
+            let mut ts = stripe.first_ts;
+            for i in 0..stripe.rows {
+                if i > 0 {
+                    ts += deltas[i - 1];
+                }
+                if ts >= from && ts <= to {
+                    let v = Value::from_le_bytes(raw[i * 4..i * 4 + 4].try_into().unwrap());
+                    f(ts, v);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The ORC-like store.
+#[derive(Debug, Default)]
+pub struct OrcLike {
+    files: BTreeMap<Tid, SeriesStripes>,
+}
+
+impl OrcLike {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TimeSeriesStore for OrcLike {
+    fn name(&self) -> &'static str {
+        "ORC-like"
+    }
+
+    fn ingest(&mut self, tid: Tid, ts: Timestamp, value: Value, dims: &[&str]) -> Result<()> {
+        let file = self.files.entry(tid).or_default();
+        file.pending_ts.push(ts);
+        file.pending_values.push(value);
+        file.pending_dims.push(dims.join(","));
+        if file.pending_ts.len() >= STRIPE_ROWS {
+            file.seal();
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        for file in self.files.values_mut() {
+            file.seal();
+        }
+        Ok(())
+    }
+
+    fn size_bytes(&self) -> u64 {
+        self.files
+            .values()
+            .flat_map(|f| &f.stripes)
+            .map(|s| (s.ts_deltas.len() + s.value_stream.len() + s.dims_stream.len() + 32) as u64)
+            .sum()
+    }
+
+    fn supports_online_analytics(&self) -> bool {
+        false
+    }
+
+    fn aggregate(&self, tids: Option<&[Tid]>, from: Timestamp, to: Timestamp) -> Result<Accum> {
+        let mut acc = Accum::default();
+        match tids {
+            Some(list) => {
+                for tid in list {
+                    if let Some(file) = self.files.get(tid) {
+                        file.for_each(from, to, &mut |_, v| acc.add(v))?;
+                    }
+                }
+            }
+            None => {
+                for file in self.files.values() {
+                    file.for_each(from, to, &mut |_, v| acc.add(v))?;
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    fn scan_points(
+        &self,
+        tid: Tid,
+        from: Timestamp,
+        to: Timestamp,
+        f: &mut dyn FnMut(Timestamp, Value),
+    ) -> Result<()> {
+        if let Some(file) = self.files.get(&tid) {
+            file.for_each(from, to, f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        let mut store = OrcLike::new();
+        conformance::run_all(&mut store);
+        assert!(!store.supports_online_analytics());
+    }
+
+    #[test]
+    fn regular_deltas_collapse_under_rle() {
+        let mut store = OrcLike::new();
+        for i in 0..5_000i64 {
+            store.ingest(1, i * 60_000, 1.5, &["d"]).unwrap();
+        }
+        store.flush().unwrap();
+        let s = &store.files[&1].stripes[0];
+        assert!(s.ts_deltas.len() < 32, "RLE timestamp stream: {}", s.ts_deltas.len());
+    }
+
+    #[test]
+    fn irregular_timestamps_still_round_trip() {
+        let mut store = OrcLike::new();
+        let ts = [100i64, 250, 260, 9_000, 9_100, 12_345];
+        for (i, &t) in ts.iter().enumerate() {
+            store.ingest(2, t, i as f32, &["d"]).unwrap();
+        }
+        store.flush().unwrap();
+        let mut got = Vec::new();
+        store.scan_points(2, 0, i64::MAX, &mut |t, v| got.push((t, v))).unwrap();
+        assert_eq!(got.iter().map(|p| p.0).collect::<Vec<_>>(), ts);
+        assert_eq!(got[3].1, 3.0);
+    }
+
+    #[test]
+    fn stripes_seal_at_capacity() {
+        let mut store = OrcLike::new();
+        for i in 0..12_000i64 {
+            store.ingest(1, i * 100, i as f32, &["d"]).unwrap();
+        }
+        store.flush().unwrap();
+        assert_eq!(store.files[&1].stripes.len(), 3);
+    }
+}

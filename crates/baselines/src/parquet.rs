@@ -1,0 +1,242 @@
+//! The Parquet-like baseline: a columnar file format, one file per series.
+//!
+//! Section 7.1 creates one Parquet file per series in a `Tid=n` folder so
+//! the query engine can prune by Tid without opening files. Within a file,
+//! rows are grouped into row groups; each column is encoded independently —
+//! timestamps with delta/delta-of-delta + varint, values as LZSS-compressed
+//! little-endian floats, and the denormalized dimensions with a dictionary —
+//! and row groups carry min/max timestamp statistics for pruning. Files only
+//! become readable when closed, so the format does not support online
+//! analytics (Figure 13's discussion).
+
+use std::collections::BTreeMap;
+
+use mdb_encoding::{delta, dict, lzss};
+use mdb_types::{MdbError, Result, Tid, Timestamp, Value};
+
+use crate::{Accum, TimeSeriesStore};
+
+/// Rows per row group (Parquet defaults to much larger groups; scaled to the
+/// synthetic data sizes).
+const ROW_GROUP: usize = 10_000;
+
+#[derive(Debug)]
+struct RowGroup {
+    min_ts: Timestamp,
+    max_ts: Timestamp,
+    rows: usize,
+    ts_column: Vec<u8>,
+    value_column: Vec<u8>,
+    dims_column: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct SeriesFile {
+    groups: Vec<RowGroup>,
+    pending_ts: Vec<Timestamp>,
+    pending_values: Vec<Value>,
+    pending_dims: Vec<String>,
+}
+
+impl SeriesFile {
+    fn seal(&mut self) {
+        if self.pending_ts.is_empty() {
+            return;
+        }
+        let raw_values: Vec<u8> = self.pending_values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut dims = dict::DictEncoder::new();
+        for d in &self.pending_dims {
+            dims.push(d);
+        }
+        self.groups.push(RowGroup {
+            min_ts: self.pending_ts[0],
+            max_ts: *self.pending_ts.last().unwrap(),
+            rows: self.pending_ts.len(),
+            ts_column: delta::encode(&self.pending_ts),
+            value_column: lzss::compress(&raw_values),
+            dims_column: dims.finish(),
+        });
+        self.pending_ts.clear();
+        self.pending_values.clear();
+        self.pending_dims.clear();
+    }
+
+    fn for_each(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+        f: &mut dyn FnMut(Timestamp, Value),
+    ) -> Result<()> {
+        for group in &self.groups {
+            if group.max_ts < from || group.min_ts > to {
+                continue; // row-group statistics pruning
+            }
+            let ts = delta::decode(&mut group.ts_column.as_slice())
+                .ok_or_else(|| MdbError::Corrupt("bad timestamp column".into()))?;
+            let raw = lzss::decompress(&group.value_column)
+                .ok_or_else(|| MdbError::Corrupt("bad value column".into()))?;
+            if raw.len() != group.rows * 4 || ts.len() != group.rows {
+                return Err(MdbError::Corrupt("row group shape mismatch".into()));
+            }
+            for (i, &t) in ts.iter().enumerate() {
+                if t >= from && t <= to {
+                    let v = Value::from_le_bytes(raw[i * 4..i * 4 + 4].try_into().unwrap());
+                    f(t, v);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The Parquet-like store.
+#[derive(Debug, Default)]
+pub struct ParquetLike {
+    files: BTreeMap<Tid, SeriesFile>,
+}
+
+impl ParquetLike {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TimeSeriesStore for ParquetLike {
+    fn name(&self) -> &'static str {
+        "Parquet-like"
+    }
+
+    fn ingest(&mut self, tid: Tid, ts: Timestamp, value: Value, dims: &[&str]) -> Result<()> {
+        let file = self.files.entry(tid).or_default();
+        file.pending_ts.push(ts);
+        file.pending_values.push(value);
+        file.pending_dims.push(dims.join(","));
+        if file.pending_ts.len() >= ROW_GROUP {
+            file.seal();
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        for file in self.files.values_mut() {
+            file.seal();
+        }
+        Ok(())
+    }
+
+    fn size_bytes(&self) -> u64 {
+        self.files
+            .values()
+            .flat_map(|f| &f.groups)
+            // 24 bytes of footer statistics per row group.
+            .map(|g| (g.ts_column.len() + g.value_column.len() + g.dims_column.len() + 24) as u64)
+            .sum()
+    }
+
+    fn supports_online_analytics(&self) -> bool {
+        // "Parquet and ORC … cannot be queried before a file is completely
+        // written" — unsealed rows are invisible to queries.
+        false
+    }
+
+    fn aggregate(&self, tids: Option<&[Tid]>, from: Timestamp, to: Timestamp) -> Result<Accum> {
+        let mut acc = Accum::default();
+        match tids {
+            Some(list) => {
+                for tid in list {
+                    // File-per-series: pruning by Tid skips whole files.
+                    if let Some(file) = self.files.get(tid) {
+                        file.for_each(from, to, &mut |_, v| acc.add(v))?;
+                    }
+                }
+            }
+            None => {
+                for file in self.files.values() {
+                    file.for_each(from, to, &mut |_, v| acc.add(v))?;
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    fn scan_points(
+        &self,
+        tid: Tid,
+        from: Timestamp,
+        to: Timestamp,
+        f: &mut dyn FnMut(Timestamp, Value),
+    ) -> Result<()> {
+        if let Some(file) = self.files.get(&tid) {
+            file.for_each(from, to, f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        let mut store = ParquetLike::new();
+        conformance::run_all(&mut store);
+        assert!(!store.supports_online_analytics());
+    }
+
+    #[test]
+    fn unsealed_rows_are_invisible() {
+        let mut store = ParquetLike::new();
+        store.ingest(1, 100, 1.0, &["x"]).unwrap();
+        assert_eq!(store.aggregate(None, 0, 1_000).unwrap().count, 0);
+        store.flush().unwrap();
+        assert_eq!(store.aggregate(None, 0, 1_000).unwrap().count, 1);
+    }
+
+    #[test]
+    fn dictionary_makes_dimensions_cheap() {
+        // Constant dimension strings per series compress to almost nothing,
+        // unlike the Cassandra-like per-row copies.
+        let mut with_dims = ParquetLike::new();
+        let mut without = ParquetLike::new();
+        for i in 0..20_000i64 {
+            let v = (i as f32).sin();
+            with_dims
+                .ingest(1, i * 100, v, &["WindTurbineWithAVeryLongTypeName", "entity1", "ProductionMWh"])
+                .unwrap();
+            without.ingest(1, i * 100, v, &[]).unwrap();
+        }
+        with_dims.flush().unwrap();
+        without.flush().unwrap();
+        let overhead = with_dims.size_bytes() as f64 / without.size_bytes() as f64;
+        assert!(overhead < 1.05, "dimension overhead {overhead}");
+    }
+
+    #[test]
+    fn row_group_stats_prune_time_ranges() {
+        let mut store = ParquetLike::new();
+        for i in 0..25_000i64 {
+            store.ingest(1, i * 100, i as f32, &["d"]).unwrap();
+        }
+        store.flush().unwrap();
+        assert_eq!(store.files[&1].groups.len(), 3);
+        let mut n = 0;
+        store.scan_points(1, 0, 999_900, &mut |_, _| n += 1).unwrap();
+        assert_eq!(n, 10_000);
+    }
+
+    #[test]
+    fn regular_timestamps_compress_to_near_nothing() {
+        let mut store = ParquetLike::new();
+        for i in 0..10_000i64 {
+            store.ingest(1, i * 60_000, 42.0, &["d"]).unwrap();
+        }
+        store.flush().unwrap();
+        let g = &store.files[&1].groups[0];
+        assert!(g.ts_column.len() < 11_000, "delta-encoded ts: {}", g.ts_column.len());
+        // Constant values LZSS-compress extremely well too.
+        assert!(g.value_column.len() < 2_000, "{}", g.value_column.len());
+    }
+}

@@ -1,0 +1,53 @@
+//! Section 5.1 vs 5.2 ablation: multiple models per segment (the `PerSeries`
+//! adapter) vs native single-model-per-segment group compression, measuring
+//! fitting throughput. Storage sizes are reported by `repro mgc`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdb_compression::{CompressionConfig, GroupIngestor};
+use mdb_datagen::{ep, Scale};
+use mdb_types::{ErrorBound, GroupMeta};
+use modelardb::ModelRegistry;
+
+fn bench_mgc(c: &mut Criterion) {
+    let scale = Scale { clusters: 1, series_per_cluster: 3, ticks: 5_000 };
+    let ds = ep(42, scale).unwrap();
+    let group = GroupMeta { gid: 1, tids: vec![1, 2, 3], sampling_interval: ds.profile.si_ms };
+    let config = CompressionConfig { error_bound: ErrorBound::relative(5.0), ..Default::default() };
+
+    let mut bench_group = c.benchmark_group("mgc_ablation");
+    bench_group.sample_size(10);
+    for (name, registry) in [
+        ("native_group_models", ModelRegistry::standard()),
+        ("per_series_adapter", ModelRegistry::per_series_baseline()),
+    ] {
+        let registry = Arc::new(registry);
+        bench_group.bench_function(BenchmarkId::new("fit", name), |b| {
+            b.iter(|| {
+                let mut ing = GroupIngestor::new(
+                    group.clone(),
+                    vec![],
+                    Arc::clone(&registry),
+                    config.clone(),
+                )
+                .unwrap();
+                let mut bytes = 0u64;
+                for tick in 0..scale.ticks {
+                    let row = ds.row(tick);
+                    for seg in ing.push_row(ds.timestamp(tick), &row).unwrap() {
+                        bytes += seg.storage_bytes() as u64;
+                    }
+                }
+                for seg in ing.flush().unwrap() {
+                    bytes += seg.storage_bytes() as u64;
+                }
+                bytes
+            })
+        });
+    }
+    bench_group.finish();
+}
+
+criterion_group!(benches, bench_mgc);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figures 19, 21–28 microbenchmarks: the four query workloads on the
+//! Segment View vs the Data Point View, EP and EH flavours.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdb_bench::{build_engine, ingest_engine, run_queries};
+use mdb_datagen::{eh, ep, Scale, Workloads};
+
+fn bench_queries(c: &mut Criterion) {
+    let scale = Scale { clusters: 4, series_per_cluster: 4, ticks: 4_000 };
+    for (name, ds) in [("ep", ep(42, scale).unwrap()), ("eh", eh(42, scale).unwrap())] {
+        let mut db = build_engine(&ds, true, 10.0);
+        ingest_engine(&mut db, &ds, scale.ticks);
+        let mut w = Workloads::new(&ds, scale.ticks, 7);
+        let s_agg = w.s_agg(10);
+        let l_agg = w.l_agg(4);
+        let l_agg_dpv = w.l_agg_data_point(4);
+        let m_agg_one = w.m_agg(4, false);
+        let m_agg_two = w.m_agg(4, true);
+        let pr = w.point_range(10);
+
+        let mut group = c.benchmark_group(format!("queries_{name}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("s_agg", "segment_view"), |b| {
+            b.iter(|| run_queries(&db, &s_agg))
+        });
+        group.bench_function(BenchmarkId::new("l_agg", "segment_view"), |b| {
+            b.iter(|| run_queries(&db, &l_agg))
+        });
+        group.bench_function(BenchmarkId::new("l_agg", "data_point_view"), |b| {
+            b.iter(|| run_queries(&db, &l_agg_dpv))
+        });
+        group.bench_function(BenchmarkId::new("m_agg_one", "segment_view"), |b| {
+            b.iter(|| run_queries(&db, &m_agg_one))
+        });
+        group.bench_function(BenchmarkId::new("m_agg_two", "segment_view"), |b| {
+            b.iter(|| run_queries(&db, &m_agg_two))
+        });
+        group.bench_function(BenchmarkId::new("point_range", "data_point_view"), |b| {
+            b.iter(|| run_queries(&db, &pr))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

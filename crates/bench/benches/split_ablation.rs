@@ -1,0 +1,63 @@
+//! Section 4.2 ablation: dynamic splitting on/off and split-fraction sweep,
+//! on a workload whose series periodically decorrelate.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdb_compression::{CompressionConfig, GroupIngestor};
+use mdb_types::{ErrorBound, GroupMeta, TimeSeriesMeta, Value};
+use modelardb::ModelRegistry;
+
+/// Two series that stay correlated except for periodic windows where one
+/// diverges wildly (a turbine turning off, Section 4.2's motivation).
+fn row(tick: u64) -> [Option<Value>; 2] {
+    let base = (tick as f32 * 0.005).sin() * 10.0 + 100.0;
+    let diverged = tick % 1_000 >= 700;
+    let other = if diverged {
+        let h = mdb_datagen::hash_noise(7, tick, 1) as f32;
+        500.0 + h * 200.0
+    } else {
+        base + 0.05
+    };
+    [Some(base), Some(other)]
+}
+
+fn bench_split(c: &mut Criterion) {
+    let metas = [TimeSeriesMeta::new(1, 100), TimeSeriesMeta::new(2, 100)];
+    let group = GroupMeta::new(1, vec![1, 2], &metas).unwrap();
+    let registry = Arc::new(ModelRegistry::standard());
+    let mut bench_group = c.benchmark_group("split_ablation");
+    bench_group.sample_size(10);
+    for (name, dynamic_split, fraction) in
+        [("split_off", false, 10.0), ("split_frac_10", true, 10.0), ("split_frac_2", true, 2.0)]
+    {
+        let config = CompressionConfig {
+            error_bound: ErrorBound::relative(5.0),
+            dynamic_split,
+            split_fraction: fraction,
+            ..Default::default()
+        };
+        bench_group.bench_function(BenchmarkId::new("ingest_bytes", name), |b| {
+            b.iter(|| {
+                let mut ing =
+                    GroupIngestor::new(group.clone(), vec![], Arc::clone(&registry), config.clone())
+                        .unwrap();
+                let mut bytes = 0u64;
+                for tick in 0..5_000u64 {
+                    let r = row(tick);
+                    for seg in ing.push_row(tick as i64 * 100, &r).unwrap() {
+                        bytes += seg.storage_bytes() as u64;
+                    }
+                }
+                for seg in ing.flush().unwrap() {
+                    bytes += seg.storage_bytes() as u64;
+                }
+                bytes
+            })
+        });
+    }
+    bench_group.finish();
+}
+
+criterion_group!(benches, bench_split);
+criterion_main!(benches);

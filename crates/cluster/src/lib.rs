@@ -1,0 +1,545 @@
+//! The master/worker runtime (Figure 4, Section 3.1).
+//!
+//! The master partitions time series into groups (done beforehand by
+//! `mdb-partitioner`), assigns each group to the worker with the most
+//! available resources, and routes every tick of a group to *one* worker —
+//! groups never span nodes, so neither ingestion nor queries shuffle data.
+//! Queries follow Algorithm 5's annotations: the master rewrites the query,
+//! every worker computes partial aggregates over its local store, and the
+//! master merges and finalizes. That no-shuffle property is what produces
+//! the near-linear scale-out of Figure 20.
+//!
+//! Workers are OS threads connected by channels; each owns the full
+//! single-node stack (group ingestors → segment store → query engine).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use mdb_compression::{CompressionConfig, CompressionStats, GroupIngestor};
+use mdb_models::ModelRegistry;
+use mdb_partitioner::assign_workers;
+use mdb_query::engine::PartialAggregates;
+use mdb_query::{Query, QueryEngine, QueryResult, SelectItem};
+use mdb_storage::{Catalog, MemoryStore, SegmentStore};
+use mdb_types::{Gid, MdbError, Result, Timestamp, Value};
+
+/// A tick routed to one worker: the values of one group at one timestamp.
+#[derive(Debug)]
+struct GroupTick {
+    gid: Gid,
+    timestamp: Timestamp,
+    row: Vec<Option<Value>>,
+}
+
+enum Command {
+    Ingest(Vec<GroupTick>),
+    Flush(Sender<Result<()>>),
+    /// Run the partial-aggregation phase; replies with the partials and the
+    /// worker-local wall time (used by the scale-out simulation).
+    QueryPartial(Arc<Query>, Sender<Result<(PartialAggregates, Duration)>>),
+    /// Run a listing query locally; replies with rows + wall time.
+    QueryRows(Arc<Query>, Sender<Result<(QueryResult, Duration)>>),
+    Stats(Sender<(CompressionStats, u64, usize)>),
+    Shutdown,
+}
+
+struct Worker {
+    sender: Sender<Command>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    gids: Vec<Gid>,
+}
+
+/// A running ModelarDB+ cluster.
+pub struct Cluster {
+    catalog: Arc<Catalog>,
+    workers: Vec<Worker>,
+    /// gid → worker index.
+    routing: Vec<(Gid, usize)>,
+    /// Per group (in catalog order): the row indexes of its member series,
+    /// cached so routing a tick is O(values) instead of O(series²).
+    group_row_indices: Vec<Vec<usize>>,
+}
+
+impl Cluster {
+    /// Starts `n_workers` workers for the groups in `catalog`, assigning
+    /// each group to the least-loaded worker.
+    pub fn start(
+        catalog: Arc<Catalog>,
+        registry: Arc<ModelRegistry>,
+        config: CompressionConfig,
+        n_workers: usize,
+    ) -> Result<Self> {
+        if n_workers == 0 {
+            return Err(MdbError::Config("cluster needs at least one worker".into()));
+        }
+        let assignment = assign_workers(&catalog.groups, n_workers);
+        let mut routing = Vec::new();
+        let mut per_worker_gids: Vec<Vec<Gid>> = vec![Vec::new(); n_workers];
+        for (group, &worker) in catalog.groups.iter().zip(&assignment) {
+            routing.push((group.gid, worker));
+            per_worker_gids[worker].push(group.gid);
+        }
+        let mut workers = Vec::with_capacity(n_workers);
+        for gids in per_worker_gids {
+            let (sender, receiver) = unbounded::<Command>();
+            let catalog_ref = Arc::clone(&catalog);
+            let registry_ref = Arc::clone(&registry);
+            let config_ref = config.clone();
+            let gids_ref = gids.clone();
+            let handle = std::thread::spawn(move || {
+                worker_loop(receiver, catalog_ref, registry_ref, config_ref, gids_ref);
+            });
+            workers.push(Worker { sender, handle: Some(handle), gids });
+        }
+        let tid_to_row: std::collections::HashMap<_, _> =
+            catalog.series.iter().enumerate().map(|(i, m)| (m.tid, i)).collect();
+        let group_row_indices = catalog
+            .groups
+            .iter()
+            .map(|g| g.tids.iter().map(|t| tid_to_row[t]).collect())
+            .collect();
+        Ok(Self { catalog, workers, routing, group_row_indices })
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The gids each worker owns.
+    pub fn assignment(&self) -> Vec<Vec<Gid>> {
+        self.workers.iter().map(|w| w.gids.clone()).collect()
+    }
+
+    fn worker_of(&self, gid: Gid) -> Option<usize> {
+        self.routing.iter().find(|(g, _)| *g == gid).map(|(_, w)| *w)
+    }
+
+    /// Ingests one full tick: `row[i]` belongs to the series with tid
+    /// `catalog.series[i].tid`. The master splits it per group and routes
+    /// each slice to the owning worker.
+    pub fn ingest_row(&self, timestamp: Timestamp, row: &[Option<Value>]) -> Result<()> {
+        if row.len() != self.catalog.series.len() {
+            return Err(MdbError::Ingestion(format!(
+                "row has {} values for {} series",
+                row.len(),
+                self.catalog.series.len()
+            )));
+        }
+        let mut per_worker: Vec<Vec<GroupTick>> =
+            (0..self.workers.len()).map(|_| Vec::new()).collect();
+        for (group, indices) in self.catalog.groups.iter().zip(&self.group_row_indices) {
+            let group_row: Vec<Option<Value>> = indices.iter().map(|&idx| row[idx]).collect();
+            if group_row.iter().all(Option::is_none) {
+                continue; // a tick the whole group missed: a gap, not data
+            }
+            let worker = self.worker_of(group.gid).unwrap();
+            per_worker[worker].push(GroupTick { gid: group.gid, timestamp, row: group_row });
+        }
+        for (worker, ticks) in self.workers.iter().zip(per_worker) {
+            if !ticks.is_empty() {
+                worker
+                    .sender
+                    .send(Command::Ingest(ticks))
+                    .map_err(|_| MdbError::Ingestion("worker disconnected".into()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every worker's buffered ticks and stores.
+    pub fn flush(&self) -> Result<()> {
+        let mut replies = Vec::new();
+        for worker in &self.workers {
+            let (tx, rx) = bounded(1);
+            worker
+                .sender
+                .send(Command::Flush(tx))
+                .map_err(|_| MdbError::Ingestion("worker disconnected".into()))?;
+            replies.push(rx);
+        }
+        for rx in replies {
+            rx.recv().map_err(|_| MdbError::Ingestion("worker died during flush".into()))??;
+        }
+        Ok(())
+    }
+
+    /// Executes a SQL query: scatter to all workers, gather, merge, finalize.
+    pub fn sql(&self, text: &str) -> Result<QueryResult> {
+        self.sql_timed(text).map(|(r, _)| r)
+    }
+
+    /// Like [`Cluster::sql`], but also reports each worker's local execution
+    /// time. The slowest worker plus the merge is the cluster latency — the
+    /// quantity the scale-out experiment of Figure 20 tracks (no shuffling
+    /// means per-worker times are independent of the cluster size).
+    pub fn sql_timed(&self, text: &str) -> Result<(QueryResult, Vec<Duration>)> {
+        let query = Arc::new(mdb_query::parse(text)?);
+        let is_aggregate = query.items.iter().any(|i| matches!(i, SelectItem::Agg { .. }));
+        if is_aggregate {
+            let mut replies = Vec::new();
+            for worker in &self.workers {
+                let (tx, rx) = bounded(1);
+                worker
+                    .sender
+                    .send(Command::QueryPartial(Arc::clone(&query), tx))
+                    .map_err(|_| MdbError::Query("worker disconnected".into()))?;
+                replies.push(rx);
+            }
+            let mut partials = Vec::new();
+            let mut times = Vec::new();
+            for rx in replies {
+                let (partial, elapsed) =
+                    rx.recv().map_err(|_| MdbError::Query("worker died during query".into()))??;
+                partials.push(partial);
+                times.push(elapsed);
+            }
+            let mut result = QueryEngine::finalize_aggregates(&query, partials)?;
+            QueryEngine::apply_order_limit(&mut result, &query)?;
+            Ok((result, times))
+        } else {
+            // Listing: run without ORDER/LIMIT on workers, apply at master.
+            let mut local = (*query).clone();
+            local.order_by = None;
+            local.limit = None;
+            let local = Arc::new(local);
+            let mut replies = Vec::new();
+            for worker in &self.workers {
+                let (tx, rx) = bounded(1);
+                worker
+                    .sender
+                    .send(Command::QueryRows(Arc::clone(&local), tx))
+                    .map_err(|_| MdbError::Query("worker disconnected".into()))?;
+                replies.push(rx);
+            }
+            let mut merged: Option<QueryResult> = None;
+            let mut times = Vec::new();
+            for rx in replies {
+                let (rows, elapsed) =
+                    rx.recv().map_err(|_| MdbError::Query("worker died during query".into()))??;
+                times.push(elapsed);
+                match &mut merged {
+                    None => merged = Some(rows),
+                    Some(m) => m.rows.extend(rows.rows),
+                }
+            }
+            let mut result = merged.unwrap_or_default();
+            QueryEngine::apply_order_limit(&mut result, &query)?;
+            Ok((result, times))
+        }
+    }
+
+    /// Measures each worker's local execution time for an aggregate query
+    /// with the workers queried **one at a time**, so the measurements are
+    /// free of CPU contention between worker threads. This is the
+    /// measurement behind the simulated scale-out of Figure 20: because
+    /// groups never span nodes and queries never shuffle, a real cluster's
+    /// latency is `max(worker times) + merge`, and per-worker times are
+    /// independent of how many other nodes exist.
+    pub fn worker_times_isolated(&self, text: &str) -> Result<Vec<Duration>> {
+        let query = Arc::new(mdb_query::parse(text)?);
+        let mut times = Vec::with_capacity(self.workers.len());
+        for worker in &self.workers {
+            let (tx, rx) = bounded(1);
+            worker
+                .sender
+                .send(Command::QueryPartial(Arc::clone(&query), tx))
+                .map_err(|_| MdbError::Query("worker disconnected".into()))?;
+            let (_, elapsed) =
+                rx.recv().map_err(|_| MdbError::Query("worker died during query".into()))??;
+            times.push(elapsed);
+        }
+        Ok(times)
+    }
+
+    /// Merged compression statistics, total logical bytes, and segment count
+    /// across all workers.
+    pub fn stats(&self) -> Result<(CompressionStats, u64, usize)> {
+        let mut merged = CompressionStats::default();
+        let mut bytes = 0;
+        let mut segments = 0;
+        for worker in &self.workers {
+            let (tx, rx) = bounded(1);
+            worker
+                .sender
+                .send(Command::Stats(tx))
+                .map_err(|_| MdbError::Query("worker disconnected".into()))?;
+            let (stats, b, s) = rx.recv().map_err(|_| MdbError::Query("worker died".into()))?;
+            merged.merge(&stats);
+            bytes += b;
+            segments += s;
+        }
+        Ok((merged, bytes, segments))
+    }
+
+    /// Stops all workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for worker in &self.workers {
+            let _ = worker.sender.send(Command::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One worker: the per-node stack of Figure 4.
+fn worker_loop(
+    receiver: Receiver<Command>,
+    catalog: Arc<Catalog>,
+    registry: Arc<ModelRegistry>,
+    config: CompressionConfig,
+    gids: Vec<Gid>,
+) {
+    let mut store = MemoryStore::new();
+    let mut ingestors: Vec<(Gid, GroupIngestor)> = Vec::new();
+    for gid in &gids {
+        let group = catalog.group(*gid).expect("assigned gid must exist").clone();
+        let scaling: Vec<f64> = group.tids.iter().map(|t| catalog.scaling_of(*t)).collect();
+        let ingestor = GroupIngestor::new(group, scaling, Arc::clone(&registry), config.clone())
+            .expect("valid group");
+        ingestors.push((*gid, ingestor));
+    }
+    let mut failure: Option<MdbError> = None;
+    while let Ok(command) = receiver.recv() {
+        match command {
+            Command::Ingest(ticks) => {
+                for tick in ticks {
+                    let Some((_, ingestor)) = ingestors.iter_mut().find(|(g, _)| *g == tick.gid)
+                    else {
+                        continue;
+                    };
+                    match ingestor.push_row(tick.timestamp, &tick.row) {
+                        Ok(segments) => {
+                            for segment in segments {
+                                if let Err(e) = store.insert(segment) {
+                                    failure = Some(e);
+                                }
+                            }
+                        }
+                        Err(e) => failure = Some(e),
+                    }
+                }
+            }
+            Command::Flush(reply) => {
+                let mut result = Ok(());
+                for (_, ingestor) in &mut ingestors {
+                    match ingestor.flush() {
+                        Ok(segments) => {
+                            for segment in segments {
+                                if let Err(e) = store.insert(segment) {
+                                    result = Err(e);
+                                }
+                            }
+                        }
+                        Err(e) => result = Err(e),
+                    }
+                }
+                if let Err(e) = store.flush() {
+                    result = Err(e);
+                }
+                if let Some(e) = failure.take() {
+                    result = Err(e);
+                }
+                let _ = reply.send(result);
+            }
+            Command::QueryPartial(query, reply) => {
+                let start = Instant::now();
+                let engine = QueryEngine::new(&catalog, &registry, &store);
+                let result = engine.aggregate_partial(&query).map(|p| (p, start.elapsed()));
+                let _ = reply.send(result);
+            }
+            Command::QueryRows(query, reply) => {
+                let start = Instant::now();
+                let engine = QueryEngine::new(&catalog, &registry, &store);
+                let result = engine.listing(&query).map(|r| (r, start.elapsed()));
+                let _ = reply.send(result);
+            }
+            Command::Stats(reply) => {
+                let mut stats = CompressionStats::default();
+                for (_, ingestor) in &ingestors {
+                    stats.merge(ingestor.stats());
+                }
+                let _ = reply.send((stats, store.logical_bytes(), store.len()));
+            }
+            Command::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdb_partitioner::{partition, CorrelationSpec};
+    use mdb_types::GroupMeta;
+
+    /// Builds a catalog + cluster from the EP-like tiny data set.
+    fn build(n_workers: usize) -> (Arc<Catalog>, Cluster, mdb_datagen::Dataset) {
+        let ds = mdb_datagen::ep(5, mdb_datagen::Scale::tiny()).unwrap();
+        let parts = partition(&ds.series, &ds.dimensions, &ds.correlation_spec(), &ds.sources).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.dimensions = ds.dimensions.clone();
+        for (i, group_tids) in parts.groups.iter().enumerate() {
+            let gid = (i + 1) as Gid;
+            for (j, tid) in group_tids.iter().enumerate() {
+                let mut meta = ds.series.iter().find(|m| m.tid == *tid).unwrap().clone();
+                meta.gid = gid;
+                meta.scaling = parts.scaling[i][j];
+                catalog.series.push(meta);
+            }
+            catalog.groups.push(GroupMeta {
+                gid,
+                tids: group_tids.clone(),
+                sampling_interval: 60_000,
+            });
+        }
+        catalog.series.sort_by_key(|m| m.tid);
+        let registry = Arc::new(ModelRegistry::standard());
+        catalog.model_names = registry.names().iter().map(|s| s.to_string()).collect();
+        let catalog = Arc::new(catalog);
+        let config = CompressionConfig::with_relative_bound(5.0);
+        let cluster = Cluster::start(Arc::clone(&catalog), registry, config, n_workers).unwrap();
+        (catalog, cluster, ds)
+    }
+
+    fn ingest_all(cluster: &Cluster, ds: &mdb_datagen::Dataset, ticks: u64) {
+        for tick in 0..ticks {
+            cluster.ingest_row(ds.timestamp(tick), &ds.row(tick)).unwrap();
+        }
+        cluster.flush().unwrap();
+    }
+
+    #[test]
+    fn single_worker_end_to_end() {
+        let (_, cluster, ds) = build(1);
+        ingest_all(&cluster, &ds, 300);
+        let r = cluster.sql("SELECT COUNT_S(*) FROM Segment").unwrap();
+        let count = r.rows[0][0].as_i64().unwrap();
+        assert_eq!(count as u64, ds.count_data_points(300));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn results_are_identical_across_cluster_sizes() {
+        let queries = [
+            "SELECT COUNT_S(*) FROM Segment",
+            "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
+            "SELECT Entity, AVG_S(*) FROM Segment GROUP BY Entity ORDER BY Entity",
+            "SELECT Tid, CUBE_SUM_DAY(*) FROM Segment WHERE Tid IN (1, 2) GROUP BY Tid",
+        ];
+        let (_, one, ds) = build(1);
+        ingest_all(&one, &ds, 300);
+        let baseline: Vec<QueryResult> = queries.iter().map(|q| one.sql(q).unwrap()).collect();
+        one.shutdown();
+        for n in [2, 3] {
+            let (_, cluster, ds) = build(n);
+            ingest_all(&cluster, &ds, 300);
+            for (q, expected) in queries.iter().zip(&baseline) {
+                let got = cluster.sql(q).unwrap();
+                assert_eq!(got.columns, expected.columns, "{q}");
+                assert_eq!(got.rows.len(), expected.rows.len(), "{q}");
+                for (a, b) in got.rows.iter().zip(&expected.rows) {
+                    for (x, y) in a.iter().zip(b) {
+                        match (x.as_f64(), y.as_f64()) {
+                            (Some(x), Some(y)) => {
+                                assert!((x - y).abs() <= 1e-6 * y.abs().max(1.0), "{q}: {x} vs {y}")
+                            }
+                            _ => assert_eq!(x, y, "{q}"),
+                        }
+                    }
+                }
+            }
+            cluster.shutdown();
+        }
+    }
+
+    #[test]
+    fn groups_never_span_workers() {
+        let (catalog, cluster, _) = build(3);
+        let assignment = cluster.assignment();
+        let mut seen = Vec::new();
+        for gids in &assignment {
+            for gid in gids {
+                assert!(!seen.contains(gid), "gid {gid} on two workers");
+                seen.push(*gid);
+            }
+        }
+        assert_eq!(seen.len(), catalog.groups.len());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn listing_queries_merge_rows_with_order_and_limit() {
+        let (_, cluster, ds) = build(2);
+        ingest_all(&cluster, &ds, 200);
+        let ts = ds.timestamp(50);
+        let r = cluster
+            .sql(&format!("SELECT Tid, TS, Value FROM DataPoint WHERE TS = {ts} ORDER BY Tid LIMIT 4"))
+            .unwrap();
+        assert!(r.rows.len() <= 4);
+        let tids: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        let mut sorted = tids.clone();
+        sorted.sort();
+        assert_eq!(tids, sorted);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn timed_queries_report_per_worker_latency() {
+        let (_, cluster, ds) = build(2);
+        ingest_all(&cluster, &ds, 200);
+        let (_, times) = cluster.sql_timed("SELECT COUNT_S(*) FROM Segment").unwrap();
+        assert_eq!(times.len(), 2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn stats_merge_across_workers() {
+        let (_, cluster, ds) = build(2);
+        ingest_all(&cluster, &ds, 300);
+        let (stats, bytes, segments) = cluster.stats().unwrap();
+        assert_eq!(stats.data_points, ds.count_data_points(300));
+        assert!(bytes > 0);
+        assert!(segments > 0);
+        assert_eq!(stats.segments as usize, segments);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let catalog = Arc::new(Catalog::new());
+        let registry = Arc::new(ModelRegistry::standard());
+        assert!(Cluster::start(catalog, registry, CompressionConfig::default(), 0).is_err());
+    }
+
+    #[test]
+    fn bad_sql_propagates_errors() {
+        let (_, cluster, ds) = build(2);
+        ingest_all(&cluster, &ds, 50);
+        assert!(cluster.sql("SELECT NOPE(*) FROM Segment").is_err());
+        assert!(cluster.sql("SELECT COUNT_S(*) FROM Segment WHERE Altitude = 'x'").is_err());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn correlation_spec_none_reproduces_modelardb_v1() {
+        // With no correlation hints every series is its own group — the
+        // ModelarDBv1 baseline of the evaluation.
+        let ds = mdb_datagen::ep(5, mdb_datagen::Scale::tiny()).unwrap();
+        let parts = partition(&ds.series, &ds.dimensions, &CorrelationSpec::none(), &ds.sources).unwrap();
+        assert_eq!(parts.groups.len(), ds.n_series());
+    }
+}

@@ -1,0 +1,675 @@
+//! End-to-end ingestion for one time series group: scaling, gap handling
+//! (Figure 5), and the dynamic split/join lifecycle of Figure 8.
+//!
+//! The coordinator maintains a *partition* of the group's member positions.
+//! Initially the partition is one part containing every member (the `SG0`
+//! state of Figure 8); Algorithm 3 refines it when series decorrelate and
+//! Algorithm 4 coarsens it again. Each part with at least one non-gapped
+//! member owns a [`SegmentGenerator`]; gap starts/ends flush and recreate the
+//! affected generator so every segment represents a static set of series,
+//! with absent members recorded in the segment's gaps mask (Section 3.2's
+//! second gap-storage method, the one ModelarDB+ uses).
+
+use std::sync::Arc;
+
+use mdb_models::{compression_ratio, ModelRegistry};
+use mdb_types::{GroupMeta, MdbError, Result, SegmentRecord, Timestamp, Value};
+
+use crate::generator::SegmentGenerator;
+use crate::split::{joinable, split_into_correlated};
+use crate::CompressionConfig;
+
+/// Ingestion statistics, the raw material for Figures 16–17 (model usage)
+/// and the compression experiments.
+#[derive(Debug, Clone, Default)]
+pub struct CompressionStats {
+    /// Per-Mid usage, indexed by Mid.
+    pub per_model: Vec<ModelUse>,
+    /// Rows (ticks) ingested.
+    pub rows: u64,
+    /// Data points ingested (rows × present series).
+    pub data_points: u64,
+    /// Segments emitted.
+    pub segments: u64,
+    /// Total segment bytes (header + parameters).
+    pub bytes: u64,
+    /// Dynamic splits performed.
+    pub splits: u64,
+    /// Dynamic joins performed.
+    pub joins: u64,
+}
+
+/// Usage counters for one model type.
+#[derive(Debug, Clone, Default)]
+pub struct ModelUse {
+    /// Model name (from the registry).
+    pub name: String,
+    /// Segments stored with this model.
+    pub segments: u64,
+    /// Data points represented by this model.
+    pub data_points: u64,
+    /// Bytes stored (header + parameters).
+    pub bytes: u64,
+}
+
+impl CompressionStats {
+    fn record(&mut self, registry: &ModelRegistry, segment: &SegmentRecord, group_size: usize) {
+        if self.per_model.len() < registry.len() {
+            self.per_model = registry
+                .names()
+                .into_iter()
+                .map(|n| ModelUse { name: n.to_string(), ..ModelUse::default() })
+                .collect();
+        }
+        let points = segment.data_points(group_size) as u64;
+        let bytes = segment.storage_bytes() as u64;
+        self.segments += 1;
+        self.bytes += bytes;
+        if let Some(m) = self.per_model.get_mut(segment.mid as usize) {
+            m.segments += 1;
+            m.data_points += points;
+            m.bytes += bytes;
+        }
+    }
+
+    /// The share of data points represented by each model, in percent —
+    /// the quantity plotted in Figures 16 and 17.
+    pub fn model_shares(&self) -> Vec<(String, f64)> {
+        let total: u64 = self.per_model.iter().map(|m| m.data_points).sum();
+        self.per_model
+            .iter()
+            .map(|m| {
+                let pct = if total == 0 { 0.0 } else { m.data_points as f64 / total as f64 * 100.0 };
+                (m.name.clone(), pct)
+            })
+            .collect()
+    }
+
+    /// Merges another group's statistics into this one (used by the engine to
+    /// aggregate across groups and by the cluster to aggregate across nodes).
+    pub fn merge(&mut self, other: &CompressionStats) {
+        if self.per_model.len() < other.per_model.len() {
+            self.per_model.resize(other.per_model.len(), ModelUse::default());
+        }
+        for (mine, theirs) in self.per_model.iter_mut().zip(&other.per_model) {
+            if mine.name.is_empty() {
+                mine.name = theirs.name.clone();
+            }
+            mine.segments += theirs.segments;
+            mine.data_points += theirs.data_points;
+            mine.bytes += theirs.bytes;
+        }
+        self.rows += other.rows;
+        self.data_points += other.data_points;
+        self.segments += other.segments;
+        self.bytes += other.bytes;
+        self.splits += other.splits;
+        self.joins += other.joins;
+    }
+}
+
+/// One part of the group partition: the member positions it owns and, when
+/// any of them are currently receiving data, the generator compressing them.
+struct Part {
+    positions: Vec<usize>,
+    generator: Option<SegmentGenerator>,
+}
+
+/// Ingests one time series group, producing segments.
+pub struct GroupIngestor {
+    group: GroupMeta,
+    scaling: Vec<f64>,
+    registry: Arc<ModelRegistry>,
+    config: CompressionConfig,
+    parts: Vec<Part>,
+    last_timestamp: Option<Timestamp>,
+    ratio_sum: f64,
+    ratio_count: u64,
+    stats: CompressionStats,
+}
+
+impl GroupIngestor {
+    /// An ingestor for `group`; `scaling[i]` is applied to the values of the
+    /// series at member position `i` (Section 3.3), defaulting to 1.0.
+    pub fn new(
+        group: GroupMeta,
+        scaling: Vec<f64>,
+        registry: Arc<ModelRegistry>,
+        config: CompressionConfig,
+    ) -> Result<Self> {
+        let size = group.size();
+        if size > mdb_types::MAX_GROUP_SIZE {
+            return Err(MdbError::Config(format!(
+                "group {} has {size} members, max is {}",
+                group.gid,
+                mdb_types::MAX_GROUP_SIZE
+            )));
+        }
+        let scaling = if scaling.is_empty() { vec![1.0; size] } else { scaling };
+        if scaling.len() != size {
+            return Err(MdbError::Config(format!(
+                "group {} has {size} members but {} scaling constants",
+                group.gid,
+                scaling.len()
+            )));
+        }
+        Ok(Self {
+            group,
+            scaling,
+            registry,
+            config,
+            parts: Vec::new(),
+            last_timestamp: None,
+            ratio_sum: 0.0,
+            ratio_count: 0,
+            stats: CompressionStats::default(),
+        })
+    }
+
+    /// Group metadata.
+    pub fn group(&self) -> &GroupMeta {
+        &self.group
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> &CompressionStats {
+        &self.stats
+    }
+
+    /// The current partition of member positions (for tests and the split
+    /// ablation bench): one entry per part, each sorted ascending.
+    pub fn partition(&self) -> Vec<Vec<usize>> {
+        self.parts.iter().map(|p| p.positions.clone()).collect()
+    }
+
+    /// Ingests one tick: `row[i]` is the value of the series at member
+    /// position `i`, or `None` while that series is in a gap (Definition 6).
+    pub fn push_row(&mut self, timestamp: Timestamp, row: &[Option<Value>]) -> Result<Vec<SegmentRecord>> {
+        let size = self.group.size();
+        if row.len() != size {
+            return Err(MdbError::Ingestion(format!(
+                "group {}: row has {} entries for {size} members",
+                self.group.gid,
+                row.len()
+            )));
+        }
+        let si = self.group.sampling_interval;
+        let mut out = Vec::new();
+        if let Some(last) = self.last_timestamp {
+            if timestamp <= last {
+                return Err(MdbError::Ingestion(format!(
+                    "group {}: timestamp {timestamp} is not after {last}",
+                    self.group.gid
+                )));
+            }
+            if (timestamp - last) % si != 0 {
+                return Err(MdbError::Ingestion(format!(
+                    "group {}: timestamp {timestamp} is not aligned to SI {si}",
+                    self.group.gid
+                )));
+            }
+            if timestamp != last + si {
+                // Whole ticks are missing: a gap for every series. Segments
+                // must not span it (their length is derived from end − start).
+                for part in &mut self.parts {
+                    if let Some(generator) = &mut part.generator {
+                        out.extend(Self::record_all(
+                            &mut self.stats,
+                            &mut self.ratio_sum,
+                            &mut self.ratio_count,
+                            &self.registry,
+                            size,
+                            generator.flush()?,
+                        ));
+                        part.generator = None;
+                    }
+                }
+            }
+        }
+        self.last_timestamp = Some(timestamp);
+        self.stats.rows += 1;
+        self.stats.data_points += row.iter().flatten().count() as u64;
+
+        // Scale the values once, up front.
+        let scaled: Vec<Option<Value>> = row
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v.map(|v| (f64::from(v) * self.scaling[i]) as Value))
+            .collect();
+
+        if self.parts.is_empty() {
+            self.parts.push(Part { positions: (0..size).collect(), generator: None });
+        }
+
+        // Reconcile each part's generator with its currently active members.
+        for k in 0..self.parts.len() {
+            let active: Vec<usize> = self.parts[k]
+                .positions
+                .iter()
+                .copied()
+                .filter(|&p| scaled[p].is_some())
+                .collect();
+            let matches = self.parts[k]
+                .generator
+                .as_ref()
+                .is_some_and(|g| g.positions() == active.as_slice());
+            if !matches {
+                if let Some(mut generator) = self.parts[k].generator.take() {
+                    out.extend(Self::record_all(
+                        &mut self.stats,
+                        &mut self.ratio_sum,
+                        &mut self.ratio_count,
+                        &self.registry,
+                        size,
+                        generator.flush()?,
+                    ));
+                }
+                if !active.is_empty() {
+                    self.parts[k].generator = Some(SegmentGenerator::new(
+                        self.group.gid,
+                        si,
+                        active,
+                        size,
+                        Arc::clone(&self.registry),
+                        self.config.clone(),
+                    )?);
+                }
+            }
+        }
+
+        // Feed the tick and collect parts whose freshly emitted segments
+        // compressed poorly (split triggers, Section 4.2).
+        let mut split_candidates = Vec::new();
+        for (k, part) in self.parts.iter_mut().enumerate() {
+            let Some(generator) = &mut part.generator else { continue };
+            let values: Vec<Value> =
+                generator.positions().iter().map(|&p| scaled[p].expect("active position")).collect();
+            let emitted = generator.push(timestamp, values)?;
+            if emitted.is_empty() {
+                continue;
+            }
+            let n_series = generator.n_series();
+            let mut poor = false;
+            for segment in emitted {
+                let ratio =
+                    compression_ratio(segment.len(), n_series, segment.storage_bytes());
+                let average = if self.ratio_count == 0 { ratio } else { self.ratio_sum / self.ratio_count as f64 };
+                if ratio < average / self.config.split_fraction {
+                    poor = true;
+                }
+                self.ratio_sum += ratio;
+                self.ratio_count += 1;
+                self.stats.record(&self.registry, &segment, size);
+                out.push(segment);
+            }
+            if poor && self.config.dynamic_split && n_series > 1 && !generator.buffer().is_empty() {
+                split_candidates.push(k);
+            }
+        }
+
+        for k in split_candidates {
+            out.extend(self.split_part(k)?);
+        }
+
+        if self.config.dynamic_split && self.parts.len() > 1 {
+            out.extend(self.try_joins()?);
+        }
+
+        Ok(out)
+    }
+
+    /// Algorithm 3 applied to part `k`: re-partition its members by buffered
+    /// correlation; gapped members are grouped together.
+    fn split_part(&mut self, k: usize) -> Result<Vec<SegmentRecord>> {
+        let size = self.group.size();
+        let mut out = Vec::new();
+        let part = &mut self.parts[k];
+        let Some(generator) = part.generator.take() else { return Ok(out) };
+        let buffer = generator.buffer().clone();
+        let local_positions = generator.positions().to_vec();
+        let subsets = split_into_correlated(&buffer, local_positions.len(), &self.config.error_bound);
+        let gapped: Vec<usize> =
+            part.positions.iter().copied().filter(|p| !local_positions.contains(p)).collect();
+        if subsets.len() <= 1 && gapped.is_empty() {
+            // Nothing to split after all; restore the generator.
+            self.parts[k].generator = Some(generator);
+            return Ok(out);
+        }
+        self.stats.splits += 1;
+        // Build the new parts: one per correlated subset plus one for the
+        // gapped members ("time series currently in a gap are grouped
+        // together").
+        let mut new_parts = Vec::new();
+        for subset in &subsets {
+            let positions: Vec<usize> = subset.iter().map(|&local| local_positions[local]).collect();
+            let mut generator_new = SegmentGenerator::new(
+                self.group.gid,
+                self.group.sampling_interval,
+                positions.clone(),
+                size,
+                Arc::clone(&self.registry),
+                self.config.clone(),
+            )?;
+            generator_new.join_threshold = self.config.join_initial_threshold;
+            // Replay the buffered ticks for this subset.
+            for tick in &buffer {
+                let values: Vec<Value> = subset.iter().map(|&local| tick.values[local]).collect();
+                for segment in generator_new.push(tick.timestamp, values)? {
+                    self.stats.record(&self.registry, &segment, size);
+                    out.push(segment);
+                }
+            }
+            let mut positions_sorted = positions;
+            positions_sorted.sort_unstable();
+            new_parts.push(Part { positions: positions_sorted, generator: Some(generator_new) });
+        }
+        if !gapped.is_empty() {
+            new_parts.push(Part { positions: gapped, generator: None });
+        }
+        // Replace part k with the first new part, append the rest.
+        self.parts.splice(k..=k, new_parts);
+        Ok(out)
+    }
+
+    /// Algorithm 4: try to join split groups whose recent buffered values
+    /// re-correlated. Runs to a fixpoint each tick it is invoked.
+    fn try_joins(&mut self) -> Result<Vec<SegmentRecord>> {
+        let size = self.group.size();
+        let mut out = Vec::new();
+        loop {
+            let mut merged = None;
+            'outer: for a in 0..self.parts.len() {
+                let Some(ga) = &self.parts[a].generator else { continue };
+                if ga.segments_emitted < ga.join_threshold {
+                    continue;
+                }
+                for b in 0..self.parts.len() {
+                    if a == b {
+                        continue;
+                    }
+                    let Some(gb) = &self.parts[b].generator else { continue };
+                    if joinable(ga.buffer(), 0, gb.buffer(), 0, &self.config.error_bound) {
+                        merged = Some((a, b));
+                        break 'outer;
+                    }
+                }
+                // A candidate that found no partner: double its threshold
+                // ("each failed attempt further indicates the current splits
+                // are preferable").
+                let ga = self.parts[a].generator.as_mut().unwrap();
+                ga.join_threshold = ga.join_threshold.saturating_mul(2);
+                ga.segments_emitted = 0;
+            }
+            let Some((a, b)) = merged else { break };
+            // Flush both sides and create a combined generator.
+            for idx in [a, b] {
+                if let Some(mut g) = self.parts[idx].generator.take() {
+                    out.extend(Self::record_all(
+                        &mut self.stats,
+                        &mut self.ratio_sum,
+                        &mut self.ratio_count,
+                        &self.registry,
+                        size,
+                        g.flush()?,
+                    ));
+                }
+            }
+            let mut positions = self.parts[a].positions.clone();
+            positions.extend(self.parts[b].positions.iter().copied());
+            positions.sort_unstable();
+            let (keep, remove) = if a < b { (a, b) } else { (b, a) };
+            self.parts.remove(remove);
+            self.parts[keep].positions = positions.clone();
+            self.parts[keep].generator = Some(SegmentGenerator::new(
+                self.group.gid,
+                self.group.sampling_interval,
+                positions,
+                size,
+                Arc::clone(&self.registry),
+                self.config.clone(),
+            )?);
+            self.stats.joins += 1;
+        }
+        Ok(out)
+    }
+
+    /// Flushes every buffered tick as segments (shutdown / gap for all).
+    pub fn flush(&mut self) -> Result<Vec<SegmentRecord>> {
+        let size = self.group.size();
+        let mut out = Vec::new();
+        for part in &mut self.parts {
+            if let Some(generator) = &mut part.generator {
+                out.extend(Self::record_all(
+                    &mut self.stats,
+                    &mut self.ratio_sum,
+                    &mut self.ratio_count,
+                    &self.registry,
+                    size,
+                    generator.flush()?,
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    fn record_all(
+        stats: &mut CompressionStats,
+        ratio_sum: &mut f64,
+        ratio_count: &mut u64,
+        registry: &ModelRegistry,
+        group_size: usize,
+        segments: Vec<SegmentRecord>,
+    ) -> Vec<SegmentRecord> {
+        for segment in &segments {
+            let n_present = segment.gaps.count_present(group_size);
+            let ratio = compression_ratio(segment.len(), n_present, segment.storage_bytes());
+            *ratio_sum += ratio;
+            *ratio_count += 1;
+            stats.record(registry, segment, group_size);
+        }
+        segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdb_types::{ErrorBound, GapsMask, TimeSeriesMeta};
+
+    fn group(n: usize) -> GroupMeta {
+        let metas: Vec<TimeSeriesMeta> = (1..=n as u32).map(|t| TimeSeriesMeta::new(t, 100)).collect();
+        GroupMeta::new(1, (1..=n as u32).collect(), &metas).unwrap()
+    }
+
+    fn ingestor(n: usize, bound: ErrorBound) -> GroupIngestor {
+        let config = CompressionConfig { error_bound: bound, ..CompressionConfig::default() };
+        GroupIngestor::new(group(n), vec![], Arc::new(ModelRegistry::standard()), config).unwrap()
+    }
+
+    #[test]
+    fn plain_ingestion_covers_all_ticks() {
+        let mut ing = ingestor(3, ErrorBound::absolute(0.5));
+        let mut segments = Vec::new();
+        for t in 0..200i64 {
+            let v = (t as f32 * 0.05).sin() * 10.0;
+            segments.extend(ing.push_row(t * 100, &[Some(v), Some(v + 0.1), Some(v - 0.1)]).unwrap());
+        }
+        segments.extend(ing.flush().unwrap());
+        let points: usize = segments.iter().map(|s| s.data_points(3)).sum();
+        assert_eq!(points, 600);
+        assert_eq!(ing.stats().rows, 200);
+        assert_eq!(ing.stats().data_points, 600);
+        assert!(ing.stats().segments > 0);
+    }
+
+    #[test]
+    fn figure5_gap_produces_subset_segments() {
+        let mut ing = ingestor(3, ErrorBound::absolute(0.5));
+        let mut segments = Vec::new();
+        // Phase 1: all three series.
+        for t in 0..10i64 {
+            segments.extend(ing.push_row(t * 100, &[Some(1.0), Some(1.0), Some(1.0)]).unwrap());
+        }
+        // Phase 2: series 1 (position 1) in a gap.
+        for t in 10..20i64 {
+            segments.extend(ing.push_row(t * 100, &[Some(1.0), None, Some(1.0)]).unwrap());
+        }
+        // Phase 3: everyone back.
+        for t in 20..30i64 {
+            segments.extend(ing.push_row(t * 100, &[Some(1.0), Some(1.0), Some(1.0)]).unwrap());
+        }
+        segments.extend(ing.flush().unwrap());
+        // S1-like segments: all present; S2-like: position 1 missing.
+        let with_gap: Vec<_> = segments.iter().filter(|s| !s.gaps.is_empty()).collect();
+        assert!(!with_gap.is_empty());
+        assert!(with_gap.iter().all(|s| s.gaps == GapsMask::from_positions(&[1])));
+        // Phase-2 segments cover exactly ticks 10..20.
+        let gap_points: usize = with_gap.iter().map(|s| s.data_points(3)).sum();
+        assert_eq!(gap_points, 10 * 2);
+        // Total coverage: 10*3 + 10*2 + 10*3.
+        let points: usize = segments.iter().map(|s| s.data_points(3)).sum();
+        assert_eq!(points, 80);
+    }
+
+    #[test]
+    fn whole_ticks_missing_split_segments() {
+        let mut ing = ingestor(1, ErrorBound::absolute(0.5));
+        let mut segments = Vec::new();
+        for t in 0..5i64 {
+            segments.extend(ing.push_row(t * 100, &[Some(1.0)]).unwrap());
+        }
+        // Jump over 5 ticks (gap for all series, Definition 5).
+        for t in 10..15i64 {
+            segments.extend(ing.push_row(t * 100, &[Some(1.0)]).unwrap());
+        }
+        segments.extend(ing.flush().unwrap());
+        // No segment spans the missing interval.
+        for s in &segments {
+            assert!(!(s.start_time < 500 && s.end_time >= 1000), "segment spans the gap: {s:?}");
+        }
+        let points: usize = segments.iter().map(|s| s.data_points(1)).sum();
+        assert_eq!(points, 10);
+    }
+
+    #[test]
+    fn misaligned_and_non_monotonic_timestamps_rejected() {
+        let mut ing = ingestor(1, ErrorBound::Lossless);
+        ing.push_row(0, &[Some(1.0)]).unwrap();
+        assert!(ing.push_row(0, &[Some(1.0)]).is_err());
+        assert!(ing.push_row(50, &[Some(1.0)]).is_err());
+        assert!(ing.push_row(150, &[Some(1.0)]).is_err());
+        assert!(ing.push_row(100, &[Some(1.0)]).is_ok());
+        assert!(ing.push_row(200, &[Some(1.0), Some(2.0)]).is_err());
+    }
+
+    #[test]
+    fn scaling_constants_are_applied() {
+        let config = CompressionConfig { error_bound: ErrorBound::absolute(0.5), ..Default::default() };
+        let mut ing = GroupIngestor::new(group(2), vec![1.0, 4.75], Arc::new(ModelRegistry::standard()), config).unwrap();
+        // With scaling, series 1's raw value 2.0 becomes 9.5 ≈ series 0's 9.4.
+        let mut segments = Vec::new();
+        for t in 0..60i64 {
+            segments.extend(ing.push_row(t * 100, &[Some(9.4), Some(2.0)]).unwrap());
+        }
+        segments.extend(ing.flush().unwrap());
+        // Everything fits in single full-group PMC segments: no splits.
+        assert_eq!(ing.stats().splits, 0);
+        assert!(segments.iter().all(|s| s.gaps.is_empty()));
+        let reg = ModelRegistry::standard();
+        let model = reg.get(segments[0].mid).unwrap();
+        let grid = model.grid(&segments[0].params, 2, segments[0].len()).unwrap();
+        assert!((grid[0] - 9.45).abs() < 0.51);
+    }
+
+    #[test]
+    fn decorrelation_triggers_split_and_rejoin() {
+        let config = CompressionConfig {
+            error_bound: ErrorBound::absolute(0.5),
+            split_fraction: 2.0,
+            ..Default::default()
+        };
+        let mut ing = GroupIngestor::new(group(2), vec![], Arc::new(ModelRegistry::standard()), config).unwrap();
+        let mut segments = Vec::new();
+        // Phase 1: correlated.
+        for t in 0..150i64 {
+            segments.extend(ing.push_row(t * 100, &[Some(5.0), Some(5.1)]).unwrap());
+        }
+        assert_eq!(ing.partition().len(), 1);
+        // Phase 2: series 1 turbine turned off — wildly different values
+        // with noise so grouped Gorilla segments compress poorly.
+        let mut x = 99u32;
+        for t in 150..320i64 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let noise = (x >> 16) as f32 / 65536.0;
+            segments.extend(ing.push_row(t * 100, &[Some(5.0 + noise * 0.2), Some(500.0 + noise * 120.0)]).unwrap());
+        }
+        assert!(ing.stats().splits >= 1, "expected a dynamic split, partition: {:?}", ing.partition());
+        // Phase 3: series 1 comes back; groups should eventually rejoin.
+        for t in 320..900i64 {
+            segments.extend(ing.push_row(t * 100, &[Some(5.0), Some(5.1)]).unwrap());
+        }
+        assert!(ing.stats().joins >= 1, "expected a dynamic join, partition: {:?}", ing.partition());
+        assert_eq!(ing.partition().len(), 1, "partition should be whole again");
+        segments.extend(ing.flush().unwrap());
+        // Coverage invariant even across split/join: each tick of each
+        // series is represented exactly once.
+        let points: usize = segments.iter().map(|s| s.data_points(2)).sum();
+        assert_eq!(points, 900 * 2);
+    }
+
+    #[test]
+    fn oversized_groups_rejected() {
+        let n = mdb_types::MAX_GROUP_SIZE + 1;
+        let metas: Vec<TimeSeriesMeta> = (1..=n as u32).map(|t| TimeSeriesMeta::new(t, 100)).collect();
+        let g = GroupMeta::new(1, (1..=n as u32).collect(), &metas).unwrap();
+        let r = GroupIngestor::new(g, vec![], Arc::new(ModelRegistry::standard()), CompressionConfig::default());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn wrong_scaling_length_rejected() {
+        let r = GroupIngestor::new(
+            group(3),
+            vec![1.0],
+            Arc::new(ModelRegistry::standard()),
+            CompressionConfig::default(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn stats_model_shares_sum_to_100() {
+        let mut ing = ingestor(2, ErrorBound::relative(5.0));
+        let mut x = 7u32;
+        for t in 0..500i64 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let noise = (x >> 16) as f32 / 65536.0;
+            let v = if t % 100 < 50 { 10.0 } else { 10.0 + noise * 100.0 };
+            ing.push_row(t * 100, &[Some(v), Some(v * 1.01)]).unwrap();
+        }
+        ing.flush().unwrap();
+        let shares = ing.stats().model_shares();
+        let total: f64 = shares.iter().map(|(_, p)| p).sum();
+        assert!((total - 100.0).abs() < 1e-6, "shares: {shares:?}");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+        #[test]
+        fn coverage_holds_under_random_gaps(
+            pattern in proptest::collection::vec((proptest::bool::weighted(0.8), proptest::bool::weighted(0.8), -10.0f32..10.0), 1..150),
+        ) {
+            let mut ing = ingestor(2, ErrorBound::relative(5.0));
+            let mut segments = Vec::new();
+            let mut expected = 0usize;
+            for (t, (p0, p1, v)) in pattern.iter().enumerate() {
+                let row = [p0.then_some(*v), p1.then_some(v * 1.01)];
+                expected += row.iter().flatten().count();
+                segments.extend(ing.push_row(t as i64 * 100, &row).unwrap());
+            }
+            segments.extend(ing.flush().unwrap());
+            let points: usize = segments.iter().map(|s| s.data_points(2)).sum();
+            proptest::prop_assert_eq!(points, expected);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Multi-Model Group Compression during ingestion (Sections 3.2 and 4.2).
+//!
+//! * [`generator::SegmentGenerator`] implements the four-step ingestion loop
+//!   of Section 3.2: buffer a data point from each series of a group, try to
+//!   extend the current model, fall through the model sequence on failure,
+//!   and flush the model with the best compression ratio as a segment.
+//! * [`group::GroupIngestor`] coordinates one time series group end-to-end:
+//!   it applies scaling constants, detects gaps and emits the
+//!   segment-per-active-subset representation of Figure 5, and drives the
+//!   dynamic split/join machinery.
+//! * [`split`] implements Algorithm 3 (splitting a group whose series became
+//!   temporarily uncorrelated) and Algorithm 4 (joining split groups back).
+
+pub mod generator;
+pub mod group;
+pub mod split;
+
+use mdb_types::ErrorBound;
+
+pub use generator::SegmentGenerator;
+pub use group::{CompressionStats, GroupIngestor};
+
+/// Configuration of the compression pipeline; defaults follow Table 1 of the
+/// paper's evaluation.
+#[derive(Debug, Clone)]
+pub struct CompressionConfig {
+    /// The user-defined error bound (possibly zero / lossless).
+    pub error_bound: ErrorBound,
+    /// Model Length Limit: the maximum number of timestamps one model may
+    /// represent (Table 1: 50).
+    pub length_limit: usize,
+    /// Verify every emitted segment by reconstructing it and checking the
+    /// error bound, falling back to the lossless model if the check fails
+    /// (guards the rare f32-quantization edge cases of lossy models).
+    pub verify_on_emit: bool,
+    /// Enable dynamic splitting of groups whose series become temporarily
+    /// uncorrelated (Section 4.2).
+    pub dynamic_split: bool,
+    /// Dynamic Split Fraction (Table 1: 10): a segment triggers a split when
+    /// its compression ratio is below `average / split_fraction`.
+    pub split_fraction: f64,
+    /// How many segments a split group must emit before its first join
+    /// attempt; doubled after every failed attempt (Section 4.2).
+    pub join_initial_threshold: u64,
+}
+
+impl Default for CompressionConfig {
+    fn default() -> Self {
+        Self {
+            error_bound: ErrorBound::Lossless,
+            length_limit: 50,
+            verify_on_emit: true,
+            dynamic_split: true,
+            split_fraction: 10.0,
+            join_initial_threshold: 1,
+        }
+    }
+}
+
+impl CompressionConfig {
+    /// A config with the given relative error bound in percent (the knob the
+    /// paper's evaluation turns: 0 %, 1 %, 5 %, 10 %).
+    pub fn with_relative_bound(percent: f64) -> Self {
+        Self { error_bound: ErrorBound::relative(percent), ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = CompressionConfig::default();
+        assert_eq!(c.length_limit, 50);
+        assert_eq!(c.split_fraction, 10.0);
+        assert!(c.error_bound.is_lossless());
+        assert!(c.dynamic_split);
+    }
+
+    #[test]
+    fn relative_bound_constructor() {
+        let c = CompressionConfig::with_relative_bound(5.0);
+        assert_eq!(c.error_bound, ErrorBound::Relative(5.0));
+        let c = CompressionConfig::with_relative_bound(0.0);
+        assert!(c.error_bound.is_lossless());
+    }
+}

@@ -1,0 +1,192 @@
+//! Dynamic splitting and joining of groups (Section 4.2, Algorithms 3–4).
+//!
+//! External events (a turbine turned off or damaged) can temporarily
+//! decorrelate the series of a group. After a segment with a poor compression
+//! ratio, Algorithm 3 re-partitions the group's series by whether their
+//! *buffered* (not yet emitted) data points lie within **twice** the error
+//! bound of each other — two points outside the double bound can never be
+//! approximated by one value. Algorithm 4 reverses the process: it compares
+//! the most recent buffered points of two split groups (one series from each
+//! suffices, since each group is internally correlated) and joins them when
+//! every comparable point matches.
+
+use std::collections::VecDeque;
+
+use mdb_types::ErrorBound;
+
+use crate::generator::Tick;
+
+/// Algorithm 3: partitions the local series indexes `0..n_series` of a
+/// generator into sub-groups whose buffered values are mutually within the
+/// double error bound. The first series of the remainder seeds each group
+/// (`TS1` in the paper) and every other series joins if *all* its buffered
+/// points are within `2ε` of `TS1`'s.
+pub fn split_into_correlated(buffer: &VecDeque<Tick>, n_series: usize, bound: &ErrorBound) -> Vec<Vec<usize>> {
+    let mut remaining: Vec<usize> = (0..n_series).collect();
+    let mut splits = Vec::new();
+    while !remaining.is_empty() {
+        let first = remaining.remove(0);
+        let mut group = vec![first];
+        remaining.retain(|&s| {
+            let compatible = buffer
+                .iter()
+                .all(|tick| bound.within_double(tick.values[first], tick.values[s]));
+            if compatible {
+                group.push(s);
+                false
+            } else {
+                true
+            }
+        });
+        splits.push(group);
+    }
+    splits
+}
+
+/// Algorithm 4's inner comparison: whether two split groups should be
+/// re-joined, judged by one representative series from each. The buffers are
+/// compared in reverse (most recent first); the groups are joinable when the
+/// overlap is non-empty and *every* comparable pair is within the double
+/// bound (`shortest > 0 and shortest = length` in the paper).
+pub fn joinable(
+    buffer_a: &VecDeque<Tick>,
+    series_a: usize,
+    buffer_b: &VecDeque<Tick>,
+    series_b: usize,
+    bound: &ErrorBound,
+) -> bool {
+    let shortest = buffer_a.len().min(buffer_b.len());
+    if shortest == 0 {
+        return false;
+    }
+    for i in 0..shortest {
+        let ta = &buffer_a[buffer_a.len() - 1 - i];
+        let tb = &buffer_b[buffer_b.len() - 1 - i];
+        if ta.timestamp != tb.timestamp {
+            return false;
+        }
+        if !bound.within_double(ta.values[series_a], tb.values[series_b]) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buffer(rows: &[&[f32]]) -> VecDeque<Tick> {
+        rows.iter()
+            .enumerate()
+            .map(|(t, values)| Tick { timestamp: t as i64 * 100, values: values.to_vec() })
+            .collect()
+    }
+
+    #[test]
+    fn correlated_series_stay_together() {
+        let b = buffer(&[&[10.0, 10.1, 9.9], &[11.0, 11.2, 10.9]]);
+        let splits = split_into_correlated(&b, 3, &ErrorBound::absolute(1.0));
+        assert_eq!(splits, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn outlier_series_is_split_off() {
+        // Series 2 diverged (turbine stopped): its values sit far from the
+        // others.
+        let b = buffer(&[&[10.0, 10.1, 0.0], &[11.0, 11.2, 0.0]]);
+        let splits = split_into_correlated(&b, 3, &ErrorBound::absolute(1.0));
+        assert_eq!(splits, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn each_series_alone_when_all_diverge() {
+        let b = buffer(&[&[0.0, 100.0, 200.0]]);
+        let splits = split_into_correlated(&b, 3, &ErrorBound::absolute(1.0));
+        assert_eq!(splits, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn double_bound_is_the_criterion() {
+        // 2ε = 2.0: values 10 and 12 are joinable, 10 and 12.5 are not.
+        let bound = ErrorBound::absolute(1.0);
+        let b = buffer(&[&[10.0, 12.0]]);
+        assert_eq!(split_into_correlated(&b, 2, &bound).len(), 1);
+        let b = buffer(&[&[10.0, 12.5]]);
+        assert_eq!(split_into_correlated(&b, 2, &bound).len(), 2);
+    }
+
+    #[test]
+    fn empty_buffer_groups_everything_together() {
+        // With no evidence of divergence all series stay in one group.
+        let b: VecDeque<Tick> = VecDeque::new();
+        let splits = split_into_correlated(&b, 3, &ErrorBound::absolute(1.0));
+        assert_eq!(splits, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn joinable_requires_full_overlap_match() {
+        let bound = ErrorBound::absolute(1.0);
+        let a = buffer(&[&[10.0], &[10.5], &[11.0]]);
+        let b = buffer(&[&[10.2], &[10.6], &[11.1]]);
+        assert!(joinable(&a, 0, &b, 0, &bound));
+        // One divergent recent value blocks the join.
+        let c = buffer(&[&[10.2], &[10.6], &[50.0]]);
+        assert!(!joinable(&a, 0, &c, 0, &bound));
+    }
+
+    #[test]
+    fn joinable_compares_most_recent_suffix() {
+        let bound = ErrorBound::absolute(1.0);
+        // The longer buffer's *older* points diverge, but the overlap with
+        // the shorter buffer (its full length, from the end) matches.
+        let long = buffer(&[&[99.0], &[10.5], &[11.0]]);
+        let short: VecDeque<Tick> = vec![
+            Tick { timestamp: 100, values: vec![10.4] },
+            Tick { timestamp: 200, values: vec![11.2] },
+        ]
+        .into();
+        assert!(joinable(&long, 0, &short, 0, &bound));
+    }
+
+    #[test]
+    fn joinable_rejects_empty_and_misaligned_buffers() {
+        let bound = ErrorBound::absolute(1.0);
+        let empty: VecDeque<Tick> = VecDeque::new();
+        let a = buffer(&[&[10.0]]);
+        assert!(!joinable(&a, 0, &empty, 0, &bound));
+        assert!(!joinable(&empty, 0, &empty, 0, &bound));
+        // Same lengths but different timestamps (groups out of sync).
+        let b: VecDeque<Tick> = vec![Tick { timestamp: 999, values: vec![10.0] }].into();
+        assert!(!joinable(&a, 0, &b, 0, &bound));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn split_produces_a_partition(
+            rows in proptest::collection::vec(proptest::collection::vec(-50.0f32..50.0, 5), 1..20),
+        ) {
+            let b: VecDeque<Tick> = rows
+                .iter()
+                .enumerate()
+                .map(|(t, values)| Tick { timestamp: t as i64, values: values.clone() })
+                .collect();
+            let splits = split_into_correlated(&b, 5, &ErrorBound::absolute(1.0));
+            let mut seen: Vec<usize> = splits.iter().flatten().copied().collect();
+            seen.sort();
+            proptest::prop_assert_eq!(seen, (0..5).collect::<Vec<_>>());
+            // Every member of a group is within the double bound of the
+            // group's first member on every buffered tick.
+            for group in &splits {
+                let first = group[0];
+                for &s in &group[1..] {
+                    for tick in &b {
+                        proptest::prop_assert!(
+                            ErrorBound::absolute(1.0).within_double(tick.values[first], tick.values[s])
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! `modelardb-cli` — load a configuration file, ingest CSV data, run SQL.
+//!
+//! ```text
+//! modelardb-cli <config.conf> ingest <data.csv> [query…]
+//! modelardb-cli <config.conf> demo   <ticks>    [query…]
+//! ```
+//!
+//! The CSV format is `source,timestamp_ms,value` (header optional), matching
+//! how the paper's system ingests per-series files: the `source` column is
+//! resolved to a Tid through the configured `modelardb.source` entries.
+//! Queries given on the command line run after ingestion; with none, a
+//! default summary query runs.
+
+use std::collections::HashMap;
+
+use modelardb::{ConfigFile, MdbError, ModelarDb, Result, Tid};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || {
+        MdbError::Config(
+            "usage: modelardb-cli <config.conf> (ingest <data.csv> | demo <ticks>) [query…]".into(),
+        )
+    };
+    let config_path = args.first().ok_or_else(usage)?;
+    let mode = args.get(1).ok_or_else(usage)?;
+    let target = args.get(2).ok_or_else(usage)?;
+
+    let config = ConfigFile::load(std::path::Path::new(config_path))?;
+    let mut db = config.into_builder()?.build()?;
+    let sources: HashMap<String, Tid> = source_map(&db);
+    println!(
+        "configured {} series in {} groups",
+        db.catalog().series.len(),
+        db.catalog().groups.len()
+    );
+
+    match mode.as_str() {
+        "ingest" => {
+            let text = std::fs::read_to_string(target)?;
+            let mut n = 0u64;
+            for point in parse_csv(&text, &sources)? {
+                db.ingest_point(point.0, point.1, point.2)?;
+                n += 1;
+            }
+            db.flush()?;
+            println!("ingested {n} data points -> {} segments, {} bytes", db.segment_count(), db.storage_bytes());
+        }
+        "demo" => {
+            // Synthetic sine data so the CLI is testable without data files.
+            let ticks: i64 = target
+                .parse()
+                .map_err(|_| MdbError::Config(format!("bad tick count {target:?}")))?;
+            let n_series = db.catalog().series.len();
+            let si = db.catalog().series.first().map(|m| m.sampling_interval).unwrap_or(100);
+            for t in 0..ticks {
+                let row: Vec<Option<f32>> = (0..n_series)
+                    .map(|s| Some((t as f32 * 0.01).sin() * 10.0 + 100.0 + s as f32 * 0.1))
+                    .collect();
+                db.ingest_row(t * si, &row)?;
+            }
+            db.flush()?;
+            println!("generated {ticks} ticks -> {} segments, {} bytes", db.segment_count(), db.storage_bytes());
+        }
+        other => return Err(MdbError::Config(format!("unknown mode {other}"))),
+    }
+
+    let queries: Vec<&String> = args.iter().skip(3).collect();
+    if queries.is_empty() {
+        let r = db.sql("SELECT Tid, COUNT_S(*), AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")?;
+        println!("\n{}", r.to_table());
+    } else {
+        for q in queries {
+            println!("\n> {q}");
+            println!("{}", db.sql(q)?.to_table());
+        }
+    }
+    Ok(())
+}
+
+fn source_map(db: &ModelarDb) -> HashMap<String, Tid> {
+    // SeriesSpec order equals tid order in the builder.
+    db.catalog().series.iter().map(|m| (format!("tid{}", m.tid), m.tid)).collect()
+}
+
+/// Parses `source,timestamp,value` CSV; `source` may be `tidN` or a raw tid.
+fn parse_csv(text: &str, sources: &HashMap<String, Tid>) -> Result<Vec<(Tid, i64, f32)>> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (i == 0 && line.to_ascii_lowercase().starts_with("source")) {
+            continue;
+        }
+        let mut parts = line.split(',').map(str::trim);
+        let bad = || MdbError::Ingestion(format!("csv line {}: {line:?}", i + 1));
+        let source = parts.next().ok_or_else(bad)?;
+        let tid = sources
+            .get(source)
+            .copied()
+            .or_else(|| source.parse::<Tid>().ok())
+            .ok_or_else(|| MdbError::Ingestion(format!("csv line {}: unknown source {source:?}", i + 1)))?;
+        let ts: i64 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let value: f32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        out.push((tid, ts, value));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_parses_with_and_without_header() {
+        let sources: HashMap<String, Tid> = [("tid1".to_string(), 1)].into();
+        let with_header = "source,timestamp,value\ntid1,100,1.5\n1,200,2.5\n";
+        let rows = parse_csv(with_header, &sources).unwrap();
+        assert_eq!(rows, vec![(1, 100, 1.5), (1, 200, 2.5)]);
+        let no_header = "tid1,100,1.5\n\n   \n";
+        assert_eq!(parse_csv(no_header, &sources).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let sources = HashMap::new();
+        assert!(parse_csv("ghost,100,1.0", &sources).is_err());
+        assert!(parse_csv("1,notatime,1.0", &sources).is_err());
+        assert!(parse_csv("1,100", &sources).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Declarative construction of a ModelarDB+ instance: declare dimensions,
+//! series, correlation hints, and models; the builder runs the partitioner
+//! (Algorithm 1) and produces a ready [`crate::ModelarDb`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mdb_models::ModelRegistry;
+use mdb_partitioner::{partition, CorrelationSpec};
+use mdb_storage::Catalog;
+use mdb_types::{
+    DimensionSchema, Dimensions, Gid, GroupMeta, MdbError, Result, Tid, TimeSeriesMeta,
+};
+
+use crate::engine::ModelarDb;
+use crate::Config;
+
+/// Declaration of one time series.
+#[derive(Debug, Clone)]
+pub struct SeriesSpec {
+    /// The source name (file/socket in the paper); used by `series …`
+    /// correlation primitives and scaling hints.
+    pub source: String,
+    /// Sampling interval in milliseconds.
+    pub sampling_interval: i64,
+    /// Member paths per dimension name, most general level first.
+    pub members: Vec<(String, Vec<String>)>,
+}
+
+impl SeriesSpec {
+    /// A series named `source` sampling every `sampling_interval` ms.
+    pub fn new(source: impl Into<String>, sampling_interval: i64) -> Self {
+        Self { source: source.into(), sampling_interval, members: Vec::new() }
+    }
+
+    /// Attaches the member path for one dimension (general → detailed).
+    pub fn with_members(mut self, dimension: impl Into<String>, path: &[&str]) -> Self {
+        self.members.push((dimension.into(), path.iter().map(|s| s.to_string()).collect()));
+        self
+    }
+}
+
+/// Builds a [`ModelarDb`].
+pub struct ModelarDbBuilder {
+    config: Config,
+    dimensions: Dimensions,
+    series: Vec<SeriesSpec>,
+    spec: CorrelationSpec,
+    registry: ModelRegistry,
+}
+
+impl Default for ModelarDbBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelarDbBuilder {
+    /// A builder with the standard model registry (PMC-Mean, Swing, Gorilla)
+    /// and Table 1 defaults.
+    pub fn new() -> Self {
+        Self {
+            config: Config::default(),
+            dimensions: Dimensions::new(),
+            series: Vec::new(),
+            spec: CorrelationSpec::none(),
+            registry: ModelRegistry::standard(),
+        }
+    }
+
+    /// Mutable access to the configuration.
+    pub fn config_mut(&mut self) -> &mut Config {
+        &mut self.config
+    }
+
+    /// Registers a dimension.
+    pub fn add_dimension(&mut self, schema: DimensionSchema) -> &mut Self {
+        // Defer errors to build() so calls chain fluently.
+        if let Err(e) = self.dimensions.add_dimension(schema) {
+            self.series.push(SeriesSpec::new(format!("!error:{e}"), -1));
+        }
+        self
+    }
+
+    /// Declares a time series.
+    pub fn add_series(&mut self, spec: SeriesSpec) -> &mut Self {
+        self.series.push(spec);
+        self
+    }
+
+    /// Adds a `modelardb.correlation` clause (Section 4.1 syntax).
+    pub fn correlate(&mut self, clause: &str) -> &mut Self {
+        if let Err(e) = self.spec.add_clause(clause) {
+            self.series.push(SeriesSpec::new(format!("!error:{e}"), -1));
+        }
+        self
+    }
+
+    /// Sets the full correlation spec (weights, scaling hints, clauses).
+    pub fn with_correlation(&mut self, spec: CorrelationSpec) -> &mut Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Replaces the model registry (the extension API of Section 3.1: add
+    /// user-defined models without touching the system).
+    pub fn with_registry(&mut self, registry: ModelRegistry) -> &mut Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Runs the partitioner and assembles the engine.
+    pub fn build(&self) -> Result<ModelarDb> {
+        if let Some(bad) = self.series.iter().find(|s| s.source.starts_with("!error:")) {
+            return Err(MdbError::Config(bad.source.trim_start_matches("!error:").to_string()));
+        }
+        if self.series.is_empty() {
+            return Err(MdbError::Config("declare at least one time series".into()));
+        }
+        let mut dimensions = self.dimensions.clone();
+        let mut metas = Vec::with_capacity(self.series.len());
+        let mut sources: HashMap<Tid, String> = HashMap::new();
+        for (i, spec) in self.series.iter().enumerate() {
+            let tid = (i + 1) as Tid;
+            if spec.sampling_interval <= 0 {
+                return Err(MdbError::Config(format!(
+                    "series {} has non-positive sampling interval",
+                    spec.source
+                )));
+            }
+            for (dim_name, path) in &spec.members {
+                let dim = dimensions
+                    .dimension_id(dim_name)
+                    .ok_or_else(|| MdbError::Config(format!("unknown dimension {dim_name}")))?;
+                let refs: Vec<&str> = path.iter().map(String::as_str).collect();
+                dimensions.set_members(tid, dim, &refs)?;
+            }
+            metas.push(TimeSeriesMeta::new(tid, spec.sampling_interval));
+            sources.insert(tid, spec.source.clone());
+        }
+
+        let parts = partition(&metas, &dimensions, &self.spec, &sources)?;
+
+        let mut catalog = Catalog::new();
+        catalog.dimensions = dimensions;
+        for (i, group_tids) in parts.groups.iter().enumerate() {
+            let gid = (i + 1) as Gid;
+            catalog.groups.push(GroupMeta::new(gid, group_tids.clone(), &metas)?);
+            for (j, tid) in group_tids.iter().enumerate() {
+                let mut meta = metas.iter().find(|m| m.tid == *tid).unwrap().clone();
+                meta.gid = gid;
+                meta.scaling = parts.scaling[i][j];
+                catalog.series.push(meta);
+            }
+        }
+        catalog.series.sort_by_key(|m| m.tid);
+        catalog.model_names = self.registry.names().iter().map(|s| s.to_string()).collect();
+
+        ModelarDb::from_catalog(
+            Arc::new(catalog),
+            Arc::new(self.registry.clone()),
+            self.config.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdb_types::ErrorBound;
+
+    fn turbines() -> ModelarDbBuilder {
+        let mut b = ModelarDbBuilder::new();
+        b.config_mut().compression.error_bound = ErrorBound::relative(5.0);
+        b.add_dimension(
+            DimensionSchema::from_leaf_up("Location", vec!["Turbine".into(), "Park".into()]).unwrap(),
+        )
+        .add_series(SeriesSpec::new("t1", 100).with_members("Location", &["Aalborg", "9632"]))
+        .add_series(SeriesSpec::new("t2", 100).with_members("Location", &["Aalborg", "9634"]))
+        .add_series(SeriesSpec::new("t3", 100).with_members("Location", &["Farsø", "9572"]));
+        b
+    }
+
+    #[test]
+    fn builder_partitions_by_correlation_clause() {
+        let mut b = turbines();
+        b.correlate("Location 1");
+        let db = b.build().unwrap();
+        // Same park ⇒ grouped: tids 1,2 share a gid; tid 3 is alone.
+        let catalog = db.catalog();
+        assert_eq!(catalog.groups.len(), 2);
+        assert_eq!(catalog.gid_of(1), catalog.gid_of(2));
+        assert_ne!(catalog.gid_of(1), catalog.gid_of(3));
+    }
+
+    #[test]
+    fn builder_without_hints_gives_singletons() {
+        let db = turbines().build().unwrap();
+        assert_eq!(db.catalog().groups.len(), 3);
+    }
+
+    #[test]
+    fn builder_validates_input() {
+        assert!(ModelarDbBuilder::new().build().is_err(), "no series");
+        let mut b = ModelarDbBuilder::new();
+        b.add_series(SeriesSpec::new("x", 0));
+        assert!(b.build().is_err(), "bad SI");
+        let mut b = ModelarDbBuilder::new();
+        b.add_series(SeriesSpec::new("x", 100).with_members("Ghost", &["a"]));
+        assert!(b.build().is_err(), "unknown dimension");
+        let mut b = turbines();
+        b.correlate("not a ; valid @ clause ->");
+        assert!(b.build().is_err(), "bad clause surfaces at build()");
+    }
+
+    #[test]
+    fn scaling_hints_reach_the_catalog() {
+        let mut b = turbines();
+        let mut spec = CorrelationSpec::none();
+        spec.add_clause("Location 1").unwrap();
+        spec.scaling.push(mdb_partitioner::ScalingHint::Series { name: "t2".into(), factor: 4.75 });
+        b.with_correlation(spec);
+        let db = b.build().unwrap();
+        assert_eq!(db.catalog().scaling_of(2), 4.75);
+        assert_eq!(db.catalog().scaling_of(1), 1.0);
+    }
+}

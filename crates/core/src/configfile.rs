@@ -1,0 +1,289 @@
+//! The ModelarDB configuration file (Section 4.1).
+//!
+//! The paper specifies user hints "in ModelarDB's configuration file as
+//! `modelardb.correlation` clauses"; this module parses that file format:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! modelardb.error_bound          = 5.0          # percent; 0 = lossless
+//! modelardb.length_limit         = 50
+//! modelardb.dynamic_split        = true
+//! modelardb.split_fraction       = 10
+//! modelardb.bulk_write_size      = 50000
+//! modelardb.storage              = memory       # or a directory path
+//!
+//! modelardb.dimension            = Location, Country, Park, Turbine
+//! modelardb.dimension            = Measure, Category, Concrete
+//!
+//! # series: <source>, <sampling interval ms> [, <Dim>=<m1>/<m2>/…]
+//! modelardb.source               = t9632.gz, 100, Location=Denmark/Aalborg/9632
+//!
+//! modelardb.correlation          = Location 2
+//! modelardb.correlation          = Measure 1 Temperature; Location 1
+//! modelardb.correlation.weight   = Location 2.0
+//! modelardb.correlation.scaling  = Measure 1 ProductionMWh 4.75
+//! ```
+//!
+//! Repeated `correlation` lines OR together; primitives inside one line are
+//! separated by `;` and AND together — exactly the clause semantics of the
+//! paper.
+
+use std::path::PathBuf;
+
+use mdb_partitioner::spec::{parse_scaling, parse_weight};
+use mdb_partitioner::CorrelationSpec;
+use mdb_types::{DimensionSchema, ErrorBound, MdbError, Result};
+
+use crate::builder::{ModelarDbBuilder, SeriesSpec};
+use crate::engine::StorageSpec;
+
+/// A parsed configuration file, ready to be turned into a builder.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigFile {
+    pub dimensions: Vec<DimensionSchema>,
+    pub series: Vec<SeriesSpec>,
+    pub correlation: CorrelationSpec,
+    pub error_bound_percent: f64,
+    pub length_limit: Option<usize>,
+    pub dynamic_split: Option<bool>,
+    pub split_fraction: Option<f64>,
+    pub bulk_write_size: Option<usize>,
+    pub storage: Option<StorageSpec>,
+}
+
+impl ConfigFile {
+    /// Parses configuration text.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut cfg = ConfigFile::default();
+        for (number, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| MdbError::Config(format!("line {}: expected key = value", number + 1)))?;
+            let key = key.trim().to_ascii_lowercase();
+            let value = value.trim();
+            let ctx = |e: MdbError| MdbError::Config(format!("line {}: {e}", number + 1));
+            match key.as_str() {
+                "modelardb.error_bound" => {
+                    cfg.error_bound_percent = value
+                        .parse::<f64>()
+                        .map_err(|_| MdbError::Config(format!("line {}: bad error bound {value:?}", number + 1)))?;
+                }
+                "modelardb.length_limit" => {
+                    cfg.length_limit = Some(parse_number(value, number)?);
+                }
+                "modelardb.dynamic_split" => {
+                    cfg.dynamic_split = Some(matches!(value.to_ascii_lowercase().as_str(), "true" | "on" | "1"));
+                }
+                "modelardb.split_fraction" => {
+                    cfg.split_fraction = Some(value.parse::<f64>().map_err(|_| {
+                        MdbError::Config(format!("line {}: bad split fraction {value:?}", number + 1))
+                    })?);
+                }
+                "modelardb.bulk_write_size" => {
+                    cfg.bulk_write_size = Some(parse_number(value, number)?);
+                }
+                "modelardb.storage" => {
+                    cfg.storage = Some(if value.eq_ignore_ascii_case("memory") {
+                        StorageSpec::Memory
+                    } else {
+                        StorageSpec::Disk(PathBuf::from(value))
+                    });
+                }
+                "modelardb.dimension" => {
+                    let mut parts = value.split(',').map(str::trim);
+                    let name = parts
+                        .next()
+                        .filter(|s| !s.is_empty())
+                        .ok_or_else(|| MdbError::Config(format!("line {}: dimension needs a name", number + 1)))?;
+                    let levels: Vec<String> = parts.map(str::to_string).collect();
+                    cfg.dimensions.push(DimensionSchema::new(name, levels).map_err(ctx)?);
+                }
+                "modelardb.source" => {
+                    cfg.series.push(parse_source(value, number)?);
+                }
+                "modelardb.correlation" => {
+                    cfg.correlation.add_clause(value).map_err(ctx)?;
+                }
+                "modelardb.correlation.weight" => {
+                    let (dim, weight) = parse_weight(value).map_err(ctx)?;
+                    cfg.correlation.weights.insert(dim, weight);
+                }
+                "modelardb.correlation.scaling" => {
+                    cfg.correlation.scaling.push(parse_scaling(value).map_err(ctx)?);
+                }
+                other => {
+                    return Err(MdbError::Config(format!("line {}: unknown key {other}", number + 1)));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Loads and parses a configuration file from disk.
+    pub fn load(path: &std::path::Path) -> Result<Self> {
+        Self::parse(&std::fs::read_to_string(path)?)
+    }
+
+    /// Turns the parsed file into a ready-to-build engine builder.
+    pub fn into_builder(self) -> Result<ModelarDbBuilder> {
+        let mut builder = ModelarDbBuilder::new();
+        {
+            let config = builder.config_mut();
+            config.compression.error_bound = ErrorBound::relative(self.error_bound_percent);
+            if let Some(limit) = self.length_limit {
+                config.compression.length_limit = limit;
+            }
+            if let Some(split) = self.dynamic_split {
+                config.compression.dynamic_split = split;
+            }
+            if let Some(fraction) = self.split_fraction {
+                config.compression.split_fraction = fraction;
+            }
+            if let Some(size) = self.bulk_write_size {
+                config.bulk_write_size = size;
+            }
+            if let Some(storage) = self.storage {
+                config.storage = storage;
+            }
+        }
+        for schema in self.dimensions {
+            builder.add_dimension(schema);
+        }
+        for series in self.series {
+            builder.add_series(series);
+        }
+        builder.with_correlation(self.correlation);
+        Ok(builder)
+    }
+}
+
+fn parse_number(value: &str, line: usize) -> Result<usize> {
+    value
+        .parse::<usize>()
+        .map_err(|_| MdbError::Config(format!("line {}: bad number {value:?}", line + 1)))
+}
+
+/// `<source>, <si ms> [, <Dimension>=<member>/<member>/…]…`
+fn parse_source(value: &str, line: usize) -> Result<SeriesSpec> {
+    let mut parts = value.split(',').map(str::trim);
+    let source = parts
+        .next()
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| MdbError::Config(format!("line {}: source needs a name", line + 1)))?;
+    let si = parts
+        .next()
+        .and_then(|s| s.parse::<i64>().ok())
+        .ok_or_else(|| MdbError::Config(format!("line {}: source needs a sampling interval", line + 1)))?;
+    let mut spec = SeriesSpec::new(source, si);
+    for member_spec in parts {
+        let (dim, path) = member_spec.split_once('=').ok_or_else(|| {
+            MdbError::Config(format!("line {}: expected Dimension=member/member, got {member_spec:?}", line + 1))
+        })?;
+        let members: Vec<&str> = path.split('/').map(str::trim).collect();
+        spec = spec.with_members(dim.trim(), &members);
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# wind farm deployment
+modelardb.error_bound   = 5.0
+modelardb.length_limit  = 100
+modelardb.dynamic_split = true
+modelardb.split_fraction = 4
+modelardb.bulk_write_size = 1000
+modelardb.storage       = memory
+
+modelardb.dimension     = Location, Country, Park, Turbine
+modelardb.dimension     = Measure, Category, Concrete
+
+modelardb.source = t9632.gz, 100, Location=Denmark/Aalborg/9632, Measure=Temp/Nacelle
+modelardb.source = t9634.gz, 100, Location=Denmark/Aalborg/9634, Measure=Temp/Nacelle
+modelardb.source = t9572.gz, 100, Location=Denmark/Farsø/9572, Measure=Temp/Nacelle
+
+modelardb.correlation   = Location 2
+modelardb.correlation.weight  = Location 2.0
+modelardb.correlation.scaling = series t9572.gz 4.75
+";
+
+    #[test]
+    fn sample_file_parses_fully() {
+        let cfg = ConfigFile::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.error_bound_percent, 5.0);
+        assert_eq!(cfg.length_limit, Some(100));
+        assert_eq!(cfg.dynamic_split, Some(true));
+        assert_eq!(cfg.split_fraction, Some(4.0));
+        assert_eq!(cfg.bulk_write_size, Some(1000));
+        assert!(matches!(cfg.storage, Some(StorageSpec::Memory)));
+        assert_eq!(cfg.dimensions.len(), 2);
+        assert_eq!(cfg.dimensions[0].name(), "Location");
+        assert_eq!(cfg.dimensions[0].height(), 3);
+        assert_eq!(cfg.series.len(), 3);
+        assert_eq!(cfg.series[0].source, "t9632.gz");
+        assert_eq!(cfg.series[0].sampling_interval, 100);
+        assert_eq!(cfg.series[0].members.len(), 2);
+        assert_eq!(cfg.correlation.clauses.len(), 1);
+        assert_eq!(cfg.correlation.weight("Location"), 2.0);
+        assert_eq!(cfg.correlation.scaling.len(), 1);
+    }
+
+    #[test]
+    fn sample_file_builds_a_working_engine() {
+        let mut db = ConfigFile::parse(SAMPLE).unwrap().into_builder().unwrap().build().unwrap();
+        // "Location 2": LCA ≥ 2 = same park → 9632+9634 share a group.
+        assert_eq!(db.catalog().groups.len(), 2);
+        assert_eq!(db.catalog().gid_of(1), db.catalog().gid_of(2));
+        assert_eq!(db.catalog().scaling_of(3), 4.75);
+        for t in 0..300i64 {
+            db.ingest_row(t * 100, &[Some(55.0), Some(55.1), Some(11.6)]).unwrap();
+        }
+        db.flush().unwrap();
+        let r = db.sql("SELECT Park, COUNT_S(*) FROM Segment GROUP BY Park ORDER BY Park").unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn comments_blank_lines_and_case_are_tolerated() {
+        let cfg = ConfigFile::parse("\n# only a comment\nMODELARDB.ERROR_BOUND = 1.0 # inline\n").unwrap();
+        assert_eq!(cfg.error_bound_percent, 1.0);
+    }
+
+    #[test]
+    fn disk_storage_paths_parse() {
+        let cfg = ConfigFile::parse("modelardb.storage = /var/lib/modelardb").unwrap();
+        assert!(matches!(cfg.storage, Some(StorageSpec::Disk(p)) if p.ends_with("modelardb")));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        for (bad, needle) in [
+            ("modelardb.unknown = 1", "unknown key"),
+            ("just some text", "expected key = value"),
+            ("modelardb.error_bound = high", "bad error bound"),
+            ("modelardb.source = only_name", "sampling interval"),
+            ("modelardb.source = s, 100, NoEquals", "expected Dimension=member"),
+            ("modelardb.dimension = ", "dimension needs a name"),
+            ("modelardb.correlation = @@@", "correlation"),
+        ] {
+            let err = ConfigFile::parse(bad).unwrap_err().to_string();
+            assert!(err.contains(needle) || err.contains("line 1"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn load_reads_from_disk() {
+        let path = std::env::temp_dir().join(format!("mdb-conf-{}.conf", std::process::id()));
+        std::fs::write(&path, SAMPLE).unwrap();
+        let cfg = ConfigFile::load(&path).unwrap();
+        assert_eq!(cfg.series.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,303 @@
+//! The embedded single-process engine: ingestion → MMGC → segment store →
+//! SQL, the "ModelarDB+ Core as a portable library" deployment of
+//! Section 3.1 (the cluster deployment lives in `mdb-cluster`).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mdb_compression::{CompressionStats, GroupIngestor};
+use mdb_models::ModelRegistry;
+use mdb_query::{QueryEngine, QueryResult};
+use mdb_storage::{Catalog, DiskStore, MemoryStore, SegmentStore};
+use mdb_types::{Gid, MdbError, Result, Tid, Timestamp, Value};
+
+use crate::Config;
+
+/// Where segments live.
+#[derive(Debug, Clone)]
+pub enum StorageSpec {
+    /// Volatile, heap-backed (tests, benchmarks).
+    Memory,
+    /// Persistent block log + catalog under this directory.
+    Disk(PathBuf),
+}
+
+/// An embedded ModelarDB+ instance.
+pub struct ModelarDb {
+    catalog: Arc<Catalog>,
+    registry: Arc<ModelRegistry>,
+    config: Config,
+    store: Box<dyn SegmentStore>,
+    ingestors: Vec<(Gid, GroupIngestor)>,
+    /// Per ingestor: the row indexes of its group's member series.
+    row_indices: Vec<Vec<usize>>,
+    /// Out-of-band point ingestion: per group, rows being assembled per
+    /// timestamp until every (non-gapped) member has reported.
+    pending: BTreeMap<Gid, BTreeMap<Timestamp, Vec<Option<Value>>>>,
+}
+
+impl ModelarDb {
+    /// Assembles an engine from a finished catalog (the builder's job).
+    pub fn from_catalog(
+        catalog: Arc<Catalog>,
+        registry: Arc<ModelRegistry>,
+        config: Config,
+    ) -> Result<Self> {
+        let store: Box<dyn SegmentStore> = match &config.storage {
+            StorageSpec::Memory => Box::new(MemoryStore::new()),
+            StorageSpec::Disk(dir) => {
+                catalog.save(dir)?;
+                Box::new(DiskStore::open(dir, config.bulk_write_size)?)
+            }
+        };
+        let mut ingestors = Vec::new();
+        let tid_to_row: std::collections::HashMap<Tid, usize> =
+            catalog.series.iter().enumerate().map(|(i, m)| (m.tid, i)).collect();
+        let mut row_indices = Vec::new();
+        for group in &catalog.groups {
+            let scaling: Vec<f64> = group.tids.iter().map(|t| catalog.scaling_of(*t)).collect();
+            ingestors.push((
+                group.gid,
+                GroupIngestor::new(group.clone(), scaling, Arc::clone(&registry), config.compression.clone())?,
+            ));
+            row_indices.push(group.tids.iter().map(|t| tid_to_row[t]).collect());
+        }
+        Ok(Self { catalog, registry, config, store, ingestors, row_indices, pending: BTreeMap::new() })
+    }
+
+    /// Reopens a disk-backed instance: catalog and segments are recovered
+    /// from the directory.
+    pub fn reopen(dir: &std::path::Path, registry: Arc<ModelRegistry>, config: Config) -> Result<Self> {
+        let mut catalog = Catalog::load(dir)?;
+        catalog.dimensions.rebuild_indexes();
+        let config = Config { storage: StorageSpec::Disk(dir.to_path_buf()), ..config };
+        Self::from_catalog(Arc::new(catalog), registry, config)
+    }
+
+    /// The metadata catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The model registry.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Ingests one full tick: `row[i]` belongs to `catalog.series[i]`
+    /// (tid order), `None` meaning the series is in a gap.
+    pub fn ingest_row(&mut self, timestamp: Timestamp, row: &[Option<Value>]) -> Result<()> {
+        if row.len() != self.catalog.series.len() {
+            return Err(MdbError::Ingestion(format!(
+                "row has {} values for {} series",
+                row.len(),
+                self.catalog.series.len()
+            )));
+        }
+        for ((_, ingestor), indices) in self.ingestors.iter_mut().zip(&self.row_indices) {
+            let group_row: Vec<Option<Value>> = indices.iter().map(|&idx| row[idx]).collect();
+            if group_row.iter().all(Option::is_none) {
+                continue;
+            }
+            for segment in ingestor.push_row(timestamp, &group_row)? {
+                self.store.insert(segment)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingests a single data point. Points are buffered per group until all
+    /// members have reported a timestamp (or a newer timestamp arrives, at
+    /// which point missing members are treated as gaps).
+    pub fn ingest_point(&mut self, tid: Tid, timestamp: Timestamp, value: Value) -> Result<()> {
+        let gid = self
+            .catalog
+            .gid_of(tid)
+            .ok_or_else(|| MdbError::NotFound(format!("time series {tid}")))?;
+        let group = self.catalog.group(gid).unwrap();
+        let position = group.position(tid).unwrap();
+        let size = group.size();
+        let pending = self.pending.entry(gid).or_default();
+        let row = pending.entry(timestamp).or_insert_with(|| vec![None; size]);
+        row[position] = Some(value);
+        let complete = row.iter().all(Option::is_some);
+        if complete {
+            // Flush every assembled row up to and including this timestamp;
+            // older incomplete rows become rows with gaps.
+            let ready: Vec<Timestamp> =
+                pending.range(..=timestamp).map(|(t, _)| *t).collect();
+            for ts in ready {
+                let row = self.pending.get_mut(&gid).unwrap().remove(&ts).unwrap();
+                self.push_group_row(gid, ts, &row)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn push_group_row(&mut self, gid: Gid, timestamp: Timestamp, row: &[Option<Value>]) -> Result<()> {
+        let (_, ingestor) = self
+            .ingestors
+            .iter_mut()
+            .find(|(g, _)| *g == gid)
+            .ok_or_else(|| MdbError::NotFound(format!("group {gid}")))?;
+        for segment in ingestor.push_row(timestamp, row)? {
+            self.store.insert(segment)?;
+        }
+        Ok(())
+    }
+
+    /// Drains all buffers: pending point-rows, group ingestors, and the
+    /// store's write buffer.
+    pub fn flush(&mut self) -> Result<()> {
+        let pending: Vec<(Gid, Timestamp, Vec<Option<Value>>)> = self
+            .pending
+            .iter()
+            .flat_map(|(gid, rows)| rows.iter().map(|(ts, row)| (*gid, *ts, row.clone())))
+            .collect();
+        self.pending.clear();
+        for (gid, ts, row) in pending {
+            self.push_group_row(gid, ts, &row)?;
+        }
+        for (_, ingestor) in &mut self.ingestors {
+            for segment in ingestor.flush()? {
+                self.store.insert(segment)?;
+            }
+        }
+        self.store.flush()
+    }
+
+    /// Executes a SQL query (Section 6's Segment View and Data Point View).
+    pub fn sql(&self, text: &str) -> Result<QueryResult> {
+        QueryEngine::new(&self.catalog, &self.registry, self.store.as_ref()).sql(text)
+    }
+
+    /// Merged compression statistics across all groups.
+    pub fn stats(&self) -> CompressionStats {
+        let mut stats = CompressionStats::default();
+        for (_, ingestor) in &self.ingestors {
+            stats.merge(ingestor.stats());
+        }
+        stats
+    }
+
+    /// Logical stored bytes (the Figures 14–15 metric).
+    pub fn storage_bytes(&self) -> u64 {
+        self.store.logical_bytes()
+    }
+
+    /// Stored segment count.
+    pub fn segment_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ModelarDbBuilder, SeriesSpec};
+    use mdb_types::{DimensionSchema, ErrorBound};
+
+    fn db(error_pct: f64) -> ModelarDb {
+        let mut b = ModelarDbBuilder::new();
+        b.config_mut().compression.error_bound = ErrorBound::relative(error_pct);
+        b.add_dimension(
+            DimensionSchema::from_leaf_up("Location", vec!["Turbine".into(), "Park".into()]).unwrap(),
+        )
+        .add_series(SeriesSpec::new("t1", 100).with_members("Location", &["Aalborg", "9632"]))
+        .add_series(SeriesSpec::new("t2", 100).with_members("Location", &["Aalborg", "9634"]))
+        .correlate("Location 1");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ingest_and_query_round_trip() {
+        let mut db = db(5.0);
+        for t in 0..500i64 {
+            let v = (t as f32 * 0.02).sin() * 10.0 + 100.0;
+            db.ingest_row(t * 100, &[Some(v), Some(v * 1.001)]).unwrap();
+        }
+        db.flush().unwrap();
+        let r = db.sql("SELECT COUNT_S(*) FROM Segment").unwrap();
+        assert_eq!(r.rows[0][0].as_i64(), Some(1000));
+        let r = db.sql("SELECT Park, AVG_S(*) FROM Segment GROUP BY Park").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let avg = r.rows[0][1].as_f64().unwrap();
+        assert!((90.0..110.0).contains(&avg), "{avg}");
+        assert!(db.storage_bytes() > 0);
+        assert!(db.segment_count() > 0);
+        assert_eq!(db.stats().rows, 500);
+    }
+
+    #[test]
+    fn point_ingestion_assembles_rows_and_handles_stragglers() {
+        let mut db = db(5.0);
+        // Interleaved arrival order within each tick.
+        for t in 0..10i64 {
+            db.ingest_point(2, t * 100, 2.0).unwrap();
+            db.ingest_point(1, t * 100, 1.0).unwrap();
+        }
+        // Tick 10: only series 1 reports (series 2 begins a gap), then both
+        // report tick 11 — the incomplete older row flushes as a gap row.
+        db.ingest_point(1, 1_000, 1.0).unwrap();
+        db.ingest_point(1, 1_100, 1.0).unwrap();
+        db.ingest_point(2, 1_100, 2.0).unwrap();
+        db.flush().unwrap();
+        let r = db.sql("SELECT Tid, COUNT_S(*) FROM Segment GROUP BY Tid ORDER BY Tid").unwrap();
+        assert_eq!(r.rows[0][1].as_i64(), Some(12)); // tid 1: ticks 0..=11
+        assert_eq!(r.rows[1][1].as_i64(), Some(11)); // tid 2: missing tick 10
+    }
+
+    #[test]
+    fn disk_storage_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("mdb-core-reopen-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let registry = Arc::new(ModelRegistry::standard());
+        {
+            let mut b = ModelarDbBuilder::new();
+            b.config_mut().storage = StorageSpec::Disk(dir.clone());
+            b.config_mut().compression.error_bound = ErrorBound::relative(1.0);
+            b.add_series(SeriesSpec::new("a", 100)).add_series(SeriesSpec::new("b", 100));
+            let mut db = b.build().unwrap();
+            for t in 0..200i64 {
+                db.ingest_row(t * 100, &[Some(1.0), Some(t as f32)]).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let db = ModelarDb::reopen(&dir, registry, Config::default()).unwrap();
+        let r = db.sql("SELECT Tid, COUNT_S(*) FROM Segment GROUP BY Tid ORDER BY Tid").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][1].as_i64(), Some(200));
+        assert_eq!(r.rows[1][1].as_i64(), Some(200));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_tid_rejected_for_point_ingestion() {
+        let mut db = db(1.0);
+        assert!(db.ingest_point(99, 0, 1.0).is_err());
+        assert!(db.ingest_row(0, &[Some(1.0)]).is_err());
+    }
+
+    #[test]
+    fn error_bound_reduces_storage() {
+        let sizes: Vec<u64> = [0.0, 10.0]
+            .iter()
+            .map(|pct| {
+                let mut db = db(*pct);
+                for t in 0..2_000i64 {
+                    let v = (t as f32 * 0.01).sin() * 50.0 + 100.0;
+                    db.ingest_row(t * 100, &[Some(v), Some(v * 1.002)]).unwrap();
+                }
+                db.flush().unwrap();
+                db.storage_bytes()
+            })
+            .collect();
+        assert!(sizes[1] < sizes[0], "10% bound {} must beat lossless {}", sizes[1], sizes[0]);
+    }
+}

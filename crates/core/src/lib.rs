@@ -1,0 +1,101 @@
+//! # ModelarDB+ (reproduction)
+//!
+//! A model-based time series management system for *correlated dimensional
+//! time series*, reproducing "Scalable Model-Based Management of Correlated
+//! Dimensional Time Series in ModelarDB" (Jensen, Pedersen, Thomsen).
+//!
+//! The system compresses groups of correlated time series with **Multi-Model
+//! Group Compression (MMGC)**: an extensible set of models (constant
+//! PMC-Mean, linear Swing, lossless Gorilla, plus user-defined ones) is
+//! fitted online to dynamically sized sub-sequences of each group within a
+//! user-defined error bound (possibly 0 %), and multi-dimensional aggregate
+//! queries execute directly on the stored models.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use modelardb::{DimensionSchema, ModelarDbBuilder, SeriesSpec};
+//!
+//! // Two co-located wind turbines sampling every 100 ms.
+//! let mut builder = ModelarDbBuilder::new();
+//! builder.config_mut().compression.error_bound = modelardb::ErrorBound::relative(5.0);
+//! builder
+//!     .add_dimension(DimensionSchema::from_leaf_up(
+//!         "Location",
+//!         vec!["Turbine".into(), "Park".into()],
+//!     ).unwrap())
+//!     .add_series(SeriesSpec::new("t9632", 100).with_members("Location", &["Aalborg", "9632"]))
+//!     .add_series(SeriesSpec::new("t9634", 100).with_members("Location", &["Aalborg", "9634"]))
+//!     .correlate("Location 1"); // same park ⇒ correlated
+//! let mut db = builder.build().unwrap();
+//!
+//! for tick in 0..600i64 {
+//!     let v = (tick as f32 * 0.01).sin() * 10.0 + 180.0;
+//!     db.ingest_row(tick * 100, &[Some(v), Some(v + 0.05)]).unwrap();
+//! }
+//! db.flush().unwrap();
+//!
+//! let result = db.sql("SELECT Tid, AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid").unwrap();
+//! assert_eq!(result.rows.len(), 2);
+//! ```
+
+pub mod builder;
+pub mod configfile;
+pub mod engine;
+
+pub use builder::{ModelarDbBuilder, SeriesSpec};
+pub use configfile::ConfigFile;
+pub use engine::{ModelarDb, StorageSpec};
+
+// Re-export the public surface of the component crates.
+pub use mdb_cluster::Cluster;
+pub use mdb_compression::{CompressionConfig, CompressionStats, GroupIngestor, SegmentGenerator};
+pub use mdb_models::{
+    Fitter, ModelRegistry, ModelType, SegmentAgg, MID_GORILLA, MID_PMC_MEAN, MID_SWING,
+};
+pub use mdb_partitioner::{
+    assign_workers, lowest_distance, partition, CorrelationClause, CorrelationPrimitive,
+    CorrelationSpec, Partitioning, ScalingHint,
+};
+pub use mdb_query::{parse, Cell, Query, QueryEngine, QueryResult};
+pub use mdb_storage::{Catalog, DiskStore, MemoryStore, SegmentPredicate, SegmentStore};
+pub use mdb_types::{
+    DataPoint, DimensionSchema, Dimensions, ErrorBound, GapsMask, Gid, GroupMeta, MdbError,
+    Result, SegmentRecord, Tid, TimeLevel, TimeSeriesMeta, Timestamp, Value,
+};
+
+/// The full system configuration; defaults mirror Table 1 of the paper.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Compression settings (error bound, model length limit 50, dynamic
+    /// split fraction 10, …).
+    pub compression: CompressionConfig,
+    /// Segments buffered before a bulk write (Table 1: 50,000).
+    pub bulk_write_size: usize,
+    /// Where segments are persisted.
+    pub storage: StorageSpec,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            compression: CompressionConfig::default(),
+            bulk_write_size: 50_000,
+            storage: StorageSpec::Memory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_follow_table1() {
+        let c = Config::default();
+        assert_eq!(c.bulk_write_size, 50_000);
+        assert_eq!(c.compression.length_limit, 50);
+        assert_eq!(c.compression.split_fraction, 10.0);
+        assert!(matches!(c.storage, StorageSpec::Memory));
+    }
+}

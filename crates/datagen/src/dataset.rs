@@ -1,0 +1,369 @@
+//! The EP- and EH-like data set generators.
+
+use std::collections::HashMap;
+
+use mdb_partitioner::CorrelationSpec;
+use mdb_types::{DimensionSchema, Dimensions, Result, Tid, TimeSeriesMeta, Timestamp, Value};
+
+use crate::hash_noise;
+
+/// How large a data set to generate (laptop-scale stand-ins for the paper's
+/// hundreds of GiB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of correlated clusters (≙ entities × measure categories).
+    pub clusters: usize,
+    /// Series per cluster.
+    pub series_per_cluster: usize,
+    /// Ticks to generate.
+    pub ticks: u64,
+}
+
+impl Scale {
+    /// A small scale for tests.
+    pub fn tiny() -> Self {
+        Self { clusters: 2, series_per_cluster: 3, ticks: 500 }
+    }
+
+    /// The default scale for benchmarks.
+    pub fn small() -> Self {
+        Self { clusters: 8, series_per_cluster: 4, ticks: 5_000 }
+    }
+
+    /// A larger scale for the scale-out experiments.
+    pub fn medium() -> Self {
+        Self { clusters: 16, series_per_cluster: 4, ticks: 20_000 }
+    }
+
+    /// Total number of series.
+    pub fn n_series(&self) -> usize {
+        self.clusters * self.series_per_cluster
+    }
+}
+
+/// Shape parameters distinguishing EP from EH.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetProfile {
+    /// Sampling interval in ms (EP: 60 000; EH-like: 100).
+    pub si_ms: i64,
+    /// Amplitude of the shared cluster signal.
+    pub shared_amplitude: f64,
+    /// Per-series independent noise amplitude (relative to shared).
+    pub series_noise: f64,
+    /// Probability that a series is in a gap during any given window.
+    pub gap_probability: f64,
+    /// Length of a gap window, in ticks.
+    pub gap_window: u64,
+}
+
+/// A deterministic synthetic data set.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub name: String,
+    pub seed: u64,
+    pub scale: Scale,
+    pub profile: DatasetProfile,
+    pub series: Vec<TimeSeriesMeta>,
+    pub dimensions: Dimensions,
+    pub sources: HashMap<Tid, String>,
+    /// First timestamp (2021-01-01 00:00 UTC by default).
+    pub start: Timestamp,
+    correlation: CorrelationSpec,
+}
+
+const DEFAULT_START: Timestamp = 1_609_459_200_000; // 2021-01-01T00:00:00Z
+
+impl Dataset {
+    /// Number of series.
+    pub fn n_series(&self) -> usize {
+        self.series.len()
+    }
+
+    /// All tids (1-based, dense).
+    pub fn tids(&self) -> Vec<Tid> {
+        (1..=self.n_series() as Tid).collect()
+    }
+
+    /// The timestamp of `tick`.
+    pub fn timestamp(&self, tick: u64) -> Timestamp {
+        self.start + tick as i64 * self.profile.si_ms
+    }
+
+    /// The cluster a tid belongs to (0-based).
+    pub fn cluster_of(&self, tid: Tid) -> usize {
+        (tid as usize - 1) / self.scale.series_per_cluster
+    }
+
+    /// The value of `tid` at `tick`, or `None` during a gap.
+    pub fn value(&self, tid: Tid, tick: u64) -> Option<Value> {
+        let p = &self.profile;
+        // Gap windows: a hash per (tid, window) decides sensor dropout.
+        let window = tick / p.gap_window.max(1);
+        if hash_noise(self.seed ^ 0xDEAD, u64::from(tid), window).abs() < p.gap_probability {
+            return None;
+        }
+        let cluster = self.cluster_of(tid) as u64;
+        let t = tick as f64;
+        // Shared cluster profile: daily-ish cycle + slow weather drift +
+        // occasional regime level (changes every ~517 ticks).
+        let day_period = (86_400_000 / p.si_ms.max(1)) as f64;
+        let cycle = (t * std::f64::consts::TAU / day_period.max(16.0)).sin();
+        let drift = (t * std::f64::consts::TAU / (day_period.max(16.0) * 7.3)).sin() * 0.5;
+        let regime = hash_noise(self.seed ^ 0xBEEF, cluster, tick / 517) * 0.8;
+        let shared = (cycle + drift + regime) * p.shared_amplitude;
+        // Per-series personality: a small offset (redundant meters on one
+        // entity read almost identically).
+        let offset = hash_noise(self.seed ^ 0xF00D, u64::from(tid), 0) * p.shared_amplitude * 0.008;
+        // Independent noise, smoothed over 3 ticks so EH is not pure white.
+        let noise = (hash_noise(self.seed, u64::from(tid), tick)
+            + hash_noise(self.seed, u64::from(tid), tick.saturating_sub(1)))
+            * 0.5
+            * p.series_noise
+            * p.shared_amplitude;
+        let base = 100.0 * (1.0 + cluster as f64 * 0.01);
+        Some((base + shared + offset + noise) as Value)
+    }
+
+    /// One full row: `row[tid − 1]` is the value of `tid` at `tick`.
+    pub fn row(&self, tick: u64) -> Vec<Option<Value>> {
+        (1..=self.n_series() as Tid).map(|tid| self.value(tid, tick)).collect()
+    }
+
+    /// The correlation hints the paper's evaluation uses for this data set.
+    pub fn correlation_spec(&self) -> CorrelationSpec {
+        self.correlation.clone()
+    }
+
+    /// Total data points (excluding gaps) in `ticks` ticks — used to report
+    /// ingestion rates.
+    pub fn count_data_points(&self, ticks: u64) -> u64 {
+        let mut n = 0;
+        for tick in 0..ticks {
+            n += self.row(tick).iter().flatten().count() as u64;
+        }
+        n
+    }
+}
+
+/// The EP-like data set: strongly correlated clusters of energy-production
+/// series at SI = 60 s with dimensions `Production: Entity → Type` and
+/// `Measure: Concrete → Category`.
+pub fn ep(seed: u64, scale: Scale) -> Result<Dataset> {
+    let mut dimensions = Dimensions::new();
+    let production = dimensions.add_dimension(DimensionSchema::from_leaf_up(
+        "Production",
+        vec!["Entity".into(), "Type".into()],
+    )?)?;
+    let measure = dimensions.add_dimension(DimensionSchema::from_leaf_up(
+        "Measure",
+        vec!["Concrete".into(), "Category".into()],
+    )?)?;
+    let mut series = Vec::new();
+    let mut sources = HashMap::new();
+    let si = 60_000;
+    for tid in 1..=scale.n_series() as Tid {
+        let cluster = (tid as usize - 1) / scale.series_per_cluster;
+        let member = (tid as usize - 1) % scale.series_per_cluster;
+        // One entity per cluster; within a cluster the series are the
+        // entity's redundant production meters (same concrete measure).
+        let entity = format!("entity{cluster}");
+        let kind = if cluster % 2 == 0 { "WindTurbine" } else { "SolarPlant" };
+        dimensions.set_members(tid, production, &[kind, &entity])?;
+        dimensions.set_members(tid, measure, &["ProductionMWh", &format!("meter{member}")])?;
+        series.push(TimeSeriesMeta::new(tid, si));
+        sources.insert(tid, format!("{entity}_meter{member}.gz"));
+    }
+    // §7.3: "Correlation is set as Production 0; Measure 1 ProductionMWh".
+    let mut correlation = CorrelationSpec::none();
+    correlation.add_clause("Production 0; Measure 1 ProductionMWh")?;
+    Ok(Dataset {
+        name: "EP".into(),
+        seed,
+        scale,
+        profile: DatasetProfile {
+            si_ms: si,
+            shared_amplitude: 40.0,
+            series_noise: 0.01,
+            gap_probability: 0.01,
+            gap_window: 64,
+        },
+        series,
+        dimensions,
+        sources,
+        start: DEFAULT_START,
+        correlation,
+    })
+}
+
+/// The EH-like data set: weakly correlated high-frequency series with
+/// dimensions `Location: Entity → Park → Country` and `Measure`.
+pub fn eh(seed: u64, scale: Scale) -> Result<Dataset> {
+    let mut dimensions = Dimensions::new();
+    let location = dimensions.add_dimension(DimensionSchema::from_leaf_up(
+        "Location",
+        vec!["Entity".into(), "Park".into(), "Country".into()],
+    )?)?;
+    let measure = dimensions.add_dimension(DimensionSchema::from_leaf_up(
+        "Measure",
+        vec!["Concrete".into(), "Category".into()],
+    )?)?;
+    let mut series = Vec::new();
+    let mut sources = HashMap::new();
+    let si = 100;
+    for tid in 1..=scale.n_series() as Tid {
+        let cluster = (tid as usize - 1) / scale.series_per_cluster;
+        let member = (tid as usize - 1) % scale.series_per_cluster;
+        let park = format!("park{}", cluster / 2);
+        let entity = format!("entity{cluster}");
+        dimensions.set_members(tid, location, &["Denmark", &park, &entity])?;
+        dimensions.set_members(tid, measure, &["Electrical", &format!("signal{member}")])?;
+        series.push(TimeSeriesMeta::new(tid, si));
+        sources.insert(tid, format!("{park}_{entity}_s{member}.gz"));
+    }
+    // §7.3: EH uses the lowest-distance rule of thumb.
+    let correlation = CorrelationSpec::distance(mdb_partitioner::lowest_distance(&dimensions));
+    Ok(Dataset {
+        name: "EH".into(),
+        seed,
+        scale,
+        profile: DatasetProfile {
+            si_ms: si,
+            shared_amplitude: 20.0,
+            series_noise: 0.28,
+            gap_probability: 0.005,
+            gap_window: 256,
+        },
+        series,
+        dimensions,
+        sources,
+        start: DEFAULT_START,
+        correlation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ep(7, Scale::tiny()).unwrap();
+        let b = ep(7, Scale::tiny()).unwrap();
+        for tick in 0..100 {
+            assert_eq!(a.row(tick), b.row(tick));
+        }
+        let c = ep(8, Scale::tiny()).unwrap();
+        let differs = (0..100).any(|t| a.row(t) != c.row(t));
+        assert!(differs, "different seeds must differ");
+    }
+
+    #[test]
+    fn ep_clusters_are_strongly_correlated() {
+        let ds = ep(42, Scale::tiny()).unwrap();
+        // Pearson-ish check: two series in the same cluster track each other
+        // far more closely than two in different clusters.
+        let spread = |a: Tid, b: Tid| -> f64 {
+            let mut s = 0.0;
+            let mut n = 0;
+            for tick in 0..400 {
+                if let (Some(x), Some(y)) = (ds.value(a, tick), ds.value(b, tick)) {
+                    s += f64::from((x - y).abs());
+                    n += 1;
+                }
+            }
+            s / n.max(1) as f64
+        };
+        let same = spread(1, 2);
+        let cross = spread(1, 4); // tid 4 is in cluster 1
+        assert!(same * 5.0 < cross, "same-cluster spread {same} vs cross {cross}");
+    }
+
+    #[test]
+    fn eh_series_are_weakly_correlated() {
+        let ds = eh(42, Scale::tiny()).unwrap();
+        let mut dev = 0.0;
+        let mut n = 0;
+        for tick in 0..400 {
+            if let (Some(x), Some(y)) = (ds.value(1, tick), ds.value(2, tick)) {
+                dev += f64::from((x - y).abs());
+                n += 1;
+            }
+        }
+        let avg = dev / n as f64;
+        // EH same-cluster series deviate by a large fraction of the shared
+        // amplitude, unlike EP's.
+        assert!(avg > 2.0, "avg deviation {avg}");
+    }
+
+    #[test]
+    fn gaps_occur_but_rarely() {
+        let ds = ep(42, Scale { clusters: 2, series_per_cluster: 3, ticks: 4_000 }).unwrap();
+        let mut gaps = 0u64;
+        let mut total = 0u64;
+        for tick in 0..4_000 {
+            for v in ds.row(tick) {
+                total += 1;
+                if v.is_none() {
+                    gaps += 1;
+                }
+            }
+        }
+        assert!(gaps > 0, "gaps must occur");
+        assert!((gaps as f64) < total as f64 * 0.05, "{gaps}/{total} gaps");
+        assert_eq!(ds.count_data_points(4_000), total - gaps);
+    }
+
+    #[test]
+    fn dimensions_match_the_paper() {
+        let ds = ep(1, Scale::tiny()).unwrap();
+        let schemas = ds.dimensions.schemas();
+        assert_eq!(schemas[0].name(), "Production");
+        assert_eq!(schemas[0].level_name(1), Some("Type"));
+        assert_eq!(schemas[0].level_name(2), Some("Entity"));
+        assert_eq!(schemas[1].name(), "Measure");
+        assert_eq!(schemas[1].level_name(1), Some("Category"));
+        let ds = eh(1, Scale::tiny()).unwrap();
+        let schemas = ds.dimensions.schemas();
+        assert_eq!(schemas[0].name(), "Location");
+        assert_eq!(schemas[0].level_name(1), Some("Country"));
+        assert_eq!(schemas[0].level_name(3), Some("Entity"));
+    }
+
+    #[test]
+    fn correlation_specs_follow_the_evaluation() {
+        let ds = ep(1, Scale::tiny()).unwrap();
+        let spec = ds.correlation_spec();
+        assert_eq!(spec.clauses.len(), 1);
+        assert_eq!(spec.clauses[0].primitives.len(), 2);
+        let ds = eh(1, Scale::tiny()).unwrap();
+        let spec = ds.correlation_spec();
+        // Lowest distance for 3-level + 2-level dims: (1/3)/2 = 1/6.
+        match &spec.clauses[0].primitives[0] {
+            mdb_partitioner::CorrelationPrimitive::Distance(d) => {
+                assert!((d - 1.0 / 6.0).abs() < 1e-9)
+            }
+            other => panic!("expected distance primitive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timestamps_follow_sampling_interval() {
+        let ds = ep(1, Scale::tiny()).unwrap();
+        assert_eq!(ds.timestamp(0), DEFAULT_START);
+        assert_eq!(ds.timestamp(10) - ds.timestamp(9), 60_000);
+        let ds = eh(1, Scale::tiny()).unwrap();
+        assert_eq!(ds.timestamp(10) - ds.timestamp(9), 100);
+    }
+
+    #[test]
+    fn values_are_finite_and_in_plausible_range() {
+        for ds in [ep(3, Scale::tiny()).unwrap(), eh(3, Scale::tiny()).unwrap()] {
+            for tick in 0..500 {
+                for v in ds.row(tick).into_iter().flatten() {
+                    assert!(v.is_finite());
+                    assert!((0.0..400.0).contains(&v), "{v}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Fixed-width bit-packing of unsigned integers (Parquet-style): the encoder
+//! picks the narrowest width that fits the maximum value, so dictionary codes
+//! and small enumerations pack into a few bits each.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::varint;
+
+/// Packs `values` as: varint count, width byte, then `count × width` bits.
+pub fn encode(values: &[u64]) -> Vec<u8> {
+    let width = values.iter().copied().max().map_or(0, bits_needed);
+    let mut out = Vec::with_capacity(2 + values.len() * width as usize / 8);
+    varint::write_u64(&mut out, values.len() as u64);
+    out.push(width);
+    if width == 0 {
+        return out;
+    }
+    let mut writer = BitWriter::with_capacity(values.len() * width as usize / 8 + 1);
+    for &v in values {
+        writer.write_bits(v, width);
+    }
+    out.extend_from_slice(&writer.finish());
+    out
+}
+
+/// Decodes a buffer produced by [`encode`]; `None` on malformed input.
+pub fn decode(input: &[u8]) -> Option<Vec<u64>> {
+    let mut slice = input;
+    let count = varint::read_u64(&mut slice)? as usize;
+    let (&width, rest) = slice.split_first()?;
+    if width > 64 {
+        return None;
+    }
+    if width == 0 {
+        return Some(vec![0; count]);
+    }
+    let mut reader = BitReader::new(rest);
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        out.push(reader.read_bits(width)?);
+    }
+    Some(out)
+}
+
+/// The number of bits required to represent `value`.
+pub fn bits_needed(value: u64) -> u8 {
+    (64 - value.leading_zeros()) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[u64]) -> Vec<u64> {
+        decode(&encode(values)).unwrap()
+    }
+
+    #[test]
+    fn zeros_pack_to_header_only() {
+        let values = vec![0u64; 1000];
+        let buf = encode(&values);
+        assert!(buf.len() <= 3, "got {}", buf.len());
+        assert_eq!(decode(&buf).unwrap(), values);
+    }
+
+    #[test]
+    fn small_codes_use_few_bits() {
+        let values: Vec<u64> = (0..1000).map(|i| i % 4).collect();
+        let buf = encode(&values);
+        // 2 bits per value + header.
+        assert!(buf.len() <= 1000 / 4 + 4, "got {}", buf.len());
+        assert_eq!(decode(&buf).unwrap(), values);
+    }
+
+    #[test]
+    fn width_is_max_driven() {
+        assert_eq!(bits_needed(0), 0);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(255), 8);
+        assert_eq!(bits_needed(256), 9);
+        assert_eq!(bits_needed(u64::MAX), 64);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(round_trip(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn max_width_values() {
+        let values = vec![u64::MAX, 0, u64::MAX / 2];
+        assert_eq!(round_trip(&values), values);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(decode(&[]).is_none());
+        // Promises 10 values of width 8 but supplies none.
+        assert!(decode(&[10, 8]).is_none());
+        // Width > 64 is invalid.
+        assert!(decode(&[1, 65, 0xFF]).is_none());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn arbitrary_values_round_trip(values in proptest::collection::vec(proptest::num::u64::ANY, 0..300)) {
+            proptest::prop_assert_eq!(round_trip(&values), values);
+        }
+
+        #[test]
+        fn bounded_values_round_trip(values in proptest::collection::vec(0u64..1000, 0..300)) {
+            proptest::prop_assert_eq!(round_trip(&values), values);
+        }
+    }
+}

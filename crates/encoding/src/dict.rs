@@ -1,0 +1,173 @@
+//! String dictionary encoding.
+//!
+//! Denormalized dimension members repeat on every data point in the baseline
+//! formats (Section 7.1 stores the dimensions with the data for ORC, Parquet,
+//! Cassandra and InfluxDB); a dictionary plus bit-packed codes is how the
+//! columnar formats make that repetition nearly free.
+
+use std::collections::HashMap;
+
+use crate::{bitpack, varint};
+
+/// Builds a dictionary incrementally and records the code of every appended
+/// value.
+#[derive(Debug, Default, Clone)]
+pub struct DictEncoder {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+    codes: Vec<u64>,
+}
+
+impl DictEncoder {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one value, interning it if new, and returns its code.
+    pub fn push(&mut self, value: &str) -> u32 {
+        let code = match self.index.get(value) {
+            Some(&c) => c,
+            None => {
+                let c = self.values.len() as u32;
+                self.values.push(value.to_string());
+                self.index.insert(value.to_string(), c);
+                c
+            }
+        };
+        self.codes.push(u64::from(code));
+        code
+    }
+
+    /// Number of distinct values.
+    pub fn distinct(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of appended values.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Serializes as: varint distinct-count, then length-prefixed strings,
+    /// then bit-packed codes.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        varint::write_u64(&mut out, self.values.len() as u64);
+        for v in &self.values {
+            varint::write_u64(&mut out, v.len() as u64);
+            out.extend_from_slice(v.as_bytes());
+        }
+        out.extend_from_slice(&bitpack::encode(&self.codes));
+        out
+    }
+}
+
+/// Decodes a buffer produced by [`DictEncoder::finish`] back into the value
+/// sequence; `None` on malformed input.
+pub fn decode(input: &[u8]) -> Option<Vec<String>> {
+    let mut slice = input;
+    let distinct = varint::read_u64(&mut slice)? as usize;
+    if distinct > (1 << 24) {
+        return None;
+    }
+    let mut dictionary = Vec::with_capacity(distinct);
+    for _ in 0..distinct {
+        let len = varint::read_u64(&mut slice)? as usize;
+        if len > slice.len() {
+            return None;
+        }
+        let (s, rest) = slice.split_at(len);
+        dictionary.push(String::from_utf8(s.to_vec()).ok()?);
+        slice = rest;
+    }
+    let codes = bitpack::decode(slice)?;
+    codes
+        .into_iter()
+        .map(|c| dictionary.get(c as usize).cloned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_members_compress_to_bits() {
+        let mut enc = DictEncoder::new();
+        for i in 0..10_000 {
+            enc.push(if i % 2 == 0 { "Aalborg" } else { "Farsø" });
+        }
+        assert_eq!(enc.distinct(), 2);
+        let buf = enc.finish();
+        // 2 strings + 10000 × 1 bit ≈ 1.3 KB.
+        assert!(buf.len() < 1_500, "got {}", buf.len());
+        let decoded = decode(&buf).unwrap();
+        assert_eq!(decoded.len(), 10_000);
+        assert_eq!(decoded[0], "Aalborg");
+        assert_eq!(decoded[1], "Farsø");
+    }
+
+    #[test]
+    fn single_distinct_value_needs_zero_bits_per_code() {
+        let mut enc = DictEncoder::new();
+        for _ in 0..1_000 {
+            enc.push("Denmark");
+        }
+        let buf = enc.finish();
+        assert!(buf.len() < 32, "got {}", buf.len());
+        assert_eq!(decode(&buf).unwrap().len(), 1_000);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let buf = DictEncoder::new().finish();
+        assert_eq!(decode(&buf).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn codes_are_stable_per_value() {
+        let mut enc = DictEncoder::new();
+        let a = enc.push("x");
+        let b = enc.push("y");
+        let a2 = enc.push("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unicode_values_round_trip() {
+        let mut enc = DictEncoder::new();
+        for v in ["Farsø", "Århus", "København", "Farsø"] {
+            enc.push(v);
+        }
+        let decoded = decode(&enc.finish()).unwrap();
+        assert_eq!(decoded, vec!["Farsø", "Århus", "København", "Farsø"]);
+    }
+
+    #[test]
+    fn corrupt_input_rejected() {
+        assert!(decode(&[]).is_none());
+        let mut enc = DictEncoder::new();
+        enc.push("abc");
+        let buf = enc.finish();
+        assert!(decode(&buf[..buf.len() - 1]).is_none());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn arbitrary_sequences_round_trip(values in proptest::collection::vec("[a-z]{0,12}", 0..200)) {
+            let mut enc = DictEncoder::new();
+            for v in &values {
+                enc.push(v);
+            }
+            let decoded = decode(&enc.finish()).unwrap();
+            proptest::prop_assert_eq!(decoded, values);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! LZSS: an LZ77-family general-purpose byte compressor with hash-chain
+//! match finding.
+//!
+//! The baseline formats need block compression in the role LZ4/Snappy play
+//! for Cassandra/Parquet/ORC, and no compression crate is on the approved
+//! dependency list, so this implements the classic scheme directly: the
+//! stream alternates literal runs and back-references, framed as
+//!
+//! ```text
+//! varint(uncompressed_len)
+//! repeat until uncompressed_len bytes produced:
+//!     varint(literal_len) literal_bytes…
+//!     if more output remains: varint(offset ≥ 1) varint(match_len − MIN_MATCH)
+//! ```
+//!
+//! Matches may overlap their own output (`offset < match_len`), which encodes
+//! runs. Compression is greedy with a bounded hash-chain search.
+
+use bytes::Buf;
+
+use crate::varint;
+
+/// Shortest back-reference worth encoding (offset+len headers cost ~2 bytes).
+const MIN_MATCH: usize = 4;
+/// Longest match emitted; bounds decoder work per token.
+const MAX_MATCH: usize = 1 << 16;
+/// Sliding window: how far back references may reach.
+const WINDOW: usize = 1 << 15;
+/// Hash-chain positions examined per literal before giving up.
+const MAX_CHAIN: usize = 32;
+
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input`. The output of incompressible input is a single
+/// literal run, `input.len()` plus two varint headers.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    varint::write_u64(&mut out, input.len() as u64);
+    if input.is_empty() {
+        return out;
+    }
+
+    let mut head = vec![u32::MAX; 1 << HASH_BITS];
+    let mut prev = vec![u32::MAX; input.len()];
+
+    let mut pos = 0;
+    let mut literal_start = 0;
+    while pos < input.len() {
+        let (match_pos, match_len) = if pos + MIN_MATCH <= input.len() {
+            find_match(input, pos, &head, &prev)
+        } else {
+            (0, 0)
+        };
+
+        if match_len >= MIN_MATCH {
+            // Emit pending literals, then the reference.
+            varint::write_u64(&mut out, (pos - literal_start) as u64);
+            out.extend_from_slice(&input[literal_start..pos]);
+            varint::write_u64(&mut out, (pos - match_pos) as u64);
+            varint::write_u64(&mut out, (match_len - MIN_MATCH) as u64);
+            // Index every position covered by the match so later matches can
+            // reference into it, then jump past the match.
+            let match_end = pos + match_len;
+            let indexable_end = match_end.min(input.len().saturating_sub(MIN_MATCH - 1));
+            while pos < indexable_end {
+                insert(input, pos, &mut head, &mut prev);
+                pos += 1;
+            }
+            pos = match_end;
+            literal_start = pos;
+        } else {
+            if pos + MIN_MATCH <= input.len() {
+                insert(input, pos, &mut head, &mut prev);
+            }
+            pos += 1;
+        }
+    }
+    // Trailing literals.
+    varint::write_u64(&mut out, (pos - literal_start) as u64);
+    out.extend_from_slice(&input[literal_start..pos]);
+    out
+}
+
+#[inline]
+fn insert(input: &[u8], pos: usize, head: &mut [u32], prev: &mut [u32]) {
+    let h = hash4(&input[pos..]);
+    prev[pos] = head[h];
+    head[h] = pos as u32;
+}
+
+fn find_match(input: &[u8], pos: usize, head: &[u32], prev: &[u32]) -> (usize, usize) {
+    let h = hash4(&input[pos..]);
+    let mut candidate = head[h];
+    let mut best_len = 0;
+    let mut best_pos = 0;
+    let limit = input.len();
+    let max_len = (limit - pos).min(MAX_MATCH);
+    let mut chain = 0;
+    while candidate != u32::MAX && chain < MAX_CHAIN {
+        let c = candidate as usize;
+        if pos - c > WINDOW {
+            break;
+        }
+        // Cheap rejection: the byte that would extend the best match.
+        if best_len == 0 || input.get(c + best_len) == input.get(pos + best_len) {
+            let mut len = 0;
+            while len < max_len && input[c + len] == input[pos + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_pos = c;
+                if len >= max_len {
+                    break;
+                }
+            }
+        }
+        candidate = prev[c];
+        chain += 1;
+    }
+    (best_pos, best_len)
+}
+
+/// Decompresses a buffer produced by [`compress`]; `None` on malformed input.
+pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
+    let mut slice = input;
+    let total = varint::read_u64(&mut slice)? as usize;
+    // Guard against absurd length claims on corrupt data.
+    if total > (1 << 32) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let literal_len = varint::read_u64(&mut slice)? as usize;
+        if literal_len > slice.remaining() || out.len() + literal_len > total {
+            return None;
+        }
+        out.extend_from_slice(&slice[..literal_len]);
+        slice = &slice[literal_len..];
+        if out.len() == total {
+            break;
+        }
+        let offset = varint::read_u64(&mut slice)? as usize;
+        let match_len = varint::read_u64(&mut slice)? as usize + MIN_MATCH;
+        if offset == 0 || offset > out.len() || out.len() + match_len > total {
+            return None;
+        }
+        // Byte-wise copy: matches may overlap their own output.
+        let start = out.len() - offset;
+        for i in 0..match_len {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn round_trip(input: &[u8]) -> usize {
+        let compressed = compress(input);
+        let decompressed = decompress(&compressed).unwrap();
+        assert_eq!(decompressed, input, "round trip failed for {} bytes", input.len());
+        compressed.len()
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+        round_trip(b"abcd");
+    }
+
+    #[test]
+    fn repeated_bytes_compress_via_overlap() {
+        let input = vec![7u8; 100_000];
+        let size = round_trip(&input);
+        assert!(size < 64, "run of 100k bytes compressed to {size}");
+    }
+
+    #[test]
+    fn repeated_phrases_compress() {
+        let input: Vec<u8> = b"timestamp,value,entity,park,country;".repeat(1000);
+        let size = round_trip(&input);
+        assert!(size < input.len() / 10, "got {size} of {}", input.len());
+    }
+
+    #[test]
+    fn random_data_stays_close_to_raw() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let input: Vec<u8> = (0..10_000).map(|_| rng.gen()).collect();
+        let size = round_trip(&input);
+        assert!(size <= input.len() + input.len() / 64 + 16, "expansion too large: {size}");
+    }
+
+    #[test]
+    fn long_range_matches_within_window() {
+        let mut input = Vec::new();
+        let phrase: Vec<u8> = (0..255u8).collect();
+        input.extend_from_slice(&phrase);
+        input.extend(std::iter::repeat(0u8).take(WINDOW - 512));
+        input.extend_from_slice(&phrase);
+        round_trip(&input);
+    }
+
+    #[test]
+    fn corrupt_input_rejected() {
+        let compressed = compress(b"hello world hello world hello world");
+        assert!(decompress(&compressed[..compressed.len() / 2]).is_none());
+        assert!(decompress(&[]).is_none());
+        // Claims 100 output bytes but provides nothing.
+        let mut bogus = Vec::new();
+        varint::write_u64(&mut bogus, 100);
+        assert!(decompress(&bogus).is_none());
+        // Back-reference beyond the produced output.
+        let mut bogus = Vec::new();
+        varint::write_u64(&mut bogus, 10);
+        varint::write_u64(&mut bogus, 1); // one literal
+        bogus.push(b'x');
+        varint::write_u64(&mut bogus, 5); // offset 5 > produced 1
+        varint::write_u64(&mut bogus, 0);
+        assert!(decompress(&bogus).is_none());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn arbitrary_bytes_round_trip(input in proptest::collection::vec(proptest::num::u8::ANY, 0..5000)) {
+            round_trip(&input);
+        }
+
+        #[test]
+        fn structured_bytes_round_trip(
+            seed in proptest::num::u64::ANY,
+            phrase_len in 1usize..64,
+            repeats in 1usize..100,
+        ) {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let phrase: Vec<u8> = (0..phrase_len).map(|_| rng.gen_range(0..8u8)).collect();
+            let mut input = Vec::new();
+            for _ in 0..repeats {
+                input.extend_from_slice(&phrase);
+                if rng.gen_bool(0.3) {
+                    input.push(rng.gen());
+                }
+            }
+            round_trip(&input);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! LEB128 variable-length integers and the zigzag signed↔unsigned mapping.
+
+use bytes::{Buf, BufMut};
+
+/// Encodes `value` as LEB128 into `out`.
+pub fn write_u64(out: &mut impl BufMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.put_u8(byte);
+            return;
+        }
+        out.put_u8(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 integer from `input`; `None` on truncated or over-long
+/// (> 10 byte) input.
+pub fn read_u64(input: &mut impl Buf) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !input.has_remaining() || shift >= 70 {
+            return None;
+        }
+        let byte = input.get_u8();
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed integer to an unsigned one with small absolute values
+/// staying small: 0→0, −1→1, 1→2, −2→3, …
+#[inline]
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Encodes a signed integer with zigzag + LEB128.
+pub fn write_i64(out: &mut impl BufMut, value: i64) {
+    write_u64(out, zigzag(value));
+}
+
+/// Decodes a zigzag + LEB128 signed integer.
+pub fn read_i64(input: &mut impl Buf) -> Option<i64> {
+    read_u64(input).map(unzigzag)
+}
+
+/// The number of bytes [`write_u64`] emits for `value`.
+pub fn encoded_len_u64(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_u64(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        assert_eq!(buf.len(), encoded_len_u64(v));
+        read_u64(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn small_values_use_one_byte() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(round_trip_u64(v), v);
+        }
+    }
+
+    #[test]
+    fn boundary_values_round_trip() {
+        for v in [127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(round_trip_u64(v), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_interleaves_signs() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(zigzag(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+    }
+
+    #[test]
+    fn truncated_input_returns_none() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.pop();
+        assert_eq!(read_u64(&mut buf.as_slice()), None);
+        assert_eq!(read_u64(&mut [].as_slice()), None);
+    }
+
+    #[test]
+    fn overlong_input_rejected() {
+        let buf = [0x80u8; 11];
+        assert_eq!(read_u64(&mut buf.as_slice()), None);
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, 1_000_000, -1_000_000, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            assert_eq!(read_i64(&mut buf.as_slice()), Some(v));
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn u64_round_trips(v in proptest::num::u64::ANY) {
+            proptest::prop_assert_eq!(round_trip_u64(v), v);
+        }
+
+        #[test]
+        fn i64_round_trips(v in proptest::num::i64::ANY) {
+            proptest::prop_assert_eq!(unzigzag(zigzag(v)), v);
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            proptest::prop_assert_eq!(read_i64(&mut buf.as_slice()), Some(v));
+        }
+
+        #[test]
+        fn sequences_round_trip(values in proptest::collection::vec(proptest::num::i64::ANY, 0..100)) {
+            let mut buf = Vec::new();
+            for &v in &values {
+                write_i64(&mut buf, v);
+            }
+            let mut slice = buf.as_slice();
+            for &v in &values {
+                proptest::prop_assert_eq!(read_i64(&mut slice), Some(v));
+            }
+            proptest::prop_assert!(slice.is_empty());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Gorilla: lossless XOR float compression (Pelkonen et al., reference
+//! \[28\]), extended for group compression per Section 5.2.
+//!
+//! "For Gorilla, values from data points with the same time stamp are stored
+//! in blocks. As the time series in a group are correlated, n − 1 values in
+//! each block will have only a small delta compared to the first value and
+//! only require a few bits to encode" (Figure 10). The fitter therefore
+//! pushes the group's values timestamp-major into one XOR stream.
+//!
+//! Gorilla accepts any values (it is lossless), so it is the fallback model
+//! that guarantees ingestion always progresses; the Model Length Limit of
+//! Table 1 bounds how many timestamps one instance may absorb.
+
+use mdb_types::{ErrorBound, Timestamp, Value};
+
+use crate::{Fitter, ModelType, SegmentAgg};
+
+/// The Gorilla model type. Parameters: the XOR-compressed value stream.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Gorilla;
+
+impl ModelType for Gorilla {
+    fn name(&self) -> &str {
+        "Gorilla"
+    }
+
+    fn fitter(&self, _bound: ErrorBound, n_series: usize, length_limit: usize) -> Box<dyn Fitter> {
+        Box::new(GorillaFitter {
+            n_series,
+            length_limit,
+            values: Vec::new(),
+            encoder: mdb_encoding::xor::XorEncoder::new(),
+            len: 0,
+        })
+    }
+
+    fn grid(&self, params: &[u8], n_series: usize, count: usize) -> Option<Vec<Value>> {
+        mdb_encoding::xor::decode_all(params, count * n_series)
+    }
+
+    fn agg(
+        &self,
+        _params: &[u8],
+        _n_series: usize,
+        _count: usize,
+        _range: (usize, usize),
+        _series: usize,
+    ) -> Option<SegmentAgg> {
+        // No closed form: the query engine reconstructs the values.
+        None
+    }
+}
+
+struct GorillaFitter {
+    n_series: usize,
+    length_limit: usize,
+    /// Raw values, timestamp-major, kept so `params()` can re-encode a
+    /// prefix; the multi-model adapter of Section 5.1 relies on truncation
+    /// ("the leftover parameters should be deleted", Figure 9 case III).
+    values: Vec<Value>,
+    /// Streaming encoder mirroring `values`, for O(1) `byte_size`.
+    encoder: mdb_encoding::xor::XorEncoder,
+    len: usize,
+}
+
+impl Fitter for GorillaFitter {
+    fn append(&mut self, _timestamp: Timestamp, values: &[Value]) -> bool {
+        debug_assert_eq!(values.len(), self.n_series);
+        if self.len >= self.length_limit {
+            return false;
+        }
+        for &v in values {
+            self.values.push(v);
+            self.encoder.push(v);
+        }
+        self.len += 1;
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn params(&self) -> Vec<u8> {
+        mdb_encoding::xor::encode_all(&self.values[..self.len * self.n_series])
+    }
+
+    fn byte_size(&self) -> usize {
+        self.encoder.byte_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdb_types::ErrorBound;
+
+    #[test]
+    fn lossless_round_trip_of_arbitrary_rows() {
+        let rows = [
+            vec![187.5f32, 175.5, 189.7],
+            vec![-182.8, 0.0, 184.0],
+            vec![f32::MAX, f32::MIN, 1e-30],
+        ];
+        let mut f = Gorilla.fitter(ErrorBound::Lossless, 3, 50);
+        for (t, row) in rows.iter().enumerate() {
+            assert!(f.append(t as i64 * 100, row));
+        }
+        let grid = Gorilla.grid(&f.params(), 3, 3).unwrap();
+        for (t, row) in rows.iter().enumerate() {
+            for (s, &v) in row.iter().enumerate() {
+                assert_eq!(grid[t * 3 + s].to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn length_limit_stops_acceptance() {
+        let mut f = Gorilla.fitter(ErrorBound::Lossless, 1, 2);
+        assert!(f.append(0, &[1.0]));
+        assert!(f.append(100, &[2.0]));
+        assert!(!f.append(200, &[3.0]));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn byte_size_tracks_stream_growth() {
+        let mut f = Gorilla.fitter(ErrorBound::Lossless, 2, 50);
+        assert!(f.append(0, &[1.0, 1.0]));
+        let s1 = f.byte_size();
+        assert!(f.append(100, &[500.0, -500.0]));
+        assert!(f.byte_size() > s1);
+        // Estimate matches the serialized prefix when nothing is truncated.
+        assert_eq!(f.byte_size(), f.params().len());
+    }
+
+    #[test]
+    fn correlated_groups_encode_smaller_than_uncorrelated() {
+        let mut correlated = Gorilla.fitter(ErrorBound::Lossless, 4, 50);
+        let mut uncorrelated = Gorilla.fitter(ErrorBound::Lossless, 4, 50);
+        for t in 0..50i64 {
+            let base = (t as f32 * 0.1).sin() * 10.0 + 100.0;
+            correlated.append(t * 100, &[base, base + 0.01, base + 0.02, base - 0.01]);
+            uncorrelated.append(
+                t * 100,
+                &[base, base * -37.3 + 11.1, (t as f32).exp().fract() * 1e6, 1.0 / (t as f32 + 0.7)],
+            );
+        }
+        assert!(correlated.byte_size() < uncorrelated.byte_size());
+    }
+
+    #[test]
+    fn agg_defers_to_grid() {
+        assert!(Gorilla.agg(&[], 1, 10, (0, 9), 0).is_none());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn grid_round_trips_any_values(
+            rows in proptest::collection::vec(proptest::collection::vec(proptest::num::f32::ANY, 3), 1..40)
+        ) {
+            let mut f = Gorilla.fitter(ErrorBound::Lossless, 3, 100);
+            for (t, row) in rows.iter().enumerate() {
+                proptest::prop_assert!(f.append(t as i64, row));
+            }
+            let grid = Gorilla.grid(&f.params(), 3, rows.len()).unwrap();
+            for (t, row) in rows.iter().enumerate() {
+                for (s, &v) in row.iter().enumerate() {
+                    proptest::prop_assert_eq!(grid[t * 3 + s].to_bits(), v.to_bits());
+                }
+            }
+        }
+    }
+}

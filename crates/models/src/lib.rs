@@ -1,0 +1,205 @@
+//! Model types for Multi-Model Group Compression (Sections 3.2, 5).
+//!
+//! A *model* (Definition 4) is a pair of functions `(mest, merr)` from which
+//! the data points of a bounded time series — here, a time series *group* —
+//! can be reconstructed within a known error bound. ModelarDB+ treats models
+//! as black boxes behind a common interface so user-defined models can be
+//! added without recompiling the system (Section 3.1); this crate defines
+//! that interface and the three models distributed with ModelarDB+ Core,
+//! extended for group compression as described in Section 5.2:
+//!
+//! * [`pmc::PmcMean`] — constant functions (Lazaridis & Mehrotra, \[25\]).
+//!   For a group, the set of values `V` at each timestamp collapses to
+//!   `(min(V), max(V))`; the model stores one average within `ε` of both.
+//! * [`swing::Swing`] — linear functions (Elmeleegy et al., \[15\]). The
+//!   initial point is computed like PMC; afterwards each timestamp appends
+//!   the interval all group values allow, swinging the slope bounds.
+//! * [`gorilla::Gorilla`] — lossless XOR compression (Pelkonen et al.,
+//!   \[28\]), storing the group's values in time-ordered blocks so
+//!   correlated series XOR into few bits.
+//!
+//! [`multi::PerSeries`] is the baseline method of Section 5.1 that upgrades
+//! *any* single-series model to group compression by fitting one sub-model
+//! per series inside a single segment (including the `te` truncation of
+//! Figure 9, case III).
+
+pub mod gorilla;
+pub mod multi;
+pub mod pmc;
+pub mod registry;
+pub mod swing;
+
+use mdb_types::{ErrorBound, Timestamp, Value};
+
+pub use registry::{ModelRegistry, MID_GORILLA, MID_PMC_MEAN, MID_SWING};
+
+/// The size in bytes a raw data point is accounted as when computing
+/// compression ratios: 8-byte timestamp + 4-byte value + 4-byte tid, the
+/// uncompressed layout of the Data Point View.
+pub const RAW_DATA_POINT_BYTES: usize = 16;
+
+/// The fixed per-segment header the storage layer adds around the model
+/// parameters (see `SegmentRecord::storage_bytes`).
+pub const SEGMENT_HEADER_BYTES: usize = 25;
+
+/// An online fitter for one model type over one time series group.
+///
+/// The ingestion loop of Section 3.2 appends the group's values one sampling
+/// interval at a time. `append` is atomic: it either extends the model by one
+/// timestamp and returns `true`, or returns `false` and leaves the fitter
+/// representing exactly the previously accepted timestamps (so `params` stays
+/// valid after a failed append — the Figure 9 contract).
+pub trait Fitter {
+    /// Tries to extend the model with the group's values at `timestamp`
+    /// (`values[i]` belongs to the `i`-th series represented by the segment).
+    fn append(&mut self, timestamp: Timestamp, values: &[Value]) -> bool;
+
+    /// The number of timestamps currently represented.
+    fn len(&self) -> usize;
+
+    /// True before anything was accepted.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the model parameters representing the accepted timestamps.
+    fn params(&self) -> Vec<u8>;
+
+    /// The (possibly estimated) size of `params()` in bytes, used to select
+    /// the model with the best compression ratio without serializing all
+    /// candidates.
+    fn byte_size(&self) -> usize;
+}
+
+/// Constant-time aggregate values over a slice of a segment, produced without
+/// reconstructing data points (Section 6.1: "SUM on a linear model uses
+/// constant time").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentAgg {
+    /// Sum of the values in the range.
+    pub sum: f64,
+    /// Minimum value in the range.
+    pub min: Value,
+    /// Maximum value in the range.
+    pub max: Value,
+}
+
+/// A model type: a factory for fitters plus the decoding half of the black
+/// box. Implement this trait (and register it) to add a user-defined model.
+pub trait ModelType: Send + Sync {
+    /// A short stable name (the `Classpath` column of the Model table in
+    /// Figure 6 plays this role in the paper).
+    fn name(&self) -> &str;
+
+    /// Creates a fitter for a group segment of `n_series` series under
+    /// `bound`. `length_limit` is the Model Length Limit of Table 1: the
+    /// maximum number of timestamps one model may represent.
+    fn fitter(&self, bound: ErrorBound, n_series: usize, length_limit: usize) -> Box<dyn Fitter>;
+
+    /// Reconstructs all values of a segment with the given `params`:
+    /// the result is timestamp-major, `out[t * n_series + s]` being the value
+    /// of the `s`-th represented series at the `t`-th timestamp.
+    fn grid(&self, params: &[u8], n_series: usize, count: usize) -> Option<Vec<Value>>;
+
+    /// Constant-time aggregation over the timestamp indexes
+    /// `range.0 ..= range.1` for the series at `series` position, if this
+    /// model supports it. Returning `None` makes the query engine fall back
+    /// to [`ModelType::grid`].
+    fn agg(
+        &self,
+        params: &[u8],
+        n_series: usize,
+        count: usize,
+        range: (usize, usize),
+        series: usize,
+    ) -> Option<SegmentAgg>;
+}
+
+/// Intersects the intervals of acceptable approximations for all values of a
+/// group at one timestamp: a single representative value `r` can stand in for
+/// every `v` in `values` iff `lo ≤ r ≤ hi`.
+///
+/// This is the reduction of Section 5.2: only the extreme values can
+/// invalidate a model, so the set `V` collapses to a range — here generalized
+/// to relative bounds by intersecting per-value intervals. Returns `None`
+/// when no single value can represent them all (or any value is non-finite).
+pub fn allowed_interval(bound: &ErrorBound, values: &[Value]) -> Option<(f64, f64)> {
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    for &v in values {
+        if !v.is_finite() {
+            return None;
+        }
+        let (l, h) = bound.interval_for(v);
+        lo = lo.max(l);
+        hi = hi.min(h);
+        if lo > hi {
+            return None;
+        }
+    }
+    if values.is_empty() {
+        None
+    } else {
+        Some((lo, hi))
+    }
+}
+
+/// The compression ratio used for model selection (step iii of Section 3.2):
+/// raw bytes represented divided by stored bytes.
+pub fn compression_ratio(timestamps: usize, n_series: usize, stored_bytes: usize) -> f64 {
+    if stored_bytes == 0 {
+        return 0.0;
+    }
+    (timestamps * n_series * RAW_DATA_POINT_BYTES) as f64 / stored_bytes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowed_interval_intersects_per_value_bounds() {
+        let b = ErrorBound::absolute(1.0);
+        // [9, 11] ∩ [10, 12] = [10, 11].
+        let (lo, hi) = allowed_interval(&b, &[10.0, 11.0]).unwrap();
+        assert_eq!((lo, hi), (10.0, 11.0));
+        // Exactly 2ε apart: a single representative remains (§5.2's
+        // max(V) − min(V) = 2ε maximum range).
+        let (lo, hi) = allowed_interval(&b, &[10.0, 12.0]).unwrap();
+        assert_eq!((lo, hi), (11.0, 11.0));
+        // Values further apart than 2ε: no representative exists.
+        assert!(allowed_interval(&b, &[10.0, 12.5]).is_none());
+    }
+
+    #[test]
+    fn allowed_interval_relative_bound() {
+        let b = ErrorBound::relative(10.0);
+        let (lo, hi) = allowed_interval(&b, &[100.0, 110.0]).unwrap();
+        assert!(lo <= hi);
+        assert!(lo >= 99.0 && hi <= 110.0 + 11.0);
+    }
+
+    #[test]
+    fn allowed_interval_rejects_non_finite_and_empty() {
+        let b = ErrorBound::relative(10.0);
+        assert!(allowed_interval(&b, &[f32::NAN]).is_none());
+        assert!(allowed_interval(&b, &[1.0, f32::INFINITY]).is_none());
+        assert!(allowed_interval(&b, &[]).is_none());
+    }
+
+    #[test]
+    fn allowed_interval_lossless_requires_equality() {
+        let b = ErrorBound::Lossless;
+        assert!(allowed_interval(&b, &[5.0, 5.0]).is_some());
+        assert!(allowed_interval(&b, &[5.0, 5.000001]).is_none());
+    }
+
+    #[test]
+    fn compression_ratio_scales_with_group_size() {
+        // One 25+4 byte PMC segment representing 50 timestamps of 3 series.
+        let one = compression_ratio(50, 1, 29);
+        let three = compression_ratio(50, 3, 29);
+        assert!((three / one - 3.0).abs() < 1e-9);
+        assert_eq!(compression_ratio(10, 1, 0), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Assignment of groups to worker nodes.
+//!
+//! "To prevent data skew, each group is assigned to the worker with the most
+//! available resources" (Section 3.1). The load of a group is its data rate —
+//! members divided by sampling interval — and groups are placed greedily,
+//! heaviest first, onto the least-loaded worker (LPT scheduling). Because
+//! each group lives on exactly one node, ingestion and queries never shuffle
+//! data between nodes, which is what makes the scale-out of Figure 20 linear.
+
+use mdb_types::GroupMeta;
+
+/// Assigns each group to a worker in `0..n_workers`; `result[i]` is the
+/// worker of `groups[i]`.
+pub fn assign_workers(groups: &[GroupMeta], n_workers: usize) -> Vec<usize> {
+    assert!(n_workers > 0, "need at least one worker");
+    // Load = data points per second.
+    let load = |g: &GroupMeta| g.size() as f64 / (g.sampling_interval.max(1) as f64 / 1000.0);
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.sort_by(|&a, &b| {
+        load(&groups[b])
+            .partial_cmp(&load(&groups[a]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(groups[a].gid.cmp(&groups[b].gid))
+    });
+    let mut worker_load = vec![0.0f64; n_workers];
+    let mut assignment = vec![0usize; groups.len()];
+    for idx in order {
+        let (worker, _) = worker_load
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .unwrap();
+        assignment[idx] = worker;
+        worker_load[worker] += load(&groups[idx]);
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdb_types::TimeSeriesMeta;
+
+    fn group(gid: u32, tids: std::ops::RangeInclusive<u32>, si: i64) -> GroupMeta {
+        let tids: Vec<u32> = tids.collect();
+        let metas: Vec<TimeSeriesMeta> = tids.iter().map(|&t| TimeSeriesMeta::new(t, si)).collect();
+        GroupMeta::new(gid, tids, &metas).unwrap()
+    }
+
+    #[test]
+    fn single_worker_takes_everything() {
+        let groups = vec![group(1, 1..=3, 100), group(2, 4..=4, 100)];
+        assert_eq!(assign_workers(&groups, 1), vec![0, 0]);
+    }
+
+    #[test]
+    fn heaviest_groups_spread_first() {
+        // Four equal groups over two workers → two each.
+        let groups = vec![
+            group(1, 1..=2, 100),
+            group(2, 3..=4, 100),
+            group(3, 5..=6, 100),
+            group(4, 7..=8, 100),
+        ];
+        let a = assign_workers(&groups, 2);
+        let w0 = a.iter().filter(|&&w| w == 0).count();
+        assert_eq!(w0, 2, "{a:?}");
+    }
+
+    #[test]
+    fn load_accounts_for_sampling_interval() {
+        // One fast single-series group (100 ms) produces 10 points/s; six
+        // slow series (60 s) produce 0.1 points/s. The fast group should sit
+        // alone on its worker.
+        let groups = vec![group(1, 1..=1, 100), group(2, 2..=7, 60_000), group(3, 8..=13, 60_000)];
+        let a = assign_workers(&groups, 2);
+        assert_ne!(a[1], a[0]);
+        assert_ne!(a[2], a[0]);
+        assert_eq!(a[1], a[2]);
+    }
+
+    #[test]
+    fn more_workers_than_groups() {
+        let groups = vec![group(1, 1..=1, 100)];
+        let a = assign_workers(&groups, 8);
+        assert_eq!(a.len(), 1);
+        assert!(a[0] < 8);
+    }
+
+    #[test]
+    fn deterministic_for_equal_loads() {
+        let groups = vec![group(1, 1..=1, 100), group(2, 2..=2, 100), group(3, 3..=3, 100)];
+        let a1 = assign_workers(&groups, 3);
+        let a2 = assign_workers(&groups, 3);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        assign_workers(&[], 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn loads_are_balanced(n_groups in 1usize..40, n_workers in 1usize..8) {
+            let groups: Vec<GroupMeta> = (0..n_groups)
+                .map(|i| group(i as u32 + 1, (i as u32 * 2 + 1)..=(i as u32 * 2 + 2), 1000))
+                .collect();
+            let a = assign_workers(&groups, n_workers);
+            let mut per_worker = vec![0usize; n_workers];
+            for (g, &w) in groups.iter().zip(&a) {
+                per_worker[w] += g.size();
+            }
+            let max = per_worker.iter().max().unwrap();
+            let min = per_worker.iter().min().unwrap();
+            // All groups weigh the same here, so imbalance ≤ one group.
+            proptest::prop_assert!(max - min <= 2, "{:?}", per_worker);
+        }
+    }
+}

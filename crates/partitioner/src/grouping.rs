@@ -1,0 +1,445 @@
+//! Algorithm 1 (fixpoint grouping) and Algorithm 2 (dimensional distance).
+
+use std::collections::HashMap;
+
+use mdb_types::{Dimensions, Gid, MdbError, Result, Tid, TimeSeriesMeta, MAX_GROUP_SIZE};
+
+use crate::spec::{CorrelationPrimitive, CorrelationSpec, ScalingHint};
+
+/// The output of partitioning: groups of tids, gid assignments, and the
+/// scaling constant per tid derived from the user hints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partitioning {
+    /// Groups in gid order; `groups[g]` belongs to gid `g + 1`.
+    pub groups: Vec<Vec<Tid>>,
+    /// Scaling constants, parallel to `groups`.
+    pub scaling: Vec<Vec<f64>>,
+}
+
+impl Partitioning {
+    /// The gid of `tid`, if any.
+    pub fn gid_of(&self, tid: Tid) -> Option<Gid> {
+        self.groups
+            .iter()
+            .position(|g| g.contains(&tid))
+            .map(|i| (i + 1) as Gid)
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True if no groups were formed.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// The rule of thumb of Section 4.1: the lowest non-zero distance for a data
+/// set, `(1 / max(Levels)) / |Dimensions|`.
+pub fn lowest_distance(dimensions: &Dimensions) -> f64 {
+    let max_levels = dimensions.schemas().iter().map(|s| s.height()).max().unwrap_or(1);
+    (1.0 / max_levels as f64) / dimensions.len().max(1) as f64
+}
+
+/// Algorithm 2: the normalized distance between two groups of time series.
+///
+/// For each dimension the per-dimension distance is
+/// `(height − lca_level) / height`, multiplied by the dimension's
+/// user-defined weight; the sum is normalized by the number of dimensions and
+/// clamped to 1.0.
+pub fn distance(
+    dimensions: &Dimensions,
+    spec: &CorrelationSpec,
+    group_a: &[Tid],
+    group_b: &[Tid],
+) -> f64 {
+    if dimensions.is_empty() {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    for (d, schema) in dimensions.schemas().iter().enumerate() {
+        let ancestor = dimensions.lca_level(group_a, group_b, d);
+        let height = schema.height() as f64;
+        let weight = spec.weight(schema.name());
+        let dist = (height - ancestor as f64) / height;
+        sum += weight * dist;
+    }
+    let normalized = sum / dimensions.len() as f64;
+    normalized.min(1.0)
+}
+
+/// Evaluates whether two groups are correlated under `spec` (the
+/// `correlated` check of Algorithm 1): any clause whose primitives are all
+/// satisfied makes the pair correlated.
+pub fn correlated(
+    dimensions: &Dimensions,
+    spec: &CorrelationSpec,
+    sources: &HashMap<Tid, String>,
+    group_a: &[Tid],
+    group_b: &[Tid],
+) -> bool {
+    spec.clauses.iter().any(|clause| {
+        clause.primitives.iter().all(|p| {
+            primitive_holds(dimensions, spec, sources, group_a, group_b, p)
+        })
+    })
+}
+
+fn primitive_holds(
+    dimensions: &Dimensions,
+    spec: &CorrelationSpec,
+    sources: &HashMap<Tid, String>,
+    group_a: &[Tid],
+    group_b: &[Tid],
+    primitive: &CorrelationPrimitive,
+) -> bool {
+    match primitive {
+        CorrelationPrimitive::TimeSeries(names) => group_a
+            .iter()
+            .chain(group_b)
+            .all(|tid| sources.get(tid).is_some_and(|s| names.iter().any(|n| n == s))),
+        CorrelationPrimitive::Member { dimension, level, member } => {
+            let Some(d) = dimensions.dimension_id(dimension) else { return false };
+            let Some(m) = dimensions.member_id(member) else { return false };
+            group_a
+                .iter()
+                .chain(group_b)
+                .all(|&tid| dimensions.member(tid, d, *level) == Some(m))
+        }
+        CorrelationPrimitive::LcaLevel { dimension, level } => {
+            let Some(d) = dimensions.dimension_id(dimension) else { return false };
+            let height = dimensions.schemas()[d].height() as i32;
+            let required = if *level > 0 {
+                *level
+            } else if *level == 0 {
+                // All levels must be equal.
+                height
+            } else {
+                // All but the lowest |n| levels must be equal.
+                (height + *level).max(0)
+            };
+            dimensions.lca_level(group_a, group_b, d) as i32 >= required
+        }
+        CorrelationPrimitive::Distance(threshold) => {
+            distance(dimensions, spec, group_a, group_b) <= *threshold
+        }
+    }
+}
+
+/// Algorithm 1: partitions `series` into groups of correlated time series.
+///
+/// Starting from one group per series, pairs of groups are merged whenever
+/// `correlated` holds, until a fixpoint. Two system constraints guard the
+/// merge beyond the user hints: members must share a sampling interval
+/// (Definition 8) and groups may not exceed [`MAX_GROUP_SIZE`].
+pub fn partition(
+    series: &[TimeSeriesMeta],
+    dimensions: &Dimensions,
+    spec: &CorrelationSpec,
+    sources: &HashMap<Tid, String>,
+) -> Result<Partitioning> {
+    let mut groups: Vec<Vec<Tid>> = series.iter().map(|m| vec![m.tid]).collect();
+    let si: HashMap<Tid, i64> = series.iter().map(|m| (m.tid, m.sampling_interval)).collect();
+    if si.len() != series.len() {
+        return Err(MdbError::Config("duplicate tids in partitioning input".into()));
+    }
+
+    let mut modified = true;
+    while modified {
+        modified = false;
+        'pairs: for a in 0..groups.len() {
+            for b in (a + 1)..groups.len() {
+                if groups[a].len() + groups[b].len() > MAX_GROUP_SIZE {
+                    continue;
+                }
+                if si[&groups[a][0]] != si[&groups[b][0]] {
+                    continue;
+                }
+                if correlated(dimensions, spec, sources, &groups[a], &groups[b]) {
+                    let merged = groups.swap_remove(b);
+                    groups[a].extend(merged);
+                    modified = true;
+                    break 'pairs;
+                }
+            }
+        }
+    }
+
+    // Deterministic output: sort members within groups and groups by their
+    // smallest member, so partitioning does not depend on iteration order.
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    groups.sort_by_key(|g| g[0]);
+
+    let scaling = groups
+        .iter()
+        .map(|g| g.iter().map(|&tid| scaling_for(tid, dimensions, spec, sources)).collect())
+        .collect();
+    Ok(Partitioning { groups, scaling })
+}
+
+fn scaling_for(
+    tid: Tid,
+    dimensions: &Dimensions,
+    spec: &CorrelationSpec,
+    sources: &HashMap<Tid, String>,
+) -> f64 {
+    for hint in &spec.scaling {
+        match hint {
+            ScalingHint::Series { name, factor } => {
+                if sources.get(&tid).is_some_and(|s| s == name) {
+                    return *factor;
+                }
+            }
+            ScalingHint::Member { dimension, level, member, factor } => {
+                let Some(d) = dimensions.dimension_id(dimension) else { continue };
+                let Some(m) = dimensions.member_id(member) else { continue };
+                if dimensions.member(tid, d, *level) == Some(m) {
+                    return *factor;
+                }
+            }
+        }
+    }
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdb_types::DimensionSchema;
+
+    /// The wind-turbine setup of Figure 7 plus a Measure dimension.
+    fn setup() -> (Vec<TimeSeriesMeta>, Dimensions, HashMap<Tid, String>) {
+        let mut dims = Dimensions::new();
+        let loc = dims
+            .add_dimension(
+                DimensionSchema::from_leaf_up(
+                    "Location",
+                    vec!["Turbine".into(), "Park".into(), "Region".into(), "Country".into()],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let measure = dims
+            .add_dimension(DimensionSchema::new("Measure", vec!["Category".into(), "Concrete".into()]).unwrap())
+            .unwrap();
+        dims.set_members(1, loc, &["Denmark", "Nordjylland", "Farsø", "9572"]).unwrap();
+        dims.set_members(2, loc, &["Denmark", "Nordjylland", "Aalborg", "9632"]).unwrap();
+        dims.set_members(3, loc, &["Denmark", "Nordjylland", "Aalborg", "9634"]).unwrap();
+        for tid in 1..=3 {
+            dims.set_members(tid, measure, &["Temperature", "NacelleTemp"]).unwrap();
+        }
+        let series = (1..=3).map(|t| TimeSeriesMeta::new(t, 60_000)).collect();
+        let sources: HashMap<Tid, String> =
+            (1..=3).map(|t| (t, format!("turbine{t}.gz"))).collect();
+        (series, dims, sources)
+    }
+
+    #[test]
+    fn paper_distance_example() {
+        // §4.1: the normalized Location distance between Tid 2 and Tid 3 is
+        // 1.0 × ((4 − 3)/4) = 0.25 — here averaged with the fully shared
+        // Measure dimension (distance 0), giving 0.125 over two dimensions.
+        let (_, dims, _) = setup();
+        let spec = CorrelationSpec::none();
+        let d = distance(&dims, &spec, &[2], &[3]);
+        assert!((d - 0.125).abs() < 1e-9, "{d}");
+        // Same-park series vs the Farsø turbine: Location (4-2)/4 = 0.5.
+        let d = distance(&dims, &spec, &[1], &[3]);
+        assert!((d - 0.25).abs() < 1e-9, "{d}");
+        // A group compared with itself is at distance 0.
+        assert_eq!(distance(&dims, &spec, &[2], &[2]), 0.0);
+    }
+
+    #[test]
+    fn weights_increase_distance_and_clamp_to_one() {
+        let (_, dims, _) = setup();
+        let mut spec = CorrelationSpec::none();
+        spec.weights.insert("Location".into(), 8.0);
+        let d = distance(&dims, &spec, &[2], &[3]);
+        // 8.0 × 0.25 / 2 = 1.0 exactly; larger weights clamp.
+        assert!((d - 1.0).abs() < 1e-9);
+        spec.weights.insert("Location".into(), 80.0);
+        assert_eq!(distance(&dims, &spec, &[2], &[3]), 1.0);
+    }
+
+    #[test]
+    fn lowest_distance_rule_of_thumb() {
+        let (_, dims, _) = setup();
+        // max(Levels) = 4, |Dimensions| = 2 → (1/4)/2 = 0.125.
+        assert!((lowest_distance(&dims) - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_clause_groups_co_located_turbines() {
+        let (series, dims, sources) = setup();
+        // Distance 0.125 groups only the two Aalborg turbines (LCA = Park).
+        let spec = CorrelationSpec::distance(0.125);
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.groups, vec![vec![1], vec![2, 3]]);
+        assert_eq!(p.gid_of(2), Some(2));
+        assert_eq!(p.gid_of(1), Some(1));
+        // Distance 0.25 also merges the Farsø turbine (LCA = Region).
+        let spec = CorrelationSpec::distance(0.25);
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.groups, vec![vec![1, 2, 3]]);
+        // Distance 0 groups nothing across parks/turbines.
+        let spec = CorrelationSpec::distance(0.0);
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn member_triple_clause() {
+        let (series, dims, sources) = setup();
+        let mut spec = CorrelationSpec::none();
+        spec.add_clause("Measure 1 Temperature").unwrap();
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.groups, vec![vec![1, 2, 3]]);
+        // A member nobody has groups nothing.
+        let mut spec = CorrelationSpec::none();
+        spec.add_clause("Measure 1 Pressure").unwrap();
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn lca_level_clause_semantics() {
+        let (series, dims, sources) = setup();
+        // "Location 3": LCA ≥ 3 (same park) → Aalborg turbines only.
+        let mut spec = CorrelationSpec::none();
+        spec.add_clause("Location 3").unwrap();
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.groups, vec![vec![1], vec![2, 3]]);
+        // "Location 0": all levels equal → nothing merges (turbine differs).
+        let mut spec = CorrelationSpec::none();
+        spec.add_clause("Location 0").unwrap();
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.len(), 3);
+        // "Location -1": all but the lowest level → same park again.
+        let mut spec = CorrelationSpec::none();
+        spec.add_clause("Location -1").unwrap();
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.groups, vec![vec![1], vec![2, 3]]);
+        // "Location -3": only the Country level must match → everything.
+        let mut spec = CorrelationSpec::none();
+        spec.add_clause("Location -3").unwrap();
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.groups, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn explicit_series_clause() {
+        let (series, dims, sources) = setup();
+        let mut spec = CorrelationSpec::none();
+        spec.add_clause("series turbine1.gz turbine2.gz").unwrap();
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.groups, vec![vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn clauses_or_primitives_and() {
+        let (series, dims, sources) = setup();
+        // Clause: same park AND Temperature measure (both hold for 2,3).
+        let mut spec = CorrelationSpec::none();
+        spec.add_clause("Location 3; Measure 1 Temperature").unwrap();
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.groups, vec![vec![1], vec![2, 3]]);
+        // Add an OR clause that also pulls in turbine 1 explicitly.
+        spec.add_clause("series turbine1.gz turbine2.gz turbine3.gz").unwrap();
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.groups, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn mixed_sampling_intervals_never_merge() {
+        let (mut series, dims, sources) = setup();
+        series[0].sampling_interval = 100; // tid 1 samples at 100 ms
+        let spec = CorrelationSpec::distance(1.0); // everything correlated
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.groups, vec![vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn empty_spec_yields_singleton_groups() {
+        let (series, dims, sources) = setup();
+        let p = partition(&series, &dims, &CorrelationSpec::none(), &sources).unwrap();
+        assert_eq!(p.groups, vec![vec![1], vec![2], vec![3]]);
+        assert_eq!(p.scaling, vec![vec![1.0], vec![1.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn scaling_hints_resolve_per_tid() {
+        let (series, dims, sources) = setup();
+        let mut spec = CorrelationSpec::distance(0.25);
+        spec.scaling.push(ScalingHint::Member {
+            dimension: "Location".into(),
+            level: 3,
+            member: "Aalborg".into(),
+            factor: 2.0,
+        });
+        spec.scaling.push(ScalingHint::Series { name: "turbine1.gz".into(), factor: 4.75 });
+        let p = partition(&series, &dims, &spec, &sources).unwrap();
+        assert_eq!(p.groups, vec![vec![1, 2, 3]]);
+        assert_eq!(p.scaling, vec![vec![4.75, 2.0, 2.0]]);
+    }
+
+    #[test]
+    fn group_size_cap_respected() {
+        let mut dims = Dimensions::new();
+        let d = dims
+            .add_dimension(DimensionSchema::new("Site", vec!["Name".into()]).unwrap())
+            .unwrap();
+        let n = MAX_GROUP_SIZE + 10;
+        let series: Vec<TimeSeriesMeta> = (1..=n as u32).map(|t| TimeSeriesMeta::new(t, 100)).collect();
+        for t in 1..=n as u32 {
+            dims.set_members(t, d, &["same"]).unwrap();
+        }
+        let spec = CorrelationSpec::distance(1.0);
+        let p = partition(&series, &dims, &spec, &HashMap::new()).unwrap();
+        assert!(p.groups.iter().all(|g| g.len() <= MAX_GROUP_SIZE));
+        let total: usize = p.groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn duplicate_tids_rejected() {
+        let series = vec![TimeSeriesMeta::new(1, 100), TimeSeriesMeta::new(1, 100)];
+        let dims = Dimensions::new();
+        assert!(partition(&series, &dims, &CorrelationSpec::none(), &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn distance_grouping_is_independent_of_input_order() {
+        let (series, dims, sources) = setup();
+        let spec = CorrelationSpec::distance(0.125);
+        let forward = partition(&series, &dims, &spec, &sources).unwrap();
+        let mut reversed_input = series.clone();
+        reversed_input.reverse();
+        let reversed = partition(&reversed_input, &dims, &spec, &sources).unwrap();
+        assert_eq!(forward.groups, reversed.groups);
+        assert_eq!(forward.scaling, reversed.scaling);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn partition_is_a_partition(n in 1usize..20, threshold in 0.0f64..1.0) {
+            let mut dims = Dimensions::new();
+            let d = dims.add_dimension(DimensionSchema::new("Site", vec!["Park".into(), "Unit".into()]).unwrap()).unwrap();
+            let series: Vec<TimeSeriesMeta> = (1..=n as u32).map(|t| TimeSeriesMeta::new(t, 100)).collect();
+            for t in 1..=n as u32 {
+                let park = format!("park{}", t % 3);
+                let unit = format!("unit{t}");
+                dims.set_members(t, d, &[&park, &unit]).unwrap();
+            }
+            let spec = CorrelationSpec::distance(threshold);
+            let p = partition(&series, &dims, &spec, &HashMap::new()).unwrap();
+            let mut all: Vec<Tid> = p.groups.iter().flatten().copied().collect();
+            all.sort_unstable();
+            proptest::prop_assert_eq!(all, (1..=n as u32).collect::<Vec<_>>());
+        }
+    }
+}

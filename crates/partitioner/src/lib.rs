@@ -1,0 +1,16 @@
+//! Partitioning of time series into groups of correlated series (Section 4).
+//!
+//! Computing correlation from historical data is infeasible at scale (50,000
+//! series already yield ~1.25 × 10⁹ pairs), so ModelarDB+ partitions using
+//! only metadata: a set of user-hint *primitives* describing correlation
+//! ([`spec`]), combined by [`grouping`] with Algorithm 1 (fixpoint pairwise
+//! merging) and Algorithm 2 (normalized dimensional distance). [`assign`]
+//! spreads the resulting groups over workers to prevent data skew.
+
+pub mod assign;
+pub mod grouping;
+pub mod spec;
+
+pub use assign::assign_workers;
+pub use grouping::{lowest_distance, partition, Partitioning};
+pub use spec::{CorrelationClause, CorrelationPrimitive, CorrelationSpec, ScalingHint};

@@ -1,0 +1,320 @@
+//! Correlation primitives and their configuration-file syntax (Section 4.1).
+//!
+//! Primitives are written in `modelardb.correlation` clauses. Within a
+//! clause, primitives are separated by `;` and combined with AND; multiple
+//! clauses are combined with OR. The concrete grammar per primitive:
+//!
+//! ```text
+//! series <name> <name> …          explicit sets of time series (by source)
+//! <dimension> <level> <member>    series sharing <member> at <level>
+//! <dimension> <lca-level>         LCA level ≥ n (0: all levels must equal;
+//!                                 −n: all but the lowest n levels)
+//! distance <d>    or just  <d>    normalized dimensional distance ≤ d
+//! ```
+//!
+//! Auxiliary settings:
+//!
+//! ```text
+//! modelardb.correlation.weight  = <dimension> <w>
+//! modelardb.correlation.scaling = <dimension> <level> <member> <factor>
+//! modelardb.correlation.scaling = series <name> <factor>
+//! ```
+
+use std::collections::HashMap;
+
+use mdb_types::{MdbError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One correlation primitive (Section 4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CorrelationPrimitive {
+    /// An explicit set of time series identified by their source names; all
+    /// members of both groups must belong to the set.
+    TimeSeries(Vec<String>),
+    /// Series sharing `member` at `level` of `dimension` are correlated.
+    Member { dimension: String, level: usize, member: String },
+    /// The LCA level of the two groups in `dimension` must be at least
+    /// `level`; `0` requires all levels equal, a negative `n` all but the
+    /// lowest `|n|` levels.
+    LcaLevel { dimension: String, level: i32 },
+    /// The normalized dimensional distance (Algorithm 2) must be ≤ the
+    /// threshold in `[0.0, 1.0]`.
+    Distance(f64),
+}
+
+/// A conjunction of primitives.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CorrelationClause {
+    pub primitives: Vec<CorrelationPrimitive>,
+}
+
+/// A scaling-constant hint: either per shared dimension member (the 4-tuple
+/// of Section 4.1) or per named series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScalingHint {
+    /// `(dimension, level, member, factor)`.
+    Member { dimension: String, level: usize, member: String, factor: f64 },
+    /// A factor for one named series.
+    Series { name: String, factor: f64 },
+}
+
+/// The full user hint set: OR-combined clauses, per-dimension weights for
+/// Algorithm 2, and scaling constants.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CorrelationSpec {
+    pub clauses: Vec<CorrelationClause>,
+    /// Per-dimension weight (default 1.0).
+    pub weights: HashMap<String, f64>,
+    pub scaling: Vec<ScalingHint>,
+}
+
+impl CorrelationSpec {
+    /// A spec with no clauses: nothing is correlated, every series gets its
+    /// own group (the ModelarDBv1 behaviour).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A spec with a single distance clause — the rule-of-thumb entry point.
+    pub fn distance(threshold: f64) -> Self {
+        Self {
+            clauses: vec![CorrelationClause {
+                primitives: vec![CorrelationPrimitive::Distance(threshold)],
+            }],
+            ..Self::default()
+        }
+    }
+
+    /// Adds a clause parsed from the configuration syntax.
+    pub fn add_clause(&mut self, text: &str) -> Result<()> {
+        self.clauses.push(parse_clause(text)?);
+        Ok(())
+    }
+
+    /// The weight of `dimension` (default 1.0).
+    pub fn weight(&self, dimension: &str) -> f64 {
+        self.weights
+            .iter()
+            .find(|(d, _)| d.eq_ignore_ascii_case(dimension))
+            .map(|(_, w)| *w)
+            .unwrap_or(1.0)
+    }
+}
+
+/// Parses one `modelardb.correlation` clause: primitives separated by `;`.
+pub fn parse_clause(text: &str) -> Result<CorrelationClause> {
+    let mut primitives = Vec::new();
+    for part in text.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        primitives.push(parse_primitive(part)?);
+    }
+    if primitives.is_empty() {
+        return Err(MdbError::Config(format!("empty correlation clause: {text:?}")));
+    }
+    Ok(CorrelationClause { primitives })
+}
+
+fn parse_primitive(text: &str) -> Result<CorrelationPrimitive> {
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    match tokens.as_slice() {
+        [] => Err(MdbError::Config("empty correlation primitive".into())),
+        // A bare number is a distance threshold.
+        [value] if value.parse::<f64>().is_ok() => {
+            distance(value.parse::<f64>().unwrap())
+        }
+        ["distance", value] | ["Distance", value] => {
+            let d = value
+                .parse::<f64>()
+                .map_err(|_| MdbError::Config(format!("invalid distance {value:?}")))?;
+            distance(d)
+        }
+        ["series", names @ ..] | ["Series", names @ ..] if !names.is_empty() => {
+            Ok(CorrelationPrimitive::TimeSeries(names.iter().map(|s| s.to_string()).collect()))
+        }
+        [dimension, level] => {
+            let level = level
+                .parse::<i32>()
+                .map_err(|_| MdbError::Config(format!("invalid LCA level {level:?} in {text:?}")))?;
+            Ok(CorrelationPrimitive::LcaLevel { dimension: dimension.to_string(), level })
+        }
+        [dimension, level, member] => {
+            let level = level
+                .parse::<usize>()
+                .map_err(|_| MdbError::Config(format!("invalid level {level:?} in {text:?}")))?;
+            Ok(CorrelationPrimitive::Member {
+                dimension: dimension.to_string(),
+                level,
+                member: member.to_string(),
+            })
+        }
+        // Explicit time series lists may also be written bare, as in the
+        // paper's "4L80R9a_Temperature.gz 4L80R9b_Temperature.gz" example,
+        // when there are more than three names (no ambiguity with triples).
+        names if names.len() > 3 => {
+            Ok(CorrelationPrimitive::TimeSeries(names.iter().map(|s| s.to_string()).collect()))
+        }
+        _ => Err(MdbError::Config(format!("cannot parse correlation primitive {text:?}"))),
+    }
+}
+
+fn distance(d: f64) -> Result<CorrelationPrimitive> {
+    if !(0.0..=1.0).contains(&d) {
+        return Err(MdbError::Config(format!("distance {d} outside [0.0, 1.0]")));
+    }
+    Ok(CorrelationPrimitive::Distance(d))
+}
+
+/// Parses a weight line: `<dimension> <weight>`.
+pub fn parse_weight(text: &str) -> Result<(String, f64)> {
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    match tokens.as_slice() {
+        [dimension, weight] => {
+            let w = weight
+                .parse::<f64>()
+                .map_err(|_| MdbError::Config(format!("invalid weight {weight:?}")))?;
+            if w < 0.0 {
+                return Err(MdbError::Config(format!("negative weight {w}")));
+            }
+            Ok((dimension.to_string(), w))
+        }
+        _ => Err(MdbError::Config(format!("cannot parse weight {text:?}"))),
+    }
+}
+
+/// Parses a scaling line: `<dimension> <level> <member> <factor>` or
+/// `series <name> <factor>`.
+pub fn parse_scaling(text: &str) -> Result<ScalingHint> {
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    match tokens.as_slice() {
+        ["series", name, factor] => Ok(ScalingHint::Series {
+            name: name.to_string(),
+            factor: factor
+                .parse::<f64>()
+                .map_err(|_| MdbError::Config(format!("invalid scaling factor {factor:?}")))?,
+        }),
+        [dimension, level, member, factor] => Ok(ScalingHint::Member {
+            dimension: dimension.to_string(),
+            level: level
+                .parse::<usize>()
+                .map_err(|_| MdbError::Config(format!("invalid level {level:?}")))?,
+            member: member.to_string(),
+            factor: factor
+                .parse::<f64>()
+                .map_err(|_| MdbError::Config(format!("invalid scaling factor {factor:?}")))?,
+        }),
+        _ => Err(MdbError::Config(format!("cannot parse scaling hint {text:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_triple_measure_1_temperature() {
+        // "The triple Measure 1 Temperature … specifies that time series
+        // sharing the member Temperature at level one of the Measure
+        // dimension are correlated."
+        let c = parse_clause("Measure 1 Temperature").unwrap();
+        assert_eq!(
+            c.primitives,
+            vec![CorrelationPrimitive::Member {
+                dimension: "Measure".into(),
+                level: 1,
+                member: "Temperature".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn paper_pair_location_2() {
+        let c = parse_clause("Location 2").unwrap();
+        assert_eq!(
+            c.primitives,
+            vec![CorrelationPrimitive::LcaLevel { dimension: "Location".into(), level: 2 }]
+        );
+        // Zero and negative levels are valid.
+        assert!(parse_clause("Location 0").is_ok());
+        assert!(parse_clause("Location -1").is_ok());
+    }
+
+    #[test]
+    fn ep_clause_from_the_evaluation() {
+        // §7.3: "Correlation is set as Production 0; Measure 1 ProductionMWh".
+        let c = parse_clause("Production 0; Measure 1 ProductionMWh").unwrap();
+        assert_eq!(c.primitives.len(), 2);
+        assert_eq!(
+            c.primitives[1],
+            CorrelationPrimitive::Member {
+                dimension: "Measure".into(),
+                level: 1,
+                member: "ProductionMWh".into()
+            }
+        );
+    }
+
+    #[test]
+    fn distance_parses_bare_and_keyword() {
+        assert_eq!(parse_clause("0.25").unwrap().primitives, vec![CorrelationPrimitive::Distance(0.25)]);
+        assert_eq!(
+            parse_clause("distance 0.16666667").unwrap().primitives,
+            vec![CorrelationPrimitive::Distance(0.16666667)]
+        );
+        assert!(parse_clause("distance 1.5").is_err());
+        assert!(parse_clause("distance -0.1").is_err());
+    }
+
+    #[test]
+    fn explicit_series_lists() {
+        let c = parse_clause("series 4L80R9a_Temperature.gz 4L80R9b_Temperature.gz").unwrap();
+        assert_eq!(
+            c.primitives,
+            vec![CorrelationPrimitive::TimeSeries(vec![
+                "4L80R9a_Temperature.gz".into(),
+                "4L80R9b_Temperature.gz".into()
+            ])]
+        );
+        // Bare lists with > 3 names are unambiguous.
+        let c = parse_clause("a.gz b.gz c.gz d.gz").unwrap();
+        assert!(matches!(&c.primitives[0], CorrelationPrimitive::TimeSeries(v) if v.len() == 4));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse_clause("").is_err());
+        assert!(parse_clause("Location two").is_err());
+        assert!(parse_clause("Measure one Temperature").is_err());
+    }
+
+    #[test]
+    fn weights_and_scaling_parse() {
+        assert_eq!(parse_weight("Production 2.0").unwrap(), ("Production".into(), 2.0));
+        assert!(parse_weight("Production heavy").is_err());
+        assert!(parse_weight("Production -1").is_err());
+        assert_eq!(
+            parse_scaling("Measure 1 ProductionMWh 4.75").unwrap(),
+            ScalingHint::Member {
+                dimension: "Measure".into(),
+                level: 1,
+                member: "ProductionMWh".into(),
+                factor: 4.75
+            }
+        );
+        assert_eq!(
+            parse_scaling("series turbine9.gz 0.5").unwrap(),
+            ScalingHint::Series { name: "turbine9.gz".into(), factor: 0.5 }
+        );
+        assert!(parse_scaling("nonsense").is_err());
+    }
+
+    #[test]
+    fn spec_weight_defaults_to_one() {
+        let mut spec = CorrelationSpec::distance(0.25);
+        assert_eq!(spec.weight("Location"), 1.0);
+        spec.weights.insert("Location".into(), 2.5);
+        assert_eq!(spec.weight("location"), 2.5);
+    }
+}

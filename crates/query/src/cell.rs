@@ -1,0 +1,144 @@
+//! Result cells and result sets.
+
+use std::fmt;
+
+/// A single value in a query result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Milliseconds since the epoch, displayed as civil UTC time.
+    Timestamp(i64),
+    Null,
+}
+
+impl Cell {
+    /// Numeric value, when the cell has one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Cell::Int(v) => Some(*v as f64),
+            Cell::Float(v) => Some(*v),
+            Cell::Timestamp(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer value, when the cell has one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Cell::Int(v) => Some(*v),
+            Cell::Timestamp(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Int(v) => write!(f, "{v}"),
+            Cell::Float(v) => write!(f, "{v:.4}"),
+            Cell::Str(v) => write!(f, "{v}"),
+            Cell::Timestamp(v) => {
+                let c = mdb_types::time::decompose(*v);
+                write!(
+                    f,
+                    "{:04}-{:02}-{:02} {:02}:{:02}:{:02}.{:03}",
+                    c.year, c.month, c.day, c.hour, c.minute, c.second, c.millisecond
+                )
+            }
+            Cell::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// An ordered result set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl QueryResult {
+    /// A result with the given column names and no rows yet.
+    pub fn new(columns: Vec<String>) -> Self {
+        Self { columns, rows: Vec::new() }
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Renders an ASCII table (used by examples and the repro harness).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let s = c.to_string();
+                        if i < widths.len() {
+                            widths[i] = widths[i].max(s.len());
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in rendered {
+            for (i, s) in row.iter().enumerate() {
+                out.push_str(&format!("{:<width$}  ", s, width = widths.get(i).copied().unwrap_or(0)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_accessors() {
+        assert_eq!(Cell::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Cell::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Cell::Str("x".into()).as_f64(), None);
+        assert_eq!(Cell::Timestamp(100).as_i64(), Some(100));
+        assert_eq!(Cell::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cell::Int(42).to_string(), "42");
+        assert_eq!(Cell::Float(1.0).to_string(), "1.0000");
+        assert_eq!(Cell::Null.to_string(), "NULL");
+        assert_eq!(Cell::Timestamp(0).to_string(), "1970-01-01 00:00:00.000");
+    }
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let mut r = QueryResult::new(vec!["Tid".into(), "SUM_S(*)".into()]);
+        r.rows.push(vec![Cell::Int(1), Cell::Float(2996.9)]);
+        let t = r.to_table();
+        assert!(t.contains("Tid"));
+        assert!(t.contains("2996.9000"));
+        assert_eq!(r.column_index("tid"), Some(0));
+        assert_eq!(r.column_index("nope"), None);
+    }
+}

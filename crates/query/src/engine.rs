@@ -1,0 +1,927 @@
+//! The query engine: Algorithm 5 (simple aggregates on the Segment View),
+//! Algorithm 6 (aggregation in the time dimension), and the listing paths of
+//! both views (the point/range workload).
+//!
+//! The engine is deliberately split into *rewrite → partial → merge/finalize*
+//! phases so the cluster runtime can run the partial phase on every worker
+//! and merge at the master, exactly as the pseudo-code annotates ("executed
+//! on workers with the result sent to the master").
+
+use std::collections::HashMap;
+
+use mdb_models::ModelRegistry;
+use mdb_storage::{Catalog, SegmentPredicate, SegmentStore};
+use mdb_types::{time, MdbError, Result, SegmentRecord, Tid, TimeLevel, Timestamp};
+
+use crate::aggregate::{Accumulator, AggFunc, SegmentCursor};
+use crate::cell::{Cell, QueryResult};
+use crate::sql::{CmpOp, Predicate, Query, SelectItem, TimeColumn, View};
+
+/// A hashable group-by key component (group keys are never floats).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KeyCell {
+    Int(i64),
+    Str(String),
+}
+
+impl KeyCell {
+    fn to_cell(&self) -> Cell {
+        match self {
+            KeyCell::Int(v) => Cell::Int(*v),
+            KeyCell::Str(s) => Cell::Str(s.clone()),
+        }
+    }
+}
+
+/// Worker-local partial aggregation state: group key → one accumulator per
+/// aggregate item in the SELECT list.
+pub type PartialAggregates = HashMap<Vec<KeyCell>, Vec<Accumulator>>;
+
+/// The query engine for one node's store.
+pub struct QueryEngine<'a> {
+    catalog: &'a Catalog,
+    registry: &'a ModelRegistry,
+    store: &'a dyn SegmentStore,
+}
+
+/// Resolved WHERE clause: per-row filters plus the predicate pushed to the
+/// segment store (Section 6.2's rewriting).
+struct Rewritten {
+    /// `None` = no Tid restriction.
+    tids: Option<Vec<Tid>>,
+    /// Member predicates resolved to `(dim, level, member_id)`.
+    members: Vec<(usize, usize, mdb_types::MemberId)>,
+    /// Time bounds on data points (from TS comparisons).
+    ts_from: Timestamp,
+    ts_to: Timestamp,
+    /// Raw segment-column comparisons (StartTime / EndTime).
+    segment_time: Vec<(TimeColumn, CmpOp, Timestamp)>,
+    /// The push-down predicate for the store.
+    pushdown: SegmentPredicate,
+    /// True when the rewrite proved the result empty (e.g. unknown member).
+    empty: bool,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// An engine over `catalog`, `registry`, and `store`.
+    pub fn new(catalog: &'a Catalog, registry: &'a ModelRegistry, store: &'a dyn SegmentStore) -> Self {
+        Self { catalog, registry, store }
+    }
+
+    /// Parses and executes a SQL string.
+    pub fn sql(&self, text: &str) -> Result<QueryResult> {
+        let query = crate::sql::parse(text)?;
+        self.execute(&query)
+    }
+
+    /// Executes a parsed query.
+    pub fn execute(&self, query: &Query) -> Result<QueryResult> {
+        if query.items.iter().any(|i| matches!(i, SelectItem::Agg { .. })) {
+            let partial = self.aggregate_partial(query)?;
+            let mut result = Self::finalize_aggregates(query, vec![partial])?;
+            Self::apply_order_limit(&mut result, query)?;
+            Ok(result)
+        } else {
+            let mut result = self.listing(query)?;
+            Self::apply_order_limit(&mut result, query)?;
+            Ok(result)
+        }
+    }
+
+    // ------------------------------------------------------- rewriting --
+
+    /// The `rewriteQuery` step of Algorithms 5 and 6: Tids and members
+    /// become Gids for push-down; per-row filters are kept for the iterate
+    /// step because a group may mix series that match and series that don't.
+    fn rewrite(&self, query: &Query) -> Result<Rewritten> {
+        let mut tids: Option<Vec<Tid>> = None;
+        let mut members = Vec::new();
+        let mut ts_from = i64::MIN;
+        let mut ts_to = i64::MAX;
+        let mut segment_time = Vec::new();
+        let mut empty = false;
+        for predicate in &query.predicates {
+            match predicate {
+                Predicate::TidIn(list) => {
+                    let set: Vec<Tid> = match &tids {
+                        None => list.clone(),
+                        Some(prev) => prev.iter().copied().filter(|t| list.contains(t)).collect(),
+                    };
+                    empty |= set.is_empty();
+                    tids = Some(set);
+                }
+                Predicate::MemberEq { column, value } => {
+                    let Some((dim, level)) = self.catalog.dimensions.resolve_level(column) else {
+                        return Err(MdbError::Query(format!("unknown column {column}")));
+                    };
+                    match self.catalog.dimensions.member_id(value) {
+                        Some(m) => {
+                            members.push((dim, level, m));
+                            // Narrow the tid set through the inverted index.
+                            let with: Vec<Tid> =
+                                self.catalog.dimensions.tids_with_member(dim, level, m).to_vec();
+                            let set: Vec<Tid> = match &tids {
+                                None => with,
+                                Some(prev) => prev.iter().copied().filter(|t| with.contains(t)).collect(),
+                            };
+                            empty |= set.is_empty();
+                            tids = Some(set);
+                        }
+                        None => empty = true,
+                    }
+                }
+                Predicate::Time { column, op, value } => match column {
+                    TimeColumn::Ts => match op {
+                        CmpOp::Eq => {
+                            ts_from = ts_from.max(*value);
+                            ts_to = ts_to.min(*value);
+                        }
+                        CmpOp::Ge => ts_from = ts_from.max(*value),
+                        CmpOp::Gt => ts_from = ts_from.max(value + 1),
+                        CmpOp::Le => ts_to = ts_to.min(*value),
+                        CmpOp::Lt => ts_to = ts_to.min(value - 1),
+                    },
+                    _ => segment_time.push((*column, *op, *value)),
+                },
+            }
+        }
+        empty |= ts_from > ts_to;
+
+        let gids = match &tids {
+            Some(list) => Some(self.catalog.gids_for_tids(list)),
+            None => None,
+        };
+        let mut pushdown = SegmentPredicate { gids, from: None, to: None };
+        if ts_from != i64::MIN {
+            pushdown.from = Some(ts_from);
+        }
+        if ts_to != i64::MAX {
+            pushdown.to = Some(ts_to);
+        }
+        // Sound push-down from segment-time comparisons.
+        for (column, op, value) in &segment_time {
+            match (column, op) {
+                (TimeColumn::EndTime, CmpOp::Ge) | (TimeColumn::EndTime, CmpOp::Gt) => {
+                    pushdown.from = Some(pushdown.from.map_or(*value, |f| f.max(*value)));
+                }
+                (TimeColumn::StartTime, CmpOp::Le) | (TimeColumn::StartTime, CmpOp::Lt) => {
+                    pushdown.to = Some(pushdown.to.map_or(*value, |t| t.min(*value)));
+                }
+                _ => {}
+            }
+        }
+        Ok(Rewritten { tids, members, ts_from, ts_to, segment_time, pushdown, empty })
+    }
+
+    fn segment_time_matches(rw: &Rewritten, segment: &SegmentRecord) -> bool {
+        rw.segment_time.iter().all(|(column, op, value)| {
+            let field = match column {
+                TimeColumn::StartTime => segment.start_time,
+                TimeColumn::EndTime => segment.end_time,
+                TimeColumn::Ts => unreachable!("TS handled as data point bound"),
+            };
+            match op {
+                CmpOp::Eq => field == *value,
+                CmpOp::Lt => field < *value,
+                CmpOp::Le => field <= *value,
+                CmpOp::Gt => field > *value,
+                CmpOp::Ge => field >= *value,
+            }
+        })
+    }
+
+    fn tid_matches(&self, rw: &Rewritten, tid: Tid) -> bool {
+        if let Some(tids) = &rw.tids {
+            if !tids.contains(&tid) {
+                return false;
+            }
+        }
+        rw.members
+            .iter()
+            .all(|(dim, level, member)| self.catalog.dimensions.member(tid, *dim, *level) == Some(*member))
+    }
+
+    /// Resolves a group-by column for `tid` into a key cell.
+    fn key_cell(&self, column: &str, tid: Tid) -> Result<KeyCell> {
+        if column.eq_ignore_ascii_case("tid") {
+            return Ok(KeyCell::Int(i64::from(tid)));
+        }
+        let Some((dim, level)) = self.catalog.dimensions.resolve_level(column) else {
+            return Err(MdbError::Query(format!("unknown GROUP BY column {column}")));
+        };
+        match self.catalog.dimensions.member(tid, dim, level) {
+            Some(m) => Ok(KeyCell::Str(self.catalog.dimensions.member_name(m).to_string())),
+            None => Ok(KeyCell::Str(String::new())),
+        }
+    }
+
+    // ------------------------------------------------ aggregate (Alg 5) --
+
+    /// The worker half of Algorithms 5 and 6: initialize + iterate over the
+    /// local store, producing partial accumulators per group key.
+    pub fn aggregate_partial(&self, query: &Query) -> Result<PartialAggregates> {
+        let aggs: Vec<(AggFunc, Option<TimeLevel>)> = query
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                SelectItem::Agg { func, cube } => Some((*func, *cube)),
+                _ => None,
+            })
+            .collect();
+        let cube_levels: Vec<TimeLevel> = {
+            let mut ls: Vec<TimeLevel> = aggs.iter().filter_map(|(_, c)| *c).collect();
+            ls.dedup();
+            ls
+        };
+        if cube_levels.len() > 1 {
+            return Err(MdbError::Query("only one CUBE time level per query is supported".into()));
+        }
+        let cube = cube_levels.first().copied();
+        if cube.is_some() && aggs.iter().any(|(_, c)| c.is_none()) {
+            return Err(MdbError::Query("cannot mix CUBE_* and plain aggregates".into()));
+        }
+        // Validate plain columns appear in GROUP BY.
+        for item in &query.items {
+            if let SelectItem::Column(c) = item {
+                if !query.group_by.iter().any(|g| g.eq_ignore_ascii_case(c)) {
+                    return Err(MdbError::Query(format!(
+                        "column {c} must appear in GROUP BY when aggregating"
+                    )));
+                }
+            }
+        }
+
+        let rw = self.rewrite(query)?;
+        let mut partial: PartialAggregates = HashMap::new();
+        if rw.empty {
+            return Ok(partial);
+        }
+
+        let mut scan_error = None;
+        self.store.scan(&rw.pushdown, &mut |segment| {
+            if scan_error.is_some() {
+                return;
+            }
+            if let Err(e) = self.iterate_segment(query, &rw, &aggs, cube, segment, &mut partial) {
+                scan_error = Some(e);
+            }
+        })?;
+        if let Some(e) = scan_error {
+            return Err(e);
+        }
+        Ok(partial)
+    }
+
+    /// The `iterate` step over one segment.
+    fn iterate_segment(
+        &self,
+        query: &Query,
+        rw: &Rewritten,
+        aggs: &[(AggFunc, Option<TimeLevel>)],
+        cube: Option<TimeLevel>,
+        segment: &SegmentRecord,
+        partial: &mut PartialAggregates,
+    ) -> Result<()> {
+        if !Self::segment_time_matches(rw, segment) {
+            return Ok(());
+        }
+        let group = self
+            .catalog
+            .group(segment.gid)
+            .ok_or_else(|| MdbError::Corrupt(format!("segment references unknown gid {}", segment.gid)))?;
+        let group_size = group.size();
+        let n_present = segment.gaps.count_present(group_size);
+        let mut cursor = SegmentCursor::new(segment, n_present);
+        // Tick index range selected by the TS bounds.
+        let si = segment.sampling_interval;
+        let lo_ts = rw.ts_from.max(segment.start_time);
+        let hi_ts = rw.ts_to.min(segment.end_time);
+        if lo_ts > hi_ts {
+            return Ok(());
+        }
+        let idx_lo = ((lo_ts - segment.start_time) + si - 1) / si;
+        let idx_hi = (hi_ts - segment.start_time) / si;
+        if idx_lo > idx_hi {
+            return Ok(());
+        }
+        let range = (idx_lo as usize, idx_hi as usize);
+
+        for (series_pos, member_pos) in segment.gaps.present_positions(group_size).enumerate() {
+            let tid = group.tids[member_pos];
+            if !self.tid_matches(rw, tid) {
+                continue;
+            }
+            let scaling = self.catalog.scaling_of(tid);
+            let mut key: Vec<KeyCell> = Vec::with_capacity(query.group_by.len() + 1);
+            for column in &query.group_by {
+                key.push(self.key_cell(column, tid)?);
+            }
+            // Aggregates on the Data Point View run over reconstructed
+            // values; only the Segment View may use the models directly.
+            let use_models = query.view == View::Segment;
+            match cube {
+                None => {
+                    let agg = cursor
+                        .aggregate_with(self.registry, series_pos, range, use_models)
+                        .ok_or_else(|| MdbError::Corrupt("undecodable segment".into()))?;
+                    let accs = partial.entry(key).or_insert_with(|| vec![Accumulator::new(); aggs.len()]);
+                    let count = (range.1 - range.0 + 1) as u64;
+                    for acc in accs.iter_mut() {
+                        acc.add_segment_agg(agg, count, scaling);
+                    }
+                }
+                Some(level) => {
+                    // Algorithm 6: split the tick range at calendar
+                    // boundaries; each sub-interval lands in its own bucket.
+                    for (part, sub) in split_at_boundaries(segment, range, level) {
+                        let agg = cursor
+                            .aggregate_with(self.registry, series_pos, sub, use_models)
+                            .ok_or_else(|| MdbError::Corrupt("undecodable segment".into()))?;
+                        let mut bucket_key = key.clone();
+                        bucket_key.push(KeyCell::Int(part));
+                        let accs = partial
+                            .entry(bucket_key)
+                            .or_insert_with(|| vec![Accumulator::new(); aggs.len()]);
+                        let count = (sub.1 - sub.0 + 1) as u64;
+                        for acc in accs.iter_mut() {
+                            acc.add_segment_agg(agg, count, scaling);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The master half: merge worker partials and finalize (Algorithm 5's
+    /// `mergeResults` + `finalize`).
+    pub fn finalize_aggregates(query: &Query, partials: Vec<PartialAggregates>) -> Result<QueryResult> {
+        let aggs: Vec<(AggFunc, Option<TimeLevel>)> = query
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                SelectItem::Agg { func, cube } => Some((*func, *cube)),
+                _ => None,
+            })
+            .collect();
+        let cube = aggs.iter().find_map(|(_, c)| *c);
+
+        let mut merged: PartialAggregates = HashMap::new();
+        for partial in partials {
+            for (key, accs) in partial {
+                let entry = merged.entry(key).or_insert_with(|| vec![Accumulator::new(); accs.len()]);
+                for (mine, theirs) in entry.iter_mut().zip(&accs) {
+                    mine.merge(theirs);
+                }
+            }
+        }
+
+        // Column layout: SELECT order, with the implicit time-part column
+        // inserted before the first CUBE aggregate.
+        let mut columns = Vec::new();
+        for item in &query.items {
+            match item {
+                SelectItem::Column(c) => columns.push(c.clone()),
+                SelectItem::Agg { func, cube } => {
+                    if let Some(level) = cube {
+                        let level_name = format!("{level:?}");
+                        if !columns.iter().any(|c: &String| c.eq_ignore_ascii_case(&level_name)) {
+                            columns.push(level_name);
+                        }
+                        columns.push(format!("CUBE_{:?}_{:?}(*)", func, level).to_uppercase());
+                    } else {
+                        columns.push(format!("{func:?}_S(*)").to_uppercase());
+                    }
+                }
+                SelectItem::AllColumns => {
+                    return Err(MdbError::Query("SELECT * cannot be combined with aggregates".into()));
+                }
+            }
+        }
+        let mut result = QueryResult::new(columns);
+
+        // Deterministic output order: sort keys.
+        let mut keys: Vec<Vec<KeyCell>> = merged.keys().cloned().collect();
+        keys.sort();
+        for key in keys {
+            let accs = &merged[&key];
+            let mut row = Vec::new();
+            let mut agg_idx = 0;
+            let mut key_idx = 0;
+            for item in &query.items {
+                match item {
+                    SelectItem::Column(_) => {
+                        row.push(key[key_idx].to_cell());
+                        key_idx += 1;
+                    }
+                    SelectItem::Agg { func, .. } => {
+                        if cube.is_some() && agg_idx == 0 {
+                            // The time-part key is the last key component.
+                            row.push(key.last().unwrap().to_cell());
+                        }
+                        match accs[agg_idx].finalize(*func) {
+                            Some(v) if *func == AggFunc::Count => row.push(Cell::Int(v as i64)),
+                            Some(v) => row.push(Cell::Float(v)),
+                            None => row.push(Cell::Null),
+                        }
+                        agg_idx += 1;
+                    }
+                    SelectItem::AllColumns => unreachable!(),
+                }
+            }
+            result.rows.push(row);
+        }
+        Ok(result)
+    }
+
+    // ------------------------------------------------------- listing --
+
+    /// The non-aggregate path: Segment View listing or Data Point View
+    /// reconstruction (the P/R workload).
+    pub fn listing(&self, query: &Query) -> Result<QueryResult> {
+        let rw = self.rewrite(query)?;
+        let columns = self.listing_columns(query)?;
+        let mut result = QueryResult::new(columns.clone());
+        if rw.empty {
+            return Ok(result);
+        }
+        let mut scan_error = None;
+        self.store.scan(&rw.pushdown, &mut |segment| {
+            if scan_error.is_some() {
+                return;
+            }
+            if let Err(e) = self.list_segment(query, &rw, &columns, segment, &mut result) {
+                scan_error = Some(e);
+            }
+        })?;
+        if let Some(e) = scan_error {
+            return Err(e);
+        }
+        Ok(result)
+    }
+
+    fn listing_columns(&self, query: &Query) -> Result<Vec<String>> {
+        let dim_columns: Vec<String> = self
+            .catalog
+            .dimensions
+            .schemas()
+            .iter()
+            .flat_map(|s| (1..=s.height()).map(|l| s.level_name(l).unwrap().to_string()).collect::<Vec<_>>())
+            .collect();
+        let base: Vec<String> = match query.view {
+            View::Segment => ["Tid", "StartTime", "EndTime", "SI", "Mid", "Gaps"]
+                .iter()
+                .map(|s| s.to_string())
+                .chain(dim_columns.clone())
+                .collect(),
+            View::DataPoint => ["Tid", "TS", "Value"]
+                .iter()
+                .map(|s| s.to_string())
+                .chain(dim_columns.clone())
+                .collect(),
+        };
+        let mut out = Vec::new();
+        for item in &query.items {
+            match item {
+                SelectItem::AllColumns => out.extend(base.iter().cloned()),
+                SelectItem::Column(c) => {
+                    let canonical = base
+                        .iter()
+                        .find(|b| b.eq_ignore_ascii_case(c))
+                        .ok_or_else(|| MdbError::Query(format!("unknown column {c}")))?;
+                    out.push(canonical.clone());
+                }
+                SelectItem::Agg { .. } => unreachable!("listing path has no aggregates"),
+            }
+        }
+        Ok(out)
+    }
+
+    fn list_segment(
+        &self,
+        query: &Query,
+        rw: &Rewritten,
+        columns: &[String],
+        segment: &SegmentRecord,
+        result: &mut QueryResult,
+    ) -> Result<()> {
+        if !Self::segment_time_matches(rw, segment) {
+            return Ok(());
+        }
+        let group = self
+            .catalog
+            .group(segment.gid)
+            .ok_or_else(|| MdbError::Corrupt(format!("segment references unknown gid {}", segment.gid)))?;
+        let group_size = group.size();
+        let n_present = segment.gaps.count_present(group_size);
+        let mut cursor = SegmentCursor::new(segment, n_present);
+        for (series_pos, member_pos) in segment.gaps.present_positions(group_size).enumerate() {
+            let tid = group.tids[member_pos];
+            if !self.tid_matches(rw, tid) {
+                continue;
+            }
+            let scaling = self.catalog.scaling_of(tid);
+            match query.view {
+                View::Segment => {
+                    let row = columns
+                        .iter()
+                        .map(|c| self.segment_cell(c, tid, segment))
+                        .collect::<Result<Vec<Cell>>>()?;
+                    result.rows.push(row);
+                }
+                View::DataPoint => {
+                    let si = segment.sampling_interval;
+                    let lo_ts = rw.ts_from.max(segment.start_time);
+                    let hi_ts = rw.ts_to.min(segment.end_time);
+                    if lo_ts > hi_ts {
+                        continue;
+                    }
+                    let idx_lo = (((lo_ts - segment.start_time) + si - 1) / si) as usize;
+                    let idx_hi = ((hi_ts - segment.start_time) / si) as usize;
+                    if idx_lo > idx_hi {
+                        continue;
+                    }
+                    let grid = cursor
+                        .grid(self.registry)
+                        .ok_or_else(|| MdbError::Corrupt("undecodable segment".into()))?
+                        .to_vec();
+                    for idx in idx_lo..=idx_hi {
+                        let ts = segment.start_time + idx as i64 * si;
+                        let value = f64::from(grid[idx * n_present + series_pos]) / scaling;
+                        let row = columns
+                            .iter()
+                            .map(|c| self.data_point_cell(c, tid, ts, value))
+                            .collect::<Result<Vec<Cell>>>()?;
+                        result.rows.push(row);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn dimension_cell(&self, column: &str, tid: Tid) -> Option<Result<Cell>> {
+        let (dim, level) = self.catalog.dimensions.resolve_level(column)?;
+        Some(Ok(match self.catalog.dimensions.member(tid, dim, level) {
+            Some(m) => Cell::Str(self.catalog.dimensions.member_name(m).to_string()),
+            None => Cell::Null,
+        }))
+    }
+
+    fn segment_cell(&self, column: &str, tid: Tid, segment: &SegmentRecord) -> Result<Cell> {
+        match column.to_ascii_uppercase().as_str() {
+            "TID" => Ok(Cell::Int(i64::from(tid))),
+            "STARTTIME" => Ok(Cell::Timestamp(segment.start_time)),
+            "ENDTIME" => Ok(Cell::Timestamp(segment.end_time)),
+            "SI" => Ok(Cell::Int(segment.sampling_interval)),
+            "MID" => Ok(Cell::Int(i64::from(segment.mid))),
+            "GAPS" => Ok(Cell::Int(segment.gaps.count_missing() as i64)),
+            _ => self
+                .dimension_cell(column, tid)
+                .unwrap_or_else(|| Err(MdbError::Query(format!("unknown column {column}")))),
+        }
+    }
+
+    fn data_point_cell(&self, column: &str, tid: Tid, ts: Timestamp, value: f64) -> Result<Cell> {
+        match column.to_ascii_uppercase().as_str() {
+            "TID" => Ok(Cell::Int(i64::from(tid))),
+            "TS" => Ok(Cell::Timestamp(ts)),
+            "VALUE" => Ok(Cell::Float(value)),
+            _ => self
+                .dimension_cell(column, tid)
+                .unwrap_or_else(|| Err(MdbError::Query(format!("unknown column {column}")))),
+        }
+    }
+
+    /// Applies ORDER BY and LIMIT to a finished result (also used by the
+    /// cluster master after merging worker rows).
+    pub fn apply_order_limit(result: &mut QueryResult, query: &Query) -> Result<()> {
+        if let Some((column, desc)) = &query.order_by {
+            let idx = result
+                .column_index(column)
+                .ok_or_else(|| MdbError::Query(format!("unknown ORDER BY column {column}")))?;
+            result.rows.sort_by(|a, b| {
+                let ord = compare_cells(&a[idx], &b[idx]);
+                if *desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
+        if let Some(limit) = query.limit {
+            result.rows.truncate(limit);
+        }
+        Ok(())
+    }
+}
+
+fn compare_cells(a: &Cell, b: &Cell) -> std::cmp::Ordering {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+        _ => a.to_string().cmp(&b.to_string()),
+    }
+}
+
+/// Algorithm 6's interval walk: splits the tick-index `range` of `segment`
+/// at calendar boundaries of `level`, yielding `(date-part key, sub-range)`
+/// pairs. The final sub-interval ends at the segment's inclusive end time,
+/// matching Figure 12 ("the last value is computed with an inclusive end
+/// time as ModelarDB does not store connected segments").
+pub fn split_at_boundaries(
+    segment: &SegmentRecord,
+    range: (usize, usize),
+    level: TimeLevel,
+) -> Vec<(i64, (usize, usize))> {
+    let si = segment.sampling_interval;
+    let start_ts = segment.start_time + range.0 as i64 * si;
+    let end_ts = segment.start_time + range.1 as i64 * si;
+    let mut out = Vec::new();
+    let mut current = start_ts;
+    while current <= end_ts {
+        let boundary = time::next_boundary(level, current);
+        let capped = end_ts.min(boundary - 1);
+        // Last tick at or before `capped`.
+        let sub_end = current + (capped - current) / si * si;
+        let idx_a = ((current - segment.start_time) / si) as usize;
+        let idx_b = ((sub_end - segment.start_time) / si) as usize;
+        out.push((time::part(level, current), (idx_a, idx_b)));
+        current = sub_end + si;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdb_compression::{CompressionConfig, GroupIngestor};
+    use mdb_models::ModelRegistry;
+    use mdb_storage::{MemoryStore, SegmentStore};
+    use mdb_types::{DimensionSchema, ErrorBound, GroupMeta, TimeSeriesMeta, Value};
+    use std::sync::Arc;
+
+    /// Builds a populated store: two groups — (1,2) correlated turbines in
+    /// Aalborg, (3) in Farsø — with 1 hour of data at SI = 1 minute starting
+    /// at 2021-06-01 00:13:00, values 10.0 + small offsets, tid 3 scaled.
+    struct Fixture {
+        catalog: Catalog,
+        registry: ModelRegistry,
+        store: MemoryStore,
+    }
+
+    fn fixture() -> Fixture {
+        let mut catalog = Catalog::new();
+        let loc = catalog
+            .dimensions
+            .add_dimension(DimensionSchema::new("Location", vec!["Park".into(), "Entity".into()]).unwrap())
+            .unwrap();
+        catalog.dimensions.set_members(1, loc, &["Aalborg", "9632"]).unwrap();
+        catalog.dimensions.set_members(2, loc, &["Aalborg", "9634"]).unwrap();
+        catalog.dimensions.set_members(3, loc, &["Farsø", "9572"]).unwrap();
+        let si = 60_000i64;
+        catalog.series = vec![
+            TimeSeriesMeta { tid: 1, sampling_interval: si, scaling: 1.0, gid: 1 },
+            TimeSeriesMeta { tid: 2, sampling_interval: si, scaling: 1.0, gid: 1 },
+            TimeSeriesMeta { tid: 3, sampling_interval: si, scaling: 2.0, gid: 2 },
+        ];
+        catalog.groups = vec![
+            GroupMeta { gid: 1, tids: vec![1, 2], sampling_interval: si },
+            GroupMeta { gid: 2, tids: vec![3], sampling_interval: si },
+        ];
+        let registry = ModelRegistry::standard();
+        catalog.model_names = registry.names().iter().map(|s| s.to_string()).collect();
+
+        let mut store = MemoryStore::new();
+        let config = CompressionConfig { error_bound: ErrorBound::Lossless, ..Default::default() };
+        // 2021-06-01 00:13:00 UTC.
+        let t0 = mdb_types::time::compose(mdb_types::time::Civil {
+            year: 2021, month: 6, day: 1, hour: 0, minute: 13, second: 0, millisecond: 0,
+        });
+        let mut g1 = GroupIngestor::new(
+            catalog.groups[0].clone(),
+            vec![1.0, 1.0],
+            Arc::new(registry.clone()),
+            config.clone(),
+        )
+        .unwrap();
+        let mut g2 = GroupIngestor::new(
+            catalog.groups[1].clone(),
+            vec![2.0],
+            Arc::new(registry.clone()),
+            config,
+        )
+        .unwrap();
+        for i in 0..60i64 {
+            let ts = t0 + i * si;
+            // Group 1: both series constant 10 (PMC-friendly).
+            for s in g1.push_row(ts, &[Some(10.0), Some(10.0)]).unwrap() {
+                store.insert(s).unwrap();
+            }
+            // Group 2: raw value 1 + i (linear); scaling 2 stores 2 + 2i.
+            for s in g2.push_row(ts, &[Some((1 + i) as Value)]).unwrap() {
+                store.insert(s).unwrap();
+            }
+        }
+        for s in g1.flush().unwrap() {
+            store.insert(s).unwrap();
+        }
+        for s in g2.flush().unwrap() {
+            store.insert(s).unwrap();
+        }
+        Fixture { catalog, registry, store }
+    }
+
+    fn run(f: &Fixture, sql: &str) -> QueryResult {
+        QueryEngine::new(&f.catalog, &f.registry, &f.store).sql(sql).unwrap()
+    }
+
+    #[test]
+    fn sum_per_tid_matches_ground_truth() {
+        let f = fixture();
+        let r = run(&f, "SELECT Tid, SUM_S(*) FROM Segment WHERE Tid IN (1, 2, 3) GROUP BY Tid ORDER BY Tid");
+        assert_eq!(r.columns, vec!["Tid", "SUM_S(*)"]);
+        assert_eq!(r.rows.len(), 3);
+        // Tids 1,2: 60 × 10 = 600. Tid 3: (1 + … + 60) = 1830 (scaling
+        // divided back out).
+        assert_eq!(r.rows[0][0], Cell::Int(1));
+        assert!((r.rows[0][1].as_f64().unwrap() - 600.0).abs() < 1e-3);
+        assert!((r.rows[1][1].as_f64().unwrap() - 600.0).abs() < 1e-3);
+        assert!((r.rows[2][1].as_f64().unwrap() - 1830.0).abs() < 1e-2, "{:?}", r.rows[2]);
+    }
+
+    #[test]
+    fn all_aggregate_functions() {
+        let f = fixture();
+        let r = run(&f, "SELECT COUNT_S(*), MIN_S(*), MAX_S(*), AVG_S(*) FROM Segment WHERE Tid = 3");
+        let row = &r.rows[0];
+        assert_eq!(row[0], Cell::Int(60));
+        assert!((row[1].as_f64().unwrap() - 1.0).abs() < 1e-3);
+        assert!((row[2].as_f64().unwrap() - 60.0).abs() < 1e-3);
+        assert!((row[3].as_f64().unwrap() - 30.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn segment_and_datapoint_views_agree() {
+        let f = fixture();
+        let s = run(&f, "SELECT SUM_S(*) FROM Segment WHERE Tid = 3");
+        let d = run(&f, "SELECT SUM(Value) FROM DataPoint WHERE Tid = 3");
+        let sv = s.rows[0][0].as_f64().unwrap();
+        let dv = d.rows[0][0].as_f64().unwrap();
+        assert!((sv - dv).abs() <= 1e-3 * dv.abs().max(1.0), "{sv} vs {dv}");
+    }
+
+    #[test]
+    fn group_by_dimension_column() {
+        let f = fixture();
+        let r = run(&f, "SELECT Park, SUM_S(*) FROM Segment GROUP BY Park ORDER BY Park");
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Cell::Str("Aalborg".into()));
+        assert!((r.rows[0][1].as_f64().unwrap() - 1200.0).abs() < 1e-2);
+        assert_eq!(r.rows[1][0], Cell::Str("Farsø".into()));
+        assert!((r.rows[1][1].as_f64().unwrap() - 1830.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn member_predicate_filters_individual_series() {
+        let f = fixture();
+        let r = run(&f, "SELECT COUNT_S(*) FROM Segment WHERE Entity = '9632'");
+        assert_eq!(r.rows[0][0], Cell::Int(60));
+        // Unknown member → empty result, not an error (rewriting proves it).
+        let r = run(&f, "SELECT COUNT_S(*) FROM Segment WHERE Park = 'Atlantis'");
+        assert!(r.rows.is_empty());
+        // Unknown column → error.
+        let e = QueryEngine::new(&f.catalog, &f.registry, &f.store)
+            .sql("SELECT COUNT_S(*) FROM Segment WHERE Altitude = 'High'");
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn cube_hour_splits_at_calendar_boundaries() {
+        // Data runs 00:13–01:12, so hours 0 (47 ticks) and 1 (13 ticks).
+        let f = fixture();
+        let r = run(&f, "SELECT Tid, CUBE_COUNT_HOUR(*) FROM Segment WHERE Tid = 1 GROUP BY Tid ORDER BY Hour");
+        assert_eq!(r.columns, vec!["Tid", "Hour", "CUBE_COUNT_HOUR(*)"]);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][1], Cell::Int(0));
+        assert_eq!(r.rows[0][2], Cell::Int(47));
+        assert_eq!(r.rows[1][1], Cell::Int(1));
+        assert_eq!(r.rows[1][2], Cell::Int(13));
+    }
+
+    #[test]
+    fn cube_sum_equals_plain_sum() {
+        let f = fixture();
+        let cube = run(&f, "SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment WHERE Tid = 3 GROUP BY Tid");
+        let total: f64 = cube.rows.iter().map(|r| r[2].as_f64().unwrap()).sum();
+        assert!((total - 1830.0).abs() < 1e-2, "{total}");
+    }
+
+    #[test]
+    fn ts_range_restricts_aggregates() {
+        let f = fixture();
+        let t0 = mdb_types::time::compose(mdb_types::time::Civil {
+            year: 2021, month: 6, day: 1, hour: 0, minute: 13, second: 0, millisecond: 0,
+        });
+        // First 10 ticks only.
+        let hi = t0 + 9 * 60_000;
+        let r = run(&f, &format!("SELECT COUNT_S(*) FROM Segment WHERE Tid = 1 AND TS <= {hi}"));
+        assert_eq!(r.rows[0][0], Cell::Int(10));
+        let r = run(&f, &format!("SELECT SUM_S(*) FROM Segment WHERE Tid = 3 AND TS <= {hi}"));
+        assert!((r.rows[0][0].as_f64().unwrap() - 55.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn point_and_range_queries_on_data_point_view() {
+        let f = fixture();
+        let t0 = mdb_types::time::compose(mdb_types::time::Civil {
+            year: 2021, month: 6, day: 1, hour: 0, minute: 13, second: 0, millisecond: 0,
+        });
+        let point = t0 + 5 * 60_000;
+        let r = run(&f, &format!("SELECT * FROM DataPoint WHERE Tid = 3 AND TS = {point}"));
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][1], Cell::Timestamp(point));
+        assert!((r.rows[0][2].as_f64().unwrap() - 6.0).abs() < 1e-3);
+        // Dimension columns are joined on.
+        assert_eq!(r.rows[0][3], Cell::Str("Farsø".into()));
+        let r = run(
+            &f,
+            &format!("SELECT TS, Value FROM DataPoint WHERE Tid = 1 AND TS BETWEEN {t0} AND {}", t0 + 4 * 60_000),
+        );
+        assert_eq!(r.rows.len(), 5);
+    }
+
+    #[test]
+    fn segment_view_listing() {
+        let f = fixture();
+        let r = run(&f, "SELECT Tid, StartTime, EndTime, Mid FROM Segment WHERE Tid = 1");
+        assert!(!r.rows.is_empty());
+        // Segments of group 1 also produce rows for tid 2 — but the WHERE
+        // filters them out.
+        assert!(r.rows.iter().all(|row| row[0] == Cell::Int(1)));
+        let r_all = run(&f, "SELECT * FROM Segment");
+        assert_eq!(r_all.columns[..6], ["Tid", "StartTime", "EndTime", "SI", "Mid", "Gaps"]);
+        assert!(r_all.columns.contains(&"Park".to_string()));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let f = fixture();
+        let r = run(&f, "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid DESC LIMIT 2");
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Cell::Int(3));
+        assert_eq!(r.rows[1][0], Cell::Int(2));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let f = fixture();
+        let engine = QueryEngine::new(&f.catalog, &f.registry, &f.store);
+        // Column not in GROUP BY.
+        assert!(engine.sql("SELECT Tid, SUM_S(*) FROM Segment").is_err());
+        // Mixed cube and plain aggregates.
+        assert!(engine.sql("SELECT CUBE_SUM_HOUR(*), COUNT_S(*) FROM Segment").is_err());
+        // Two different cube levels.
+        assert!(engine.sql("SELECT CUBE_SUM_HOUR(*), CUBE_SUM_DAY(*) FROM Segment").is_err());
+        // * with aggregates.
+        assert!(engine.sql("SELECT *, COUNT_S(*) FROM Segment").is_err());
+        // Unknown ORDER BY column.
+        assert!(engine.sql("SELECT Tid FROM Segment ORDER BY Altitude").is_err());
+    }
+
+    #[test]
+    fn empty_tid_set_yields_empty_result() {
+        let f = fixture();
+        let r = run(&f, "SELECT COUNT_S(*) FROM Segment WHERE Tid = 99");
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn split_at_boundaries_covers_range_exactly() {
+        use bytes::Bytes;
+        let t0 = mdb_types::time::compose(mdb_types::time::Civil {
+            year: 2021, month: 6, day: 1, hour: 0, minute: 13, second: 0, millisecond: 0,
+        });
+        let seg = SegmentRecord {
+            gid: 1,
+            start_time: t0,
+            end_time: t0 + 155 * 60_000, // 00:13 → 02:48, the Figure 12 span
+            sampling_interval: 60_000,
+            mid: 0,
+            params: Bytes::new(),
+            gaps: Default::default(),
+        };
+        let parts = split_at_boundaries(&seg, (0, 155), TimeLevel::Hour);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[1].0, 1);
+        assert_eq!(parts[2].0, 2);
+        // [00:13, 01:00) = 47 ticks, [01:00, 02:00) = 60, [02:00, 02:48] = 49.
+        assert_eq!(parts[0].1, (0, 46));
+        assert_eq!(parts[1].1, (47, 106));
+        assert_eq!(parts[2].1, (107, 155));
+        // Contiguous cover.
+        for w in parts.windows(2) {
+            assert_eq!(w[1].1 .0, w[0].1 .1 + 1);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Binary codecs for segments and catalog metadata.
+//!
+//! The segment layout follows the two Cassandra-specific optimizations of
+//! Section 3.3: the clustering key is `(Gid, EndTime, Gaps)` — `Gaps` is part
+//! of the key because dynamic splitting can give sibling segments the same
+//! `(Gid, EndTime)` — and `StartTime` is not stored; the segment *size in
+//! data points* is, with `StartTime = EndTime − (Size − 1) × SI` recomputed
+//! on read.
+
+use bytes::{Buf, BufMut, Bytes};
+use mdb_encoding::varint;
+use mdb_types::{GapsMask, MdbError, Result, SegmentRecord};
+
+/// FNV-1a 32-bit checksum, used to detect torn or corrupt blocks.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut hash = 0x811C_9DC5u32;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Serializes one segment into `out`.
+pub fn write_segment(out: &mut Vec<u8>, segment: &SegmentRecord) {
+    varint::write_u64(out, u64::from(segment.gid));
+    varint::write_i64(out, segment.end_time);
+    varint::write_u64(out, segment.gaps.0);
+    // Size in data points instead of StartTime (Section 3.3).
+    varint::write_u64(out, segment.len() as u64);
+    varint::write_i64(out, segment.sampling_interval);
+    out.put_u8(segment.mid);
+    varint::write_u64(out, segment.params.len() as u64);
+    out.extend_from_slice(&segment.params);
+}
+
+/// Deserializes one segment; `None` on malformed input.
+pub fn read_segment(input: &mut &[u8]) -> Option<SegmentRecord> {
+    let gid = varint::read_u64(input)? as u32;
+    let end_time = varint::read_i64(input)?;
+    let gaps = GapsMask(varint::read_u64(input)?);
+    let size = varint::read_u64(input)? as i64;
+    let sampling_interval = varint::read_i64(input)?;
+    if size < 1 || sampling_interval < 1 {
+        return None;
+    }
+    if !input.has_remaining() {
+        return None;
+    }
+    let mid = input.get_u8();
+    let param_len = varint::read_u64(input)? as usize;
+    if param_len > input.len() {
+        return None;
+    }
+    let (params, rest) = input.split_at(param_len);
+    let params = Bytes::copy_from_slice(params);
+    *input = rest;
+    Some(SegmentRecord {
+        gid,
+        // StartTime = EndTime − (Size − 1) × SI.
+        start_time: end_time - (size - 1) * sampling_interval,
+        end_time,
+        sampling_interval,
+        mid,
+        params,
+        gaps,
+    })
+}
+
+/// A generic length-prefixed string writer/reader for catalog metadata.
+pub fn write_str(out: &mut Vec<u8>, s: &str) {
+    varint::write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed string.
+pub fn read_str(input: &mut &[u8]) -> Result<String> {
+    let len = varint::read_u64(input).ok_or_else(truncated)? as usize;
+    if len > input.len() {
+        return Err(truncated());
+    }
+    let (head, rest) = input.split_at(len);
+    let s = String::from_utf8(head.to_vec())
+        .map_err(|_| MdbError::Corrupt("invalid utf-8 in catalog string".into()))?;
+    *input = rest;
+    Ok(s)
+}
+
+pub(crate) fn truncated() -> MdbError {
+    MdbError::Corrupt("truncated catalog or segment data".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(gid: u32, start: i64, end: i64, si: i64, gaps: u64, params: &[u8]) -> SegmentRecord {
+        SegmentRecord {
+            gid,
+            start_time: start,
+            end_time: end,
+            sampling_interval: si,
+            mid: 2,
+            params: Bytes::copy_from_slice(params),
+            gaps: GapsMask(gaps),
+        }
+    }
+
+    #[test]
+    fn segment_round_trips() {
+        let s = sample(7, 1_460_442_200_000, 1_460_442_620_000, 60_000, 0b10, &[9; 40]);
+        let mut buf = Vec::new();
+        write_segment(&mut buf, &s);
+        let mut slice = buf.as_slice();
+        let back = read_segment(&mut slice).unwrap();
+        assert_eq!(back, s);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn start_time_is_recomputed_from_size() {
+        // 8 data points at SI 100 ending at 1000 start at 300.
+        let s = sample(1, 300, 1_000, 100, 0, &[1]);
+        assert_eq!(s.len(), 8);
+        let mut buf = Vec::new();
+        write_segment(&mut buf, &s);
+        let back = read_segment(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.start_time, 300);
+    }
+
+    #[test]
+    fn multiple_segments_stream() {
+        let segs: Vec<SegmentRecord> =
+            (1..20).map(|i| sample(i, i as i64 * 100, i as i64 * 1_000, 100, u64::from(i % 4), &vec![i as u8; i as usize])).collect();
+        let mut buf = Vec::new();
+        for s in &segs {
+            write_segment(&mut buf, s);
+        }
+        let mut slice = buf.as_slice();
+        for s in &segs {
+            assert_eq!(&read_segment(&mut slice).unwrap(), s);
+        }
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn malformed_segments_rejected() {
+        let s = sample(1, 0, 900, 100, 0, &[5; 10]);
+        let mut buf = Vec::new();
+        write_segment(&mut buf, &s);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(read_segment(&mut slice).is_none(), "cut {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips() {
+        let data = b"segment block payload";
+        let base = checksum(data);
+        let mut corrupted = data.to_vec();
+        corrupted[3] ^= 0x01;
+        assert_ne!(checksum(&corrupted), base);
+        assert_eq!(checksum(data), base);
+        assert_eq!(checksum(&[]), 0x811C_9DC5);
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "Aalborg");
+        write_str(&mut buf, "");
+        write_str(&mut buf, "Farsø");
+        let mut slice = buf.as_slice();
+        assert_eq!(read_str(&mut slice).unwrap(), "Aalborg");
+        assert_eq!(read_str(&mut slice).unwrap(), "");
+        assert_eq!(read_str(&mut slice).unwrap(), "Farsø");
+        let mut bad = &buf[..2];
+        assert!(read_str(&mut bad).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn arbitrary_segments_round_trip(
+            gid in 1u32..10_000,
+            end in 0i64..2_000_000_000_000,
+            size in 1i64..5_000,
+            si in 1i64..100_000,
+            gaps in proptest::num::u64::ANY,
+            params in proptest::collection::vec(proptest::num::u8::ANY, 0..100),
+        ) {
+            let s = SegmentRecord {
+                gid,
+                start_time: end - (size - 1) * si,
+                end_time: end,
+                sampling_interval: si,
+                mid: 1,
+                params: Bytes::from(params),
+                gaps: GapsMask(gaps),
+            };
+            let mut buf = Vec::new();
+            write_segment(&mut buf, &s);
+            let back = read_segment(&mut buf.as_slice()).unwrap();
+            proptest::prop_assert_eq!(back, s);
+        }
+    }
+}

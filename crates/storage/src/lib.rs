@@ -1,0 +1,145 @@
+//! Segment storage (Section 3.3): the schema of Figure 6 behind a uniform
+//! interface with predicate push-down, playing the role Apache Cassandra
+//! plays for the paper's system.
+//!
+//! * [`codec`] — binary encodings. Segments use the Cassandra-layout
+//!   optimizations of Section 3.3: clustering by `(Gid, EndTime, Gaps)` and
+//!   storing the segment *size in data points* instead of `StartTime`
+//!   (recomputed as `StartTime = EndTime − (Size − 1) × SI`).
+//! * [`catalog`] — the Time Series table, Model table, group membership and
+//!   denormalized dimensions; the in-memory metadata cache of Figure 4.
+//! * [`memory`] — a heap-backed store for tests and benchmarks.
+//! * [`disk`] — a persistent block-log store with per-block min/max
+//!   statistics (gid and end-time ranges) for block skipping, bulk-buffered
+//!   writes (Table 1's Bulk Write Size), checksums, and crash-tolerant
+//!   recovery that truncates a torn tail block.
+
+pub mod catalog;
+pub mod codec;
+pub mod disk;
+pub mod memory;
+
+use mdb_types::{Gid, Result, SegmentRecord, Timestamp};
+
+pub use catalog::Catalog;
+pub use disk::DiskStore;
+pub use memory::MemoryStore;
+
+/// Predicates pushed down to the segment store (Section 6.2: the store only
+/// needs to index one id per segment — the Gid — plus the time interval).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SegmentPredicate {
+    /// Restrict to these groups; `None` scans all groups.
+    pub gids: Option<Vec<Gid>>,
+    /// Only segments whose interval ends at or after this time.
+    pub from: Option<Timestamp>,
+    /// Only segments whose interval starts at or before this time.
+    pub to: Option<Timestamp>,
+}
+
+impl SegmentPredicate {
+    /// Match everything.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Restrict to a set of groups.
+    pub fn for_gids(gids: Vec<Gid>) -> Self {
+        Self { gids: Some(gids), ..Self::default() }
+    }
+
+    /// Further restrict to segments overlapping `[from, to]` (inclusive).
+    pub fn with_time_range(mut self, from: Timestamp, to: Timestamp) -> Self {
+        self.from = Some(from);
+        self.to = Some(to);
+        self
+    }
+
+    /// Whether `segment` satisfies the predicate.
+    pub fn matches(&self, segment: &SegmentRecord) -> bool {
+        if let Some(gids) = &self.gids {
+            if !gids.contains(&segment.gid) {
+                return false;
+            }
+        }
+        if let Some(from) = self.from {
+            if segment.end_time < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.to {
+            if segment.start_time > to {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The uniform storage interface of Figure 4 ("Storage Interface …
+/// provides a uniform interface with predicate push-down for the persistent
+/// segment group store").
+pub trait SegmentStore: Send {
+    /// Appends one segment (buffered; durability on [`SegmentStore::flush`]).
+    fn insert(&mut self, segment: SegmentRecord) -> Result<()>;
+
+    /// Makes all buffered segments durable and queryable.
+    fn flush(&mut self) -> Result<()>;
+
+    /// Streams all segments matching `predicate`, in `(gid, end_time)` order.
+    fn scan(&self, predicate: &SegmentPredicate, f: &mut dyn FnMut(&SegmentRecord)) -> Result<()>;
+
+    /// Number of stored segments (including buffered ones).
+    fn len(&self) -> usize;
+
+    /// True when nothing is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical size of the stored segments in bytes (the quantity compared
+    /// across systems in Figures 14–15).
+    fn logical_bytes(&self) -> u64;
+
+    /// Bytes on persistent media (0 for the in-memory store).
+    fn persistent_bytes(&self) -> u64;
+}
+
+/// Collects a scan into a vector (convenience for tests and query code).
+pub fn scan_to_vec(store: &dyn SegmentStore, predicate: &SegmentPredicate) -> Result<Vec<SegmentRecord>> {
+    let mut out = Vec::new();
+    store.scan(predicate, &mut |s| out.push(s.clone()))?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mdb_types::GapsMask;
+
+    fn seg(gid: Gid, start: Timestamp, end: Timestamp) -> SegmentRecord {
+        SegmentRecord {
+            gid,
+            start_time: start,
+            end_time: end,
+            sampling_interval: 100,
+            mid: 0,
+            params: Bytes::from_static(&[1, 2, 3, 4]),
+            gaps: GapsMask::EMPTY,
+        }
+    }
+
+    #[test]
+    fn predicate_matches_gid_and_interval_overlap() {
+        let s = seg(3, 1_000, 2_000);
+        assert!(SegmentPredicate::all().matches(&s));
+        assert!(SegmentPredicate::for_gids(vec![3]).matches(&s));
+        assert!(!SegmentPredicate::for_gids(vec![4]).matches(&s));
+        assert!(SegmentPredicate::all().with_time_range(2_000, 3_000).matches(&s));
+        assert!(SegmentPredicate::all().with_time_range(0, 1_000).matches(&s));
+        assert!(!SegmentPredicate::all().with_time_range(2_100, 3_000).matches(&s));
+        assert!(!SegmentPredicate::all().with_time_range(0, 900).matches(&s));
+        assert!(SegmentPredicate::for_gids(vec![3]).with_time_range(1_500, 1_600).matches(&s));
+    }
+}

@@ -1,0 +1,161 @@
+//! An in-memory segment store: the write path's staging area (the Main
+//! Memory Segment Cache of Figure 4) and the store used by tests and
+//! micro-benchmarks.
+
+use std::collections::BTreeMap;
+
+use mdb_types::{Gid, Result, SegmentRecord};
+
+use crate::{SegmentPredicate, SegmentStore};
+
+/// Heap-backed store, ordered by `(gid, end_time, gaps)` like the
+/// Cassandra clustering key of Section 3.3.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    segments: BTreeMap<(Gid, i64, u64), SegmentRecord>,
+    logical_bytes: u64,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SegmentStore for MemoryStore {
+    fn insert(&mut self, segment: SegmentRecord) -> Result<()> {
+        self.logical_bytes += segment.storage_bytes() as u64;
+        let key = (segment.gid, segment.end_time, segment.gaps.0);
+        if let Some(old) = self.segments.insert(key, segment) {
+            self.logical_bytes -= old.storage_bytes() as u64;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn scan(&self, predicate: &SegmentPredicate, f: &mut dyn FnMut(&SegmentRecord)) -> Result<()> {
+        match &predicate.gids {
+            Some(gids) => {
+                let mut sorted = gids.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                for gid in sorted {
+                    // Range scan within one gid, using end_time >= from for
+                    // the lower bound.
+                    let lower = predicate.from.unwrap_or(i64::MIN);
+                    for (_, segment) in self.segments.range((gid, lower, 0)..=(gid, i64::MAX, u64::MAX)) {
+                        if predicate.matches(segment) {
+                            f(segment);
+                        }
+                    }
+                }
+            }
+            None => {
+                for segment in self.segments.values() {
+                    if predicate.matches(segment) {
+                        f(segment);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn logical_bytes(&self) -> u64 {
+        self.logical_bytes
+    }
+
+    fn persistent_bytes(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan_to_vec;
+    use bytes::Bytes;
+    use mdb_types::GapsMask;
+
+    fn seg(gid: Gid, start: i64, end: i64, gaps: u64) -> SegmentRecord {
+        SegmentRecord {
+            gid,
+            start_time: start,
+            end_time: end,
+            sampling_interval: 100,
+            mid: 0,
+            params: Bytes::from_static(&[0; 4]),
+            gaps: GapsMask(gaps),
+        }
+    }
+
+    #[test]
+    fn scan_orders_by_gid_then_end_time() {
+        let mut store = MemoryStore::new();
+        store.insert(seg(2, 0, 900, 0)).unwrap();
+        store.insert(seg(1, 1000, 1900, 0)).unwrap();
+        store.insert(seg(1, 0, 900, 0)).unwrap();
+        let all = scan_to_vec(&store, &SegmentPredicate::all()).unwrap();
+        let keys: Vec<(Gid, i64)> = all.iter().map(|s| (s.gid, s.end_time)).collect();
+        assert_eq!(keys, vec![(1, 900), (1, 1900), (2, 900)]);
+    }
+
+    #[test]
+    fn gid_pushdown_restricts_scan() {
+        let mut store = MemoryStore::new();
+        for gid in 1..=5 {
+            store.insert(seg(gid, 0, 900, 0)).unwrap();
+        }
+        let got = scan_to_vec(&store, &SegmentPredicate::for_gids(vec![2, 4])).unwrap();
+        assert_eq!(got.iter().map(|s| s.gid).collect::<Vec<_>>(), vec![2, 4]);
+        // Duplicate gids in the predicate do not duplicate results.
+        let got = scan_to_vec(&store, &SegmentPredicate::for_gids(vec![2, 2])).unwrap();
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn time_range_pushdown() {
+        let mut store = MemoryStore::new();
+        store.insert(seg(1, 0, 900, 0)).unwrap();
+        store.insert(seg(1, 1000, 1900, 0)).unwrap();
+        store.insert(seg(1, 2000, 2900, 0)).unwrap();
+        let got = scan_to_vec(&store, &SegmentPredicate::for_gids(vec![1]).with_time_range(950, 1950)).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].start_time, 1000);
+        // Overlap at the edges is inclusive.
+        let got = scan_to_vec(&store, &SegmentPredicate::all().with_time_range(900, 1000)).unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn sibling_segments_with_same_end_time_coexist() {
+        // Dynamic splitting produces same (gid, end_time) with different
+        // gaps — the reason Gaps is part of the primary key (Section 3.3).
+        let mut store = MemoryStore::new();
+        store.insert(seg(1, 0, 900, 0b01)).unwrap();
+        store.insert(seg(1, 0, 900, 0b10)).unwrap();
+        assert_eq!(store.len(), 2);
+        // True duplicates overwrite.
+        store.insert(seg(1, 0, 900, 0b10)).unwrap();
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn logical_bytes_tracks_inserts() {
+        let mut store = MemoryStore::new();
+        assert_eq!(store.logical_bytes(), 0);
+        store.insert(seg(1, 0, 900, 0)).unwrap();
+        assert_eq!(store.logical_bytes(), 29);
+        store.insert(seg(1, 0, 900, 0)).unwrap(); // overwrite, not double
+        assert_eq!(store.logical_bytes(), 29);
+        assert_eq!(store.persistent_bytes(), 0);
+    }
+}

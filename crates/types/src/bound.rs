@@ -1,0 +1,207 @@
+//! User-defined error bounds (the `ε` of Definition 9).
+//!
+//! The evaluation of the paper uses *relative* bounds expressed in percent
+//! (0 %, 1 %, 5 %, 10 %, Table 1), with 0 % meaning lossless. An absolute
+//! bound (uniform error norm, L∞) is also provided because the model
+//! definitions in Section 2 are stated in terms of it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::datapoint::Value;
+
+/// An error bound a model-based approximation must not exceed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ErrorBound {
+    /// No error is allowed; every reconstructed value must compare equal to
+    /// the ingested value (lossless models such as Gorilla always satisfy
+    /// this; lossy models may only represent runs of identical values).
+    Lossless,
+    /// `|approximation − value| ≤ bound` for every represented value.
+    Absolute(f64),
+    /// `|approximation − value| ≤ percent/100 × |value|` for every represented
+    /// value. A value of exactly `0.0` behaves like [`ErrorBound::Lossless`].
+    Relative(f64),
+}
+
+impl ErrorBound {
+    /// A relative bound of `percent`; `0.0` collapses to lossless, matching
+    /// the paper's convention that a 0 % bound means exact reconstruction.
+    pub fn relative(percent: f64) -> Self {
+        assert!(percent >= 0.0 && percent.is_finite(), "bound must be a finite non-negative percentage");
+        if percent == 0.0 {
+            ErrorBound::Lossless
+        } else {
+            ErrorBound::Relative(percent)
+        }
+    }
+
+    /// An absolute bound of `epsilon`; `0.0` collapses to lossless.
+    pub fn absolute(epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "bound must be finite and non-negative");
+        if epsilon == 0.0 {
+            ErrorBound::Lossless
+        } else {
+            ErrorBound::Absolute(epsilon)
+        }
+    }
+
+    /// Is this bound lossless (no deviation allowed)?
+    pub fn is_lossless(&self) -> bool {
+        matches!(self, ErrorBound::Lossless)
+    }
+
+    /// Whether `approximation` may stand in for `value` under this bound.
+    ///
+    /// Non-finite values are only ever within bound of themselves, which makes
+    /// lossy models reject NaN/±∞ and forces those onto the lossless path.
+    pub fn within(&self, approximation: Value, value: Value) -> bool {
+        if !approximation.is_finite() || !value.is_finite() {
+            return approximation == value || (approximation.is_nan() && value.is_nan());
+        }
+        match self {
+            ErrorBound::Lossless => approximation == value,
+            ErrorBound::Absolute(eps) => {
+                (f64::from(approximation) - f64::from(value)).abs() <= *eps
+            }
+            ErrorBound::Relative(pct) => {
+                let (a, v) = (f64::from(approximation), f64::from(value));
+                if a == v {
+                    return true;
+                }
+                (a - v).abs() <= pct / 100.0 * v.abs()
+            }
+        }
+    }
+
+    /// The half-width of the interval of acceptable approximations around
+    /// `value`: a model may emit any value in `[value − ε, value + ε]`.
+    pub fn epsilon_for(&self, value: Value) -> f64 {
+        match self {
+            ErrorBound::Lossless => 0.0,
+            ErrorBound::Absolute(eps) => *eps,
+            ErrorBound::Relative(pct) => pct / 100.0 * f64::from(value).abs(),
+        }
+    }
+
+    /// The interval `[low, high]` of approximations acceptable for `value`.
+    /// Non-finite values produce an empty-interval signal `(NaN, NaN)` so that
+    /// callers intersecting intervals fail closed.
+    pub fn interval_for(&self, value: Value) -> (f64, f64) {
+        if !value.is_finite() {
+            return (f64::NAN, f64::NAN);
+        }
+        let v = f64::from(value);
+        let eps = self.epsilon_for(value);
+        (v - eps, v + eps)
+    }
+
+    /// Twice the allowed error, used by the split/join heuristics of
+    /// Section 4.2: two data points can only be approximated together if they
+    /// are within the *double* error bound of each other (Algorithm 3).
+    pub fn within_double(&self, a: Value, b: Value) -> bool {
+        if !a.is_finite() || !b.is_finite() {
+            return a == b || (a.is_nan() && b.is_nan());
+        }
+        match self {
+            ErrorBound::Lossless => a == b,
+            ErrorBound::Absolute(eps) => (f64::from(a) - f64::from(b)).abs() <= 2.0 * eps,
+            ErrorBound::Relative(pct) => {
+                let (x, y) = (f64::from(a), f64::from(b));
+                if x == y {
+                    return true;
+                }
+                // Both points must be approximable by one value; the widest
+                // tolerance is ε(x) + ε(y).
+                (x - y).abs() <= pct / 100.0 * (x.abs() + y.abs())
+            }
+        }
+    }
+}
+
+impl Default for ErrorBound {
+    fn default() -> Self {
+        ErrorBound::Lossless
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_collapses_to_lossless() {
+        assert!(ErrorBound::relative(0.0).is_lossless());
+        assert!(ErrorBound::absolute(0.0).is_lossless());
+        assert!(!ErrorBound::relative(1.0).is_lossless());
+    }
+
+    #[test]
+    fn lossless_requires_equality() {
+        let b = ErrorBound::Lossless;
+        assert!(b.within(1.0, 1.0));
+        assert!(!b.within(1.0, 1.0000001));
+    }
+
+    #[test]
+    fn absolute_bound_checks_distance() {
+        let b = ErrorBound::absolute(1.0);
+        assert!(b.within(169.7, 170.7));
+        assert!(b.within(169.7, 168.7));
+        assert!(!b.within(169.7, 171.8));
+    }
+
+    #[test]
+    fn relative_bound_scales_with_value() {
+        let b = ErrorBound::relative(10.0);
+        assert!(b.within(99.0, 100.0)); // 1% off
+        assert!(b.within(90.0, 100.0)); // exactly 10% off
+        assert!(!b.within(89.0, 100.0)); // 11% off
+        // Small values allow only small absolute deviation.
+        assert!(!b.within(0.2, 0.1));
+        assert!(b.within(0.105, 0.1));
+    }
+
+    #[test]
+    fn relative_bound_zero_value_only_accepts_zero() {
+        let b = ErrorBound::relative(10.0);
+        assert!(b.within(0.0, 0.0));
+        assert!(!b.within(0.001, 0.0));
+    }
+
+    #[test]
+    fn non_finite_values_fail_closed() {
+        let b = ErrorBound::relative(10.0);
+        assert!(!b.within(1.0, f32::NAN));
+        assert!(!b.within(f32::INFINITY, 1.0));
+        assert!(b.within(f32::NAN, f32::NAN));
+        assert!(b.within(f32::INFINITY, f32::INFINITY));
+    }
+
+    #[test]
+    fn interval_for_is_symmetric_around_value() {
+        let b = ErrorBound::relative(5.0);
+        let (lo, hi) = b.interval_for(200.0);
+        assert_eq!(lo, 190.0);
+        assert_eq!(hi, 210.0);
+        let (lo, hi) = b.interval_for(-200.0);
+        assert_eq!(lo, -210.0);
+        assert_eq!(hi, -190.0);
+    }
+
+    #[test]
+    fn double_bound_is_wider_than_single() {
+        let b = ErrorBound::absolute(1.0);
+        assert!(!b.within(100.0, 101.5));
+        assert!(b.within_double(100.0, 101.5));
+        assert!(!b.within_double(100.0, 102.5));
+    }
+
+    #[test]
+    fn paper_example_linear_model_error() {
+        // Section 2: mest = −0.047t + 192.2 represents (500, 169.7) with
+        // error |169.7 − 168.7| = 1, so an absolute bound of 1 accepts it.
+        let approx = -0.047_f32 * 500.0 + 192.2;
+        assert!(ErrorBound::absolute(1.0).within(approx, 169.7));
+        assert!(!ErrorBound::absolute(0.5).within(approx, 169.7));
+    }
+}

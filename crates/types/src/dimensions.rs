@@ -1,0 +1,421 @@
+//! User-defined dimensions (Definition 7).
+//!
+//! A dimension `D = (member, level, parent)` organizes descriptions of time
+//! series in a hierarchy with the special member ⊤ at level 0 and the most
+//! detailed members at level `n` (one per time series). For wind turbines the
+//! paper's example is the Location dimension `Turbine → Park → Region →
+//! Country → ⊤` where `level(Turbine member) = 4` and `level(⊤) = 0`
+//! (Figure 7).
+//!
+//! Members are interned into a pool of [`MemberId`]s so that comparing
+//! members, computing lowest common ancestors (LCA), and hash-joining
+//! dimension columns onto segments (Section 6.1) are integer operations.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::datapoint::Tid;
+use crate::error::{MdbError, Result};
+
+/// The level of ⊤, the top of every hierarchy.
+pub const LEVEL_TOP: usize = 0;
+
+/// Interned identifier for a dimension member. `MemberId(0)` is reserved
+/// for ⊤.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MemberId(pub u32);
+
+/// ⊤ — the shared top element of every dimension hierarchy.
+pub const MEMBER_TOP: MemberId = MemberId(0);
+
+/// The static shape of one dimension: its name and its level names ordered
+/// from level 1 (most general, directly below ⊤) to level `n` (most
+/// detailed; the level of `member(TS)`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimensionSchema {
+    name: String,
+    /// `levels[0]` is level 1, `levels[n-1]` is level `n`.
+    levels: Vec<String>,
+}
+
+impl DimensionSchema {
+    /// A dimension whose levels are listed from the most general to the most
+    /// detailed, e.g. `["Country", "Region", "Park", "Turbine"]`.
+    pub fn new(name: impl Into<String>, levels_general_to_detailed: Vec<String>) -> Result<Self> {
+        let levels = levels_general_to_detailed;
+        if levels.is_empty() {
+            return Err(MdbError::Config("a dimension needs at least one level".into()));
+        }
+        Ok(Self { name: name.into(), levels })
+    }
+
+    /// Convenience constructor matching how the paper writes hierarchies:
+    /// from the entity up towards ⊤ (`Turbine → Park → Region → Country`).
+    pub fn from_leaf_up(name: impl Into<String>, levels_detailed_to_general: Vec<String>) -> Result<Self> {
+        let mut levels = levels_detailed_to_general;
+        levels.reverse();
+        Self::new(name, levels)
+    }
+
+    /// The dimension's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of levels below ⊤ (the `n` of Definition 7; also the
+    /// hierarchy height used by Algorithm 2).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The name of `level` (1-based; level 0 is ⊤ and has no name).
+    pub fn level_name(&self, level: usize) -> Option<&str> {
+        if level == LEVEL_TOP {
+            None
+        } else {
+            self.levels.get(level - 1).map(String::as_str)
+        }
+    }
+
+    /// The 1-based level with the given name, if any.
+    pub fn level_of(&self, level_name: &str) -> Option<usize> {
+        self.levels.iter().position(|l| l.eq_ignore_ascii_case(level_name)).map(|i| i + 1)
+    }
+}
+
+/// The dimensions of a data set plus the member paths of every time series.
+///
+/// This also serves as the in-memory *metadata cache* of Figure 4: the
+/// denormalized dimension columns of the Time Series table (Figure 6) are
+/// resolved from here with array lookups during query processing.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dimensions {
+    schemas: Vec<DimensionSchema>,
+    /// Interned member strings; index = MemberId.0. `pool[0]` is ⊤.
+    pool: Vec<String>,
+    #[serde(skip)]
+    interned: HashMap<String, MemberId>,
+    /// `paths[&tid][dim][level-1]` is the member of `tid` at `level` of
+    /// dimension `dim`.
+    paths: HashMap<Tid, Vec<Vec<MemberId>>>,
+    /// Inverted index `(dim, level, member) → tids`, used to rewrite WHERE
+    /// clauses on dimension members into Gid predicates (Section 6.2).
+    #[serde(skip)]
+    by_member: HashMap<(usize, usize, MemberId), Vec<Tid>>,
+}
+
+impl Dimensions {
+    /// An empty set of dimensions.
+    pub fn new() -> Self {
+        let mut d = Self::default();
+        d.pool.push("⊤".to_string());
+        d.interned.insert("⊤".to_string(), MEMBER_TOP);
+        d
+    }
+
+    /// Registers a dimension. Level names must be unique across all
+    /// dimensions so they can be used as unqualified column names in SQL.
+    pub fn add_dimension(&mut self, schema: DimensionSchema) -> Result<usize> {
+        for existing in &self.schemas {
+            if existing.name.eq_ignore_ascii_case(&schema.name) {
+                return Err(MdbError::Config(format!("duplicate dimension {}", schema.name)));
+            }
+            for level in &schema.levels {
+                if existing.levels.iter().any(|l| l.eq_ignore_ascii_case(level)) {
+                    return Err(MdbError::Config(format!(
+                        "level name {level} appears in both {} and {}",
+                        existing.name, schema.name
+                    )));
+                }
+            }
+        }
+        self.schemas.push(schema);
+        Ok(self.schemas.len() - 1)
+    }
+
+    /// All registered dimension schemas, indexed by dimension id.
+    pub fn schemas(&self) -> &[DimensionSchema] {
+        &self.schemas
+    }
+
+    /// The number of dimensions (the `|Dimensions|` of Algorithm 2).
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// True when no dimensions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// The id of the dimension called `name`.
+    pub fn dimension_id(&self, name: &str) -> Option<usize> {
+        self.schemas.iter().position(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Resolves an unqualified level name (`Park`, `Category`, …) to the
+    /// `(dimension, level)` pair it belongs to.
+    pub fn resolve_level(&self, level_name: &str) -> Option<(usize, usize)> {
+        self.schemas
+            .iter()
+            .enumerate()
+            .find_map(|(d, s)| s.level_of(level_name).map(|l| (d, l)))
+    }
+
+    /// Interns a member string, returning its id.
+    pub fn intern(&mut self, member: &str) -> MemberId {
+        if let Some(&id) = self.interned.get(member) {
+            return id;
+        }
+        let id = MemberId(self.pool.len() as u32);
+        self.pool.push(member.to_string());
+        self.interned.insert(member.to_string(), id);
+        id
+    }
+
+    /// The id of an already-interned member string, if any.
+    pub fn member_id(&self, member: &str) -> Option<MemberId> {
+        self.interned.get(member).copied()
+    }
+
+    /// The string for a member id.
+    pub fn member_name(&self, id: MemberId) -> &str {
+        &self.pool[id.0 as usize]
+    }
+
+    /// Records the member path of `tid` in dimension `dim`, given from the
+    /// most general level down to the leaf (e.g. `["Denmark", "Nordjylland",
+    /// "Aalborg", "9634"]` for the Location dimension of Figure 7).
+    pub fn set_members(&mut self, tid: Tid, dim: usize, path_general_to_detailed: &[&str]) -> Result<()> {
+        let schema = self
+            .schemas
+            .get(dim)
+            .ok_or_else(|| MdbError::NotFound(format!("dimension {dim}")))?;
+        if path_general_to_detailed.len() != schema.height() {
+            return Err(MdbError::Config(format!(
+                "dimension {} has {} levels but the path for tid {tid} has {}",
+                schema.name,
+                schema.height(),
+                path_general_to_detailed.len()
+            )));
+        }
+        let n_dims = self.schemas.len();
+        let ids: Vec<MemberId> = path_general_to_detailed.iter().map(|m| self.intern(m)).collect();
+        let entry = self.paths.entry(tid).or_insert_with(|| vec![Vec::new(); n_dims]);
+        if entry.len() < n_dims {
+            entry.resize(n_dims, Vec::new());
+        }
+        entry[dim] = ids.clone();
+        for (i, id) in ids.into_iter().enumerate() {
+            let tids = self.by_member.entry((dim, i + 1, id)).or_default();
+            if !tids.contains(&tid) {
+                tids.push(tid);
+            }
+        }
+        Ok(())
+    }
+
+    /// The member of `tid` at `level` of dimension `dim`. Level 0 is ⊤ for
+    /// every series.
+    pub fn member(&self, tid: Tid, dim: usize, level: usize) -> Option<MemberId> {
+        if level == LEVEL_TOP {
+            return Some(MEMBER_TOP);
+        }
+        self.paths.get(&tid)?.get(dim)?.get(level - 1).copied()
+    }
+
+    /// The full member path of `tid` in `dim`, general → detailed.
+    pub fn path(&self, tid: Tid, dim: usize) -> Option<&[MemberId]> {
+        self.paths.get(&tid).and_then(|p| p.get(dim)).map(Vec::as_slice)
+    }
+
+    /// The tids whose member at `(dim, level)` is `member` — the inverted
+    /// index used by query rewriting.
+    pub fn tids_with_member(&self, dim: usize, level: usize, member: MemberId) -> &[Tid] {
+        self.by_member.get(&(dim, level, member)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The Lowest Common Ancestor *level* of two sets of time series in
+    /// `dim` (Section 4.1): the deepest level at which **all** series of both
+    /// sets share the same member, walking down from ⊤. Level 0 means they
+    /// only share ⊤.
+    pub fn lca_level(&self, a: &[Tid], b: &[Tid], dim: usize) -> usize {
+        let height = match self.schemas.get(dim) {
+            Some(s) => s.height(),
+            None => return LEVEL_TOP,
+        };
+        let mut tids = a.iter().chain(b.iter());
+        let first = match tids.next() {
+            Some(t) => *t,
+            None => return LEVEL_TOP,
+        };
+        let mut lca = height;
+        let first_path = match self.path(first, dim) {
+            Some(p) => p,
+            None => return LEVEL_TOP,
+        };
+        for &tid in tids {
+            let path = match self.path(tid, dim) {
+                Some(p) => p,
+                None => return LEVEL_TOP,
+            };
+            let mut common = 0;
+            for level in 0..lca {
+                if path.get(level) == first_path.get(level) && path.get(level).is_some() {
+                    common = level + 1;
+                } else {
+                    break;
+                }
+            }
+            lca = lca.min(common);
+            if lca == 0 {
+                return LEVEL_TOP;
+            }
+        }
+        lca
+    }
+
+    /// Rebuilds the transient indexes (interning table, inverted member
+    /// index) after deserialization.
+    pub fn rebuild_indexes(&mut self) {
+        self.interned = self
+            .pool
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), MemberId(i as u32)))
+            .collect();
+        self.by_member.clear();
+        let paths: Vec<(Tid, Vec<Vec<MemberId>>)> =
+            self.paths.iter().map(|(t, p)| (*t, p.clone())).collect();
+        for (tid, dims) in paths {
+            for (dim, path) in dims.iter().enumerate() {
+                for (i, id) in path.iter().enumerate() {
+                    let tids = self.by_member.entry((dim, i + 1, *id)).or_default();
+                    if !tids.contains(&tid) {
+                        tids.push(tid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All tids that have dimension metadata.
+    pub fn tids(&self) -> impl Iterator<Item = Tid> + '_ {
+        self.paths.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the Location dimension of Figure 7 with three turbines.
+    fn figure7() -> Dimensions {
+        let mut dims = Dimensions::new();
+        let loc = dims
+            .add_dimension(
+                DimensionSchema::from_leaf_up(
+                    "Location",
+                    vec!["Turbine".into(), "Park".into(), "Region".into(), "Country".into()],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        dims.set_members(1, loc, &["Denmark", "Nordjylland", "Farsø", "9572"]).unwrap();
+        dims.set_members(2, loc, &["Denmark", "Nordjylland", "Aalborg", "9632"]).unwrap();
+        dims.set_members(3, loc, &["Denmark", "Nordjylland", "Aalborg", "9634"]).unwrap();
+        dims
+    }
+
+    #[test]
+    fn from_leaf_up_reverses_levels() {
+        let s = DimensionSchema::from_leaf_up(
+            "Location",
+            vec!["Turbine".into(), "Park".into(), "Region".into(), "Country".into()],
+        )
+        .unwrap();
+        assert_eq!(s.level_name(1), Some("Country"));
+        assert_eq!(s.level_name(4), Some("Turbine"));
+        assert_eq!(s.level_name(0), None);
+        assert_eq!(s.height(), 4);
+        assert_eq!(s.level_of("park"), Some(3));
+    }
+
+    #[test]
+    fn member_lookup_and_top() {
+        let dims = figure7();
+        assert_eq!(dims.member(2, 0, LEVEL_TOP), Some(MEMBER_TOP));
+        let park = dims.member(2, 0, 3).unwrap();
+        assert_eq!(dims.member_name(park), "Aalborg");
+        let turbine = dims.member(2, 0, 4).unwrap();
+        assert_eq!(dims.member_name(turbine), "9632");
+    }
+
+    #[test]
+    fn figure7_lca_of_tid2_and_tid3_is_park_level() {
+        // The paper: "the LCA for Tid = 2 and Tid = 3 is the member Park",
+        // i.e. level 3 of 4.
+        let dims = figure7();
+        assert_eq!(dims.lca_level(&[2], &[3], 0), 3);
+        // Tid 1 is in a different park, so its LCA with the others is Region.
+        assert_eq!(dims.lca_level(&[1], &[3], 0), 2);
+        assert_eq!(dims.lca_level(&[1], &[2, 3], 0), 2);
+        // A group compared with itself matches fully.
+        assert_eq!(dims.lca_level(&[2], &[2], 0), 4);
+    }
+
+    #[test]
+    fn lca_handles_missing_metadata() {
+        let dims = figure7();
+        assert_eq!(dims.lca_level(&[2], &[99], 0), LEVEL_TOP);
+        assert_eq!(dims.lca_level(&[], &[], 0), LEVEL_TOP);
+    }
+
+    #[test]
+    fn inverted_index_finds_tids_by_member() {
+        let dims = figure7();
+        let aalborg = dims.member_id("Aalborg").unwrap();
+        let mut tids = dims.tids_with_member(0, 3, aalborg).to_vec();
+        tids.sort();
+        assert_eq!(tids, vec![2, 3]);
+        let denmark = dims.member_id("Denmark").unwrap();
+        assert_eq!(dims.tids_with_member(0, 1, denmark).len(), 3);
+        // Wrong level finds nothing.
+        assert!(dims.tids_with_member(0, 2, aalborg).is_empty());
+    }
+
+    #[test]
+    fn duplicate_level_names_rejected() {
+        let mut dims = figure7();
+        let err = dims.add_dimension(
+            DimensionSchema::new("Measure", vec!["Category".into(), "Park".into()]).unwrap(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn resolve_level_searches_all_dimensions() {
+        let mut dims = figure7();
+        dims.add_dimension(DimensionSchema::new("Measure", vec!["Category".into(), "Concrete".into()]).unwrap())
+            .unwrap();
+        assert_eq!(dims.resolve_level("Park"), Some((0, 3)));
+        assert_eq!(dims.resolve_level("Concrete"), Some((1, 2)));
+        assert_eq!(dims.resolve_level("Nope"), None);
+    }
+
+    #[test]
+    fn wrong_path_length_rejected() {
+        let mut dims = figure7();
+        assert!(dims.set_members(9, 0, &["Denmark", "Nordjylland"]).is_err());
+    }
+
+    #[test]
+    fn rebuild_indexes_restores_lookup() {
+        let mut dims = figure7();
+        dims.rebuild_indexes();
+        let aalborg = dims.member_id("Aalborg").unwrap();
+        assert_eq!(dims.tids_with_member(0, 3, aalborg).len(), 2);
+        assert_eq!(dims.lca_level(&[2], &[3], 0), 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! The shared error type for the workspace.
+
+use std::fmt;
+
+/// Convenience alias used across all `mdb-*` crates.
+pub type Result<T> = std::result::Result<T, MdbError>;
+
+/// Errors surfaced by the ModelarDB+ reproduction.
+///
+/// The variants are deliberately coarse: callers almost always either log the
+/// error or convert it to a process exit, so a description plus enough context
+/// to locate the failure is what matters.
+#[derive(Debug)]
+pub enum MdbError {
+    /// Invalid user configuration (correlation clauses, error bounds, …).
+    Config(String),
+    /// A time series violated an ingestion invariant (unaligned timestamp,
+    /// non-monotonic time, mismatched sampling interval, …).
+    Ingestion(String),
+    /// Corrupt or truncated on-disk data.
+    Corrupt(String),
+    /// A query referenced unknown tids, members, columns, or used unsupported
+    /// syntax.
+    Query(String),
+    /// Attempt to look up metadata that does not exist.
+    NotFound(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdbError::Config(m) => write!(f, "configuration error: {m}"),
+            MdbError::Ingestion(m) => write!(f, "ingestion error: {m}"),
+            MdbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            MdbError::Query(m) => write!(f, "query error: {m}"),
+            MdbError::NotFound(m) => write!(f, "not found: {m}"),
+            MdbError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MdbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MdbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MdbError {
+    fn from(e: std::io::Error) -> Self {
+        MdbError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = MdbError::Config("bad clause".into());
+        assert_eq!(e.to_string(), "configuration error: bad clause");
+        let e = MdbError::Query("no such tid 7".into());
+        assert!(e.to_string().contains("no such tid 7"));
+    }
+
+    #[test]
+    fn io_error_round_trips_through_from() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: MdbError = io.into();
+        assert!(matches!(e, MdbError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

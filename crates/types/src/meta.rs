@@ -1,0 +1,142 @@
+//! Metadata for time series and time series groups: the Time Series table of
+//! the storage schema (Figure 6) and Definition 8.
+
+use serde::{Deserialize, Serialize};
+
+use crate::datapoint::{Tid, Timestamp};
+use crate::error::{MdbError, Result};
+
+/// Time series *group* identifier (the `Gid` column of Figure 6).
+pub type Gid = u32;
+
+/// One row of the Time Series table (Figure 6): per-series metadata plus the
+/// group assignment computed by the partitioner.
+///
+/// The only required metadata is the sampling interval; `scaling` is the
+/// constant applied to each value during ingestion and divided back out
+/// during query processing so that correlated series with different value
+/// ranges can share one model (Section 3.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeriesMeta {
+    /// The series identifier; tids start at 1.
+    pub tid: Tid,
+    /// Sampling interval in milliseconds (Definition 3).
+    pub sampling_interval: i64,
+    /// Scaling constant applied at ingestion, divided out at query time.
+    pub scaling: f64,
+    /// The group this series was partitioned into.
+    pub gid: Gid,
+}
+
+impl TimeSeriesMeta {
+    /// Metadata with the default scaling constant of 1.0 and no group.
+    pub fn new(tid: Tid, sampling_interval: i64) -> Self {
+        Self { tid, sampling_interval, scaling: 1.0, gid: 0 }
+    }
+}
+
+/// A time series group (Definition 8): a set of regular time series, possibly
+/// with gaps, sharing one sampling interval and aligned start offsets
+/// (`t1i mod SI = t1j mod SI`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupMeta {
+    /// The group identifier; gids start at 1.
+    pub gid: Gid,
+    /// Member series, in the fixed order that positions them in a segment's
+    /// gaps bitmask.
+    pub tids: Vec<Tid>,
+    /// The shared sampling interval in milliseconds.
+    pub sampling_interval: i64,
+}
+
+impl GroupMeta {
+    /// Builds a group, validating Definition 8's requirements against the
+    /// member series' metadata.
+    pub fn new(gid: Gid, tids: Vec<Tid>, members: &[TimeSeriesMeta]) -> Result<Self> {
+        if tids.is_empty() {
+            return Err(MdbError::Config(format!("group {gid} has no members")));
+        }
+        let mut si = None;
+        for tid in &tids {
+            let meta = members
+                .iter()
+                .find(|m| m.tid == *tid)
+                .ok_or_else(|| MdbError::NotFound(format!("time series {tid}")))?;
+            match si {
+                None => si = Some(meta.sampling_interval),
+                Some(s) if s != meta.sampling_interval => {
+                    return Err(MdbError::Config(format!(
+                        "group {gid} mixes sampling intervals {s} and {}",
+                        meta.sampling_interval
+                    )));
+                }
+                _ => {}
+            }
+        }
+        Ok(Self { gid, tids, sampling_interval: si.unwrap() })
+    }
+
+    /// The position of `tid` inside this group (its bit in the gaps mask).
+    pub fn position(&self, tid: Tid) -> Option<usize> {
+        self.tids.iter().position(|t| *t == tid)
+    }
+
+    /// Number of member series.
+    pub fn size(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// Checks that `timestamp` is aligned to the group's tick grid anchored
+    /// at `anchor` (the first timestamp the group ever ingested).
+    pub fn aligned(&self, anchor: Timestamp, timestamp: Timestamp) -> bool {
+        (timestamp - anchor) % self.sampling_interval == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metas() -> Vec<TimeSeriesMeta> {
+        vec![
+            TimeSeriesMeta::new(1, 100),
+            TimeSeriesMeta::new(2, 100),
+            TimeSeriesMeta::new(3, 60_000),
+        ]
+    }
+
+    #[test]
+    fn group_requires_matching_sampling_intervals() {
+        let ms = metas();
+        assert!(GroupMeta::new(1, vec![1, 2], &ms).is_ok());
+        // Definition 8: the irregular/mismatched series cannot join the group.
+        let err = GroupMeta::new(2, vec![1, 3], &ms);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn group_rejects_unknown_and_empty_members() {
+        let ms = metas();
+        assert!(GroupMeta::new(1, vec![9], &ms).is_err());
+        assert!(GroupMeta::new(1, vec![], &ms).is_err());
+    }
+
+    #[test]
+    fn position_is_the_gap_bit_index() {
+        let ms = metas();
+        let g = GroupMeta::new(1, vec![2, 1], &ms).unwrap();
+        assert_eq!(g.position(2), Some(0));
+        assert_eq!(g.position(1), Some(1));
+        assert_eq!(g.position(3), None);
+        assert_eq!(g.size(), 2);
+    }
+
+    #[test]
+    fn alignment_is_modulo_sampling_interval() {
+        let ms = metas();
+        let g = GroupMeta::new(1, vec![1, 2], &ms).unwrap();
+        assert!(g.aligned(100, 500));
+        assert!(!g.aligned(100, 550));
+        assert!(g.aligned(100, 100));
+    }
+}

@@ -1,0 +1,349 @@
+//! A dependency-free proleptic-Gregorian UTC calendar.
+//!
+//! Aggregation in the time dimension (Section 6.3, Algorithm 6) needs to
+//! split segment intervals at calendar boundaries (`ceilToLevel`,
+//! `updateForLevel`) and to compute DatePart-style group keys (the
+//! `CUBE_SUM_HOUR` example of Figure 12 groups by hour of day; the paper also
+//! highlights aggregates over "the days of months" that InfluxDB cannot
+//! express). No date/time crate is on the approved dependency list, so the
+//! conversions are implemented here with Howard Hinnant's `civil_from_days` /
+//! `days_from_civil` algorithms and tested against a naive day-walking
+//! reference.
+
+use serde::{Deserialize, Serialize};
+
+use crate::datapoint::Timestamp;
+
+/// Milliseconds per second/minute/hour/day.
+pub const MS_PER_SECOND: i64 = 1_000;
+pub const MS_PER_MINUTE: i64 = 60 * MS_PER_SECOND;
+pub const MS_PER_HOUR: i64 = 60 * MS_PER_MINUTE;
+pub const MS_PER_DAY: i64 = 24 * MS_PER_HOUR;
+
+/// A level of the implicit time hierarchy used by `CUBE_<AGG>_<LEVEL>`
+/// functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeLevel {
+    Year,
+    Month,
+    Day,
+    Hour,
+    Minute,
+    Second,
+}
+
+impl TimeLevel {
+    /// Parses the suffix of a `CUBE_*` function name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "YEAR" => Some(TimeLevel::Year),
+            "MONTH" => Some(TimeLevel::Month),
+            "DAY" => Some(TimeLevel::Day),
+            "HOUR" => Some(TimeLevel::Hour),
+            "MINUTE" => Some(TimeLevel::Minute),
+            "SECOND" => Some(TimeLevel::Second),
+            _ => None,
+        }
+    }
+
+    /// The fixed duration of one unit at this level, when one exists
+    /// (months and years vary).
+    pub fn fixed_duration_ms(&self) -> Option<i64> {
+        match self {
+            TimeLevel::Second => Some(MS_PER_SECOND),
+            TimeLevel::Minute => Some(MS_PER_MINUTE),
+            TimeLevel::Hour => Some(MS_PER_HOUR),
+            TimeLevel::Day => Some(MS_PER_DAY),
+            TimeLevel::Month | TimeLevel::Year => None,
+        }
+    }
+}
+
+/// A broken-down UTC timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Civil {
+    pub year: i64,
+    /// 1–12.
+    pub month: u32,
+    /// 1–31.
+    pub day: u32,
+    /// 0–23.
+    pub hour: u32,
+    /// 0–59.
+    pub minute: u32,
+    /// 0–59.
+    pub second: u32,
+    /// 0–999.
+    pub millisecond: u32,
+}
+
+/// Days since 1970-01-01 for a civil date (Hinnant's `days_from_civil`).
+pub fn days_from_civil(year: i64, month: u32, day: u32) -> i64 {
+    debug_assert!((1..=12).contains(&month));
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64;
+    let mp = if month > 2 { month - 3 } else { month + 9 } as i64;
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since 1970-01-01 (Hinnant's `civil_from_days`).
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Is `year` a leap year in the proleptic Gregorian calendar?
+pub fn is_leap_year(year: i64) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// The number of days in `month` of `year`.
+pub fn days_in_month(year: i64, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("month {month} out of range"),
+    }
+}
+
+/// Breaks a millisecond timestamp into civil UTC fields.
+pub fn decompose(ts: Timestamp) -> Civil {
+    let days = ts.div_euclid(MS_PER_DAY);
+    let ms_of_day = ts.rem_euclid(MS_PER_DAY);
+    let (year, month, day) = civil_from_days(days);
+    Civil {
+        year,
+        month,
+        day,
+        hour: (ms_of_day / MS_PER_HOUR) as u32,
+        minute: (ms_of_day % MS_PER_HOUR / MS_PER_MINUTE) as u32,
+        second: (ms_of_day % MS_PER_MINUTE / MS_PER_SECOND) as u32,
+        millisecond: (ms_of_day % MS_PER_SECOND) as u32,
+    }
+}
+
+/// Rebuilds a millisecond timestamp from civil UTC fields.
+pub fn compose(c: Civil) -> Timestamp {
+    days_from_civil(c.year, c.month, c.day) * MS_PER_DAY
+        + i64::from(c.hour) * MS_PER_HOUR
+        + i64::from(c.minute) * MS_PER_MINUTE
+        + i64::from(c.second) * MS_PER_SECOND
+        + i64::from(c.millisecond)
+}
+
+/// Floors `ts` to the start of the calendar unit containing it at `level`.
+pub fn truncate(level: TimeLevel, ts: Timestamp) -> Timestamp {
+    if let Some(unit) = level.fixed_duration_ms() {
+        return ts.div_euclid(unit) * unit;
+    }
+    let c = decompose(ts);
+    match level {
+        TimeLevel::Month => days_from_civil(c.year, c.month, 1) * MS_PER_DAY,
+        TimeLevel::Year => days_from_civil(c.year, 1, 1) * MS_PER_DAY,
+        _ => unreachable!(),
+    }
+}
+
+/// The first boundary of `level` strictly after `ts` — the `ceilToLevel` /
+/// `updateForLevel` helpers of Algorithm 6 (for a timestamp exactly on a
+/// boundary, the *next* boundary is returned so that the interval
+/// `[boundary, next)` is half-open).
+pub fn next_boundary(level: TimeLevel, ts: Timestamp) -> Timestamp {
+    if let Some(unit) = level.fixed_duration_ms() {
+        return (ts.div_euclid(unit) + 1) * unit;
+    }
+    let c = decompose(ts);
+    match level {
+        TimeLevel::Month => {
+            let (y, m) = if c.month == 12 { (c.year + 1, 1) } else { (c.year, c.month + 1) };
+            days_from_civil(y, m, 1) * MS_PER_DAY
+        }
+        TimeLevel::Year => days_from_civil(c.year + 1, 1, 1) * MS_PER_DAY,
+        _ => unreachable!(),
+    }
+}
+
+/// The DatePart-style group key of `ts` at `level`: year number, month of
+/// year (1–12), day of month (1–31), hour of day (0–23), minute of hour, or
+/// second of minute. This is the key space of the `CUBE_*` result maps in
+/// Figure 12 (`{0: …, 1: …, 2: …}` for hours of the day).
+pub fn part(level: TimeLevel, ts: Timestamp) -> i64 {
+    let c = decompose(ts);
+    match level {
+        TimeLevel::Year => c.year,
+        TimeLevel::Month => i64::from(c.month),
+        TimeLevel::Day => i64::from(c.day),
+        TimeLevel::Hour => i64::from(c.hour),
+        TimeLevel::Minute => i64::from(c.minute),
+        TimeLevel::Second => i64::from(c.second),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970_01_01() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        let c = decompose(0);
+        assert_eq!((c.year, c.month, c.day, c.hour, c.minute, c.second, c.millisecond), (1970, 1, 1, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        // 2016-04-12 ~= the EndTime values in Figure 6 (1460442620000 ms).
+        let c = decompose(1_460_442_620_000);
+        assert_eq!((c.year, c.month, c.day), (2016, 4, 12));
+        assert_eq!(compose(c), 1_460_442_620_000);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2024));
+        assert!(!is_leap_year(2023));
+        assert_eq!(days_in_month(2024, 2), 29);
+        assert_eq!(days_in_month(2023, 2), 28);
+        assert_eq!(days_in_month(2023, 12), 31);
+    }
+
+    #[test]
+    fn truncate_fixed_levels() {
+        let ts = compose(Civil { year: 2021, month: 3, day: 7, hour: 13, minute: 45, second: 12, millisecond: 345 });
+        let h = decompose(truncate(TimeLevel::Hour, ts));
+        assert_eq!((h.hour, h.minute, h.second, h.millisecond), (13, 0, 0, 0));
+        let m = decompose(truncate(TimeLevel::Minute, ts));
+        assert_eq!((m.minute, m.second), (45, 0));
+        let d = decompose(truncate(TimeLevel::Day, ts));
+        assert_eq!((d.day, d.hour), (7, 0));
+    }
+
+    #[test]
+    fn truncate_variable_levels() {
+        let ts = compose(Civil { year: 2021, month: 3, day: 7, hour: 13, minute: 45, second: 12, millisecond: 345 });
+        let mo = decompose(truncate(TimeLevel::Month, ts));
+        assert_eq!((mo.year, mo.month, mo.day, mo.hour), (2021, 3, 1, 0));
+        let y = decompose(truncate(TimeLevel::Year, ts));
+        assert_eq!((y.year, y.month, y.day), (2021, 1, 1));
+    }
+
+    #[test]
+    fn next_boundary_is_strictly_greater() {
+        let on_boundary = compose(Civil { year: 2021, month: 3, day: 7, hour: 13, minute: 0, second: 0, millisecond: 0 });
+        assert_eq!(next_boundary(TimeLevel::Hour, on_boundary), on_boundary + MS_PER_HOUR);
+        let off_boundary = on_boundary + 123;
+        assert_eq!(next_boundary(TimeLevel::Hour, off_boundary), on_boundary + MS_PER_HOUR);
+    }
+
+    #[test]
+    fn next_boundary_month_and_year_wrap() {
+        let dec = compose(Civil { year: 2021, month: 12, day: 30, hour: 1, minute: 0, second: 0, millisecond: 0 });
+        let nm = decompose(next_boundary(TimeLevel::Month, dec));
+        assert_eq!((nm.year, nm.month, nm.day), (2022, 1, 1));
+        let ny = decompose(next_boundary(TimeLevel::Year, dec));
+        assert_eq!((ny.year, ny.month, ny.day), (2022, 1, 1));
+        let feb = compose(Civil { year: 2024, month: 2, day: 1, hour: 0, minute: 0, second: 0, millisecond: 0 });
+        assert_eq!(next_boundary(TimeLevel::Month, feb) - feb, 29 * MS_PER_DAY);
+    }
+
+    #[test]
+    fn figure12_hour_parts() {
+        // Figure 12: a segment from 00:13 to 02:48 yields hour keys 0, 1, 2.
+        let base = compose(Civil { year: 2021, month: 6, day: 1, hour: 0, minute: 13, second: 0, millisecond: 0 });
+        assert_eq!(part(TimeLevel::Hour, base), 0);
+        assert_eq!(part(TimeLevel::Hour, base + MS_PER_HOUR), 1);
+        assert_eq!(part(TimeLevel::Hour, base + 2 * MS_PER_HOUR), 2);
+        assert_eq!(part(TimeLevel::Month, base), 6);
+        assert_eq!(part(TimeLevel::Year, base), 2021);
+        assert_eq!(part(TimeLevel::Day, base), 1);
+    }
+
+    #[test]
+    fn negative_timestamps_use_euclidean_division() {
+        // One millisecond before the epoch is 1969-12-31 23:59:59.999.
+        let c = decompose(-1);
+        assert_eq!((c.year, c.month, c.day, c.hour, c.minute, c.second, c.millisecond), (1969, 12, 31, 23, 59, 59, 999));
+        assert_eq!(truncate(TimeLevel::Day, -1), -MS_PER_DAY);
+        assert_eq!(next_boundary(TimeLevel::Day, -1), 0);
+    }
+
+    #[test]
+    fn parse_level_names() {
+        assert_eq!(TimeLevel::parse("hour"), Some(TimeLevel::Hour));
+        assert_eq!(TimeLevel::parse("MONTH"), Some(TimeLevel::Month));
+        assert_eq!(TimeLevel::parse("fortnight"), None);
+    }
+
+    /// A naive reference: walk day-by-day from the epoch.
+    fn naive_civil_from_days(mut z: i64) -> (i64, u32, u32) {
+        let (mut y, mut m, mut d) = (1970i64, 1u32, 1u32);
+        while z > 0 {
+            d += 1;
+            if d > days_in_month(y, m) {
+                d = 1;
+                m += 1;
+                if m > 12 {
+                    m = 1;
+                    y += 1;
+                }
+            }
+            z -= 1;
+        }
+        (y, m, d)
+    }
+
+    #[test]
+    fn matches_naive_reference_across_five_decades() {
+        // Sampled sweep (every 13 days) from 1970 to ~2105.
+        for z in (0..49_400).step_by(13) {
+            assert_eq!(civil_from_days(z), naive_civil_from_days(z), "day {z}");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn civil_round_trips(z in -100_000i64..100_000) {
+            let (y, m, d) = civil_from_days(z);
+            proptest::prop_assert_eq!(days_from_civil(y, m, d), z);
+            proptest::prop_assert!((1..=12).contains(&m));
+            proptest::prop_assert!(d >= 1 && d <= days_in_month(y, m));
+        }
+
+        #[test]
+        fn decompose_compose_round_trips(ts in -4_000_000_000_000i64..4_000_000_000_000) {
+            proptest::prop_assert_eq!(compose(decompose(ts)), ts);
+        }
+
+        #[test]
+        fn truncate_is_idempotent_and_below(ts in 0i64..4_000_000_000_000, level_idx in 0usize..6) {
+            let level = [TimeLevel::Year, TimeLevel::Month, TimeLevel::Day, TimeLevel::Hour, TimeLevel::Minute, TimeLevel::Second][level_idx];
+            let t = truncate(level, ts);
+            proptest::prop_assert!(t <= ts);
+            proptest::prop_assert_eq!(truncate(level, t), t);
+            let nb = next_boundary(level, ts);
+            proptest::prop_assert!(nb > ts);
+            proptest::prop_assert_eq!(truncate(level, nb), nb);
+        }
+    }
+}

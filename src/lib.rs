@@ -1,0 +1,2 @@
+//! Root facade for the repository; see the `modelardb` crate.
+pub use modelardb::*;

@@ -1,0 +1,92 @@
+//! Integration: the cluster runtime must agree with the embedded engine on
+//! every query class, at any worker count — the distributed execution of
+//! Algorithms 5 and 6 (scatter partials, merge at the master) is an
+//! implementation detail, never a semantic one.
+
+use std::sync::Arc;
+
+use mdb_bench::{build_engine, catalog_from_dataset, ingest_engine};
+use modelardb::{Cluster, CompressionConfig, ErrorBound, ModelRegistry};
+
+const TICKS: u64 = 400;
+
+fn queries() -> Vec<String> {
+    vec![
+        "SELECT COUNT_S(*) FROM Segment".into(),
+        "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid".into(),
+        "SELECT Type, AVG_S(*) FROM Segment GROUP BY Type ORDER BY Type".into(),
+        "SELECT Entity, MIN_S(*), MAX_S(*) FROM Segment GROUP BY Entity ORDER BY Entity".into(),
+        "SELECT Tid, CUBE_SUM_DAY(*) FROM Segment WHERE Tid IN (1,2,5) GROUP BY Tid".into(),
+        "SELECT CUBE_AVG_HOUR(*) FROM Segment WHERE Category = 'ProductionMWh'".into(),
+        "SELECT SUM(Value) FROM DataPoint WHERE Tid = 3".into(),
+    ]
+}
+
+#[test]
+fn cluster_agrees_with_embedded_engine() {
+    let ds = mdb_datagen::ep(13, mdb_datagen::Scale::tiny()).unwrap();
+
+    // Embedded reference.
+    let mut embedded = build_engine(&ds, true, 5.0);
+    ingest_engine(&mut embedded, &ds, TICKS);
+
+    for n_workers in [1usize, 2, 4] {
+        let catalog = catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap();
+        let cluster = Cluster::start(
+            catalog,
+            Arc::new(ModelRegistry::standard()),
+            CompressionConfig { error_bound: ErrorBound::relative(5.0), ..Default::default() },
+            n_workers,
+        )
+        .unwrap();
+        for tick in 0..TICKS {
+            cluster.ingest_row(ds.timestamp(tick), &ds.row(tick)).unwrap();
+        }
+        cluster.flush().unwrap();
+
+        for q in queries() {
+            let expected = embedded.sql(&q).unwrap();
+            let got = cluster.sql(&q).unwrap();
+            assert_eq!(got.columns, expected.columns, "{q} ({n_workers} workers)");
+            assert_eq!(got.rows.len(), expected.rows.len(), "{q} ({n_workers} workers)");
+            for (a, b) in got.rows.iter().zip(&expected.rows) {
+                for (x, y) in a.iter().zip(b) {
+                    match (x.as_f64(), y.as_f64()) {
+                        (Some(x), Some(y)) => assert!(
+                            (x - y).abs() <= 1e-6 * y.abs().max(1.0),
+                            "{q} ({n_workers} workers): {x} vs {y}"
+                        ),
+                        _ => assert_eq!(x, y, "{q} ({n_workers} workers)"),
+                    }
+                }
+            }
+        }
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn cluster_storage_equals_embedded_storage() {
+    // The same groups produce the same segments regardless of placement.
+    let ds = mdb_datagen::ep(13, mdb_datagen::Scale::tiny()).unwrap();
+    let mut embedded = build_engine(&ds, true, 5.0);
+    ingest_engine(&mut embedded, &ds, TICKS);
+
+    let catalog = catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap();
+    let cluster = Cluster::start(
+        catalog,
+        Arc::new(ModelRegistry::standard()),
+        CompressionConfig { error_bound: ErrorBound::relative(5.0), ..Default::default() },
+        3,
+    )
+    .unwrap();
+    for tick in 0..TICKS {
+        cluster.ingest_row(ds.timestamp(tick), &ds.row(tick)).unwrap();
+    }
+    cluster.flush().unwrap();
+    let (stats, bytes, segments) = cluster.stats().unwrap();
+    assert_eq!(bytes, embedded.storage_bytes());
+    assert_eq!(segments, embedded.segment_count());
+    assert_eq!(stats.data_points, embedded.stats().data_points);
+    cluster.shutdown();
+}

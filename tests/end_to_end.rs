@@ -1,0 +1,128 @@
+//! End-to-end integration: data generator → partitioner → MMGC ingestion →
+//! segment store → SQL, with the paper's core guarantee checked against the
+//! raw generated values: every reconstructed data point is within the
+//! user-defined error bound of the value that was ingested.
+
+use mdb_bench::{build_engine, ingest_engine};
+use mdb_datagen::{eh, ep, Scale};
+use modelardb::ErrorBound;
+
+const TICKS: u64 = 400;
+
+#[test]
+fn every_reconstructed_point_is_within_the_error_bound() {
+    for pct in [1.0, 5.0, 10.0] {
+        let bound = ErrorBound::relative(pct);
+        for ds in [ep(9, Scale::tiny()).unwrap(), eh(9, Scale::tiny()).unwrap()] {
+            let mut db = build_engine(&ds, true, pct);
+            ingest_engine(&mut db, &ds, TICKS);
+            // Pull every stored point back through the Data Point View.
+            let result = db.sql("SELECT Tid, TS, Value FROM DataPoint").unwrap();
+            let mut seen = 0u64;
+            for row in &result.rows {
+                let tid = row[0].as_i64().unwrap() as u32;
+                let ts = row[1].as_i64().unwrap();
+                let value = row[2].as_f64().unwrap() as f32;
+                let tick = ((ts - ds.start) / ds.profile.si_ms) as u64;
+                let original = ds.value(tid, tick).expect("stored point must exist in the source");
+                assert!(
+                    bound.within(value, original),
+                    "{} tid {tid} tick {tick}: {value} vs {original} at {pct}%",
+                    ds.name
+                );
+                seen += 1;
+            }
+            assert_eq!(seen, ds.count_data_points(TICKS), "{}: no point lost or invented", ds.name);
+        }
+    }
+}
+
+#[test]
+fn lossless_mode_reproduces_values_exactly() {
+    let ds = ep(3, Scale::tiny()).unwrap();
+    let mut db = build_engine(&ds, true, 0.0);
+    ingest_engine(&mut db, &ds, 200);
+    let result = db.sql("SELECT Tid, TS, Value FROM DataPoint WHERE Tid = 1").unwrap();
+    assert!(!result.rows.is_empty());
+    for row in &result.rows {
+        let ts = row[1].as_i64().unwrap();
+        let value = row[2].as_f64().unwrap() as f32;
+        let tick = ((ts - ds.start) / ds.profile.si_ms) as u64;
+        let original = ds.value(1, tick).unwrap();
+        assert_eq!(value.to_bits(), original.to_bits(), "tick {tick}");
+    }
+}
+
+#[test]
+fn segment_view_aggregates_match_data_point_view() {
+    let ds = ep(17, Scale::tiny()).unwrap();
+    let mut db = build_engine(&ds, true, 5.0);
+    ingest_engine(&mut db, &ds, TICKS);
+    for (sv, dpv) in [
+        ("SELECT SUM_S(*) FROM Segment", "SELECT SUM(Value) FROM DataPoint"),
+        ("SELECT COUNT_S(*) FROM Segment", "SELECT COUNT(Value) FROM DataPoint"),
+        ("SELECT AVG_S(*) FROM Segment WHERE Tid IN (1,2,3)", "SELECT AVG(Value) FROM DataPoint WHERE Tid IN (1,2,3)"),
+        ("SELECT MIN_S(*) FROM Segment WHERE Tid = 2", "SELECT MIN(Value) FROM DataPoint WHERE Tid = 2"),
+        ("SELECT MAX_S(*) FROM Segment WHERE Tid = 2", "SELECT MAX(Value) FROM DataPoint WHERE Tid = 2"),
+    ] {
+        let a = db.sql(sv).unwrap().rows[0][0].as_f64().unwrap();
+        let b = db.sql(dpv).unwrap().rows[0][0].as_f64().unwrap();
+        assert!(
+            (a - b).abs() <= 1e-3 * b.abs().max(1.0),
+            "{sv}: segment view {a} vs data point view {b}"
+        );
+    }
+}
+
+#[test]
+fn cube_rollup_partitions_the_plain_aggregate() {
+    let ds = ep(23, Scale::tiny()).unwrap();
+    let mut db = build_engine(&ds, true, 5.0);
+    ingest_engine(&mut db, &ds, TICKS);
+    let total = db.sql("SELECT SUM_S(*) FROM Segment").unwrap().rows[0][0].as_f64().unwrap();
+    for level in ["HOUR", "DAY", "MONTH", "YEAR"] {
+        let r = db.sql(&format!("SELECT CUBE_SUM_{level}(*) FROM Segment")).unwrap();
+        let sum: f64 = r.rows.iter().map(|row| row[1].as_f64().unwrap()).sum();
+        assert!(
+            (sum - total).abs() <= 1e-6 * total.abs().max(1.0),
+            "{level}: buckets {sum} vs total {total}"
+        );
+    }
+}
+
+#[test]
+fn dimension_filters_equal_explicit_tid_filters() {
+    let ds = ep(29, Scale::tiny()).unwrap();
+    let mut db = build_engine(&ds, true, 5.0);
+    ingest_engine(&mut db, &ds, TICKS);
+    // entity0's meters are tids 1..=3 under Scale::tiny (3 per cluster).
+    let by_member = db
+        .sql("SELECT SUM_S(*) FROM Segment WHERE Entity = 'entity0'")
+        .unwrap()
+        .rows[0][0]
+        .as_f64()
+        .unwrap();
+    let by_tids = db
+        .sql("SELECT SUM_S(*) FROM Segment WHERE Tid IN (1, 2, 3)")
+        .unwrap()
+        .rows[0][0]
+        .as_f64()
+        .unwrap();
+    assert!((by_member - by_tids).abs() < 1e-9, "{by_member} vs {by_tids}");
+}
+
+#[test]
+fn point_queries_return_the_right_single_point() {
+    let ds = eh(31, Scale::tiny()).unwrap();
+    let mut db = build_engine(&ds, true, 10.0);
+    ingest_engine(&mut db, &ds, TICKS);
+    let bound = ErrorBound::relative(10.0);
+    for tick in [3u64, 77, 200, 399] {
+        let Some(original) = ds.value(2, tick) else { continue };
+        let ts = ds.timestamp(tick);
+        let r = db.sql(&format!("SELECT Value FROM DataPoint WHERE Tid = 2 AND TS = {ts}")).unwrap();
+        assert_eq!(r.rows.len(), 1, "tick {tick}");
+        let got = r.rows[0][0].as_f64().unwrap() as f32;
+        assert!(bound.within(got, original), "tick {tick}: {got} vs {original}");
+    }
+}

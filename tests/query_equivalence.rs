@@ -1,0 +1,108 @@
+//! Property-based equivalence of the two query interfaces (Section 6): for
+//! any aggregate over any tid subset and time range, executing on *models*
+//! via the Segment View must agree with executing on *reconstructed points*
+//! via the Data Point View — that is the paper's licence to answer OLAP
+//! queries from segments in constant time per segment.
+
+use proptest::prelude::*;
+
+use mdb_bench::{build_engine, ingest_engine};
+use mdb_datagen::{ep, Scale};
+use modelardb::ModelarDb;
+
+const TICKS: u64 = 300;
+
+fn database() -> ModelarDb {
+    // One shared instance per test run would race proptest's shrinking, so
+    // build fresh per case — the scale is tiny.
+    let ds = ep(7, Scale::tiny()).unwrap();
+    let mut db = build_engine(&ds, true, 5.0);
+    ingest_engine(&mut db, &ds, TICKS);
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn aggregates_agree_between_views(
+        func_idx in 0usize..5,
+        tids in proptest::collection::btree_set(1u32..=6, 1..4),
+        window in 0u64..250,
+        span in 10u64..200,
+    ) {
+        let db = database();
+        let ds = ep(7, Scale::tiny()).unwrap();
+        let func = ["COUNT", "MIN", "MAX", "SUM", "AVG"][func_idx];
+        let tid_list = tids.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
+        let from = ds.timestamp(window);
+        let to = ds.timestamp((window + span).min(TICKS - 1));
+        let sv = db
+            .sql(&format!(
+                "SELECT {func}_S(*) FROM Segment WHERE Tid IN ({tid_list}) AND TS >= {from} AND TS <= {to}"
+            ))
+            .unwrap();
+        let dpv = db
+            .sql(&format!(
+                "SELECT {func}(Value) FROM DataPoint WHERE Tid IN ({tid_list}) AND TS >= {from} AND TS <= {to}"
+            ))
+            .unwrap();
+        prop_assert_eq!(sv.rows.len(), dpv.rows.len());
+        if sv.rows.is_empty() {
+            return Ok(());
+        }
+        match (sv.rows[0][0].as_f64(), dpv.rows[0][0].as_f64()) {
+            (Some(a), Some(b)) => {
+                // The Segment View may use closed-form sums over the ideal
+                // model line; tolerance covers the f32 reconstruction delta.
+                prop_assert!(
+                    (a - b).abs() <= 1e-3 * b.abs().max(1.0),
+                    "{} over {:?}: segment {} vs data point {}", func, tids, a, b
+                );
+            }
+            (a, b) => prop_assert_eq!(a, b),
+        }
+    }
+
+    #[test]
+    fn group_by_tid_partitions_the_global_aggregate(
+        window in 0u64..200,
+        span in 20u64..250,
+    ) {
+        let db = database();
+        let ds = ep(7, Scale::tiny()).unwrap();
+        let from = ds.timestamp(window);
+        let to = ds.timestamp((window + span).min(TICKS - 1));
+        let total = db
+            .sql(&format!("SELECT SUM_S(*) FROM Segment WHERE TS >= {from} AND TS <= {to}"))
+            .unwrap();
+        let per_tid = db
+            .sql(&format!(
+                "SELECT Tid, SUM_S(*) FROM Segment WHERE TS >= {from} AND TS <= {to} GROUP BY Tid"
+            ))
+            .unwrap();
+        let total = total.rows.first().and_then(|r| r[0].as_f64()).unwrap_or(0.0);
+        let sum: f64 = per_tid.rows.iter().filter_map(|r| r[1].as_f64()).sum();
+        prop_assert!((sum - total).abs() <= 1e-6 * total.abs().max(1.0), "{sum} vs {total}");
+    }
+
+    #[test]
+    fn count_matches_point_listing(
+        tid in 1u32..=6,
+        window in 0u64..250,
+        span in 1u64..100,
+    ) {
+        let db = database();
+        let ds = ep(7, Scale::tiny()).unwrap();
+        let from = ds.timestamp(window);
+        let to = ds.timestamp((window + span).min(TICKS - 1));
+        let count = db
+            .sql(&format!("SELECT COUNT_S(*) FROM Segment WHERE Tid = {tid} AND TS >= {from} AND TS <= {to}"))
+            .unwrap();
+        let listing = db
+            .sql(&format!("SELECT TS FROM DataPoint WHERE Tid = {tid} AND TS >= {from} AND TS <= {to}"))
+            .unwrap();
+        let count = count.rows.first().and_then(|r| r[0].as_i64()).unwrap_or(0);
+        prop_assert_eq!(count as usize, listing.rows.len());
+    }
+}
