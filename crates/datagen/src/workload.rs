@@ -32,7 +32,7 @@ impl<'a> Workloads<'a> {
     }
 
     fn aggregate(&mut self) -> &'static str {
-        ["COUNT_S(*)", "MIN_S(*)", "MAX_S(*)", "SUM_S(*)", "AVG_S(*)"][self.rng.gen_range(0..5)]
+        ["COUNT_S(*)", "MIN_S(*)", "MAX_S(*)", "SUM_S(*)", "AVG_S(*)"][self.rng.gen_range(0..5usize)]
     }
 
     /// S-AGG: `n` small aggregate queries.
@@ -72,7 +72,7 @@ impl<'a> Workloads<'a> {
     pub fn l_agg_data_point(&mut self, n: usize) -> Vec<String> {
         (0..n)
             .map(|i| {
-                let agg = ["COUNT", "MIN", "MAX", "SUM", "AVG"][self.rng.gen_range(0..5)];
+                let agg = ["COUNT", "MIN", "MAX", "SUM", "AVG"][self.rng.gen_range(0..5usize)];
                 if i % 2 == 0 {
                     format!("SELECT {agg}(Value) FROM DataPoint")
                 } else {
@@ -101,7 +101,7 @@ impl<'a> Workloads<'a> {
         };
         (0..n)
             .map(|i| {
-                let agg = ["SUM", "AVG"][self.rng.gen_range(0..2)];
+                let agg = ["SUM", "AVG"][self.rng.gen_range(0..2usize)];
                 if i % 2 == 0 {
                     format!(
                         "SELECT {group_col}, CUBE_{agg}_MONTH(*) FROM Segment WHERE {filter_col} = '{filter_val}' GROUP BY {group_col}"
@@ -124,7 +124,7 @@ impl<'a> Workloads<'a> {
                 match i % 3 {
                     0 => format!("SELECT * FROM DataPoint WHERE TS = {ts}"),
                     1 => {
-                        let span = self.rng.gen_range(10..200);
+                        let span = self.rng.gen_range(10..200u64);
                         let hi = self.dataset.timestamp((tick + span).min(self.ticks.saturating_sub(1)));
                         format!(
                             "SELECT * FROM DataPoint WHERE Tid = {} AND TS BETWEEN {ts} AND {hi}",

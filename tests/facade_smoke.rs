@@ -1,0 +1,51 @@
+//! Smoke test for the root facade: the crate surface promised by the README
+//! must be reachable both through the `modelardb` crate and through the root
+//! `modelardb-repro` re-export, and the minimal build-ingest-query loop must
+//! work through those paths alone.
+
+use modelardb::{DimensionSchema, ErrorBound, ModelarDbBuilder, SeriesSpec};
+
+#[test]
+fn facade_reexports_are_reachable_from_the_root_crate() {
+    // The root package re-exports `modelardb::*`, so the same names must
+    // resolve via `modelardb_repro::` — referenced here in type and value
+    // position so a dropped re-export fails to compile.
+    let _builder: modelardb_repro::ModelarDbBuilder = modelardb_repro::ModelarDbBuilder::new();
+    let _spec: modelardb_repro::SeriesSpec = modelardb_repro::SeriesSpec::new("t1", 100);
+    let _schema: modelardb_repro::DimensionSchema =
+        modelardb_repro::DimensionSchema::from_leaf_up("Location", vec!["Turbine".into()])
+            .unwrap();
+    let _bound: modelardb_repro::ErrorBound = modelardb_repro::ErrorBound::relative(1.0);
+
+    // Component-crate re-exports on both paths.
+    let _registry = modelardb_repro::ModelRegistry::standard();
+    let _config: modelardb::CompressionConfig = modelardb_repro::CompressionConfig::default();
+    let _result: modelardb::Result<()> = modelardb_repro::Result::Ok(());
+}
+
+#[test]
+fn facade_supports_the_minimal_ingest_query_loop() {
+    let mut builder = ModelarDbBuilder::new();
+    builder.config_mut().compression.error_bound = ErrorBound::relative(5.0);
+    builder
+        .add_dimension(
+            DimensionSchema::from_leaf_up("Location", vec!["Turbine".into(), "Park".into()])
+                .unwrap(),
+        )
+        .add_series(SeriesSpec::new("t1", 100).with_members("Location", &["Aalborg", "1"]))
+        .add_series(SeriesSpec::new("t2", 100).with_members("Location", &["Aalborg", "2"]))
+        .correlate("Location 1");
+    let mut db = builder.build().unwrap();
+
+    for tick in 0..200i64 {
+        let v = (tick as f32 * 0.05).sin() + 10.0;
+        db.ingest_row(tick * 100, &[Some(v), Some(v + 0.01)]).unwrap();
+    }
+    db.flush().unwrap();
+
+    let result = db.sql("SELECT Tid, COUNT_S(*) FROM Segment GROUP BY Tid ORDER BY Tid").unwrap();
+    assert_eq!(result.rows.len(), 2);
+    for row in &result.rows {
+        assert_eq!(row[1].as_i64().unwrap(), 200);
+    }
+}

@@ -1,0 +1,345 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Implements the subset of the real API the workspace uses: [`Bytes`] (a
+//! cheaply cloneable, immutable byte buffer backed by `Arc<[u8]>`), the
+//! [`Buf`] reader trait for `&[u8]` and `Bytes`, and the [`BufMut`] writer
+//! trait for `Vec<u8>`. Semantics match the real crate for this subset, so
+//! swapping the `[workspace.dependencies]` entry for the real `bytes`
+//! requires no source changes.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable slice of bytes.
+///
+/// Clones share the underlying allocation; `advance`/`slice` move the view
+/// without copying.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (does not allocate a payload).
+    pub fn new() -> Self {
+        Self { data: Arc::from(&[][..]), start: 0, end: 0 }
+    }
+
+    /// Buffer holding a copy of a static slice.
+    ///
+    /// (The real crate borrows the static data; the shim copies once, which
+    /// preserves semantics at a negligible cost for the small parameter
+    /// blocks this workspace stores.)
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::copy_from_slice(bytes)
+    }
+
+    /// Buffer holding a copy of `bytes`.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Self { data: Arc::from(bytes), start: 0, end: bytes.len() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The contents as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// A sub-view sharing the same allocation.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(vec: Vec<u8>) -> Self {
+        let end = vec.len();
+        Self { data: Arc::from(vec), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(slice: &[u8]) -> Self {
+        Self::copy_from_slice(slice)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// Sequential reader over a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `cnt` bytes. Panics if fewer remain.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte. Panics if none remain.
+    fn get_u8(&mut self) -> u8 {
+        let byte = self.chunk()[0];
+        self.advance(1);
+        byte
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_be_bytes(raw)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Fills `dst` from the source. Panics if not enough bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice out of bounds");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+/// Sequential writer into a growable byte sink.
+pub trait BufMut {
+    /// Appends a raw slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, value: u16) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip_and_share() {
+        let b = Bytes::from(vec![1, 2, 3, 4]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+        assert_eq!(b.slice(1..3), Bytes::from(vec![2, 3]));
+        assert_eq!(Bytes::new().len(), 0);
+    }
+
+    #[test]
+    fn slice_buf_reads() {
+        let data = [7u8, 8, 9];
+        let mut cursor: &[u8] = &data;
+        assert!(cursor.has_remaining());
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.remaining(), 2);
+        let mut out = [0u8; 2];
+        cursor.copy_to_slice(&mut out);
+        assert_eq!(out, [8, 9]);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn vec_bufmut_writes() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(1);
+        out.put_u32(2);
+        out.put_slice(&[3, 4]);
+        assert_eq!(out, vec![1, 0, 0, 0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bytes_buf_advances_view() {
+        let mut b = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(b.as_slice(), &[2, 3]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the API surface the `mdb_bench` benches use — `Criterion`,
+//! `benchmark_group`, `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple wall-clock
+//! measurement loop (fixed warm-up, `sample_size` timed samples, median
+//! reported). No statistics, plots, or CLI parsing; numbers print to
+//! stdout. Replace the `[workspace.dependencies]` entry with the real
+//! criterion for publication-grade measurements.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, e.g. `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Conversion into a benchmark label (`&str`, `String`, or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Units processed per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time of the collected samples.
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: a few warm-up calls, then `sample_size` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            samples.push(start.elapsed());
+        }
+        samples.sort_unstable();
+        self.measured = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the units-per-iteration used in the throughput report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = throughput.into();
+        self
+    }
+
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Allowed for API compatibility; the shim ignores it (sampling is
+    /// controlled by `sample_size` alone).
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its median time (and throughput, if
+    /// configured).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { sample_size: self.sample_size, measured: None };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id.into_id());
+        self.criterion.report(&label, bencher.measured, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the default sample size for benchmarks outside groups.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { sample_size: self.default_sample_size, measured: None };
+        f(&mut bencher);
+        let label = id.into_id();
+        self.report(&label, bencher.measured, None);
+        self
+    }
+
+    fn report(&self, label: &str, measured: Option<Duration>, throughput: Option<Throughput>) {
+        let Some(time) = measured else {
+            println!("{label:<56} (no measurement: Bencher::iter never called)");
+            return;
+        };
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if !time.is_zero() => {
+                format!("  {:>14.0} elem/s", n as f64 / time.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if !time.is_zero() => {
+                format!("  {:>14.0} B/s", n as f64 / time.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{label:<56} {time:>12.3?}/iter{rate}");
+    }
+}
+
+/// Declares a callable group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_measures() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function(BenchmarkId::new("sum", "0..100"), |b| {
+            b.iter(|| {
+                runs += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        // 2 warm-up + 3 samples.
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn plain_string_ids_accepted() {
+        let mut criterion = Criterion::default().sample_size(2);
+        criterion.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

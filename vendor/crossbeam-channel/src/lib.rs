@@ -1,0 +1,329 @@
+//! Offline shim for `crossbeam-channel`.
+//!
+//! A multi-producer multi-consumer channel built on `Mutex` + `Condvar`,
+//! covering the surface the cluster runtime uses: [`bounded`], [`unbounded`],
+//! cloneable [`Sender`]/[`Receiver`], blocking `send`/`recv` with
+//! disconnection errors, plus `try_recv`/`recv_timeout`. Slower than the
+//! real lock-free implementation but semantically equivalent for these
+//! operations (except rendezvous channels: capacity 0 is rounded up to 1).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned when sending into a channel with no receivers left.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned when receiving from an empty channel with no senders left.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    capacity: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half; cloneable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half; cloneable (MPMC — each message goes to one receiver).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+}
+
+/// A channel with unlimited buffering.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// A channel buffering at most `cap` messages (`0` is treated as `1`; true
+/// rendezvous channels are not implemented in the shim).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is enqueued, or errors if all receivers are
+    /// gone (the message is handed back inside the error).
+    pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+        let mut state = self.chan.state.lock().unwrap();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(message));
+            }
+            match self.chan.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self.chan.not_full.wait(state).unwrap();
+                }
+                _ => {
+                    state.queue.push_back(message);
+                    drop(state);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives, or errors once the channel is empty
+    /// and all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(message) = state.queue.pop_front() {
+                drop(state);
+                self.chan.not_full.notify_one();
+                return Ok(message);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.chan.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.chan.state.lock().unwrap();
+        if let Some(message) = state.queue.pop_front() {
+            drop(state);
+            self.chan.not_full.notify_one();
+            return Ok(message);
+        }
+        if state.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Blocking receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(message) = state.queue.pop_front() {
+                drop(state);
+                self.chan.not_full.notify_one();
+                return Ok(message);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (next, result) =
+                self.chan.not_empty.wait_timeout(state, deadline - now).unwrap();
+            state = next;
+            if result.timed_out() && state.queue.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Number of buffered messages.
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap().senders += 1;
+        Sender { chan: Arc::clone(&self.chan) }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap().receivers += 1;
+        Receiver { chan: Arc::clone(&self.chan) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.chan.state.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // Wake blocked receivers so they observe the disconnection.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.chan.state.lock().unwrap();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            // Wake blocked senders so they observe the disconnection.
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn cross_thread_round_trip() {
+        let (tx, rx) = unbounded::<u64>();
+        let (reply_tx, reply_rx) = bounded::<u64>(1);
+        let handle = thread::spawn(move || {
+            while let Ok(v) = rx.recv() {
+                reply_tx.send(v * 2).unwrap();
+            }
+        });
+        for i in 0..50 {
+            tx.send(i).unwrap();
+            assert_eq!(reply_rx.recv().unwrap(), i * 2);
+        }
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_is_observed() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let sender = tx.clone();
+        let handle = thread::spawn(move || sender.send(3));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        handle.join().unwrap().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn timeout_fires_on_empty_channel() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn mpmc_distributes_all_messages() {
+        let (tx, rx) = unbounded::<u32>();
+        let (out_tx, out_rx) = unbounded::<u32>();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            let out = out_tx.clone();
+            handles.push(thread::spawn(move || {
+                while let Ok(v) = rx.recv() {
+                    out.send(v).unwrap();
+                }
+            }));
+        }
+        drop(rx);
+        drop(out_tx);
+        for i in 0..200 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let mut got: Vec<u32> = out_rx.try_iter_for_test();
+        got.sort_unstable();
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+    }
+
+    impl<T> Receiver<T> {
+        fn try_iter_for_test(&self) -> Vec<T> {
+            let mut out = Vec::new();
+            while let Ok(v) = self.try_recv() {
+                out.push(v);
+            }
+            out
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! Offline shim for `proptest`.
+//!
+//! Covers the surface this workspace's property tests use: the `proptest!`
+//! macro (with optional `#![proptest_config(...)]`), `prop_assert!`/
+//! `prop_assert_eq!`, range and `ANY` strategies, tuples,
+//! `collection::{vec, btree_set}`, and `bool::weighted`.
+//!
+//! Differences from the real crate: cases are sampled from a seed derived
+//! deterministically from the test name (reproducible across runs), and
+//! there is **no shrinking** — a failing case panics with the sampled
+//! values via the assertion message instead of a minimized counterexample.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub use rand::Rng;
+
+/// Per-test-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Error type property bodies may `return Err(...)` with; the shim's
+/// `prop_assert*` macros panic instead, so this mostly types `return Ok(())`.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut SmallRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategies {
+    ($(($($name:ident),+))*) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple_strategies!((A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F));
+
+/// `&str` patterns are regex-like string strategies, as in the real crate.
+///
+/// The shim supports the subset used here: literal characters, character
+/// classes (`[a-z0-9_]`, with ranges), the escapes `\d`/`\w`/`\\`, and the
+/// quantifiers `{m}`, `{m,n}`, `*`, `+`, `?` (unbounded repetition caps at
+/// 8). Unsupported syntax panics with a clear message.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut SmallRng) -> String {
+        string_pattern::sample(self, rng)
+    }
+}
+
+mod string_pattern {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    enum Atom {
+        Literal(char),
+        /// Inclusive character ranges; a single char is a one-char range.
+        Class(Vec<(char, char)>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = chars.next().unwrap_or_else(|| {
+                            panic!("unterminated character class in pattern {pattern:?}")
+                        });
+                        if lo == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars.next().unwrap_or_else(|| {
+                                panic!("unterminated range in pattern {pattern:?}")
+                            });
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => match chars.next() {
+                    Some('d') => Atom::Class(vec![('0', '9')]),
+                    Some('w') => {
+                        Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')])
+                    }
+                    Some(escaped) => Atom::Literal(escaped),
+                    None => panic!("dangling backslash in pattern {pattern:?}"),
+                },
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    panic!("unsupported regex syntax {c:?} in pattern {pattern:?} (shim subset)")
+                }
+                literal => Atom::Literal(literal),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                    match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad {m,n} quantifier"),
+                            n.trim().parse().expect("bad {m,n} quantifier"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad {n} quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    pub(crate) fn sample(pattern: &str, rng: &mut SmallRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                        out.push(
+                            char::from_u32(rng.gen_range(lo as u32..=hi as u32))
+                                .expect("class range spans invalid chars"),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A constant strategy, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-domain strategies, mirroring `proptest::num::<type>::ANY`.
+pub mod num {
+    use std::marker::PhantomData;
+
+    /// Samples the full domain of `T` uniformly.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NumAny<T>(PhantomData<T>);
+
+    macro_rules! any_module {
+        ($($module:ident => $ty:ty),* $(,)?) => {
+            $(
+                pub mod $module {
+                    pub const ANY: super::NumAny<$ty> = super::NumAny(std::marker::PhantomData);
+
+                    impl crate::Strategy for super::NumAny<$ty> {
+                        type Value = $ty;
+                        fn sample(&self, rng: &mut rand::rngs::SmallRng) -> $ty {
+                            rand::Rng::gen(rng)
+                        }
+                    }
+                }
+            )*
+        };
+    }
+
+    any_module!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize,
+        f32 => f32, f64 => f64,
+    );
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// `true` with the given probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted {
+        probability: f64,
+    }
+
+    /// Strategy producing `true` with probability `probability`.
+    pub fn weighted(probability: f64) -> Weighted {
+        Weighted { probability }
+    }
+
+    impl crate::Strategy for Weighted {
+        type Value = bool;
+        fn sample(&self, rng: &mut SmallRng) -> bool {
+            rng.gen_bool(self.probability)
+        }
+    }
+
+    /// Uniform coin flip.
+    pub const ANY: Weighted = Weighted { probability: 0.5 };
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Size specification for generated collections: a fixed size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive.
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut SmallRng) -> usize {
+            if self.min + 1 >= self.max {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self { min: r.start, max: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self { min: *r.start(), max: r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates sets whose cardinality is drawn from `size` (best effort:
+    /// if the element domain is too small to reach the drawn size, the set
+    /// holds as many distinct values as could be found).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut set = std::collections::BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 20 + 20 {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// The usual imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError};
+}
+
+#[doc(hidden)]
+pub fn run_cases(test_name: &str, cases: u32, mut case: impl FnMut(&mut SmallRng)) {
+    // FNV-1a over the test name: a stable seed, so failures reproduce.
+    let mut seed = 0xCBF2_9CE4_8422_2325u64;
+    for byte in test_name.bytes() {
+        seed ^= u64::from(byte);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..cases {
+        case(&mut rng);
+    }
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` that samples its
+/// arguments from the given strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            #[test]
+            fn $name:ident ( $($arg:pat_param in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(concat!(module_path!(), "::", stringify!($name)), config.cases, |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)+
+                    #[allow(unreachable_code)]
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(error) = __outcome {
+                        panic!("proptest case returned Err: {}", error);
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body (panics in the shim — there is
+/// no shrinking phase to report back to).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_and_tuples_sample_in_bounds(
+            x in 3u32..10,
+            (a, b) in (0i64..5, -2.0f32..2.0),
+            flag in crate::bool::weighted(0.75),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0..5).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+            let _ = flag;
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(0u8..255, 2..7),
+            pair in crate::collection::vec(crate::num::f32::ANY, 2),
+            s in crate::collection::btree_set(1u32..=6, 1..4),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert_eq!(pair.len(), 2);
+            prop_assert!(!s.is_empty() && s.len() < 4);
+            prop_assert!(s.iter().all(|t| (1..=6).contains(t)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_and_early_return(x in 0u8..10) {
+            if x > 100 {
+                return Ok(());
+            }
+            prop_assert!(x < 10);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline shim for `rand` 0.8.
+//!
+//! Provides the subset this workspace uses — `rngs::SmallRng`,
+//! `SeedableRng::seed_from_u64`, and the `Rng` extension methods `gen`,
+//! `gen_range`, and `gen_bool` — backed by xoshiro256++ seeded through
+//! SplitMix64. Fully deterministic: no entropy source is touched, which is
+//! exactly what the data generators and property tests want.
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let raw = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&raw[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it to full state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                state: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from the full bit stream
+/// (stand-in for `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Standard for $ty {
+                fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 random mantissa bits → uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts (stand-in for
+/// `rand::distributions::uniform::SampleRange<T>`; generic over the output
+/// type so call-site context can drive integer literal inference, e.g. when
+/// the result indexes a slice).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for std::ops::Range<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $ty
+                }
+            }
+
+            impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "gen_range: empty range");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    start + (rng.next_u64() % (span + 1)) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for std::ops::Range<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    self.start.wrapping_add((rng.next_u64() % span) as $ty)
+                }
+            }
+
+            impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "gen_range: empty range");
+                    let span = (end as i64).wrapping_sub(start as i64) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    start.wrapping_add((rng.next_u64() % (span + 1)) as $ty)
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f32::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample of the full domain of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(xs[0], c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let u = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&u));
+            let v = rng.gen_range(1u32..=6);
+            assert!((1..=6).contains(&v));
+            let f = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i = rng.gen_range(-50i64..-10);
+            assert!((-50..-10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn unit_floats_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! subset of serde the workspace actually relies on today: the `Serialize`
+//! and `Deserialize` *marker* traits and their derive macros. No data-model
+//! machinery is included because nothing in the workspace serializes yet —
+//! the derives exist so the domain types in `mdb_types`/`mdb_partitioner`
+//! declare their intent and pick up real impls the moment this shim is
+//! replaced by the real crate in `[workspace.dependencies]`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (the `'de` lifetime is dropped —
+/// no borrowing deserializer exists in the shim).
+pub trait Deserialize {}
+
+macro_rules! impl_markers {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {}
+            impl Deserialize for $ty {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String,
+    ()
+);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<'a, T: Serialize + ?Sized> Serialize for &'a T {}

@@ -1,0 +1,62 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! just enough of the real `serde_derive` surface for this repository:
+//! `#[derive(Serialize)]` and `#[derive(Deserialize)]` emit empty marker
+//! impls of the vendored `serde` traits, and `#[serde(...)]` field/variant
+//! attributes are accepted and ignored. Swap the `serde`/`serde_derive`
+//! entries in `[workspace.dependencies]` for the real crates to get actual
+//! serialization support.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a `derive` is attached to.
+///
+/// Scans the top-level tokens for the `struct`/`enum`/`union` keyword and
+/// returns the identifier that follows. Generic parameters are rejected with
+/// a clear error because the marker impls do not carry bounds (no type in
+/// this workspace derives serde traits on a generic type).
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        let TokenTree::Ident(ident) = token else { continue };
+        let word = ident.to_string();
+        if word == "struct" || word == "enum" || word == "union" {
+            return match tokens.next() {
+                Some(TokenTree::Ident(name)) => {
+                    if let Some(TokenTree::Punct(p)) = tokens.next() {
+                        if p.as_char() == '<' {
+                            return Err(format!(
+                                "the vendored serde_derive shim does not support generic type `{name}`"
+                            ));
+                        }
+                    }
+                    Ok(name.to_string())
+                }
+                other => Err(format!("expected a type name, found {other:?}")),
+            };
+        }
+    }
+    Err("no struct/enum/union found in derive input".into())
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => format!("impl ::serde::{trait_name} for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        Err(message) => format!("compile_error!({message:?});")
+            .parse()
+            .expect("generated compile_error must parse"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
