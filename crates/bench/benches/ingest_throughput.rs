@@ -1,0 +1,81 @@
+//! Ingestion-path microbenchmark: tick-at-a-time rows vs columnar
+//! [`modelardb::RowBatch`] batches, through the embedded engine and the
+//! cluster runtime. The batch path exists to eliminate the per-tick
+//! allocations of the row path (Table 1's bulk write size, applied
+//! end-to-end), so batched ingestion should win on every substrate.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdb_bench::{
+    build_engine, catalog_from_dataset, ingest_cluster, ingest_cluster_batched, ingest_engine,
+    ingest_engine_batched,
+};
+use mdb_cluster::Cluster;
+use mdb_datagen::{ep, Scale};
+use modelardb::{CompressionConfig, ErrorBound, ModelRegistry};
+
+fn bench_ingest_throughput(c: &mut Criterion) {
+    let scale = Scale { clusters: 4, series_per_cluster: 4, ticks: 2_000 };
+    let ds = ep(42, scale).unwrap();
+    let points = ds.count_data_points(scale.ticks);
+    let mut group = c.benchmark_group("ingest_throughput");
+    group.throughput(Throughput::Elements(points));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("engine", "row_at_a_time"), |b| {
+        b.iter(|| {
+            let mut db = build_engine(&ds, true, 10.0);
+            ingest_engine(&mut db, &ds, scale.ticks)
+        })
+    });
+    for batch_size in [64u64, 512, 4_096] {
+        group.bench_function(BenchmarkId::new("engine_batched", batch_size), |b| {
+            b.iter(|| {
+                let mut db = build_engine(&ds, true, 10.0);
+                ingest_engine_batched(&mut db, &ds, scale.ticks, batch_size)
+            })
+        });
+    }
+    // The convenience iterator (one freshly allocated batch per chunk), to
+    // keep the ergonomic API honest against the batch-reusing fast path.
+    group.bench_function(BenchmarkId::new("engine_batch_iter", 512), |b| {
+        b.iter(|| {
+            let mut db = build_engine(&ds, true, 10.0);
+            for batch in ds.batches(scale.ticks, 512) {
+                db.ingest_batch(&batch).unwrap();
+            }
+            db.flush().unwrap();
+        })
+    });
+
+    let start_cluster = || {
+        Cluster::start(
+            catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap(),
+            Arc::new(ModelRegistry::standard()),
+            CompressionConfig { error_bound: ErrorBound::relative(10.0), ..Default::default() },
+            3,
+        )
+        .unwrap()
+    };
+    group.bench_function(BenchmarkId::new("cluster", "row_at_a_time"), |b| {
+        b.iter(|| {
+            let cluster = start_cluster();
+            let elapsed = ingest_cluster(&cluster, &ds, scale.ticks);
+            cluster.shutdown();
+            elapsed
+        })
+    });
+    group.bench_function(BenchmarkId::new("cluster_batched", 512), |b| {
+        b.iter(|| {
+            let cluster = start_cluster();
+            let elapsed = ingest_cluster_batched(&cluster, &ds, scale.ticks, 512);
+            cluster.shutdown();
+            elapsed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_throughput);
+criterion_main!(benches);

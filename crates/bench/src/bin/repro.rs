@@ -6,8 +6,13 @@
 //!
 //! experiments:
 //!   table1  fig13  fig14  fig15  fig16  fig17  fig18  fig19  fig20
-//!   fig21   fig22  fig23  fig24  fig25  fig26  fig27  fig28  mgc   all
+//!   fig21   fig22  fig23  fig24  fig25  fig26  fig27  fig28  mgc
+//!   ingest  all
 //! ```
+//!
+//! `ingest` additionally writes `BENCH_ingest.json` (rows/sec and points/sec
+//! for the tick-at-a-time vs batched ingestion paths) so the perf trajectory
+//! is machine-readable across commits.
 //!
 //! Absolute numbers will differ from the paper (its substrate was a 7-node
 //! cluster over 339–582 GiB of proprietary data; this is a laptop-scale
@@ -89,6 +94,78 @@ fn main() {
     }
     if run("mgc") {
         mgc_ablation();
+    }
+    if run("ingest") {
+        ingest_rates(scale);
+    }
+}
+
+/// `ingest`: the tick-at-a-time vs batched ingestion rates on both data
+/// sets, printed as a table and written to `BENCH_ingest.json`. Each path
+/// is run several times and the fastest run is reported, so OS scheduling
+/// noise does not masquerade as a path difference.
+fn ingest_rates(scale: Scale) {
+    const BATCH_SIZE: u64 = 512;
+    const REPS: usize = 3;
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for ds in [ep(SEED, scale).unwrap(), eh(SEED, scale).unwrap()] {
+        let ticks = ds.scale.ticks;
+        let points = ds.count_data_points(ticks);
+        let best = |run: &dyn Fn() -> Duration| {
+            (0..REPS).map(|_| run()).min().expect("at least one rep")
+        };
+        let row_elapsed = best(&|| {
+            let mut db = build_engine(&ds, true, 10.0);
+            ingest_engine(&mut db, &ds, ticks)
+        });
+        let batch_elapsed = best(&|| {
+            let mut db = build_engine(&ds, true, 10.0);
+            ingest_engine_batched(&mut db, &ds, ticks, BATCH_SIZE)
+        });
+        let rows_per_sec = |d: Duration| ticks as f64 / d.as_secs_f64().max(1e-9);
+        let speedup = row_elapsed.as_secs_f64() / batch_elapsed.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            ds.name.clone(),
+            "row-at-a-time".into(),
+            format!("{:.0} rows/s", rows_per_sec(row_elapsed)),
+            fmt_rate(points, row_elapsed),
+        ]);
+        rows.push(vec![
+            ds.name.clone(),
+            format!("batched ({BATCH_SIZE})"),
+            format!("{:.0} rows/s", rows_per_sec(batch_elapsed)),
+            fmt_rate(points, batch_elapsed),
+        ]);
+        entries.push(format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"ticks\": {}, \"data_points\": {}, ",
+                "\"row_rows_per_sec\": {:.1}, \"batch_rows_per_sec\": {:.1}, ",
+                "\"row_points_per_sec\": {:.1}, \"batch_points_per_sec\": {:.1}, ",
+                "\"batch_speedup\": {:.3}}}"
+            ),
+            ds.name,
+            ticks,
+            points,
+            rows_per_sec(row_elapsed),
+            rows_per_sec(batch_elapsed),
+            points as f64 / row_elapsed.as_secs_f64().max(1e-9),
+            points as f64 / batch_elapsed.as_secs_f64().max(1e-9),
+            speedup,
+        ));
+    }
+    print_figure(
+        "Ingestion rate: tick-at-a-time vs batched (embedded engine)",
+        &["Data set", "Path", "Rows", "Points"],
+        &rows,
+    );
+    let json = format!(
+        "{{\n  \"batch_size\": {BATCH_SIZE},\n  \"datasets\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_ingest.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_ingest.json"),
+        Err(e) => eprintln!("\nfailed to write BENCH_ingest.json: {e}"),
     }
 }
 

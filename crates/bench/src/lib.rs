@@ -10,11 +10,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mdb_baselines::TimeSeriesStore;
+use mdb_cluster::Cluster;
 use mdb_datagen::Dataset;
 use mdb_partitioner::{partition, CorrelationSpec};
 use mdb_types::{time as mdbtime, Gid, GroupMeta, Result, Tid, TimeLevel};
 use modelardb::{
-    Catalog, Config, ErrorBound, ModelRegistry, ModelarDb, QueryResult, StorageSpec,
+    Catalog, Config, ErrorBound, ModelRegistry, ModelarDb, QueryResult, RowBatch, StorageSpec,
 };
 
 /// Builds the metadata catalog for a data set under a correlation spec
@@ -55,13 +56,70 @@ pub fn build_engine(ds: &Dataset, correlated: bool, error_pct: f64) -> ModelarDb
     ModelarDb::from_catalog(catalog, Arc::new(ModelRegistry::standard()), config).expect("engine")
 }
 
-/// Ingests `ticks` ticks of `ds` into an engine, returning the wall time.
+/// Ingests `ticks` ticks of `ds` into an engine one tick at a time,
+/// returning the wall time.
 pub fn ingest_engine(db: &mut ModelarDb, ds: &Dataset, ticks: u64) -> Duration {
     let start = Instant::now();
     for tick in 0..ticks {
         db.ingest_row(ds.timestamp(tick), &ds.row(tick)).expect("ingest");
     }
     db.flush().expect("flush");
+    start.elapsed()
+}
+
+/// Ingests `ticks` ticks of `ds` into an engine through the columnar batch
+/// path in batches of `batch_size` rows, returning the wall time. One batch
+/// is filled in place and reused, so the loop itself allocates nothing.
+pub fn ingest_engine_batched(
+    db: &mut ModelarDb,
+    ds: &Dataset,
+    ticks: u64,
+    batch_size: u64,
+) -> Duration {
+    let batch_size = batch_size.max(1);
+    let mut batch = RowBatch::with_capacity(ds.n_series(), batch_size as usize);
+    let start = Instant::now();
+    let mut tick = 0;
+    while tick < ticks {
+        let len = batch_size.min(ticks - tick);
+        ds.fill_batch(tick, len, &mut batch);
+        db.ingest_batch(&batch).expect("ingest");
+        tick += len;
+    }
+    db.flush().expect("flush");
+    start.elapsed()
+}
+
+/// Ingests `ticks` ticks of `ds` into a cluster one tick at a time,
+/// returning the wall time.
+pub fn ingest_cluster(cluster: &Cluster, ds: &Dataset, ticks: u64) -> Duration {
+    let start = Instant::now();
+    for tick in 0..ticks {
+        cluster.ingest_row(ds.timestamp(tick), &ds.row(tick)).expect("ingest");
+    }
+    cluster.flush().expect("flush");
+    start.elapsed()
+}
+
+/// Ingests `ticks` ticks of `ds` into a cluster through the batched routing
+/// path in batches of `batch_size` rows, returning the wall time.
+pub fn ingest_cluster_batched(
+    cluster: &Cluster,
+    ds: &Dataset,
+    ticks: u64,
+    batch_size: u64,
+) -> Duration {
+    let batch_size = batch_size.max(1);
+    let mut batch = RowBatch::with_capacity(ds.n_series(), batch_size as usize);
+    let start = Instant::now();
+    let mut tick = 0;
+    while tick < ticks {
+        let len = batch_size.min(ticks - tick);
+        ds.fill_batch(tick, len, &mut batch);
+        cluster.ingest_batch(&batch).expect("ingest");
+        tick += len;
+    }
+    cluster.flush().expect("flush");
     start.elapsed()
 }
 
@@ -222,6 +280,19 @@ mod tests {
         let c2 = scalar(&v2.sql("SELECT COUNT_S(*) FROM Segment").unwrap());
         let c1 = scalar(&v1.sql("SELECT COUNT_S(*) FROM Segment").unwrap());
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn batched_and_row_ingestion_agree() {
+        let ds = mdb_datagen::ep(3, Scale::tiny()).unwrap();
+        let mut by_row = build_engine(&ds, true, 5.0);
+        ingest_engine(&mut by_row, &ds, 200);
+        let mut by_batch = build_engine(&ds, true, 5.0);
+        ingest_engine_batched(&mut by_batch, &ds, 200, 64);
+        assert_eq!(by_row.segments().unwrap(), by_batch.segments().unwrap());
+        let a = scalar(&by_row.sql("SELECT SUM_S(*) FROM Segment").unwrap());
+        let b = scalar(&by_batch.sql("SELECT SUM_S(*) FROM Segment").unwrap());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -9,31 +9,61 @@
 //! master merges and finalizes. That no-shuffle property is what produces
 //! the near-linear scale-out of Figure 20.
 //!
-//! Workers are OS threads connected by channels; each owns the full
-//! single-node stack (group ingestors → segment store → query engine).
+//! Workers are OS threads connected by **bounded** channels; each owns the
+//! full single-node stack (group ingestors → segment store → query engine).
+//! Ingestion is batch-oriented end-to-end: the master splits a columnar
+//! [`RowBatch`] into per-group batches and ships whole batches, and a worker
+//! that falls [`ClusterConfig::ingest_queue_depth`] batches behind blocks the
+//! master (real backpressure) instead of queueing unboundedly.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam_channel::{bounded, Receiver, Sender};
 use mdb_compression::{CompressionConfig, CompressionStats, GroupIngestor};
 use mdb_models::ModelRegistry;
 use mdb_partitioner::assign_workers;
 use mdb_query::engine::PartialAggregates;
 use mdb_query::{Query, QueryEngine, QueryResult, SelectItem};
 use mdb_storage::{Catalog, MemoryStore, SegmentStore};
-use mdb_types::{Gid, MdbError, Result, Timestamp, Value};
+use mdb_types::{Gid, MdbError, Result, RowBatch, Timestamp, Value};
 
-/// A tick routed to one worker: the values of one group at one timestamp.
+/// Cluster runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Compression settings shared by every worker's group ingestors.
+    pub compression: CompressionConfig,
+    /// Maximum commands buffered per worker channel. The master's batched
+    /// ingestion blocks once a worker falls this many batches behind — real
+    /// backpressure instead of an unbounded queue.
+    pub ingest_queue_depth: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self { compression: CompressionConfig::default(), ingest_queue_depth: 8 }
+    }
+}
+
+impl ClusterConfig {
+    /// A config with the given compression settings and the default queue
+    /// depth.
+    pub fn with_compression(compression: CompressionConfig) -> Self {
+        Self { compression, ..Self::default() }
+    }
+}
+
+/// A batch routed to one worker: the columns of one group over a run of
+/// ticks (rows where the whole group was in a gap are already dropped).
 #[derive(Debug)]
-struct GroupTick {
+struct GroupBatch {
     gid: Gid,
-    timestamp: Timestamp,
-    row: Vec<Option<Value>>,
+    batch: RowBatch,
 }
 
 enum Command {
-    Ingest(Vec<GroupTick>),
+    Ingest(Vec<GroupBatch>),
     Flush(Sender<Result<()>>),
     /// Run the partial-aggregation phase; replies with the partials and the
     /// worker-local wall time (used by the scale-out simulation).
@@ -54,52 +84,74 @@ struct Worker {
 pub struct Cluster {
     catalog: Arc<Catalog>,
     workers: Vec<Worker>,
-    /// gid → worker index.
-    routing: Vec<(Gid, usize)>,
+    /// gid → worker index (O(1) routing on the ingestion hot path).
+    routing: HashMap<Gid, usize>,
     /// Per group (in catalog order): the row indexes of its member series,
     /// cached so routing a tick is O(values) instead of O(series²).
     group_row_indices: Vec<Vec<usize>>,
+    /// Single-row batch backing [`Cluster::ingest_row`] (a batch of one on
+    /// the [`Cluster::ingest_batch`] path), reused across calls so the
+    /// compatibility path does not allocate a fresh column set per tick.
+    scratch_row: Mutex<RowBatch>,
 }
 
 impl Cluster {
-    /// Starts `n_workers` workers for the groups in `catalog`, assigning
-    /// each group to the least-loaded worker.
+    /// Starts `n_workers` workers for the groups in `catalog` with the given
+    /// compression settings and default runtime options; see
+    /// [`Cluster::start_with`] for the full configuration surface.
     pub fn start(
         catalog: Arc<Catalog>,
         registry: Arc<ModelRegistry>,
         config: CompressionConfig,
         n_workers: usize,
     ) -> Result<Self> {
+        Self::start_with(catalog, registry, ClusterConfig::with_compression(config), n_workers)
+    }
+
+    /// Starts `n_workers` workers for the groups in `catalog`, assigning
+    /// each group to the least-loaded worker. Worker command channels are
+    /// bounded at [`ClusterConfig::ingest_queue_depth`], so ingestion blocks
+    /// (backpressure) instead of queueing unboundedly when workers lag.
+    pub fn start_with(
+        catalog: Arc<Catalog>,
+        registry: Arc<ModelRegistry>,
+        config: ClusterConfig,
+        n_workers: usize,
+    ) -> Result<Self> {
         if n_workers == 0 {
             return Err(MdbError::Config("cluster needs at least one worker".into()));
         }
+        if config.ingest_queue_depth == 0 {
+            return Err(MdbError::Config("ingest_queue_depth must be at least 1".into()));
+        }
         let assignment = assign_workers(&catalog.groups, n_workers);
-        let mut routing = Vec::new();
+        let mut routing = HashMap::new();
         let mut per_worker_gids: Vec<Vec<Gid>> = vec![Vec::new(); n_workers];
         for (group, &worker) in catalog.groups.iter().zip(&assignment) {
-            routing.push((group.gid, worker));
+            routing.insert(group.gid, worker);
             per_worker_gids[worker].push(group.gid);
         }
         let mut workers = Vec::with_capacity(n_workers);
         for gids in per_worker_gids {
-            let (sender, receiver) = unbounded::<Command>();
+            let (sender, receiver) = bounded::<Command>(config.ingest_queue_depth);
             let catalog_ref = Arc::clone(&catalog);
             let registry_ref = Arc::clone(&registry);
-            let config_ref = config.clone();
+            let config_ref = config.compression.clone();
             let gids_ref = gids.clone();
             let handle = std::thread::spawn(move || {
                 worker_loop(receiver, catalog_ref, registry_ref, config_ref, gids_ref);
             });
             workers.push(Worker { sender, handle: Some(handle), gids });
         }
-        let tid_to_row: std::collections::HashMap<_, _> =
+        let tid_to_row: HashMap<_, _> =
             catalog.series.iter().enumerate().map(|(i, m)| (m.tid, i)).collect();
         let group_row_indices = catalog
             .groups
             .iter()
             .map(|g| g.tids.iter().map(|t| tid_to_row[t]).collect())
             .collect();
-        Ok(Self { catalog, workers, routing, group_row_indices })
+        let scratch_row = Mutex::new(RowBatch::with_capacity(catalog.series.len(), 1));
+        Ok(Self { catalog, workers, routing, group_row_indices, scratch_row })
     }
 
     /// Number of workers.
@@ -113,12 +165,13 @@ impl Cluster {
     }
 
     fn worker_of(&self, gid: Gid) -> Option<usize> {
-        self.routing.iter().find(|(g, _)| *g == gid).map(|(_, w)| *w)
+        self.routing.get(&gid).copied()
     }
 
     /// Ingests one full tick: `row[i]` belongs to the series with tid
-    /// `catalog.series[i].tid`. The master splits it per group and routes
-    /// each slice to the owning worker.
+    /// `catalog.series[i].tid`. This is a batch of one on the
+    /// [`Cluster::ingest_batch`] path; bulk ingestion should build a
+    /// [`RowBatch`] and call that directly.
     pub fn ingest_row(&self, timestamp: Timestamp, row: &[Option<Value>]) -> Result<()> {
         if row.len() != self.catalog.series.len() {
             return Err(MdbError::Ingestion(format!(
@@ -127,21 +180,50 @@ impl Cluster {
                 self.catalog.series.len()
             )));
         }
-        let mut per_worker: Vec<Vec<GroupTick>> =
+        let mut batch = self.scratch_row.lock().expect("scratch batch poisoned");
+        batch.clear();
+        batch.push_row(timestamp, row);
+        self.ingest_batch(&batch)
+    }
+
+    /// Ingests a columnar batch: column `i` of `batch` belongs to the series
+    /// with tid `catalog.series[i].tid`. The master splits the batch into
+    /// per-group column batches (dropping ticks a whole group missed) and
+    /// routes each to the owning worker over its bounded channel — a send
+    /// blocks once the worker is `ingest_queue_depth` batches behind, so a
+    /// slow worker exerts backpressure instead of accumulating unbounded
+    /// queues.
+    pub fn ingest_batch(&self, batch: &RowBatch) -> Result<()> {
+        if batch.n_series() != self.catalog.series.len() {
+            return Err(MdbError::Ingestion(format!(
+                "batch has {} columns for {} series",
+                batch.n_series(),
+                self.catalog.series.len()
+            )));
+        }
+        let mut per_worker: Vec<Vec<GroupBatch>> =
             (0..self.workers.len()).map(|_| Vec::new()).collect();
         for (group, indices) in self.catalog.groups.iter().zip(&self.group_row_indices) {
-            let group_row: Vec<Option<Value>> = indices.iter().map(|&idx| row[idx]).collect();
-            if group_row.iter().all(Option::is_none) {
-                continue; // a tick the whole group missed: a gap, not data
+            let view = batch.select(indices);
+            let mut group_batch: Option<RowBatch> = None;
+            for row in 0..view.len() {
+                if view.row_all_gaps(row) {
+                    continue; // a tick the whole group missed: a gap, not data
+                }
+                group_batch
+                    .get_or_insert_with(|| RowBatch::with_capacity(indices.len(), view.len()))
+                    .push_row_with(view.timestamp(row), |s| view.get(row, s));
             }
-            let worker = self.worker_of(group.gid).unwrap();
-            per_worker[worker].push(GroupTick { gid: group.gid, timestamp, row: group_row });
+            if let Some(group_batch) = group_batch {
+                let worker = self.worker_of(group.gid).unwrap();
+                per_worker[worker].push(GroupBatch { gid: group.gid, batch: group_batch });
+            }
         }
-        for (worker, ticks) in self.workers.iter().zip(per_worker) {
-            if !ticks.is_empty() {
+        for (worker, batches) in self.workers.iter().zip(per_worker) {
+            if !batches.is_empty() {
                 worker
                     .sender
-                    .send(Command::Ingest(ticks))
+                    .send(Command::Ingest(batches))
                     .map_err(|_| MdbError::Ingestion("worker disconnected".into()))?;
             }
         }
@@ -305,24 +387,25 @@ fn worker_loop(
     gids: Vec<Gid>,
 ) {
     let mut store = MemoryStore::new();
-    let mut ingestors: Vec<(Gid, GroupIngestor)> = Vec::new();
+    let mut ingestors: Vec<GroupIngestor> = Vec::new();
+    let mut gid_index: HashMap<Gid, usize> = HashMap::new();
     for gid in &gids {
         let group = catalog.group(*gid).expect("assigned gid must exist").clone();
         let scaling: Vec<f64> = group.tids.iter().map(|t| catalog.scaling_of(*t)).collect();
         let ingestor = GroupIngestor::new(group, scaling, Arc::clone(&registry), config.clone())
             .expect("valid group");
-        ingestors.push((*gid, ingestor));
+        gid_index.insert(*gid, ingestors.len());
+        ingestors.push(ingestor);
     }
     let mut failure: Option<MdbError> = None;
     while let Ok(command) = receiver.recv() {
         match command {
-            Command::Ingest(ticks) => {
-                for tick in ticks {
-                    let Some((_, ingestor)) = ingestors.iter_mut().find(|(g, _)| *g == tick.gid)
-                    else {
+            Command::Ingest(batches) => {
+                for group_batch in batches {
+                    let Some(&idx) = gid_index.get(&group_batch.gid) else {
                         continue;
                     };
-                    match ingestor.push_row(tick.timestamp, &tick.row) {
+                    match ingestors[idx].push_batch(group_batch.batch.view()) {
                         Ok(segments) => {
                             for segment in segments {
                                 if let Err(e) = store.insert(segment) {
@@ -336,7 +419,7 @@ fn worker_loop(
             }
             Command::Flush(reply) => {
                 let mut result = Ok(());
-                for (_, ingestor) in &mut ingestors {
+                for ingestor in &mut ingestors {
                     match ingestor.flush() {
                         Ok(segments) => {
                             for segment in segments {
@@ -370,7 +453,7 @@ fn worker_loop(
             }
             Command::Stats(reply) => {
                 let mut stats = CompressionStats::default();
-                for (_, ingestor) in &ingestors {
+                for ingestor in &ingestors {
                     stats.merge(ingestor.stats());
                 }
                 let _ = reply.send((stats, store.logical_bytes(), store.len()));
@@ -420,6 +503,55 @@ mod tests {
             cluster.ingest_row(ds.timestamp(tick), &ds.row(tick)).unwrap();
         }
         cluster.flush().unwrap();
+    }
+
+    #[test]
+    fn batched_ingestion_matches_row_at_a_time() {
+        let (_, by_row, ds) = build(2);
+        ingest_all(&by_row, &ds, 300);
+        // Batch path with a deliberately tiny queue depth so the test also
+        // exercises backpressure (sends block until the workers drain).
+        let (catalog, default_cluster, _) = build(2);
+        drop(default_cluster);
+        let config = ClusterConfig {
+            compression: CompressionConfig::with_relative_bound(5.0),
+            ingest_queue_depth: 1,
+        };
+        let by_batch =
+            Cluster::start_with(catalog, Arc::new(ModelRegistry::standard()), config, 2).unwrap();
+        let mut batch = mdb_types::RowBatch::with_capacity(ds.n_series(), 64);
+        let mut tick = 0u64;
+        while tick < 300 {
+            batch.clear();
+            for t in tick..(tick + 64).min(300) {
+                batch.push_row_with(ds.timestamp(t), |s| ds.value(s as u32 + 1, t));
+            }
+            by_batch.ingest_batch(&batch).unwrap();
+            tick += 64;
+        }
+        by_batch.flush().unwrap();
+        for q in [
+            "SELECT COUNT_S(*) FROM Segment",
+            "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
+        ] {
+            let a = by_row.sql(q).unwrap();
+            let b = by_batch.sql(q).unwrap();
+            assert_eq!(a.rows, b.rows, "{q}");
+        }
+        let (sa, _, _) = by_row.stats().unwrap();
+        let (sb, _, _) = by_batch.stats().unwrap();
+        assert_eq!(sa.rows, sb.rows);
+        assert_eq!(sa.data_points, sb.data_points);
+        by_row.shutdown();
+        by_batch.shutdown();
+    }
+
+    #[test]
+    fn zero_queue_depth_rejected() {
+        let catalog = Arc::new(Catalog::new());
+        let registry = Arc::new(ModelRegistry::standard());
+        let config = ClusterConfig { ingest_queue_depth: 0, ..ClusterConfig::default() };
+        assert!(Cluster::start_with(catalog, registry, config, 1).is_err());
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub struct SegmentGenerator {
     registry: Arc<ModelRegistry>,
     config: CompressionConfig,
     buffer: VecDeque<Tick>,
+    /// Value vectors recycled from ticks that left the buffer, so steady-state
+    /// ingestion pushes ticks without heap allocation.
+    spare: Vec<Vec<Value>>,
     /// Index of the model currently fitting (into the registry order).
     model_idx: usize,
     fitter: Box<dyn Fitter>,
@@ -96,6 +99,7 @@ impl SegmentGenerator {
             registry,
             config,
             buffer: VecDeque::new(),
+            spare: Vec::new(),
             model_idx: 0,
             fitter,
             fitted: 0,
@@ -133,10 +137,15 @@ impl SegmentGenerator {
     }
 
     /// Ingests the values for one tick (`values[i]` belongs to the series at
-    /// `positions[i]`) and returns any segments that became final.
-    pub fn push(&mut self, timestamp: Timestamp, values: Vec<Value>) -> Result<Vec<SegmentRecord>> {
+    /// `positions[i]`) and returns any segments that became final. The values
+    /// are copied into a recycled buffer slot, so in steady state (no segment
+    /// emission) a push performs no heap allocation.
+    pub fn push(&mut self, timestamp: Timestamp, values: &[Value]) -> Result<Vec<SegmentRecord>> {
         debug_assert_eq!(values.len(), self.positions.len());
-        self.buffer.push_back(Tick { timestamp, values });
+        let mut slot = self.spare.pop().unwrap_or_default();
+        slot.clear();
+        slot.extend_from_slice(values);
+        self.buffer.push_back(Tick { timestamp, values: slot });
         self.advance()
     }
 
@@ -252,7 +261,9 @@ impl SegmentGenerator {
         };
         let segment = self.build_segment(best)?;
         for _ in 0..segment.len() {
-            self.buffer.pop_front();
+            if let Some(tick) = self.buffer.pop_front() {
+                self.spare.push(tick.values);
+            }
         }
         self.segments_emitted += 1;
         Ok(segment)
@@ -363,7 +374,7 @@ mod tests {
         let mut g = generator(3, ErrorBound::absolute(0.5));
         let mut segments = Vec::new();
         for t in 0..120i64 {
-            segments.extend(g.push(t * 100, vec![10.0, 10.1, 9.9]).unwrap());
+            segments.extend(g.push(t * 100, &[10.0, 10.1, 9.9]).unwrap());
         }
         segments.extend(g.flush().unwrap());
         assert!(!segments.is_empty());
@@ -379,7 +390,7 @@ mod tests {
         let mut segments = Vec::new();
         for t in 0..100i64 {
             let v = t as f32 * 2.0;
-            segments.extend(g.push(t * 100, vec![v, v + 0.2]).unwrap());
+            segments.extend(g.push(t * 100, &[v, v + 0.2]).unwrap());
         }
         segments.extend(g.flush().unwrap());
         assert!(segments.iter().any(|s| s.mid == MID_SWING), "mids: {:?}", segments.iter().map(|s| s.mid).collect::<Vec<_>>());
@@ -393,7 +404,7 @@ mod tests {
         for t in 0..100i64 {
             x = x.wrapping_mul(1103515245).wrapping_add(12345);
             let v = (x as f32 / u32::MAX as f32) * 1000.0;
-            segments.extend(g.push(t * 100, vec![v]).unwrap());
+            segments.extend(g.push(t * 100, &[v]).unwrap());
         }
         segments.extend(g.flush().unwrap());
         assert!(segments.iter().any(|s| s.mid == MID_GORILLA));
@@ -407,7 +418,7 @@ mod tests {
             .map(|t| vec![if t % 60 < 30 { 10.0 } else { 50.0 + t as f32 * 0.3 }])
             .collect();
         for (t, row) in rows.iter().enumerate() {
-            segments.extend(g.push(t as i64 * 100, row.clone()).unwrap());
+            segments.extend(g.push(t as i64 * 100, row).unwrap());
         }
         segments.extend(g.flush().unwrap());
         // Coverage: every tick appears in exactly one segment.
@@ -432,7 +443,7 @@ mod tests {
         let mut g = generator(1, ErrorBound::absolute(10.0));
         let mut segments = Vec::new();
         for t in 0..500i64 {
-            segments.extend(g.push(t * 100, vec![1.0]).unwrap());
+            segments.extend(g.push(t * 100, &[1.0]).unwrap());
         }
         segments.extend(g.flush().unwrap());
         assert!(segments.iter().all(|s| s.len() <= 50));
@@ -443,7 +454,7 @@ mod tests {
     fn flush_on_empty_buffer_is_a_noop() {
         let mut g = generator(1, ErrorBound::Lossless);
         assert!(g.flush().unwrap().is_empty());
-        g.push(0, vec![1.0]).unwrap();
+        g.push(0, &[1.0]).unwrap();
         let s = g.flush().unwrap();
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].len(), 1);
@@ -454,7 +465,7 @@ mod tests {
     fn gaps_mask_marks_absent_positions() {
         let config = CompressionConfig::default();
         let mut g = SegmentGenerator::new(7, 100, vec![0, 2], 3, Arc::new(ModelRegistry::standard()), config).unwrap();
-        g.push(0, vec![1.0, 1.0]).unwrap();
+        g.push(0, &[1.0, 1.0]).unwrap();
         let segs = g.flush().unwrap();
         assert_eq!(segs[0].gaps, GapsMask::from_positions(&[1]));
         assert_eq!(segs[0].gid, 7);
@@ -463,8 +474,8 @@ mod tests {
     #[test]
     fn nan_values_are_representable_via_gorilla() {
         let mut g = generator(1, ErrorBound::relative(5.0));
-        g.push(0, vec![f32::NAN]).unwrap();
-        g.push(100, vec![1.0]).unwrap();
+        g.push(0, &[f32::NAN]).unwrap();
+        g.push(100, &[1.0]).unwrap();
         let segs = g.flush().unwrap();
         let total: usize = segs.iter().map(|s| s.len()).sum();
         assert_eq!(total, 2);
@@ -490,7 +501,7 @@ mod tests {
             let mut g = generator(1, bound);
             let mut bytes = 0usize;
             for (t, row) in signal.iter().enumerate() {
-                for s in g.push(t as i64 * 100, row.clone()).unwrap() {
+                for s in g.push(t as i64 * 100, row).unwrap() {
                     bytes += s.storage_bytes();
                 }
             }
@@ -514,7 +525,7 @@ mod tests {
             let mut g = generator(2, bound);
             let mut segments = Vec::new();
             for (t, row) in seed_values.iter().enumerate() {
-                segments.extend(g.push(t as i64 * 100, row.clone()).unwrap());
+                segments.extend(g.push(t as i64 * 100, row).unwrap());
             }
             segments.extend(g.flush().unwrap());
             proptest::prop_assert_eq!(segments.iter().map(|s| s.len()).sum::<usize>(), seed_values.len());

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use mdb_models::{compression_ratio, ModelRegistry};
-use mdb_types::{GroupMeta, MdbError, Result, SegmentRecord, Timestamp, Value};
+use mdb_types::{BatchView, GroupMeta, MdbError, Result, RowBatch, SegmentRecord, Timestamp, Value};
 
 use crate::generator::SegmentGenerator;
 use crate::split::{joinable, split_into_correlated};
@@ -126,6 +126,14 @@ pub struct GroupIngestor {
     ratio_sum: f64,
     ratio_count: u64,
     stats: CompressionStats,
+    /// Scratch buffers reused across ticks so steady-state ingestion performs
+    /// no per-tick heap allocation.
+    scratch_scaled: Vec<Option<Value>>,
+    scratch_active: Vec<usize>,
+    scratch_values: Vec<Value>,
+    /// A single-row batch backing [`GroupIngestor::push_row`], which is a
+    /// batch of one on the [`GroupIngestor::push_batch`] path.
+    scratch_row: RowBatch,
 }
 
 impl GroupIngestor {
@@ -163,6 +171,10 @@ impl GroupIngestor {
             ratio_sum: 0.0,
             ratio_count: 0,
             stats: CompressionStats::default(),
+            scratch_scaled: Vec::with_capacity(size),
+            scratch_active: Vec::with_capacity(size),
+            scratch_values: Vec::with_capacity(size),
+            scratch_row: RowBatch::with_capacity(size, 1),
         })
     }
 
@@ -184,6 +196,10 @@ impl GroupIngestor {
 
     /// Ingests one tick: `row[i]` is the value of the series at member
     /// position `i`, or `None` while that series is in a gap (Definition 6).
+    ///
+    /// This is a batch of one on the [`GroupIngestor::push_batch`] path; like
+    /// that path, a row with every member in a gap is skipped (a tick the
+    /// whole group missed is a gap, not data).
     pub fn push_row(&mut self, timestamp: Timestamp, row: &[Option<Value>]) -> Result<Vec<SegmentRecord>> {
         let size = self.group.size();
         if row.len() != size {
@@ -193,21 +209,94 @@ impl GroupIngestor {
                 row.len()
             )));
         }
-        let si = self.group.sampling_interval;
+        let mut batch = std::mem::take(&mut self.scratch_row);
+        batch.clear();
+        batch.push_row(timestamp, row);
+        let result = self.push_batch(batch.view());
+        self.scratch_row = batch;
+        result
+    }
+
+    /// Ingests a batch of ticks: column `i` of `batch` belongs to the series
+    /// at member position `i`. Rows where every member is in a gap are
+    /// skipped — the following timestamp jump is then handled as a gap for
+    /// the whole group, exactly as if the row had never been delivered.
+    ///
+    /// Timestamps are validated across the whole batch *before* any state
+    /// changes, so a rejected batch ingests nothing — segments emitted by
+    /// earlier rows cannot be lost to an error on a later row.
+    ///
+    /// In steady state (ticks that extend the current models without emitting
+    /// segments) this path performs no per-tick heap allocation: scaling,
+    /// active-member reconciliation, and the generators' tick buffers all
+    /// reuse scratch storage.
+    pub fn push_batch(&mut self, batch: BatchView<'_>) -> Result<Vec<SegmentRecord>> {
+        let size = self.group.size();
+        if batch.n_series() != size {
+            return Err(MdbError::Ingestion(format!(
+                "group {}: batch has {} columns for {size} members",
+                self.group.gid,
+                batch.n_series()
+            )));
+        }
+        self.validate_timestamps(batch)?;
         let mut out = Vec::new();
+        for row in 0..batch.len() {
+            if batch.row_all_gaps(row) {
+                continue;
+            }
+            self.push_tick(batch, row, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Checks that the batch's non-skipped rows continue the group's tick
+    /// grid (strictly increasing, SI-aligned) without touching any state.
+    fn validate_timestamps(&self, batch: BatchView<'_>) -> Result<()> {
+        let si = self.group.sampling_interval;
+        let mut last = self.last_timestamp;
+        for row in 0..batch.len() {
+            if batch.row_all_gaps(row) {
+                continue;
+            }
+            let timestamp = batch.timestamp(row);
+            if let Some(last) = last {
+                if timestamp <= last {
+                    return Err(MdbError::Ingestion(format!(
+                        "group {}: timestamp {timestamp} is not after {last}",
+                        self.group.gid
+                    )));
+                }
+                if (timestamp - last) % si != 0 {
+                    return Err(MdbError::Ingestion(format!(
+                        "group {}: timestamp {timestamp} is not aligned to SI {si}",
+                        self.group.gid
+                    )));
+                }
+            }
+            last = Some(timestamp);
+        }
+        Ok(())
+    }
+
+    /// Ingests one non-empty tick of `batch` into the partition, appending
+    /// emitted segments to `out`.
+    fn push_tick(
+        &mut self,
+        batch: BatchView<'_>,
+        row: usize,
+        out: &mut Vec<SegmentRecord>,
+    ) -> Result<()> {
+        let size = self.group.size();
+        let si = self.group.sampling_interval;
+        let timestamp = batch.timestamp(row);
         if let Some(last) = self.last_timestamp {
-            if timestamp <= last {
-                return Err(MdbError::Ingestion(format!(
-                    "group {}: timestamp {timestamp} is not after {last}",
-                    self.group.gid
-                )));
-            }
-            if (timestamp - last) % si != 0 {
-                return Err(MdbError::Ingestion(format!(
-                    "group {}: timestamp {timestamp} is not aligned to SI {si}",
-                    self.group.gid
-                )));
-            }
+            // Monotonicity and SI alignment were established for the whole
+            // batch by `validate_timestamps` before any row was ingested.
+            debug_assert!(
+                timestamp > last && (timestamp - last) % si == 0,
+                "push_batch must validate timestamps up front"
+            );
             if timestamp != last + si {
                 // Whole ticks are missing: a gap for every series. Segments
                 // must not span it (their length is derived from end − start).
@@ -228,14 +317,16 @@ impl GroupIngestor {
         }
         self.last_timestamp = Some(timestamp);
         self.stats.rows += 1;
-        self.stats.data_points += row.iter().flatten().count() as u64;
 
-        // Scale the values once, up front.
-        let scaled: Vec<Option<Value>> = row
-            .iter()
-            .enumerate()
-            .map(|(i, v)| v.map(|v| (f64::from(v) * self.scaling[i]) as Value))
-            .collect();
+        // Scale the values once, up front, into the reused scratch column.
+        self.scratch_scaled.clear();
+        for s in 0..size {
+            let scaled = batch.get(row, s).map(|v| (f64::from(v) * self.scaling[s]) as Value);
+            if scaled.is_some() {
+                self.stats.data_points += 1;
+            }
+            self.scratch_scaled.push(scaled);
+        }
 
         if self.parts.is_empty() {
             self.parts.push(Part { positions: (0..size).collect(), generator: None });
@@ -243,16 +334,16 @@ impl GroupIngestor {
 
         // Reconcile each part's generator with its currently active members.
         for k in 0..self.parts.len() {
-            let active: Vec<usize> = self.parts[k]
-                .positions
-                .iter()
-                .copied()
-                .filter(|&p| scaled[p].is_some())
-                .collect();
+            self.scratch_active.clear();
+            for &p in &self.parts[k].positions {
+                if self.scratch_scaled[p].is_some() {
+                    self.scratch_active.push(p);
+                }
+            }
             let matches = self.parts[k]
                 .generator
                 .as_ref()
-                .is_some_and(|g| g.positions() == active.as_slice());
+                .is_some_and(|g| g.positions() == self.scratch_active.as_slice());
             if !matches {
                 if let Some(mut generator) = self.parts[k].generator.take() {
                     out.extend(Self::record_all(
@@ -264,11 +355,11 @@ impl GroupIngestor {
                         generator.flush()?,
                     ));
                 }
-                if !active.is_empty() {
+                if !self.scratch_active.is_empty() {
                     self.parts[k].generator = Some(SegmentGenerator::new(
                         self.group.gid,
                         si,
-                        active,
+                        self.scratch_active.clone(),
                         size,
                         Arc::clone(&self.registry),
                         self.config.clone(),
@@ -280,11 +371,13 @@ impl GroupIngestor {
         // Feed the tick and collect parts whose freshly emitted segments
         // compressed poorly (split triggers, Section 4.2).
         let mut split_candidates = Vec::new();
-        for (k, part) in self.parts.iter_mut().enumerate() {
-            let Some(generator) = &mut part.generator else { continue };
-            let values: Vec<Value> =
-                generator.positions().iter().map(|&p| scaled[p].expect("active position")).collect();
-            let emitted = generator.push(timestamp, values)?;
+        for k in 0..self.parts.len() {
+            let Some(generator) = self.parts[k].generator.as_mut() else { continue };
+            self.scratch_values.clear();
+            for &p in generator.positions() {
+                self.scratch_values.push(self.scratch_scaled[p].expect("active position"));
+            }
+            let emitted = generator.push(timestamp, &self.scratch_values)?;
             if emitted.is_empty() {
                 continue;
             }
@@ -302,7 +395,11 @@ impl GroupIngestor {
                 self.stats.record(&self.registry, &segment, size);
                 out.push(segment);
             }
-            if poor && self.config.dynamic_split && n_series > 1 && !generator.buffer().is_empty() {
+            let buffered = self.parts[k]
+                .generator
+                .as_ref()
+                .is_some_and(|g| !g.buffer().is_empty());
+            if poor && self.config.dynamic_split && n_series > 1 && buffered {
                 split_candidates.push(k);
             }
         }
@@ -315,7 +412,7 @@ impl GroupIngestor {
             out.extend(self.try_joins()?);
         }
 
-        Ok(out)
+        Ok(())
     }
 
     /// Algorithm 3 applied to part `k`: re-partition its members by buffered
@@ -352,9 +449,11 @@ impl GroupIngestor {
             )?;
             generator_new.join_threshold = self.config.join_initial_threshold;
             // Replay the buffered ticks for this subset.
+            let mut values = Vec::with_capacity(subset.len());
             for tick in &buffer {
-                let values: Vec<Value> = subset.iter().map(|&local| tick.values[local]).collect();
-                for segment in generator_new.push(tick.timestamp, values)? {
+                values.clear();
+                values.extend(subset.iter().map(|&local| tick.values[local]));
+                for segment in generator_new.push(tick.timestamp, &values)? {
                     self.stats.record(&self.registry, &segment, size);
                     out.push(segment);
                 }
@@ -651,6 +750,77 @@ mod tests {
         let shares = ing.stats().model_shares();
         let total: f64 = shares.iter().map(|(_, p)| p).sum();
         assert!((total - 100.0).abs() < 1e-6, "shares: {shares:?}");
+    }
+
+    #[test]
+    fn push_batch_matches_row_at_a_time() {
+        let mut by_row = ingestor(3, ErrorBound::relative(5.0));
+        let mut by_batch = ingestor(3, ErrorBound::relative(5.0));
+        let mut batch = RowBatch::with_capacity(3, 400);
+        let mut row_segments = Vec::new();
+        let mut x = 5u32;
+        for t in 0..400i64 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let noise = (x >> 16) as f32 / 65536.0;
+            // Mix of steady signal, decorrelation noise, per-series gaps,
+            // and whole-group gap ticks.
+            let v = if t % 97 < 60 { 10.0 } else { 10.0 + noise * 200.0 };
+            let row = [
+                (t % 31 != 0).then_some(v),
+                (t % 43 != 0).then_some(v * 1.01),
+                (t % 13 != 7).then_some(v + noise),
+            ];
+            batch.push_row(t * 100, &row);
+            row_segments.extend(by_row.push_row(t * 100, &row).unwrap());
+        }
+        row_segments.extend(by_row.flush().unwrap());
+        let mut batch_segments = by_batch.push_batch(batch.view()).unwrap();
+        batch_segments.extend(by_batch.flush().unwrap());
+        assert_eq!(row_segments, batch_segments);
+        assert_eq!(by_row.stats().rows, by_batch.stats().rows);
+        assert_eq!(by_row.stats().data_points, by_batch.stats().data_points);
+        assert_eq!(by_row.stats().segments, by_batch.stats().segments);
+    }
+
+    #[test]
+    fn bad_batch_is_rejected_atomically() {
+        let mut ing = ingestor(2, ErrorBound::absolute(0.5));
+        // Warm up with enough ticks that a mid-batch emission is pending.
+        let mut segments = Vec::new();
+        for t in 0..75i64 {
+            segments.extend(ing.push_row(t * 100, &[Some(1.0), Some(1.0)]).unwrap());
+        }
+        let rows_before = ing.stats().rows;
+        // A batch whose 60th row repeats a timestamp: rejected up front,
+        // before any row of the batch is ingested — no segments emitted by
+        // earlier rows can be dropped with the error.
+        let mut batch = RowBatch::with_capacity(2, 70);
+        for t in 75..145i64 {
+            let ts = if t == 135 { 134 * 100 } else { t * 100 };
+            batch.push_row(ts, &[Some(1.0), Some(1.0)]);
+        }
+        assert!(ing.push_batch(batch.view()).is_err());
+        assert_eq!(ing.stats().rows, rows_before, "rejected batch must ingest nothing");
+        // The stream continues cleanly from where it left off.
+        segments.extend(ing.push_row(75 * 100, &[Some(1.0), Some(1.0)]).unwrap());
+        segments.extend(ing.flush().unwrap());
+        let points: usize = segments.iter().map(|s| s.data_points(2)).sum();
+        assert_eq!(points, 76 * 2);
+    }
+
+    #[test]
+    fn all_gap_rows_are_skipped_on_both_paths() {
+        let mut ing = ingestor(2, ErrorBound::absolute(0.5));
+        ing.push_row(0, &[Some(1.0), Some(1.0)]).unwrap();
+        // A row the whole group missed is skipped, not an error and not data.
+        ing.push_row(100, &[None, None]).unwrap();
+        let segments = [ing.push_row(200, &[Some(1.0), Some(1.0)]).unwrap(), ing.flush().unwrap()].concat();
+        assert_eq!(ing.stats().rows, 2);
+        assert_eq!(ing.stats().data_points, 4);
+        // The skipped tick forces a segment boundary: nothing spans it.
+        for s in &segments {
+            assert!(!(s.start_time < 100 && s.end_time >= 100), "segment spans the gap: {s:?}");
+        }
     }
 
     proptest::proptest! {

@@ -2,15 +2,15 @@
 //! SQL, the "ModelarDB+ Core as a portable library" deployment of
 //! Section 3.1 (the cluster deployment lives in `mdb-cluster`).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use mdb_compression::{CompressionStats, GroupIngestor};
 use mdb_models::ModelRegistry;
 use mdb_query::{QueryEngine, QueryResult};
-use mdb_storage::{Catalog, DiskStore, MemoryStore, SegmentStore};
-use mdb_types::{Gid, MdbError, Result, Tid, Timestamp, Value};
+use mdb_storage::{Catalog, DiskStore, MemoryStore, SegmentPredicate, SegmentStore};
+use mdb_types::{Gid, MdbError, Result, RowBatch, SegmentRecord, Tid, Timestamp, Value};
 
 use crate::Config;
 
@@ -32,9 +32,15 @@ pub struct ModelarDb {
     ingestors: Vec<(Gid, GroupIngestor)>,
     /// Per ingestor: the row indexes of its group's member series.
     row_indices: Vec<Vec<usize>>,
+    /// gid → index into `ingestors`/`row_indices`, so hot-path group lookups
+    /// are O(1) instead of a linear scan.
+    gid_index: HashMap<Gid, usize>,
     /// Out-of-band point ingestion: per group, rows being assembled per
     /// timestamp until every (non-gapped) member has reported.
     pending: BTreeMap<Gid, BTreeMap<Timestamp, Vec<Option<Value>>>>,
+    /// Single-row batch backing [`ModelarDb::ingest_row`] (a batch of one on
+    /// the [`ModelarDb::ingest_batch`] path), reused across calls.
+    scratch_row: RowBatch,
 }
 
 impl ModelarDb {
@@ -63,7 +69,19 @@ impl ModelarDb {
             ));
             row_indices.push(group.tids.iter().map(|t| tid_to_row[t]).collect());
         }
-        Ok(Self { catalog, registry, config, store, ingestors, row_indices, pending: BTreeMap::new() })
+        let gid_index = ingestors.iter().enumerate().map(|(i, (g, _))| (*g, i)).collect();
+        let scratch_row = RowBatch::with_capacity(catalog.series.len(), 1);
+        Ok(Self {
+            catalog,
+            registry,
+            config,
+            store,
+            ingestors,
+            row_indices,
+            gid_index,
+            pending: BTreeMap::new(),
+            scratch_row,
+        })
     }
 
     /// Reopens a disk-backed instance: catalog and segments are recovered
@@ -87,6 +105,9 @@ impl ModelarDb {
 
     /// Ingests one full tick: `row[i]` belongs to `catalog.series[i]`
     /// (tid order), `None` meaning the series is in a gap.
+    ///
+    /// This is a batch of one on the [`ModelarDb::ingest_batch`] path; bulk
+    /// ingestion should build a [`RowBatch`] and call that directly.
     pub fn ingest_row(&mut self, timestamp: Timestamp, row: &[Option<Value>]) -> Result<()> {
         if row.len() != self.catalog.series.len() {
             return Err(MdbError::Ingestion(format!(
@@ -95,12 +116,28 @@ impl ModelarDb {
                 self.catalog.series.len()
             )));
         }
+        let mut batch = std::mem::take(&mut self.scratch_row);
+        batch.clear();
+        batch.push_row(timestamp, row);
+        let result = self.ingest_batch(&batch);
+        self.scratch_row = batch;
+        result
+    }
+
+    /// Ingests a columnar batch of ticks: column `i` of `batch` belongs to
+    /// `catalog.series[i]` (tid order), with the validity bitmap marking
+    /// gaps. Each group receives a borrowed column view of the batch — the
+    /// per-group slicing allocates nothing per tick.
+    pub fn ingest_batch(&mut self, batch: &RowBatch) -> Result<()> {
+        if batch.n_series() != self.catalog.series.len() {
+            return Err(MdbError::Ingestion(format!(
+                "batch has {} columns for {} series",
+                batch.n_series(),
+                self.catalog.series.len()
+            )));
+        }
         for ((_, ingestor), indices) in self.ingestors.iter_mut().zip(&self.row_indices) {
-            let group_row: Vec<Option<Value>> = indices.iter().map(|&idx| row[idx]).collect();
-            if group_row.iter().all(Option::is_none) {
-                continue;
-            }
-            for segment in ingestor.push_row(timestamp, &group_row)? {
+            for segment in ingestor.push_batch(batch.select(indices))? {
                 self.store.insert(segment)?;
             }
         }
@@ -125,23 +162,34 @@ impl ModelarDb {
         if complete {
             // Flush every assembled row up to and including this timestamp;
             // older incomplete rows become rows with gaps.
-            let ready: Vec<Timestamp> =
-                pending.range(..=timestamp).map(|(t, _)| *t).collect();
-            for ts in ready {
-                let row = self.pending.get_mut(&gid).unwrap().remove(&ts).unwrap();
-                self.push_group_row(gid, ts, &row)?;
-            }
+            let rest = pending.split_off(&(timestamp + 1));
+            let ready = std::mem::replace(pending, rest);
+            self.push_group_rows(gid, size, ready)?;
         }
         Ok(())
     }
 
-    fn push_group_row(&mut self, gid: Gid, timestamp: Timestamp, row: &[Option<Value>]) -> Result<()> {
-        let (_, ingestor) = self
-            .ingestors
-            .iter_mut()
-            .find(|(g, _)| *g == gid)
+    /// Assembles drained pending point-rows into one group-width batch and
+    /// ingests it through the batch path.
+    fn push_group_rows(
+        &mut self,
+        gid: Gid,
+        size: usize,
+        rows: BTreeMap<Timestamp, Vec<Option<Value>>>,
+    ) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let idx = *self
+            .gid_index
+            .get(&gid)
             .ok_or_else(|| MdbError::NotFound(format!("group {gid}")))?;
-        for segment in ingestor.push_row(timestamp, row)? {
+        let mut batch = RowBatch::with_capacity(size, rows.len());
+        for (ts, row) in rows {
+            batch.push_row(ts, &row);
+        }
+        let (_, ingestor) = &mut self.ingestors[idx];
+        for segment in ingestor.push_batch(batch.view())? {
             self.store.insert(segment)?;
         }
         Ok(())
@@ -150,14 +198,9 @@ impl ModelarDb {
     /// Drains all buffers: pending point-rows, group ingestors, and the
     /// store's write buffer.
     pub fn flush(&mut self) -> Result<()> {
-        let pending: Vec<(Gid, Timestamp, Vec<Option<Value>>)> = self
-            .pending
-            .iter()
-            .flat_map(|(gid, rows)| rows.iter().map(|(ts, row)| (*gid, *ts, row.clone())))
-            .collect();
-        self.pending.clear();
-        for (gid, ts, row) in pending {
-            self.push_group_row(gid, ts, &row)?;
+        for (gid, rows) in std::mem::take(&mut self.pending) {
+            let size = rows.values().next().map(Vec::len).unwrap_or(0);
+            self.push_group_rows(gid, size, rows)?;
         }
         for (_, ingestor) in &mut self.ingestors {
             for segment in ingestor.flush()? {
@@ -189,6 +232,12 @@ impl ModelarDb {
     /// Stored segment count.
     pub fn segment_count(&self) -> usize {
         self.store.len()
+    }
+
+    /// All stored segments in `(gid, end_time)` order — the raw material for
+    /// equivalence tests and offline analysis.
+    pub fn segments(&self) -> Result<Vec<SegmentRecord>> {
+        mdb_storage::scan_to_vec(self.store.as_ref(), &SegmentPredicate::all())
     }
 
     /// The active configuration.
@@ -251,6 +300,39 @@ mod tests {
         let r = db.sql("SELECT Tid, COUNT_S(*) FROM Segment GROUP BY Tid ORDER BY Tid").unwrap();
         assert_eq!(r.rows[0][1].as_i64(), Some(12)); // tid 1: ticks 0..=11
         assert_eq!(r.rows[1][1].as_i64(), Some(11)); // tid 2: missing tick 10
+    }
+
+    #[test]
+    fn batch_ingestion_matches_row_at_a_time() {
+        let mut by_row = db(5.0);
+        let mut by_batch = db(5.0);
+        let mut batch = RowBatch::with_capacity(2, 128);
+        for chunk in 0..4i64 {
+            batch.clear();
+            for t in chunk * 125..(chunk + 1) * 125 {
+                let v = (t as f32 * 0.02).sin() * 10.0 + 100.0;
+                let row = [
+                    (t % 37 != 0).then_some(v),
+                    (t % 53 != 0).then_some(v * 1.001),
+                ];
+                by_row.ingest_row(t * 100, &row).unwrap();
+                batch.push_row(t * 100, &row);
+            }
+            by_batch.ingest_batch(&batch).unwrap();
+        }
+        by_row.flush().unwrap();
+        by_batch.flush().unwrap();
+        assert_eq!(by_row.segments().unwrap(), by_batch.segments().unwrap());
+        for q in ["SELECT COUNT_S(*) FROM Segment", "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid"] {
+            assert_eq!(by_row.sql(q).unwrap().rows, by_batch.sql(q).unwrap().rows, "{q}");
+        }
+    }
+
+    #[test]
+    fn batch_width_is_validated() {
+        let mut db = db(1.0);
+        let batch = RowBatch::new(3);
+        assert!(db.ingest_batch(&batch).is_err());
     }
 
     #[test]

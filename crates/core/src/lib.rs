@@ -48,7 +48,7 @@ pub use configfile::ConfigFile;
 pub use engine::{ModelarDb, StorageSpec};
 
 // Re-export the public surface of the component crates.
-pub use mdb_cluster::Cluster;
+pub use mdb_cluster::{Cluster, ClusterConfig};
 pub use mdb_compression::{CompressionConfig, CompressionStats, GroupIngestor, SegmentGenerator};
 pub use mdb_models::{
     Fitter, ModelRegistry, ModelType, SegmentAgg, MID_GORILLA, MID_PMC_MEAN, MID_SWING,
@@ -60,8 +60,8 @@ pub use mdb_partitioner::{
 pub use mdb_query::{parse, Cell, Query, QueryEngine, QueryResult};
 pub use mdb_storage::{Catalog, DiskStore, MemoryStore, SegmentPredicate, SegmentStore};
 pub use mdb_types::{
-    DataPoint, DimensionSchema, Dimensions, ErrorBound, GapsMask, Gid, GroupMeta, MdbError,
-    Result, SegmentRecord, Tid, TimeLevel, TimeSeriesMeta, Timestamp, Value,
+    BatchView, DataPoint, DimensionSchema, Dimensions, ErrorBound, GapsMask, Gid, GroupMeta,
+    MdbError, Result, RowBatch, SegmentRecord, Tid, TimeLevel, TimeSeriesMeta, Timestamp, Value,
 };
 
 /// The full system configuration; defaults mirror Table 1 of the paper.

@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 
 use mdb_partitioner::CorrelationSpec;
-use mdb_types::{DimensionSchema, Dimensions, Result, Tid, TimeSeriesMeta, Timestamp, Value};
+use mdb_types::{
+    DimensionSchema, Dimensions, Result, RowBatch, Tid, TimeSeriesMeta, Timestamp, Value,
+};
 
 use crate::hash_noise;
 
@@ -129,6 +131,35 @@ impl Dataset {
         (1..=self.n_series() as Tid).map(|tid| self.value(tid, tick)).collect()
     }
 
+    /// Fills `batch` with the ticks `start_tick .. start_tick + len`,
+    /// reusing the batch's allocations (the steady-state bulk-ingestion
+    /// loop: fill, ship, clear, repeat).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch was built for a different number of series.
+    pub fn fill_batch(&self, start_tick: u64, len: u64, batch: &mut RowBatch) {
+        assert_eq!(batch.n_series(), self.n_series(), "batch width must match the data set");
+        batch.clear();
+        for tick in start_tick..start_tick + len {
+            batch.push_row_with(self.timestamp(tick), |s| self.value(s as Tid + 1, tick));
+        }
+    }
+
+    /// A freshly allocated columnar batch of the ticks
+    /// `start_tick .. start_tick + len`.
+    pub fn batch(&self, start_tick: u64, len: u64) -> RowBatch {
+        let mut batch = RowBatch::with_capacity(self.n_series(), len as usize);
+        self.fill_batch(start_tick, len, &mut batch);
+        batch
+    }
+
+    /// Iterates the first `ticks` ticks as columnar batches of up to
+    /// `batch_size` rows — the bulk-ingestion driver for benchmarks.
+    pub fn batches(&self, ticks: u64, batch_size: u64) -> Batches<'_> {
+        Batches { dataset: self, next: 0, end: ticks, batch_size: batch_size.max(1) }
+    }
+
     /// The correlation hints the paper's evaluation uses for this data set.
     pub fn correlation_spec(&self) -> CorrelationSpec {
         self.correlation.clone()
@@ -142,6 +173,30 @@ impl Dataset {
             n += self.row(tick).iter().flatten().count() as u64;
         }
         n
+    }
+}
+
+/// Iterator over a data set's ticks as columnar [`RowBatch`]es; see
+/// [`Dataset::batches`].
+#[derive(Debug)]
+pub struct Batches<'a> {
+    dataset: &'a Dataset,
+    next: u64,
+    end: u64,
+    batch_size: u64,
+}
+
+impl Iterator for Batches<'_> {
+    type Item = RowBatch;
+
+    fn next(&mut self) -> Option<RowBatch> {
+        if self.next >= self.end {
+            return None;
+        }
+        let len = self.batch_size.min(self.end - self.next);
+        let batch = self.dataset.batch(self.next, len);
+        self.next += len;
+        Some(batch)
     }
 }
 
@@ -311,6 +366,38 @@ mod tests {
         assert!(gaps > 0, "gaps must occur");
         assert!((gaps as f64) < total as f64 * 0.05, "{gaps}/{total} gaps");
         assert_eq!(ds.count_data_points(4_000), total - gaps);
+    }
+
+    #[test]
+    fn batches_cover_rows_identically() {
+        let ds = ep(42, Scale::tiny()).unwrap();
+        let mut tick = 0u64;
+        let mut batches = 0;
+        for batch in ds.batches(100, 32) {
+            assert_eq!(batch.n_series(), ds.n_series());
+            for row in 0..batch.len() {
+                assert_eq!(batch.timestamps()[row], ds.timestamp(tick));
+                let expected = ds.row(tick);
+                for s in 0..ds.n_series() {
+                    assert_eq!(batch.get(row, s), expected[s], "tick {tick} series {s}");
+                }
+                tick += 1;
+            }
+            batches += 1;
+        }
+        assert_eq!(tick, 100);
+        assert_eq!(batches, 4); // 32 + 32 + 32 + 4
+    }
+
+    #[test]
+    fn fill_batch_reuses_allocations() {
+        let ds = eh(7, Scale::tiny()).unwrap();
+        let mut batch = mdb_types::RowBatch::with_capacity(ds.n_series(), 16);
+        ds.fill_batch(0, 16, &mut batch);
+        assert_eq!(batch.len(), 16);
+        ds.fill_batch(16, 8, &mut batch);
+        assert_eq!(batch.len(), 8);
+        assert_eq!(batch.timestamps()[0], ds.timestamp(16));
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Columnar row batches for bulk ingestion.
+//!
+//! The paper's ingestion numbers assume bulk writes (Table 1 sets a bulk
+//! write size of 50 000); [`RowBatch`] carries that batching through every
+//! layer above the store. A batch holds a timestamps column plus one value
+//! column per series, each with a validity bitmap marking which rows carry a
+//! value and which fall inside a gap (Definition 6). [`BatchView`] projects a
+//! batch onto a subset of its columns — the engine uses it to hand each time
+//! series group its member columns without copying or per-tick allocation.
+
+use crate::datapoint::{Timestamp, Value};
+
+/// One value column: densely stored values plus a validity bitmap. Rows in a
+/// gap store `0.0` and a cleared validity bit.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Column {
+    values: Vec<Value>,
+    /// Bit `r % 64` of word `r / 64` is set when row `r` holds a value.
+    validity: Vec<u64>,
+}
+
+impl Column {
+    fn with_capacity(rows: usize) -> Self {
+        Self { values: Vec::with_capacity(rows), validity: Vec::with_capacity(rows / 64 + 1) }
+    }
+
+    fn push(&mut self, value: Option<Value>) {
+        let row = self.values.len();
+        if row % 64 == 0 {
+            self.validity.push(0);
+        }
+        if let Some(v) = value {
+            self.validity[row / 64] |= 1 << (row % 64);
+            self.values.push(v);
+        } else {
+            self.values.push(0.0);
+        }
+    }
+
+    #[inline]
+    fn get(&self, row: usize) -> Option<Value> {
+        if self.validity[row / 64] & (1 << (row % 64)) != 0 {
+            Some(self.values[row])
+        } else {
+            None
+        }
+    }
+
+    fn clear(&mut self) {
+        self.values.clear();
+        self.validity.clear();
+    }
+}
+
+/// A columnar batch of ingestion rows: a timestamps column plus one value
+/// column per series, with validity bitmaps recording gaps.
+///
+/// Batches are append-only; [`RowBatch::clear`] resets a batch for reuse
+/// while keeping its heap allocations, so a steady-state ingestion loop can
+/// fill and ship the same batch repeatedly without allocating.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RowBatch {
+    timestamps: Vec<Timestamp>,
+    columns: Vec<Column>,
+}
+
+impl RowBatch {
+    /// An empty batch for `n_series` series.
+    pub fn new(n_series: usize) -> Self {
+        Self::with_capacity(n_series, 0)
+    }
+
+    /// An empty batch for `n_series` series with room for `rows` rows.
+    pub fn with_capacity(n_series: usize, rows: usize) -> Self {
+        Self {
+            timestamps: Vec::with_capacity(rows),
+            columns: (0..n_series).map(|_| Column::with_capacity(rows)).collect(),
+        }
+    }
+
+    /// Number of series (value columns).
+    pub fn n_series(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of buffered rows (ticks).
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// True when no rows are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Removes all rows but keeps the column allocations for reuse.
+    pub fn clear(&mut self) {
+        self.timestamps.clear();
+        for column in &mut self.columns {
+            column.clear();
+        }
+    }
+
+    /// Appends one row: `row[s]` is the value of series `s` at `timestamp`,
+    /// `None` meaning the series is in a gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row.len()` differs from [`RowBatch::n_series`].
+    pub fn push_row(&mut self, timestamp: Timestamp, row: &[Option<Value>]) {
+        assert_eq!(row.len(), self.n_series(), "row width must match the batch");
+        self.push_row_with(timestamp, |s| row[s]);
+    }
+
+    /// Appends one row with the value of series `s` produced by `value(s)` —
+    /// the allocation-free way to fill a batch from a generator.
+    pub fn push_row_with(&mut self, timestamp: Timestamp, mut value: impl FnMut(usize) -> Option<Value>) {
+        self.timestamps.push(timestamp);
+        for (s, column) in self.columns.iter_mut().enumerate() {
+            column.push(value(s));
+        }
+    }
+
+    /// The timestamps column.
+    pub fn timestamps(&self) -> &[Timestamp] {
+        &self.timestamps
+    }
+
+    /// The value of series `series` at row `row`, or `None` during a gap.
+    #[inline]
+    pub fn get(&self, row: usize, series: usize) -> Option<Value> {
+        self.columns[series].get(row)
+    }
+
+    /// A view over every column of this batch.
+    pub fn view(&self) -> BatchView<'_> {
+        BatchView { batch: self, columns: None }
+    }
+
+    /// A view over the columns at `columns` (in that order) — how the engine
+    /// projects one catalog-wide batch onto a group's member series. The
+    /// indices are borrowed, so building the view performs no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Accessors of the returned view panic if an index is out of range.
+    pub fn select<'a>(&'a self, columns: &'a [usize]) -> BatchView<'a> {
+        BatchView { batch: self, columns: Some(columns) }
+    }
+}
+
+/// A borrowed projection of a [`RowBatch`] onto a subset of its columns.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchView<'a> {
+    batch: &'a RowBatch,
+    /// `columns[s]` is the batch column backing view column `s`; `None` is
+    /// the identity projection.
+    columns: Option<&'a [usize]>,
+}
+
+impl BatchView<'_> {
+    /// Number of rows (ticks).
+    pub fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// True when the view has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// Number of series (columns) selected by the view.
+    pub fn n_series(&self) -> usize {
+        match self.columns {
+            Some(columns) => columns.len(),
+            None => self.batch.n_series(),
+        }
+    }
+
+    /// The timestamp of row `row`.
+    #[inline]
+    pub fn timestamp(&self, row: usize) -> Timestamp {
+        self.batch.timestamps[row]
+    }
+
+    /// The value of view column `series` at `row`, or `None` during a gap.
+    #[inline]
+    pub fn get(&self, row: usize, series: usize) -> Option<Value> {
+        let column = match self.columns {
+            Some(columns) => columns[series],
+            None => series,
+        };
+        self.batch.get(row, column)
+    }
+
+    /// True when every selected series is in a gap at `row` — a tick the
+    /// whole group missed, which ingestion treats as a gap, not data.
+    pub fn row_all_gaps(&self, row: usize) -> bool {
+        (0..self.n_series()).all(|s| self.get(row, s).is_none())
+    }
+
+    /// Copies the view into an owned batch (used when a batch slice must
+    /// cross a thread boundary, e.g. master → worker routing).
+    pub fn to_batch(&self) -> RowBatch {
+        let mut out = RowBatch::with_capacity(self.n_series(), self.len());
+        for row in 0..self.len() {
+            out.push_row_with(self.timestamp(row), |s| self.get(row, s));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let mut b = RowBatch::with_capacity(3, 4);
+        b.push_row(100, &[Some(1.0), None, Some(3.0)]);
+        b.push_row(200, &[None, Some(2.0), None]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.n_series(), 3);
+        assert_eq!(b.timestamps(), &[100, 200]);
+        assert_eq!(b.get(0, 0), Some(1.0));
+        assert_eq!(b.get(0, 1), None);
+        assert_eq!(b.get(0, 2), Some(3.0));
+        assert_eq!(b.get(1, 0), None);
+        assert_eq!(b.get(1, 1), Some(2.0));
+    }
+
+    #[test]
+    fn validity_bitmap_crosses_word_boundaries() {
+        let mut b = RowBatch::new(1);
+        for t in 0..130i64 {
+            b.push_row(t, &[(t % 3 != 0).then_some(t as Value)]);
+        }
+        for t in 0..130usize {
+            let expected = (t % 3 != 0).then_some(t as Value);
+            assert_eq!(b.get(t, 0), expected, "row {t}");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_rows() {
+        let mut b = RowBatch::with_capacity(2, 8);
+        for t in 0..8i64 {
+            b.push_row(t, &[Some(1.0), Some(2.0)]);
+        }
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.n_series(), 2);
+        b.push_row(0, &[None, Some(9.0)]);
+        assert_eq!(b.get(0, 1), Some(9.0));
+        assert_eq!(b.get(0, 0), None);
+    }
+
+    #[test]
+    fn select_projects_columns_in_order() {
+        let mut b = RowBatch::new(4);
+        b.push_row(0, &[Some(0.0), Some(1.0), None, Some(3.0)]);
+        b.push_row(100, &[None, None, None, None]);
+        let view = b.select(&[3, 1]);
+        assert_eq!(view.n_series(), 2);
+        assert_eq!(view.get(0, 0), Some(3.0));
+        assert_eq!(view.get(0, 1), Some(1.0));
+        assert!(!view.row_all_gaps(0));
+        assert!(view.row_all_gaps(1));
+        assert_eq!(view.timestamp(1), 100);
+    }
+
+    #[test]
+    fn identity_view_and_to_batch() {
+        let mut b = RowBatch::new(2);
+        b.push_row(0, &[Some(1.0), None]);
+        b.push_row(100, &[Some(2.0), Some(4.0)]);
+        let v = b.view();
+        assert_eq!(v.n_series(), 2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(1, 1), Some(4.0));
+        let copy = v.to_batch();
+        assert_eq!(copy, b);
+        let projected = b.select(&[1]).to_batch();
+        assert_eq!(projected.n_series(), 1);
+        assert_eq!(projected.get(0, 0), None);
+        assert_eq!(projected.get(1, 0), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn push_row_rejects_wrong_width() {
+        let mut b = RowBatch::new(2);
+        b.push_row(0, &[Some(1.0)]);
+    }
+}

@@ -11,11 +11,15 @@
 //! * [`SegmentRecord`] — Definition 9 (the 6-tuple `(ts, te, SI, Gts, M, ε)`),
 //!   in the storage layout of Figure 6.
 //! * [`ErrorBound`] — the user-defined error bound `ε` (possibly zero).
+//! * [`RowBatch`] — the columnar ingestion batch (timestamps column plus
+//!   per-series value columns with validity bitmaps) that carries Table 1's
+//!   bulk write size through every ingestion layer, not just the store.
 //!
 //! It also provides [`time`], a dependency-free UTC civil-time calendar used
 //! for aggregation in the time dimension (Section 6.3), and the shared
 //! [`MdbError`] error type.
 
+pub mod batch;
 pub mod bound;
 pub mod datapoint;
 pub mod dimensions;
@@ -24,6 +28,7 @@ pub mod meta;
 pub mod segment;
 pub mod time;
 
+pub use batch::{BatchView, RowBatch};
 pub use bound::ErrorBound;
 pub use datapoint::{DataPoint, Tid, Timestamp, Value};
 pub use dimensions::{DimensionSchema, Dimensions, MemberId, LEVEL_TOP};

@@ -1,0 +1,135 @@
+//! Batch/row ingestion equivalence: `ModelarDb::ingest_batch` must be
+//! indistinguishable from feeding the same ticks through
+//! `ModelarDb::ingest_row` one at a time — byte-identical segments and
+//! identical Segment View aggregates — including rows with gaps, ticks the
+//! whole group missed, and value patterns that trigger dynamic splits and
+//! joins (Section 4.2).
+
+use modelardb::{
+    DimensionSchema, ErrorBound, ModelarDb, ModelarDbBuilder, RowBatch, SeriesSpec, Value,
+};
+
+fn engine() -> ModelarDb {
+    engine_with_split_fraction(10.0)
+}
+
+fn engine_with_split_fraction(split_fraction: f64) -> ModelarDb {
+    let mut builder = ModelarDbBuilder::new();
+    builder.config_mut().compression.error_bound = ErrorBound::relative(5.0);
+    builder.config_mut().compression.split_fraction = split_fraction;
+    builder
+        .add_dimension(
+            DimensionSchema::from_leaf_up("Location", vec!["Turbine".into(), "Park".into()])
+                .unwrap(),
+        )
+        .add_series(SeriesSpec::new("a", 100).with_members("Location", &["Aalborg", "1"]))
+        .add_series(SeriesSpec::new("b", 100).with_members("Location", &["Aalborg", "2"]))
+        .add_series(SeriesSpec::new("c", 100).with_members("Location", &["Aalborg", "3"]))
+        .correlate("Location 1");
+    builder.build().unwrap()
+}
+
+const QUERIES: [&str; 3] = [
+    "SELECT COUNT_S(*) FROM Segment",
+    "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
+    "SELECT Tid, AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
+];
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+    #[test]
+    fn ingest_batch_matches_ingest_row(
+        pattern in proptest::collection::vec(
+            (
+                proptest::bool::weighted(0.9),
+                proptest::bool::weighted(0.9),
+                proptest::bool::weighted(0.9),
+                -50.0f32..50.0,
+                // Occasionally series c goes wild: decorrelation that can
+                // trigger dynamic splits (and later joins).
+                proptest::bool::weighted(0.2),
+            ),
+            1..220,
+        ),
+        chunk in 1usize..48,
+    ) {
+        let mut by_row = engine();
+        let mut by_batch = engine();
+        let mut batch = RowBatch::with_capacity(3, chunk);
+        let mut buffered = 0usize;
+        for (t, (p0, p1, p2, v, wild)) in pattern.iter().enumerate() {
+            let c: Value = if *wild { v * 25.0 + 400.0 } else { v + 0.1 };
+            let row = [p0.then_some(*v), p1.then_some(v * 1.01), p2.then_some(c)];
+            let ts = t as i64 * 100;
+            by_row.ingest_row(ts, &row).unwrap();
+            batch.push_row(ts, &row);
+            buffered += 1;
+            if buffered == chunk {
+                by_batch.ingest_batch(&batch).unwrap();
+                batch.clear();
+                buffered = 0;
+            }
+        }
+        if buffered > 0 {
+            by_batch.ingest_batch(&batch).unwrap();
+        }
+        by_row.flush().unwrap();
+        by_batch.flush().unwrap();
+
+        // Byte-identical segments…
+        proptest::prop_assert_eq!(by_row.segments().unwrap(), by_batch.segments().unwrap());
+        // …and identical compression statistics and query results.
+        proptest::prop_assert_eq!(by_row.stats().rows, by_batch.stats().rows);
+        proptest::prop_assert_eq!(by_row.stats().data_points, by_batch.stats().data_points);
+        for q in QUERIES {
+            let a = by_row.sql(q).unwrap();
+            let b = by_batch.sql(q).unwrap();
+            proptest::prop_assert_eq!(a.rows, b.rows, "{}", q);
+        }
+    }
+}
+
+/// A deterministic companion covering the split/join lifecycle end-to-end
+/// (the proptest only hits it probabilistically): a long decorrelation
+/// episode forces dynamic splits, recovery forces joins, and both ingestion
+/// paths must agree throughout.
+#[test]
+fn batch_equivalence_across_dynamic_split_and_join() {
+    let mut by_row = engine_with_split_fraction(2.0);
+    let mut by_batch = engine_with_split_fraction(2.0);
+    let mut batch = RowBatch::with_capacity(3, 64);
+    let mut x = 99u32;
+    let mut push = |t: i64, by_row: &mut ModelarDb, batch: &mut RowBatch| {
+        x = x.wrapping_mul(1103515245).wrapping_add(12345);
+        let noise = (x >> 16) as f32 / 65536.0;
+        let (a, b) = (5.0 + noise * 0.1, 5.1 + noise * 0.1);
+        // Ticks 150..320: series c decorrelates hard; elsewhere it tracks.
+        let c = if (150..320).contains(&t) { 500.0 + noise * 120.0 } else { 5.2 + noise * 0.1 };
+        // Sprinkle per-series gaps and a whole-group gap window.
+        let row = [
+            (t % 71 != 0).then_some(a),
+            (t % 89 != 0).then_some(b),
+            (!(410..430).contains(&t)).then_some(c),
+        ];
+        let row = if (500..505).contains(&t) { [None, None, None] } else { row };
+        by_row.ingest_row(t * 100, &row).unwrap();
+        batch.push_row(t * 100, &row);
+    };
+    for chunk_start in (0..900i64).step_by(64) {
+        batch.clear();
+        for t in chunk_start..(chunk_start + 64).min(900) {
+            push(t, &mut by_row, &mut batch);
+        }
+        by_batch.ingest_batch(&batch).unwrap();
+    }
+    by_row.flush().unwrap();
+    by_batch.flush().unwrap();
+    let row_stats = by_row.stats();
+    assert!(row_stats.splits >= 1, "expected a dynamic split, got {row_stats:?}");
+    assert_eq!(by_row.segments().unwrap(), by_batch.segments().unwrap());
+    assert_eq!(row_stats.splits, by_batch.stats().splits);
+    assert_eq!(row_stats.joins, by_batch.stats().joins);
+    for q in QUERIES {
+        assert_eq!(by_row.sql(q).unwrap().rows, by_batch.sql(q).unwrap().rows, "{q}");
+    }
+}
