@@ -44,7 +44,9 @@ fn encode_rows(rows: &[Row]) -> Vec<u8> {
         // per cell; model it as one 8-byte stamp + flags per row (it varies
         // row to row, so it compresses poorly — a real contributor to
         // Cassandra's footprint in Figures 14–15).
-        let write_ts = (r.ts as u64).wrapping_mul(1_000).wrapping_add(u64::from(r.tid) * 7919);
+        let write_ts = (r.ts as u64)
+            .wrapping_mul(1_000)
+            .wrapping_add(u64::from(r.tid) * 7919);
         out.extend_from_slice(&write_ts.to_le_bytes());
         out.push(0);
         out.extend_from_slice(&r.value.to_le_bytes());
@@ -72,7 +74,12 @@ fn decode_rows(mut input: &[u8], count: usize) -> Result<Vec<Row>> {
         }
         let dims = String::from_utf8(input[..len].to_vec()).map_err(|_| corrupt())?;
         input = &input[len..];
-        rows.push(Row { tid, ts, value, dims });
+        rows.push(Row {
+            tid,
+            ts,
+            value,
+            dims,
+        });
     }
     Ok(rows)
 }
@@ -121,16 +128,17 @@ impl CassandraLike {
                 continue;
             }
             if let Some(list) = tids {
-                if !list.iter().any(|t| (block.min_tid..=block.max_tid).contains(t)) {
+                if !list
+                    .iter()
+                    .any(|t| (block.min_tid..=block.max_tid).contains(t))
+                {
                     continue;
                 }
             }
             let bytes = lzss::decompress(&block.compressed)
                 .ok_or_else(|| MdbError::Corrupt("bad sstable block".into()))?;
             for row in decode_rows(&bytes, block.rows)? {
-                if row.ts >= from
-                    && row.ts <= to
-                    && tids.is_none_or(|list| list.contains(&row.tid))
+                if row.ts >= from && row.ts <= to && tids.is_none_or(|list| list.contains(&row.tid))
                 {
                     f(&row);
                 }
@@ -151,7 +159,15 @@ impl TimeSeriesStore for CassandraLike {
     }
 
     fn ingest(&mut self, tid: Tid, ts: Timestamp, value: Value, dims: &[&str]) -> Result<()> {
-        self.memtable.insert((tid, ts), Row { tid, ts, value, dims: dims.join(",") });
+        self.memtable.insert(
+            (tid, ts),
+            Row {
+                tid,
+                ts,
+                value,
+                dims: dims.join(","),
+            },
+        );
         if self.memtable.len() >= BLOCK_ROWS * 4 {
             self.flush_memtable();
         }
@@ -188,7 +204,9 @@ impl TimeSeriesStore for CassandraLike {
     ) -> Result<()> {
         let list = [tid];
         let mut points = Vec::new();
-        self.for_each_row(Some(&list), from, to, &mut |row| points.push((row.ts, row.value)))?;
+        self.for_each_row(Some(&list), from, to, &mut |row| {
+            points.push((row.ts, row.value))
+        })?;
         points.sort_by_key(|p| p.0);
         for (ts, v) in points {
             f(ts, v);
@@ -219,7 +237,12 @@ mod tests {
     #[test]
     fn rows_round_trip_through_blocks() {
         let rows: Vec<Row> = (0..100)
-            .map(|i| Row { tid: i % 5 + 1, ts: i as i64 * 10, value: i as f32, dims: format!("d{i}") })
+            .map(|i| Row {
+                tid: i % 5 + 1,
+                ts: i as i64 * 10,
+                value: i as f32,
+                dims: format!("d{i}"),
+            })
             .collect();
         let encoded = encode_rows(&rows);
         let decoded = decode_rows(&encoded, 100).unwrap();
@@ -242,13 +265,22 @@ mod tests {
                 1,
                 i * 100,
                 v,
-                &["WindTurbineWithAVeryLongTypeName", &format!("entity-name-{}", i % 7), "ProductionMWhCategory"],
+                &[
+                    "WindTurbineWithAVeryLongTypeName",
+                    &format!("entity-name-{}", i % 7),
+                    "ProductionMWhCategory",
+                ],
             )
             .unwrap();
         }
         short.flush().unwrap();
         long.flush().unwrap();
-        assert!(long.size_bytes() > short.size_bytes() * 11 / 10, "{} vs {}", long.size_bytes(), short.size_bytes());
+        assert!(
+            long.size_bytes() > short.size_bytes() * 11 / 10,
+            "{} vs {}",
+            long.size_bytes(),
+            short.size_bytes()
+        );
     }
 
     #[test]

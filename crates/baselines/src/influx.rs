@@ -201,7 +201,9 @@ mod tests {
         store.flush().unwrap();
         assert_eq!(store.series[&1].blocks.len(), 3);
         let mut seen = 0;
-        store.scan_points(1, 0, 99_900, &mut |_, _| seen += 1).unwrap();
+        store
+            .scan_points(1, 0, 99_900, &mut |_, _| seen += 1)
+            .unwrap();
         assert_eq!(seen, 1000);
     }
 
@@ -209,7 +211,14 @@ mod tests {
     fn tags_are_stored_once_per_series() {
         let mut store = InfluxLike::new();
         for i in 0..100i64 {
-            store.ingest(7, i * 100, 1.0, &["WindTurbine", "entity7", "ProductionMWh"]).unwrap();
+            store
+                .ingest(
+                    7,
+                    i * 100,
+                    1.0,
+                    &["WindTurbine", "entity7", "ProductionMWh"],
+                )
+                .unwrap();
         }
         store.flush().unwrap();
         // Size must be far below 100 × tag-length.

@@ -45,7 +45,12 @@ pub struct Accum {
 
 impl Default for Accum {
     fn default() -> Self {
-        Self { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 }
 
@@ -116,7 +121,12 @@ pub(crate) mod conformance {
                 let ts = 1_000_000 + i * 100;
                 let value = (i as f32 * 0.01).sin() * 50.0 + tid as f32 * 100.0;
                 store
-                    .ingest(tid, ts, value, &["WindTurbine", &format!("entity{tid}"), "ProductionMWh"])
+                    .ingest(
+                        tid,
+                        ts,
+                        value,
+                        &["WindTurbine", &format!("entity{tid}"), "ProductionMWh"],
+                    )
                     .unwrap();
             }
         }
@@ -133,7 +143,11 @@ pub(crate) mod conformance {
                 expected += f64::from((i as f32 * 0.01).sin() * 50.0 + tid as f32 * 100.0);
             }
         }
-        assert!((acc.sum - expected).abs() < 1e-3 * expected.abs(), "{} vs {expected}", acc.sum);
+        assert!(
+            (acc.sum - expected).abs() < 1e-3 * expected.abs(),
+            "{} vs {expected}",
+            acc.sum
+        );
     }
 
     pub fn check_aggregate_filtered(store: &dyn TimeSeriesStore) {
@@ -141,7 +155,9 @@ pub(crate) mod conformance {
         assert_eq!(acc.count, 500);
         assert!(acc.min >= 150.0 && acc.max <= 250.0, "{acc:?}");
         // Time-restricted: first 100 ticks only.
-        let acc = store.aggregate(Some(&[2]), 1_000_000, 1_000_000 + 99 * 100).unwrap();
+        let acc = store
+            .aggregate(Some(&[2]), 1_000_000, 1_000_000 + 99 * 100)
+            .unwrap();
         assert_eq!(acc.count, 100);
         // Empty range.
         let acc = store.aggregate(Some(&[2]), 5, 4).unwrap();
@@ -151,9 +167,12 @@ pub(crate) mod conformance {
     pub fn check_point_scan(store: &dyn TimeSeriesStore) {
         let mut points = Vec::new();
         store
-            .scan_points(1, 1_000_000 + 10 * 100, 1_000_000 + 19 * 100, &mut |ts, v| {
-                points.push((ts, v))
-            })
+            .scan_points(
+                1,
+                1_000_000 + 10 * 100,
+                1_000_000 + 19 * 100,
+                &mut |ts, v| points.push((ts, v)),
+            )
             .unwrap();
         assert_eq!(points.len(), 10);
         assert_eq!(points[0].0, 1_000_000 + 1000);
@@ -218,9 +237,19 @@ mod tests {
         for store in stores.iter_mut() {
             store.flush().unwrap();
         }
-        let (i, c, p, o) =
-            (influx.size_bytes(), cassandra.size_bytes(), parquet.size_bytes(), orc.size_bytes());
-        assert!(c > i && c > p && c > o, "cassandra must be largest: i={i} c={c} p={p} o={o}");
-        assert!(p < c / 2, "columnar beats row store by a wide margin: p={p} c={c}");
+        let (i, c, p, o) = (
+            influx.size_bytes(),
+            cassandra.size_bytes(),
+            parquet.size_bytes(),
+            orc.size_bytes(),
+        );
+        assert!(
+            c > i && c > p && c > o,
+            "cassandra must be largest: i={i} c={c} p={p} o={o}"
+        );
+        assert!(
+            p < c / 2,
+            "columnar beats row store by a wide margin: p={p} c={c}"
+        );
     }
 }

@@ -41,9 +41,12 @@ impl SeriesStripes {
         if self.pending_ts.is_empty() {
             return;
         }
-        let deltas: Vec<i64> =
-            self.pending_ts.windows(2).map(|w| w[1] - w[0]).collect();
-        let raw_values: Vec<u8> = self.pending_values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let deltas: Vec<i64> = self.pending_ts.windows(2).map(|w| w[1] - w[0]).collect();
+        let raw_values: Vec<u8> = self
+            .pending_values
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         let mut dims = dict::DictEncoder::new();
         for d in &self.pending_dims {
             dims.push(d);
@@ -195,7 +198,11 @@ mod tests {
         }
         store.flush().unwrap();
         let s = &store.files[&1].stripes[0];
-        assert!(s.ts_deltas.len() < 32, "RLE timestamp stream: {}", s.ts_deltas.len());
+        assert!(
+            s.ts_deltas.len() < 32,
+            "RLE timestamp stream: {}",
+            s.ts_deltas.len()
+        );
     }
 
     #[test]
@@ -207,7 +214,9 @@ mod tests {
         }
         store.flush().unwrap();
         let mut got = Vec::new();
-        store.scan_points(2, 0, i64::MAX, &mut |t, v| got.push((t, v))).unwrap();
+        store
+            .scan_points(2, 0, i64::MAX, &mut |t, v| got.push((t, v)))
+            .unwrap();
         assert_eq!(got.iter().map(|p| p.0).collect::<Vec<_>>(), ts);
         assert_eq!(got[3].1, 3.0);
     }

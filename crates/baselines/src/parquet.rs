@@ -43,7 +43,11 @@ impl SeriesFile {
         if self.pending_ts.is_empty() {
             return;
         }
-        let raw_values: Vec<u8> = self.pending_values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let raw_values: Vec<u8> = self
+            .pending_values
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         let mut dims = dict::DictEncoder::new();
         for d in &self.pending_dims {
             dims.push(d);
@@ -204,7 +208,16 @@ mod tests {
         for i in 0..20_000i64 {
             let v = (i as f32).sin();
             with_dims
-                .ingest(1, i * 100, v, &["WindTurbineWithAVeryLongTypeName", "entity1", "ProductionMWh"])
+                .ingest(
+                    1,
+                    i * 100,
+                    v,
+                    &[
+                        "WindTurbineWithAVeryLongTypeName",
+                        "entity1",
+                        "ProductionMWh",
+                    ],
+                )
                 .unwrap();
             without.ingest(1, i * 100, v, &[]).unwrap();
         }
@@ -223,7 +236,9 @@ mod tests {
         store.flush().unwrap();
         assert_eq!(store.files[&1].groups.len(), 3);
         let mut n = 0;
-        store.scan_points(1, 0, 999_900, &mut |_, _| n += 1).unwrap();
+        store
+            .scan_points(1, 0, 999_900, &mut |_, _| n += 1)
+            .unwrap();
         assert_eq!(n, 10_000);
     }
 
@@ -235,7 +250,11 @@ mod tests {
         }
         store.flush().unwrap();
         let g = &store.files[&1].groups[0];
-        assert!(g.ts_column.len() < 11_000, "delta-encoded ts: {}", g.ts_column.len());
+        assert!(
+            g.ts_column.len() < 11_000,
+            "delta-encoded ts: {}",
+            g.ts_column.len()
+        );
         // Constant values LZSS-compress extremely well too.
         assert!(g.value_column.len() < 2_000, "{}", g.value_column.len());
     }

@@ -16,7 +16,11 @@ use mdb_datagen::{ep, Scale};
 use modelardb::{CompressionConfig, ErrorBound, ModelRegistry};
 
 fn bench_ingest_throughput(c: &mut Criterion) {
-    let scale = Scale { clusters: 4, series_per_cluster: 4, ticks: 2_000 };
+    let scale = Scale {
+        clusters: 4,
+        series_per_cluster: 4,
+        ticks: 2_000,
+    };
     let ds = ep(42, scale).unwrap();
     let points = ds.count_data_points(scale.ticks);
     let mut group = c.benchmark_group("ingest_throughput");
@@ -53,7 +57,10 @@ fn bench_ingest_throughput(c: &mut Criterion) {
         Cluster::start(
             catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap(),
             Arc::new(ModelRegistry::standard()),
-            CompressionConfig { error_bound: ErrorBound::relative(10.0), ..Default::default() },
+            CompressionConfig {
+                error_bound: ErrorBound::relative(10.0),
+                ..Default::default()
+            },
             3,
         )
         .unwrap()

@@ -6,7 +6,11 @@ use mdb_bench::{build_engine, dim_strings, ingest_engine};
 use mdb_datagen::{ep, Scale};
 
 fn bench_ingestion(c: &mut Criterion) {
-    let scale = Scale { clusters: 4, series_per_cluster: 4, ticks: 2_000 };
+    let scale = Scale {
+        clusters: 4,
+        series_per_cluster: 4,
+        ticks: 2_000,
+    };
     let ds = ep(42, scale).unwrap();
     let points = ds.count_data_points(scale.ticks);
     let mut group = c.benchmark_group("fig13_ingestion_ep");
@@ -27,25 +31,28 @@ fn bench_ingestion(c: &mut Criterion) {
     });
 
     let dims: Vec<Vec<String>> = ds.tids().iter().map(|&t| dim_strings(&ds, t)).collect();
-    let mut bench_store = |name: &str, make: &dyn Fn() -> Box<dyn mdb_baselines::TimeSeriesStore>| {
-        group.bench_function(BenchmarkId::new("baseline", name), |b| {
-            b.iter(|| {
-                let mut store = make();
-                for tick in 0..scale.ticks {
-                    let ts = ds.timestamp(tick);
-                    for (i, v) in ds.row(tick).into_iter().enumerate() {
-                        let Some(v) = v else { continue };
-                        let refs: Vec<&str> = dims[i].iter().map(String::as_str).collect();
-                        store.ingest(i as u32 + 1, ts, v, &refs).unwrap();
+    let mut bench_store =
+        |name: &str, make: &dyn Fn() -> Box<dyn mdb_baselines::TimeSeriesStore>| {
+            group.bench_function(BenchmarkId::new("baseline", name), |b| {
+                b.iter(|| {
+                    let mut store = make();
+                    for tick in 0..scale.ticks {
+                        let ts = ds.timestamp(tick);
+                        for (i, v) in ds.row(tick).into_iter().enumerate() {
+                            let Some(v) = v else { continue };
+                            let refs: Vec<&str> = dims[i].iter().map(String::as_str).collect();
+                            store.ingest(i as u32 + 1, ts, v, &refs).unwrap();
+                        }
                     }
-                }
-                store.flush().unwrap();
-                store.size_bytes()
-            })
-        });
-    };
+                    store.flush().unwrap();
+                    store.size_bytes()
+                })
+            });
+        };
     bench_store("influx", &|| Box::new(mdb_baselines::InfluxLike::new()));
-    bench_store("cassandra", &|| Box::new(mdb_baselines::CassandraLike::new()));
+    bench_store("cassandra", &|| {
+        Box::new(mdb_baselines::CassandraLike::new())
+    });
     bench_store("parquet", &|| Box::new(mdb_baselines::ParquetLike::new()));
     bench_store("orc", &|| Box::new(mdb_baselines::OrcLike::new()));
     group.finish();

@@ -11,10 +11,21 @@ use mdb_types::{ErrorBound, GroupMeta};
 use modelardb::ModelRegistry;
 
 fn bench_mgc(c: &mut Criterion) {
-    let scale = Scale { clusters: 1, series_per_cluster: 3, ticks: 5_000 };
+    let scale = Scale {
+        clusters: 1,
+        series_per_cluster: 3,
+        ticks: 5_000,
+    };
     let ds = ep(42, scale).unwrap();
-    let group = GroupMeta { gid: 1, tids: vec![1, 2, 3], sampling_interval: ds.profile.si_ms };
-    let config = CompressionConfig { error_bound: ErrorBound::relative(5.0), ..Default::default() };
+    let group = GroupMeta {
+        gid: 1,
+        tids: vec![1, 2, 3],
+        sampling_interval: ds.profile.si_ms,
+    };
+    let config = CompressionConfig {
+        error_bound: ErrorBound::relative(5.0),
+        ..Default::default()
+    };
 
     let mut bench_group = c.benchmark_group("mgc_ablation");
     bench_group.sample_size(10);

@@ -6,8 +6,15 @@ use mdb_bench::{build_engine, ingest_engine, run_queries};
 use mdb_datagen::{eh, ep, Scale, Workloads};
 
 fn bench_queries(c: &mut Criterion) {
-    let scale = Scale { clusters: 4, series_per_cluster: 4, ticks: 4_000 };
-    for (name, ds) in [("ep", ep(42, scale).unwrap()), ("eh", eh(42, scale).unwrap())] {
+    let scale = Scale {
+        clusters: 4,
+        series_per_cluster: 4,
+        ticks: 4_000,
+    };
+    for (name, ds) in [
+        ("ep", ep(42, scale).unwrap()),
+        ("eh", eh(42, scale).unwrap()),
+    ] {
         let mut db = build_engine(&ds, true, 10.0);
         ingest_engine(&mut db, &ds, scale.ticks);
         let mut w = Workloads::new(&ds, scale.ticks, 7);

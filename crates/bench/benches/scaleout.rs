@@ -13,22 +13,35 @@ fn bench_scaleout(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig20_scaleout");
     group.sample_size(10);
     for nodes in [1usize, 2, 4] {
-        let scale = Scale { clusters: 2 * nodes, series_per_cluster: 4, ticks: 2_000 };
+        let scale = Scale {
+            clusters: 2 * nodes,
+            series_per_cluster: 4,
+            ticks: 2_000,
+        };
         let ds = ep(42, scale).unwrap();
         let catalog = catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap();
         let cluster = Cluster::start(
             catalog,
             Arc::new(ModelRegistry::standard()),
-            CompressionConfig { error_bound: ErrorBound::relative(10.0), ..Default::default() },
+            CompressionConfig {
+                error_bound: ErrorBound::relative(10.0),
+                ..Default::default()
+            },
             nodes,
         )
         .unwrap();
         for tick in 0..scale.ticks {
-            cluster.ingest_row(ds.timestamp(tick), &ds.row(tick)).unwrap();
+            cluster
+                .ingest_row(ds.timestamp(tick), &ds.row(tick))
+                .unwrap();
         }
         cluster.flush().unwrap();
         group.bench_function(BenchmarkId::new("l_agg_segment_view", nodes), |b| {
-            b.iter(|| cluster.sql("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid").unwrap())
+            b.iter(|| {
+                cluster
+                    .sql("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid")
+                    .unwrap()
+            })
         });
         cluster.shutdown();
     }

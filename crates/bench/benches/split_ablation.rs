@@ -28,9 +28,11 @@ fn bench_split(c: &mut Criterion) {
     let registry = Arc::new(ModelRegistry::standard());
     let mut bench_group = c.benchmark_group("split_ablation");
     bench_group.sample_size(10);
-    for (name, dynamic_split, fraction) in
-        [("split_off", false, 10.0), ("split_frac_10", true, 10.0), ("split_frac_2", true, 2.0)]
-    {
+    for (name, dynamic_split, fraction) in [
+        ("split_off", false, 10.0),
+        ("split_frac_10", true, 10.0),
+        ("split_frac_2", true, 2.0),
+    ] {
         let config = CompressionConfig {
             error_bound: ErrorBound::relative(5.0),
             dynamic_split,
@@ -39,9 +41,13 @@ fn bench_split(c: &mut Criterion) {
         };
         bench_group.bench_function(BenchmarkId::new("ingest_bytes", name), |b| {
             b.iter(|| {
-                let mut ing =
-                    GroupIngestor::new(group.clone(), vec![], Arc::clone(&registry), config.clone())
-                        .unwrap();
+                let mut ing = GroupIngestor::new(
+                    group.clone(),
+                    vec![],
+                    Arc::clone(&registry),
+                    config.clone(),
+                )
+                .unwrap();
                 let mut bytes = 0u64;
                 for tick in 0..5_000u64 {
                     let r = row(tick);

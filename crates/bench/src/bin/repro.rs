@@ -3,16 +3,26 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|small|medium]
+//! repro gate --baseline <file> --current <file> [--tolerance <factor>]
 //!
 //! experiments:
 //!   table1  fig13  fig14  fig15  fig16  fig17  fig18  fig19  fig20
 //!   fig21   fig22  fig23  fig24  fig25  fig26  fig27  fig28  mgc
-//!   ingest  all
+//!   ingest  query  all
 //! ```
 //!
+//! Unknown experiments, scales, or options exit non-zero with a usage
+//! message instead of being silently ignored.
+//!
 //! `ingest` additionally writes `BENCH_ingest.json` (rows/sec and points/sec
-//! for the tick-at-a-time vs batched ingestion paths) so the perf trajectory
-//! is machine-readable across commits.
+//! for the tick-at-a-time vs batched ingestion paths) and `query` writes
+//! `BENCH_query.json` (time-ranged `SUM_S`/`AVG_S` latency for the plain
+//! sequential scan vs the pruned-parallel path) so the perf trajectory is
+//! machine-readable across commits. `gate` compares a freshly produced
+//! `BENCH_*.json` against a committed baseline and fails (exit 1) on more
+//! than `--tolerance`-fold regression — of the machine-portable speedup
+//! ratios by default, and also of raw rates/latencies under `--absolute` —
+//! the CI perf-regression step.
 //!
 //! Absolute numbers will differ from the paper (its substrate was a 7-node
 //! cluster over 339–582 GiB of proprietary data; this is a laptop-scale
@@ -31,14 +41,76 @@ use modelardb::{CompressionConfig, ErrorBound, ModelRegistry};
 const SEED: u64 = 42;
 const BOUNDS: [f64; 4] = [0.0, 1.0, 5.0, 10.0];
 
+const EXPERIMENTS: [&str; 20] = [
+    "table1", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+    "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "mgc", "ingest", "query",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: repro [<experiment>] [--scale tiny|small|medium]\n\
+         \x20      repro gate --baseline <file> --current <file> [--tolerance <factor>] [--absolute]\n\
+         \n\
+         experiments (default: all):\n  all {}\n",
+        EXPERIMENTS.join(" ")
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let experiment = args.first().map(String::as_str).unwrap_or("all");
-    let scale = match args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)) {
-        Some(s) if s == "tiny" => Scale::tiny(),
-        Some(s) if s == "medium" => Scale::medium(),
-        _ => Scale::small(),
-    };
+    if let Err(message) = dispatch(&args) {
+        eprintln!("error: {message}\n");
+        eprint!("{}", usage());
+        std::process::exit(2);
+    }
+}
+
+/// Parses the command line strictly — unknown experiments, scales, or
+/// options are errors, not no-ops — and runs the selection.
+fn dispatch(args: &[String]) -> Result<(), String> {
+    if args.first().map(String::as_str) == Some("gate") {
+        return gate(&args[1..]);
+    }
+    let mut experiment: Option<String> = None;
+    let mut scale = Scale::small();
+    let mut scale_name = "small".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--scale requires a value (tiny|small|medium)".to_string())?;
+                scale = match value.as_str() {
+                    "tiny" => Scale::tiny(),
+                    "small" => Scale::small(),
+                    "medium" => Scale::medium(),
+                    other => return Err(format!("unknown scale {other:?} (tiny|small|medium)")),
+                };
+                scale_name = value.clone();
+                i += 2;
+            }
+            option if option.starts_with('-') => {
+                return Err(format!("unknown option {option:?}"));
+            }
+            name => {
+                if experiment.is_some() {
+                    return Err(format!("unexpected extra argument {name:?}"));
+                }
+                if name != "all" && !EXPERIMENTS.contains(&name) {
+                    return Err(format!("unknown experiment {name:?}"));
+                }
+                experiment = Some(name.to_string());
+                i += 1;
+            }
+        }
+    }
+    let experiment = experiment.unwrap_or_else(|| "all".to_string());
+    run_experiments(&experiment, scale, &scale_name);
+    Ok(())
+}
+
+fn run_experiments(experiment: &str, scale: Scale, scale_name: &str) {
     let run = |name: &str| experiment == "all" || experiment == name;
 
     if run("table1") {
@@ -54,10 +126,18 @@ fn main() {
         storage_figure("Figure 15: Storage, EH", &eh(SEED, scale).unwrap(), scale);
     }
     if run("fig16") {
-        models_figure("Figure 16: Models used, EP", &ep(SEED, scale).unwrap(), scale);
+        models_figure(
+            "Figure 16: Models used, EP",
+            &ep(SEED, scale).unwrap(),
+            scale,
+        );
     }
     if run("fig17") {
-        models_figure("Figure 17: Models used, EH", &eh(SEED, scale).unwrap(), scale);
+        models_figure(
+            "Figure 17: Models used, EH",
+            &eh(SEED, scale).unwrap(),
+            scale,
+        );
     }
     if run("fig18") {
         fig18(scale);
@@ -81,30 +161,300 @@ fn main() {
         pr_figure("Figure 24: P/R, EH", &eh(SEED, scale).unwrap(), scale);
     }
     if run("fig25") {
-        m_agg_figure("Figure 25: M-AGG-One, EP", &ep(SEED, scale).unwrap(), scale, false);
+        m_agg_figure(
+            "Figure 25: M-AGG-One, EP",
+            &ep(SEED, scale).unwrap(),
+            scale,
+            false,
+        );
     }
     if run("fig26") {
-        m_agg_figure("Figure 26: M-AGG-Two, EP", &ep(SEED, scale).unwrap(), scale, true);
+        m_agg_figure(
+            "Figure 26: M-AGG-Two, EP",
+            &ep(SEED, scale).unwrap(),
+            scale,
+            true,
+        );
     }
     if run("fig27") {
-        m_agg_figure("Figure 27: M-AGG-One, EH", &eh(SEED, scale).unwrap(), scale, false);
+        m_agg_figure(
+            "Figure 27: M-AGG-One, EH",
+            &eh(SEED, scale).unwrap(),
+            scale,
+            false,
+        );
     }
     if run("fig28") {
-        m_agg_figure("Figure 28: M-AGG-Two, EH", &eh(SEED, scale).unwrap(), scale, true);
+        m_agg_figure(
+            "Figure 28: M-AGG-Two, EH",
+            &eh(SEED, scale).unwrap(),
+            scale,
+            true,
+        );
     }
     if run("mgc") {
         mgc_ablation();
     }
     if run("ingest") {
-        ingest_rates(scale);
+        ingest_rates(scale, scale_name);
     }
+    if run("query") {
+        query_rates(scale, scale_name);
+    }
+}
+
+/// `query`: time-ranged `SUM_S`/`AVG_S` latency, plain sequential scan vs
+/// the pruned-parallel path, on both data sets; written to
+/// `BENCH_query.json`. Sixteen times the scale's ticks (at least 20,000)
+/// are ingested so the zone map has runs to skip even at `--scale tiny`;
+/// the two paths are measured in interleaved repetitions (so slow drift in
+/// machine load cannot bias one side) and the fastest repetition per path
+/// is reported.
+fn query_rates(scale: Scale, scale_name: &str) {
+    const REPS: usize = 7;
+    const N_QUERIES: usize = 50;
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for ds in [ep(SEED, scale).unwrap(), eh(SEED, scale).unwrap()] {
+        let ticks = (ds.scale.ticks * 16).max(20_000);
+        // The baseline: no zone-map pruning, sequential scan. The candidate:
+        // pruned runs, auto parallelism.
+        let mut sequential = build_engine_with(&ds, true, 10.0, 1, false);
+        ingest_engine_batched(&mut sequential, &ds, ticks, 512);
+        let mut pruned = build_engine_with(&ds, true, 10.0, 0, true);
+        ingest_engine_batched(&mut pruned, &ds, ticks, 512);
+        let segments = pruned.segment_count();
+        let mut entry = format!(
+            "    {{\"dataset\": \"{}\", \"ticks\": {ticks}, \"segments\": {segments}, \"queries_per_class\": {N_QUERIES}",
+            ds.name
+        );
+        // Narrow time-ranged S-AGG (pruning does the work) plus full-span
+        // L-AGG (the scan-pool parallelism does the work). Only the
+        // time-ranged classes land in the JSON the CI gate compares:
+        // full-span latency is dominated by the shared collect phase and
+        // scheduler noise at tiny scale, which would make the gate flaky
+        // (run the `query_latency` criterion bench for the L-AGG trend).
+        let classes: [(&str, bool, Vec<String>); 3] = [
+            (
+                "SUM_S",
+                true,
+                time_ranged_queries(&ds, ticks, "SUM_S", N_QUERIES),
+            ),
+            (
+                "AVG_S",
+                true,
+                time_ranged_queries(&ds, ticks, "AVG_S", N_QUERIES),
+            ),
+            (
+                "L-AGG",
+                false,
+                vec!["SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid".to_string(); N_QUERIES / 10],
+            ),
+        ];
+        for (class, gated, queries) in &classes {
+            let _ = run_queries(&sequential, queries); // warm-up
+            let _ = run_queries(&pruned, queries);
+            let mut seq_elapsed = Duration::MAX;
+            let mut pruned_elapsed = Duration::MAX;
+            for _ in 0..REPS {
+                seq_elapsed = seq_elapsed.min(run_queries(&sequential, queries));
+                pruned_elapsed = pruned_elapsed.min(run_queries(&pruned, queries));
+            }
+            let speedup = seq_elapsed.as_secs_f64() / pruned_elapsed.as_secs_f64().max(1e-9);
+            rows.push(vec![
+                ds.name.clone(),
+                (*class).into(),
+                fmt_ms(seq_elapsed),
+                fmt_ms(pruned_elapsed),
+                format!("{speedup:.2}x"),
+            ]);
+            if *gated {
+                let key = class.to_ascii_lowercase().replace('-', "_");
+                entry.push_str(&format!(
+                    ", \"{key}_sequential_ms\": {:.3}, \"{key}_pruned_parallel_ms\": {:.3}, \"{key}_speedup\": {speedup:.3}",
+                    seq_elapsed.as_secs_f64() * 1e3,
+                    pruned_elapsed.as_secs_f64() * 1e3,
+                ));
+            }
+        }
+        entry.push('}');
+        entries.push(entry);
+    }
+    print_figure(
+        "Query latency: sequential scan vs pruned-parallel (time-ranged S-AGG)",
+        &[
+            "Data set",
+            "Aggregate",
+            "Sequential",
+            "Pruned-parallel",
+            "Speedup",
+        ],
+        &rows,
+    );
+    let json = format!(
+        "{{\n  \"scale\": \"{scale_name}\",\n  \"datasets\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_query.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_query.json"),
+        Err(e) => eprintln!("\nfailed to write BENCH_query.json: {e}"),
+    }
+}
+
+/// `gate`: compares a current `BENCH_*.json` against a committed baseline.
+/// By default only *ratio* metrics (`*_speedup`) are gated — they compare a
+/// path against an in-run baseline on the same machine, so they transfer
+/// between the machine that committed the baseline and the machine running
+/// the gate. `--absolute` additionally gates raw rates (`*_per_sec`) and
+/// latencies (`*_ms`), which is only meaningful when baseline and current
+/// come from the same hardware. A metric may not be worse than `tolerance`
+/// times its baseline. Regressions print a report and exit 1; malformed
+/// invocations exit 2 through the usage path.
+fn gate(args: &[String]) -> Result<(), String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = 2.0f64;
+    let mut absolute = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |name: &str| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match args[i].as_str() {
+            "--baseline" => baseline = Some(flag_value("--baseline")?),
+            "--current" => current = Some(flag_value("--current")?),
+            "--tolerance" => {
+                tolerance = flag_value("--tolerance")?
+                    .parse::<f64>()
+                    .map_err(|_| "invalid --tolerance (expected a number)".to_string())?;
+                if !tolerance.is_finite() || tolerance < 1.0 {
+                    return Err("--tolerance must be at least 1.0".to_string());
+                }
+            }
+            "--absolute" => {
+                absolute = true;
+                i += 1;
+                continue;
+            }
+            other => return Err(format!("unknown gate option {other:?}")),
+        }
+        i += 2;
+    }
+    let baseline = baseline.ok_or_else(|| "gate requires --baseline <file>".to_string())?;
+    let current = current.ok_or_else(|| "gate requires --current <file>".to_string())?;
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let base_text = read(&baseline)?;
+    let current_text = read(&current)?;
+
+    let base_scale = bench_scale(&base_text);
+    let current_scale = bench_scale(&current_text);
+    if base_scale != current_scale {
+        return Err(format!(
+            "scale mismatch: baseline is {:?}, current is {:?} — regenerate the baseline at the \
+             scale the gate runs",
+            base_scale.as_deref().unwrap_or("unknown"),
+            current_scale.as_deref().unwrap_or("unknown"),
+        ));
+    }
+
+    let base_metrics = bench_metrics(&base_text);
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for (dataset, key, base_value) in &base_metrics {
+        let Some(current_value) = bench_metric(&current_text, dataset, key) else {
+            failures.push(format!("{dataset}/{key}: missing from current run"));
+            continue;
+        };
+        let (worse, kind) = if key.ends_with("_speedup") {
+            (current_value < base_value / tolerance, "speedup fell")
+        } else if absolute && key.ends_with("_per_sec") {
+            (current_value < base_value / tolerance, "rate fell")
+        } else if absolute && key.ends_with("_ms") {
+            (current_value > base_value * tolerance, "latency rose")
+        } else {
+            continue; // counts, sizes, and (without --absolute) raw numbers
+        };
+        checked += 1;
+        if worse {
+            failures.push(format!(
+                "{dataset}/{key}: {kind} beyond {tolerance}x (baseline {base_value:.3}, current {current_value:.3})"
+            ));
+        }
+    }
+    if checked == 0 {
+        return Err(format!("no gateable metrics found in {baseline}"));
+    }
+    if failures.is_empty() {
+        println!(
+            "perf gate OK: {checked} metrics within {tolerance}x of {baseline} (scale {})",
+            base_scale.as_deref().unwrap_or("?")
+        );
+        Ok(())
+    } else {
+        eprintln!("perf gate FAILED against {baseline}:");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The top-level `"scale"` field of a `BENCH_*.json`, if present.
+fn bench_scale(text: &str) -> Option<String> {
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        if key.trim().trim_matches(['{', '"']) == "scale" {
+            return Some(value.trim().trim_matches([',', ' ', '"']).to_string());
+        }
+    }
+    None
+}
+
+/// All `(dataset, key, value)` numeric metrics of a `BENCH_*.json` — the
+/// files put one dataset object per line, so a full JSON parser is not
+/// needed (and none is vendored).
+fn bench_metrics(text: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines().filter(|l| l.contains("\"dataset\"")) {
+        let mut dataset = None;
+        let mut numbers = Vec::new();
+        for part in line.split(',') {
+            let Some((key, value)) = part.split_once(':') else {
+                continue;
+            };
+            let key = key.trim().trim_matches(['{', ' ', '"']).to_string();
+            let value = value.trim().trim_matches(['}', ' ']);
+            if key == "dataset" {
+                dataset = Some(value.trim_matches('"').to_string());
+            } else if let Ok(number) = value.parse::<f64>() {
+                numbers.push((key, number));
+            }
+        }
+        if let Some(dataset) = dataset {
+            out.extend(numbers.into_iter().map(|(k, v)| (dataset.clone(), k, v)));
+        }
+    }
+    out
+}
+
+/// Looks one metric up in a `BENCH_*.json` text.
+fn bench_metric(text: &str, dataset: &str, key: &str) -> Option<f64> {
+    bench_metrics(text)
+        .into_iter()
+        .find(|(d, k, _)| d == dataset && k == key)
+        .map(|(_, _, v)| v)
 }
 
 /// `ingest`: the tick-at-a-time vs batched ingestion rates on both data
 /// sets, printed as a table and written to `BENCH_ingest.json`. Each path
 /// is run several times and the fastest run is reported, so OS scheduling
 /// noise does not masquerade as a path difference.
-fn ingest_rates(scale: Scale) {
+fn ingest_rates(scale: Scale, scale_name: &str) {
     const BATCH_SIZE: u64 = 512;
     const REPS: usize = 3;
     let mut rows = Vec::new();
@@ -112,9 +462,8 @@ fn ingest_rates(scale: Scale) {
     for ds in [ep(SEED, scale).unwrap(), eh(SEED, scale).unwrap()] {
         let ticks = ds.scale.ticks;
         let points = ds.count_data_points(ticks);
-        let best = |run: &dyn Fn() -> Duration| {
-            (0..REPS).map(|_| run()).min().expect("at least one rep")
-        };
+        let best =
+            |run: &dyn Fn() -> Duration| (0..REPS).map(|_| run()).min().expect("at least one rep");
         let row_elapsed = best(&|| {
             let mut db = build_engine(&ds, true, 10.0);
             ingest_engine(&mut db, &ds, ticks)
@@ -160,7 +509,7 @@ fn ingest_rates(scale: Scale) {
         &rows,
     );
     let json = format!(
-        "{{\n  \"batch_size\": {BATCH_SIZE},\n  \"datasets\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"scale\": \"{scale_name}\",\n  \"batch_size\": {BATCH_SIZE},\n  \"datasets\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     match std::fs::write("BENCH_ingest.json", &json) {
@@ -176,13 +525,28 @@ fn table1() {
         "Table 1: Evaluation environment (this reproduction)",
         &["Setting", "Value"],
         &[
-            vec!["System".into(), "ModelarDB+ reproduction (Rust, this repo)".into()],
+            vec![
+                "System".into(),
+                "ModelarDB+ reproduction (Rust, this repo)".into(),
+            ],
             vec!["Model Error Bound".into(), "0%, 1%, 5%, 10%".into()],
-            vec!["Model Length Limit".into(), config.compression.length_limit.to_string()],
-            vec!["Dynamic Split Fraction".into(), format!("{}", config.compression.split_fraction)],
+            vec![
+                "Model Length Limit".into(),
+                config.compression.length_limit.to_string(),
+            ],
+            vec![
+                "Dynamic Split Fraction".into(),
+                format!("{}", config.compression.split_fraction),
+            ],
             vec!["Bulk Write Size".into(), config.bulk_write_size.to_string()],
-            vec!["Baselines".into(), "InfluxDB-like, Cassandra-like, Parquet-like, ORC-like".into()],
-            vec!["Data sets".into(), "synthetic EP (SI=60s), EH (SI=100ms); mdb-datagen, seed 42".into()],
+            vec![
+                "Baselines".into(),
+                "InfluxDB-like, Cassandra-like, Parquet-like, ORC-like".into(),
+            ],
+            vec![
+                "Data sets".into(),
+                "synthetic EP (SI=60s), EH (SI=100ms); mdb-datagen, seed 42".into(),
+            ],
         ],
     );
 }
@@ -196,7 +560,10 @@ fn fig13(scale: Scale) {
 
     for mut store in baseline_stores() {
         let elapsed = ingest_baseline(store.as_mut(), &ds, ticks);
-        rows.push(vec![format!("B-1 {}", store.name()), fmt_rate(points, elapsed)]);
+        rows.push(vec![
+            format!("B-1 {}", store.name()),
+            fmt_rate(points, elapsed),
+        ]);
     }
     for (label, correlated) in [("B-1 ModelarDBv1", false), ("B-1 ModelarDBv2", true)] {
         let mut db = build_engine(&ds, correlated, 10.0);
@@ -209,16 +576,22 @@ fn fig13(scale: Scale) {
         let cluster = Cluster::start(
             catalog,
             Arc::new(ModelRegistry::standard()),
-            CompressionConfig { error_bound: ErrorBound::relative(10.0), ..Default::default() },
+            CompressionConfig {
+                error_bound: ErrorBound::relative(10.0),
+                ..Default::default()
+            },
             6,
         )
         .unwrap();
         let (_, elapsed) = timed(|| {
             for tick in 0..ticks {
-                cluster.ingest_row(ds.timestamp(tick), &ds.row(tick)).unwrap();
+                cluster
+                    .ingest_row(ds.timestamp(tick), &ds.row(tick))
+                    .unwrap();
                 if with_queries && tick % 500 == 0 {
                     let tid = tick % ds.n_series() as u64 + 1;
-                    let _ = cluster.sql(&format!("SELECT COUNT_S(*) FROM Segment WHERE Tid = {tid}"));
+                    let _ =
+                        cluster.sql(&format!("SELECT COUNT_S(*) FROM Segment WHERE Tid = {tid}"));
                 }
             }
             cluster.flush().unwrap();
@@ -226,7 +599,11 @@ fn fig13(scale: Scale) {
         rows.push(vec![label.into(), fmt_rate(points, elapsed)]);
         cluster.shutdown();
     }
-    print_figure("Figure 13: Ingestion rate, EP", &["Scenario", "Rate"], &rows);
+    print_figure(
+        "Figure 13: Ingestion rate, EP",
+        &["Scenario", "Rate"],
+        &rows,
+    );
 }
 
 /// Figures 14 and 15: storage per system and error bound.
@@ -235,15 +612,27 @@ fn storage_figure(title: &str, ds: &Dataset, _scale: Scale) {
     let mut rows = Vec::new();
     for mut store in baseline_stores() {
         ingest_baseline(store.as_mut(), ds, ticks);
-        rows.push(vec![store.name().into(), "0%".into(), fmt_bytes(store.size_bytes())]);
+        rows.push(vec![
+            store.name().into(),
+            "0%".into(),
+            fmt_bytes(store.size_bytes()),
+        ]);
     }
     for pct in BOUNDS {
         let mut v1 = build_engine(ds, false, pct);
         ingest_engine(&mut v1, ds, ticks);
-        rows.push(vec!["ModelarDBv1".into(), format!("{pct}%"), fmt_bytes(v1.storage_bytes())]);
+        rows.push(vec![
+            "ModelarDBv1".into(),
+            format!("{pct}%"),
+            fmt_bytes(v1.storage_bytes()),
+        ]);
         let mut v2 = build_engine(ds, true, pct);
         ingest_engine(&mut v2, ds, ticks);
-        rows.push(vec!["ModelarDBv2".into(), format!("{pct}%"), fmt_bytes(v2.storage_bytes())]);
+        rows.push(vec![
+            "ModelarDBv2".into(),
+            format!("{pct}%"),
+            fmt_bytes(v2.storage_bytes()),
+        ]);
     }
     print_figure(title, &["System", "Error bound", "Size"], &rows);
 }
@@ -272,7 +661,10 @@ fn models_figure(title: &str, ds: &Dataset, _scale: Scale) {
 /// Figure 18: storage vs correlation distance.
 fn fig18(scale: Scale) {
     let mut rows = Vec::new();
-    for (name, ds) in [("EP", ep(SEED, scale).unwrap()), ("EH", eh(SEED, scale).unwrap())] {
+    for (name, ds) in [
+        ("EP", ep(SEED, scale).unwrap()),
+        ("EH", eh(SEED, scale).unwrap()),
+    ] {
         let lowest = mdb_partitioner::lowest_distance(&ds.dimensions);
         let mut distances = vec![0.0, lowest, 0.25, 0.34, 0.42, 0.50];
         distances.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
@@ -299,7 +691,11 @@ fn fig18(scale: Scale) {
             }
         }
     }
-    print_figure("Figure 18: Storage vs maximum distance", &["Data set", "Distance", "Size"], &rows);
+    print_figure(
+        "Figure 18: Storage vs maximum distance",
+        &["Data set", "Distance", "Size"],
+        &rows,
+    );
 }
 
 /// Figure 19: L-AGG runtime, EP, per system (SV and DPV for ModelarDB).
@@ -326,7 +722,11 @@ fn fig19(scale: Scale) {
         let dpv = run_queries(&db, &w.l_agg_data_point(4));
         rows.push(vec![format!("DPV {label}"), fmt_ms(dpv)]);
     }
-    print_figure("Figure 19: L-AGG, EP", &["Interface/System", "Runtime"], &rows);
+    print_figure(
+        "Figure 19: L-AGG, EP",
+        &["Interface/System", "Runtime"],
+        &rows,
+    );
 }
 
 /// Figure 20: scale-out 1–32 nodes, weak scaling, Segment vs Data Point
@@ -339,19 +739,27 @@ fn fig20(scale: Scale) {
         // Weak scaling: data grows with the node count.
         let ds = ep(
             SEED,
-            Scale { clusters: scale.clusters * nodes, ..scale },
+            Scale {
+                clusters: scale.clusters * nodes,
+                ..scale
+            },
         )
         .unwrap();
         let catalog = catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap();
         let cluster = Cluster::start(
             catalog,
             Arc::new(ModelRegistry::standard()),
-            CompressionConfig { error_bound: ErrorBound::relative(10.0), ..Default::default() },
+            CompressionConfig {
+                error_bound: ErrorBound::relative(10.0),
+                ..Default::default()
+            },
             nodes,
         )
         .unwrap();
         for tick in 0..ds.scale.ticks {
-            cluster.ingest_row(ds.timestamp(tick), &ds.row(tick)).unwrap();
+            cluster
+                .ingest_row(ds.timestamp(tick), &ds.row(tick))
+                .unwrap();
         }
         cluster.flush().unwrap();
         // Warm up, then take the per-worker minimum over repetitions so OS
@@ -360,7 +768,10 @@ fn fig20(scale: Scale) {
         let steady = |sql: &str| -> Vec<Duration> {
             let mut best: Vec<Duration> = cluster.worker_times_isolated(sql).unwrap();
             for _ in 0..4 {
-                for (b, t) in best.iter_mut().zip(cluster.worker_times_isolated(sql).unwrap()) {
+                for (b, t) in best
+                    .iter_mut()
+                    .zip(cluster.worker_times_isolated(sql).unwrap())
+                {
                     *b = (*b).min(t);
                 }
             }
@@ -409,8 +820,9 @@ fn s_agg_figure(title: &str, ds: &Dataset, _scale: Scale) {
                 if i % 2 == 0 {
                     store.aggregate(Some(&[tid]), i64::MIN, i64::MAX).unwrap();
                 } else {
-                    let tids: Vec<u32> =
-                        (0..5).map(|k| (tid + k - 1) % ds.n_series() as u32 + 1).collect();
+                    let tids: Vec<u32> = (0..5)
+                        .map(|k| (tid + k - 1) % ds.n_series() as u32 + 1)
+                        .collect();
                     store.aggregate(Some(&tids), i64::MIN, i64::MAX).unwrap();
                 }
             }
@@ -441,7 +853,9 @@ fn pr_figure(title: &str, ds: &Dataset, _scale: Scale) {
                 let from = ds.timestamp(tick);
                 let to = ds.timestamp((tick + 100).min(ticks - 1));
                 let mut sink = 0usize;
-                store.scan_points(tid, from, to, &mut |_, _| sink += 1).unwrap();
+                store
+                    .scan_points(tid, from, to, &mut |_, _| sink += 1)
+                    .unwrap();
                 std::hint::black_box(sink);
             }
         });
@@ -473,7 +887,13 @@ fn m_agg_figure(title: &str, ds: &Dataset, _scale: Scale, drill_down: bool) {
         ingest_baseline(store.as_mut(), ds, ticks);
         let (_, elapsed) = timed(|| {
             for _ in 0..n_queries {
-                std::hint::black_box(baseline_m_agg(store.as_ref(), ds, level, i64::MIN, i64::MAX));
+                std::hint::black_box(baseline_m_agg(
+                    store.as_ref(),
+                    ds,
+                    level,
+                    i64::MIN,
+                    i64::MAX,
+                ));
             }
         });
         rows.push(vec![format!("S {}", store.name()), fmt_ms(elapsed)]);
@@ -489,15 +909,22 @@ fn m_agg_figure(title: &str, ds: &Dataset, _scale: Scale, drill_down: bool) {
 /// The Section 5.2 experiment: MMC vs MMGC on three correlated
 /// turbine-temperature series, per error bound.
 fn mgc_ablation() {
-    let ds = ep(SEED, Scale { clusters: 1, series_per_cluster: 3, ticks: 20_000 }).unwrap();
+    let ds = ep(
+        SEED,
+        Scale {
+            clusters: 1,
+            series_per_cluster: 3,
+            ticks: 20_000,
+        },
+    )
+    .unwrap();
     let mut rows = Vec::new();
     for pct in BOUNDS {
         let mut mmc = build_engine(&ds, false, pct);
         ingest_engine(&mut mmc, &ds, ds.scale.ticks);
         let mut mmgc = build_engine(&ds, true, pct);
         ingest_engine(&mut mmgc, &ds, ds.scale.ticks);
-        let reduction =
-            (1.0 - mmgc.storage_bytes() as f64 / mmc.storage_bytes() as f64) * 100.0;
+        let reduction = (1.0 - mmgc.storage_bytes() as f64 / mmc.storage_bytes() as f64) * 100.0;
         rows.push(vec![
             format!("{pct}%"),
             fmt_bytes(mmc.storage_bytes()),

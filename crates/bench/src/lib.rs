@@ -48,12 +48,51 @@ pub fn catalog_from_dataset(ds: &Dataset, spec: &CorrelationSpec) -> Result<Arc<
 /// grouping — the ModelarDBv1 baseline (MMC only); `true` uses the data
 /// set's evaluation correlation hints (MMGC).
 pub fn build_engine(ds: &Dataset, correlated: bool, error_pct: f64) -> ModelarDb {
-    let spec = if correlated { ds.correlation_spec() } else { CorrelationSpec::none() };
+    build_engine_with(ds, correlated, error_pct, 0, true)
+}
+
+/// Like [`build_engine`], but with the query-path knobs exposed: the scan
+/// `parallelism` (0 = auto, 1 = sequential) and whether zone-map `pruning`
+/// is enabled. `(1, false)` is the plain sequential scan the `repro query`
+/// experiment baselines against.
+pub fn build_engine_with(
+    ds: &Dataset,
+    correlated: bool,
+    error_pct: f64,
+    parallelism: usize,
+    pruning: bool,
+) -> ModelarDb {
+    let spec = if correlated {
+        ds.correlation_spec()
+    } else {
+        CorrelationSpec::none()
+    };
     let catalog = catalog_from_dataset(ds, &spec).expect("catalog");
     let mut config = Config::default();
     config.compression.error_bound = ErrorBound::relative(error_pct);
     config.storage = StorageSpec::Memory;
+    config.query_parallelism = parallelism;
+    config.zone_pruning = pruning;
     ModelarDb::from_catalog(catalog, Arc::new(ModelRegistry::standard()), config).expect("engine")
+}
+
+/// Deterministic time-ranged S-AGG queries: `func` over a sliding window of
+/// about 1/32 of the ingested span, grouped by Tid — the query class whose
+/// latency `BENCH_query.json` tracks (segments outside the window should be
+/// pruned, not scanned).
+pub fn time_ranged_queries(ds: &Dataset, ticks: u64, func: &str, n: usize) -> Vec<String> {
+    let window = (ticks / 32).max(1);
+    let span = ticks.saturating_sub(window).max(1);
+    (0..n as u64)
+        .map(|i| {
+            let start = (i * 13 * window / 8) % span;
+            let from = ds.timestamp(start);
+            let to = ds.timestamp(start + window);
+            format!(
+                "SELECT Tid, {func}(*) FROM Segment WHERE TS >= {from} AND TS <= {to} GROUP BY Tid"
+            )
+        })
+        .collect()
 }
 
 /// Ingests `ticks` ticks of `ds` into an engine one tick at a time,
@@ -61,7 +100,8 @@ pub fn build_engine(ds: &Dataset, correlated: bool, error_pct: f64) -> ModelarDb
 pub fn ingest_engine(db: &mut ModelarDb, ds: &Dataset, ticks: u64) -> Duration {
     let start = Instant::now();
     for tick in 0..ticks {
-        db.ingest_row(ds.timestamp(tick), &ds.row(tick)).expect("ingest");
+        db.ingest_row(ds.timestamp(tick), &ds.row(tick))
+            .expect("ingest");
     }
     db.flush().expect("flush");
     start.elapsed()
@@ -95,7 +135,9 @@ pub fn ingest_engine_batched(
 pub fn ingest_cluster(cluster: &Cluster, ds: &Dataset, ticks: u64) -> Duration {
     let start = Instant::now();
     for tick in 0..ticks {
-        cluster.ingest_row(ds.timestamp(tick), &ds.row(tick)).expect("ingest");
+        cluster
+            .ingest_row(ds.timestamp(tick), &ds.row(tick))
+            .expect("ingest");
     }
     cluster.flush().expect("flush");
     start.elapsed()
@@ -141,8 +183,11 @@ pub fn dim_strings(ds: &Dataset, tid: Tid) -> Vec<String> {
 pub fn ingest_baseline(store: &mut dyn TimeSeriesStore, ds: &Dataset, ticks: u64) -> Duration {
     // Pre-compute the denormalized dimensions once (the paper uses an
     // in-memory cache for exactly this).
-    let dims: HashMap<Tid, Vec<String>> =
-        ds.tids().into_iter().map(|t| (t, dim_strings(ds, t))).collect();
+    let dims: HashMap<Tid, Vec<String>> = ds
+        .tids()
+        .into_iter()
+        .map(|t| (t, dim_strings(ds, t)))
+        .collect();
     let start = Instant::now();
     for tick in 0..ticks {
         let ts = ds.timestamp(tick);
@@ -150,7 +195,9 @@ pub fn ingest_baseline(store: &mut dyn TimeSeriesStore, ds: &Dataset, ticks: u64
             let Some(value) = value else { continue };
             let tid = i as Tid + 1;
             let refs: Vec<&str> = dims[&tid].iter().map(String::as_str).collect();
-            store.ingest(tid, ts, value, &refs).expect("baseline ingest");
+            store
+                .ingest(tid, ts, value, &refs)
+                .expect("baseline ingest");
         }
     }
     store.flush().expect("baseline flush");
@@ -224,8 +271,11 @@ pub fn print_figure(title: &str, header: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let line: Vec<String> =
-        header.iter().enumerate().map(|(i, h)| format!("{:<w$}", h, w = widths[i])).collect();
+    let line: Vec<String> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<w$}", h, w = widths[i]))
+        .collect();
     println!("{}", line.join("  "));
     for row in rows {
         let line: Vec<String> = row
@@ -275,7 +325,12 @@ mod tests {
         ingest_engine(&mut v2, &ds, 200);
         ingest_engine(&mut v1, &ds, 200);
         // MMGC beats MMC on the correlated data set.
-        assert!(v2.storage_bytes() < v1.storage_bytes(), "{} vs {}", v2.storage_bytes(), v1.storage_bytes());
+        assert!(
+            v2.storage_bytes() < v1.storage_bytes(),
+            "{} vs {}",
+            v2.storage_bytes(),
+            v1.storage_bytes()
+        );
         // And both views answer the same COUNT.
         let c2 = scalar(&v2.sql("SELECT COUNT_S(*) FROM Segment").unwrap());
         let c1 = scalar(&v1.sql("SELECT COUNT_S(*) FROM Segment").unwrap());

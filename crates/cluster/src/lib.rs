@@ -25,7 +25,7 @@ use mdb_compression::{CompressionConfig, CompressionStats, GroupIngestor};
 use mdb_models::ModelRegistry;
 use mdb_partitioner::assign_workers;
 use mdb_query::engine::PartialAggregates;
-use mdb_query::{Query, QueryEngine, QueryResult, SelectItem};
+use mdb_query::{Query, QueryEngine, QueryResult, ScanPool, SelectItem};
 use mdb_storage::{Catalog, MemoryStore, SegmentStore};
 use mdb_types::{Gid, MdbError, Result, RowBatch, Timestamp, Value};
 
@@ -38,11 +38,21 @@ pub struct ClusterConfig {
     /// ingestion blocks once a worker falls this many batches behind — real
     /// backpressure instead of an unbounded queue.
     pub ingest_queue_depth: usize,
+    /// Scan workers *per cluster worker* for the partial-aggregation phase
+    /// (`0` = the machine's available parallelism). The default of 1 keeps
+    /// each worker sequential, because the workers themselves already run
+    /// concurrently during scatter/gather — raise it when a deployment has
+    /// few workers and many cores. Results are bit-identical either way.
+    pub query_parallelism: usize,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        Self { compression: CompressionConfig::default(), ingest_queue_depth: 8 }
+        Self {
+            compression: CompressionConfig::default(),
+            ingest_queue_depth: 8,
+            query_parallelism: 1,
+        }
     }
 }
 
@@ -50,7 +60,10 @@ impl ClusterConfig {
     /// A config with the given compression settings and the default queue
     /// depth.
     pub fn with_compression(compression: CompressionConfig) -> Self {
-        Self { compression, ..Self::default() }
+        Self {
+            compression,
+            ..Self::default()
+        }
     }
 }
 
@@ -105,7 +118,12 @@ impl Cluster {
         config: CompressionConfig,
         n_workers: usize,
     ) -> Result<Self> {
-        Self::start_with(catalog, registry, ClusterConfig::with_compression(config), n_workers)
+        Self::start_with(
+            catalog,
+            registry,
+            ClusterConfig::with_compression(config),
+            n_workers,
+        )
     }
 
     /// Starts `n_workers` workers for the groups in `catalog`, assigning
@@ -122,7 +140,9 @@ impl Cluster {
             return Err(MdbError::Config("cluster needs at least one worker".into()));
         }
         if config.ingest_queue_depth == 0 {
-            return Err(MdbError::Config("ingest_queue_depth must be at least 1".into()));
+            return Err(MdbError::Config(
+                "ingest_queue_depth must be at least 1".into(),
+            ));
         }
         let assignment = assign_workers(&catalog.groups, n_workers);
         let mut routing = HashMap::new();
@@ -137,21 +157,43 @@ impl Cluster {
             let catalog_ref = Arc::clone(&catalog);
             let registry_ref = Arc::clone(&registry);
             let config_ref = config.compression.clone();
+            let query_parallelism = config.query_parallelism;
             let gids_ref = gids.clone();
             let handle = std::thread::spawn(move || {
-                worker_loop(receiver, catalog_ref, registry_ref, config_ref, gids_ref);
+                worker_loop(
+                    receiver,
+                    catalog_ref,
+                    registry_ref,
+                    config_ref,
+                    query_parallelism,
+                    gids_ref,
+                );
             });
-            workers.push(Worker { sender, handle: Some(handle), gids });
+            workers.push(Worker {
+                sender,
+                handle: Some(handle),
+                gids,
+            });
         }
-        let tid_to_row: HashMap<_, _> =
-            catalog.series.iter().enumerate().map(|(i, m)| (m.tid, i)).collect();
+        let tid_to_row: HashMap<_, _> = catalog
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.tid, i))
+            .collect();
         let group_row_indices = catalog
             .groups
             .iter()
             .map(|g| g.tids.iter().map(|t| tid_to_row[t]).collect())
             .collect();
         let scratch_row = Mutex::new(RowBatch::with_capacity(catalog.series.len(), 1));
-        Ok(Self { catalog, workers, routing, group_row_indices, scratch_row })
+        Ok(Self {
+            catalog,
+            workers,
+            routing,
+            group_row_indices,
+            scratch_row,
+        })
     }
 
     /// Number of workers.
@@ -216,7 +258,10 @@ impl Cluster {
             }
             if let Some(group_batch) = group_batch {
                 let worker = self.worker_of(group.gid).unwrap();
-                per_worker[worker].push(GroupBatch { gid: group.gid, batch: group_batch });
+                per_worker[worker].push(GroupBatch {
+                    gid: group.gid,
+                    batch: group_batch,
+                });
             }
         }
         for (worker, batches) in self.workers.iter().zip(per_worker) {
@@ -242,7 +287,8 @@ impl Cluster {
             replies.push(rx);
         }
         for rx in replies {
-            rx.recv().map_err(|_| MdbError::Ingestion("worker died during flush".into()))??;
+            rx.recv()
+                .map_err(|_| MdbError::Ingestion("worker died during flush".into()))??;
         }
         Ok(())
     }
@@ -258,7 +304,10 @@ impl Cluster {
     /// means per-worker times are independent of the cluster size).
     pub fn sql_timed(&self, text: &str) -> Result<(QueryResult, Vec<Duration>)> {
         let query = Arc::new(mdb_query::parse(text)?);
-        let is_aggregate = query.items.iter().any(|i| matches!(i, SelectItem::Agg { .. }));
+        let is_aggregate = query
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Agg { .. }));
         if is_aggregate {
             let mut replies = Vec::new();
             for worker in &self.workers {
@@ -272,8 +321,9 @@ impl Cluster {
             let mut partials = Vec::new();
             let mut times = Vec::new();
             for rx in replies {
-                let (partial, elapsed) =
-                    rx.recv().map_err(|_| MdbError::Query("worker died during query".into()))??;
+                let (partial, elapsed) = rx
+                    .recv()
+                    .map_err(|_| MdbError::Query("worker died during query".into()))??;
                 partials.push(partial);
                 times.push(elapsed);
             }
@@ -298,8 +348,9 @@ impl Cluster {
             let mut merged: Option<QueryResult> = None;
             let mut times = Vec::new();
             for rx in replies {
-                let (rows, elapsed) =
-                    rx.recv().map_err(|_| MdbError::Query("worker died during query".into()))??;
+                let (rows, elapsed) = rx
+                    .recv()
+                    .map_err(|_| MdbError::Query("worker died during query".into()))??;
                 times.push(elapsed);
                 match &mut merged {
                     None => merged = Some(rows),
@@ -328,8 +379,9 @@ impl Cluster {
                 .sender
                 .send(Command::QueryPartial(Arc::clone(&query), tx))
                 .map_err(|_| MdbError::Query("worker disconnected".into()))?;
-            let (_, elapsed) =
-                rx.recv().map_err(|_| MdbError::Query("worker died during query".into()))??;
+            let (_, elapsed) = rx
+                .recv()
+                .map_err(|_| MdbError::Query("worker died during query".into()))??;
             times.push(elapsed);
         }
         Ok(times)
@@ -347,7 +399,9 @@ impl Cluster {
                 .sender
                 .send(Command::Stats(tx))
                 .map_err(|_| MdbError::Query("worker disconnected".into()))?;
-            let (stats, b, s) = rx.recv().map_err(|_| MdbError::Query("worker died".into()))?;
+            let (stats, b, s) = rx
+                .recv()
+                .map_err(|_| MdbError::Query("worker died".into()))?;
             merged.merge(&stats);
             bytes += b;
             segments += s;
@@ -378,19 +432,39 @@ impl Drop for Cluster {
     }
 }
 
-/// One worker: the per-node stack of Figure 4.
+/// One worker: the per-node stack of Figure 4. The local store maintains a
+/// value-bounded zone map, so every worker prunes its own segment runs
+/// before computing partials — the scatter/gather path reuses exactly the
+/// single-node pruned scan.
 fn worker_loop(
     receiver: Receiver<Command>,
     catalog: Arc<Catalog>,
     registry: Arc<ModelRegistry>,
     config: CompressionConfig,
+    query_parallelism: usize,
     gids: Vec<Gid>,
 ) {
-    let mut store = MemoryStore::new();
+    let sizes: HashMap<Gid, usize> = catalog.groups.iter().map(|g| (g.gid, g.size())).collect();
+    let bounds_registry = Arc::clone(&registry);
+    let mut store = MemoryStore::with_value_bounds(Arc::new(move |segment: &_| {
+        mdb_models::segment_value_range(&bounds_registry, segment, *sizes.get(&segment.gid)?)
+    }));
+    // Per-worker persistent scan pool (opt-in: one worker per node is the
+    // default because nodes already scan concurrently during scatter/gather).
+    let scan_pool = (query_parallelism != 1).then(|| {
+        ScanPool::new(
+            Arc::clone(&catalog),
+            Arc::clone(&registry),
+            query_parallelism,
+        )
+    });
     let mut ingestors: Vec<GroupIngestor> = Vec::new();
     let mut gid_index: HashMap<Gid, usize> = HashMap::new();
     for gid in &gids {
-        let group = catalog.group(*gid).expect("assigned gid must exist").clone();
+        let group = catalog
+            .group(*gid)
+            .expect("assigned gid must exist")
+            .clone();
         let scaling: Vec<f64> = group.tids.iter().map(|t| catalog.scaling_of(*t)).collect();
         let ingestor = GroupIngestor::new(group, scaling, Arc::clone(&registry), config.clone())
             .expect("valid group");
@@ -441,8 +515,14 @@ fn worker_loop(
             }
             Command::QueryPartial(query, reply) => {
                 let start = Instant::now();
-                let engine = QueryEngine::new(&catalog, &registry, &store);
-                let result = engine.aggregate_partial(&query).map(|p| (p, start.elapsed()));
+                let mut engine = QueryEngine::new(&catalog, &registry, &store)
+                    .with_parallelism(query_parallelism);
+                if let Some(pool) = &scan_pool {
+                    engine = engine.with_scan_pool(pool);
+                }
+                let result = engine
+                    .aggregate_partial(&query)
+                    .map(|p| (p, start.elapsed()));
                 let _ = reply.send(result);
             }
             Command::QueryRows(query, reply) => {
@@ -472,7 +552,13 @@ mod tests {
     /// Builds a catalog + cluster from the EP-like tiny data set.
     fn build(n_workers: usize) -> (Arc<Catalog>, Cluster, mdb_datagen::Dataset) {
         let ds = mdb_datagen::ep(5, mdb_datagen::Scale::tiny()).unwrap();
-        let parts = partition(&ds.series, &ds.dimensions, &ds.correlation_spec(), &ds.sources).unwrap();
+        let parts = partition(
+            &ds.series,
+            &ds.dimensions,
+            &ds.correlation_spec(),
+            &ds.sources,
+        )
+        .unwrap();
         let mut catalog = Catalog::new();
         catalog.dimensions = ds.dimensions.clone();
         for (i, group_tids) in parts.groups.iter().enumerate() {
@@ -500,7 +586,9 @@ mod tests {
 
     fn ingest_all(cluster: &Cluster, ds: &mdb_datagen::Dataset, ticks: u64) {
         for tick in 0..ticks {
-            cluster.ingest_row(ds.timestamp(tick), &ds.row(tick)).unwrap();
+            cluster
+                .ingest_row(ds.timestamp(tick), &ds.row(tick))
+                .unwrap();
         }
         cluster.flush().unwrap();
     }
@@ -516,6 +604,7 @@ mod tests {
         let config = ClusterConfig {
             compression: CompressionConfig::with_relative_bound(5.0),
             ingest_queue_depth: 1,
+            ..ClusterConfig::default()
         };
         let by_batch =
             Cluster::start_with(catalog, Arc::new(ModelRegistry::standard()), config, 2).unwrap();
@@ -550,7 +639,10 @@ mod tests {
     fn zero_queue_depth_rejected() {
         let catalog = Arc::new(Catalog::new());
         let registry = Arc::new(ModelRegistry::standard());
-        let config = ClusterConfig { ingest_queue_depth: 0, ..ClusterConfig::default() };
+        let config = ClusterConfig {
+            ingest_queue_depth: 0,
+            ..ClusterConfig::default()
+        };
         assert!(Cluster::start_with(catalog, registry, config, 1).is_err());
     }
 
@@ -619,7 +711,9 @@ mod tests {
         ingest_all(&cluster, &ds, 200);
         let ts = ds.timestamp(50);
         let r = cluster
-            .sql(&format!("SELECT Tid, TS, Value FROM DataPoint WHERE TS = {ts} ORDER BY Tid LIMIT 4"))
+            .sql(&format!(
+                "SELECT Tid, TS, Value FROM DataPoint WHERE TS = {ts} ORDER BY Tid LIMIT 4"
+            ))
             .unwrap();
         assert!(r.rows.len() <= 4);
         let tids: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
@@ -662,7 +756,9 @@ mod tests {
         let (_, cluster, ds) = build(2);
         ingest_all(&cluster, &ds, 50);
         assert!(cluster.sql("SELECT NOPE(*) FROM Segment").is_err());
-        assert!(cluster.sql("SELECT COUNT_S(*) FROM Segment WHERE Altitude = 'x'").is_err());
+        assert!(cluster
+            .sql("SELECT COUNT_S(*) FROM Segment WHERE Altitude = 'x'")
+            .is_err());
         cluster.shutdown();
     }
 
@@ -671,7 +767,13 @@ mod tests {
         // With no correlation hints every series is its own group — the
         // ModelarDBv1 baseline of the evaluation.
         let ds = mdb_datagen::ep(5, mdb_datagen::Scale::tiny()).unwrap();
-        let parts = partition(&ds.series, &ds.dimensions, &CorrelationSpec::none(), &ds.sources).unwrap();
+        let parts = partition(
+            &ds.series,
+            &ds.dimensions,
+            &CorrelationSpec::none(),
+            &ds.sources,
+        )
+        .unwrap();
         assert_eq!(parts.groups.len(), ds.n_series());
     }
 }

@@ -86,10 +86,15 @@ impl SegmentGenerator {
             return Err(MdbError::Config("model registry is empty".into()));
         }
         if positions.is_empty() {
-            return Err(MdbError::Config("segment generator needs at least one series".into()));
+            return Err(MdbError::Config(
+                "segment generator needs at least one series".into(),
+            ));
         }
         let bound = config.error_bound;
-        let fitter = registry.get(0).unwrap().fitter(bound, positions.len(), config.length_limit);
+        let fitter = registry
+            .get(0)
+            .unwrap()
+            .fitter(bound, positions.len(), config.length_limit);
         Ok(Self {
             gid,
             sampling_interval,
@@ -145,7 +150,10 @@ impl SegmentGenerator {
         let mut slot = self.spare.pop().unwrap_or_default();
         slot.clear();
         slot.extend_from_slice(values);
-        self.buffer.push_back(Tick { timestamp, values: slot });
+        self.buffer.push_back(Tick {
+            timestamp,
+            values: slot,
+        });
         self.advance()
     }
 
@@ -198,7 +206,7 @@ impl SegmentGenerator {
     }
 
     fn record_candidate(&mut self) {
-        if self.fitter.len() > 0 {
+        if !self.fitter.is_empty() {
             self.candidates.push(Candidate {
                 mid: self.model_idx as u8,
                 len: self.fitter.len(),
@@ -214,22 +222,22 @@ impl SegmentGenerator {
             return false;
         }
         self.model_idx += 1;
-        self.fitter = self
-            .registry
-            .get(self.model_idx as u8)
-            .unwrap()
-            .fitter(self.bound, self.positions.len(), self.config.length_limit);
+        self.fitter = self.registry.get(self.model_idx as u8).unwrap().fitter(
+            self.bound,
+            self.positions.len(),
+            self.config.length_limit,
+        );
         self.fitted = 0;
         true
     }
 
     fn reset_round(&mut self) {
         self.model_idx = 0;
-        self.fitter = self
-            .registry
-            .get(0)
-            .unwrap()
-            .fitter(self.bound, self.positions.len(), self.config.length_limit);
+        self.fitter = self.registry.get(0).unwrap().fitter(
+            self.bound,
+            self.positions.len(),
+            self.config.length_limit,
+        );
         self.fitted = 0;
         self.candidates.clear();
     }
@@ -346,7 +354,10 @@ mod tests {
     use mdb_models::{MID_GORILLA, MID_PMC_MEAN, MID_SWING};
 
     fn generator(n: usize, bound: ErrorBound) -> SegmentGenerator {
-        let config = CompressionConfig { error_bound: bound, ..CompressionConfig::default() };
+        let config = CompressionConfig {
+            error_bound: bound,
+            ..CompressionConfig::default()
+        };
         SegmentGenerator::new(
             1,
             100,
@@ -358,13 +369,24 @@ mod tests {
         .unwrap()
     }
 
-    fn within(bound: &ErrorBound, reg: &ModelRegistry, seg: &SegmentRecord, n: usize, rows: &[Vec<Value>], first_row: usize) {
+    fn within(
+        bound: &ErrorBound,
+        reg: &ModelRegistry,
+        seg: &SegmentRecord,
+        n: usize,
+        rows: &[Vec<Value>],
+        first_row: usize,
+    ) {
         let model = reg.get(seg.mid).unwrap();
         let grid = model.grid(&seg.params, n, seg.len()).unwrap();
         for t in 0..seg.len() {
             for s in 0..n {
                 let orig = rows[first_row + t][s];
-                assert!(bound.within(grid[t * n + s], orig), "t={t} s={s}: {} vs {orig}", grid[t * n + s]);
+                assert!(
+                    bound.within(grid[t * n + s], orig),
+                    "t={t} s={s}: {} vs {orig}",
+                    grid[t * n + s]
+                );
             }
         }
     }
@@ -378,7 +400,11 @@ mod tests {
         }
         segments.extend(g.flush().unwrap());
         assert!(!segments.is_empty());
-        assert!(segments.iter().all(|s| s.mid == MID_PMC_MEAN), "mids: {:?}", segments.iter().map(|s| s.mid).collect::<Vec<_>>());
+        assert!(
+            segments.iter().all(|s| s.mid == MID_PMC_MEAN),
+            "mids: {:?}",
+            segments.iter().map(|s| s.mid).collect::<Vec<_>>()
+        );
         // Segments partition the ticks: 120 ticks total.
         let total: usize = segments.iter().map(|s| s.len()).sum();
         assert_eq!(total, 120);
@@ -393,7 +419,11 @@ mod tests {
             segments.extend(g.push(t * 100, &[v, v + 0.2]).unwrap());
         }
         segments.extend(g.flush().unwrap());
-        assert!(segments.iter().any(|s| s.mid == MID_SWING), "mids: {:?}", segments.iter().map(|s| s.mid).collect::<Vec<_>>());
+        assert!(
+            segments.iter().any(|s| s.mid == MID_SWING),
+            "mids: {:?}",
+            segments.iter().map(|s| s.mid).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -415,7 +445,13 @@ mod tests {
         let mut g = generator(1, ErrorBound::absolute(1.0));
         let mut segments = Vec::new();
         let rows: Vec<Vec<Value>> = (0..300i64)
-            .map(|t| vec![if t % 60 < 30 { 10.0 } else { 50.0 + t as f32 * 0.3 }])
+            .map(|t| {
+                vec![if t % 60 < 30 {
+                    10.0
+                } else {
+                    50.0 + t as f32 * 0.3
+                }]
+            })
             .collect();
         for (t, row) in rows.iter().enumerate() {
             segments.extend(g.push(t as i64 * 100, row).unwrap());
@@ -424,7 +460,10 @@ mod tests {
         // Coverage: every tick appears in exactly one segment.
         let mut expected_start = 0i64;
         for s in &segments {
-            assert_eq!(s.start_time, expected_start, "segments must not overlap or leave holes");
+            assert_eq!(
+                s.start_time, expected_start,
+                "segments must not overlap or leave holes"
+            );
             expected_start = s.end_time + 100;
         }
         assert_eq!(expected_start, 300 * 100);
@@ -464,7 +503,15 @@ mod tests {
     #[test]
     fn gaps_mask_marks_absent_positions() {
         let config = CompressionConfig::default();
-        let mut g = SegmentGenerator::new(7, 100, vec![0, 2], 3, Arc::new(ModelRegistry::standard()), config).unwrap();
+        let mut g = SegmentGenerator::new(
+            7,
+            100,
+            vec![0, 2],
+            3,
+            Arc::new(ModelRegistry::standard()),
+            config,
+        )
+        .unwrap();
         g.push(0, &[1.0, 1.0]).unwrap();
         let segs = g.flush().unwrap();
         assert_eq!(segs[0].gaps, GapsMask::from_positions(&[1]));
@@ -485,9 +532,13 @@ mod tests {
     #[test]
     fn empty_registry_and_positions_rejected() {
         let reg = Arc::new(ModelRegistry::empty());
-        assert!(SegmentGenerator::new(1, 100, vec![0], 1, reg, CompressionConfig::default()).is_err());
+        assert!(
+            SegmentGenerator::new(1, 100, vec![0], 1, reg, CompressionConfig::default()).is_err()
+        );
         let reg = Arc::new(ModelRegistry::standard());
-        assert!(SegmentGenerator::new(1, 100, vec![], 1, reg, CompressionConfig::default()).is_err());
+        assert!(
+            SegmentGenerator::new(1, 100, vec![], 1, reg, CompressionConfig::default()).is_err()
+        );
     }
 
     #[test]
@@ -497,7 +548,11 @@ mod tests {
             .collect();
         let mut sizes = Vec::new();
         for pct in [0.0, 1.0, 5.0, 10.0] {
-            let bound = if pct == 0.0 { ErrorBound::Lossless } else { ErrorBound::relative(pct) };
+            let bound = if pct == 0.0 {
+                ErrorBound::Lossless
+            } else {
+                ErrorBound::relative(pct)
+            };
             let mut g = generator(1, bound);
             let mut bytes = 0usize;
             for (t, row) in signal.iter().enumerate() {
@@ -510,7 +565,10 @@ mod tests {
             }
             sizes.push(bytes);
         }
-        assert!(sizes[0] > sizes[1] && sizes[1] >= sizes[2] && sizes[2] >= sizes[3], "{sizes:?}");
+        assert!(
+            sizes[0] > sizes[1] && sizes[1] >= sizes[2] && sizes[2] >= sizes[3],
+            "{sizes:?}"
+        );
     }
 
     proptest::proptest! {

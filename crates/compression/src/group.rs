@@ -13,7 +13,9 @@
 use std::sync::Arc;
 
 use mdb_models::{compression_ratio, ModelRegistry};
-use mdb_types::{BatchView, GroupMeta, MdbError, Result, RowBatch, SegmentRecord, Timestamp, Value};
+use mdb_types::{
+    BatchView, GroupMeta, MdbError, Result, RowBatch, SegmentRecord, Timestamp, Value,
+};
 
 use crate::generator::SegmentGenerator;
 use crate::split::{joinable, split_into_correlated};
@@ -58,7 +60,10 @@ impl CompressionStats {
             self.per_model = registry
                 .names()
                 .into_iter()
-                .map(|n| ModelUse { name: n.to_string(), ..ModelUse::default() })
+                .map(|n| ModelUse {
+                    name: n.to_string(),
+                    ..ModelUse::default()
+                })
                 .collect();
         }
         let points = segment.data_points(group_size) as u64;
@@ -79,7 +84,11 @@ impl CompressionStats {
         self.per_model
             .iter()
             .map(|m| {
-                let pct = if total == 0 { 0.0 } else { m.data_points as f64 / total as f64 * 100.0 };
+                let pct = if total == 0 {
+                    0.0
+                } else {
+                    m.data_points as f64 / total as f64 * 100.0
+                };
                 (m.name.clone(), pct)
             })
             .collect()
@@ -89,7 +98,8 @@ impl CompressionStats {
     /// aggregate across groups and by the cluster to aggregate across nodes).
     pub fn merge(&mut self, other: &CompressionStats) {
         if self.per_model.len() < other.per_model.len() {
-            self.per_model.resize(other.per_model.len(), ModelUse::default());
+            self.per_model
+                .resize(other.per_model.len(), ModelUse::default());
         }
         for (mine, theirs) in self.per_model.iter_mut().zip(&other.per_model) {
             if mine.name.is_empty() {
@@ -153,7 +163,11 @@ impl GroupIngestor {
                 mdb_types::MAX_GROUP_SIZE
             )));
         }
-        let scaling = if scaling.is_empty() { vec![1.0; size] } else { scaling };
+        let scaling = if scaling.is_empty() {
+            vec![1.0; size]
+        } else {
+            scaling
+        };
         if scaling.len() != size {
             return Err(MdbError::Config(format!(
                 "group {} has {size} members but {} scaling constants",
@@ -200,7 +214,11 @@ impl GroupIngestor {
     /// This is a batch of one on the [`GroupIngestor::push_batch`] path; like
     /// that path, a row with every member in a gap is skipped (a tick the
     /// whole group missed is a gap, not data).
-    pub fn push_row(&mut self, timestamp: Timestamp, row: &[Option<Value>]) -> Result<Vec<SegmentRecord>> {
+    pub fn push_row(
+        &mut self,
+        timestamp: Timestamp,
+        row: &[Option<Value>],
+    ) -> Result<Vec<SegmentRecord>> {
         let size = self.group.size();
         if row.len() != size {
             return Err(MdbError::Ingestion(format!(
@@ -321,7 +339,9 @@ impl GroupIngestor {
         // Scale the values once, up front, into the reused scratch column.
         self.scratch_scaled.clear();
         for s in 0..size {
-            let scaled = batch.get(row, s).map(|v| (f64::from(v) * self.scaling[s]) as Value);
+            let scaled = batch
+                .get(row, s)
+                .map(|v| (f64::from(v) * self.scaling[s]) as Value);
             if scaled.is_some() {
                 self.stats.data_points += 1;
             }
@@ -329,7 +349,10 @@ impl GroupIngestor {
         }
 
         if self.parts.is_empty() {
-            self.parts.push(Part { positions: (0..size).collect(), generator: None });
+            self.parts.push(Part {
+                positions: (0..size).collect(),
+                generator: None,
+            });
         }
 
         // Reconcile each part's generator with its currently active members.
@@ -372,10 +395,13 @@ impl GroupIngestor {
         // compressed poorly (split triggers, Section 4.2).
         let mut split_candidates = Vec::new();
         for k in 0..self.parts.len() {
-            let Some(generator) = self.parts[k].generator.as_mut() else { continue };
+            let Some(generator) = self.parts[k].generator.as_mut() else {
+                continue;
+            };
             self.scratch_values.clear();
             for &p in generator.positions() {
-                self.scratch_values.push(self.scratch_scaled[p].expect("active position"));
+                self.scratch_values
+                    .push(self.scratch_scaled[p].expect("active position"));
             }
             let emitted = generator.push(timestamp, &self.scratch_values)?;
             if emitted.is_empty() {
@@ -384,9 +410,12 @@ impl GroupIngestor {
             let n_series = generator.n_series();
             let mut poor = false;
             for segment in emitted {
-                let ratio =
-                    compression_ratio(segment.len(), n_series, segment.storage_bytes());
-                let average = if self.ratio_count == 0 { ratio } else { self.ratio_sum / self.ratio_count as f64 };
+                let ratio = compression_ratio(segment.len(), n_series, segment.storage_bytes());
+                let average = if self.ratio_count == 0 {
+                    ratio
+                } else {
+                    self.ratio_sum / self.ratio_count as f64
+                };
                 if ratio < average / self.config.split_fraction {
                     poor = true;
                 }
@@ -421,12 +450,19 @@ impl GroupIngestor {
         let size = self.group.size();
         let mut out = Vec::new();
         let part = &mut self.parts[k];
-        let Some(generator) = part.generator.take() else { return Ok(out) };
+        let Some(generator) = part.generator.take() else {
+            return Ok(out);
+        };
         let buffer = generator.buffer().clone();
         let local_positions = generator.positions().to_vec();
-        let subsets = split_into_correlated(&buffer, local_positions.len(), &self.config.error_bound);
-        let gapped: Vec<usize> =
-            part.positions.iter().copied().filter(|p| !local_positions.contains(p)).collect();
+        let subsets =
+            split_into_correlated(&buffer, local_positions.len(), &self.config.error_bound);
+        let gapped: Vec<usize> = part
+            .positions
+            .iter()
+            .copied()
+            .filter(|p| !local_positions.contains(p))
+            .collect();
         if subsets.len() <= 1 && gapped.is_empty() {
             // Nothing to split after all; restore the generator.
             self.parts[k].generator = Some(generator);
@@ -438,7 +474,8 @@ impl GroupIngestor {
         // together").
         let mut new_parts = Vec::new();
         for subset in &subsets {
-            let positions: Vec<usize> = subset.iter().map(|&local| local_positions[local]).collect();
+            let positions: Vec<usize> =
+                subset.iter().map(|&local| local_positions[local]).collect();
             let mut generator_new = SegmentGenerator::new(
                 self.group.gid,
                 self.group.sampling_interval,
@@ -460,10 +497,16 @@ impl GroupIngestor {
             }
             let mut positions_sorted = positions;
             positions_sorted.sort_unstable();
-            new_parts.push(Part { positions: positions_sorted, generator: Some(generator_new) });
+            new_parts.push(Part {
+                positions: positions_sorted,
+                generator: Some(generator_new),
+            });
         }
         if !gapped.is_empty() {
-            new_parts.push(Part { positions: gapped, generator: None });
+            new_parts.push(Part {
+                positions: gapped,
+                generator: None,
+            });
         }
         // Replace part k with the first new part, append the rest.
         self.parts.splice(k..=k, new_parts);
@@ -478,7 +521,9 @@ impl GroupIngestor {
         loop {
             let mut merged = None;
             'outer: for a in 0..self.parts.len() {
-                let Some(ga) = &self.parts[a].generator else { continue };
+                let Some(ga) = &self.parts[a].generator else {
+                    continue;
+                };
                 if ga.segments_emitted < ga.join_threshold {
                     continue;
                 }
@@ -486,7 +531,9 @@ impl GroupIngestor {
                     if a == b {
                         continue;
                     }
-                    let Some(gb) = &self.parts[b].generator else { continue };
+                    let Some(gb) = &self.parts[b].generator else {
+                        continue;
+                    };
                     if joinable(ga.buffer(), 0, gb.buffer(), 0, &self.config.error_bound) {
                         merged = Some((a, b));
                         break 'outer;
@@ -576,13 +623,24 @@ mod tests {
     use mdb_types::{ErrorBound, GapsMask, TimeSeriesMeta};
 
     fn group(n: usize) -> GroupMeta {
-        let metas: Vec<TimeSeriesMeta> = (1..=n as u32).map(|t| TimeSeriesMeta::new(t, 100)).collect();
+        let metas: Vec<TimeSeriesMeta> = (1..=n as u32)
+            .map(|t| TimeSeriesMeta::new(t, 100))
+            .collect();
         GroupMeta::new(1, (1..=n as u32).collect(), &metas).unwrap()
     }
 
     fn ingestor(n: usize, bound: ErrorBound) -> GroupIngestor {
-        let config = CompressionConfig { error_bound: bound, ..CompressionConfig::default() };
-        GroupIngestor::new(group(n), vec![], Arc::new(ModelRegistry::standard()), config).unwrap()
+        let config = CompressionConfig {
+            error_bound: bound,
+            ..CompressionConfig::default()
+        };
+        GroupIngestor::new(
+            group(n),
+            vec![],
+            Arc::new(ModelRegistry::standard()),
+            config,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -591,7 +649,10 @@ mod tests {
         let mut segments = Vec::new();
         for t in 0..200i64 {
             let v = (t as f32 * 0.05).sin() * 10.0;
-            segments.extend(ing.push_row(t * 100, &[Some(v), Some(v + 0.1), Some(v - 0.1)]).unwrap());
+            segments.extend(
+                ing.push_row(t * 100, &[Some(v), Some(v + 0.1), Some(v - 0.1)])
+                    .unwrap(),
+            );
         }
         segments.extend(ing.flush().unwrap());
         let points: usize = segments.iter().map(|s| s.data_points(3)).sum();
@@ -607,21 +668,32 @@ mod tests {
         let mut segments = Vec::new();
         // Phase 1: all three series.
         for t in 0..10i64 {
-            segments.extend(ing.push_row(t * 100, &[Some(1.0), Some(1.0), Some(1.0)]).unwrap());
+            segments.extend(
+                ing.push_row(t * 100, &[Some(1.0), Some(1.0), Some(1.0)])
+                    .unwrap(),
+            );
         }
         // Phase 2: series 1 (position 1) in a gap.
         for t in 10..20i64 {
-            segments.extend(ing.push_row(t * 100, &[Some(1.0), None, Some(1.0)]).unwrap());
+            segments.extend(
+                ing.push_row(t * 100, &[Some(1.0), None, Some(1.0)])
+                    .unwrap(),
+            );
         }
         // Phase 3: everyone back.
         for t in 20..30i64 {
-            segments.extend(ing.push_row(t * 100, &[Some(1.0), Some(1.0), Some(1.0)]).unwrap());
+            segments.extend(
+                ing.push_row(t * 100, &[Some(1.0), Some(1.0), Some(1.0)])
+                    .unwrap(),
+            );
         }
         segments.extend(ing.flush().unwrap());
         // S1-like segments: all present; S2-like: position 1 missing.
         let with_gap: Vec<_> = segments.iter().filter(|s| !s.gaps.is_empty()).collect();
         assert!(!with_gap.is_empty());
-        assert!(with_gap.iter().all(|s| s.gaps == GapsMask::from_positions(&[1])));
+        assert!(with_gap
+            .iter()
+            .all(|s| s.gaps == GapsMask::from_positions(&[1])));
         // Phase-2 segments cover exactly ticks 10..20.
         let gap_points: usize = with_gap.iter().map(|s| s.data_points(3)).sum();
         assert_eq!(gap_points, 10 * 2);
@@ -644,7 +716,10 @@ mod tests {
         segments.extend(ing.flush().unwrap());
         // No segment spans the missing interval.
         for s in &segments {
-            assert!(!(s.start_time < 500 && s.end_time >= 1000), "segment spans the gap: {s:?}");
+            assert!(
+                !(s.start_time < 500 && s.end_time >= 1000),
+                "segment spans the gap: {s:?}"
+            );
         }
         let points: usize = segments.iter().map(|s| s.data_points(1)).sum();
         assert_eq!(points, 10);
@@ -663,8 +738,17 @@ mod tests {
 
     #[test]
     fn scaling_constants_are_applied() {
-        let config = CompressionConfig { error_bound: ErrorBound::absolute(0.5), ..Default::default() };
-        let mut ing = GroupIngestor::new(group(2), vec![1.0, 4.75], Arc::new(ModelRegistry::standard()), config).unwrap();
+        let config = CompressionConfig {
+            error_bound: ErrorBound::absolute(0.5),
+            ..Default::default()
+        };
+        let mut ing = GroupIngestor::new(
+            group(2),
+            vec![1.0, 4.75],
+            Arc::new(ModelRegistry::standard()),
+            config,
+        )
+        .unwrap();
         // With scaling, series 1's raw value 2.0 becomes 9.5 ≈ series 0's 9.4.
         let mut segments = Vec::new();
         for t in 0..60i64 {
@@ -676,7 +760,9 @@ mod tests {
         assert!(segments.iter().all(|s| s.gaps.is_empty()));
         let reg = ModelRegistry::standard();
         let model = reg.get(segments[0].mid).unwrap();
-        let grid = model.grid(&segments[0].params, 2, segments[0].len()).unwrap();
+        let grid = model
+            .grid(&segments[0].params, 2, segments[0].len())
+            .unwrap();
         assert!((grid[0] - 9.45).abs() < 0.51);
     }
 
@@ -687,7 +773,13 @@ mod tests {
             split_fraction: 2.0,
             ..Default::default()
         };
-        let mut ing = GroupIngestor::new(group(2), vec![], Arc::new(ModelRegistry::standard()), config).unwrap();
+        let mut ing = GroupIngestor::new(
+            group(2),
+            vec![],
+            Arc::new(ModelRegistry::standard()),
+            config,
+        )
+        .unwrap();
         let mut segments = Vec::new();
         // Phase 1: correlated.
         for t in 0..150i64 {
@@ -700,14 +792,28 @@ mod tests {
         for t in 150..320i64 {
             x = x.wrapping_mul(1103515245).wrapping_add(12345);
             let noise = (x >> 16) as f32 / 65536.0;
-            segments.extend(ing.push_row(t * 100, &[Some(5.0 + noise * 0.2), Some(500.0 + noise * 120.0)]).unwrap());
+            segments.extend(
+                ing.push_row(
+                    t * 100,
+                    &[Some(5.0 + noise * 0.2), Some(500.0 + noise * 120.0)],
+                )
+                .unwrap(),
+            );
         }
-        assert!(ing.stats().splits >= 1, "expected a dynamic split, partition: {:?}", ing.partition());
+        assert!(
+            ing.stats().splits >= 1,
+            "expected a dynamic split, partition: {:?}",
+            ing.partition()
+        );
         // Phase 3: series 1 comes back; groups should eventually rejoin.
         for t in 320..900i64 {
             segments.extend(ing.push_row(t * 100, &[Some(5.0), Some(5.1)]).unwrap());
         }
-        assert!(ing.stats().joins >= 1, "expected a dynamic join, partition: {:?}", ing.partition());
+        assert!(
+            ing.stats().joins >= 1,
+            "expected a dynamic join, partition: {:?}",
+            ing.partition()
+        );
         assert_eq!(ing.partition().len(), 1, "partition should be whole again");
         segments.extend(ing.flush().unwrap());
         // Coverage invariant even across split/join: each tick of each
@@ -719,9 +825,16 @@ mod tests {
     #[test]
     fn oversized_groups_rejected() {
         let n = mdb_types::MAX_GROUP_SIZE + 1;
-        let metas: Vec<TimeSeriesMeta> = (1..=n as u32).map(|t| TimeSeriesMeta::new(t, 100)).collect();
+        let metas: Vec<TimeSeriesMeta> = (1..=n as u32)
+            .map(|t| TimeSeriesMeta::new(t, 100))
+            .collect();
         let g = GroupMeta::new(1, (1..=n as u32).collect(), &metas).unwrap();
-        let r = GroupIngestor::new(g, vec![], Arc::new(ModelRegistry::standard()), CompressionConfig::default());
+        let r = GroupIngestor::new(
+            g,
+            vec![],
+            Arc::new(ModelRegistry::standard()),
+            CompressionConfig::default(),
+        );
         assert!(r.is_err());
     }
 
@@ -743,7 +856,11 @@ mod tests {
         for t in 0..500i64 {
             x = x.wrapping_mul(1103515245).wrapping_add(12345);
             let noise = (x >> 16) as f32 / 65536.0;
-            let v = if t % 100 < 50 { 10.0 } else { 10.0 + noise * 100.0 };
+            let v = if t % 100 < 50 {
+                10.0
+            } else {
+                10.0 + noise * 100.0
+            };
             ing.push_row(t * 100, &[Some(v), Some(v * 1.01)]).unwrap();
         }
         ing.flush().unwrap();
@@ -764,7 +881,11 @@ mod tests {
             let noise = (x >> 16) as f32 / 65536.0;
             // Mix of steady signal, decorrelation noise, per-series gaps,
             // and whole-group gap ticks.
-            let v = if t % 97 < 60 { 10.0 } else { 10.0 + noise * 200.0 };
+            let v = if t % 97 < 60 {
+                10.0
+            } else {
+                10.0 + noise * 200.0
+            };
             let row = [
                 (t % 31 != 0).then_some(v),
                 (t % 43 != 0).then_some(v * 1.01),
@@ -800,7 +921,11 @@ mod tests {
             batch.push_row(ts, &[Some(1.0), Some(1.0)]);
         }
         assert!(ing.push_batch(batch.view()).is_err());
-        assert_eq!(ing.stats().rows, rows_before, "rejected batch must ingest nothing");
+        assert_eq!(
+            ing.stats().rows,
+            rows_before,
+            "rejected batch must ingest nothing"
+        );
         // The stream continues cleanly from where it left off.
         segments.extend(ing.push_row(75 * 100, &[Some(1.0), Some(1.0)]).unwrap());
         segments.extend(ing.flush().unwrap());
@@ -814,12 +939,19 @@ mod tests {
         ing.push_row(0, &[Some(1.0), Some(1.0)]).unwrap();
         // A row the whole group missed is skipped, not an error and not data.
         ing.push_row(100, &[None, None]).unwrap();
-        let segments = [ing.push_row(200, &[Some(1.0), Some(1.0)]).unwrap(), ing.flush().unwrap()].concat();
+        let segments = [
+            ing.push_row(200, &[Some(1.0), Some(1.0)]).unwrap(),
+            ing.flush().unwrap(),
+        ]
+        .concat();
         assert_eq!(ing.stats().rows, 2);
         assert_eq!(ing.stats().data_points, 4);
         // The skipped tick forces a segment boundary: nothing spans it.
         for s in &segments {
-            assert!(!(s.start_time < 100 && s.end_time >= 100), "segment spans the gap: {s:?}");
+            assert!(
+                !(s.start_time < 100 && s.end_time >= 100),
+                "segment spans the gap: {s:?}"
+            );
         }
     }
 

@@ -61,7 +61,10 @@ impl CompressionConfig {
     /// A config with the given relative error bound in percent (the knob the
     /// paper's evaluation turns: 0 %, 1 %, 5 %, 10 %).
     pub fn with_relative_bound(percent: f64) -> Self {
-        Self { error_bound: ErrorBound::relative(percent), ..Self::default() }
+        Self {
+            error_bound: ErrorBound::relative(percent),
+            ..Self::default()
+        }
     }
 }
 

@@ -21,7 +21,11 @@ use crate::generator::Tick;
 /// double error bound. The first series of the remainder seeds each group
 /// (`TS1` in the paper) and every other series joins if *all* its buffered
 /// points are within `2ε` of `TS1`'s.
-pub fn split_into_correlated(buffer: &VecDeque<Tick>, n_series: usize, bound: &ErrorBound) -> Vec<Vec<usize>> {
+pub fn split_into_correlated(
+    buffer: &VecDeque<Tick>,
+    n_series: usize,
+    bound: &ErrorBound,
+) -> Vec<Vec<usize>> {
     let mut remaining: Vec<usize> = (0..n_series).collect();
     let mut splits = Vec::new();
     while !remaining.is_empty() {
@@ -79,7 +83,10 @@ mod tests {
     fn buffer(rows: &[&[f32]]) -> VecDeque<Tick> {
         rows.iter()
             .enumerate()
-            .map(|(t, values)| Tick { timestamp: t as i64 * 100, values: values.to_vec() })
+            .map(|(t, values)| Tick {
+                timestamp: t as i64 * 100,
+                values: values.to_vec(),
+            })
             .collect()
     }
 
@@ -142,8 +149,14 @@ mod tests {
         // the shorter buffer (its full length, from the end) matches.
         let long = buffer(&[&[99.0], &[10.5], &[11.0]]);
         let short: VecDeque<Tick> = vec![
-            Tick { timestamp: 100, values: vec![10.4] },
-            Tick { timestamp: 200, values: vec![11.2] },
+            Tick {
+                timestamp: 100,
+                values: vec![10.4],
+            },
+            Tick {
+                timestamp: 200,
+                values: vec![11.2],
+            },
         ]
         .into();
         assert!(joinable(&long, 0, &short, 0, &bound));
@@ -157,7 +170,11 @@ mod tests {
         assert!(!joinable(&a, 0, &empty, 0, &bound));
         assert!(!joinable(&empty, 0, &empty, 0, &bound));
         // Same lengths but different timestamps (groups out of sync).
-        let b: VecDeque<Tick> = vec![Tick { timestamp: 999, values: vec![10.0] }].into();
+        let b: VecDeque<Tick> = vec![Tick {
+            timestamp: 999,
+            values: vec![10.0],
+        }]
+        .into();
         assert!(!joinable(&a, 0, &b, 0, &bound));
     }
 

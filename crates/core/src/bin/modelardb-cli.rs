@@ -51,7 +51,11 @@ fn run() -> Result<()> {
                 n += 1;
             }
             db.flush()?;
-            println!("ingested {n} data points -> {} segments, {} bytes", db.segment_count(), db.storage_bytes());
+            println!(
+                "ingested {n} data points -> {} segments, {} bytes",
+                db.segment_count(),
+                db.storage_bytes()
+            );
         }
         "demo" => {
             // Synthetic sine data so the CLI is testable without data files.
@@ -59,7 +63,12 @@ fn run() -> Result<()> {
                 .parse()
                 .map_err(|_| MdbError::Config(format!("bad tick count {target:?}")))?;
             let n_series = db.catalog().series.len();
-            let si = db.catalog().series.first().map(|m| m.sampling_interval).unwrap_or(100);
+            let si = db
+                .catalog()
+                .series
+                .first()
+                .map(|m| m.sampling_interval)
+                .unwrap_or(100);
             for t in 0..ticks {
                 let row: Vec<Option<f32>> = (0..n_series)
                     .map(|s| Some((t as f32 * 0.01).sin() * 10.0 + 100.0 + s as f32 * 0.1))
@@ -67,14 +76,19 @@ fn run() -> Result<()> {
                 db.ingest_row(t * si, &row)?;
             }
             db.flush()?;
-            println!("generated {ticks} ticks -> {} segments, {} bytes", db.segment_count(), db.storage_bytes());
+            println!(
+                "generated {ticks} ticks -> {} segments, {} bytes",
+                db.segment_count(),
+                db.storage_bytes()
+            );
         }
         other => return Err(MdbError::Config(format!("unknown mode {other}"))),
     }
 
     let queries: Vec<&String> = args.iter().skip(3).collect();
     if queries.is_empty() {
-        let r = db.sql("SELECT Tid, COUNT_S(*), AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")?;
+        let r =
+            db.sql("SELECT Tid, COUNT_S(*), AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")?;
         println!("\n{}", r.to_table());
     } else {
         for q in queries {
@@ -87,7 +101,11 @@ fn run() -> Result<()> {
 
 fn source_map(db: &ModelarDb) -> HashMap<String, Tid> {
     // SeriesSpec order equals tid order in the builder.
-    db.catalog().series.iter().map(|m| (format!("tid{}", m.tid), m.tid)).collect()
+    db.catalog()
+        .series
+        .iter()
+        .map(|m| (format!("tid{}", m.tid), m.tid))
+        .collect()
 }
 
 /// Parses `source,timestamp,value` CSV; `source` may be `tidN` or a raw tid.
@@ -105,7 +123,9 @@ fn parse_csv(text: &str, sources: &HashMap<String, Tid>) -> Result<Vec<(Tid, i64
             .get(source)
             .copied()
             .or_else(|| source.parse::<Tid>().ok())
-            .ok_or_else(|| MdbError::Ingestion(format!("csv line {}: unknown source {source:?}", i + 1)))?;
+            .ok_or_else(|| {
+                MdbError::Ingestion(format!("csv line {}: unknown source {source:?}", i + 1))
+            })?;
         let ts: i64 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
         let value: f32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
         out.push((tid, ts, value));

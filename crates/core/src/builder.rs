@@ -30,12 +30,19 @@ pub struct SeriesSpec {
 impl SeriesSpec {
     /// A series named `source` sampling every `sampling_interval` ms.
     pub fn new(source: impl Into<String>, sampling_interval: i64) -> Self {
-        Self { source: source.into(), sampling_interval, members: Vec::new() }
+        Self {
+            source: source.into(),
+            sampling_interval,
+            members: Vec::new(),
+        }
     }
 
     /// Attaches the member path for one dimension (general → detailed).
     pub fn with_members(mut self, dimension: impl Into<String>, path: &[&str]) -> Self {
-        self.members.push((dimension.into(), path.iter().map(|s| s.to_string()).collect()));
+        self.members.push((
+            dimension.into(),
+            path.iter().map(|s| s.to_string()).collect(),
+        ));
         self
     }
 }
@@ -112,7 +119,9 @@ impl ModelarDbBuilder {
     /// Runs the partitioner and assembles the engine.
     pub fn build(&self) -> Result<ModelarDb> {
         if let Some(bad) = self.series.iter().find(|s| s.source.starts_with("!error:")) {
-            return Err(MdbError::Config(bad.source.trim_start_matches("!error:").to_string()));
+            return Err(MdbError::Config(
+                bad.source.trim_start_matches("!error:").to_string(),
+            ));
         }
         if self.series.is_empty() {
             return Err(MdbError::Config("declare at least one time series".into()));
@@ -145,7 +154,9 @@ impl ModelarDbBuilder {
         catalog.dimensions = dimensions;
         for (i, group_tids) in parts.groups.iter().enumerate() {
             let gid = (i + 1) as Gid;
-            catalog.groups.push(GroupMeta::new(gid, group_tids.clone(), &metas)?);
+            catalog
+                .groups
+                .push(GroupMeta::new(gid, group_tids.clone(), &metas)?);
             for (j, tid) in group_tids.iter().enumerate() {
                 let mut meta = metas.iter().find(|m| m.tid == *tid).unwrap().clone();
                 meta.gid = gid;
@@ -154,7 +165,12 @@ impl ModelarDbBuilder {
             }
         }
         catalog.series.sort_by_key(|m| m.tid);
-        catalog.model_names = self.registry.names().iter().map(|s| s.to_string()).collect();
+        catalog.model_names = self
+            .registry
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
 
         ModelarDb::from_catalog(
             Arc::new(catalog),
@@ -173,7 +189,8 @@ mod tests {
         let mut b = ModelarDbBuilder::new();
         b.config_mut().compression.error_bound = ErrorBound::relative(5.0);
         b.add_dimension(
-            DimensionSchema::from_leaf_up("Location", vec!["Turbine".into(), "Park".into()]).unwrap(),
+            DimensionSchema::from_leaf_up("Location", vec!["Turbine".into(), "Park".into()])
+                .unwrap(),
         )
         .add_series(SeriesSpec::new("t1", 100).with_members("Location", &["Aalborg", "9632"]))
         .add_series(SeriesSpec::new("t2", 100).with_members("Location", &["Aalborg", "9634"]))
@@ -218,7 +235,10 @@ mod tests {
         let mut b = turbines();
         let mut spec = CorrelationSpec::none();
         spec.add_clause("Location 1").unwrap();
-        spec.scaling.push(mdb_partitioner::ScalingHint::Series { name: "t2".into(), factor: 4.75 });
+        spec.scaling.push(mdb_partitioner::ScalingHint::Series {
+            name: "t2".into(),
+            factor: 4.75,
+        });
         b.with_correlation(spec);
         let db = b.build().unwrap();
         assert_eq!(db.catalog().scaling_of(2), 4.75);

@@ -60,27 +60,33 @@ impl ConfigFile {
             if line.is_empty() {
                 continue;
             }
-            let (key, value) = line
-                .split_once('=')
-                .ok_or_else(|| MdbError::Config(format!("line {}: expected key = value", number + 1)))?;
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                MdbError::Config(format!("line {}: expected key = value", number + 1))
+            })?;
             let key = key.trim().to_ascii_lowercase();
             let value = value.trim();
             let ctx = |e: MdbError| MdbError::Config(format!("line {}: {e}", number + 1));
             match key.as_str() {
                 "modelardb.error_bound" => {
-                    cfg.error_bound_percent = value
-                        .parse::<f64>()
-                        .map_err(|_| MdbError::Config(format!("line {}: bad error bound {value:?}", number + 1)))?;
+                    cfg.error_bound_percent = value.parse::<f64>().map_err(|_| {
+                        MdbError::Config(format!("line {}: bad error bound {value:?}", number + 1))
+                    })?;
                 }
                 "modelardb.length_limit" => {
                     cfg.length_limit = Some(parse_number(value, number)?);
                 }
                 "modelardb.dynamic_split" => {
-                    cfg.dynamic_split = Some(matches!(value.to_ascii_lowercase().as_str(), "true" | "on" | "1"));
+                    cfg.dynamic_split = Some(matches!(
+                        value.to_ascii_lowercase().as_str(),
+                        "true" | "on" | "1"
+                    ));
                 }
                 "modelardb.split_fraction" => {
                     cfg.split_fraction = Some(value.parse::<f64>().map_err(|_| {
-                        MdbError::Config(format!("line {}: bad split fraction {value:?}", number + 1))
+                        MdbError::Config(format!(
+                            "line {}: bad split fraction {value:?}",
+                            number + 1
+                        ))
                     })?);
                 }
                 "modelardb.bulk_write_size" => {
@@ -95,12 +101,12 @@ impl ConfigFile {
                 }
                 "modelardb.dimension" => {
                     let mut parts = value.split(',').map(str::trim);
-                    let name = parts
-                        .next()
-                        .filter(|s| !s.is_empty())
-                        .ok_or_else(|| MdbError::Config(format!("line {}: dimension needs a name", number + 1)))?;
+                    let name = parts.next().filter(|s| !s.is_empty()).ok_or_else(|| {
+                        MdbError::Config(format!("line {}: dimension needs a name", number + 1))
+                    })?;
                     let levels: Vec<String> = parts.map(str::to_string).collect();
-                    cfg.dimensions.push(DimensionSchema::new(name, levels).map_err(ctx)?);
+                    cfg.dimensions
+                        .push(DimensionSchema::new(name, levels).map_err(ctx)?);
                 }
                 "modelardb.source" => {
                     cfg.series.push(parse_source(value, number)?);
@@ -113,10 +119,15 @@ impl ConfigFile {
                     cfg.correlation.weights.insert(dim, weight);
                 }
                 "modelardb.correlation.scaling" => {
-                    cfg.correlation.scaling.push(parse_scaling(value).map_err(ctx)?);
+                    cfg.correlation
+                        .scaling
+                        .push(parse_scaling(value).map_err(ctx)?);
                 }
                 other => {
-                    return Err(MdbError::Config(format!("line {}: unknown key {other}", number + 1)));
+                    return Err(MdbError::Config(format!(
+                        "line {}: unknown key {other}",
+                        number + 1
+                    )));
                 }
             }
         }
@@ -177,11 +188,19 @@ fn parse_source(value: &str, line: usize) -> Result<SeriesSpec> {
     let si = parts
         .next()
         .and_then(|s| s.parse::<i64>().ok())
-        .ok_or_else(|| MdbError::Config(format!("line {}: source needs a sampling interval", line + 1)))?;
+        .ok_or_else(|| {
+            MdbError::Config(format!(
+                "line {}: source needs a sampling interval",
+                line + 1
+            ))
+        })?;
     let mut spec = SeriesSpec::new(source, si);
     for member_spec in parts {
         let (dim, path) = member_spec.split_once('=').ok_or_else(|| {
-            MdbError::Config(format!("line {}: expected Dimension=member/member, got {member_spec:?}", line + 1))
+            MdbError::Config(format!(
+                "line {}: expected Dimension=member/member, got {member_spec:?}",
+                line + 1
+            ))
         })?;
         let members: Vec<&str> = path.split('/').map(str::trim).collect();
         spec = spec.with_members(dim.trim(), &members);
@@ -237,22 +256,31 @@ modelardb.correlation.scaling = series t9572.gz 4.75
 
     #[test]
     fn sample_file_builds_a_working_engine() {
-        let mut db = ConfigFile::parse(SAMPLE).unwrap().into_builder().unwrap().build().unwrap();
+        let mut db = ConfigFile::parse(SAMPLE)
+            .unwrap()
+            .into_builder()
+            .unwrap()
+            .build()
+            .unwrap();
         // "Location 2": LCA ≥ 2 = same park → 9632+9634 share a group.
         assert_eq!(db.catalog().groups.len(), 2);
         assert_eq!(db.catalog().gid_of(1), db.catalog().gid_of(2));
         assert_eq!(db.catalog().scaling_of(3), 4.75);
         for t in 0..300i64 {
-            db.ingest_row(t * 100, &[Some(55.0), Some(55.1), Some(11.6)]).unwrap();
+            db.ingest_row(t * 100, &[Some(55.0), Some(55.1), Some(11.6)])
+                .unwrap();
         }
         db.flush().unwrap();
-        let r = db.sql("SELECT Park, COUNT_S(*) FROM Segment GROUP BY Park ORDER BY Park").unwrap();
+        let r = db
+            .sql("SELECT Park, COUNT_S(*) FROM Segment GROUP BY Park ORDER BY Park")
+            .unwrap();
         assert_eq!(r.rows.len(), 2);
     }
 
     #[test]
     fn comments_blank_lines_and_case_are_tolerated() {
-        let cfg = ConfigFile::parse("\n# only a comment\nMODELARDB.ERROR_BOUND = 1.0 # inline\n").unwrap();
+        let cfg = ConfigFile::parse("\n# only a comment\nMODELARDB.ERROR_BOUND = 1.0 # inline\n")
+            .unwrap();
         assert_eq!(cfg.error_bound_percent, 1.0);
     }
 
@@ -269,12 +297,18 @@ modelardb.correlation.scaling = series t9572.gz 4.75
             ("just some text", "expected key = value"),
             ("modelardb.error_bound = high", "bad error bound"),
             ("modelardb.source = only_name", "sampling interval"),
-            ("modelardb.source = s, 100, NoEquals", "expected Dimension=member"),
+            (
+                "modelardb.source = s, 100, NoEquals",
+                "expected Dimension=member",
+            ),
             ("modelardb.dimension = ", "dimension needs a name"),
             ("modelardb.correlation = @@@", "correlation"),
         ] {
             let err = ConfigFile::parse(bad).unwrap_err().to_string();
-            assert!(err.contains(needle) || err.contains("line 1"), "{bad}: {err}");
+            assert!(
+                err.contains(needle) || err.contains("line 1"),
+                "{bad}: {err}"
+            );
         }
     }
 

@@ -8,8 +8,8 @@ use std::sync::Arc;
 
 use mdb_compression::{CompressionStats, GroupIngestor};
 use mdb_models::ModelRegistry;
-use mdb_query::{QueryEngine, QueryResult};
-use mdb_storage::{Catalog, DiskStore, MemoryStore, SegmentPredicate, SegmentStore};
+use mdb_query::{QueryEngine, QueryResult, ScanPool};
+use mdb_storage::{Catalog, DiskStore, MemoryStore, SegmentPredicate, SegmentStore, ValueBoundsFn};
 use mdb_types::{Gid, MdbError, Result, RowBatch, SegmentRecord, Tid, Timestamp, Value};
 
 use crate::Config;
@@ -41,6 +41,9 @@ pub struct ModelarDb {
     /// Single-row batch backing [`ModelarDb::ingest_row`] (a batch of one on
     /// the [`ModelarDb::ingest_batch`] path), reused across calls.
     scratch_row: RowBatch,
+    /// Persistent scan workers for parallel aggregate queries; `None` when
+    /// [`Config::query_parallelism`] resolves to a single worker.
+    scan_pool: Option<ScanPool>,
 }
 
 impl ModelarDb {
@@ -50,27 +53,63 @@ impl ModelarDb {
         registry: Arc<ModelRegistry>,
         config: Config,
     ) -> Result<Self> {
+        // Both stores maintain a zone map fed by the models' closed-form
+        // value ranges, so scans can prune segment runs before decoding.
+        let bounds = value_bounds_fn(&catalog, &registry);
         let store: Box<dyn SegmentStore> = match &config.storage {
-            StorageSpec::Memory => Box::new(MemoryStore::new()),
+            StorageSpec::Memory => {
+                let mut store = MemoryStore::with_value_bounds(bounds);
+                store.set_pruning(config.zone_pruning);
+                Box::new(store)
+            }
             StorageSpec::Disk(dir) => {
                 catalog.save(dir)?;
-                Box::new(DiskStore::open(dir, config.bulk_write_size)?)
+                let mut store =
+                    DiskStore::open_with_bounds(dir, config.bulk_write_size, Some(bounds))?;
+                store.set_pruning(config.zone_pruning);
+                Box::new(store)
             }
         };
         let mut ingestors = Vec::new();
-        let tid_to_row: std::collections::HashMap<Tid, usize> =
-            catalog.series.iter().enumerate().map(|(i, m)| (m.tid, i)).collect();
+        let tid_to_row: std::collections::HashMap<Tid, usize> = catalog
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.tid, i))
+            .collect();
         let mut row_indices = Vec::new();
         for group in &catalog.groups {
             let scaling: Vec<f64> = group.tids.iter().map(|t| catalog.scaling_of(*t)).collect();
             ingestors.push((
                 group.gid,
-                GroupIngestor::new(group.clone(), scaling, Arc::clone(&registry), config.compression.clone())?,
+                GroupIngestor::new(
+                    group.clone(),
+                    scaling,
+                    Arc::clone(&registry),
+                    config.compression.clone(),
+                )?,
             ));
             row_indices.push(group.tids.iter().map(|t| tid_to_row[t]).collect());
         }
-        let gid_index = ingestors.iter().enumerate().map(|(i, (g, _))| (*g, i)).collect();
+        let gid_index = ingestors
+            .iter()
+            .enumerate()
+            .map(|(i, (g, _))| (*g, i))
+            .collect();
         let scratch_row = RowBatch::with_capacity(catalog.series.len(), 1);
+        let resolved_workers = match config.query_parallelism {
+            0 => std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
+            n => n,
+        };
+        let scan_pool = (resolved_workers > 1).then(|| {
+            ScanPool::new(
+                Arc::clone(&catalog),
+                Arc::clone(&registry),
+                resolved_workers,
+            )
+        });
         Ok(Self {
             catalog,
             registry,
@@ -81,15 +120,23 @@ impl ModelarDb {
             gid_index,
             pending: BTreeMap::new(),
             scratch_row,
+            scan_pool,
         })
     }
 
     /// Reopens a disk-backed instance: catalog and segments are recovered
     /// from the directory.
-    pub fn reopen(dir: &std::path::Path, registry: Arc<ModelRegistry>, config: Config) -> Result<Self> {
+    pub fn reopen(
+        dir: &std::path::Path,
+        registry: Arc<ModelRegistry>,
+        config: Config,
+    ) -> Result<Self> {
         let mut catalog = Catalog::load(dir)?;
         catalog.dimensions.rebuild_indexes();
-        let config = Config { storage: StorageSpec::Disk(dir.to_path_buf()), ..config };
+        let config = Config {
+            storage: StorageSpec::Disk(dir.to_path_buf()),
+            ..config
+        };
         Self::from_catalog(Arc::new(catalog), registry, config)
     }
 
@@ -211,8 +258,16 @@ impl ModelarDb {
     }
 
     /// Executes a SQL query (Section 6's Segment View and Data Point View).
+    /// Aggregate scans run on the engine's persistent pool of
+    /// [`Config::query_parallelism`] workers over the zone-map-pruned
+    /// segment list; results are bit-identical to a sequential scan.
     pub fn sql(&self, text: &str) -> Result<QueryResult> {
-        QueryEngine::new(&self.catalog, &self.registry, self.store.as_ref()).sql(text)
+        let mut engine = QueryEngine::new(&self.catalog, &self.registry, self.store.as_ref())
+            .with_parallelism(self.config.query_parallelism);
+        if let Some(pool) = &self.scan_pool {
+            engine = engine.with_scan_pool(pool);
+        }
+        engine.sql(text)
     }
 
     /// Merged compression statistics across all groups.
@@ -246,6 +301,17 @@ impl ModelarDb {
     }
 }
 
+/// The zone map's stored-value statistic provider: the models' constant-time
+/// aggregate over a segment's full range, closed over the registry and the
+/// catalog's group sizes.
+pub fn value_bounds_fn(catalog: &Arc<Catalog>, registry: &Arc<ModelRegistry>) -> ValueBoundsFn {
+    let sizes: HashMap<Gid, usize> = catalog.groups.iter().map(|g| (g.gid, g.size())).collect();
+    let registry = Arc::clone(registry);
+    Arc::new(move |segment| {
+        mdb_models::segment_value_range(&registry, segment, *sizes.get(&segment.gid)?)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,7 +322,8 @@ mod tests {
         let mut b = ModelarDbBuilder::new();
         b.config_mut().compression.error_bound = ErrorBound::relative(error_pct);
         b.add_dimension(
-            DimensionSchema::from_leaf_up("Location", vec!["Turbine".into(), "Park".into()]).unwrap(),
+            DimensionSchema::from_leaf_up("Location", vec!["Turbine".into(), "Park".into()])
+                .unwrap(),
         )
         .add_series(SeriesSpec::new("t1", 100).with_members("Location", &["Aalborg", "9632"]))
         .add_series(SeriesSpec::new("t2", 100).with_members("Location", &["Aalborg", "9634"]))
@@ -274,7 +341,9 @@ mod tests {
         db.flush().unwrap();
         let r = db.sql("SELECT COUNT_S(*) FROM Segment").unwrap();
         assert_eq!(r.rows[0][0].as_i64(), Some(1000));
-        let r = db.sql("SELECT Park, AVG_S(*) FROM Segment GROUP BY Park").unwrap();
+        let r = db
+            .sql("SELECT Park, AVG_S(*) FROM Segment GROUP BY Park")
+            .unwrap();
         assert_eq!(r.rows.len(), 1);
         let avg = r.rows[0][1].as_f64().unwrap();
         assert!((90.0..110.0).contains(&avg), "{avg}");
@@ -297,7 +366,9 @@ mod tests {
         db.ingest_point(1, 1_100, 1.0).unwrap();
         db.ingest_point(2, 1_100, 2.0).unwrap();
         db.flush().unwrap();
-        let r = db.sql("SELECT Tid, COUNT_S(*) FROM Segment GROUP BY Tid ORDER BY Tid").unwrap();
+        let r = db
+            .sql("SELECT Tid, COUNT_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
+            .unwrap();
         assert_eq!(r.rows[0][1].as_i64(), Some(12)); // tid 1: ticks 0..=11
         assert_eq!(r.rows[1][1].as_i64(), Some(11)); // tid 2: missing tick 10
     }
@@ -323,8 +394,15 @@ mod tests {
         by_row.flush().unwrap();
         by_batch.flush().unwrap();
         assert_eq!(by_row.segments().unwrap(), by_batch.segments().unwrap());
-        for q in ["SELECT COUNT_S(*) FROM Segment", "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid"] {
-            assert_eq!(by_row.sql(q).unwrap().rows, by_batch.sql(q).unwrap().rows, "{q}");
+        for q in [
+            "SELECT COUNT_S(*) FROM Segment",
+            "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
+        ] {
+            assert_eq!(
+                by_row.sql(q).unwrap().rows,
+                by_batch.sql(q).unwrap().rows,
+                "{q}"
+            );
         }
     }
 
@@ -344,15 +422,19 @@ mod tests {
             let mut b = ModelarDbBuilder::new();
             b.config_mut().storage = StorageSpec::Disk(dir.clone());
             b.config_mut().compression.error_bound = ErrorBound::relative(1.0);
-            b.add_series(SeriesSpec::new("a", 100)).add_series(SeriesSpec::new("b", 100));
+            b.add_series(SeriesSpec::new("a", 100))
+                .add_series(SeriesSpec::new("b", 100));
             let mut db = b.build().unwrap();
             for t in 0..200i64 {
-                db.ingest_row(t * 100, &[Some(1.0), Some(t as f32)]).unwrap();
+                db.ingest_row(t * 100, &[Some(1.0), Some(t as f32)])
+                    .unwrap();
             }
             db.flush().unwrap();
         }
         let db = ModelarDb::reopen(&dir, registry, Config::default()).unwrap();
-        let r = db.sql("SELECT Tid, COUNT_S(*) FROM Segment GROUP BY Tid ORDER BY Tid").unwrap();
+        let r = db
+            .sql("SELECT Tid, COUNT_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
+            .unwrap();
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[0][1].as_i64(), Some(200));
         assert_eq!(r.rows[1][1].as_i64(), Some(200));
@@ -380,6 +462,11 @@ mod tests {
                 db.storage_bytes()
             })
             .collect();
-        assert!(sizes[1] < sizes[0], "10% bound {} must beat lossless {}", sizes[1], sizes[0]);
+        assert!(
+            sizes[1] < sizes[0],
+            "10% bound {} must beat lossless {}",
+            sizes[1],
+            sizes[0]
+        );
     }
 }

@@ -45,7 +45,7 @@ pub mod engine;
 
 pub use builder::{ModelarDbBuilder, SeriesSpec};
 pub use configfile::ConfigFile;
-pub use engine::{ModelarDb, StorageSpec};
+pub use engine::{value_bounds_fn, ModelarDb, StorageSpec};
 
 // Re-export the public surface of the component crates.
 pub use mdb_cluster::{Cluster, ClusterConfig};
@@ -58,10 +58,13 @@ pub use mdb_partitioner::{
     CorrelationSpec, Partitioning, ScalingHint,
 };
 pub use mdb_query::{parse, Cell, Query, QueryEngine, QueryResult};
-pub use mdb_storage::{Catalog, DiskStore, MemoryStore, SegmentPredicate, SegmentStore};
+pub use mdb_storage::{
+    Catalog, DiskStore, MemoryStore, SegmentPredicate, SegmentStore, ValueBoundsFn, ZoneMap,
+};
 pub use mdb_types::{
     BatchView, DataPoint, DimensionSchema, Dimensions, ErrorBound, GapsMask, Gid, GroupMeta,
     MdbError, Result, RowBatch, SegmentRecord, Tid, TimeLevel, TimeSeriesMeta, Timestamp, Value,
+    ValueInterval,
 };
 
 /// The full system configuration; defaults mirror Table 1 of the paper.
@@ -74,6 +77,15 @@ pub struct Config {
     pub bulk_write_size: usize,
     /// Where segments are persisted.
     pub storage: StorageSpec,
+    /// Scan workers for the partial-aggregation phase: `0` (auto) uses the
+    /// machine's available parallelism once enough segments survive pruning
+    /// to amortize thread start-up; `1` scans sequentially. Results are
+    /// bit-identical at every setting.
+    pub query_parallelism: usize,
+    /// Whether scans consult the store's zone map to skip segment runs
+    /// outside a query's time range or value predicate. Disabling yields
+    /// the plain sequential scan (the `repro query` baseline).
+    pub zone_pruning: bool,
 }
 
 impl Default for Config {
@@ -82,6 +94,8 @@ impl Default for Config {
             compression: CompressionConfig::default(),
             bulk_write_size: 50_000,
             storage: StorageSpec::Memory,
+            query_parallelism: 0,
+            zone_pruning: true,
         }
     }
 }

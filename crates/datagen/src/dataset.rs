@@ -24,17 +24,29 @@ pub struct Scale {
 impl Scale {
     /// A small scale for tests.
     pub fn tiny() -> Self {
-        Self { clusters: 2, series_per_cluster: 3, ticks: 500 }
+        Self {
+            clusters: 2,
+            series_per_cluster: 3,
+            ticks: 500,
+        }
     }
 
     /// The default scale for benchmarks.
     pub fn small() -> Self {
-        Self { clusters: 8, series_per_cluster: 4, ticks: 5_000 }
+        Self {
+            clusters: 8,
+            series_per_cluster: 4,
+            ticks: 5_000,
+        }
     }
 
     /// A larger scale for the scale-out experiments.
     pub fn medium() -> Self {
-        Self { clusters: 16, series_per_cluster: 4, ticks: 20_000 }
+        Self {
+            clusters: 16,
+            series_per_cluster: 4,
+            ticks: 20_000,
+        }
     }
 
     /// Total number of series.
@@ -128,7 +140,9 @@ impl Dataset {
 
     /// One full row: `row[tid − 1]` is the value of `tid` at `tick`.
     pub fn row(&self, tick: u64) -> Vec<Option<Value>> {
-        (1..=self.n_series() as Tid).map(|tid| self.value(tid, tick)).collect()
+        (1..=self.n_series() as Tid)
+            .map(|tid| self.value(tid, tick))
+            .collect()
     }
 
     /// Fills `batch` with the ticks `start_tick .. start_tick + len`,
@@ -139,7 +153,11 @@ impl Dataset {
     ///
     /// Panics when the batch was built for a different number of series.
     pub fn fill_batch(&self, start_tick: u64, len: u64, batch: &mut RowBatch) {
-        assert_eq!(batch.n_series(), self.n_series(), "batch width must match the data set");
+        assert_eq!(
+            batch.n_series(),
+            self.n_series(),
+            "batch width must match the data set"
+        );
         batch.clear();
         for tick in start_tick..start_tick + len {
             batch.push_row_with(self.timestamp(tick), |s| self.value(s as Tid + 1, tick));
@@ -157,7 +175,12 @@ impl Dataset {
     /// Iterates the first `ticks` ticks as columnar batches of up to
     /// `batch_size` rows — the bulk-ingestion driver for benchmarks.
     pub fn batches(&self, ticks: u64, batch_size: u64) -> Batches<'_> {
-        Batches { dataset: self, next: 0, end: ticks, batch_size: batch_size.max(1) }
+        Batches {
+            dataset: self,
+            next: 0,
+            end: ticks,
+            batch_size: batch_size.max(1),
+        }
     }
 
     /// The correlation hints the paper's evaluation uses for this data set.
@@ -222,7 +245,11 @@ pub fn ep(seed: u64, scale: Scale) -> Result<Dataset> {
         // One entity per cluster; within a cluster the series are the
         // entity's redundant production meters (same concrete measure).
         let entity = format!("entity{cluster}");
-        let kind = if cluster % 2 == 0 { "WindTurbine" } else { "SolarPlant" };
+        let kind = if cluster.is_multiple_of(2) {
+            "WindTurbine"
+        } else {
+            "SolarPlant"
+        };
         dimensions.set_members(tid, production, &[kind, &entity])?;
         dimensions.set_members(tid, measure, &["ProductionMWh", &format!("meter{member}")])?;
         series.push(TimeSeriesMeta::new(tid, si));
@@ -330,7 +357,10 @@ mod tests {
         };
         let same = spread(1, 2);
         let cross = spread(1, 4); // tid 4 is in cluster 1
-        assert!(same * 5.0 < cross, "same-cluster spread {same} vs cross {cross}");
+        assert!(
+            same * 5.0 < cross,
+            "same-cluster spread {same} vs cross {cross}"
+        );
     }
 
     #[test]
@@ -352,7 +382,15 @@ mod tests {
 
     #[test]
     fn gaps_occur_but_rarely() {
-        let ds = ep(42, Scale { clusters: 2, series_per_cluster: 3, ticks: 4_000 }).unwrap();
+        let ds = ep(
+            42,
+            Scale {
+                clusters: 2,
+                series_per_cluster: 3,
+                ticks: 4_000,
+            },
+        )
+        .unwrap();
         let mut gaps = 0u64;
         let mut total = 0u64;
         for tick in 0..4_000 {
@@ -378,8 +416,8 @@ mod tests {
             for row in 0..batch.len() {
                 assert_eq!(batch.timestamps()[row], ds.timestamp(tick));
                 let expected = ds.row(tick);
-                for s in 0..ds.n_series() {
-                    assert_eq!(batch.get(row, s), expected[s], "tick {tick} series {s}");
+                for (s, want) in expected.iter().enumerate() {
+                    assert_eq!(batch.get(row, s), *want, "tick {tick} series {s}");
                 }
                 tick += 1;
             }

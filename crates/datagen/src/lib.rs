@@ -21,7 +21,7 @@
 pub mod dataset;
 pub mod workload;
 
-pub use dataset::{ep, eh, Batches, Dataset, DatasetProfile, Scale};
+pub use dataset::{eh, ep, Batches, Dataset, DatasetProfile, Scale};
 pub use workload::Workloads;
 
 /// SplitMix64: the stateless hash behind all synthetic noise.

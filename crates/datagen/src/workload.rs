@@ -24,7 +24,11 @@ pub struct Workloads<'a> {
 impl<'a> Workloads<'a> {
     /// A workload generator; `ticks` is how many ticks were ingested.
     pub fn new(dataset: &'a Dataset, ticks: u64, seed: u64) -> Self {
-        Self { dataset, rng: SmallRng::seed_from_u64(seed), ticks }
+        Self {
+            dataset,
+            rng: SmallRng::seed_from_u64(seed),
+            ticks,
+        }
     }
 
     fn random_tid(&mut self) -> u32 {
@@ -32,7 +36,8 @@ impl<'a> Workloads<'a> {
     }
 
     fn aggregate(&mut self) -> &'static str {
-        ["COUNT_S(*)", "MIN_S(*)", "MAX_S(*)", "SUM_S(*)", "AVG_S(*)"][self.rng.gen_range(0..5usize)]
+        ["COUNT_S(*)", "MIN_S(*)", "MAX_S(*)", "SUM_S(*)", "AVG_S(*)"]
+            [self.rng.gen_range(0..5usize)]
     }
 
     /// S-AGG: `n` small aggregate queries.
@@ -41,7 +46,10 @@ impl<'a> Workloads<'a> {
             .map(|i| {
                 let agg = self.aggregate();
                 if i % 2 == 0 {
-                    format!("SELECT {agg} FROM Segment WHERE Tid = {}", self.random_tid())
+                    format!(
+                        "SELECT {agg} FROM Segment WHERE Tid = {}",
+                        self.random_tid()
+                    )
                 } else {
                     let tids: Vec<String> = (0..5).map(|_| self.random_tid().to_string()).collect();
                     format!(
@@ -125,13 +133,18 @@ impl<'a> Workloads<'a> {
                     0 => format!("SELECT * FROM DataPoint WHERE TS = {ts}"),
                     1 => {
                         let span = self.rng.gen_range(10..200u64);
-                        let hi = self.dataset.timestamp((tick + span).min(self.ticks.saturating_sub(1)));
+                        let hi = self
+                            .dataset
+                            .timestamp((tick + span).min(self.ticks.saturating_sub(1)));
                         format!(
                             "SELECT * FROM DataPoint WHERE Tid = {} AND TS BETWEEN {ts} AND {hi}",
                             self.random_tid()
                         )
                     }
-                    _ => format!("SELECT * FROM DataPoint WHERE Tid = {} AND TS = {ts}", self.random_tid()),
+                    _ => format!(
+                        "SELECT * FROM DataPoint WHERE Tid = {} AND TS = {ts}",
+                        self.random_tid()
+                    ),
                 }
             })
             .collect()
@@ -141,7 +154,7 @@ impl<'a> Workloads<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dataset::{ep, eh, Scale};
+    use crate::dataset::{eh, ep, Scale};
 
     #[test]
     fn workloads_are_deterministic_per_seed() {
@@ -191,8 +204,12 @@ mod tests {
         let ds = ep(1, Scale::tiny()).unwrap();
         let qs = Workloads::new(&ds, 500, 1).point_range(6);
         assert!(qs.iter().any(|q| q.contains("BETWEEN")));
-        assert!(qs.iter().any(|q| q.starts_with("SELECT * FROM DataPoint WHERE TS = ")));
-        assert!(qs.iter().any(|q| q.contains("Tid = ") && q.contains("TS = ")));
+        assert!(qs
+            .iter()
+            .any(|q| q.starts_with("SELECT * FROM DataPoint WHERE TS = ")));
+        assert!(qs
+            .iter()
+            .any(|q| q.contains("Tid = ") && q.contains("TS = ")));
     }
 
     #[test]

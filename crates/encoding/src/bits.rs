@@ -22,7 +22,11 @@ impl BitWriter {
 
     /// A writer that re-fills an existing buffer's allocation.
     pub fn with_capacity(bytes: usize) -> Self {
-        Self { bytes: Vec::with_capacity(bytes), used: 0, current: 0 }
+        Self {
+            bytes: Vec::with_capacity(bytes),
+            used: 0,
+            current: 0,
+        }
     }
 
     /// Writes a single bit.
@@ -140,7 +144,9 @@ mod tests {
     #[test]
     fn single_bits_round_trip() {
         let mut w = BitWriter::new();
-        let pattern = [true, false, true, true, false, false, true, false, true, true];
+        let pattern = [
+            true, false, true, true, false, false, true, false, true, true,
+        ];
         for &b in &pattern {
             w.write_bit(b);
         }

@@ -169,7 +169,12 @@ mod tests {
     fn round_trip(input: &[u8]) -> usize {
         let compressed = compress(input);
         let decompressed = decompress(&compressed).unwrap();
-        assert_eq!(decompressed, input, "round trip failed for {} bytes", input.len());
+        assert_eq!(
+            decompressed,
+            input,
+            "round trip failed for {} bytes",
+            input.len()
+        );
         compressed.len()
     }
 
@@ -201,7 +206,10 @@ mod tests {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
         let input: Vec<u8> = (0..10_000).map(|_| rng.gen()).collect();
         let size = round_trip(&input);
-        assert!(size <= input.len() + input.len() / 64 + 16, "expansion too large: {size}");
+        assert!(
+            size <= input.len() + input.len() / 64 + 16,
+            "expansion too large: {size}"
+        );
     }
 
     #[test]
@@ -209,7 +217,7 @@ mod tests {
         let mut input = Vec::new();
         let phrase: Vec<u8> = (0..255u8).collect();
         input.extend_from_slice(&phrase);
-        input.extend(std::iter::repeat(0u8).take(WINDOW - 512));
+        input.extend(std::iter::repeat_n(0u8, WINDOW - 512));
         input.extend_from_slice(&phrase);
         round_trip(&input);
     }

@@ -120,7 +120,17 @@ mod tests {
 
     #[test]
     fn signed_round_trip() {
-        for v in [0i64, 1, -1, 63, -64, 1_000_000, -1_000_000, i64::MAX, i64::MIN] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            1_000_000,
+            -1_000_000,
+            i64::MAX,
+            i64::MIN,
+        ] {
             let mut buf = Vec::new();
             write_i64(&mut buf, v);
             assert_eq!(read_i64(&mut buf.as_slice()), Some(v));

@@ -32,7 +32,13 @@ impl Default for XorEncoder {
 impl XorEncoder {
     /// A new encoder; the first pushed value is stored verbatim.
     pub fn new() -> Self {
-        Self { writer: BitWriter::new(), prev: 0, leading: u8::MAX, trailing: 0, count: 0 }
+        Self {
+            writer: BitWriter::new(),
+            prev: 0,
+            leading: u8::MAX,
+            trailing: 0,
+            count: 0,
+        }
     }
 
     /// Appends one value to the stream.
@@ -55,14 +61,17 @@ impl XorEncoder {
                 // Fits in the previous window: control bit 0 + meaningful bits.
                 self.writer.write_bit(false);
                 let significant = 32 - self.leading - self.trailing;
-                self.writer.write_bits(u64::from(xor >> self.trailing), significant);
+                self.writer
+                    .write_bits(u64::from(xor >> self.trailing), significant);
             } else {
                 // New window: control bit 1 + leading count + length + bits.
                 self.writer.write_bit(true);
                 let significant = 32 - leading - trailing;
                 self.writer.write_bits(u64::from(leading), LEADING_BITS);
-                self.writer.write_bits(u64::from(significant - 1), LENGTH_BITS);
-                self.writer.write_bits(u64::from(xor >> trailing), significant);
+                self.writer
+                    .write_bits(u64::from(significant - 1), LENGTH_BITS);
+                self.writer
+                    .write_bits(u64::from(xor >> trailing), significant);
                 self.leading = leading;
                 self.trailing = trailing;
             }
@@ -106,7 +115,13 @@ pub struct XorDecoder<'a> {
 impl<'a> XorDecoder<'a> {
     /// A decoder over an encoded stream.
     pub fn new(bytes: &'a [u8]) -> Self {
-        Self { reader: BitReader::new(bytes), prev: 0, leading: 0, trailing: 0, emitted: 0 }
+        Self {
+            reader: BitReader::new(bytes),
+            prev: 0,
+            leading: 0,
+            trailing: 0,
+            emitted: 0,
+        }
     }
 
     /// Decodes the next value; `None` on malformed or exhausted input.
@@ -183,13 +198,25 @@ mod tests {
     fn similar_values_compress_well() {
         let values: Vec<f32> = (0..1000).map(|i| 180.0 + (i as f32) * 0.001).collect();
         let bytes = encode_all(&values);
-        assert!(bytes.len() < values.len() * 4, "no smaller than raw: {}", bytes.len());
+        assert!(
+            bytes.len() < values.len() * 4,
+            "no smaller than raw: {}",
+            bytes.len()
+        );
         round_trip(&values);
     }
 
     #[test]
     fn special_values_round_trip_bit_exactly() {
-        round_trip(&[0.0, -0.0, f32::INFINITY, f32::NEG_INFINITY, f32::MIN, f32::MAX, f32::EPSILON]);
+        round_trip(&[
+            0.0,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN,
+            f32::MAX,
+            f32::EPSILON,
+        ]);
         // NaN payloads must survive too.
         let values = [f32::NAN, f32::from_bits(0x7FC0_0001), 1.0];
         let bytes = encode_all(&values);
@@ -217,19 +244,24 @@ mod tests {
         // Three correlated series interleaved per timestamp (the MMGC layout
         // of Figure 10) should compress better than concatenating them
         // (values at the same timestamp differ less than values 50 apart).
-        let base: Vec<f32> = (0..50).map(|i| (i as f32 * 0.37).sin() * 50.0 + 180.0).collect();
+        let base: Vec<f32> = (0..50)
+            .map(|i| (i as f32 * 0.37).sin() * 50.0 + 180.0)
+            .collect();
         let mut interleaved = Vec::new();
-        let mut concatenated = vec![Vec::new(), Vec::new(), Vec::new()];
+        let mut concatenated = [Vec::new(), Vec::new(), Vec::new()];
         for (i, &v) in base.iter().enumerate() {
-            for s in 0..3 {
+            for (s, column) in concatenated.iter_mut().enumerate() {
                 let value = v + s as f32 * 0.01 + (i % 3) as f32 * 0.001;
                 interleaved.push(value);
-                concatenated[s].push(value);
+                column.push(value);
             }
         }
         let grouped = encode_all(&interleaved).len();
         let separate: usize = concatenated.iter().map(|c| encode_all(c).len()).sum();
-        assert!(grouped <= separate + 8, "grouped {grouped} vs separate {separate}");
+        assert!(
+            grouped <= separate + 8,
+            "grouped {grouped} vs separate {separate}"
+        );
         round_trip(&interleaved);
     }
 

@@ -143,7 +143,12 @@ mod tests {
             correlated.append(t * 100, &[base, base + 0.01, base + 0.02, base - 0.01]);
             uncorrelated.append(
                 t * 100,
-                &[base, base * -37.3 + 11.1, (t as f32).exp().fract() * 1e6, 1.0 / (t as f32 + 0.7)],
+                &[
+                    base,
+                    base * -37.3 + 11.1,
+                    (t as f32).exp().fract() * 1e6,
+                    1.0 / (t as f32 + 0.7),
+                ],
             );
         }
         assert!(correlated.byte_size() < uncorrelated.byte_size());

@@ -29,7 +29,7 @@ pub mod pmc;
 pub mod registry;
 pub mod swing;
 
-use mdb_types::{ErrorBound, Timestamp, Value};
+use mdb_types::{ErrorBound, SegmentRecord, Timestamp, Value, ValueInterval};
 
 pub use registry::{ModelRegistry, MID_GORILLA, MID_PMC_MEAN, MID_SWING};
 
@@ -144,6 +144,33 @@ pub fn allowed_interval(bound: &ErrorBound, values: &[Value]) -> Option<(f64, f6
     }
 }
 
+/// The stored-value range a segment is known to cover, computed in constant
+/// time from the model's closed-form aggregate over the full timestamp range
+/// — the statistic the storage layer's zone map records per segment run.
+///
+/// Returns `None` when the model has no closed form (e.g. Gorilla, whose
+/// values would have to be reconstructed — too expensive on the write path)
+/// or when the parameters cannot be evaluated; zone maps treat `None` as
+/// "unbounded" and never prune such runs, so the statistic is always sound.
+pub fn segment_value_range(
+    registry: &ModelRegistry,
+    segment: &SegmentRecord,
+    group_size: usize,
+) -> Option<ValueInterval> {
+    let model = registry.get(segment.mid)?;
+    let n_series = segment.gaps.count_present(group_size);
+    if n_series == 0 {
+        return None;
+    }
+    let count = segment.len();
+    let mut range = ValueInterval::EMPTY;
+    for series in 0..n_series {
+        let agg = model.agg(&segment.params, n_series, count, (0, count - 1), series)?;
+        range = range.union(&ValueInterval::new(f64::from(agg.min), f64::from(agg.max)));
+    }
+    Some(range)
+}
+
 /// The compression ratio used for model selection (step iii of Section 3.2):
 /// raw bytes represented divided by stored bytes.
 pub fn compression_ratio(timestamps: usize, n_series: usize, stored_bytes: usize) -> f64 {
@@ -201,5 +228,37 @@ mod tests {
         let three = compression_ratio(50, 3, 29);
         assert!((three / one - 3.0).abs() < 1e-9);
         assert_eq!(compression_ratio(10, 1, 0), 0.0);
+    }
+
+    #[test]
+    fn segment_value_range_uses_closed_forms_only() {
+        use bytes::Bytes;
+        use mdb_types::GapsMask;
+        let registry = ModelRegistry::standard();
+        // A PMC-Mean segment stores one value; its range is that point.
+        let pmc = SegmentRecord {
+            gid: 1,
+            start_time: 0,
+            end_time: 900,
+            sampling_interval: 100,
+            mid: MID_PMC_MEAN,
+            params: Bytes::from(2.5f32.to_le_bytes().to_vec()),
+            gaps: GapsMask::EMPTY,
+        };
+        let range = segment_value_range(&registry, &pmc, 2).unwrap();
+        assert_eq!(range, ValueInterval::new(2.5, 2.5));
+        // Gorilla has no closed form: the write path must not decode, so the
+        // statistic is "unbounded" (None).
+        let gorilla = SegmentRecord {
+            mid: MID_GORILLA,
+            ..pmc.clone()
+        };
+        assert!(segment_value_range(&registry, &gorilla, 2).is_none());
+        // A segment representing no series yields no statistic.
+        let empty = SegmentRecord {
+            gaps: GapsMask::from_positions(&[0, 1]),
+            ..pmc
+        };
+        assert!(segment_value_range(&registry, &empty, 2).is_none());
     }
 }

@@ -44,8 +44,15 @@ impl ModelType for PerSeries {
     }
 
     fn fitter(&self, bound: ErrorBound, n_series: usize, length_limit: usize) -> Box<dyn Fitter> {
-        let children = (0..n_series).map(|_| self.inner.fitter(bound, 1, length_limit + 1)).collect();
-        Box::new(PerSeriesFitter { children, len: 0, closed: false, length_limit })
+        let children = (0..n_series)
+            .map(|_| self.inner.fitter(bound, 1, length_limit + 1))
+            .collect();
+        Box::new(PerSeriesFitter {
+            children,
+            len: 0,
+            closed: false,
+            length_limit,
+        })
     }
 
     fn grid(&self, params: &[u8], n_series: usize, count: usize) -> Option<Vec<Value>> {
@@ -199,7 +206,12 @@ mod tests {
         let grid = ps.grid(&f.params(), 2, 2).unwrap();
         for (t, row) in [[10.0f32, 20.0], [10.5, 20.5]].iter().enumerate() {
             for (s, &v) in row.iter().enumerate() {
-                assert!(bound.within(grid[t * 2 + s], v), "{} vs {}", grid[t * 2 + s], v);
+                assert!(
+                    bound.within(grid[t * 2 + s], v),
+                    "{} vs {}",
+                    grid[t * 2 + s],
+                    v
+                );
             }
         }
         // Once closed, later appends are rejected outright.
@@ -224,7 +236,9 @@ mod tests {
         let bound = ErrorBound::relative(5.0);
         let ps = adapter(Arc::new(Swing));
         let mut f = ps.fitter(bound, 2, 50);
-        let rows: Vec<[f32; 2]> = (0..20).map(|t| [100.0 + t as f32, 500.0 - 2.0 * t as f32]).collect();
+        let rows: Vec<[f32; 2]> = (0..20)
+            .map(|t| [100.0 + t as f32, 500.0 - 2.0 * t as f32])
+            .collect();
         for (t, row) in rows.iter().enumerate() {
             assert!(f.append(t as i64 * 1000, row), "failed at {t}");
         }

@@ -52,7 +52,11 @@ impl ModelType for PmcMean {
             return None;
         }
         let n = (b - a + 1) as f64;
-        Some(SegmentAgg { sum: f64::from(value) * n, min: value, max: value })
+        Some(SegmentAgg {
+            sum: f64::from(value) * n,
+            min: value,
+            max: value,
+        })
     }
 }
 
@@ -77,7 +81,11 @@ impl PmcFitter {
     fn representative(&self) -> Value {
         // The mean, clamped into the feasible interval (with a degenerate
         // interval the midpoint is the only choice).
-        let mean = if self.value_count > 0 { self.sum / self.value_count as f64 } else { 0.0 };
+        let mean = if self.value_count > 0 {
+            self.sum / self.value_count as f64
+        } else {
+            0.0
+        };
         let clamped = mean.clamp(self.lo, self.hi);
         clamped as Value
     }
@@ -166,7 +174,11 @@ mod tests {
 
     #[test]
     fn absolute_bound_accepts_small_drift() {
-        let (len, params) = fit(ErrorBound::absolute(1.0), 1, &[&[10.0], &[10.5], &[11.0], &[12.5]]);
+        let (len, params) = fit(
+            ErrorBound::absolute(1.0),
+            1,
+            &[&[10.0], &[10.5], &[11.0], &[12.5]],
+        );
         // 10.0 and 12.5 cannot share one value under ε = 1.
         assert_eq!(len, 3);
         let v = decode(&params).unwrap();
@@ -176,7 +188,7 @@ mod tests {
     }
 
     #[test]
-    fn group_rows_reduce_to_min_max(){
+    fn group_rows_reduce_to_min_max() {
         // Section 5.2: a group's values at one timestamp act via min/max.
         let bound = ErrorBound::absolute(1.0);
         let (len, params) = fit(bound, 3, &[&[10.0, 10.5, 11.0], &[10.2, 10.8, 10.4]]);

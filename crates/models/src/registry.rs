@@ -69,7 +69,10 @@ impl ModelRegistry {
 
     /// The Mid of the model type called `name`.
     pub fn mid_of(&self, name: &str) -> Option<u8> {
-        self.types.iter().position(|t| t.name() == name).map(|i| i as u8)
+        self.types
+            .iter()
+            .position(|t| t.name() == name)
+            .map(|i| i as u8)
     }
 
     /// All registered model types with their Mids, in fitting order.
@@ -101,7 +104,9 @@ impl Default for ModelRegistry {
 
 impl std::fmt::Debug for ModelRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ModelRegistry").field("models", &self.names()).finish()
+        f.debug_struct("ModelRegistry")
+            .field("models", &self.names())
+            .finish()
     }
 }
 
@@ -140,13 +145,25 @@ mod tests {
             "FirstValue"
         }
         fn fitter(&self, bound: ErrorBound, _n: usize, limit: usize) -> Box<dyn Fitter> {
-            Box::new(FirstValueFitter { bound, first: None, len: 0, limit })
+            Box::new(FirstValueFitter {
+                bound,
+                first: None,
+                len: 0,
+                limit,
+            })
         }
         fn grid(&self, params: &[u8], n_series: usize, count: usize) -> Option<Vec<Value>> {
             let v = Value::from_le_bytes(params.get(..4)?.try_into().ok()?);
             Some(vec![v; n_series * count])
         }
-        fn agg(&self, _p: &[u8], _n: usize, _c: usize, _r: (usize, usize), _s: usize) -> Option<SegmentAgg> {
+        fn agg(
+            &self,
+            _p: &[u8],
+            _n: usize,
+            _c: usize,
+            _r: (usize, usize),
+            _s: usize,
+        ) -> Option<SegmentAgg> {
             None
         }
     }

@@ -77,7 +77,11 @@ impl ModelType for Swing {
         // ideal line differs from it by strictly less than the reconstruction
         // rounding, which is what the paper accepts for queries on models.
         let sum = (f64::from(va) + f64::from(vb)) / 2.0 * n;
-        Some(SegmentAgg { sum, min: va.min(vb), max: va.max(vb) })
+        Some(SegmentAgg {
+            sum,
+            min: va.min(vb),
+            max: va.max(vb),
+        })
     }
 }
 
@@ -202,7 +206,10 @@ mod tests {
         for (t, row) in rows.iter().enumerate() {
             for (s, &orig) in row.iter().enumerate() {
                 let approx = grid[t * n_series + s];
-                assert!(bound.within(approx, orig), "t={t} s={s}: {approx} vs {orig}");
+                assert!(
+                    bound.within(approx, orig),
+                    "t={t} s={s}: {approx} vs {orig}"
+                );
             }
         }
     }
@@ -240,8 +247,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(accepted, 4, "the segment of Section 2 covers timestamps 100–400");
-        check_within(&bound, &f.params(), &rows[..4].to_vec());
+        assert_eq!(
+            accepted, 4,
+            "the segment of Section 2 covers timestamps 100–400"
+        );
+        check_within(&bound, &f.params(), &rows[..4]);
     }
 
     #[test]
@@ -319,7 +329,12 @@ mod tests {
         let agg = Swing.agg(&params, 1, 20, (0, 19), 0).unwrap();
         let grid = Swing.grid(&params, 1, 20).unwrap();
         let grid_sum: f64 = grid.iter().map(|&v| f64::from(v)).sum();
-        assert!((agg.sum - grid_sum).abs() < 1e-3 * grid_sum.abs(), "{} vs {}", agg.sum, grid_sum);
+        assert!(
+            (agg.sum - grid_sum).abs() < 1e-3 * grid_sum.abs(),
+            "{} vs {}",
+            agg.sum,
+            grid_sum
+        );
         assert!(agg.min <= grid.iter().cloned().fold(f32::INFINITY, f32::min) + 1e-3);
         assert!(agg.max >= grid.iter().cloned().fold(f32::NEG_INFINITY, f32::max) - 1e-3);
         // Sub-ranges too.

@@ -72,7 +72,11 @@ mod tests {
         // One fast single-series group (100 ms) produces 10 points/s; six
         // slow series (60 s) produce 0.1 points/s. The fast group should sit
         // alone on its worker.
-        let groups = vec![group(1, 1..=1, 100), group(2, 2..=7, 60_000), group(3, 8..=13, 60_000)];
+        let groups = vec![
+            group(1, 1..=1, 100),
+            group(2, 2..=7, 60_000),
+            group(3, 8..=13, 60_000),
+        ];
         let a = assign_workers(&groups, 2);
         assert_ne!(a[1], a[0]);
         assert_ne!(a[2], a[0]);
@@ -89,7 +93,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_equal_loads() {
-        let groups = vec![group(1, 1..=1, 100), group(2, 2..=2, 100), group(3, 3..=3, 100)];
+        let groups = vec![
+            group(1, 1..=1, 100),
+            group(2, 2..=2, 100),
+            group(3, 3..=3, 100),
+        ];
         let a1 = assign_workers(&groups, 3);
         let a2 = assign_workers(&groups, 3);
         assert_eq!(a1, a2);

@@ -39,7 +39,12 @@ impl Partitioning {
 /// The rule of thumb of Section 4.1: the lowest non-zero distance for a data
 /// set, `(1 / max(Levels)) / |Dimensions|`.
 pub fn lowest_distance(dimensions: &Dimensions) -> f64 {
-    let max_levels = dimensions.schemas().iter().map(|s| s.height()).max().unwrap_or(1);
+    let max_levels = dimensions
+        .schemas()
+        .iter()
+        .map(|s| s.height())
+        .max()
+        .unwrap_or(1);
     (1.0 / max_levels as f64) / dimensions.len().max(1) as f64
 }
 
@@ -81,9 +86,10 @@ pub fn correlated(
     group_b: &[Tid],
 ) -> bool {
     spec.clauses.iter().any(|clause| {
-        clause.primitives.iter().all(|p| {
-            primitive_holds(dimensions, spec, sources, group_a, group_b, p)
-        })
+        clause
+            .primitives
+            .iter()
+            .all(|p| primitive_holds(dimensions, spec, sources, group_a, group_b, p))
     })
 }
 
@@ -96,20 +102,31 @@ fn primitive_holds(
     primitive: &CorrelationPrimitive,
 ) -> bool {
     match primitive {
-        CorrelationPrimitive::TimeSeries(names) => group_a
-            .iter()
-            .chain(group_b)
-            .all(|tid| sources.get(tid).is_some_and(|s| names.iter().any(|n| n == s))),
-        CorrelationPrimitive::Member { dimension, level, member } => {
-            let Some(d) = dimensions.dimension_id(dimension) else { return false };
-            let Some(m) = dimensions.member_id(member) else { return false };
+        CorrelationPrimitive::TimeSeries(names) => group_a.iter().chain(group_b).all(|tid| {
+            sources
+                .get(tid)
+                .is_some_and(|s| names.iter().any(|n| n == s))
+        }),
+        CorrelationPrimitive::Member {
+            dimension,
+            level,
+            member,
+        } => {
+            let Some(d) = dimensions.dimension_id(dimension) else {
+                return false;
+            };
+            let Some(m) = dimensions.member_id(member) else {
+                return false;
+            };
             group_a
                 .iter()
                 .chain(group_b)
                 .all(|&tid| dimensions.member(tid, d, *level) == Some(m))
         }
         CorrelationPrimitive::LcaLevel { dimension, level } => {
-            let Some(d) = dimensions.dimension_id(dimension) else { return false };
+            let Some(d) = dimensions.dimension_id(dimension) else {
+                return false;
+            };
             let height = dimensions.schemas()[d].height() as i32;
             let required = if *level > 0 {
                 *level
@@ -141,9 +158,14 @@ pub fn partition(
     sources: &HashMap<Tid, String>,
 ) -> Result<Partitioning> {
     let mut groups: Vec<Vec<Tid>> = series.iter().map(|m| vec![m.tid]).collect();
-    let si: HashMap<Tid, i64> = series.iter().map(|m| (m.tid, m.sampling_interval)).collect();
+    let si: HashMap<Tid, i64> = series
+        .iter()
+        .map(|m| (m.tid, m.sampling_interval))
+        .collect();
     if si.len() != series.len() {
-        return Err(MdbError::Config("duplicate tids in partitioning input".into()));
+        return Err(MdbError::Config(
+            "duplicate tids in partitioning input".into(),
+        ));
     }
 
     let mut modified = true;
@@ -176,7 +198,11 @@ pub fn partition(
 
     let scaling = groups
         .iter()
-        .map(|g| g.iter().map(|&tid| scaling_for(tid, dimensions, spec, sources)).collect())
+        .map(|g| {
+            g.iter()
+                .map(|&tid| scaling_for(tid, dimensions, spec, sources))
+                .collect()
+        })
         .collect();
     Ok(Partitioning { groups, scaling })
 }
@@ -194,9 +220,18 @@ fn scaling_for(
                     return *factor;
                 }
             }
-            ScalingHint::Member { dimension, level, member, factor } => {
-                let Some(d) = dimensions.dimension_id(dimension) else { continue };
-                let Some(m) = dimensions.member_id(member) else { continue };
+            ScalingHint::Member {
+                dimension,
+                level,
+                member,
+                factor,
+            } => {
+                let Some(d) = dimensions.dimension_id(dimension) else {
+                    continue;
+                };
+                let Some(m) = dimensions.member_id(member) else {
+                    continue;
+                };
                 if dimensions.member(tid, d, *level) == Some(m) {
                     return *factor;
                 }
@@ -218,19 +253,31 @@ mod tests {
             .add_dimension(
                 DimensionSchema::from_leaf_up(
                     "Location",
-                    vec!["Turbine".into(), "Park".into(), "Region".into(), "Country".into()],
+                    vec![
+                        "Turbine".into(),
+                        "Park".into(),
+                        "Region".into(),
+                        "Country".into(),
+                    ],
                 )
                 .unwrap(),
             )
             .unwrap();
         let measure = dims
-            .add_dimension(DimensionSchema::new("Measure", vec!["Category".into(), "Concrete".into()]).unwrap())
+            .add_dimension(
+                DimensionSchema::new("Measure", vec!["Category".into(), "Concrete".into()])
+                    .unwrap(),
+            )
             .unwrap();
-        dims.set_members(1, loc, &["Denmark", "Nordjylland", "Farsø", "9572"]).unwrap();
-        dims.set_members(2, loc, &["Denmark", "Nordjylland", "Aalborg", "9632"]).unwrap();
-        dims.set_members(3, loc, &["Denmark", "Nordjylland", "Aalborg", "9634"]).unwrap();
+        dims.set_members(1, loc, &["Denmark", "Nordjylland", "Farsø", "9572"])
+            .unwrap();
+        dims.set_members(2, loc, &["Denmark", "Nordjylland", "Aalborg", "9632"])
+            .unwrap();
+        dims.set_members(3, loc, &["Denmark", "Nordjylland", "Aalborg", "9634"])
+            .unwrap();
         for tid in 1..=3 {
-            dims.set_members(tid, measure, &["Temperature", "NacelleTemp"]).unwrap();
+            dims.set_members(tid, measure, &["Temperature", "NacelleTemp"])
+                .unwrap();
         }
         let series = (1..=3).map(|t| TimeSeriesMeta::new(t, 60_000)).collect();
         let sources: HashMap<Tid, String> =
@@ -345,11 +392,13 @@ mod tests {
         let (series, dims, sources) = setup();
         // Clause: same park AND Temperature measure (both hold for 2,3).
         let mut spec = CorrelationSpec::none();
-        spec.add_clause("Location 3; Measure 1 Temperature").unwrap();
+        spec.add_clause("Location 3; Measure 1 Temperature")
+            .unwrap();
         let p = partition(&series, &dims, &spec, &sources).unwrap();
         assert_eq!(p.groups, vec![vec![1], vec![2, 3]]);
         // Add an OR clause that also pulls in turbine 1 explicitly.
-        spec.add_clause("series turbine1.gz turbine2.gz turbine3.gz").unwrap();
+        spec.add_clause("series turbine1.gz turbine2.gz turbine3.gz")
+            .unwrap();
         let p = partition(&series, &dims, &spec, &sources).unwrap();
         assert_eq!(p.groups, vec![vec![1, 2, 3]]);
     }
@@ -381,7 +430,10 @@ mod tests {
             member: "Aalborg".into(),
             factor: 2.0,
         });
-        spec.scaling.push(ScalingHint::Series { name: "turbine1.gz".into(), factor: 4.75 });
+        spec.scaling.push(ScalingHint::Series {
+            name: "turbine1.gz".into(),
+            factor: 4.75,
+        });
         let p = partition(&series, &dims, &spec, &sources).unwrap();
         assert_eq!(p.groups, vec![vec![1, 2, 3]]);
         assert_eq!(p.scaling, vec![vec![4.75, 2.0, 2.0]]);
@@ -394,7 +446,9 @@ mod tests {
             .add_dimension(DimensionSchema::new("Site", vec!["Name".into()]).unwrap())
             .unwrap();
         let n = MAX_GROUP_SIZE + 10;
-        let series: Vec<TimeSeriesMeta> = (1..=n as u32).map(|t| TimeSeriesMeta::new(t, 100)).collect();
+        let series: Vec<TimeSeriesMeta> = (1..=n as u32)
+            .map(|t| TimeSeriesMeta::new(t, 100))
+            .collect();
         for t in 1..=n as u32 {
             dims.set_members(t, d, &["same"]).unwrap();
         }

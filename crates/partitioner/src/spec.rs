@@ -32,7 +32,11 @@ pub enum CorrelationPrimitive {
     /// members of both groups must belong to the set.
     TimeSeries(Vec<String>),
     /// Series sharing `member` at `level` of `dimension` are correlated.
-    Member { dimension: String, level: usize, member: String },
+    Member {
+        dimension: String,
+        level: usize,
+        member: String,
+    },
     /// The LCA level of the two groups in `dimension` must be at least
     /// `level`; `0` requires all levels equal, a negative `n` all but the
     /// lowest `|n|` levels.
@@ -53,7 +57,12 @@ pub struct CorrelationClause {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ScalingHint {
     /// `(dimension, level, member, factor)`.
-    Member { dimension: String, level: usize, member: String, factor: f64 },
+    Member {
+        dimension: String,
+        level: usize,
+        member: String,
+        factor: f64,
+    },
     /// A factor for one named series.
     Series { name: String, factor: f64 },
 }
@@ -112,7 +121,9 @@ pub fn parse_clause(text: &str) -> Result<CorrelationClause> {
         primitives.push(parse_primitive(part)?);
     }
     if primitives.is_empty() {
-        return Err(MdbError::Config(format!("empty correlation clause: {text:?}")));
+        return Err(MdbError::Config(format!(
+            "empty correlation clause: {text:?}"
+        )));
     }
     Ok(CorrelationClause { primitives })
 }
@@ -122,23 +133,24 @@ fn parse_primitive(text: &str) -> Result<CorrelationPrimitive> {
     match tokens.as_slice() {
         [] => Err(MdbError::Config("empty correlation primitive".into())),
         // A bare number is a distance threshold.
-        [value] if value.parse::<f64>().is_ok() => {
-            distance(value.parse::<f64>().unwrap())
-        }
+        [value] if value.parse::<f64>().is_ok() => distance(value.parse::<f64>().unwrap()),
         ["distance", value] | ["Distance", value] => {
             let d = value
                 .parse::<f64>()
                 .map_err(|_| MdbError::Config(format!("invalid distance {value:?}")))?;
             distance(d)
         }
-        ["series", names @ ..] | ["Series", names @ ..] if !names.is_empty() => {
-            Ok(CorrelationPrimitive::TimeSeries(names.iter().map(|s| s.to_string()).collect()))
-        }
+        ["series", names @ ..] | ["Series", names @ ..] if !names.is_empty() => Ok(
+            CorrelationPrimitive::TimeSeries(names.iter().map(|s| s.to_string()).collect()),
+        ),
         [dimension, level] => {
-            let level = level
-                .parse::<i32>()
-                .map_err(|_| MdbError::Config(format!("invalid LCA level {level:?} in {text:?}")))?;
-            Ok(CorrelationPrimitive::LcaLevel { dimension: dimension.to_string(), level })
+            let level = level.parse::<i32>().map_err(|_| {
+                MdbError::Config(format!("invalid LCA level {level:?} in {text:?}"))
+            })?;
+            Ok(CorrelationPrimitive::LcaLevel {
+                dimension: dimension.to_string(),
+                level,
+            })
         }
         [dimension, level, member] => {
             let level = level
@@ -153,10 +165,12 @@ fn parse_primitive(text: &str) -> Result<CorrelationPrimitive> {
         // Explicit time series lists may also be written bare, as in the
         // paper's "4L80R9a_Temperature.gz 4L80R9b_Temperature.gz" example,
         // when there are more than three names (no ambiguity with triples).
-        names if names.len() > 3 => {
-            Ok(CorrelationPrimitive::TimeSeries(names.iter().map(|s| s.to_string()).collect()))
-        }
-        _ => Err(MdbError::Config(format!("cannot parse correlation primitive {text:?}"))),
+        names if names.len() > 3 => Ok(CorrelationPrimitive::TimeSeries(
+            names.iter().map(|s| s.to_string()).collect(),
+        )),
+        _ => Err(MdbError::Config(format!(
+            "cannot parse correlation primitive {text:?}"
+        ))),
     }
 }
 
@@ -205,7 +219,9 @@ pub fn parse_scaling(text: &str) -> Result<ScalingHint> {
                 .parse::<f64>()
                 .map_err(|_| MdbError::Config(format!("invalid scaling factor {factor:?}")))?,
         }),
-        _ => Err(MdbError::Config(format!("cannot parse scaling hint {text:?}"))),
+        _ => Err(MdbError::Config(format!(
+            "cannot parse scaling hint {text:?}"
+        ))),
     }
 }
 
@@ -234,7 +250,10 @@ mod tests {
         let c = parse_clause("Location 2").unwrap();
         assert_eq!(
             c.primitives,
-            vec![CorrelationPrimitive::LcaLevel { dimension: "Location".into(), level: 2 }]
+            vec![CorrelationPrimitive::LcaLevel {
+                dimension: "Location".into(),
+                level: 2
+            }]
         );
         // Zero and negative levels are valid.
         assert!(parse_clause("Location 0").is_ok());
@@ -258,7 +277,10 @@ mod tests {
 
     #[test]
     fn distance_parses_bare_and_keyword() {
-        assert_eq!(parse_clause("0.25").unwrap().primitives, vec![CorrelationPrimitive::Distance(0.25)]);
+        assert_eq!(
+            parse_clause("0.25").unwrap().primitives,
+            vec![CorrelationPrimitive::Distance(0.25)]
+        );
         assert_eq!(
             parse_clause("distance 0.16666667").unwrap().primitives,
             vec![CorrelationPrimitive::Distance(0.16666667)]
@@ -291,7 +313,10 @@ mod tests {
 
     #[test]
     fn weights_and_scaling_parse() {
-        assert_eq!(parse_weight("Production 2.0").unwrap(), ("Production".into(), 2.0));
+        assert_eq!(
+            parse_weight("Production 2.0").unwrap(),
+            ("Production".into(), 2.0)
+        );
         assert!(parse_weight("Production heavy").is_err());
         assert!(parse_weight("Production -1").is_err());
         assert_eq!(
@@ -305,7 +330,10 @@ mod tests {
         );
         assert_eq!(
             parse_scaling("series turbine9.gz 0.5").unwrap(),
-            ScalingHint::Series { name: "turbine9.gz".into(), factor: 0.5 }
+            ScalingHint::Series {
+                name: "turbine9.gz".into(),
+                factor: 0.5
+            }
         );
         assert!(parse_scaling("nonsense").is_err());
     }

@@ -45,7 +45,12 @@ pub struct Accumulator {
 
 impl Default for Accumulator {
     fn default() -> Self {
-        Self { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 }
 
@@ -113,7 +118,11 @@ pub struct SegmentCursor<'a> {
 impl<'a> SegmentCursor<'a> {
     /// A cursor over `segment`, which represents `n_series` series.
     pub fn new(segment: &'a SegmentRecord, n_series: usize) -> Self {
-        Self { segment, n_series, grid: None }
+        Self {
+            segment,
+            n_series,
+            grid: None,
+        }
     }
 
     /// The reconstructed values (timestamp-major), decoded on first use.
@@ -154,7 +163,9 @@ impl<'a> SegmentCursor<'a> {
         }
         if use_models {
             if let Some(model) = registry.get(self.segment.mid) {
-                if let Some(agg) = model.agg(&self.segment.params, self.n_series, count, range, series) {
+                if let Some(agg) =
+                    model.agg(&self.segment.params, self.n_series, count, range, series)
+                {
                     return Some(agg);
                 }
             }
@@ -196,7 +207,13 @@ mod tests {
     #[test]
     fn empty_accumulator_finalizes_to_none() {
         let acc = Accumulator::new();
-        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
             assert_eq!(acc.finalize(f), None);
         }
     }
@@ -230,7 +247,15 @@ mod tests {
         acc.add_value(9.5, 4.75);
         assert_eq!(acc.finalize(AggFunc::Sum), Some(2.0));
         let mut acc = Accumulator::new();
-        acc.add_segment_agg(SegmentAgg { sum: 19.0, min: 9.5, max: 9.5 }, 2, 4.75);
+        acc.add_segment_agg(
+            SegmentAgg {
+                sum: 19.0,
+                min: 9.5,
+                max: 9.5,
+            },
+            2,
+            4.75,
+        );
         assert_eq!(acc.finalize(AggFunc::Avg), Some(2.0));
         assert_eq!(acc.finalize(AggFunc::Min), Some(2.0));
     }
@@ -238,7 +263,15 @@ mod tests {
     #[test]
     fn negative_scaling_flips_extremes() {
         let mut acc = Accumulator::new();
-        acc.add_segment_agg(SegmentAgg { sum: 10.0, min: 1.0, max: 5.0 }, 2, -1.0);
+        acc.add_segment_agg(
+            SegmentAgg {
+                sum: 10.0,
+                min: 1.0,
+                max: 5.0,
+            },
+            2,
+            -1.0,
+        );
         assert_eq!(acc.finalize(AggFunc::Min), Some(-5.0));
         assert_eq!(acc.finalize(AggFunc::Max), Some(-1.0));
     }

@@ -63,12 +63,17 @@ pub struct QueryResult {
 impl QueryResult {
     /// A result with the given column names and no rows yet.
     pub fn new(columns: Vec<String>) -> Self {
-        Self { columns, rows: Vec::new() }
+        Self {
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Index of a column by case-insensitive name.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
     }
 
     /// Renders an ASCII table (used by examples and the repro harness).
@@ -102,7 +107,11 @@ impl QueryResult {
         out.push('\n');
         for row in rendered {
             for (i, s) in row.iter().enumerate() {
-                out.push_str(&format!("{:<width$}  ", s, width = widths.get(i).copied().unwrap_or(0)));
+                out.push_str(&format!(
+                    "{:<width$}  ",
+                    s,
+                    width = widths.get(i).copied().unwrap_or(0)
+                ));
             }
             out.push('\n');
         }

@@ -6,12 +6,22 @@
 //! phases so the cluster runtime can run the partial phase on every worker
 //! and merge at the master, exactly as the pseudo-code annotates ("executed
 //! on workers with the result sent to the master").
+//!
+//! The partial phase is itself parallel: the rewritten push-down predicate
+//! (including the zone-map value/time pruning of `mdb_storage::zone`) first
+//! shrinks the segment list, then the surviving segments are split into
+//! chunks executed on a scoped worker pool fed over crossbeam channels.
+//! Each segment produces its own fresh [`PartialAggregates`] and the chunks
+//! are folded back **in scan order**, so the result is bit-identical to the
+//! sequential scan no matter how many workers ran — float accumulation
+//! happens in exactly the same order either way.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mdb_models::ModelRegistry;
 use mdb_storage::{Catalog, SegmentPredicate, SegmentStore};
-use mdb_types::{time, MdbError, Result, SegmentRecord, Tid, TimeLevel, Timestamp};
+use mdb_types::{time, MdbError, Result, SegmentRecord, Tid, TimeLevel, Timestamp, ValueInterval};
 
 use crate::aggregate::{Accumulator, AggFunc, SegmentCursor};
 use crate::cell::{Cell, QueryResult};
@@ -37,15 +47,194 @@ impl KeyCell {
 /// aggregate item in the SELECT list.
 pub type PartialAggregates = HashMap<Vec<KeyCell>, Vec<Accumulator>>;
 
+/// Segments per *fold group*: consecutive runs of this many segments (by
+/// scan index) accumulate into one partial map, and the master folds the
+/// group partials in index order. Group boundaries depend only on the scan
+/// order — never on the worker count — which is what makes results
+/// bit-identical at every parallelism setting. It is also the scoped-worker
+/// chunk size.
+const SCAN_CHUNK: usize = 16;
+
+/// Pruned-segment count below which an attached [`ScanPool`] is bypassed:
+/// when the zone map has already cut a query down this far, evaluating
+/// inline is faster than a channel round-trip per chunk. Narrow time-ranged
+/// queries win through pruning; the pool earns its keep on broad scans.
+const POOL_MIN_SEGMENTS: usize = 1024;
+
 /// The query engine for one node's store.
 pub struct QueryEngine<'a> {
     catalog: &'a Catalog,
     registry: &'a ModelRegistry,
     store: &'a dyn SegmentStore,
+    /// Worker threads for the scoped (per-query) parallel scan; 1 or 0 =
+    /// sequential unless a [`ScanPool`] is attached.
+    parallelism: usize,
+    /// A persistent scan pool; preferred over scoped threads when attached.
+    pool: Option<&'a ScanPool>,
+    /// Pruned-segment count from which an attached pool engages.
+    pool_threshold: usize,
+}
+
+/// The catalog- and registry-dependent half of segment evaluation, split
+/// from [`QueryEngine`] so persistent [`ScanPool`] workers (which have no
+/// store reference) run exactly the same code as the sequential path.
+#[derive(Clone, Copy)]
+struct SegmentEvaluator<'a> {
+    catalog: &'a Catalog,
+    registry: &'a ModelRegistry,
+}
+
+/// One query's owned scan state, shipped to [`ScanPool`] workers: the
+/// parsed query, the rewritten predicates, and the pruned segment list.
+struct ScanContext {
+    query: Query,
+    rw: Rewritten,
+    aggs: Vec<(AggFunc, Option<TimeLevel>)>,
+    cube: Option<TimeLevel>,
+    segments: Vec<SegmentRecord>,
+    /// Segments per fold group: [`SCAN_CHUNK`], or 1 under a `Value` filter
+    /// (see [`QueryEngine::group_partials`]).
+    fold_size: usize,
+    /// Segments per pool job, scaled to the scan so each worker sees only a
+    /// few messages per query.
+    chunk_size: usize,
+}
+
+/// A job for one chunk of a [`ScanContext`]'s segments.
+struct PoolJob {
+    context: Arc<ScanContext>,
+    chunk: usize,
+    results: crossbeam_channel::Sender<(usize, Result<Vec<PartialAggregates>>)>,
+}
+
+/// A persistent pool of scan workers for the partial-aggregation phase.
+///
+/// Created once (per embedded engine or per cluster worker) over the same
+/// catalog and registry queries will use; each query ships its pruned
+/// segment list to the workers in fixed-size jobs over crossbeam
+/// channels, so the query path pays a channel hop instead of thread
+/// start-up. Dropping the pool closes the job channel and joins the
+/// workers.
+pub struct ScanPool {
+    jobs: Option<crossbeam_channel::Sender<PoolJob>>,
+    workers: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Evaluates one job's chunk of fold groups and sends the result back.
+fn run_pool_job(evaluator: &SegmentEvaluator<'_>, job: &PoolJob) {
+    let context = &*job.context;
+    let lo = job.chunk * context.chunk_size;
+    let hi = (lo + context.chunk_size).min(context.segments.len());
+    // chunk_size is a multiple of fold_size, so the fold groups line up
+    // across transport chunks.
+    let partials = context.segments[lo..hi]
+        .chunks(context.fold_size)
+        .map(|group| {
+            evaluator.group_partial(
+                &context.query,
+                &context.rw,
+                &context.aggs,
+                context.cube,
+                group,
+            )
+        })
+        .collect();
+    let _ = job.results.send((job.chunk, partials));
+}
+
+impl ScanPool {
+    /// Starts `workers` scan threads (`0` = the machine's available
+    /// parallelism) sharing `catalog` and `registry` — they must be the
+    /// same ones the querying engine is built over.
+    pub fn new(catalog: Arc<Catalog>, registry: Arc<ModelRegistry>, workers: usize) -> Self {
+        let workers = match workers {
+            0 => std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
+            n => n,
+        };
+        let (jobs, job_rx) = crossbeam_channel::unbounded::<PoolJob>();
+        let handles = (0..workers)
+            .map(|_| {
+                let job_rx = job_rx.clone();
+                let catalog = Arc::clone(&catalog);
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    let evaluator = SegmentEvaluator {
+                        catalog: &catalog,
+                        registry: &registry,
+                    };
+                    while let Ok(job) = job_rx.recv() {
+                        run_pool_job(&evaluator, &job);
+                    }
+                })
+            })
+            .collect();
+        Self {
+            jobs: Some(jobs),
+            workers,
+            handles,
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs one query's scan on the pool, returning per-segment partials in
+    /// input order (chunks are reassembled by index, so the later fold is
+    /// bit-identical to a sequential scan).
+    fn execute(&self, mut context: ScanContext) -> Result<Vec<PartialAggregates>> {
+        let n_segments = context.segments.len();
+        // A few chunks per runner: enough slack to balance uneven segments,
+        // few enough that channel hops stay negligible. Rounded to a
+        // multiple of the fold-group size so groups align across chunks.
+        let target = n_segments.div_ceil(self.workers * 4);
+        context.chunk_size =
+            (context.fold_size * target.div_ceil(context.fold_size).max(1)).max(SCAN_CHUNK);
+        let n_chunks = n_segments.div_ceil(context.chunk_size);
+        let context = Arc::new(context);
+        let (results, result_rx) = crossbeam_channel::unbounded();
+        let jobs = self.jobs.as_ref().expect("pool alive while borrowed");
+        for chunk in 0..n_chunks {
+            jobs.send(PoolJob {
+                context: Arc::clone(&context),
+                chunk,
+                results: results.clone(),
+            })
+            .map_err(|_| MdbError::Query("scan pool shut down".into()))?;
+        }
+        drop(results);
+        let mut by_chunk: Vec<Option<Result<Vec<PartialAggregates>>>> =
+            (0..n_chunks).map(|_| None).collect();
+        for _ in 0..n_chunks {
+            let (chunk, partials) = result_rx
+                .recv()
+                .map_err(|_| MdbError::Query("scan worker died without a result".into()))?;
+            by_chunk[chunk] = Some(partials);
+        }
+        let mut out = Vec::with_capacity(n_segments);
+        for partials in by_chunk {
+            out.extend(partials.expect("every chunk was received")?);
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for ScanPool {
+    fn drop(&mut self) {
+        self.jobs = None; // closes the channel; idle workers exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// Resolved WHERE clause: per-row filters plus the predicate pushed to the
 /// segment store (Section 6.2's rewriting).
+#[derive(Clone)]
 struct Rewritten {
     /// `None` = no Tid restriction.
     tids: Option<Vec<Tid>>,
@@ -56,6 +245,8 @@ struct Rewritten {
     ts_to: Timestamp,
     /// Raw segment-column comparisons (StartTime / EndTime).
     segment_time: Vec<(TimeColumn, CmpOp, Timestamp)>,
+    /// Exact per-point comparisons on the raw value (from Value predicates).
+    value_cmps: Vec<(CmpOp, f64)>,
     /// The push-down predicate for the store.
     pushdown: SegmentPredicate,
     /// True when the rewrite proved the result empty (e.g. unknown member).
@@ -63,9 +254,57 @@ struct Rewritten {
 }
 
 impl<'a> QueryEngine<'a> {
-    /// An engine over `catalog`, `registry`, and `store`.
-    pub fn new(catalog: &'a Catalog, registry: &'a ModelRegistry, store: &'a dyn SegmentStore) -> Self {
-        Self { catalog, registry, store }
+    /// An engine over `catalog`, `registry`, and `store` (sequential scans;
+    /// see [`QueryEngine::with_scan_pool`] and
+    /// [`QueryEngine::with_parallelism`]).
+    pub fn new(
+        catalog: &'a Catalog,
+        registry: &'a ModelRegistry,
+        store: &'a dyn SegmentStore,
+    ) -> Self {
+        Self {
+            catalog,
+            registry,
+            store,
+            parallelism: 1,
+            pool: None,
+            pool_threshold: POOL_MIN_SEGMENTS,
+        }
+    }
+
+    /// Attaches a persistent [`ScanPool`] (built over the *same* catalog and
+    /// registry): the partial-aggregation scan is chunked onto its workers
+    /// instead of spawning threads per query. Results are bit-identical to
+    /// a sequential scan.
+    pub fn with_scan_pool(mut self, pool: &'a ScanPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Overrides the pruned-segment count from which an attached pool
+    /// engages (default 1024 — below that, inline evaluation beats a
+    /// channel round-trip per chunk). Mainly for tests and benchmarks that
+    /// need to force the pool path on small stores.
+    pub fn with_pool_threshold(mut self, segments: usize) -> Self {
+        self.pool_threshold = segments;
+        self
+    }
+
+    /// Sets the number of *scoped* (per-query) scan workers used when no
+    /// [`ScanPool`] is attached. `0` or `1` scans sequentially; `n ≥ 2`
+    /// spawns that many scoped threads — mainly for tests, since per-query
+    /// thread start-up is what the pool exists to avoid. Results are
+    /// bit-identical at every setting.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    fn evaluator(&self) -> SegmentEvaluator<'a> {
+        SegmentEvaluator {
+            catalog: self.catalog,
+            registry: self.registry,
+        }
     }
 
     /// Parses and executes a SQL string.
@@ -76,7 +315,11 @@ impl<'a> QueryEngine<'a> {
 
     /// Executes a parsed query.
     pub fn execute(&self, query: &Query) -> Result<QueryResult> {
-        if query.items.iter().any(|i| matches!(i, SelectItem::Agg { .. })) {
+        if query
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Agg { .. }))
+        {
             let partial = self.aggregate_partial(query)?;
             let mut result = Self::finalize_aggregates(query, vec![partial])?;
             Self::apply_order_limit(&mut result, query)?;
@@ -99,6 +342,7 @@ impl<'a> QueryEngine<'a> {
         let mut ts_from = i64::MIN;
         let mut ts_to = i64::MAX;
         let mut segment_time = Vec::new();
+        let mut value_cmps: Vec<(CmpOp, f64)> = Vec::new();
         let mut empty = false;
         for predicate in &query.predicates {
             match predicate {
@@ -118,11 +362,16 @@ impl<'a> QueryEngine<'a> {
                         Some(m) => {
                             members.push((dim, level, m));
                             // Narrow the tid set through the inverted index.
-                            let with: Vec<Tid> =
-                                self.catalog.dimensions.tids_with_member(dim, level, m).to_vec();
+                            let with: Vec<Tid> = self
+                                .catalog
+                                .dimensions
+                                .tids_with_member(dim, level, m)
+                                .to_vec();
                             let set: Vec<Tid> = match &tids {
                                 None => with,
-                                Some(prev) => prev.iter().copied().filter(|t| with.contains(t)).collect(),
+                                Some(prev) => {
+                                    prev.iter().copied().filter(|t| with.contains(t)).collect()
+                                }
                             };
                             empty |= set.is_empty();
                             tids = Some(set);
@@ -143,20 +392,59 @@ impl<'a> QueryEngine<'a> {
                     },
                     _ => segment_time.push((*column, *op, *value)),
                 },
+                Predicate::Value { op, value } => value_cmps.push((*op, *value)),
             }
         }
         empty |= ts_from > ts_to;
 
-        let gids = match &tids {
-            Some(list) => Some(self.catalog.gids_for_tids(list)),
-            None => None,
+        // Fold the value comparisons into one raw-domain interval. Strict
+        // comparisons are widened to closed bounds — pruning needs only an
+        // over-approximation; the exact ops re-run per data point.
+        let mut value_range = ValueInterval::ALL;
+        for (op, v) in &value_cmps {
+            let bound = match op {
+                CmpOp::Eq => ValueInterval::point(*v),
+                CmpOp::Lt | CmpOp::Le => ValueInterval::new(f64::NEG_INFINITY, *v),
+                CmpOp::Gt | CmpOp::Ge => ValueInterval::new(*v, f64::INFINITY),
+            };
+            value_range = value_range.intersection(&bound);
+        }
+        empty |= value_range.is_empty();
+
+        let gids = tids.as_ref().map(|list| self.catalog.gids_for_tids(list));
+        let mut pushdown = SegmentPredicate {
+            gids,
+            ..SegmentPredicate::default()
         };
-        let mut pushdown = SegmentPredicate { gids, from: None, to: None };
         if ts_from != i64::MIN {
             pushdown.from = Some(ts_from);
         }
         if ts_to != i64::MAX {
             pushdown.to = Some(ts_to);
+        }
+        // Map the raw-value interval into the *stored* (scaled) domain for
+        // the zone-map push-down: a segment run can only match if its stored
+        // range intersects the union of the candidate series' scaled images.
+        // The union is widened by a couple of ulps because this mapping
+        // multiplies by the scaling constant while the exact per-point
+        // filter divides by it — the two roundings may disagree at the
+        // boundary, and pruning must never exclude a point the filter would
+        // accept.
+        if !value_cmps.is_empty() && !empty && value_range != ValueInterval::ALL {
+            let mut stored = ValueInterval::EMPTY;
+            match &tids {
+                Some(list) => {
+                    for tid in list {
+                        stored = stored.union(&value_range.scaled(self.catalog.scaling_of(*tid)));
+                    }
+                }
+                None => {
+                    for meta in &self.catalog.series {
+                        stored = stored.union(&value_range.scaled(meta.scaling));
+                    }
+                }
+            }
+            pushdown.values = Some(stored.widened());
         }
         // Sound push-down from segment-time comparisons.
         for (column, op, value) in &segment_time {
@@ -170,7 +458,201 @@ impl<'a> QueryEngine<'a> {
                 _ => {}
             }
         }
-        Ok(Rewritten { tids, members, ts_from, ts_to, segment_time, pushdown, empty })
+        Ok(Rewritten {
+            tids,
+            members,
+            ts_from,
+            ts_to,
+            segment_time,
+            value_cmps,
+            pushdown,
+            empty,
+        })
+    }
+
+    // ------------------------------------------------ aggregate (Alg 5) --
+
+    /// The worker half of Algorithms 5 and 6: initialize + iterate over the
+    /// local store, producing partial accumulators per group key.
+    pub fn aggregate_partial(&self, query: &Query) -> Result<PartialAggregates> {
+        let aggs: Vec<(AggFunc, Option<TimeLevel>)> = query
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                SelectItem::Agg { func, cube } => Some((*func, *cube)),
+                _ => None,
+            })
+            .collect();
+        let cube_levels: Vec<TimeLevel> = {
+            let mut ls: Vec<TimeLevel> = aggs.iter().filter_map(|(_, c)| *c).collect();
+            ls.dedup();
+            ls
+        };
+        if cube_levels.len() > 1 {
+            return Err(MdbError::Query(
+                "only one CUBE time level per query is supported".into(),
+            ));
+        }
+        let cube = cube_levels.first().copied();
+        if cube.is_some() && aggs.iter().any(|(_, c)| c.is_none()) {
+            return Err(MdbError::Query(
+                "cannot mix CUBE_* and plain aggregates".into(),
+            ));
+        }
+        // Validate plain columns appear in GROUP BY.
+        for item in &query.items {
+            if let SelectItem::Column(c) = item {
+                if !query.group_by.iter().any(|g| g.eq_ignore_ascii_case(c)) {
+                    return Err(MdbError::Query(format!(
+                        "column {c} must appear in GROUP BY when aggregating"
+                    )));
+                }
+            }
+        }
+
+        let rw = self.rewrite(query)?;
+        if rw.empty {
+            return Ok(HashMap::new());
+        }
+
+        // Collect the surviving segments once — the store's zone map has
+        // already skipped runs outside the time range or value predicate —
+        // then evaluate fixed-size fold groups (possibly in parallel) and
+        // fold the group partials back in scan order. Group boundaries and
+        // the fold order depend only on the scan order, so every
+        // parallelism setting performs the same float operations in the
+        // same order.
+        let mut segments: Vec<SegmentRecord> = Vec::new();
+        self.store
+            .scan(&rw.pushdown, &mut |segment| segments.push(segment.clone()))?;
+        let per_group = self.group_partials(query, &rw, &aggs, cube, segments)?;
+        let mut partial: PartialAggregates = HashMap::new();
+        for group_partial in per_group {
+            merge_partials(&mut partial, group_partial);
+        }
+        Ok(partial)
+    }
+
+    /// Evaluates each fold group into its own fresh [`PartialAggregates`],
+    /// in input order — on the attached [`ScanPool`] when one is present
+    /// and the work warrants it, on scoped threads under an explicit
+    /// parallelism setting, sequentially otherwise.
+    ///
+    /// Fold groups are `SCAN_CHUNK` segments, except under a `Value` filter
+    /// where each segment folds alone: value pruning removes segments that
+    /// an unpruned scan would visit (and find contributing nothing), and
+    /// per-segment folding makes such no-op segments irrelevant to the
+    /// float association — so pruned and unpruned value-filtered scans stay
+    /// exactly equal, not just approximately.
+    fn group_partials(
+        &self,
+        query: &Query,
+        rw: &Rewritten,
+        aggs: &[(AggFunc, Option<TimeLevel>)],
+        cube: Option<TimeLevel>,
+        segments: Vec<SegmentRecord>,
+    ) -> Result<Vec<PartialAggregates>> {
+        let fold_size = if rw.value_cmps.is_empty() {
+            SCAN_CHUNK
+        } else {
+            1
+        };
+        if let Some(pool) = self.pool {
+            if pool.workers() > 1 && segments.len() >= self.pool_threshold {
+                return pool.execute(ScanContext {
+                    query: query.clone(),
+                    rw: rw.clone(),
+                    aggs: aggs.to_vec(),
+                    cube,
+                    segments,
+                    fold_size,
+                    chunk_size: SCAN_CHUNK, // recomputed by execute()
+                });
+            }
+        }
+        let evaluator = self.evaluator();
+        let one = |group: &[SegmentRecord]| evaluator.group_partial(query, rw, aggs, cube, group);
+        let n_chunks = segments.len().div_ceil(fold_size);
+        // With a pool attached, a scan below POOL_MIN_SEGMENTS is cheapest
+        // inline — never worth per-query scoped thread start-up.
+        let workers = match self.parallelism {
+            _ if self.pool.is_some() => 1,
+            0 | 1 => 1,
+            n => n.min(n_chunks),
+        };
+        if workers <= 1 {
+            return segments.chunks(fold_size).map(one).collect();
+        }
+
+        let segments = &segments[..];
+        let (job_tx, job_rx) = crossbeam_channel::unbounded::<usize>();
+        for chunk in 0..n_chunks {
+            let _ = job_tx.send(chunk);
+        }
+        drop(job_tx);
+        let (result_tx, result_rx) =
+            crossbeam_channel::unbounded::<(usize, Result<PartialAggregates>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    while let Ok(chunk) = job_rx.recv() {
+                        let lo = chunk * fold_size;
+                        let hi = (lo + fold_size).min(segments.len());
+                        let partial = one(&segments[lo..hi]);
+                        if result_tx.send((chunk, partial)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        drop(result_tx);
+        let mut by_chunk: Vec<Option<Result<PartialAggregates>>> =
+            (0..n_chunks).map(|_| None).collect();
+        while let Ok((chunk, partial)) = result_rx.recv() {
+            by_chunk[chunk] = Some(partial);
+        }
+        let mut out = Vec::with_capacity(n_chunks);
+        for partial in by_chunk {
+            let partial = partial
+                .ok_or_else(|| MdbError::Query("scan worker died without a result".into()))?;
+            out.push(partial?);
+        }
+        Ok(out)
+    }
+}
+
+impl<'a> SegmentEvaluator<'a> {
+    /// Evaluates one fold group of segments into a fresh partial-aggregate
+    /// map — the unit of work a scan worker (pooled, scoped, or inline)
+    /// executes. Within the group, segments accumulate in order into the
+    /// same map, exactly like a sequential scan over the group.
+    fn group_partial(
+        &self,
+        query: &Query,
+        rw: &Rewritten,
+        aggs: &[(AggFunc, Option<TimeLevel>)],
+        cube: Option<TimeLevel>,
+        group: &[SegmentRecord],
+    ) -> Result<PartialAggregates> {
+        let mut partial = PartialAggregates::new();
+        for segment in group {
+            self.iterate_segment(query, rw, aggs, cube, segment, &mut partial)?;
+        }
+        Ok(partial)
+    }
+
+    /// Whether the raw value `v` passes every `Value` comparison.
+    fn value_matches(rw: &Rewritten, v: f64) -> bool {
+        rw.value_cmps.iter().all(|(op, bound)| match op {
+            CmpOp::Eq => v == *bound,
+            CmpOp::Lt => v < *bound,
+            CmpOp::Le => v <= *bound,
+            CmpOp::Gt => v > *bound,
+            CmpOp::Ge => v >= *bound,
+        })
     }
 
     fn segment_time_matches(rw: &Rewritten, segment: &SegmentRecord) -> bool {
@@ -196,9 +678,9 @@ impl<'a> QueryEngine<'a> {
                 return false;
             }
         }
-        rw.members
-            .iter()
-            .all(|(dim, level, member)| self.catalog.dimensions.member(tid, *dim, *level) == Some(*member))
+        rw.members.iter().all(|(dim, level, member)| {
+            self.catalog.dimensions.member(tid, *dim, *level) == Some(*member)
+        })
     }
 
     /// Resolves a group-by column for `tid` into a key cell.
@@ -210,66 +692,11 @@ impl<'a> QueryEngine<'a> {
             return Err(MdbError::Query(format!("unknown GROUP BY column {column}")));
         };
         match self.catalog.dimensions.member(tid, dim, level) {
-            Some(m) => Ok(KeyCell::Str(self.catalog.dimensions.member_name(m).to_string())),
+            Some(m) => Ok(KeyCell::Str(
+                self.catalog.dimensions.member_name(m).to_string(),
+            )),
             None => Ok(KeyCell::Str(String::new())),
         }
-    }
-
-    // ------------------------------------------------ aggregate (Alg 5) --
-
-    /// The worker half of Algorithms 5 and 6: initialize + iterate over the
-    /// local store, producing partial accumulators per group key.
-    pub fn aggregate_partial(&self, query: &Query) -> Result<PartialAggregates> {
-        let aggs: Vec<(AggFunc, Option<TimeLevel>)> = query
-            .items
-            .iter()
-            .filter_map(|i| match i {
-                SelectItem::Agg { func, cube } => Some((*func, *cube)),
-                _ => None,
-            })
-            .collect();
-        let cube_levels: Vec<TimeLevel> = {
-            let mut ls: Vec<TimeLevel> = aggs.iter().filter_map(|(_, c)| *c).collect();
-            ls.dedup();
-            ls
-        };
-        if cube_levels.len() > 1 {
-            return Err(MdbError::Query("only one CUBE time level per query is supported".into()));
-        }
-        let cube = cube_levels.first().copied();
-        if cube.is_some() && aggs.iter().any(|(_, c)| c.is_none()) {
-            return Err(MdbError::Query("cannot mix CUBE_* and plain aggregates".into()));
-        }
-        // Validate plain columns appear in GROUP BY.
-        for item in &query.items {
-            if let SelectItem::Column(c) = item {
-                if !query.group_by.iter().any(|g| g.eq_ignore_ascii_case(c)) {
-                    return Err(MdbError::Query(format!(
-                        "column {c} must appear in GROUP BY when aggregating"
-                    )));
-                }
-            }
-        }
-
-        let rw = self.rewrite(query)?;
-        let mut partial: PartialAggregates = HashMap::new();
-        if rw.empty {
-            return Ok(partial);
-        }
-
-        let mut scan_error = None;
-        self.store.scan(&rw.pushdown, &mut |segment| {
-            if scan_error.is_some() {
-                return;
-            }
-            if let Err(e) = self.iterate_segment(query, &rw, &aggs, cube, segment, &mut partial) {
-                scan_error = Some(e);
-            }
-        })?;
-        if let Some(e) = scan_error {
-            return Err(e);
-        }
-        Ok(partial)
     }
 
     /// The `iterate` step over one segment.
@@ -285,10 +712,9 @@ impl<'a> QueryEngine<'a> {
         if !Self::segment_time_matches(rw, segment) {
             return Ok(());
         }
-        let group = self
-            .catalog
-            .group(segment.gid)
-            .ok_or_else(|| MdbError::Corrupt(format!("segment references unknown gid {}", segment.gid)))?;
+        let group = self.catalog.group(segment.gid).ok_or_else(|| {
+            MdbError::Corrupt(format!("segment references unknown gid {}", segment.gid))
+        })?;
         let group_size = group.size();
         let n_present = segment.gaps.count_present(group_size);
         let mut cursor = SegmentCursor::new(segment, n_present);
@@ -318,13 +744,36 @@ impl<'a> QueryEngine<'a> {
             }
             // Aggregates on the Data Point View run over reconstructed
             // values; only the Segment View may use the models directly.
+            // A Value predicate forces per-point evaluation on either view:
+            // constant-time model aggregates cannot apply a point filter.
             let use_models = query.view == View::Segment;
+            let filtered = !rw.value_cmps.is_empty();
             match cube {
+                None if filtered => {
+                    let scratch = Self::filtered_accumulator(
+                        self.registry,
+                        rw,
+                        &mut cursor,
+                        series_pos,
+                        range,
+                        scaling,
+                    )?;
+                    if scratch.count > 0 {
+                        let accs = partial
+                            .entry(key)
+                            .or_insert_with(|| vec![Accumulator::new(); aggs.len()]);
+                        for acc in accs.iter_mut() {
+                            acc.merge(&scratch);
+                        }
+                    }
+                }
                 None => {
                     let agg = cursor
                         .aggregate_with(self.registry, series_pos, range, use_models)
                         .ok_or_else(|| MdbError::Corrupt("undecodable segment".into()))?;
-                    let accs = partial.entry(key).or_insert_with(|| vec![Accumulator::new(); aggs.len()]);
+                    let accs = partial
+                        .entry(key)
+                        .or_insert_with(|| vec![Accumulator::new(); aggs.len()]);
                     let count = (range.1 - range.0 + 1) as u64;
                     for acc in accs.iter_mut() {
                         acc.add_segment_agg(agg, count, scaling);
@@ -334,11 +783,30 @@ impl<'a> QueryEngine<'a> {
                     // Algorithm 6: split the tick range at calendar
                     // boundaries; each sub-interval lands in its own bucket.
                     for (part, sub) in split_at_boundaries(segment, range, level) {
+                        let mut bucket_key = key.clone();
+                        bucket_key.push(KeyCell::Int(part));
+                        if filtered {
+                            let scratch = Self::filtered_accumulator(
+                                self.registry,
+                                rw,
+                                &mut cursor,
+                                series_pos,
+                                sub,
+                                scaling,
+                            )?;
+                            if scratch.count > 0 {
+                                let accs = partial
+                                    .entry(bucket_key)
+                                    .or_insert_with(|| vec![Accumulator::new(); aggs.len()]);
+                                for acc in accs.iter_mut() {
+                                    acc.merge(&scratch);
+                                }
+                            }
+                            continue;
+                        }
                         let agg = cursor
                             .aggregate_with(self.registry, series_pos, sub, use_models)
                             .ok_or_else(|| MdbError::Corrupt("undecodable segment".into()))?;
-                        let mut bucket_key = key.clone();
-                        bucket_key.push(KeyCell::Int(part));
                         let accs = partial
                             .entry(bucket_key)
                             .or_insert_with(|| vec![Accumulator::new(); aggs.len()]);
@@ -353,9 +821,38 @@ impl<'a> QueryEngine<'a> {
         Ok(())
     }
 
+    /// Accumulates the points of one series over a tick range that pass the
+    /// rewrite's `Value` comparisons, reconstructing values from the grid.
+    fn filtered_accumulator(
+        registry: &ModelRegistry,
+        rw: &Rewritten,
+        cursor: &mut SegmentCursor<'_>,
+        series_pos: usize,
+        range: (usize, usize),
+        scaling: f64,
+    ) -> Result<Accumulator> {
+        let stride = cursor.n_series;
+        let grid = cursor
+            .grid(registry)
+            .ok_or_else(|| MdbError::Corrupt("undecodable segment".into()))?;
+        let mut acc = Accumulator::new();
+        for idx in range.0..=range.1 {
+            let stored = grid[idx * stride + series_pos];
+            if Self::value_matches(rw, f64::from(stored) / scaling) {
+                acc.add_value(stored, scaling);
+            }
+        }
+        Ok(acc)
+    }
+}
+
+impl<'a> QueryEngine<'a> {
     /// The master half: merge worker partials and finalize (Algorithm 5's
     /// `mergeResults` + `finalize`).
-    pub fn finalize_aggregates(query: &Query, partials: Vec<PartialAggregates>) -> Result<QueryResult> {
+    pub fn finalize_aggregates(
+        query: &Query,
+        partials: Vec<PartialAggregates>,
+    ) -> Result<QueryResult> {
         let aggs: Vec<(AggFunc, Option<TimeLevel>)> = query
             .items
             .iter()
@@ -368,12 +865,7 @@ impl<'a> QueryEngine<'a> {
 
         let mut merged: PartialAggregates = HashMap::new();
         for partial in partials {
-            for (key, accs) in partial {
-                let entry = merged.entry(key).or_insert_with(|| vec![Accumulator::new(); accs.len()]);
-                for (mine, theirs) in entry.iter_mut().zip(&accs) {
-                    mine.merge(theirs);
-                }
-            }
+            merge_partials(&mut merged, partial);
         }
 
         // Column layout: SELECT order, with the implicit time-part column
@@ -385,7 +877,10 @@ impl<'a> QueryEngine<'a> {
                 SelectItem::Agg { func, cube } => {
                     if let Some(level) = cube {
                         let level_name = format!("{level:?}");
-                        if !columns.iter().any(|c: &String| c.eq_ignore_ascii_case(&level_name)) {
+                        if !columns
+                            .iter()
+                            .any(|c: &String| c.eq_ignore_ascii_case(&level_name))
+                        {
                             columns.push(level_name);
                         }
                         columns.push(format!("CUBE_{:?}_{:?}(*)", func, level).to_uppercase());
@@ -394,7 +889,9 @@ impl<'a> QueryEngine<'a> {
                     }
                 }
                 SelectItem::AllColumns => {
-                    return Err(MdbError::Query("SELECT * cannot be combined with aggregates".into()));
+                    return Err(MdbError::Query(
+                        "SELECT * cannot be combined with aggregates".into(),
+                    ));
                 }
             }
         }
@@ -440,6 +937,11 @@ impl<'a> QueryEngine<'a> {
     /// reconstruction (the P/R workload).
     pub fn listing(&self, query: &Query) -> Result<QueryResult> {
         let rw = self.rewrite(query)?;
+        if query.view == View::Segment && !rw.value_cmps.is_empty() {
+            return Err(MdbError::Query(
+                "Value predicates require the Data Point View or aggregates".into(),
+            ));
+        }
         let columns = self.listing_columns(query)?;
         let mut result = QueryResult::new(columns.clone());
         if rw.empty {
@@ -466,7 +968,11 @@ impl<'a> QueryEngine<'a> {
             .dimensions
             .schemas()
             .iter()
-            .flat_map(|s| (1..=s.height()).map(|l| s.level_name(l).unwrap().to_string()).collect::<Vec<_>>())
+            .flat_map(|s| {
+                (1..=s.height())
+                    .map(|l| s.level_name(l).unwrap().to_string())
+                    .collect::<Vec<_>>()
+            })
             .collect();
         let base: Vec<String> = match query.view {
             View::Segment => ["Tid", "StartTime", "EndTime", "SI", "Mid", "Gaps"]
@@ -505,19 +1011,18 @@ impl<'a> QueryEngine<'a> {
         segment: &SegmentRecord,
         result: &mut QueryResult,
     ) -> Result<()> {
-        if !Self::segment_time_matches(rw, segment) {
+        if !SegmentEvaluator::segment_time_matches(rw, segment) {
             return Ok(());
         }
-        let group = self
-            .catalog
-            .group(segment.gid)
-            .ok_or_else(|| MdbError::Corrupt(format!("segment references unknown gid {}", segment.gid)))?;
+        let group = self.catalog.group(segment.gid).ok_or_else(|| {
+            MdbError::Corrupt(format!("segment references unknown gid {}", segment.gid))
+        })?;
         let group_size = group.size();
         let n_present = segment.gaps.count_present(group_size);
         let mut cursor = SegmentCursor::new(segment, n_present);
         for (series_pos, member_pos) in segment.gaps.present_positions(group_size).enumerate() {
             let tid = group.tids[member_pos];
-            if !self.tid_matches(rw, tid) {
+            if !self.evaluator().tid_matches(rw, tid) {
                 continue;
             }
             let scaling = self.catalog.scaling_of(tid);
@@ -548,6 +1053,9 @@ impl<'a> QueryEngine<'a> {
                     for idx in idx_lo..=idx_hi {
                         let ts = segment.start_time + idx as i64 * si;
                         let value = f64::from(grid[idx * n_present + series_pos]) / scaling;
+                        if !SegmentEvaluator::value_matches(rw, value) {
+                            continue;
+                        }
                         let row = columns
                             .iter()
                             .map(|c| self.data_point_cell(c, tid, ts, value))
@@ -616,6 +1124,25 @@ impl<'a> QueryEngine<'a> {
     }
 }
 
+/// Merges one partial-aggregate map into another: Algorithm 5's
+/// `mergeResults`, shared by the master's worker merge and the engine's
+/// in-order fold of per-segment partials.
+pub fn merge_partials(into: &mut PartialAggregates, from: PartialAggregates) {
+    use std::collections::hash_map::Entry;
+    for (key, accs) in from {
+        match into.entry(key) {
+            Entry::Occupied(mut entry) => {
+                for (mine, theirs) in entry.get_mut().iter_mut().zip(&accs) {
+                    mine.merge(theirs);
+                }
+            }
+            Entry::Vacant(entry) => {
+                entry.insert(accs);
+            }
+        }
+    }
+}
+
 fn compare_cells(a: &Cell, b: &Cell) -> std::cmp::Ordering {
     match (a.as_f64(), b.as_f64()) {
         (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
@@ -673,29 +1200,72 @@ mod tests {
         let mut catalog = Catalog::new();
         let loc = catalog
             .dimensions
-            .add_dimension(DimensionSchema::new("Location", vec!["Park".into(), "Entity".into()]).unwrap())
+            .add_dimension(
+                DimensionSchema::new("Location", vec!["Park".into(), "Entity".into()]).unwrap(),
+            )
             .unwrap();
-        catalog.dimensions.set_members(1, loc, &["Aalborg", "9632"]).unwrap();
-        catalog.dimensions.set_members(2, loc, &["Aalborg", "9634"]).unwrap();
-        catalog.dimensions.set_members(3, loc, &["Farsø", "9572"]).unwrap();
+        catalog
+            .dimensions
+            .set_members(1, loc, &["Aalborg", "9632"])
+            .unwrap();
+        catalog
+            .dimensions
+            .set_members(2, loc, &["Aalborg", "9634"])
+            .unwrap();
+        catalog
+            .dimensions
+            .set_members(3, loc, &["Farsø", "9572"])
+            .unwrap();
         let si = 60_000i64;
         catalog.series = vec![
-            TimeSeriesMeta { tid: 1, sampling_interval: si, scaling: 1.0, gid: 1 },
-            TimeSeriesMeta { tid: 2, sampling_interval: si, scaling: 1.0, gid: 1 },
-            TimeSeriesMeta { tid: 3, sampling_interval: si, scaling: 2.0, gid: 2 },
+            TimeSeriesMeta {
+                tid: 1,
+                sampling_interval: si,
+                scaling: 1.0,
+                gid: 1,
+            },
+            TimeSeriesMeta {
+                tid: 2,
+                sampling_interval: si,
+                scaling: 1.0,
+                gid: 1,
+            },
+            TimeSeriesMeta {
+                tid: 3,
+                sampling_interval: si,
+                scaling: 2.0,
+                gid: 2,
+            },
         ];
         catalog.groups = vec![
-            GroupMeta { gid: 1, tids: vec![1, 2], sampling_interval: si },
-            GroupMeta { gid: 2, tids: vec![3], sampling_interval: si },
+            GroupMeta {
+                gid: 1,
+                tids: vec![1, 2],
+                sampling_interval: si,
+            },
+            GroupMeta {
+                gid: 2,
+                tids: vec![3],
+                sampling_interval: si,
+            },
         ];
         let registry = ModelRegistry::standard();
         catalog.model_names = registry.names().iter().map(|s| s.to_string()).collect();
 
         let mut store = MemoryStore::new();
-        let config = CompressionConfig { error_bound: ErrorBound::Lossless, ..Default::default() };
+        let config = CompressionConfig {
+            error_bound: ErrorBound::Lossless,
+            ..Default::default()
+        };
         // 2021-06-01 00:13:00 UTC.
         let t0 = mdb_types::time::compose(mdb_types::time::Civil {
-            year: 2021, month: 6, day: 1, hour: 0, minute: 13, second: 0, millisecond: 0,
+            year: 2021,
+            month: 6,
+            day: 1,
+            hour: 0,
+            minute: 13,
+            second: 0,
+            millisecond: 0,
         });
         let mut g1 = GroupIngestor::new(
             catalog.groups[0].clone(),
@@ -728,17 +1298,26 @@ mod tests {
         for s in g2.flush().unwrap() {
             store.insert(s).unwrap();
         }
-        Fixture { catalog, registry, store }
+        Fixture {
+            catalog,
+            registry,
+            store,
+        }
     }
 
     fn run(f: &Fixture, sql: &str) -> QueryResult {
-        QueryEngine::new(&f.catalog, &f.registry, &f.store).sql(sql).unwrap()
+        QueryEngine::new(&f.catalog, &f.registry, &f.store)
+            .sql(sql)
+            .unwrap()
     }
 
     #[test]
     fn sum_per_tid_matches_ground_truth() {
         let f = fixture();
-        let r = run(&f, "SELECT Tid, SUM_S(*) FROM Segment WHERE Tid IN (1, 2, 3) GROUP BY Tid ORDER BY Tid");
+        let r = run(
+            &f,
+            "SELECT Tid, SUM_S(*) FROM Segment WHERE Tid IN (1, 2, 3) GROUP BY Tid ORDER BY Tid",
+        );
         assert_eq!(r.columns, vec!["Tid", "SUM_S(*)"]);
         assert_eq!(r.rows.len(), 3);
         // Tids 1,2: 60 × 10 = 600. Tid 3: (1 + … + 60) = 1830 (scaling
@@ -746,13 +1325,20 @@ mod tests {
         assert_eq!(r.rows[0][0], Cell::Int(1));
         assert!((r.rows[0][1].as_f64().unwrap() - 600.0).abs() < 1e-3);
         assert!((r.rows[1][1].as_f64().unwrap() - 600.0).abs() < 1e-3);
-        assert!((r.rows[2][1].as_f64().unwrap() - 1830.0).abs() < 1e-2, "{:?}", r.rows[2]);
+        assert!(
+            (r.rows[2][1].as_f64().unwrap() - 1830.0).abs() < 1e-2,
+            "{:?}",
+            r.rows[2]
+        );
     }
 
     #[test]
     fn all_aggregate_functions() {
         let f = fixture();
-        let r = run(&f, "SELECT COUNT_S(*), MIN_S(*), MAX_S(*), AVG_S(*) FROM Segment WHERE Tid = 3");
+        let r = run(
+            &f,
+            "SELECT COUNT_S(*), MIN_S(*), MAX_S(*), AVG_S(*) FROM Segment WHERE Tid = 3",
+        );
         let row = &r.rows[0];
         assert_eq!(row[0], Cell::Int(60));
         assert!((row[1].as_f64().unwrap() - 1.0).abs() < 1e-3);
@@ -773,7 +1359,10 @@ mod tests {
     #[test]
     fn group_by_dimension_column() {
         let f = fixture();
-        let r = run(&f, "SELECT Park, SUM_S(*) FROM Segment GROUP BY Park ORDER BY Park");
+        let r = run(
+            &f,
+            "SELECT Park, SUM_S(*) FROM Segment GROUP BY Park ORDER BY Park",
+        );
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[0][0], Cell::Str("Aalborg".into()));
         assert!((r.rows[0][1].as_f64().unwrap() - 1200.0).abs() < 1e-2);
@@ -799,7 +1388,10 @@ mod tests {
     fn cube_hour_splits_at_calendar_boundaries() {
         // Data runs 00:13–01:12, so hours 0 (47 ticks) and 1 (13 ticks).
         let f = fixture();
-        let r = run(&f, "SELECT Tid, CUBE_COUNT_HOUR(*) FROM Segment WHERE Tid = 1 GROUP BY Tid ORDER BY Hour");
+        let r = run(
+            &f,
+            "SELECT Tid, CUBE_COUNT_HOUR(*) FROM Segment WHERE Tid = 1 GROUP BY Tid ORDER BY Hour",
+        );
         assert_eq!(r.columns, vec!["Tid", "Hour", "CUBE_COUNT_HOUR(*)"]);
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[0][1], Cell::Int(0));
@@ -811,7 +1403,10 @@ mod tests {
     #[test]
     fn cube_sum_equals_plain_sum() {
         let f = fixture();
-        let cube = run(&f, "SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment WHERE Tid = 3 GROUP BY Tid");
+        let cube = run(
+            &f,
+            "SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment WHERE Tid = 3 GROUP BY Tid",
+        );
         let total: f64 = cube.rows.iter().map(|r| r[2].as_f64().unwrap()).sum();
         assert!((total - 1830.0).abs() < 1e-2, "{total}");
     }
@@ -820,13 +1415,25 @@ mod tests {
     fn ts_range_restricts_aggregates() {
         let f = fixture();
         let t0 = mdb_types::time::compose(mdb_types::time::Civil {
-            year: 2021, month: 6, day: 1, hour: 0, minute: 13, second: 0, millisecond: 0,
+            year: 2021,
+            month: 6,
+            day: 1,
+            hour: 0,
+            minute: 13,
+            second: 0,
+            millisecond: 0,
         });
         // First 10 ticks only.
         let hi = t0 + 9 * 60_000;
-        let r = run(&f, &format!("SELECT COUNT_S(*) FROM Segment WHERE Tid = 1 AND TS <= {hi}"));
+        let r = run(
+            &f,
+            &format!("SELECT COUNT_S(*) FROM Segment WHERE Tid = 1 AND TS <= {hi}"),
+        );
         assert_eq!(r.rows[0][0], Cell::Int(10));
-        let r = run(&f, &format!("SELECT SUM_S(*) FROM Segment WHERE Tid = 3 AND TS <= {hi}"));
+        let r = run(
+            &f,
+            &format!("SELECT SUM_S(*) FROM Segment WHERE Tid = 3 AND TS <= {hi}"),
+        );
         assert!((r.rows[0][0].as_f64().unwrap() - 55.0).abs() < 1e-2);
     }
 
@@ -834,10 +1441,19 @@ mod tests {
     fn point_and_range_queries_on_data_point_view() {
         let f = fixture();
         let t0 = mdb_types::time::compose(mdb_types::time::Civil {
-            year: 2021, month: 6, day: 1, hour: 0, minute: 13, second: 0, millisecond: 0,
+            year: 2021,
+            month: 6,
+            day: 1,
+            hour: 0,
+            minute: 13,
+            second: 0,
+            millisecond: 0,
         });
         let point = t0 + 5 * 60_000;
-        let r = run(&f, &format!("SELECT * FROM DataPoint WHERE Tid = 3 AND TS = {point}"));
+        let r = run(
+            &f,
+            &format!("SELECT * FROM DataPoint WHERE Tid = 3 AND TS = {point}"),
+        );
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][1], Cell::Timestamp(point));
         assert!((r.rows[0][2].as_f64().unwrap() - 6.0).abs() < 1e-3);
@@ -845,7 +1461,10 @@ mod tests {
         assert_eq!(r.rows[0][3], Cell::Str("Farsø".into()));
         let r = run(
             &f,
-            &format!("SELECT TS, Value FROM DataPoint WHERE Tid = 1 AND TS BETWEEN {t0} AND {}", t0 + 4 * 60_000),
+            &format!(
+                "SELECT TS, Value FROM DataPoint WHERE Tid = 1 AND TS BETWEEN {t0} AND {}",
+                t0 + 4 * 60_000
+            ),
         );
         assert_eq!(r.rows.len(), 5);
     }
@@ -853,20 +1472,29 @@ mod tests {
     #[test]
     fn segment_view_listing() {
         let f = fixture();
-        let r = run(&f, "SELECT Tid, StartTime, EndTime, Mid FROM Segment WHERE Tid = 1");
+        let r = run(
+            &f,
+            "SELECT Tid, StartTime, EndTime, Mid FROM Segment WHERE Tid = 1",
+        );
         assert!(!r.rows.is_empty());
         // Segments of group 1 also produce rows for tid 2 — but the WHERE
         // filters them out.
         assert!(r.rows.iter().all(|row| row[0] == Cell::Int(1)));
         let r_all = run(&f, "SELECT * FROM Segment");
-        assert_eq!(r_all.columns[..6], ["Tid", "StartTime", "EndTime", "SI", "Mid", "Gaps"]);
+        assert_eq!(
+            r_all.columns[..6],
+            ["Tid", "StartTime", "EndTime", "SI", "Mid", "Gaps"]
+        );
         assert!(r_all.columns.contains(&"Park".to_string()));
     }
 
     #[test]
     fn order_by_and_limit() {
         let f = fixture();
-        let r = run(&f, "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid DESC LIMIT 2");
+        let r = run(
+            &f,
+            "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid DESC LIMIT 2",
+        );
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[0][0], Cell::Int(3));
         assert_eq!(r.rows[1][0], Cell::Int(2));
@@ -879,13 +1507,19 @@ mod tests {
         // Column not in GROUP BY.
         assert!(engine.sql("SELECT Tid, SUM_S(*) FROM Segment").is_err());
         // Mixed cube and plain aggregates.
-        assert!(engine.sql("SELECT CUBE_SUM_HOUR(*), COUNT_S(*) FROM Segment").is_err());
+        assert!(engine
+            .sql("SELECT CUBE_SUM_HOUR(*), COUNT_S(*) FROM Segment")
+            .is_err());
         // Two different cube levels.
-        assert!(engine.sql("SELECT CUBE_SUM_HOUR(*), CUBE_SUM_DAY(*) FROM Segment").is_err());
+        assert!(engine
+            .sql("SELECT CUBE_SUM_HOUR(*), CUBE_SUM_DAY(*) FROM Segment")
+            .is_err());
         // * with aggregates.
         assert!(engine.sql("SELECT *, COUNT_S(*) FROM Segment").is_err());
         // Unknown ORDER BY column.
-        assert!(engine.sql("SELECT Tid FROM Segment ORDER BY Altitude").is_err());
+        assert!(engine
+            .sql("SELECT Tid FROM Segment ORDER BY Altitude")
+            .is_err());
     }
 
     #[test]
@@ -896,10 +1530,141 @@ mod tests {
     }
 
     #[test]
+    fn value_predicates_filter_points_and_aggregates() {
+        let f = fixture();
+        // Tid 3's raw values are 1..=60.
+        let r = run(
+            &f,
+            "SELECT COUNT_S(*) FROM Segment WHERE Tid = 3 AND Value >= 31",
+        );
+        assert_eq!(r.rows[0][0], Cell::Int(30));
+        let r = run(
+            &f,
+            "SELECT SUM(Value) FROM DataPoint WHERE Tid = 3 AND Value <= 10.5",
+        );
+        assert!(
+            (r.rows[0][0].as_f64().unwrap() - 55.0).abs() < 1e-2,
+            "{:?}",
+            r.rows
+        );
+        let r = run(
+            &f,
+            "SELECT TS, Value FROM DataPoint WHERE Tid = 3 AND Value > 58",
+        );
+        assert_eq!(r.rows.len(), 2);
+        // An unsatisfiable value range is proven empty by the rewrite.
+        let r = run(
+            &f,
+            "SELECT COUNT_S(*) FROM Segment WHERE Value > 10 AND Value < 5",
+        );
+        assert!(r.rows.is_empty());
+        // Cube aggregates filter per point too: tids 1/2 are constant 10.
+        let r = run(
+            &f,
+            "SELECT CUBE_COUNT_HOUR(*) FROM Segment WHERE Tid = 1 AND Value > 10.5",
+        );
+        assert!(r.rows.is_empty());
+        // Segment listings have no Value column to filter on.
+        let e = QueryEngine::new(&f.catalog, &f.registry, &f.store)
+            .sql("SELECT Tid FROM Segment WHERE Value > 1");
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical_to_sequential() {
+        let f = fixture();
+        let queries = [
+            "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
+            "SELECT Park, AVG_S(*) FROM Segment GROUP BY Park ORDER BY Park",
+            "SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment WHERE Tid IN (1, 3) GROUP BY Tid",
+            "SELECT COUNT_S(*), MIN_S(*), MAX_S(*) FROM Segment WHERE Value >= 3.5",
+        ];
+        for q in queries {
+            let sequential = QueryEngine::new(&f.catalog, &f.registry, &f.store)
+                .sql(q)
+                .unwrap();
+            for threads in [2, 4, 0] {
+                let parallel = QueryEngine::new(&f.catalog, &f.registry, &f.store)
+                    .with_parallelism(threads)
+                    .sql(q)
+                    .unwrap();
+                assert_eq!(sequential.rows, parallel.rows, "{q} with {threads} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_pool_path_is_bit_identical_to_sequential() {
+        // Force the persistent pool path (threshold 1) so ScanPool::execute
+        // — chunk rounding, by-chunk reassembly, fold alignment — is the
+        // code under test, not the inline bypass.
+        let f = fixture();
+        let catalog = Arc::new(f.catalog.clone());
+        let registry = Arc::new(f.registry.clone());
+        let pool = ScanPool::new(Arc::clone(&catalog), Arc::clone(&registry), 3);
+        assert_eq!(pool.workers(), 3);
+        let queries = [
+            "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
+            "SELECT Park, AVG_S(*) FROM Segment GROUP BY Park ORDER BY Park",
+            "SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment WHERE Tid IN (1, 3) GROUP BY Tid",
+            "SELECT COUNT_S(*), MIN_S(*), MAX_S(*) FROM Segment WHERE Value >= 3.5",
+        ];
+        for q in queries {
+            let sequential = QueryEngine::new(&f.catalog, &f.registry, &f.store)
+                .sql(q)
+                .unwrap();
+            let pooled = QueryEngine::new(&f.catalog, &f.registry, &f.store)
+                .with_scan_pool(&pool)
+                .with_pool_threshold(1)
+                .sql(q)
+                .unwrap();
+            assert_eq!(sequential.rows, pooled.rows, "{q}");
+        }
+    }
+
+    #[test]
+    fn value_pushdown_prunes_bounded_runs() {
+        use mdb_storage::scan_to_vec;
+        // Rebuild the fixture's segments in a store that records value
+        // bounds, then check the rewritten push-down skips them wholesale.
+        let f = fixture();
+        let registry = f.registry.clone();
+        let group_sizes: std::collections::HashMap<_, _> =
+            f.catalog.groups.iter().map(|g| (g.gid, g.size())).collect();
+        let reg = Arc::new(registry.clone());
+        let mut store = MemoryStore::with_value_bounds(Arc::new(move |s: &SegmentRecord| {
+            mdb_models::segment_value_range(&reg, s, *group_sizes.get(&s.gid)?)
+        }));
+        for segment in scan_to_vec(&f.store, &mdb_storage::SegmentPredicate::all()).unwrap() {
+            store.insert(segment).unwrap();
+        }
+        // Stored values are ≤ 120 (tid 3 scaled: 2..=120); a predicate far
+        // above prunes every run, far below the group survives.
+        let far = mdb_storage::SegmentPredicate::all()
+            .with_values(mdb_types::ValueInterval::new(500.0, 600.0));
+        assert!(scan_to_vec(&store, &far).unwrap().is_empty());
+        let near = mdb_storage::SegmentPredicate::all()
+            .with_values(mdb_types::ValueInterval::new(0.0, 10.0));
+        assert!(!scan_to_vec(&store, &near).unwrap().is_empty());
+        // And through SQL: raw Value > 300 cannot match any stored run.
+        let engine = QueryEngine::new(&f.catalog, &f.registry, &store);
+        let r = engine
+            .sql("SELECT COUNT_S(*) FROM Segment WHERE Value > 300")
+            .unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
     fn split_at_boundaries_covers_range_exactly() {
         use bytes::Bytes;
         let t0 = mdb_types::time::compose(mdb_types::time::Civil {
-            year: 2021, month: 6, day: 1, hour: 0, minute: 13, second: 0, millisecond: 0,
+            year: 2021,
+            month: 6,
+            day: 1,
+            hour: 0,
+            minute: 13,
+            second: 0,
+            millisecond: 0,
         });
         let seg = SegmentRecord {
             gid: 1,

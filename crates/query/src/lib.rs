@@ -20,7 +20,7 @@ pub mod cell;
 pub mod engine;
 pub mod sql;
 
-pub use aggregate::{AggFunc, Accumulator};
+pub use aggregate::{Accumulator, AggFunc};
 pub use cell::{Cell, QueryResult};
-pub use engine::QueryEngine;
+pub use engine::{merge_partials, PartialAggregates, QueryEngine, ScanPool};
 pub use sql::{parse, Predicate, Query, SelectItem, View};

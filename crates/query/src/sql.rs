@@ -17,9 +17,15 @@
 //!            | CUBE_<FUNC>_<LEVEL>              (roll-up in time, Alg. 6)
 //! predicate := Tid = n | Tid IN (n, …)
 //!            | TS|StartTime|EndTime <op> ts | TS BETWEEN ts AND ts
+//!            | Value <op> number
 //!            | <dimension level column> = 'member'
 //! ts        := integer ms | 'YYYY-MM-DD[ HH:MM[:SS]]'
 //! ```
+//!
+//! `Value` predicates filter reconstructed data points (Data Point View
+//! listings and aggregates on either view); their rewritten form also feeds
+//! the zone-map push-down so segment runs that cannot contain a matching
+//! value are pruned before any model is decoded.
 
 use mdb_types::{MdbError, Result, Tid, TimeLevel, Timestamp};
 
@@ -41,7 +47,10 @@ pub enum SelectItem {
     /// level name).
     Column(String),
     /// An aggregate; `cube` carries the time level of `CUBE_*_<LEVEL>`.
-    Agg { func: AggFunc, cube: Option<TimeLevel> },
+    Agg {
+        func: AggFunc,
+        cube: Option<TimeLevel>,
+    },
 }
 
 /// Comparison operators on time columns.
@@ -69,7 +78,14 @@ pub enum Predicate {
     /// `Tid = n` or `Tid IN (…)`.
     TidIn(Vec<Tid>),
     /// A comparison on a time column.
-    Time { column: TimeColumn, op: CmpOp, value: Timestamp },
+    Time {
+        column: TimeColumn,
+        op: CmpOp,
+        value: Timestamp,
+    },
+    /// A comparison on the (raw, unscaled) data point value,
+    /// e.g. `Value >= 2.5`.
+    Value { op: CmpOp, value: f64 },
     /// Equality on a dimension level column, e.g. `Park = 'Aalborg'`.
     MemberEq { column: String, value: String },
 }
@@ -91,6 +107,7 @@ pub struct Query {
 enum Token {
     Ident(String),
     Int(i64),
+    Float(f64),
     Str(String),
     Comma,
     LParen,
@@ -161,17 +178,36 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 tokens.push(Token::Str(bytes[start..j].iter().collect()));
                 i = j + 1;
             }
-            c if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
                 let start = i;
                 i += 1;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
+                // A fractional part makes it a float literal (Value
+                // comparisons); otherwise it stays an exact integer.
+                let fractional = bytes.get(i) == Some(&'.')
+                    && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit());
+                if fractional {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
                 let text: String = bytes[start..i].iter().collect();
-                let v = text
-                    .parse::<i64>()
-                    .map_err(|_| MdbError::Query(format!("invalid number {text:?}")))?;
-                tokens.push(Token::Int(v));
+                if fractional {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| MdbError::Query(format!("invalid number {text:?}")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| MdbError::Query(format!("invalid number {text:?}")))?;
+                    tokens.push(Token::Int(v));
+                }
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
@@ -229,21 +265,28 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(MdbError::Query(format!("expected identifier, found {other:?}"))),
+            other => Err(MdbError::Query(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
     fn int(&mut self) -> Result<i64> {
         match self.next() {
             Some(Token::Int(v)) => Ok(v),
-            other => Err(MdbError::Query(format!("expected integer, found {other:?}"))),
+            other => Err(MdbError::Query(format!(
+                "expected integer, found {other:?}"
+            ))),
         }
     }
 }
 
 /// Parses one query.
 pub fn parse(input: &str) -> Result<Query> {
-    let mut p = Parser { tokens: lex(input)?, pos: 0 };
+    let mut p = Parser {
+        tokens: lex(input)?,
+        pos: 0,
+    };
     p.expect_keyword("SELECT")?;
     let mut items = Vec::new();
     loop {
@@ -303,7 +346,14 @@ pub fn parse(input: &str) -> Result<Query> {
     if let Some(t) = p.peek() {
         return Err(MdbError::Query(format!("trailing input at {t:?}")));
     }
-    Ok(Query { items, view, predicates, group_by, order_by, limit })
+    Ok(Query {
+        items,
+        view,
+        predicates,
+        group_by,
+        order_by,
+        limit,
+    })
 }
 
 fn parse_item(p: &mut Parser) -> Result<SelectItem> {
@@ -341,11 +391,14 @@ fn parse_agg_name(name: &str) -> Result<SelectItem> {
             .next()
             .and_then(TimeLevel::parse)
             .ok_or_else(|| MdbError::Query(format!("unknown time level in {name}")))?;
-        return Ok(SelectItem::Agg { func, cube: Some(level) });
+        return Ok(SelectItem::Agg {
+            func,
+            cube: Some(level),
+        });
     }
     let base = upper.strip_suffix("_S").unwrap_or(&upper);
-    let func = AggFunc::parse(base)
-        .ok_or_else(|| MdbError::Query(format!("unknown function {name}")))?;
+    let func =
+        AggFunc::parse(base).ok_or_else(|| MdbError::Query(format!("unknown function {name}")))?;
     Ok(SelectItem::Agg { func, cube: None })
 }
 
@@ -366,12 +419,18 @@ fn parse_predicate(p: &mut Parser) -> Result<Predicate> {
                     match p.next() {
                         Some(Token::Comma) => continue,
                         Some(Token::RParen) => break,
-                        other => return Err(MdbError::Query(format!("expected , or ), found {other:?}"))),
+                        other => {
+                            return Err(MdbError::Query(format!(
+                                "expected , or ), found {other:?}"
+                            )))
+                        }
                     }
                 }
                 Ok(Predicate::TidIn(tids))
             }
-            other => Err(MdbError::Query(format!("expected = or IN after Tid, found {other:?}"))),
+            other => Err(MdbError::Query(format!(
+                "expected = or IN after Tid, found {other:?}"
+            ))),
         },
         "TS" | "STARTTIME" | "ENDTIME" => {
             let time_col = match upper.as_str() {
@@ -387,40 +446,69 @@ fn parse_predicate(p: &mut Parser) -> Result<Predicate> {
                 // predicate pair by returning the first and pushing back the
                 // second is awkward, so BETWEEN is encoded as Ge + a
                 // synthetic And handled here:
-                return Ok(Predicate::Time { column: time_col, op: CmpOp::Ge, value: lo })
-                    .map(|ge| {
-                        // Stash the second half for the caller by splicing it
-                        // into the token stream as `AND <col> <= hi`.
-                        p.tokens.insert(p.pos, Token::Ident("AND".into()));
-                        p.tokens.insert(p.pos + 1, Token::Ident(column.clone()));
-                        p.tokens.insert(p.pos + 2, Token::Le);
-                        p.tokens.insert(p.pos + 3, Token::Int(hi));
-                        ge
-                    });
+                return Ok(Predicate::Time {
+                    column: time_col,
+                    op: CmpOp::Ge,
+                    value: lo,
+                })
+                .inspect(|_ge| {
+                    // Stash the second half for the caller by splicing it
+                    // into the token stream as `AND <col> <= hi`.
+                    p.tokens.insert(p.pos, Token::Ident("AND".into()));
+                    p.tokens.insert(p.pos + 1, Token::Ident(column.clone()));
+                    p.tokens.insert(p.pos + 2, Token::Le);
+                    p.tokens.insert(p.pos + 3, Token::Int(hi));
+                });
             }
-            let op = match p.next() {
-                Some(Token::Eq) => CmpOp::Eq,
-                Some(Token::Lt) => CmpOp::Lt,
-                Some(Token::Le) => CmpOp::Le,
-                Some(Token::Gt) => CmpOp::Gt,
-                Some(Token::Ge) => CmpOp::Ge,
-                other => return Err(MdbError::Query(format!("expected comparison, found {other:?}"))),
-            };
+            let op = parse_cmp_op(p)?;
             let value = parse_timestamp(p)?;
-            Ok(Predicate::Time { column: time_col, op, value })
+            Ok(Predicate::Time {
+                column: time_col,
+                op,
+                value,
+            })
+        }
+        "VALUE" => {
+            let op = parse_cmp_op(p)?;
+            let value = match p.next() {
+                Some(Token::Int(v)) => v as f64,
+                Some(Token::Float(v)) => v,
+                other => return Err(MdbError::Query(format!("expected number, found {other:?}"))),
+            };
+            Ok(Predicate::Value { op, value })
         }
         _ => {
             // Dimension member equality.
             match p.next() {
                 Some(Token::Eq) => {}
-                other => return Err(MdbError::Query(format!("expected = after {column}, found {other:?}"))),
+                other => {
+                    return Err(MdbError::Query(format!(
+                        "expected = after {column}, found {other:?}"
+                    )))
+                }
             }
             match p.next() {
                 Some(Token::Str(value)) => Ok(Predicate::MemberEq { column, value }),
                 Some(Token::Ident(value)) => Ok(Predicate::MemberEq { column, value }),
-                other => Err(MdbError::Query(format!("expected member literal, found {other:?}"))),
+                other => Err(MdbError::Query(format!(
+                    "expected member literal, found {other:?}"
+                ))),
             }
         }
+    }
+}
+
+/// Parses one comparison operator token.
+fn parse_cmp_op(p: &mut Parser) -> Result<CmpOp> {
+    match p.next() {
+        Some(Token::Eq) => Ok(CmpOp::Eq),
+        Some(Token::Lt) => Ok(CmpOp::Lt),
+        Some(Token::Le) => Ok(CmpOp::Le),
+        Some(Token::Gt) => Ok(CmpOp::Gt),
+        Some(Token::Ge) => Ok(CmpOp::Ge),
+        other => Err(MdbError::Query(format!(
+            "expected comparison, found {other:?}"
+        ))),
     }
 }
 
@@ -428,7 +516,9 @@ fn parse_timestamp(p: &mut Parser) -> Result<Timestamp> {
     match p.next() {
         Some(Token::Int(v)) => Ok(v),
         Some(Token::Str(s)) => parse_timestamp_literal(&s),
-        other => Err(MdbError::Query(format!("expected timestamp, found {other:?}"))),
+        other => Err(MdbError::Query(format!(
+            "expected timestamp, found {other:?}"
+        ))),
     }
 }
 
@@ -443,7 +533,11 @@ pub fn parse_timestamp_literal(s: &str) -> Result<Timestamp> {
     let year: i64 = dp.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
     let month: u32 = dp.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
     let day: u32 = dp.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-    if dp.next().is_some() || !(1..=12).contains(&month) || day < 1 || day > mdb_types::time::days_in_month(year, month) {
+    if dp.next().is_some()
+        || !(1..=12).contains(&month)
+        || day < 1
+        || day > mdb_types::time::days_in_month(year, month)
+    {
         return Err(bad());
     }
     let (mut hour, mut minute, mut second) = (0u32, 0u32, 0u32);
@@ -475,21 +569,33 @@ mod tests {
 
     #[test]
     fn figure11_query_parses() {
-        let q = parse("SELECT Tid, SUM_S(*) FROM Segment WHERE Tid IN (1, 2, 3) GROUP BY Tid").unwrap();
+        let q =
+            parse("SELECT Tid, SUM_S(*) FROM Segment WHERE Tid IN (1, 2, 3) GROUP BY Tid").unwrap();
         assert_eq!(q.view, View::Segment);
         assert_eq!(q.items.len(), 2);
         assert_eq!(q.items[0], SelectItem::Column("Tid".into()));
-        assert_eq!(q.items[1], SelectItem::Agg { func: AggFunc::Sum, cube: None });
+        assert_eq!(
+            q.items[1],
+            SelectItem::Agg {
+                func: AggFunc::Sum,
+                cube: None
+            }
+        );
         assert_eq!(q.predicates, vec![Predicate::TidIn(vec![1, 2, 3])]);
         assert_eq!(q.group_by, vec!["Tid".to_string()]);
     }
 
     #[test]
     fn figure12_cube_query_parses() {
-        let q = parse("SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment WHERE Tid IN (1,2,3) GROUP BY Tid").unwrap();
+        let q =
+            parse("SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment WHERE Tid IN (1,2,3) GROUP BY Tid")
+                .unwrap();
         assert_eq!(
             q.items[1],
-            SelectItem::Agg { func: AggFunc::Sum, cube: Some(TimeLevel::Hour) }
+            SelectItem::Agg {
+                func: AggFunc::Sum,
+                cube: Some(TimeLevel::Hour)
+            }
         );
     }
 
@@ -497,21 +603,36 @@ mod tests {
     fn data_point_view_aggregates() {
         let q = parse("SELECT AVG(Value) FROM DataPoint WHERE Tid = 7").unwrap();
         assert_eq!(q.view, View::DataPoint);
-        assert_eq!(q.items[0], SelectItem::Agg { func: AggFunc::Avg, cube: None });
+        assert_eq!(
+            q.items[0],
+            SelectItem::Agg {
+                func: AggFunc::Avg,
+                cube: None
+            }
+        );
         assert_eq!(q.predicates, vec![Predicate::TidIn(vec![7])]);
     }
 
     #[test]
     fn point_range_queries() {
-        let q = parse("SELECT * FROM DataPoint WHERE Tid = 1 AND TS >= 1000 AND TS <= 2000").unwrap();
+        let q =
+            parse("SELECT * FROM DataPoint WHERE Tid = 1 AND TS >= 1000 AND TS <= 2000").unwrap();
         assert_eq!(q.items, vec![SelectItem::AllColumns]);
         assert_eq!(q.predicates.len(), 3);
         let q = parse("SELECT * FROM DataPoint WHERE TS BETWEEN 1000 AND 2000").unwrap();
         assert_eq!(
             q.predicates,
             vec![
-                Predicate::Time { column: TimeColumn::Ts, op: CmpOp::Ge, value: 1000 },
-                Predicate::Time { column: TimeColumn::Ts, op: CmpOp::Le, value: 2000 },
+                Predicate::Time {
+                    column: TimeColumn::Ts,
+                    op: CmpOp::Ge,
+                    value: 1000
+                },
+                Predicate::Time {
+                    column: TimeColumn::Ts,
+                    op: CmpOp::Le,
+                    value: 2000
+                },
             ]
         );
     }
@@ -531,7 +652,10 @@ mod tests {
         .unwrap();
         assert_eq!(
             q.predicates,
-            vec![Predicate::MemberEq { column: "Category".into(), value: "ProductionMWh".into() }]
+            vec![Predicate::MemberEq {
+                column: "Category".into(),
+                value: "ProductionMWh".into()
+            }]
         );
         assert_eq!(q.group_by, vec!["Category".to_string()]);
     }
@@ -544,20 +668,56 @@ mod tests {
             parse_timestamp_literal("1970-01-01 01:02:03").unwrap(),
             3_723_000
         );
-        assert_eq!(parse_timestamp_literal("1970-01-01 01:02").unwrap(), 3_720_000);
+        assert_eq!(
+            parse_timestamp_literal("1970-01-01 01:02").unwrap(),
+            3_720_000
+        );
         assert!(parse_timestamp_literal("1970-13-01").is_err());
         assert!(parse_timestamp_literal("1970-02-30").is_err());
         assert!(parse_timestamp_literal("junk").is_err());
         let q = parse("SELECT * FROM DataPoint WHERE TS >= '1970-01-02'").unwrap();
         assert_eq!(
             q.predicates,
-            vec![Predicate::Time { column: TimeColumn::Ts, op: CmpOp::Ge, value: 86_400_000 }]
+            vec![Predicate::Time {
+                column: TimeColumn::Ts,
+                op: CmpOp::Ge,
+                value: 86_400_000
+            }]
         );
     }
 
     #[test]
+    fn value_predicates() {
+        let q = parse("SELECT * FROM DataPoint WHERE Value >= 2.5 AND Value < 10").unwrap();
+        assert_eq!(
+            q.predicates,
+            vec![
+                Predicate::Value {
+                    op: CmpOp::Ge,
+                    value: 2.5
+                },
+                Predicate::Value {
+                    op: CmpOp::Lt,
+                    value: 10.0
+                },
+            ]
+        );
+        let q = parse("SELECT SUM_S(*) FROM Segment WHERE Value = -3.25").unwrap();
+        assert_eq!(
+            q.predicates,
+            vec![Predicate::Value {
+                op: CmpOp::Eq,
+                value: -3.25
+            }]
+        );
+        assert!(parse("SELECT * FROM DataPoint WHERE Value LIKE 3").is_err());
+        assert!(parse("SELECT * FROM DataPoint WHERE Value > 'high'").is_err());
+    }
+
+    #[test]
     fn order_and_limit() {
-        let q = parse("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid DESC LIMIT 5").unwrap();
+        let q = parse("SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid DESC LIMIT 5")
+            .unwrap();
         assert_eq!(q.order_by, Some(("Tid".into(), true)));
         assert_eq!(q.limit, Some(5));
         let q = parse("SELECT Tid FROM Segment ORDER BY Tid ASC").unwrap();
@@ -591,7 +751,13 @@ mod tests {
         }
         for level in ["YEAR", "MONTH", "DAY", "HOUR", "MINUTE", "SECOND"] {
             let q = parse(&format!("SELECT CUBE_AVG_{level}(*) FROM Segment")).unwrap();
-            assert!(matches!(q.items[0], SelectItem::Agg { func: AggFunc::Avg, cube: Some(_) }));
+            assert!(matches!(
+                q.items[0],
+                SelectItem::Agg {
+                    func: AggFunc::Avg,
+                    cube: Some(_)
+                }
+            ));
         }
     }
 }

@@ -31,7 +31,10 @@ pub struct Catalog {
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
-        Self { dimensions: Dimensions::new(), ..Self::default() }
+        Self {
+            dimensions: Dimensions::new(),
+            ..Self::default()
+        }
     }
 
     /// Metadata for `tid`.
@@ -73,7 +76,9 @@ impl Catalog {
     /// Rewrites a dimensional member to the gids of groups containing series
     /// with that member (the member→Gid rewriting of Section 6.2).
     pub fn gids_for_member(&self, dim: usize, level: usize, member: &str) -> Vec<Gid> {
-        let Some(m) = self.dimensions.member_id(member) else { return Vec::new() };
+        let Some(m) = self.dimensions.member_id(member) else {
+            return Vec::new();
+        };
         let tids = self.dimensions.tids_with_member(dim, level, m);
         self.gids_for_tids(tids)
     }
@@ -147,7 +152,10 @@ impl Catalog {
             return Err(MdbError::Corrupt("bad catalog magic".into()));
         }
         if input[4] != VERSION {
-            return Err(MdbError::Corrupt(format!("unsupported catalog version {}", input[4])));
+            return Err(MdbError::Corrupt(format!(
+                "unsupported catalog version {}",
+                input[4]
+            )));
         }
         input = &input[5..];
         if input.len() < 4 {
@@ -176,7 +184,12 @@ impl Catalog {
             let scaling = f64::from_le_bytes(input[..8].try_into().unwrap());
             input = &input[8..];
             let gid = varint::read_u64(&mut input).ok_or_else(truncated)? as Gid;
-            catalog.series.push(TimeSeriesMeta { tid, sampling_interval: si, scaling, gid });
+            catalog.series.push(TimeSeriesMeta {
+                tid,
+                sampling_interval: si,
+                scaling,
+                gid,
+            });
         }
         let n_groups = varint::read_u64(&mut input).ok_or_else(truncated)? as usize;
         for _ in 0..n_groups {
@@ -187,7 +200,11 @@ impl Catalog {
             for _ in 0..n {
                 tids.push(varint::read_u64(&mut input).ok_or_else(truncated)? as Tid);
             }
-            catalog.groups.push(GroupMeta { gid, tids, sampling_interval: si });
+            catalog.groups.push(GroupMeta {
+                gid,
+                tids,
+                sampling_interval: si,
+            });
         }
         let n_models = varint::read_u64(&mut input).ok_or_else(truncated)? as usize;
         for _ in 0..n_models {
@@ -201,7 +218,9 @@ impl Catalog {
             for _ in 0..n_levels {
                 levels.push(read_str(&mut input)?);
             }
-            catalog.dimensions.add_dimension(DimensionSchema::new(name, levels)?)?;
+            catalog
+                .dimensions
+                .add_dimension(DimensionSchema::new(name, levels)?)?;
         }
         let n_paths = varint::read_u64(&mut input).ok_or_else(truncated)? as usize;
         for _ in 0..n_paths {
@@ -247,20 +266,53 @@ mod tests {
         let loc = c
             .dimensions
             .add_dimension(
-                DimensionSchema::new("Location", vec!["Country".into(), "Park".into(), "Entity".into()]).unwrap(),
+                DimensionSchema::new(
+                    "Location",
+                    vec!["Country".into(), "Park".into(), "Entity".into()],
+                )
+                .unwrap(),
             )
             .unwrap();
-        c.dimensions.set_members(1, loc, &["Denmark", "Aalborg", "9632"]).unwrap();
-        c.dimensions.set_members(2, loc, &["Denmark", "Aalborg", "9634"]).unwrap();
-        c.dimensions.set_members(3, loc, &["Denmark", "Farsø", "9572"]).unwrap();
+        c.dimensions
+            .set_members(1, loc, &["Denmark", "Aalborg", "9632"])
+            .unwrap();
+        c.dimensions
+            .set_members(2, loc, &["Denmark", "Aalborg", "9634"])
+            .unwrap();
+        c.dimensions
+            .set_members(3, loc, &["Denmark", "Farsø", "9572"])
+            .unwrap();
         c.series = vec![
-            TimeSeriesMeta { tid: 1, sampling_interval: 60_000, scaling: 1.0, gid: 1 },
-            TimeSeriesMeta { tid: 2, sampling_interval: 60_000, scaling: 4.75, gid: 1 },
-            TimeSeriesMeta { tid: 3, sampling_interval: 60_000, scaling: 1.0, gid: 2 },
+            TimeSeriesMeta {
+                tid: 1,
+                sampling_interval: 60_000,
+                scaling: 1.0,
+                gid: 1,
+            },
+            TimeSeriesMeta {
+                tid: 2,
+                sampling_interval: 60_000,
+                scaling: 4.75,
+                gid: 1,
+            },
+            TimeSeriesMeta {
+                tid: 3,
+                sampling_interval: 60_000,
+                scaling: 1.0,
+                gid: 2,
+            },
         ];
         c.groups = vec![
-            GroupMeta { gid: 1, tids: vec![1, 2], sampling_interval: 60_000 },
-            GroupMeta { gid: 2, tids: vec![3], sampling_interval: 60_000 },
+            GroupMeta {
+                gid: 1,
+                tids: vec![1, 2],
+                sampling_interval: 60_000,
+            },
+            GroupMeta {
+                gid: 2,
+                tids: vec![3],
+                sampling_interval: 60_000,
+            },
         ];
         c.model_names = vec!["PMC-Mean".into(), "Swing".into(), "Gorilla".into()];
         c
@@ -314,7 +366,10 @@ mod tests {
         assert!(Catalog::from_bytes(&bytes[..10]).is_err());
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
-        assert!(Catalog::from_bytes(&bytes).is_err(), "checksum must catch the flip");
+        assert!(
+            Catalog::from_bytes(&bytes).is_err(),
+            "checksum must catch the flip"
+        );
         assert!(Catalog::from_bytes(b"JUNKJUNKJUNK").is_err());
     }
 

@@ -108,7 +108,14 @@ mod tests {
 
     #[test]
     fn segment_round_trips() {
-        let s = sample(7, 1_460_442_200_000, 1_460_442_620_000, 60_000, 0b10, &[9; 40]);
+        let s = sample(
+            7,
+            1_460_442_200_000,
+            1_460_442_620_000,
+            60_000,
+            0b10,
+            &[9; 40],
+        );
         let mut buf = Vec::new();
         write_segment(&mut buf, &s);
         let mut slice = buf.as_slice();
@@ -130,8 +137,18 @@ mod tests {
 
     #[test]
     fn multiple_segments_stream() {
-        let segs: Vec<SegmentRecord> =
-            (1..20).map(|i| sample(i, i as i64 * 100, i as i64 * 1_000, 100, u64::from(i % 4), &vec![i as u8; i as usize])).collect();
+        let segs: Vec<SegmentRecord> = (1..20)
+            .map(|i| {
+                sample(
+                    i,
+                    i as i64 * 100,
+                    i as i64 * 1_000,
+                    100,
+                    u64::from(i % 4),
+                    &vec![i as u8; i as usize],
+                )
+            })
+            .collect();
         let mut buf = Vec::new();
         for s in &segs {
             write_segment(&mut buf, s);

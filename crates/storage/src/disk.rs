@@ -28,6 +28,7 @@ use mdb_types::{MdbError, Result, SegmentRecord};
 
 use crate::codec::{checksum, read_segment, write_segment};
 use crate::memory::MemoryStore;
+use crate::zone::{ValueBoundsFn, ZoneMap};
 use crate::{SegmentPredicate, SegmentStore};
 
 const BLOCK_MAGIC: u32 = 0x4D44_4253; // "MDBS"
@@ -49,11 +50,31 @@ impl DiskStore {
     /// block. `bulk_write_size` is the number of segments buffered before an
     /// automatic flush.
     pub fn open(dir: &Path, bulk_write_size: usize) -> Result<Self> {
+        Self::open_with_bounds(dir, bulk_write_size, None)
+    }
+
+    /// Like [`DiskStore::open`], but the resident index's zone map also
+    /// records stored-value ranges computed by `value_bounds` — both for
+    /// recovered segments and for subsequent inserts.
+    pub fn open_with_bounds(
+        dir: &Path,
+        bulk_write_size: usize,
+        value_bounds: Option<ValueBoundsFn>,
+    ) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("segments.log");
-        let mut index = MemoryStore::new();
+        let mut index = match value_bounds {
+            Some(f) => MemoryStore::with_value_bounds(f),
+            None => MemoryStore::new(),
+        };
         let valid_len = recover(&path, &mut index)?;
-        let file = OpenOptions::new().create(true).read(true).write(true).open(&path)?;
+        // Not truncated: recovery decided how much of the log survives.
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
         file.set_len(valid_len)?;
         let mut file = BufWriter::new(file);
         file.seek(SeekFrom::End(0))?;
@@ -70,6 +91,12 @@ impl DiskStore {
     /// The log file path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Enables or disables zone-map pruning on the resident index (see
+    /// [`MemoryStore::set_pruning`]).
+    pub fn set_pruning(&mut self, pruning: bool) {
+        self.index.set_pruning(pruning);
     }
 
     fn write_block(&mut self) -> Result<()> {
@@ -125,7 +152,8 @@ fn recover(path: &Path, index: &mut MemoryStore) -> Result<u64> {
         let payload_len =
             u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap()) as usize;
         let expected = u32::from_le_bytes(bytes[offset + 8..offset + 12].try_into().unwrap());
-        let count = u32::from_le_bytes(bytes[offset + 12..offset + 16].try_into().unwrap()) as usize;
+        let count =
+            u32::from_le_bytes(bytes[offset + 12..offset + 16].try_into().unwrap()) as usize;
         let body_start = offset + HEADER_BYTES;
         if body_start + payload_len > bytes.len() {
             break; // torn tail block
@@ -179,6 +207,10 @@ impl SegmentStore for DiskStore {
         self.index.scan(predicate, f)
     }
 
+    fn zones(&self) -> Option<&ZoneMap> {
+        self.index.zones()
+    }
+
     fn len(&self) -> usize {
         self.index.len()
     }
@@ -223,7 +255,9 @@ mod tests {
         {
             let mut store = DiskStore::open(&dir, 10).unwrap();
             for i in 0..25 {
-                store.insert(seg(i % 3 + 1, i as i64 * 1000, i as i64 * 1000 + 900)).unwrap();
+                store
+                    .insert(seg(i % 3 + 1, i as i64 * 1000, i as i64 * 1000 + 900))
+                    .unwrap();
             }
             store.flush().unwrap();
             assert_eq!(store.len(), 25);
@@ -256,7 +290,10 @@ mod tests {
         let dir = temp_dir("buffered");
         let mut store = DiskStore::open(&dir, 1000).unwrap();
         store.insert(seg(1, 0, 900)).unwrap();
-        assert_eq!(scan_to_vec(&store, &SegmentPredicate::all()).unwrap().len(), 1);
+        assert_eq!(
+            scan_to_vec(&store, &SegmentPredicate::all()).unwrap().len(),
+            1
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -279,7 +316,11 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let store = DiskStore::open(&dir, 5).unwrap();
         assert_eq!(store.len(), 10, "valid blocks survive");
-        assert_eq!(std::fs::metadata(&path).unwrap().len(), intact as u64, "tail truncated");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            intact as u64,
+            "tail truncated"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -324,7 +365,12 @@ mod tests {
         }
         let store = DiskStore::open(&dir, 2).unwrap();
         assert_eq!(store.len(), 8);
-        assert_eq!(scan_to_vec(&store, &SegmentPredicate::for_gids(vec![2])).unwrap().len(), 4);
+        assert_eq!(
+            scan_to_vec(&store, &SegmentPredicate::for_gids(vec![2]))
+                .unwrap()
+                .len(),
+            4
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,17 +13,23 @@
 //!   statistics (gid and end-time ranges) for block skipping, bulk-buffered
 //!   writes (Table 1's Bulk Write Size), checksums, and crash-tolerant
 //!   recovery that truncates a torn tail block.
+//! * [`zone`] — the segment-pruning zone map: per-group min/max time and
+//!   stored-value statistics over runs of segments, maintained on write by
+//!   both stores and consulted by [`SegmentStore::scan`] to skip runs that
+//!   cannot match a query's push-down predicate.
 
 pub mod catalog;
 pub mod codec;
 pub mod disk;
 pub mod memory;
+pub mod zone;
 
-use mdb_types::{Gid, Result, SegmentRecord, Timestamp};
+use mdb_types::{Gid, Result, SegmentRecord, Timestamp, ValueInterval};
 
 pub use catalog::Catalog;
 pub use disk::DiskStore;
 pub use memory::MemoryStore;
+pub use zone::{GidZone, ValueBoundsFn, ZoneMap, ZoneRun, ZoneValues};
 
 /// Predicates pushed down to the segment store (Section 6.2: the store only
 /// needs to index one id per segment — the Gid — plus the time interval).
@@ -35,6 +41,12 @@ pub struct SegmentPredicate {
     pub from: Option<Timestamp>,
     /// Only segments whose interval starts at or before this time.
     pub to: Option<Timestamp>,
+    /// Only segment runs whose *stored* (scaled) value range intersects this
+    /// interval, checked against the store's zone map at run granularity —
+    /// the store cannot evaluate individual values without decoding models,
+    /// so per-point filtering stays in the query engine. `None` disables
+    /// value pruning.
+    pub values: Option<ValueInterval>,
 }
 
 impl SegmentPredicate {
@@ -45,7 +57,10 @@ impl SegmentPredicate {
 
     /// Restrict to a set of groups.
     pub fn for_gids(gids: Vec<Gid>) -> Self {
-        Self { gids: Some(gids), ..Self::default() }
+        Self {
+            gids: Some(gids),
+            ..Self::default()
+        }
     }
 
     /// Further restrict to segments overlapping `[from, to]` (inclusive).
@@ -55,7 +70,16 @@ impl SegmentPredicate {
         self
     }
 
-    /// Whether `segment` satisfies the predicate.
+    /// Further restrict to segment runs whose stored-value range intersects
+    /// `values` (run-granular zone-map pruning; see [`SegmentPredicate::values`]).
+    pub fn with_values(mut self, values: ValueInterval) -> Self {
+        self.values = Some(values);
+        self
+    }
+
+    /// Whether `segment` satisfies the gid and time parts of the predicate.
+    /// The `values` part is run-granular: it cannot be decided per segment
+    /// without decoding the model, so it is intentionally not checked here.
     pub fn matches(&self, segment: &SegmentRecord) -> bool {
         if let Some(gids) = &self.gids {
             if !gids.contains(&segment.gid) {
@@ -79,7 +103,10 @@ impl SegmentPredicate {
 /// The uniform storage interface of Figure 4 ("Storage Interface …
 /// provides a uniform interface with predicate push-down for the persistent
 /// segment group store").
-pub trait SegmentStore: Send {
+///
+/// Stores are `Sync` so the query engine can share one store reference
+/// across its scoped scan workers; mutation stays `&mut self`.
+pub trait SegmentStore: Send + Sync {
     /// Appends one segment (buffered; durability on [`SegmentStore::flush`]).
     fn insert(&mut self, segment: SegmentRecord) -> Result<()>;
 
@@ -87,7 +114,14 @@ pub trait SegmentStore: Send {
     fn flush(&mut self) -> Result<()>;
 
     /// Streams all segments matching `predicate`, in `(gid, end_time)` order.
+    /// Stores that maintain a [`ZoneMap`] use it here to skip whole groups
+    /// and segment runs whose statistics cannot match.
     fn scan(&self, predicate: &SegmentPredicate, f: &mut dyn FnMut(&SegmentRecord)) -> Result<()>;
+
+    /// The store's zone map, if it maintains one (both built-in stores do).
+    fn zones(&self) -> Option<&ZoneMap> {
+        None
+    }
 
     /// Number of stored segments (including buffered ones).
     fn len(&self) -> usize;
@@ -106,7 +140,10 @@ pub trait SegmentStore: Send {
 }
 
 /// Collects a scan into a vector (convenience for tests and query code).
-pub fn scan_to_vec(store: &dyn SegmentStore, predicate: &SegmentPredicate) -> Result<Vec<SegmentRecord>> {
+pub fn scan_to_vec(
+    store: &dyn SegmentStore,
+    predicate: &SegmentPredicate,
+) -> Result<Vec<SegmentRecord>> {
     let mut out = Vec::new();
     store.scan(predicate, &mut |s| out.push(s.clone()))?;
     Ok(out)
@@ -136,10 +173,18 @@ mod tests {
         assert!(SegmentPredicate::all().matches(&s));
         assert!(SegmentPredicate::for_gids(vec![3]).matches(&s));
         assert!(!SegmentPredicate::for_gids(vec![4]).matches(&s));
-        assert!(SegmentPredicate::all().with_time_range(2_000, 3_000).matches(&s));
-        assert!(SegmentPredicate::all().with_time_range(0, 1_000).matches(&s));
-        assert!(!SegmentPredicate::all().with_time_range(2_100, 3_000).matches(&s));
+        assert!(SegmentPredicate::all()
+            .with_time_range(2_000, 3_000)
+            .matches(&s));
+        assert!(SegmentPredicate::all()
+            .with_time_range(0, 1_000)
+            .matches(&s));
+        assert!(!SegmentPredicate::all()
+            .with_time_range(2_100, 3_000)
+            .matches(&s));
         assert!(!SegmentPredicate::all().with_time_range(0, 900).matches(&s));
-        assert!(SegmentPredicate::for_gids(vec![3]).with_time_range(1_500, 1_600).matches(&s));
+        assert!(SegmentPredicate::for_gids(vec![3])
+            .with_time_range(1_500, 1_600)
+            .matches(&s));
     }
 }

@@ -6,25 +6,73 @@ use std::collections::BTreeMap;
 
 use mdb_types::{Gid, Result, SegmentRecord};
 
+use crate::zone::{ValueBoundsFn, ZoneMap};
 use crate::{SegmentPredicate, SegmentStore};
 
 /// Heap-backed store, ordered by `(gid, end_time, gaps)` like the
-/// Cassandra clustering key of Section 3.3.
-#[derive(Debug, Default)]
+/// Cassandra clustering key of Section 3.3. A [`ZoneMap`] is maintained on
+/// every insert; scans consult it to skip whole groups and segment runs.
 pub struct MemoryStore {
     segments: BTreeMap<(Gid, i64, u64), SegmentRecord>,
     logical_bytes: u64,
+    zones: ZoneMap,
+    /// Computes stored-value ranges for the zone map; without it, runs are
+    /// unbounded and only time statistics prune.
+    value_bounds: Option<ValueBoundsFn>,
+    pruning: bool,
+}
+
+impl std::fmt::Debug for MemoryStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryStore")
+            .field("segments", &self.segments.len())
+            .field("logical_bytes", &self.logical_bytes)
+            .field("zones", &self.zones.run_count())
+            .field("pruning", &self.pruning)
+            .finish()
+    }
+}
+
+impl Default for MemoryStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MemoryStore {
-    /// An empty store.
+    /// An empty store (time-only zone statistics).
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            segments: BTreeMap::new(),
+            logical_bytes: 0,
+            zones: ZoneMap::new(),
+            value_bounds: None,
+            pruning: true,
+        }
+    }
+
+    /// An empty store whose zone map also records stored-value ranges
+    /// computed by `value_bounds` (typically `mdb_models::segment_value_range`
+    /// closed over the registry and group sizes).
+    pub fn with_value_bounds(value_bounds: ValueBoundsFn) -> Self {
+        Self {
+            value_bounds: Some(value_bounds),
+            ..Self::new()
+        }
+    }
+
+    /// Enables or disables zone-map pruning in [`SegmentStore::scan`] (the
+    /// map is still maintained). Disabling yields the plain sequential scan —
+    /// the baseline the `repro query` benchmark measures against.
+    pub fn set_pruning(&mut self, pruning: bool) {
+        self.pruning = pruning;
     }
 }
 
 impl SegmentStore for MemoryStore {
     fn insert(&mut self, segment: SegmentRecord) -> Result<()> {
+        let range = self.value_bounds.as_ref().and_then(|f| f(&segment));
+        self.zones.insert(&segment, range);
         self.logical_bytes += segment.storage_bytes() as u64;
         let key = (segment.gid, segment.end_time, segment.gaps.0);
         if let Some(old) = self.segments.insert(key, segment) {
@@ -38,24 +86,65 @@ impl SegmentStore for MemoryStore {
     }
 
     fn scan(&self, predicate: &SegmentPredicate, f: &mut dyn FnMut(&SegmentRecord)) -> Result<()> {
-        match &predicate.gids {
-            Some(gids) => {
-                let mut sorted = gids.clone();
-                sorted.sort_unstable();
-                sorted.dedup();
-                for gid in sorted {
-                    // Range scan within one gid, using end_time >= from for
-                    // the lower bound.
-                    let lower = predicate.from.unwrap_or(i64::MIN);
-                    for (_, segment) in self.segments.range((gid, lower, 0)..=(gid, i64::MAX, u64::MAX)) {
+        if !self.pruning {
+            // The unpruned baseline: filter every segment individually.
+            match &predicate.gids {
+                Some(gids) => {
+                    let mut sorted = gids.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    for gid in sorted {
+                        // Range scan within one gid, using end_time >= from
+                        // for the lower bound.
+                        let lower = predicate.from.unwrap_or(i64::MIN);
+                        for (_, segment) in self
+                            .segments
+                            .range((gid, lower, 0)..=(gid, i64::MAX, u64::MAX))
+                        {
+                            if predicate.matches(segment) {
+                                f(segment);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for segment in self.segments.values() {
                         if predicate.matches(segment) {
                             f(segment);
                         }
                     }
                 }
             }
-            None => {
-                for segment in self.segments.values() {
+            return Ok(());
+        }
+        // Pruned scan: resolve the candidate groups, then walk each group's
+        // zone runs, range-scanning only runs whose statistics can match.
+        // Groups ascend and runs within a group partition the end-time axis
+        // in order, so the `(gid, end_time)` output order is preserved.
+        let gids: Vec<Gid> = match &predicate.gids {
+            Some(gids) => {
+                let mut sorted = gids.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                sorted
+            }
+            None => self.zones.gids().collect(),
+        };
+        for gid in gids {
+            let Some(zone) = self.zones.gid(gid) else {
+                continue;
+            };
+            if zone.prunes(predicate) {
+                continue;
+            }
+            for run in &zone.runs {
+                if run.prunes(predicate) {
+                    continue;
+                }
+                for (_, segment) in self
+                    .segments
+                    .range((gid, run.min_end, 0)..=(gid, run.max_end, u64::MAX))
+                {
                     if predicate.matches(segment) {
                         f(segment);
                     }
@@ -63,6 +152,10 @@ impl SegmentStore for MemoryStore {
             }
         }
         Ok(())
+    }
+
+    fn zones(&self) -> Option<&ZoneMap> {
+        Some(&self.zones)
     }
 
     fn len(&self) -> usize {
@@ -127,7 +220,11 @@ mod tests {
         store.insert(seg(1, 0, 900, 0)).unwrap();
         store.insert(seg(1, 1000, 1900, 0)).unwrap();
         store.insert(seg(1, 2000, 2900, 0)).unwrap();
-        let got = scan_to_vec(&store, &SegmentPredicate::for_gids(vec![1]).with_time_range(950, 1950)).unwrap();
+        let got = scan_to_vec(
+            &store,
+            &SegmentPredicate::for_gids(vec![1]).with_time_range(950, 1950),
+        )
+        .unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].start_time, 1000);
         // Overlap at the edges is inclusive.

@@ -21,12 +21,15 @@ struct Column {
 
 impl Column {
     fn with_capacity(rows: usize) -> Self {
-        Self { values: Vec::with_capacity(rows), validity: Vec::with_capacity(rows / 64 + 1) }
+        Self {
+            values: Vec::with_capacity(rows),
+            validity: Vec::with_capacity(rows / 64 + 1),
+        }
     }
 
     fn push(&mut self, value: Option<Value>) {
         let row = self.values.len();
-        if row % 64 == 0 {
+        if row.is_multiple_of(64) {
             self.validity.push(0);
         }
         if let Some(v) = value {
@@ -114,7 +117,11 @@ impl RowBatch {
 
     /// Appends one row with the value of series `s` produced by `value(s)` —
     /// the allocation-free way to fill a batch from a generator.
-    pub fn push_row_with(&mut self, timestamp: Timestamp, mut value: impl FnMut(usize) -> Option<Value>) {
+    pub fn push_row_with(
+        &mut self,
+        timestamp: Timestamp,
+        mut value: impl FnMut(usize) -> Option<Value>,
+    ) {
         self.timestamps.push(timestamp);
         for (s, column) in self.columns.iter_mut().enumerate() {
             column.push(value(s));
@@ -134,7 +141,10 @@ impl RowBatch {
 
     /// A view over every column of this batch.
     pub fn view(&self) -> BatchView<'_> {
-        BatchView { batch: self, columns: None }
+        BatchView {
+            batch: self,
+            columns: None,
+        }
     }
 
     /// A view over the columns at `columns` (in that order) — how the engine
@@ -145,7 +155,10 @@ impl RowBatch {
     ///
     /// Accessors of the returned view panic if an index is out of range.
     pub fn select<'a>(&'a self, columns: &'a [usize]) -> BatchView<'a> {
-        BatchView { batch: self, columns: Some(columns) }
+        BatchView {
+            batch: self,
+            columns: Some(columns),
+        }
     }
 }
 

@@ -10,11 +10,12 @@ use serde::{Deserialize, Serialize};
 use crate::datapoint::Value;
 
 /// An error bound a model-based approximation must not exceed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ErrorBound {
     /// No error is allowed; every reconstructed value must compare equal to
     /// the ingested value (lossless models such as Gorilla always satisfy
     /// this; lossy models may only represent runs of identical values).
+    #[default]
     Lossless,
     /// `|approximation − value| ≤ bound` for every represented value.
     Absolute(f64),
@@ -27,7 +28,10 @@ impl ErrorBound {
     /// A relative bound of `percent`; `0.0` collapses to lossless, matching
     /// the paper's convention that a 0 % bound means exact reconstruction.
     pub fn relative(percent: f64) -> Self {
-        assert!(percent >= 0.0 && percent.is_finite(), "bound must be a finite non-negative percentage");
+        assert!(
+            percent >= 0.0 && percent.is_finite(),
+            "bound must be a finite non-negative percentage"
+        );
         if percent == 0.0 {
             ErrorBound::Lossless
         } else {
@@ -37,7 +41,10 @@ impl ErrorBound {
 
     /// An absolute bound of `epsilon`; `0.0` collapses to lossless.
     pub fn absolute(epsilon: f64) -> Self {
-        assert!(epsilon >= 0.0 && epsilon.is_finite(), "bound must be finite and non-negative");
+        assert!(
+            epsilon >= 0.0 && epsilon.is_finite(),
+            "bound must be finite and non-negative"
+        );
         if epsilon == 0.0 {
             ErrorBound::Lossless
         } else {
@@ -118,12 +125,6 @@ impl ErrorBound {
     }
 }
 
-impl Default for ErrorBound {
-    fn default() -> Self {
-        ErrorBound::Lossless
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,7 +157,7 @@ mod tests {
         assert!(b.within(99.0, 100.0)); // 1% off
         assert!(b.within(90.0, 100.0)); // exactly 10% off
         assert!(!b.within(89.0, 100.0)); // 11% off
-        // Small values allow only small absolute deviation.
+                                         // Small values allow only small absolute deviation.
         assert!(!b.within(0.2, 0.1));
         assert!(b.within(0.105, 0.1));
     }

@@ -35,7 +35,11 @@ pub struct DataPoint {
 impl DataPoint {
     /// Creates a data point.
     pub fn new(tid: Tid, timestamp: Timestamp, value: Value) -> Self {
-        Self { tid, timestamp, value }
+        Self {
+            tid,
+            timestamp,
+            value,
+        }
     }
 }
 
@@ -46,7 +50,11 @@ mod tests {
     #[test]
     fn construction_and_equality() {
         let a = DataPoint::new(1, 100, 188.5);
-        let b = DataPoint { tid: 1, timestamp: 100, value: 188.5 };
+        let b = DataPoint {
+            tid: 1,
+            timestamp: 100,
+            value: 188.5,
+        };
         assert_eq!(a, b);
     }
 }

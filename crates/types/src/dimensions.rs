@@ -45,14 +45,22 @@ impl DimensionSchema {
     pub fn new(name: impl Into<String>, levels_general_to_detailed: Vec<String>) -> Result<Self> {
         let levels = levels_general_to_detailed;
         if levels.is_empty() {
-            return Err(MdbError::Config("a dimension needs at least one level".into()));
+            return Err(MdbError::Config(
+                "a dimension needs at least one level".into(),
+            ));
         }
-        Ok(Self { name: name.into(), levels })
+        Ok(Self {
+            name: name.into(),
+            levels,
+        })
     }
 
     /// Convenience constructor matching how the paper writes hierarchies:
     /// from the entity up towards ⊤ (`Turbine → Park → Region → Country`).
-    pub fn from_leaf_up(name: impl Into<String>, levels_detailed_to_general: Vec<String>) -> Result<Self> {
+    pub fn from_leaf_up(
+        name: impl Into<String>,
+        levels_detailed_to_general: Vec<String>,
+    ) -> Result<Self> {
         let mut levels = levels_detailed_to_general;
         levels.reverse();
         Self::new(name, levels)
@@ -80,7 +88,10 @@ impl DimensionSchema {
 
     /// The 1-based level with the given name, if any.
     pub fn level_of(&self, level_name: &str) -> Option<usize> {
-        self.levels.iter().position(|l| l.eq_ignore_ascii_case(level_name)).map(|i| i + 1)
+        self.levels
+            .iter()
+            .position(|l| l.eq_ignore_ascii_case(level_name))
+            .map(|i| i + 1)
     }
 }
 
@@ -119,10 +130,17 @@ impl Dimensions {
     pub fn add_dimension(&mut self, schema: DimensionSchema) -> Result<usize> {
         for existing in &self.schemas {
             if existing.name.eq_ignore_ascii_case(&schema.name) {
-                return Err(MdbError::Config(format!("duplicate dimension {}", schema.name)));
+                return Err(MdbError::Config(format!(
+                    "duplicate dimension {}",
+                    schema.name
+                )));
             }
             for level in &schema.levels {
-                if existing.levels.iter().any(|l| l.eq_ignore_ascii_case(level)) {
+                if existing
+                    .levels
+                    .iter()
+                    .any(|l| l.eq_ignore_ascii_case(level))
+                {
                     return Err(MdbError::Config(format!(
                         "level name {level} appears in both {} and {}",
                         existing.name, schema.name
@@ -151,7 +169,9 @@ impl Dimensions {
 
     /// The id of the dimension called `name`.
     pub fn dimension_id(&self, name: &str) -> Option<usize> {
-        self.schemas.iter().position(|s| s.name.eq_ignore_ascii_case(name))
+        self.schemas
+            .iter()
+            .position(|s| s.name.eq_ignore_ascii_case(name))
     }
 
     /// Resolves an unqualified level name (`Park`, `Category`, …) to the
@@ -187,7 +207,12 @@ impl Dimensions {
     /// Records the member path of `tid` in dimension `dim`, given from the
     /// most general level down to the leaf (e.g. `["Denmark", "Nordjylland",
     /// "Aalborg", "9634"]` for the Location dimension of Figure 7).
-    pub fn set_members(&mut self, tid: Tid, dim: usize, path_general_to_detailed: &[&str]) -> Result<()> {
+    pub fn set_members(
+        &mut self,
+        tid: Tid,
+        dim: usize,
+        path_general_to_detailed: &[&str],
+    ) -> Result<()> {
         let schema = self
             .schemas
             .get(dim)
@@ -201,8 +226,14 @@ impl Dimensions {
             )));
         }
         let n_dims = self.schemas.len();
-        let ids: Vec<MemberId> = path_general_to_detailed.iter().map(|m| self.intern(m)).collect();
-        let entry = self.paths.entry(tid).or_insert_with(|| vec![Vec::new(); n_dims]);
+        let ids: Vec<MemberId> = path_general_to_detailed
+            .iter()
+            .map(|m| self.intern(m))
+            .collect();
+        let entry = self
+            .paths
+            .entry(tid)
+            .or_insert_with(|| vec![Vec::new(); n_dims]);
         if entry.len() < n_dims {
             entry.resize(n_dims, Vec::new());
         }
@@ -227,13 +258,19 @@ impl Dimensions {
 
     /// The full member path of `tid` in `dim`, general → detailed.
     pub fn path(&self, tid: Tid, dim: usize) -> Option<&[MemberId]> {
-        self.paths.get(&tid).and_then(|p| p.get(dim)).map(Vec::as_slice)
+        self.paths
+            .get(&tid)
+            .and_then(|p| p.get(dim))
+            .map(Vec::as_slice)
     }
 
     /// The tids whose member at `(dim, level)` is `member` — the inverted
     /// index used by query rewriting.
     pub fn tids_with_member(&self, dim: usize, level: usize, member: MemberId) -> &[Tid] {
-        self.by_member.get(&(dim, level, member)).map(Vec::as_slice).unwrap_or(&[])
+        self.by_member
+            .get(&(dim, level, member))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The Lowest Common Ancestor *level* of two sets of time series in
@@ -317,14 +354,22 @@ mod tests {
             .add_dimension(
                 DimensionSchema::from_leaf_up(
                     "Location",
-                    vec!["Turbine".into(), "Park".into(), "Region".into(), "Country".into()],
+                    vec![
+                        "Turbine".into(),
+                        "Park".into(),
+                        "Region".into(),
+                        "Country".into(),
+                    ],
                 )
                 .unwrap(),
             )
             .unwrap();
-        dims.set_members(1, loc, &["Denmark", "Nordjylland", "Farsø", "9572"]).unwrap();
-        dims.set_members(2, loc, &["Denmark", "Nordjylland", "Aalborg", "9632"]).unwrap();
-        dims.set_members(3, loc, &["Denmark", "Nordjylland", "Aalborg", "9634"]).unwrap();
+        dims.set_members(1, loc, &["Denmark", "Nordjylland", "Farsø", "9572"])
+            .unwrap();
+        dims.set_members(2, loc, &["Denmark", "Nordjylland", "Aalborg", "9632"])
+            .unwrap();
+        dims.set_members(3, loc, &["Denmark", "Nordjylland", "Aalborg", "9634"])
+            .unwrap();
         dims
     }
 
@@ -332,7 +377,12 @@ mod tests {
     fn from_leaf_up_reverses_levels() {
         let s = DimensionSchema::from_leaf_up(
             "Location",
-            vec!["Turbine".into(), "Park".into(), "Region".into(), "Country".into()],
+            vec![
+                "Turbine".into(),
+                "Park".into(),
+                "Region".into(),
+                "Country".into(),
+            ],
         )
         .unwrap();
         assert_eq!(s.level_name(1), Some("Country"));
@@ -397,8 +447,10 @@ mod tests {
     #[test]
     fn resolve_level_searches_all_dimensions() {
         let mut dims = figure7();
-        dims.add_dimension(DimensionSchema::new("Measure", vec!["Category".into(), "Concrete".into()]).unwrap())
-            .unwrap();
+        dims.add_dimension(
+            DimensionSchema::new("Measure", vec!["Category".into(), "Concrete".into()]).unwrap(),
+        )
+        .unwrap();
         assert_eq!(dims.resolve_level("Park"), Some((0, 3)));
         assert_eq!(dims.resolve_level("Concrete"), Some((1, 2)));
         assert_eq!(dims.resolve_level("Nope"), None);

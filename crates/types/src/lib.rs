@@ -24,6 +24,7 @@ pub mod bound;
 pub mod datapoint;
 pub mod dimensions;
 pub mod error;
+pub mod interval;
 pub mod meta;
 pub mod segment;
 pub mod time;
@@ -33,6 +34,7 @@ pub use bound::ErrorBound;
 pub use datapoint::{DataPoint, Tid, Timestamp, Value};
 pub use dimensions::{DimensionSchema, Dimensions, MemberId, LEVEL_TOP};
 pub use error::{MdbError, Result};
+pub use interval::ValueInterval;
 pub use meta::{Gid, GroupMeta, TimeSeriesMeta};
 pub use segment::{GapsMask, SegmentRecord, MAX_GROUP_SIZE};
 pub use time::TimeLevel;

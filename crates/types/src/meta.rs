@@ -31,7 +31,12 @@ pub struct TimeSeriesMeta {
 impl TimeSeriesMeta {
     /// Metadata with the default scaling constant of 1.0 and no group.
     pub fn new(tid: Tid, sampling_interval: i64) -> Self {
-        Self { tid, sampling_interval, scaling: 1.0, gid: 0 }
+        Self {
+            tid,
+            sampling_interval,
+            scaling: 1.0,
+            gid: 0,
+        }
     }
 }
 
@@ -73,7 +78,11 @@ impl GroupMeta {
                 _ => {}
             }
         }
-        Ok(Self { gid, tids, sampling_interval: si.unwrap() })
+        Ok(Self {
+            gid,
+            tids,
+            sampling_interval: si.unwrap(),
+        })
     }
 
     /// The position of `tid` inside this group (its bit in the gaps mask).

@@ -35,7 +35,10 @@ impl GapsMask {
     pub fn from_positions(positions: &[usize]) -> Self {
         let mut m = 0u64;
         for &p in positions {
-            assert!(p < MAX_GROUP_SIZE, "group position {p} exceeds MAX_GROUP_SIZE");
+            assert!(
+                p < MAX_GROUP_SIZE,
+                "group position {p} exceeds MAX_GROUP_SIZE"
+            );
             m |= 1 << p;
         }
         GapsMask(m)

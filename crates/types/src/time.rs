@@ -82,7 +82,7 @@ pub fn days_from_civil(year: i64, month: u32, day: u32) -> i64 {
     debug_assert!((1..=12).contains(&month));
     let y = if month <= 2 { year - 1 } else { year };
     let era = if y >= 0 { y } else { y - 399 } / 400;
-    let yoe = (y - era * 400) as i64;
+    let yoe = y - era * 400;
     let mp = if month > 2 { month - 3 } else { month + 9 } as i64;
     let doy = (153 * mp + 2) / 5 + day as i64 - 1;
     let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
@@ -173,7 +173,11 @@ pub fn next_boundary(level: TimeLevel, ts: Timestamp) -> Timestamp {
     let c = decompose(ts);
     match level {
         TimeLevel::Month => {
-            let (y, m) = if c.month == 12 { (c.year + 1, 1) } else { (c.year, c.month + 1) };
+            let (y, m) = if c.month == 12 {
+                (c.year + 1, 1)
+            } else {
+                (c.year, c.month + 1)
+            };
             days_from_civil(y, m, 1) * MS_PER_DAY
         }
         TimeLevel::Year => days_from_civil(c.year + 1, 1, 1) * MS_PER_DAY,
@@ -206,7 +210,18 @@ mod tests {
         assert_eq!(civil_from_days(0), (1970, 1, 1));
         assert_eq!(days_from_civil(1970, 1, 1), 0);
         let c = decompose(0);
-        assert_eq!((c.year, c.month, c.day, c.hour, c.minute, c.second, c.millisecond), (1970, 1, 1, 0, 0, 0, 0));
+        assert_eq!(
+            (
+                c.year,
+                c.month,
+                c.day,
+                c.hour,
+                c.minute,
+                c.second,
+                c.millisecond
+            ),
+            (1970, 1, 1, 0, 0, 0, 0)
+        );
     }
 
     #[test]
@@ -230,7 +245,15 @@ mod tests {
 
     #[test]
     fn truncate_fixed_levels() {
-        let ts = compose(Civil { year: 2021, month: 3, day: 7, hour: 13, minute: 45, second: 12, millisecond: 345 });
+        let ts = compose(Civil {
+            year: 2021,
+            month: 3,
+            day: 7,
+            hour: 13,
+            minute: 45,
+            second: 12,
+            millisecond: 345,
+        });
         let h = decompose(truncate(TimeLevel::Hour, ts));
         assert_eq!((h.hour, h.minute, h.second, h.millisecond), (13, 0, 0, 0));
         let m = decompose(truncate(TimeLevel::Minute, ts));
@@ -241,7 +264,15 @@ mod tests {
 
     #[test]
     fn truncate_variable_levels() {
-        let ts = compose(Civil { year: 2021, month: 3, day: 7, hour: 13, minute: 45, second: 12, millisecond: 345 });
+        let ts = compose(Civil {
+            year: 2021,
+            month: 3,
+            day: 7,
+            hour: 13,
+            minute: 45,
+            second: 12,
+            millisecond: 345,
+        });
         let mo = decompose(truncate(TimeLevel::Month, ts));
         assert_eq!((mo.year, mo.month, mo.day, mo.hour), (2021, 3, 1, 0));
         let y = decompose(truncate(TimeLevel::Year, ts));
@@ -250,27 +281,65 @@ mod tests {
 
     #[test]
     fn next_boundary_is_strictly_greater() {
-        let on_boundary = compose(Civil { year: 2021, month: 3, day: 7, hour: 13, minute: 0, second: 0, millisecond: 0 });
-        assert_eq!(next_boundary(TimeLevel::Hour, on_boundary), on_boundary + MS_PER_HOUR);
+        let on_boundary = compose(Civil {
+            year: 2021,
+            month: 3,
+            day: 7,
+            hour: 13,
+            minute: 0,
+            second: 0,
+            millisecond: 0,
+        });
+        assert_eq!(
+            next_boundary(TimeLevel::Hour, on_boundary),
+            on_boundary + MS_PER_HOUR
+        );
         let off_boundary = on_boundary + 123;
-        assert_eq!(next_boundary(TimeLevel::Hour, off_boundary), on_boundary + MS_PER_HOUR);
+        assert_eq!(
+            next_boundary(TimeLevel::Hour, off_boundary),
+            on_boundary + MS_PER_HOUR
+        );
     }
 
     #[test]
     fn next_boundary_month_and_year_wrap() {
-        let dec = compose(Civil { year: 2021, month: 12, day: 30, hour: 1, minute: 0, second: 0, millisecond: 0 });
+        let dec = compose(Civil {
+            year: 2021,
+            month: 12,
+            day: 30,
+            hour: 1,
+            minute: 0,
+            second: 0,
+            millisecond: 0,
+        });
         let nm = decompose(next_boundary(TimeLevel::Month, dec));
         assert_eq!((nm.year, nm.month, nm.day), (2022, 1, 1));
         let ny = decompose(next_boundary(TimeLevel::Year, dec));
         assert_eq!((ny.year, ny.month, ny.day), (2022, 1, 1));
-        let feb = compose(Civil { year: 2024, month: 2, day: 1, hour: 0, minute: 0, second: 0, millisecond: 0 });
+        let feb = compose(Civil {
+            year: 2024,
+            month: 2,
+            day: 1,
+            hour: 0,
+            minute: 0,
+            second: 0,
+            millisecond: 0,
+        });
         assert_eq!(next_boundary(TimeLevel::Month, feb) - feb, 29 * MS_PER_DAY);
     }
 
     #[test]
     fn figure12_hour_parts() {
         // Figure 12: a segment from 00:13 to 02:48 yields hour keys 0, 1, 2.
-        let base = compose(Civil { year: 2021, month: 6, day: 1, hour: 0, minute: 13, second: 0, millisecond: 0 });
+        let base = compose(Civil {
+            year: 2021,
+            month: 6,
+            day: 1,
+            hour: 0,
+            minute: 13,
+            second: 0,
+            millisecond: 0,
+        });
         assert_eq!(part(TimeLevel::Hour, base), 0);
         assert_eq!(part(TimeLevel::Hour, base + MS_PER_HOUR), 1);
         assert_eq!(part(TimeLevel::Hour, base + 2 * MS_PER_HOUR), 2);
@@ -283,7 +352,18 @@ mod tests {
     fn negative_timestamps_use_euclidean_division() {
         // One millisecond before the epoch is 1969-12-31 23:59:59.999.
         let c = decompose(-1);
-        assert_eq!((c.year, c.month, c.day, c.hour, c.minute, c.second, c.millisecond), (1969, 12, 31, 23, 59, 59, 999));
+        assert_eq!(
+            (
+                c.year,
+                c.month,
+                c.day,
+                c.hour,
+                c.minute,
+                c.second,
+                c.millisecond
+            ),
+            (1969, 12, 31, 23, 59, 59, 999)
+        );
         assert_eq!(truncate(TimeLevel::Day, -1), -MS_PER_DAY);
         assert_eq!(next_boundary(TimeLevel::Day, -1), 0);
     }

@@ -37,7 +37,14 @@ impl ModelType for Step {
     }
 
     fn fitter(&self, bound: ErrorBound, _n_series: usize, limit: usize) -> Box<dyn Fitter> {
-        Box::new(StepFitter { bound, limit, first: None, second: None, step_at: 0, len: 0 })
+        Box::new(StepFitter {
+            bound,
+            limit,
+            first: None,
+            second: None,
+            step_at: 0,
+            len: 0,
+        })
     }
 
     fn grid(&self, params: &[u8], n_series: usize, count: usize) -> Option<Vec<Value>> {
@@ -50,7 +57,7 @@ impl ModelType for Step {
         let mut out = Vec::with_capacity(count * n_series);
         for t in 0..count {
             let v = if t < step { a } else { b };
-            out.extend(std::iter::repeat(v).take(n_series));
+            out.extend(std::iter::repeat_n(v, n_series));
         }
         Some(out)
     }
@@ -110,7 +117,11 @@ impl Fitter for StepFitter {
     fn params(&self) -> Vec<u8> {
         let a = self.first.unwrap_or(0.0);
         let b = self.second.unwrap_or(a);
-        let step = if self.second.is_some() { self.step_at } else { self.len };
+        let step = if self.second.is_some() {
+            self.step_at
+        } else {
+            self.len
+        };
         let mut out = Vec::with_capacity(12);
         out.extend_from_slice(&a.to_le_bytes());
         out.extend_from_slice(&b.to_le_bytes());
@@ -138,7 +149,9 @@ fn main() -> modelardb::Result<()> {
     // spans two whole plateaus (80 ticks here), which the default limit of
     // 50 would truncate back to PMC territory.
     builder.config_mut().compression.length_limit = 200;
-    builder.with_registry(registry).add_series(SeriesSpec::new("setpoint", 100));
+    builder
+        .with_registry(registry)
+        .add_series(SeriesSpec::new("setpoint", 100));
     let mut db = builder.build()?;
 
     // A setpoint signal: plateaus with steps, plus sensor noise well inside
@@ -158,9 +171,15 @@ fn main() -> modelardb::Result<()> {
         println!("  {model}: {share:.1}%");
     }
     let step_share = db.stats().model_shares()[step_mid as usize].1;
-    assert!(step_share > 10.0, "the step model should win plateaus+step segments: {step_share:.1}%");
+    assert!(
+        step_share > 10.0,
+        "the step model should win plateaus+step segments: {step_share:.1}%"
+    );
 
     let r = db.sql("SELECT COUNT_S(*), AVG_S(*), MIN_S(*), MAX_S(*) FROM Segment")?;
-    println!("\naggregates straight off the custom model:\n{}", r.to_table());
+    println!(
+        "\naggregates straight off the custom model:\n{}",
+        r.to_table()
+    );
     Ok(())
 }

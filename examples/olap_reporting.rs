@@ -16,7 +16,11 @@ use mdb_bench::catalog_from_dataset;
 use modelardb::{Cluster, CompressionConfig, ErrorBound, ModelRegistry};
 
 fn main() -> modelardb::Result<()> {
-    let scale = mdb_datagen::Scale { clusters: 6, series_per_cluster: 4, ticks: 3_000 };
+    let scale = mdb_datagen::Scale {
+        clusters: 6,
+        series_per_cluster: 4,
+        ticks: 3_000,
+    };
     let ds = mdb_datagen::ep(42, scale)?;
     // Partition with the paper's EP hints: Production 0 ; Measure 1
     // ProductionMWh.
@@ -30,7 +34,10 @@ fn main() -> modelardb::Result<()> {
     let cluster = Cluster::start(
         catalog,
         Arc::new(ModelRegistry::standard()),
-        CompressionConfig { error_bound: ErrorBound::relative(5.0), ..Default::default() },
+        CompressionConfig {
+            error_bound: ErrorBound::relative(5.0),
+            ..Default::default()
+        },
         4,
     )?;
     println!("group assignment per worker: {:?}", cluster.assignment());
@@ -49,13 +56,19 @@ fn main() -> modelardb::Result<()> {
     let r = cluster.sql(
         "SELECT Type, CUBE_SUM_MONTH(*) FROM Segment WHERE Category = 'ProductionMWh' GROUP BY Type ORDER BY Type",
     )?;
-    println!("monthly production by plant type (M-AGG-One):\n{}", r.to_table());
+    println!(
+        "monthly production by plant type (M-AGG-One):\n{}",
+        r.to_table()
+    );
 
     // Report 2: drill down below the grouping level — per entity.
     let r = cluster.sql(
         "SELECT Entity, CUBE_AVG_MONTH(*) FROM Segment WHERE Category = 'ProductionMWh' GROUP BY Entity ORDER BY Entity LIMIT 6",
     )?;
-    println!("monthly average by entity, drill-down (M-AGG-Two):\n{}", r.to_table());
+    println!(
+        "monthly average by entity, drill-down (M-AGG-Two):\n{}",
+        r.to_table()
+    );
 
     // Report 3: hour-of-day profile — the DatePart-style aggregate InfluxDB
     // cannot express (Section 7.3).

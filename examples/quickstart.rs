@@ -56,10 +56,16 @@ fn main() -> modelardb::Result<()> {
     let result = db.sql(
         "SELECT Tid, COUNT_S(*), AVG_S(*), MIN_S(*), MAX_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
     )?;
-    println!("\nper-series aggregates on the Segment View:\n{}", result.to_table());
+    println!(
+        "\nper-series aggregates on the Segment View:\n{}",
+        result.to_table()
+    );
 
     // And the Data Point View reconstructs values within the error bound.
     let result = db.sql("SELECT * FROM DataPoint WHERE Tid = 1 AND TS BETWEEN 0 AND 400")?;
-    println!("first five reconstructed points of tid 1:\n{}", result.to_table());
+    println!(
+        "first five reconstructed points of tid 1:\n{}",
+        result.to_table()
+    );
     Ok(())
 }

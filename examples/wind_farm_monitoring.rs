@@ -75,16 +75,28 @@ fn main() -> modelardb::Result<()> {
     let r = db.sql(&format!(
         "SELECT Tid, MAX_S(*) FROM Segment WHERE TS >= {fault_from} AND TS <= {fault_to} GROUP BY Tid ORDER BY Tid"
     ))?;
-    println!("\nmax temperature per turbine during the fault window:\n{}", r.to_table());
+    println!(
+        "\nmax temperature per turbine during the fault window:\n{}",
+        r.to_table()
+    );
     let faulty_max = r.rows[2][1].as_f64().unwrap();
-    assert!(faulty_max > 85.0, "the fault spike must survive compression: {faulty_max}");
+    assert!(
+        faulty_max > 85.0,
+        "the fault spike must survive compression: {faulty_max}"
+    );
 
     // The outage shows up as missing points for turbine 4 only.
     let r = db.sql("SELECT Tid, COUNT_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")?;
-    println!("points stored per turbine (turbine 5 of 6 had an outage):\n{}", r.to_table());
+    println!(
+        "points stored per turbine (turbine 5 of 6 had an outage):\n{}",
+        r.to_table()
+    );
 
     // Hourly profile across the park, computed on models (Algorithm 6).
     let r = db.sql("SELECT Park, CUBE_AVG_HOUR(*) FROM Segment GROUP BY Park ORDER BY Hour")?;
-    println!("hourly average temperature across the park:\n{}", r.to_table());
+    println!(
+        "hourly average temperature across the park:\n{}",
+        r.to_table()
+    );
     Ok(())
 }

@@ -104,14 +104,22 @@ fn batch_equivalence_across_dynamic_split_and_join() {
         let noise = (x >> 16) as f32 / 65536.0;
         let (a, b) = (5.0 + noise * 0.1, 5.1 + noise * 0.1);
         // Ticks 150..320: series c decorrelates hard; elsewhere it tracks.
-        let c = if (150..320).contains(&t) { 500.0 + noise * 120.0 } else { 5.2 + noise * 0.1 };
+        let c = if (150..320).contains(&t) {
+            500.0 + noise * 120.0
+        } else {
+            5.2 + noise * 0.1
+        };
         // Sprinkle per-series gaps and a whole-group gap window.
         let row = [
             (t % 71 != 0).then_some(a),
             (t % 89 != 0).then_some(b),
             (!(410..430).contains(&t)).then_some(c),
         ];
-        let row = if (500..505).contains(&t) { [None, None, None] } else { row };
+        let row = if (500..505).contains(&t) {
+            [None, None, None]
+        } else {
+            row
+        };
         by_row.ingest_row(t * 100, &row).unwrap();
         batch.push_row(t * 100, &row);
     };
@@ -125,11 +133,18 @@ fn batch_equivalence_across_dynamic_split_and_join() {
     by_row.flush().unwrap();
     by_batch.flush().unwrap();
     let row_stats = by_row.stats();
-    assert!(row_stats.splits >= 1, "expected a dynamic split, got {row_stats:?}");
+    assert!(
+        row_stats.splits >= 1,
+        "expected a dynamic split, got {row_stats:?}"
+    );
     assert_eq!(by_row.segments().unwrap(), by_batch.segments().unwrap());
     assert_eq!(row_stats.splits, by_batch.stats().splits);
     assert_eq!(row_stats.joins, by_batch.stats().joins);
     for q in QUERIES {
-        assert_eq!(by_row.sql(q).unwrap().rows, by_batch.sql(q).unwrap().rows, "{q}");
+        assert_eq!(
+            by_row.sql(q).unwrap().rows,
+            by_batch.sql(q).unwrap().rows,
+            "{q}"
+        );
     }
 }

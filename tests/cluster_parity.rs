@@ -35,12 +35,17 @@ fn cluster_agrees_with_embedded_engine() {
         let cluster = Cluster::start(
             catalog,
             Arc::new(ModelRegistry::standard()),
-            CompressionConfig { error_bound: ErrorBound::relative(5.0), ..Default::default() },
+            CompressionConfig {
+                error_bound: ErrorBound::relative(5.0),
+                ..Default::default()
+            },
             n_workers,
         )
         .unwrap();
         for tick in 0..TICKS {
-            cluster.ingest_row(ds.timestamp(tick), &ds.row(tick)).unwrap();
+            cluster
+                .ingest_row(ds.timestamp(tick), &ds.row(tick))
+                .unwrap();
         }
         cluster.flush().unwrap();
 
@@ -48,7 +53,11 @@ fn cluster_agrees_with_embedded_engine() {
             let expected = embedded.sql(&q).unwrap();
             let got = cluster.sql(&q).unwrap();
             assert_eq!(got.columns, expected.columns, "{q} ({n_workers} workers)");
-            assert_eq!(got.rows.len(), expected.rows.len(), "{q} ({n_workers} workers)");
+            assert_eq!(
+                got.rows.len(),
+                expected.rows.len(),
+                "{q} ({n_workers} workers)"
+            );
             for (a, b) in got.rows.iter().zip(&expected.rows) {
                 for (x, y) in a.iter().zip(b) {
                     match (x.as_f64(), y.as_f64()) {
@@ -76,12 +85,17 @@ fn cluster_storage_equals_embedded_storage() {
     let cluster = Cluster::start(
         catalog,
         Arc::new(ModelRegistry::standard()),
-        CompressionConfig { error_bound: ErrorBound::relative(5.0), ..Default::default() },
+        CompressionConfig {
+            error_bound: ErrorBound::relative(5.0),
+            ..Default::default()
+        },
         3,
     )
     .unwrap();
     for tick in 0..TICKS {
-        cluster.ingest_row(ds.timestamp(tick), &ds.row(tick)).unwrap();
+        cluster
+            .ingest_row(ds.timestamp(tick), &ds.row(tick))
+            .unwrap();
     }
     cluster.flush().unwrap();
     let (stats, bytes, segments) = cluster.stats().unwrap();

@@ -24,7 +24,9 @@ fn every_reconstructed_point_is_within_the_error_bound() {
                 let ts = row[1].as_i64().unwrap();
                 let value = row[2].as_f64().unwrap() as f32;
                 let tick = ((ts - ds.start) / ds.profile.si_ms) as u64;
-                let original = ds.value(tid, tick).expect("stored point must exist in the source");
+                let original = ds
+                    .value(tid, tick)
+                    .expect("stored point must exist in the source");
                 assert!(
                     bound.within(value, original),
                     "{} tid {tid} tick {tick}: {value} vs {original} at {pct}%",
@@ -32,7 +34,12 @@ fn every_reconstructed_point_is_within_the_error_bound() {
                 );
                 seen += 1;
             }
-            assert_eq!(seen, ds.count_data_points(TICKS), "{}: no point lost or invented", ds.name);
+            assert_eq!(
+                seen,
+                ds.count_data_points(TICKS),
+                "{}: no point lost or invented",
+                ds.name
+            );
         }
     }
 }
@@ -42,7 +49,9 @@ fn lossless_mode_reproduces_values_exactly() {
     let ds = ep(3, Scale::tiny()).unwrap();
     let mut db = build_engine(&ds, true, 0.0);
     ingest_engine(&mut db, &ds, 200);
-    let result = db.sql("SELECT Tid, TS, Value FROM DataPoint WHERE Tid = 1").unwrap();
+    let result = db
+        .sql("SELECT Tid, TS, Value FROM DataPoint WHERE Tid = 1")
+        .unwrap();
     assert!(!result.rows.is_empty());
     for row in &result.rows {
         let ts = row[1].as_i64().unwrap();
@@ -59,11 +68,26 @@ fn segment_view_aggregates_match_data_point_view() {
     let mut db = build_engine(&ds, true, 5.0);
     ingest_engine(&mut db, &ds, TICKS);
     for (sv, dpv) in [
-        ("SELECT SUM_S(*) FROM Segment", "SELECT SUM(Value) FROM DataPoint"),
-        ("SELECT COUNT_S(*) FROM Segment", "SELECT COUNT(Value) FROM DataPoint"),
-        ("SELECT AVG_S(*) FROM Segment WHERE Tid IN (1,2,3)", "SELECT AVG(Value) FROM DataPoint WHERE Tid IN (1,2,3)"),
-        ("SELECT MIN_S(*) FROM Segment WHERE Tid = 2", "SELECT MIN(Value) FROM DataPoint WHERE Tid = 2"),
-        ("SELECT MAX_S(*) FROM Segment WHERE Tid = 2", "SELECT MAX(Value) FROM DataPoint WHERE Tid = 2"),
+        (
+            "SELECT SUM_S(*) FROM Segment",
+            "SELECT SUM(Value) FROM DataPoint",
+        ),
+        (
+            "SELECT COUNT_S(*) FROM Segment",
+            "SELECT COUNT(Value) FROM DataPoint",
+        ),
+        (
+            "SELECT AVG_S(*) FROM Segment WHERE Tid IN (1,2,3)",
+            "SELECT AVG(Value) FROM DataPoint WHERE Tid IN (1,2,3)",
+        ),
+        (
+            "SELECT MIN_S(*) FROM Segment WHERE Tid = 2",
+            "SELECT MIN(Value) FROM DataPoint WHERE Tid = 2",
+        ),
+        (
+            "SELECT MAX_S(*) FROM Segment WHERE Tid = 2",
+            "SELECT MAX(Value) FROM DataPoint WHERE Tid = 2",
+        ),
     ] {
         let a = db.sql(sv).unwrap().rows[0][0].as_f64().unwrap();
         let b = db.sql(dpv).unwrap().rows[0][0].as_f64().unwrap();
@@ -79,9 +103,13 @@ fn cube_rollup_partitions_the_plain_aggregate() {
     let ds = ep(23, Scale::tiny()).unwrap();
     let mut db = build_engine(&ds, true, 5.0);
     ingest_engine(&mut db, &ds, TICKS);
-    let total = db.sql("SELECT SUM_S(*) FROM Segment").unwrap().rows[0][0].as_f64().unwrap();
+    let total = db.sql("SELECT SUM_S(*) FROM Segment").unwrap().rows[0][0]
+        .as_f64()
+        .unwrap();
     for level in ["HOUR", "DAY", "MONTH", "YEAR"] {
-        let r = db.sql(&format!("SELECT CUBE_SUM_{level}(*) FROM Segment")).unwrap();
+        let r = db
+            .sql(&format!("SELECT CUBE_SUM_{level}(*) FROM Segment"))
+            .unwrap();
         let sum: f64 = r.rows.iter().map(|row| row[1].as_f64().unwrap()).sum();
         assert!(
             (sum - total).abs() <= 1e-6 * total.abs().max(1.0),
@@ -108,7 +136,10 @@ fn dimension_filters_equal_explicit_tid_filters() {
         .rows[0][0]
         .as_f64()
         .unwrap();
-    assert!((by_member - by_tids).abs() < 1e-9, "{by_member} vs {by_tids}");
+    assert!(
+        (by_member - by_tids).abs() < 1e-9,
+        "{by_member} vs {by_tids}"
+    );
 }
 
 #[test]
@@ -118,11 +149,20 @@ fn point_queries_return_the_right_single_point() {
     ingest_engine(&mut db, &ds, TICKS);
     let bound = ErrorBound::relative(10.0);
     for tick in [3u64, 77, 200, 399] {
-        let Some(original) = ds.value(2, tick) else { continue };
+        let Some(original) = ds.value(2, tick) else {
+            continue;
+        };
         let ts = ds.timestamp(tick);
-        let r = db.sql(&format!("SELECT Value FROM DataPoint WHERE Tid = 2 AND TS = {ts}")).unwrap();
+        let r = db
+            .sql(&format!(
+                "SELECT Value FROM DataPoint WHERE Tid = 2 AND TS = {ts}"
+            ))
+            .unwrap();
         assert_eq!(r.rows.len(), 1, "tick {tick}");
         let got = r.rows[0][0].as_f64().unwrap() as f32;
-        assert!(bound.within(got, original), "tick {tick}: {got} vs {original}");
+        assert!(
+            bound.within(got, original),
+            "tick {tick}: {got} vs {original}"
+        );
     }
 }

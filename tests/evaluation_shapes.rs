@@ -7,7 +7,11 @@ use mdb_bench::{baseline_stores, build_engine, ingest_baseline, ingest_engine};
 use mdb_datagen::{eh, ep, Scale};
 
 fn scale() -> Scale {
-    Scale { clusters: 3, series_per_cluster: 4, ticks: 1_500 }
+    Scale {
+        clusters: 3,
+        series_per_cluster: 4,
+        ticks: 1_500,
+    }
 }
 
 /// Figure 14's headline: on the correlated EP data set with a bound,
@@ -81,7 +85,10 @@ fn eh_grouping_advantage_is_small_at_low_bounds() {
     let mut v1 = build_engine(&ds, false, 10.0);
     ingest_engine(&mut v1, &ds, ticks);
     let ep_ratio = v2.storage_bytes() as f64 / v1.storage_bytes() as f64;
-    assert!(ep_ratio < 0.75, "EP at 10% should show a clear MMGC win, got {ep_ratio:.2}");
+    assert!(
+        ep_ratio < 0.75,
+        "EP at 10% should show a clear MMGC win, got {ep_ratio:.2}"
+    );
 }
 
 /// Figures 16–17: the model mix shifts with the error bound — lossless
@@ -95,15 +102,27 @@ fn model_mix_shifts_with_the_bound() {
         ingest_engine(&mut db, &ds, ds.scale.ticks);
         let shares = db.stats().model_shares();
         let gorilla = shares.iter().find(|(n, _)| n == "Gorilla").unwrap().1;
-        let lossy: f64 =
-            shares.iter().filter(|(n, _)| n != "Gorilla").map(|(_, s)| *s).sum();
+        let lossy: f64 = shares
+            .iter()
+            .filter(|(n, _)| n != "Gorilla")
+            .map(|(_, s)| *s)
+            .sum();
         (gorilla, lossy)
     };
     let (g0, l0) = share_of(0.0);
     let (g10, l10) = share_of(10.0);
-    assert!(g0 > 50.0, "lossless bound must rely on Gorilla, got {g0:.1}%");
-    assert!(l10 > l0, "lossy models must gain share with the bound: {l0:.1}% -> {l10:.1}%");
-    assert!(g10 < g0, "Gorilla must lose share with the bound: {g0:.1}% -> {g10:.1}%");
+    assert!(
+        g0 > 50.0,
+        "lossless bound must rely on Gorilla, got {g0:.1}%"
+    );
+    assert!(
+        l10 > l0,
+        "lossy models must gain share with the bound: {l0:.1}% -> {l10:.1}%"
+    );
+    assert!(
+        g10 < g0,
+        "Gorilla must lose share with the bound: {g0:.1}% -> {g10:.1}%"
+    );
 }
 
 /// Figure 13's online-analytics column: ModelarDB and the stores that
@@ -135,7 +154,15 @@ fn online_analytics_support_matches_the_paper() {
 /// correlated series, and the reduction grows with the error bound.
 #[test]
 fn mgc_reduction_grows_with_the_bound() {
-    let ds = ep(42, Scale { clusters: 1, series_per_cluster: 3, ticks: 4_000 }).unwrap();
+    let ds = ep(
+        42,
+        Scale {
+            clusters: 1,
+            series_per_cluster: 3,
+            ticks: 4_000,
+        },
+    )
+    .unwrap();
     let mut reductions = Vec::new();
     for pct in [1.0, 5.0, 10.0] {
         let mut v1 = build_engine(&ds, false, pct);
@@ -144,7 +171,10 @@ fn mgc_reduction_grows_with_the_bound() {
         ingest_engine(&mut v2, &ds, ds.scale.ticks);
         reductions.push(1.0 - v2.storage_bytes() as f64 / v1.storage_bytes() as f64);
     }
-    assert!(reductions[0] > 0.0, "even 1% must show a reduction: {reductions:?}");
+    assert!(
+        reductions[0] > 0.0,
+        "even 1% must show a reduction: {reductions:?}"
+    );
     assert!(
         reductions[2] >= reductions[0] - 0.05,
         "reduction should not shrink materially with the bound: {reductions:?}"

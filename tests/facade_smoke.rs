@@ -13,8 +13,7 @@ fn facade_reexports_are_reachable_from_the_root_crate() {
     let _builder: modelardb_repro::ModelarDbBuilder = modelardb_repro::ModelarDbBuilder::new();
     let _spec: modelardb_repro::SeriesSpec = modelardb_repro::SeriesSpec::new("t1", 100);
     let _schema: modelardb_repro::DimensionSchema =
-        modelardb_repro::DimensionSchema::from_leaf_up("Location", vec!["Turbine".into()])
-            .unwrap();
+        modelardb_repro::DimensionSchema::from_leaf_up("Location", vec!["Turbine".into()]).unwrap();
     let _bound: modelardb_repro::ErrorBound = modelardb_repro::ErrorBound::relative(1.0);
 
     // Component-crate re-exports on both paths.
@@ -39,11 +38,14 @@ fn facade_supports_the_minimal_ingest_query_loop() {
 
     for tick in 0..200i64 {
         let v = (tick as f32 * 0.05).sin() + 10.0;
-        db.ingest_row(tick * 100, &[Some(v), Some(v + 0.01)]).unwrap();
+        db.ingest_row(tick * 100, &[Some(v), Some(v + 0.01)])
+            .unwrap();
     }
     db.flush().unwrap();
 
-    let result = db.sql("SELECT Tid, COUNT_S(*) FROM Segment GROUP BY Tid ORDER BY Tid").unwrap();
+    let result = db
+        .sql("SELECT Tid, COUNT_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")
+        .unwrap();
     assert_eq!(result.rows.len(), 2);
     for row in &result.rows {
         assert_eq!(row[1].as_i64().unwrap(), 200);

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 use mdb_bench::{build_engine, ingest_engine};
 use mdb_datagen::{ep, Scale};
-use modelardb::ModelarDb;
+use modelardb::{DimensionSchema, ErrorBound, ModelarDb, ModelarDbBuilder, SeriesSpec};
 
 const TICKS: u64 = 300;
 
@@ -20,6 +20,61 @@ fn database() -> ModelarDb {
     ingest_engine(&mut db, &ds, TICKS);
     db
 }
+
+/// Two engines over byte-identical segments: the plain sequential scan
+/// (pruning off, one worker) and the pruned-parallel path (zone-map pruning
+/// on, four scan workers). The ingest pattern mixes per-series gaps,
+/// whole-group gap ticks, and a decorrelation phase noisy enough to force
+/// dynamic split and join episodes (asserted below).
+fn sequential_and_parallel() -> (ModelarDb, ModelarDb) {
+    let build = |parallelism: usize, pruning: bool| {
+        let mut b = ModelarDbBuilder::new();
+        b.config_mut().compression.error_bound = ErrorBound::absolute(0.5);
+        b.config_mut().compression.split_fraction = 2.0;
+        b.config_mut().query_parallelism = parallelism;
+        b.config_mut().zone_pruning = pruning;
+        b.add_dimension(
+            DimensionSchema::from_leaf_up("Location", vec!["Turbine".into(), "Park".into()])
+                .unwrap(),
+        )
+        .add_series(SeriesSpec::new("a", 100).with_members("Location", &["Aalborg", "1"]))
+        .add_series(SeriesSpec::new("b", 100).with_members("Location", &["Aalborg", "2"]))
+        .correlate("Location 1");
+        b.build().unwrap()
+    };
+    let mut sequential = build(1, false);
+    let mut parallel = build(4, true);
+    let mut x = 99u32;
+    for t in 0..SJ_TICKS {
+        x = x.wrapping_mul(1103515245).wrapping_add(12345);
+        let noise = (x >> 16) as f32 / 65536.0;
+        // Correlated → series b decorrelates wildly (split) → correlated
+        // again (join), with per-series gaps and whole-group gap ticks.
+        let row = if (150..320).contains(&t) {
+            [Some(5.0 + noise * 0.2), Some(500.0 + noise * 120.0)]
+        } else if t % 97 == 13 {
+            [None, None]
+        } else {
+            [(t % 37 != 0).then_some(5.0), Some(5.1)]
+        };
+        sequential.ingest_row(t * 100, &row).unwrap();
+        parallel.ingest_row(t * 100, &row).unwrap();
+    }
+    sequential.flush().unwrap();
+    parallel.flush().unwrap();
+    let stats = sequential.stats();
+    assert!(stats.splits >= 1, "fixture must exercise dynamic splits");
+    assert!(stats.joins >= 1, "fixture must exercise dynamic joins");
+    assert_eq!(
+        sequential.segments().unwrap(),
+        parallel.segments().unwrap(),
+        "both engines must hold byte-identical segments"
+    );
+    (sequential, parallel)
+}
+
+/// Ticks ingested by [`sequential_and_parallel`] (timestamps `t * 100`).
+const SJ_TICKS: i64 = 900;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -84,6 +139,57 @@ proptest! {
         let total = total.rows.first().and_then(|r| r[0].as_f64()).unwrap_or(0.0);
         let sum: f64 = per_tid.rows.iter().filter_map(|r| r[1].as_f64()).sum();
         prop_assert!((sum - total).abs() <= 1e-6 * total.abs().max(1.0), "{sum} vs {total}");
+    }
+
+    #[test]
+    fn pruned_parallel_aggregates_are_bit_identical(
+        func_idx in 0usize..5,
+        tids in proptest::collection::btree_set(1u32..=2, 1..3),
+        window in 0i64..850,
+        span in 1i64..600,
+        group_by_tid in proptest::bool::ANY,
+    ) {
+        let (sequential, parallel) = sequential_and_parallel();
+        let func = ["COUNT", "MIN", "MAX", "SUM", "AVG"][func_idx];
+        let tid_list = tids.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
+        let from = window * 100;
+        let to = (window + span).min(SJ_TICKS - 1) * 100;
+        let sql = if group_by_tid {
+            format!(
+                "SELECT Tid, {func}_S(*) FROM Segment WHERE Tid IN ({tid_list}) \
+                 AND TS >= {from} AND TS <= {to} GROUP BY Tid ORDER BY Tid"
+            )
+        } else {
+            format!(
+                "SELECT {func}_S(*) FROM Segment WHERE Tid IN ({tid_list}) \
+                 AND TS >= {from} AND TS <= {to}"
+            )
+        };
+        let a = sequential.sql(&sql).unwrap();
+        let b = parallel.sql(&sql).unwrap();
+        // Bit-identical, not approximately equal: the pruned-parallel path
+        // folds fixed segment groups in scan order, so it performs exactly
+        // the same float operations as the sequential scan.
+        prop_assert_eq!(a.columns, b.columns);
+        prop_assert_eq!(a.rows, b.rows, "{}", sql);
+    }
+
+    #[test]
+    fn pruned_parallel_value_filters_are_bit_identical(
+        bound in -20.0f64..520.0,
+        ge in proptest::bool::ANY,
+        window in 0i64..850,
+    ) {
+        let (sequential, parallel) = sequential_and_parallel();
+        let from = window * 100;
+        let op = if ge { ">=" } else { "<" };
+        let sql = format!(
+            "SELECT Tid, SUM_S(*), COUNT_S(*) FROM Segment WHERE Value {op} {bound:.3} \
+             AND TS >= {from} GROUP BY Tid ORDER BY Tid"
+        );
+        let a = sequential.sql(&sql).unwrap();
+        let b = parallel.sql(&sql).unwrap();
+        prop_assert_eq!(a.rows, b.rows, "{}", sql);
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer (does not allocate a payload).
     pub fn new() -> Self {
-        Self { data: Arc::from(&[][..]), start: 0, end: 0 }
+        Self {
+            data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Buffer holding a copy of a static slice.
@@ -41,7 +45,11 @@ impl Bytes {
 
     /// Buffer holding a copy of `bytes`.
     pub fn copy_from_slice(bytes: &[u8]) -> Self {
-        Self { data: Arc::from(bytes), start: 0, end: bytes.len() }
+        Self {
+            data: Arc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
     }
 
     /// Length in bytes.
@@ -61,7 +69,10 @@ impl Bytes {
 
     /// A sub-view sharing the same allocation.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
         Bytes {
             data: Arc::clone(&self.data),
             start: self.start + range.start,
@@ -103,7 +114,11 @@ impl Borrow<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(vec: Vec<u8>) -> Self {
         let end = vec.len();
-        Self { data: Arc::from(vec), start: 0, end }
+        Self {
+            data: Arc::from(vec),
+            start: 0,
+            end,
+        }
     }
 }
 

@@ -21,11 +21,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
-        Self { id: format!("{function}/{parameter}") }
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
     }
 
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -117,10 +121,14 @@ impl<'a> BenchmarkGroup<'a> {
         id: impl IntoBenchmarkId,
         mut f: F,
     ) -> &mut Self {
-        let mut bencher = Bencher { sample_size: self.sample_size, measured: None };
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measured: None,
+        };
         f(&mut bencher);
         let label = format!("{}/{}", self.name, id.into_id());
-        self.criterion.report(&label, bencher.measured, self.throughput);
+        self.criterion
+            .report(&label, bencher.measured, self.throughput);
         self
     }
 
@@ -135,7 +143,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { default_sample_size: 10 }
+        Self {
+            default_sample_size: 10,
+        }
     }
 }
 
@@ -154,7 +164,12 @@ impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.default_sample_size;
-        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
     }
 
     /// Runs a standalone benchmark.
@@ -163,7 +178,10 @@ impl Criterion {
         id: impl IntoBenchmarkId,
         mut f: F,
     ) -> &mut Self {
-        let mut bencher = Bencher { sample_size: self.default_sample_size, measured: None };
+        let mut bencher = Bencher {
+            sample_size: self.default_sample_size,
+            measured: None,
+        };
         f(&mut bencher);
         let label = id.into_id();
         self.report(&label, bencher.measured, None);

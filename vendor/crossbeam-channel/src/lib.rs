@@ -71,12 +71,21 @@ pub struct Receiver<T> {
 
 fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let chan = Arc::new(Chan {
-        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
         capacity,
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
     });
-    (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
 }
 
 /// A channel with unlimited buffering.
@@ -163,8 +172,11 @@ impl<T> Receiver<T> {
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
-            let (next, result) =
-                self.chan.not_empty.wait_timeout(state, deadline - now).unwrap();
+            let (next, result) = self
+                .chan
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .unwrap();
             state = next;
             if result.timed_out() && state.queue.is_empty() {
                 return Err(RecvTimeoutError::Timeout);
@@ -186,14 +198,18 @@ impl<T> Receiver<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.chan.state.lock().unwrap().senders += 1;
-        Sender { chan: Arc::clone(&self.chan) }
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
         self.chan.state.lock().unwrap().receivers += 1;
-        Receiver { chan: Arc::clone(&self.chan) }
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
     }
 }
 

@@ -102,7 +102,9 @@ macro_rules! impl_tuple_strategies {
     };
 }
 
-impl_tuple_strategies!((A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F));
+impl_tuple_strategies!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
+    A, B, C, D, E, F
+));
 
 /// `&str` patterns are regex-like string strategies, as in the real crate.
 ///
@@ -161,9 +163,7 @@ mod string_pattern {
                 }
                 '\\' => match chars.next() {
                     Some('d') => Atom::Class(vec![('0', '9')]),
-                    Some('w') => {
-                        Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')])
-                    }
+                    Some('w') => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
                     Some(escaped) => Atom::Literal(escaped),
                     None => panic!("dangling backslash in pattern {pattern:?}"),
                 },
@@ -330,13 +330,19 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            Self { min: r.start, max: r.end }
+            Self {
+                min: r.start,
+                max: r.end,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            Self { min: *r.start(), max: r.end() + 1 }
+            Self {
+                min: *r.start(),
+                max: r.end() + 1,
+            }
         }
     }
 
@@ -349,7 +355,10 @@ pub mod collection {
 
     /// Generates vectors whose length is drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -375,7 +384,10 @@ pub mod collection {
         S: Strategy,
         S::Value: Ord,
     {
-        BTreeSetStrategy { element, size: size.into() }
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S> Strategy for BTreeSetStrategy<S>
@@ -446,6 +458,7 @@ macro_rules! __proptest_impl {
                 $crate::run_cases(concat!(module_path!(), "::", stringify!($name)), config.cases, |__rng| {
                     $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)+
                     #[allow(unreachable_code)]
+                    #[allow(clippy::redundant_closure_call)]
                     let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
                         (move || {
                             $body

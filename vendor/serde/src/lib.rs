@@ -27,7 +27,23 @@ macro_rules! impl_markers {
 }
 
 impl_markers!(
-    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String,
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
     ()
 );
 
@@ -39,4 +55,4 @@ impl<T: Deserialize> Deserialize for Option<T> {}
 impl<T: Serialize> Serialize for Box<T> {}
 impl<T: Deserialize> Deserialize for Box<T> {}
 impl<T: Serialize> Serialize for [T] {}
-impl<'a, T: Serialize + ?Sized> Serialize for &'a T {}
+impl<T: Serialize + ?Sized> Serialize for &T {}

@@ -19,7 +19,9 @@ use proc_macro::{TokenStream, TokenTree};
 fn type_name(input: TokenStream) -> Result<String, String> {
     let mut tokens = input.into_iter();
     while let Some(token) = tokens.next() {
-        let TokenTree::Ident(ident) = token else { continue };
+        let TokenTree::Ident(ident) = token else {
+            continue;
+        };
         let word = ident.to_string();
         if word == "struct" || word == "enum" || word == "union" {
             return match tokens.next() {
