@@ -8,17 +8,19 @@
 //! experiments:
 //!   table1  fig13  fig14  fig15  fig16  fig17  fig18  fig19  fig20
 //!   fig21   fig22  fig23  fig24  fig25  fig26  fig27  fig28  mgc
-//!   ingest  query  all
+//!   ingest  query  storage  all
 //! ```
 //!
 //! Unknown experiments, scales, or options exit non-zero with a usage
 //! message instead of being silently ignored.
 //!
 //! `ingest` additionally writes `BENCH_ingest.json` (rows/sec and points/sec
-//! for the tick-at-a-time vs batched ingestion paths) and `query` writes
+//! for the tick-at-a-time vs batched ingestion paths), `query` writes
 //! `BENCH_query.json` (time-ranged `SUM_S`/`AVG_S` latency for the plain
-//! sequential scan vs the pruned-parallel path) so the perf trajectory is
-//! machine-readable across commits. `gate` compares a freshly produced
+//! sequential scan vs the pruned-parallel path), and `storage` writes
+//! `BENCH_storage.json` (sidecar-assisted vs full-log-scan reopen time and
+//! the resident-segment peak under a bounded memory budget) so the perf
+//! trajectory is machine-readable across commits. `gate` compares a freshly produced
 //! `BENCH_*.json` against a committed baseline and fails (exit 1) on more
 //! than `--tolerance`-fold regression — of the machine-portable speedup
 //! ratios by default, and also of raw rates/latencies under `--absolute` —
@@ -36,14 +38,15 @@ use mdb_bench::*;
 use mdb_cluster::Cluster;
 use mdb_datagen::{eh, ep, Dataset, Scale, Workloads};
 use mdb_partitioner::CorrelationSpec;
-use modelardb::{CompressionConfig, ErrorBound, ModelRegistry};
+use modelardb::{CompressionConfig, ErrorBound, ModelRegistry, SegmentStore};
 
 const SEED: u64 = 42;
 const BOUNDS: [f64; 4] = [0.0, 1.0, 5.0, 10.0];
 
-const EXPERIMENTS: [&str; 20] = [
+const EXPERIMENTS: [&str; 21] = [
     "table1", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
     "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "mgc", "ingest", "query",
+    "storage",
 ];
 
 fn usage() -> String {
@@ -201,6 +204,148 @@ fn run_experiments(experiment: &str, scale: Scale, scale_name: &str) {
     if run("query") {
         query_rates(scale, scale_name);
     }
+    if run("storage") {
+        storage_rates(scale, scale_name);
+    }
+}
+
+/// `storage`: restart time and resident memory of the out-of-core disk
+/// store, written to `BENCH_storage.json`. One log is ingested per data set
+/// (sixteen times the scale's ticks, small blocks so even the tiny scale
+/// has dozens of them); then two reopen paths are timed in interleaved
+/// repetitions (fastest wins): `sidecar` loads block summaries and the zone
+/// map from `segments.idx`, `logscan` deletes the sidecar first and pays
+/// the streaming block-by-block rebuild. The gated `reopen_speedup` is
+/// their ratio. The bounded-cache pass reopens with a small
+/// `memory_budget_bytes`, scans everything, and reports the *store's*
+/// resident segment high-water mark (cache + write buffer) — O(cache
+/// capacity), not O(total segments). Consumers that materialize the scan
+/// (this pass's own collect, or the query engine's collect phase) hold
+/// their surviving segments on top of that; the metric bounds the store,
+/// not the whole process.
+fn storage_rates(scale: Scale, scale_name: &str) {
+    const REPS: usize = 7;
+    /// Segments per block: small enough that even `--scale tiny` produces
+    /// dozens of blocks for the sidecar to summarize.
+    const BULK: usize = 64;
+    /// Block-cache budget for the bounded-resident pass.
+    const BUDGET: u64 = 96 * 1024;
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for ds in [ep(SEED, scale).unwrap(), eh(SEED, scale).unwrap()] {
+        let ticks = (ds.scale.ticks * 16).max(20_000);
+        let dir = std::env::temp_dir().join(format!(
+            "mdb-repro-storage-{}-{}",
+            std::process::id(),
+            ds.name
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut db = build_disk_engine(&ds, &dir, 10.0, BULK, None);
+        ingest_engine_batched(&mut db, &ds, ticks, 512);
+        let segments = db.segment_count();
+        drop(db);
+
+        // Reopen at the store level, value-bounded exactly like the engine.
+        let catalog = catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap();
+        let registry = Arc::new(ModelRegistry::standard());
+        let bounds = modelardb::value_bounds_fn(&catalog, &registry);
+        let open = |budget: Option<u64>| {
+            modelardb::DiskStore::open_with(
+                &dir,
+                modelardb::DiskStoreOptions {
+                    bulk_write_size: BULK,
+                    memory_budget_bytes: budget,
+                    value_bounds: Some(std::sync::Arc::clone(&bounds)),
+                },
+            )
+            .expect("reopen")
+        };
+        let blocks = open(None).block_count();
+        // Sanity: both reopen paths must recover identical segments.
+        let via_sidecar = store_segments(&open(None));
+        std::fs::remove_file(dir.join("segments.idx")).expect("sidecar present");
+        let rebuilt = open(None);
+        assert_eq!(via_sidecar, store_segments(&rebuilt), "{}", ds.name);
+        drop(rebuilt); // its open rewrote the sidecar
+        let mut sidecar_elapsed = Duration::MAX;
+        let mut logscan_elapsed = Duration::MAX;
+        for _ in 0..REPS {
+            // Interleaved so machine-load drift cannot bias one path.
+            let (_, elapsed) = timed(|| std::hint::black_box(open(None).len()));
+            sidecar_elapsed = sidecar_elapsed.min(elapsed);
+            std::fs::remove_file(dir.join("segments.idx")).expect("sidecar present");
+            let (_, elapsed) = timed(|| std::hint::black_box(open(None).len()));
+            logscan_elapsed = logscan_elapsed.min(elapsed);
+        }
+        let speedup = logscan_elapsed.as_secs_f64() / sidecar_elapsed.as_secs_f64().max(1e-9);
+
+        // Bounded-cache pass: scan the whole store and record the resident
+        // high-water mark.
+        let bounded = open(Some(BUDGET));
+        let all = store_segments(&bounded);
+        assert_eq!(all.len(), segments, "{}", ds.name);
+        let peak = bounded.resident_segment_peak();
+        drop(bounded);
+
+        rows.push(vec![
+            ds.name.clone(),
+            segments.to_string(),
+            blocks.to_string(),
+            fmt_ms(sidecar_elapsed),
+            fmt_ms(logscan_elapsed),
+            format!("{speedup:.2}x"),
+            format!("{peak}/{segments}"),
+        ]);
+        entries.push(format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"ticks\": {}, \"segments\": {}, \"blocks\": {}, ",
+                "\"sidecar_reopen_ms\": {:.3}, \"logscan_reopen_ms\": {:.3}, ",
+                "\"reopen_speedup\": {:.3}, \"budget_bytes\": {}, ",
+                "\"peak_resident_segments\": {}}}"
+            ),
+            ds.name,
+            ticks,
+            segments,
+            blocks,
+            sidecar_elapsed.as_secs_f64() * 1e3,
+            logscan_elapsed.as_secs_f64() * 1e3,
+            speedup,
+            BUDGET,
+            peak,
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    print_figure(
+        "Storage engine: sidecar-assisted vs full-log-scan reopen, bounded-cache residency",
+        &[
+            "Data set",
+            "Segments",
+            "Blocks",
+            "Sidecar reopen",
+            "Log-scan reopen",
+            "Speedup",
+            "Peak resident",
+        ],
+        &rows,
+    );
+    let json = format!(
+        "{{\n  \"scale\": \"{scale_name}\",\n  \"datasets\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_storage.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_storage.json"),
+        Err(e) => eprintln!("\nfailed to write BENCH_storage.json: {e}"),
+    }
+}
+
+/// Collects every stored segment of a store in scan order.
+fn store_segments(store: &modelardb::DiskStore) -> Vec<modelardb::SegmentRecord> {
+    let mut out = Vec::new();
+    modelardb::SegmentStore::scan(store, &modelardb::SegmentPredicate::all(), &mut |s| {
+        out.push(s.clone())
+    })
+    .expect("scan");
+    out
 }
 
 /// `query`: time-ranged `SUM_S`/`AVG_S` latency, plain sequential scan vs

@@ -76,6 +76,27 @@ pub fn build_engine_with(
     ModelarDb::from_catalog(catalog, Arc::new(ModelRegistry::standard()), config).expect("engine")
 }
 
+/// Builds an embedded engine persisting to an out-of-core
+/// [`modelardb::DiskStore`] under `dir` (correlated grouping, the data
+/// set's evaluation hints):
+/// `bulk_write_size` segments per log block and `memory_budget_bytes` for
+/// the block cache — the knobs the `repro storage` experiment sweeps.
+pub fn build_disk_engine(
+    ds: &Dataset,
+    dir: &std::path::Path,
+    error_pct: f64,
+    bulk_write_size: usize,
+    memory_budget_bytes: Option<u64>,
+) -> ModelarDb {
+    let catalog = catalog_from_dataset(ds, &ds.correlation_spec()).expect("catalog");
+    let mut config = Config::default();
+    config.compression.error_bound = ErrorBound::relative(error_pct);
+    config.storage = StorageSpec::Disk(dir.to_path_buf());
+    config.bulk_write_size = bulk_write_size;
+    config.memory_budget_bytes = memory_budget_bytes;
+    ModelarDb::from_catalog(catalog, Arc::new(ModelRegistry::standard()), config).expect("engine")
+}
+
 /// Deterministic time-ranged S-AGG queries: `func` over a sliding window of
 /// about 1/32 of the ingested span, grouped by Tid — the query class whose
 /// latency `BENCH_query.json` tracks (segments outside the window should be

@@ -11,6 +11,7 @@
 //! modelardb.split_fraction       = 10
 //! modelardb.bulk_write_size      = 50000
 //! modelardb.storage              = memory       # or a directory path
+//! modelardb.memory_budget        = 67108864     # block-cache bytes; or "unbounded"
 //!
 //! modelardb.dimension            = Location, Country, Park, Turbine
 //! modelardb.dimension            = Measure, Category, Concrete
@@ -49,6 +50,9 @@ pub struct ConfigFile {
     pub split_fraction: Option<f64>,
     pub bulk_write_size: Option<usize>,
     pub storage: Option<StorageSpec>,
+    /// `Some(budget)` when a `memory_budget` line was present: the inner
+    /// value is the block-cache byte budget, `None` meaning "unbounded".
+    pub memory_budget_bytes: Option<Option<u64>>,
 }
 
 impl ConfigFile {
@@ -91,6 +95,18 @@ impl ConfigFile {
                 }
                 "modelardb.bulk_write_size" => {
                     cfg.bulk_write_size = Some(parse_number(value, number)?);
+                }
+                "modelardb.memory_budget" => {
+                    cfg.memory_budget_bytes = Some(if value.eq_ignore_ascii_case("unbounded") {
+                        None
+                    } else {
+                        Some(value.parse::<u64>().map_err(|_| {
+                            MdbError::Config(format!(
+                                "line {}: bad memory budget {value:?} (bytes or \"unbounded\")",
+                                number + 1
+                            ))
+                        })?)
+                    });
                 }
                 "modelardb.storage" => {
                     cfg.storage = Some(if value.eq_ignore_ascii_case("memory") {
@@ -160,6 +176,9 @@ impl ConfigFile {
             if let Some(storage) = self.storage {
                 config.storage = storage;
             }
+            if let Some(budget) = self.memory_budget_bytes {
+                config.memory_budget_bytes = budget;
+            }
         }
         for schema in self.dimensions {
             builder.add_dimension(schema);
@@ -220,6 +239,7 @@ modelardb.dynamic_split = true
 modelardb.split_fraction = 4
 modelardb.bulk_write_size = 1000
 modelardb.storage       = memory
+modelardb.memory_budget = 8388608
 
 modelardb.dimension     = Location, Country, Park, Turbine
 modelardb.dimension     = Measure, Category, Concrete
@@ -242,6 +262,7 @@ modelardb.correlation.scaling = series t9572.gz 4.75
         assert_eq!(cfg.split_fraction, Some(4.0));
         assert_eq!(cfg.bulk_write_size, Some(1000));
         assert!(matches!(cfg.storage, Some(StorageSpec::Memory)));
+        assert_eq!(cfg.memory_budget_bytes, Some(Some(8 << 20)));
         assert_eq!(cfg.dimensions.len(), 2);
         assert_eq!(cfg.dimensions[0].name(), "Location");
         assert_eq!(cfg.dimensions[0].height(), 3);
@@ -282,6 +303,15 @@ modelardb.correlation.scaling = series t9572.gz 4.75
         let cfg = ConfigFile::parse("\n# only a comment\nMODELARDB.ERROR_BOUND = 1.0 # inline\n")
             .unwrap();
         assert_eq!(cfg.error_bound_percent, 1.0);
+    }
+
+    #[test]
+    fn memory_budget_parses_bytes_and_unbounded() {
+        let cfg = ConfigFile::parse("modelardb.memory_budget = unbounded").unwrap();
+        assert_eq!(cfg.memory_budget_bytes, Some(None));
+        let cfg = ConfigFile::parse("modelardb.memory_budget = 1024").unwrap();
+        assert_eq!(cfg.memory_budget_bytes, Some(Some(1024)));
+        assert!(ConfigFile::parse("modelardb.memory_budget = lots").is_err());
     }
 
     #[test]

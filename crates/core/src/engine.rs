@@ -9,7 +9,10 @@ use std::sync::Arc;
 use mdb_compression::{CompressionStats, GroupIngestor};
 use mdb_models::ModelRegistry;
 use mdb_query::{QueryEngine, QueryResult, ScanPool};
-use mdb_storage::{Catalog, DiskStore, MemoryStore, SegmentPredicate, SegmentStore, ValueBoundsFn};
+use mdb_storage::{
+    Catalog, DiskStore, DiskStoreOptions, MemoryStore, SegmentPredicate, SegmentStore,
+    ValueBoundsFn, ZoneMap,
+};
 use mdb_types::{Gid, MdbError, Result, RowBatch, SegmentRecord, Tid, Timestamp, Value};
 
 use crate::Config;
@@ -64,8 +67,14 @@ impl ModelarDb {
             }
             StorageSpec::Disk(dir) => {
                 catalog.save(dir)?;
-                let mut store =
-                    DiskStore::open_with_bounds(dir, config.bulk_write_size, Some(bounds))?;
+                let mut store = DiskStore::open_with(
+                    dir,
+                    DiskStoreOptions {
+                        bulk_write_size: config.bulk_write_size,
+                        memory_budget_bytes: config.memory_budget_bytes,
+                        value_bounds: Some(bounds),
+                    },
+                )?;
                 store.set_pruning(config.zone_pruning);
                 Box::new(store)
             }
@@ -289,10 +298,29 @@ impl ModelarDb {
         self.store.len()
     }
 
-    /// All stored segments in `(gid, end_time)` order — the raw material for
-    /// equivalence tests and offline analysis.
+    /// All stored segments in the store's deterministic scan order (key
+    /// order for memory storage, log order for disk storage) — the raw
+    /// material for equivalence tests and offline analysis.
     pub fn segments(&self) -> Result<Vec<SegmentRecord>> {
         mdb_storage::scan_to_vec(self.store.as_ref(), &SegmentPredicate::all())
+    }
+
+    /// The store's zone map (both built-in stores maintain one) — compared
+    /// across restarts by the restart-equivalence suite.
+    pub fn zones(&self) -> Option<&ZoneMap> {
+        self.store.zones()
+    }
+
+    /// Segments currently resident in memory (see
+    /// [`SegmentStore::resident_segments`]).
+    pub fn resident_segments(&self) -> usize {
+        self.store.resident_segments()
+    }
+
+    /// High-water mark of resident segments — the `repro storage` metric
+    /// that shows a bounded [`Config::memory_budget_bytes`] holds.
+    pub fn resident_segment_peak(&self) -> usize {
+        self.store.resident_segment_peak()
     }
 
     /// The active configuration.

@@ -59,12 +59,13 @@ pub use mdb_partitioner::{
 };
 pub use mdb_query::{parse, Cell, Query, QueryEngine, QueryResult};
 pub use mdb_storage::{
-    Catalog, DiskStore, MemoryStore, SegmentPredicate, SegmentStore, ValueBoundsFn, ZoneMap,
+    scan_to_vec, CacheStats, Catalog, DiskStore, DiskStoreOptions, MemoryStore, SegmentPredicate,
+    SegmentStore, ValueBoundsFn, ZoneMap,
 };
 pub use mdb_types::{
-    BatchView, DataPoint, DimensionSchema, Dimensions, ErrorBound, GapsMask, Gid, GroupMeta,
-    MdbError, Result, RowBatch, SegmentRecord, Tid, TimeLevel, TimeSeriesMeta, Timestamp, Value,
-    ValueInterval,
+    BatchView, BlockMeta, DataPoint, DimensionSchema, Dimensions, ErrorBound, GapsMask, Gid,
+    GroupMeta, MdbError, Result, RowBatch, SegmentRecord, Tid, TimeLevel, TimeSeriesMeta,
+    Timestamp, Value, ValueInterval,
 };
 
 /// The full system configuration; defaults mirror Table 1 of the paper.
@@ -86,6 +87,11 @@ pub struct Config {
     /// outside a query's time range or value predicate. Disabling yields
     /// the plain sequential scan (the `repro query` baseline).
     pub zone_pruning: bool,
+    /// Byte budget for the disk store's block cache — the bound on segment
+    /// bodies kept resident. `None` (the default) keeps every fetched block
+    /// in memory; `Some(0)` caches nothing and re-reads blocks on demand.
+    /// Ignored by the in-memory store, which is resident by definition.
+    pub memory_budget_bytes: Option<u64>,
 }
 
 impl Default for Config {
@@ -96,6 +102,7 @@ impl Default for Config {
             storage: StorageSpec::Memory,
             query_parallelism: 0,
             zone_pruning: true,
+            memory_budget_bytes: None,
         }
     }
 }

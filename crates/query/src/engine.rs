@@ -515,16 +515,19 @@ impl<'a> QueryEngine<'a> {
             return Ok(HashMap::new());
         }
 
-        // Collect the surviving segments once — the store's zone map has
-        // already skipped runs outside the time range or value predicate —
-        // then evaluate fixed-size fold groups (possibly in parallel) and
-        // fold the group partials back in scan order. Group boundaries and
-        // the fold order depend only on the scan order, so every
-        // parallelism setting performs the same float operations in the
-        // same order.
+        // Collect the surviving segments once — the store's zone map (and,
+        // for the out-of-core store, its per-block statistics) has already
+        // skipped runs or whole on-disk blocks outside the time range or
+        // value predicate — then evaluate fixed-size fold groups (possibly
+        // in parallel) and fold the group partials back in scan order. The
+        // collect iterates block-granular batches, so a disk-backed store
+        // fetches each surviving block once and the buffer grows by whole
+        // runs instead of one clone per segment. Group boundaries and the
+        // fold order depend only on the scan order, so every parallelism
+        // setting performs the same float operations in the same order.
         let mut segments: Vec<SegmentRecord> = Vec::new();
         self.store
-            .scan(&rw.pushdown, &mut |segment| segments.push(segment.clone()))?;
+            .scan_batches(&rw.pushdown, &mut |run| segments.extend_from_slice(run))?;
         let per_group = self.group_partials(query, &rw, &aggs, cube, segments)?;
         let mut partial: PartialAggregates = HashMap::new();
         for group_partial in per_group {

@@ -1,0 +1,286 @@
+//! A sharded, memory-budgeted LRU cache over decoded log blocks.
+//!
+//! The out-of-core [`crate::disk::DiskStore`] keeps only block *summaries*
+//! resident; segment bodies are fetched block-by-block on demand and parked
+//! here. The cache holds decoded blocks (`Arc<Vec<SegmentRecord>>`) keyed by
+//! their log offset — blocks are immutable once written, so there is no
+//! invalidation, only eviction. Capacity comes from the engine's
+//! `memory_budget_bytes`: `None` caches everything ever fetched (the
+//! all-resident behaviour the store had before it went out-of-core),
+//! `Some(0)` caches nothing, and anything in between is a hard byte budget
+//! split evenly across shards, each evicting least-recently-used blocks.
+//!
+//! Reads take one shard lock; shards are selected by block offset, so
+//! concurrent scans over different regions of the log rarely contend.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mdb_types::{Result, SegmentRecord};
+
+/// Number of independently locked shards.
+const SHARDS: usize = 8;
+
+/// Observable cache behaviour: hit ratio for diagnostics, resident/peak
+/// segment counts for the memory-budget benchmark (`repro storage`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Fetches answered from memory.
+    pub hits: u64,
+    /// Fetches that had to read and decode a block.
+    pub misses: u64,
+    /// Blocks evicted to stay within the budget.
+    pub evictions: u64,
+    /// Segments currently resident in the cache.
+    pub resident_segments: usize,
+    /// Bytes currently resident in the cache.
+    pub resident_bytes: usize,
+    /// High-water mark of `resident_segments` over the cache's lifetime.
+    pub peak_resident_segments: usize,
+}
+
+/// The in-memory footprint charged for one cached segment: the record
+/// struct itself plus its heap-owned model parameters.
+pub fn segment_resident_bytes(segment: &SegmentRecord) -> usize {
+    std::mem::size_of::<SegmentRecord>() + segment.params.len()
+}
+
+struct Entry {
+    block: Arc<Vec<SegmentRecord>>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<u64, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// The sharded LRU block cache (see the module docs).
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget; `None` = unbounded.
+    shard_budget: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    resident_segments: AtomicUsize,
+    peak_resident_segments: AtomicUsize,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("BlockCache")
+            .field("shard_budget", &self.shard_budget)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl BlockCache {
+    /// A cache bounded by `budget_bytes` in total (`None` = unbounded,
+    /// `Some(0)` = cache nothing).
+    pub fn new(budget_bytes: Option<u64>) -> Self {
+        let shard_budget = budget_bytes.map(|total| {
+            let total = usize::try_from(total).unwrap_or(usize::MAX);
+            total / SHARDS
+        });
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            resident_segments: AtomicUsize::new(0),
+            peak_resident_segments: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard_of(&self, offset: u64) -> &Mutex<Shard> {
+        // Offsets are byte positions, typically far apart; mix them so
+        // neighbouring blocks spread over shards.
+        let h = offset.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    /// Returns the block at `offset`, loading it through `load` on a miss.
+    /// The loaded block is cached unless it alone exceeds the shard budget
+    /// (in particular, a zero budget caches nothing); eviction is LRU.
+    pub fn get_or_load(
+        &self,
+        offset: u64,
+        load: impl FnOnce() -> Result<Vec<SegmentRecord>>,
+    ) -> Result<Arc<Vec<SegmentRecord>>> {
+        {
+            let mut shard = self.shard_of(offset).lock().expect("cache shard poisoned");
+            let tick = shard.tick + 1;
+            shard.tick = tick;
+            if let Some(entry) = shard.entries.get_mut(&offset) {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.block));
+            }
+        }
+        // Load outside the lock: disk I/O and decoding must not serialize
+        // unrelated shard traffic. Two racing loads of the same block both
+        // succeed; the second insert simply replaces the first.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let block = Arc::new(load()?);
+        let bytes: usize = block.iter().map(segment_resident_bytes).sum();
+        if self.shard_budget.is_some_and(|budget| bytes > budget) {
+            return Ok(block); // larger than the whole shard: use, don't park
+        }
+        let mut freed_segments = 0usize;
+        {
+            let mut shard = self.shard_of(offset).lock().expect("cache shard poisoned");
+            let tick = shard.tick + 1;
+            shard.tick = tick;
+            if let Some(old) = shard.entries.insert(
+                offset,
+                Entry {
+                    block: Arc::clone(&block),
+                    bytes,
+                    last_used: tick,
+                },
+            ) {
+                shard.bytes -= old.bytes;
+                freed_segments += old.block.len();
+            }
+            shard.bytes += bytes;
+            // Evict least-recently-used entries (never the one just
+            // inserted) until the shard fits its budget again.
+            while let Some(budget) = self.shard_budget {
+                if shard.bytes <= budget {
+                    break;
+                }
+                let victim = shard
+                    .entries
+                    .iter()
+                    .filter(|(k, _)| **k != offset)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k);
+                let Some(victim) = victim else { break };
+                if let Some(old) = shard.entries.remove(&victim) {
+                    shard.bytes -= old.bytes;
+                    freed_segments += old.block.len();
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let added = block.len();
+        let resident = if added >= freed_segments {
+            self.resident_segments
+                .fetch_add(added - freed_segments, Ordering::Relaxed)
+                + (added - freed_segments)
+        } else {
+            self.resident_segments
+                .fetch_sub(freed_segments - added, Ordering::Relaxed)
+                - (freed_segments - added)
+        };
+        self.peak_resident_segments
+            .fetch_max(resident, Ordering::Relaxed);
+        Ok(block)
+    }
+
+    /// A point-in-time snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut resident_bytes = 0;
+        let mut resident_segments = 0;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            resident_bytes += shard.bytes;
+            resident_segments += shard.entries.values().map(|e| e.block.len()).sum::<usize>();
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_segments,
+            resident_bytes,
+            peak_resident_segments: self
+                .peak_resident_segments
+                .load(Ordering::Relaxed)
+                .max(resident_segments),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mdb_types::GapsMask;
+
+    fn block(gid: u32, n: usize) -> Vec<SegmentRecord> {
+        (0..n)
+            .map(|i| SegmentRecord {
+                gid,
+                start_time: i as i64 * 1000,
+                end_time: i as i64 * 1000 + 900,
+                sampling_interval: 100,
+                mid: 1,
+                params: Bytes::from(vec![0u8; 16]),
+                gaps: GapsMask::EMPTY,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hits_after_first_load() {
+        let cache = BlockCache::new(None);
+        let a = cache.get_or_load(0, || Ok(block(1, 4))).unwrap();
+        let b = cache.get_or_load(0, || panic!("must not reload")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.resident_segments, 4);
+    }
+
+    #[test]
+    fn zero_budget_caches_nothing() {
+        let cache = BlockCache::new(Some(0));
+        cache.get_or_load(0, || Ok(block(1, 4))).unwrap();
+        cache.get_or_load(0, || Ok(block(1, 4))).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.resident_segments, 0);
+        assert_eq!(stats.peak_resident_segments, 0);
+    }
+
+    #[test]
+    fn bounded_budget_evicts_lru_and_tracks_peak() {
+        let one_block = block(1, 8);
+        let block_bytes: usize = one_block.iter().map(segment_resident_bytes).sum();
+        // Room for about two blocks per shard.
+        let cache = BlockCache::new(Some((block_bytes * 2 * SHARDS) as u64));
+        for offset in 0..64u64 {
+            cache.get_or_load(offset, || Ok(block(1, 8))).unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "{stats:?}");
+        assert!(
+            stats.resident_segments <= 2 * SHARDS * 8,
+            "resident {} exceeds capacity",
+            stats.resident_segments
+        );
+        assert!(stats.peak_resident_segments <= 2 * SHARDS * 8 + 8);
+        // Recently used blocks survive; the cache still answers correctly.
+        let last = cache.get_or_load(63, || Ok(block(9, 1))).unwrap();
+        assert_eq!(last[0].gid, 1, "offset 63 must still be the cached block");
+    }
+
+    #[test]
+    fn load_errors_propagate_and_cache_nothing() {
+        let cache = BlockCache::new(None);
+        let err = cache.get_or_load(7, || Err(mdb_types::MdbError::Corrupt("boom".into())));
+        assert!(err.is_err());
+        assert_eq!(cache.stats().resident_segments, 0);
+        // A later good load works.
+        assert_eq!(cache.get_or_load(7, || Ok(block(2, 2))).unwrap().len(), 2);
+    }
+}

@@ -1,7 +1,8 @@
-//! The persistent segment store: an append-only block log with per-block
-//! statistics for predicate push-down.
+//! The persistent segment store: an out-of-core append-only block log with a
+//! persistent sidecar index and a memory-budgeted block cache.
 //!
-//! Layout of `segments.log`:
+//! Layout of `segments.log` (unchanged since the first disk store, so old
+//! logs recover):
 //!
 //! ```text
 //! repeat:
@@ -12,80 +13,185 @@
 //!
 //! Writes are buffered until `bulk_write_size` segments accumulate (Table 1:
 //! Bulk Write Size 50,000) or `flush` is called; each flush appends one
-//! block. On open the log is scanned to rebuild the in-memory index; a torn
-//! tail block (crash during write) fails its checksum and the log is
-//! truncated to the last valid block, mirroring a write-ahead-log recovery.
-//! Block statistics let scans skip blocks whose gid or end-time ranges
-//! cannot match — the push-down of Section 3.3/6.2 — but since the whole
-//! index is resident the skip logic lives in the scan path over in-memory
-//! block summaries.
+//! block and rewrites the sidecar index (`segments.idx`, see
+//! [`crate::sidecar`]) holding per-block [`BlockMeta`] statistics plus the
+//! zone map.
+//!
+//! Unlike the original store, segment bodies are **not** resident: `open`
+//! loads the block summaries from the sidecar (falling back to a streaming
+//! block-by-block rebuild with a bounded buffer when the sidecar is missing
+//! or stale), so restart cost is O(blocks) instead of O(log), and scans pull
+//! blocks through a sharded LRU [`BlockCache`] bounded by the engine's
+//! memory budget, so resident memory is O(cache capacity + write buffer)
+//! instead of O(total segments). Zone-map and per-block statistics skip
+//! blocks *before* they are fetched from disk — the push-down of
+//! Section 3.3/6.2 now saves I/O, not just decoding.
+//!
+//! A torn tail block (crash during write) fails its checksum and the log is
+//! truncated to the last valid block, mirroring a write-ahead-log recovery;
+//! the sidecar is trusted only if the last block it describes passes its
+//! checksum, and blocks appended after the sidecar was last written (crash
+//! between block append and sidecar rename) are picked up by scanning just
+//! the log suffix.
+//!
+//! The log is append-only: unlike [`MemoryStore`](crate::memory::MemoryStore)
+//! it does not overwrite duplicate `(gid, end_time, gaps)` keys — the
+//! compression pipeline never produces duplicates — and scans stream in
+//! *log* (insertion) order rather than key order; every scan over the same
+//! store state yields the same deterministic order, which is what the
+//! bit-identical query guarantees require.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
-use mdb_types::{MdbError, Result, SegmentRecord};
+use mdb_types::{BlockMeta, Gid, MdbError, Result, SegmentRecord, ValueInterval};
 
+use crate::cache::{BlockCache, CacheStats};
 use crate::codec::{checksum, read_segment, write_segment};
-use crate::memory::MemoryStore;
+use crate::sidecar::{self, Sidecar};
 use crate::zone::{ValueBoundsFn, ZoneMap};
 use crate::{SegmentPredicate, SegmentStore};
 
 const BLOCK_MAGIC: u32 = 0x4D44_4253; // "MDBS"
 const HEADER_BYTES: usize = 4 + 4 + 4 + 4 + 4 + 4 + 8 + 8;
 
-/// A persistent segment store.
+/// How a [`DiskStore`] is opened.
+#[derive(Clone, Default)]
+pub struct DiskStoreOptions {
+    /// Segments buffered before a block is appended (Table 1's Bulk Write
+    /// Size); `0` is treated as `1`. The default of 0 therefore flushes a
+    /// block per segment — callers normally pass their configured size.
+    pub bulk_write_size: usize,
+    /// Byte budget for the block cache: `None` keeps every fetched block
+    /// resident (the pre-out-of-core behaviour), `Some(0)` caches nothing.
+    pub memory_budget_bytes: Option<u64>,
+    /// Stored-value range provider for the zone map and block statistics
+    /// (typically `mdb_models::segment_value_range` closed over the
+    /// registry); without it only time statistics prune.
+    pub value_bounds: Option<ValueBoundsFn>,
+}
+
+impl std::fmt::Debug for DiskStoreOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskStoreOptions")
+            .field("bulk_write_size", &self.bulk_write_size)
+            .field("memory_budget_bytes", &self.memory_budget_bytes)
+            .field("value_bounds", &self.value_bounds.is_some())
+            .finish()
+    }
+}
+
+/// A persistent, out-of-core segment store (see the module docs).
 pub struct DiskStore {
     path: PathBuf,
-    file: BufWriter<File>,
-    /// Resident index over everything durable plus the write buffer.
-    index: MemoryStore,
+    sidecar_path: PathBuf,
+    writer: BufWriter<File>,
+    /// Independent read handle for block fetches during `&self` scans.
+    reader: Mutex<File>,
+    /// Per-block summaries — the only per-segment-body state kept resident.
+    blocks: Vec<BlockMeta>,
+    zones: ZoneMap,
+    cache: BlockCache,
     write_buffer: Vec<SegmentRecord>,
+    /// Stored-value range per buffered segment (parallel to `write_buffer`),
+    /// computed once at insert for both the zone map and the block summary.
+    buffer_ranges: Vec<Option<ValueInterval>>,
+    /// High-water mark of the write buffer, for resident-memory accounting.
+    buffer_peak: usize,
     bulk_write_size: usize,
     persistent_bytes: u64,
+    logical_bytes: u64,
+    n_segments: usize,
+    /// Blocks appended since the sidecar was last rewritten. The sidecar is
+    /// rewritten on [`SegmentStore::flush`] (the durability point), not per
+    /// block — sustained ingestion stays O(blocks), and a crash between a
+    /// block append and the next flush is covered by the suffix scan.
+    sidecar_dirty: bool,
+    value_bounds: Option<ValueBoundsFn>,
+    pruning: bool,
 }
 
 impl DiskStore {
     /// Opens (or creates) the store in `dir`, recovering from any torn tail
     /// block. `bulk_write_size` is the number of segments buffered before an
-    /// automatic flush.
+    /// automatic flush; the block cache is unbounded.
     pub fn open(dir: &Path, bulk_write_size: usize) -> Result<Self> {
-        Self::open_with_bounds(dir, bulk_write_size, None)
+        Self::open_with(
+            dir,
+            DiskStoreOptions {
+                bulk_write_size,
+                ..DiskStoreOptions::default()
+            },
+        )
     }
 
-    /// Like [`DiskStore::open`], but the resident index's zone map also
-    /// records stored-value ranges computed by `value_bounds` — both for
+    /// Like [`DiskStore::open`], but the zone map and block statistics also
+    /// record stored-value ranges computed by `value_bounds` — both for
     /// recovered segments and for subsequent inserts.
     pub fn open_with_bounds(
         dir: &Path,
         bulk_write_size: usize,
         value_bounds: Option<ValueBoundsFn>,
     ) -> Result<Self> {
+        Self::open_with(
+            dir,
+            DiskStoreOptions {
+                bulk_write_size,
+                memory_budget_bytes: None,
+                value_bounds,
+            },
+        )
+    }
+
+    /// Opens (or creates) the store in `dir` with the full option surface.
+    ///
+    /// Recovery prefers the sidecar index: when it is present, validated,
+    /// and describes a prefix of the log, only the log *suffix* (if any) is
+    /// scanned; otherwise the whole log is rebuilt streaming one block at a
+    /// time with a bounded buffer. Either way the log is truncated to the
+    /// end of its last valid block and a fresh sidecar is written.
+    pub fn open_with(dir: &Path, options: DiskStoreOptions) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("segments.log");
-        let mut index = match value_bounds {
-            Some(f) => MemoryStore::with_value_bounds(f),
-            None => MemoryStore::new(),
-        };
-        let valid_len = recover(&path, &mut index)?;
-        // Not truncated: recovery decided how much of the log survives.
+        let sidecar_path = dir.join("segments.idx");
+        let recovered = recover(&path, &sidecar_path, options.value_bounds.as_ref())?;
+        // Not truncated on open: recovery decided how much of the log
+        // survives.
         let file = OpenOptions::new()
             .create(true)
             .truncate(false)
             .read(true)
             .write(true)
             .open(&path)?;
-        file.set_len(valid_len)?;
-        let mut file = BufWriter::new(file);
-        file.seek(SeekFrom::End(0))?;
-        Ok(Self {
+        file.set_len(recovered.valid_len)?;
+        let mut writer = BufWriter::new(file);
+        writer.seek(SeekFrom::End(0))?;
+        let reader = Mutex::new(File::open(&path)?);
+        let store = Self {
             path,
-            file,
-            index,
+            sidecar_path,
+            writer,
+            reader,
+            n_segments: recovered.blocks.iter().map(|b| b.count as usize).sum(),
+            logical_bytes: recovered.blocks.iter().map(|b| b.logical_bytes).sum(),
+            persistent_bytes: recovered.valid_len,
+            blocks: recovered.blocks,
+            zones: recovered.zones,
+            cache: BlockCache::new(options.memory_budget_bytes),
             write_buffer: Vec::new(),
-            bulk_write_size: bulk_write_size.max(1),
-            persistent_bytes: valid_len,
-        })
+            buffer_ranges: Vec::new(),
+            buffer_peak: 0,
+            sidecar_dirty: false,
+            bulk_write_size: options.bulk_write_size.max(1),
+            value_bounds: options.value_bounds,
+            pruning: true,
+        };
+        if !recovered.sidecar_fresh && !store.blocks.is_empty() {
+            store.write_sidecar()?;
+        }
+        Ok(store)
     }
 
     /// The log file path.
@@ -93,10 +199,79 @@ impl DiskStore {
         &self.path
     }
 
-    /// Enables or disables zone-map pruning on the resident index (see
-    /// [`MemoryStore::set_pruning`]).
+    /// The sidecar index path.
+    pub fn sidecar_path(&self) -> &Path {
+        &self.sidecar_path
+    }
+
+    /// Number of blocks on disk.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Block-cache counters (hits, misses, resident and peak segments).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Enables or disables zone-map/block-statistics pruning in scans (the
+    /// statistics are still maintained). Disabling yields the plain
+    /// fetch-every-block scan — the benchmark baseline.
     pub fn set_pruning(&mut self, pruning: bool) {
-        self.index.set_pruning(pruning);
+        self.pruning = pruning;
+    }
+
+    /// True when the per-block statistics prove no segment of `meta` can
+    /// match `predicate` (with `sorted_gids` the sorted, deduplicated gid
+    /// restriction, if any).
+    fn block_pruned(
+        meta: &BlockMeta,
+        predicate: &SegmentPredicate,
+        sorted_gids: Option<&[Gid]>,
+    ) -> bool {
+        if let Some(gids) = sorted_gids {
+            if meta.excludes_gids(gids) {
+                return true;
+            }
+        }
+        if let Some(from) = predicate.from {
+            if meta.ends_before(from) {
+                return true;
+            }
+        }
+        if let Some(to) = predicate.to {
+            if meta.starts_after(to) {
+                return true;
+            }
+        }
+        if let Some(values) = &predicate.values {
+            if meta.excludes_values(values) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fetches one block through the cache, reading and decoding it on a
+    /// miss. The payload checksum is verified on every read from disk, so
+    /// silent corruption surfaces as [`MdbError::Corrupt`] instead of bad
+    /// query results.
+    fn fetch_block(&self, meta: &BlockMeta) -> Result<Arc<Vec<SegmentRecord>>> {
+        self.cache.get_or_load(meta.offset, || {
+            let mut payload = vec![0u8; meta.payload_len as usize];
+            {
+                let mut reader = self.reader.lock().expect("reader poisoned");
+                reader.seek(SeekFrom::Start(meta.offset + HEADER_BYTES as u64))?;
+                reader.read_exact(&mut payload)?;
+            }
+            if checksum(&payload) != meta.checksum {
+                return Err(MdbError::Corrupt(format!(
+                    "block at offset {} failed its checksum on read",
+                    meta.offset
+                )));
+            }
+            decode_block(&payload, meta.count as usize, meta.offset)
+        })
     }
 
     fn write_block(&mut self) -> Result<()> {
@@ -104,93 +279,295 @@ impl DiskStore {
             return Ok(());
         }
         let mut payload = Vec::new();
-        let mut min_gid = u32::MAX;
-        let mut max_gid = 0u32;
-        let mut min_end = i64::MAX;
-        let mut max_end = i64::MIN;
         for segment in &self.write_buffer {
-            min_gid = min_gid.min(segment.gid);
-            max_gid = max_gid.max(segment.gid);
-            min_end = min_end.min(segment.end_time);
-            max_end = max_end.max(segment.end_time);
             write_segment(&mut payload, segment);
         }
+        let meta = summarize_block(
+            self.persistent_bytes,
+            payload.len() as u32,
+            checksum(&payload),
+            &self.write_buffer,
+            &self.buffer_ranges,
+        );
         let mut header = Vec::with_capacity(HEADER_BYTES);
         header.extend_from_slice(&BLOCK_MAGIC.to_le_bytes());
-        header.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        header.extend_from_slice(&checksum(&payload).to_le_bytes());
-        header.extend_from_slice(&(self.write_buffer.len() as u32).to_le_bytes());
-        header.extend_from_slice(&min_gid.to_le_bytes());
-        header.extend_from_slice(&max_gid.to_le_bytes());
-        header.extend_from_slice(&min_end.to_le_bytes());
-        header.extend_from_slice(&max_end.to_le_bytes());
-        self.file.write_all(&header)?;
-        self.file.write_all(&payload)?;
-        self.file.flush()?;
-        self.persistent_bytes += (header.len() + payload.len()) as u64;
+        header.extend_from_slice(&meta.payload_len.to_le_bytes());
+        header.extend_from_slice(&meta.checksum.to_le_bytes());
+        header.extend_from_slice(&meta.count.to_le_bytes());
+        header.extend_from_slice(&meta.min_gid.to_le_bytes());
+        header.extend_from_slice(&meta.max_gid.to_le_bytes());
+        header.extend_from_slice(&meta.min_end.to_le_bytes());
+        header.extend_from_slice(&meta.max_end.to_le_bytes());
+        self.writer.write_all(&header)?;
+        self.writer.write_all(&payload)?;
+        self.writer.flush()?;
+        self.persistent_bytes += meta.stored_bytes;
+        self.blocks.push(meta);
         self.write_buffer.clear();
+        self.buffer_ranges.clear();
+        self.sidecar_dirty = true;
         Ok(())
+    }
+
+    fn write_sidecar(&self) -> Result<()> {
+        sidecar::write(
+            &self.sidecar_path,
+            &Sidecar {
+                log_len: self.persistent_bytes,
+                value_bounded: self.value_bounds.is_some(),
+                blocks: self.blocks.clone(),
+                zones: self.zones.clone(),
+            },
+        )
     }
 }
 
-/// Scans the log, filling `index`, and returns the byte offset of the end of
-/// the last valid block.
-fn recover(path: &Path, index: &mut MemoryStore) -> Result<u64> {
+/// Emits maximal contiguous runs of `segments` matching `predicate` to `f`
+/// (zero-copy: runs borrow the block or buffer they live in).
+fn emit_matching_runs(
+    segments: &[SegmentRecord],
+    predicate: &SegmentPredicate,
+    f: &mut dyn FnMut(&[SegmentRecord]),
+) {
+    let mut run_start = None;
+    for (i, segment) in segments.iter().enumerate() {
+        if predicate.matches(segment) {
+            run_start.get_or_insert(i);
+        } else if let Some(start) = run_start.take() {
+            f(&segments[start..i]);
+        }
+    }
+    if let Some(start) = run_start {
+        f(&segments[start..]);
+    }
+}
+
+/// Builds one block's summary from its segments and their (possibly
+/// unknown) stored-value ranges — the single source of truth for both the
+/// write path and the streaming rescan, so sidecar-persisted and
+/// rescan-rebuilt metadata cannot diverge.
+fn summarize_block(
+    offset: u64,
+    payload_len: u32,
+    payload_checksum: u32,
+    segments: &[SegmentRecord],
+    ranges: &[Option<ValueInterval>],
+) -> BlockMeta {
+    debug_assert_eq!(segments.len(), ranges.len());
+    let mut meta = BlockMeta {
+        offset,
+        stored_bytes: HEADER_BYTES as u64 + u64::from(payload_len),
+        payload_len,
+        checksum: payload_checksum,
+        count: segments.len() as u32,
+        logical_bytes: 0,
+        min_gid: u32::MAX,
+        max_gid: 0,
+        min_start: i64::MAX,
+        min_end: i64::MAX,
+        max_end: i64::MIN,
+        values: Some(ValueInterval::EMPTY),
+    };
+    for (segment, range) in segments.iter().zip(ranges) {
+        meta.min_gid = meta.min_gid.min(segment.gid);
+        meta.max_gid = meta.max_gid.max(segment.gid);
+        meta.min_start = meta.min_start.min(segment.start_time);
+        meta.min_end = meta.min_end.min(segment.end_time);
+        meta.max_end = meta.max_end.max(segment.end_time);
+        meta.logical_bytes += segment.storage_bytes() as u64;
+        meta.values = match (meta.values, range) {
+            (Some(acc), Some(r)) => Some(acc.union(r)),
+            _ => None, // one unknown range makes the block unknown
+        };
+    }
+    meta
+}
+
+/// Decodes one block payload into segment records.
+fn decode_block(payload: &[u8], count: usize, offset: u64) -> Result<Vec<SegmentRecord>> {
+    let mut slice = payload;
+    let mut segments = Vec::with_capacity(count);
+    for _ in 0..count {
+        match read_segment(&mut slice) {
+            Some(s) => segments.push(s),
+            None => {
+                return Err(MdbError::Corrupt(format!(
+                    "block at offset {offset} passed its checksum but failed to decode"
+                )))
+            }
+        }
+    }
+    if !slice.is_empty() {
+        return Err(MdbError::Corrupt(format!(
+            "block at offset {offset} passed its checksum but failed to decode"
+        )));
+    }
+    Ok(segments)
+}
+
+/// What `open` recovered without keeping any segment bodies resident.
+struct Recovered {
+    blocks: Vec<BlockMeta>,
+    zones: ZoneMap,
+    valid_len: u64,
+    /// True when the on-disk sidecar already describes exactly this state.
+    sidecar_fresh: bool,
+}
+
+/// Recovers the store's metadata: from the sidecar when it is valid for a
+/// prefix of the log (then only the suffix is scanned), from a full
+/// streaming scan otherwise.
+fn recover(
+    path: &Path,
+    sidecar_path: &Path,
+    value_bounds: Option<&ValueBoundsFn>,
+) -> Result<Recovered> {
     let mut file = match File::open(path) {
         Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Recovered {
+                blocks: Vec::new(),
+                zones: ZoneMap::new(),
+                valid_len: 0,
+                sidecar_fresh: false,
+            });
+        }
         Err(e) => return Err(e.into()),
     };
-    let mut bytes = Vec::new();
-    file.read_to_end(&mut bytes)?;
-    let mut offset = 0usize;
-    while offset + HEADER_BYTES <= bytes.len() {
-        let magic = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap());
+    let actual_len = file.metadata()?.len();
+
+    let mut blocks = Vec::new();
+    let mut zones = ZoneMap::new();
+    let mut scan_from = 0u64;
+    let mut sidecar_covered = 0u64;
+    if let Some(sc) = sidecar::load(sidecar_path)? {
+        // A sidecar written without a value-bounds provider has sound but
+        // boundless value statistics; adopting it when this open *has*
+        // bounds would permanently disable value pruning a rescan can
+        // restore (the other direction is fine — see [`Sidecar`]).
+        let bounds_compatible = sc.value_bounded || value_bounds.is_none();
+        if bounds_compatible && sc.log_len <= actual_len && last_block_intact(&mut file, &sc) {
+            scan_from = sc.log_len;
+            sidecar_covered = sc.log_len;
+            blocks = sc.blocks;
+            zones = sc.zones;
+        }
+        // A sidecar describing more log than exists (the log lost a tail)
+        // or whose last block fails validation cannot be trusted at all:
+        // fall through to the full streaming scan.
+    }
+    let valid_len = scan_blocks_from(
+        &mut file,
+        actual_len,
+        scan_from,
+        value_bounds,
+        &mut blocks,
+        &mut zones,
+    )?;
+    Ok(Recovered {
+        blocks,
+        zones,
+        valid_len,
+        sidecar_fresh: valid_len == sidecar_covered,
+    })
+}
+
+/// Validates the last block a sidecar describes against the log: the header
+/// must match the recorded summary and the payload its checksum. O(one
+/// block), the price of trusting O(blocks) metadata instead of rescanning
+/// O(log).
+fn last_block_intact(file: &mut File, sc: &Sidecar) -> bool {
+    let Some(meta) = sc.blocks.last() else {
+        // An empty sidecar describes an empty log prefix; trivially intact.
+        return sc.log_len == 0;
+    };
+    if meta.offset + meta.stored_bytes != sc.log_len {
+        return false;
+    }
+    let mut check = || -> std::io::Result<bool> {
+        file.seek(SeekFrom::Start(meta.offset))?;
+        let mut header = [0u8; HEADER_BYTES];
+        file.read_exact(&mut header)?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let payload_len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let expected = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let count = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        if magic != BLOCK_MAGIC
+            || payload_len != meta.payload_len
+            || expected != meta.checksum
+            || count != meta.count
+        {
+            return Ok(false);
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        file.read_exact(&mut payload)?;
+        Ok(checksum(&payload) == meta.checksum)
+    };
+    check().unwrap_or(false)
+}
+
+/// Streams the log from `offset`, one block at a time with a bounded buffer
+/// (never the whole log at once), appending recovered block summaries and
+/// zone statistics. Returns the byte offset of the end of the last valid
+/// block; a torn or corrupt tail block simply stops the scan.
+fn scan_blocks_from(
+    file: &mut File,
+    actual_len: u64,
+    mut offset: u64,
+    value_bounds: Option<&ValueBoundsFn>,
+    blocks: &mut Vec<BlockMeta>,
+    zones: &mut ZoneMap,
+) -> Result<u64> {
+    let mut header = [0u8; HEADER_BYTES];
+    let mut payload = Vec::new();
+    file.seek(SeekFrom::Start(offset))?;
+    while offset + (HEADER_BYTES as u64) <= actual_len {
+        file.read_exact(&mut header)?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
         if magic != BLOCK_MAGIC {
             break;
         }
-        let payload_len =
-            u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap()) as usize;
-        let expected = u32::from_le_bytes(bytes[offset + 8..offset + 12].try_into().unwrap());
-        let count =
-            u32::from_le_bytes(bytes[offset + 12..offset + 16].try_into().unwrap()) as usize;
-        let body_start = offset + HEADER_BYTES;
-        if body_start + payload_len > bytes.len() {
+        let payload_len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let expected = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let count = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
+        let body_start = offset + HEADER_BYTES as u64;
+        if body_start + u64::from(payload_len) > actual_len {
             break; // torn tail block
         }
-        let payload = &bytes[body_start..body_start + payload_len];
-        if checksum(payload) != expected {
+        payload.resize(payload_len as usize, 0);
+        file.read_exact(&mut payload)?;
+        if checksum(&payload) != expected {
             break; // corrupt tail block
         }
-        let mut slice = payload;
-        let mut ok = true;
-        let mut block_segments = Vec::with_capacity(count);
-        for _ in 0..count {
-            match read_segment(&mut slice) {
-                Some(s) => block_segments.push(s),
-                None => {
-                    ok = false;
-                    break;
-                }
-            }
+        let segments = decode_block(&payload, count, offset)?;
+        let ranges: Vec<Option<ValueInterval>> = segments
+            .iter()
+            .map(|segment| value_bounds.and_then(|f| f(segment)))
+            .collect();
+        for (segment, range) in segments.iter().zip(&ranges) {
+            zones.insert(segment, *range);
         }
-        if !ok || !slice.is_empty() {
-            return Err(MdbError::Corrupt(format!(
-                "block at offset {offset} passed its checksum but failed to decode"
-            )));
-        }
-        for s in block_segments {
-            index.insert(s)?;
-        }
-        offset = body_start + payload_len;
+        blocks.push(summarize_block(
+            offset,
+            payload_len,
+            expected,
+            &segments,
+            &ranges,
+        ));
+        offset = body_start + u64::from(payload_len);
     }
-    Ok(offset as u64)
+    Ok(offset)
 }
 
 impl SegmentStore for DiskStore {
     fn insert(&mut self, segment: SegmentRecord) -> Result<()> {
-        self.index.insert(segment.clone())?;
+        let range = self.value_bounds.as_ref().and_then(|f| f(&segment));
+        self.zones.insert(&segment, range);
+        self.logical_bytes += segment.storage_bytes() as u64;
+        self.n_segments += 1;
         self.write_buffer.push(segment);
+        self.buffer_ranges.push(range);
+        self.buffer_peak = self.buffer_peak.max(self.write_buffer.len());
         if self.write_buffer.len() >= self.bulk_write_size {
             self.write_block()?;
         }
@@ -199,28 +576,71 @@ impl SegmentStore for DiskStore {
 
     fn flush(&mut self) -> Result<()> {
         self.write_block()?;
-        self.file.get_ref().sync_data()?;
+        self.writer.get_ref().sync_data()?;
+        // The sidecar is rewritten once per flush, not per appended block;
+        // blocks a crash strands between flushes are recovered by the
+        // suffix scan on reopen.
+        if self.sidecar_dirty {
+            self.write_sidecar()?;
+            self.sidecar_dirty = false;
+        }
         Ok(())
     }
 
     fn scan(&self, predicate: &SegmentPredicate, f: &mut dyn FnMut(&SegmentRecord)) -> Result<()> {
-        self.index.scan(predicate, f)
+        self.scan_batches(predicate, &mut |chunk| {
+            for segment in chunk {
+                f(segment);
+            }
+        })
+    }
+
+    fn scan_batches(
+        &self,
+        predicate: &SegmentPredicate,
+        f: &mut dyn FnMut(&[SegmentRecord]),
+    ) -> Result<()> {
+        let sorted_gids: Option<Vec<Gid>> = predicate.gids.as_ref().map(|gids| {
+            let mut sorted = gids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            sorted
+        });
+        for meta in &self.blocks {
+            if self.pruning && Self::block_pruned(meta, predicate, sorted_gids.as_deref()) {
+                continue;
+            }
+            let block = self.fetch_block(meta)?;
+            emit_matching_runs(&block, predicate, f);
+        }
+        // Buffered (not yet durable) segments scan last, in insert order.
+        emit_matching_runs(&self.write_buffer, predicate, f);
+        Ok(())
     }
 
     fn zones(&self) -> Option<&ZoneMap> {
-        self.index.zones()
+        Some(&self.zones)
     }
 
     fn len(&self) -> usize {
-        self.index.len()
+        self.n_segments
     }
 
     fn logical_bytes(&self) -> u64 {
-        self.index.logical_bytes()
+        self.logical_bytes
     }
 
     fn persistent_bytes(&self) -> u64 {
         self.persistent_bytes
+    }
+
+    fn resident_segments(&self) -> usize {
+        self.cache.stats().resident_segments + self.write_buffer.len()
+    }
+
+    fn resident_segment_peak(&self) -> usize {
+        // Upper bound: the two peaks need not have coincided.
+        self.cache.stats().peak_resident_segments + self.buffer_peak
     }
 }
 
@@ -229,7 +649,7 @@ mod tests {
     use super::*;
     use crate::scan_to_vec;
     use bytes::Bytes;
-    use mdb_types::{GapsMask, Gid};
+    use mdb_types::GapsMask;
 
     fn seg(gid: Gid, start: i64, end: i64) -> SegmentRecord {
         SegmentRecord {
@@ -278,10 +698,12 @@ mod tests {
             store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
         }
         // Two full blocks are on disk; two segments still buffered.
+        assert_eq!(store.block_count(), 2);
         assert!(store.persistent_bytes() > 0);
         let durable_before_flush = store.persistent_bytes();
         store.flush().unwrap();
         assert!(store.persistent_bytes() > durable_before_flush);
+        assert_eq!(store.block_count(), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -325,7 +747,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_payload_is_detected_by_checksum() {
+    fn corrupt_payload_is_rejected_at_open_or_read() {
         let dir = temp_dir("corrupt");
         {
             let mut store = DiskStore::open(&dir, 5).unwrap();
@@ -339,9 +761,36 @@ mod tests {
         let last = bytes.len() - 3;
         bytes[last] ^= 0x55;
         std::fs::write(&path, &bytes).unwrap();
-        // The (single) block is corrupt → recovered store is empty.
+        // With the sidecar present its last-block validation fails, so the
+        // store falls back to a full rescan: the (single) corrupt block is
+        // dropped.
         let store = DiskStore::open(&dir, 5).unwrap();
         assert_eq!(store.len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interior_corruption_is_detected_lazily_by_the_fetch_checksum() {
+        let dir = temp_dir("bitrot");
+        {
+            let mut store = DiskStore::open(&dir, 5).unwrap();
+            for i in 0..10 {
+                store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        // Flip a byte inside the FIRST block's payload: the sidecar's
+        // last-block validation still passes, so the store opens with all
+        // summaries — but fetching the rotten block must error, never
+        // silently return bad segments.
+        let path = dir.join("segments.log");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_BYTES + 4] ^= 0x55;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = DiskStore::open(&dir, 5).unwrap();
+        assert_eq!(store.len(), 10, "summaries open fine");
+        let err = scan_to_vec(&store, &SegmentPredicate::all()).unwrap_err();
+        assert!(matches!(err, MdbError::Corrupt(_)), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -380,6 +829,167 @@ mod tests {
         let store = DiskStore::open(&dir, 5).unwrap();
         assert!(store.is_empty());
         assert_eq!(store.persistent_bytes(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sidecar_reopen_matches_log_rescan_reopen() {
+        let dir = temp_dir("sidecar-vs-scan");
+        {
+            let mut store = DiskStore::open(&dir, 7).unwrap();
+            for i in 0..40 {
+                store
+                    .insert(seg(i % 4 + 1, i as i64 * 1000, i as i64 * 1000 + 900))
+                    .unwrap();
+            }
+            store.flush().unwrap();
+        }
+        let with_sidecar = DiskStore::open(&dir, 7).unwrap();
+        let via_sidecar = scan_to_vec(&with_sidecar, &SegmentPredicate::all()).unwrap();
+        let zones_via_sidecar = with_sidecar.zones().unwrap().clone();
+        drop(with_sidecar);
+        std::fs::remove_file(dir.join("segments.idx")).unwrap();
+        let rebuilt = DiskStore::open(&dir, 7).unwrap();
+        let via_scan = scan_to_vec(&rebuilt, &SegmentPredicate::all()).unwrap();
+        assert_eq!(via_sidecar, via_scan);
+        assert_eq!(&zones_via_sidecar, rebuilt.zones().unwrap());
+        assert!(
+            dir.join("segments.idx").exists(),
+            "rescan rebuilds the sidecar"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn opening_with_bounds_rescans_a_boundless_sidecar() {
+        let dir = temp_dir("bounds-upgrade");
+        {
+            // Written without a value-bounds provider: the sidecar carries
+            // boundless value statistics.
+            let mut store = DiskStore::open(&dir, 4).unwrap();
+            for i in 0..8 {
+                store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        // Reopening WITH bounds must not adopt those statistics — a rescan
+        // recomputes them so value pruning works.
+        let bounds: ValueBoundsFn =
+            Arc::new(|s| Some(ValueInterval::new(s.start_time as f64, s.end_time as f64)));
+        let store = DiskStore::open_with_bounds(&dir, 4, Some(bounds)).unwrap();
+        let zone = store.zones().unwrap().gid(1).unwrap();
+        assert!(
+            matches!(zone.values, crate::zone::ZoneValues::Bounded(_)),
+            "rescan must restore value statistics, got {:?}",
+            zone.values
+        );
+        // And the rescan rewrote a bounds-aware sidecar: the next open
+        // trusts it directly and sees the same statistics.
+        let store = DiskStore::open_with_bounds(
+            &dir,
+            4,
+            Some(Arc::new(|s: &SegmentRecord| {
+                Some(ValueInterval::new(s.start_time as f64, s.end_time as f64))
+            })),
+        )
+        .unwrap();
+        let zone = store.zones().unwrap().gid(1).unwrap();
+        assert!(matches!(zone.values, crate::zone::ZoneValues::Bounded(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn blocks_appended_after_a_stale_sidecar_are_recovered() {
+        let dir = temp_dir("stale-forward");
+        {
+            let mut store = DiskStore::open(&dir, 4).unwrap();
+            for i in 0..8 {
+                store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        // Save the current (2-block) sidecar, append two more blocks, then
+        // put the stale sidecar back: reopen must scan just the suffix.
+        let stale = std::fs::read(dir.join("segments.idx")).unwrap();
+        {
+            let mut store = DiskStore::open(&dir, 4).unwrap();
+            for i in 8..16 {
+                store.insert(seg(2, i * 1000, i * 1000 + 900)).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        std::fs::write(dir.join("segments.idx"), &stale).unwrap();
+        let store = DiskStore::open(&dir, 4).unwrap();
+        assert_eq!(store.len(), 16);
+        assert_eq!(store.block_count(), 4);
+        assert_eq!(
+            scan_to_vec(&store, &SegmentPredicate::for_gids(vec![2]))
+                .unwrap()
+                .len(),
+            8
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn block_pruning_skips_fetches_under_a_time_range() {
+        let dir = temp_dir("prune-io");
+        let mut store = DiskStore::open(&dir, 8).unwrap();
+        for i in 0..64 {
+            store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
+        }
+        store.flush().unwrap();
+        // A range inside the last block must fetch exactly one block.
+        let got = scan_to_vec(
+            &store,
+            &SegmentPredicate::all().with_time_range(60_000, 60_500),
+        )
+        .unwrap();
+        assert_eq!(got.len(), 1);
+        let stats = store.cache_stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        // Disabling pruning fetches every block (the baseline).
+        store.set_pruning(false);
+        let got = scan_to_vec(
+            &store,
+            &SegmentPredicate::all().with_time_range(60_000, 60_500),
+        )
+        .unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(store.cache_stats().misses + store.cache_stats().hits, 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bounded_cache_keeps_resident_segments_near_capacity() {
+        let dir = temp_dir("budget");
+        let block_segments = 16usize;
+        let per_segment = crate::cache::segment_resident_bytes(&seg(1, 0, 900));
+        // Budget ≈ 2 blocks per shard × 8 shards.
+        let budget = (per_segment * block_segments * 16) as u64;
+        let mut store = DiskStore::open_with(
+            &dir,
+            DiskStoreOptions {
+                bulk_write_size: block_segments,
+                memory_budget_bytes: Some(budget),
+                value_bounds: None,
+            },
+        )
+        .unwrap();
+        let total = 64 * block_segments;
+        for i in 0..total as i64 {
+            store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
+        }
+        store.flush().unwrap();
+        assert_eq!(
+            scan_to_vec(&store, &SegmentPredicate::all()).unwrap().len(),
+            total
+        );
+        let peak = store.resident_segment_peak();
+        assert!(
+            peak < total / 2,
+            "peak {peak} should stay well below {total}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

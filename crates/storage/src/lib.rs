@@ -9,25 +9,34 @@
 //! * [`catalog`] — the Time Series table, Model table, group membership and
 //!   denormalized dimensions; the in-memory metadata cache of Figure 4.
 //! * [`memory`] — a heap-backed store for tests and benchmarks.
-//! * [`disk`] — a persistent block-log store with per-block min/max
-//!   statistics (gid and end-time ranges) for block skipping, bulk-buffered
-//!   writes (Table 1's Bulk Write Size), checksums, and crash-tolerant
-//!   recovery that truncates a torn tail block.
+//! * [`disk`] — the persistent, *out-of-core* block-log store: per-block
+//!   [`mdb_types::BlockMeta`] statistics for skipping blocks before they are
+//!   fetched, bulk-buffered writes (Table 1's Bulk Write Size), checksums,
+//!   crash-tolerant recovery that truncates a torn tail block, a persistent
+//!   [`sidecar`] index so reopening is O(blocks) instead of O(log), and a
+//!   memory-budgeted [`cache`] so resident memory is O(cache capacity)
+//!   instead of O(total segments).
+//! * [`sidecar`] — the checksummed, versioned `segments.idx` summary of the
+//!   log (block statistics + zone map) that makes fast reopen possible.
+//! * [`cache`] — the sharded LRU [`BlockCache`] of decoded blocks.
 //! * [`zone`] — the segment-pruning zone map: per-group min/max time and
 //!   stored-value statistics over runs of segments, maintained on write by
 //!   both stores and consulted by [`SegmentStore::scan`] to skip runs that
 //!   cannot match a query's push-down predicate.
 
+pub mod cache;
 pub mod catalog;
 pub mod codec;
 pub mod disk;
 pub mod memory;
+pub mod sidecar;
 pub mod zone;
 
 use mdb_types::{Gid, Result, SegmentRecord, Timestamp, ValueInterval};
 
+pub use cache::{BlockCache, CacheStats};
 pub use catalog::Catalog;
-pub use disk::DiskStore;
+pub use disk::{DiskStore, DiskStoreOptions};
 pub use memory::MemoryStore;
 pub use zone::{GidZone, ValueBoundsFn, ZoneMap, ZoneRun, ZoneValues};
 
@@ -113,10 +122,29 @@ pub trait SegmentStore: Send + Sync {
     /// Makes all buffered segments durable and queryable.
     fn flush(&mut self) -> Result<()>;
 
-    /// Streams all segments matching `predicate`, in `(gid, end_time)` order.
-    /// Stores that maintain a [`ZoneMap`] use it here to skip whole groups
-    /// and segment runs whose statistics cannot match.
+    /// Streams all segments matching `predicate` in a store-defined
+    /// **deterministic** order: [`MemoryStore`] yields `(gid, end_time)` key
+    /// order; [`DiskStore`] yields log (insertion) order. Scanning the same
+    /// store state twice always yields the same sequence — the invariant
+    /// the bit-identical query guarantees are built on. Stores that
+    /// maintain a [`ZoneMap`] (or per-block statistics) use it here to skip
+    /// whole groups, segment runs, or on-disk blocks whose statistics
+    /// cannot match.
     fn scan(&self, predicate: &SegmentPredicate, f: &mut dyn FnMut(&SegmentRecord)) -> Result<()>;
+
+    /// Like [`SegmentStore::scan`], but yields contiguous *runs* of matching
+    /// segments instead of one segment at a time — the scan shape of the
+    /// out-of-core store, where a run borrows a cached block and the query
+    /// engine extends its collect buffer per block instead of per segment.
+    /// The default adapts [`SegmentStore::scan`] with single-segment runs;
+    /// the concatenation of runs is identical to the `scan` sequence.
+    fn scan_batches(
+        &self,
+        predicate: &SegmentPredicate,
+        f: &mut dyn FnMut(&[SegmentRecord]),
+    ) -> Result<()> {
+        self.scan(predicate, &mut |segment| f(std::slice::from_ref(segment)))
+    }
 
     /// The store's zone map, if it maintains one (both built-in stores do).
     fn zones(&self) -> Option<&ZoneMap> {
@@ -137,6 +165,19 @@ pub trait SegmentStore: Send + Sync {
 
     /// Bytes on persistent media (0 for the in-memory store).
     fn persistent_bytes(&self) -> u64;
+
+    /// Segments currently resident in memory: everything for the in-memory
+    /// store, cache plus write buffer for the out-of-core store.
+    fn resident_segments(&self) -> usize {
+        self.len()
+    }
+
+    /// High-water mark of [`SegmentStore::resident_segments`] over the
+    /// store's lifetime (an upper bound for stores that track cache and
+    /// buffer peaks independently) — the `repro storage` benchmark metric.
+    fn resident_segment_peak(&self) -> usize {
+        self.resident_segments()
+    }
 }
 
 /// Collects a scan into a vector (convenience for tests and query code).

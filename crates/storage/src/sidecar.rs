@@ -1,0 +1,400 @@
+//! The persistent sidecar index (`segments.idx`).
+//!
+//! The append-only block log (`segments.log`) is the durable truth; the
+//! sidecar is a checksummed, versioned summary of it — per-block
+//! [`BlockMeta`] statistics plus the store's full zone map — rewritten at
+//! every flush (not per appended block, keeping sustained ingestion
+//! O(blocks)). Opening a store with a fresh sidecar loads
+//! block summaries in one small read instead of scanning and decoding the
+//! whole log; a missing, corrupt, version-mismatched, or stale sidecar is
+//! simply ignored and the store falls back to a streaming block-by-block
+//! rebuild (which then rewrites the sidecar).
+//!
+//! Staleness is decided by the recorded log length: a sidecar describing
+//! *more* log than exists (the log lost a tail) cannot be trusted at all,
+//! while a sidecar describing *less* (blocks were appended after the last
+//! sidecar write, e.g. a crash between block append and sidecar rename)
+//! stays valid for its prefix and the store scans only the remainder.
+//! Writes go through a temp file and an atomic rename, so a crash mid-write
+//! leaves the previous sidecar (or none), never a torn one.
+
+use std::io::Write;
+use std::path::Path;
+
+use mdb_types::{BlockMeta, Result, ValueInterval};
+
+use crate::codec::checksum;
+use crate::zone::{GidZone, ZoneMap, ZoneRun, ZoneValues};
+
+const SIDECAR_MAGIC: u32 = 0x4D44_4249; // "MDBI"
+const SIDECAR_VERSION: u32 = 1;
+
+/// Everything `DiskStore::open` needs that is not the segment bodies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Sidecar {
+    /// Length of the valid log prefix this sidecar describes.
+    pub log_len: u64,
+    /// Whether the statistics were computed with a stored-value range
+    /// provider. A store opened *with* bounds must not adopt a sidecar
+    /// written *without* them — its boundless value statistics are sound
+    /// but would permanently disable value pruning that a rescan would
+    /// restore. (The other direction is fine: bounded statistics only
+    /// over-approximate.)
+    pub value_bounded: bool,
+    /// One summary per block, in log order.
+    pub blocks: Vec<BlockMeta>,
+    /// The zone map over every segment in those blocks.
+    pub zones: ZoneMap,
+}
+
+/// Serializes and writes the sidecar atomically (temp file + rename).
+pub fn write(path: &Path, sidecar: &Sidecar) -> Result<()> {
+    let mut body = Vec::new();
+    put_u64(&mut body, sidecar.log_len);
+    body.push(u8::from(sidecar.value_bounded));
+    put_u32(&mut body, sidecar.blocks.len() as u32);
+    for block in &sidecar.blocks {
+        put_u64(&mut body, block.offset);
+        put_u64(&mut body, block.stored_bytes);
+        put_u32(&mut body, block.payload_len);
+        put_u32(&mut body, block.checksum);
+        put_u32(&mut body, block.count);
+        put_u64(&mut body, block.logical_bytes);
+        put_u32(&mut body, block.min_gid);
+        put_u32(&mut body, block.max_gid);
+        put_i64(&mut body, block.min_start);
+        put_i64(&mut body, block.min_end);
+        put_i64(&mut body, block.max_end);
+        put_opt_interval(&mut body, &block.values);
+    }
+    let n_gids = sidecar.zones.gids().count() as u32;
+    put_u32(&mut body, n_gids);
+    for (gid, zone) in sidecar.zones.iter() {
+        put_u32(&mut body, gid);
+        put_i64(&mut body, zone.min_start);
+        put_i64(&mut body, zone.max_end);
+        put_values(&mut body, &zone.values);
+        put_u64(&mut body, zone.segments);
+        put_u32(&mut body, zone.runs.len() as u32);
+        for run in &zone.runs {
+            put_i64(&mut body, run.min_start);
+            put_i64(&mut body, run.min_end);
+            put_i64(&mut body, run.max_end);
+            put_values(&mut body, &run.values);
+            put_u32(&mut body, run.segments);
+        }
+    }
+    let mut file_bytes = Vec::with_capacity(16 + body.len());
+    put_u32(&mut file_bytes, SIDECAR_MAGIC);
+    put_u32(&mut file_bytes, SIDECAR_VERSION);
+    put_u32(&mut file_bytes, checksum(&body));
+    put_u32(&mut file_bytes, body.len() as u32);
+    file_bytes.extend_from_slice(&body);
+
+    let tmp = path.with_extension("idx.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&file_bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads and validates a sidecar. `Ok(None)` means "no usable sidecar"
+/// (missing, truncated, corrupt, or from another version) — never an error,
+/// because the log can always be rescanned.
+pub fn load(path: &Path) -> Result<Option<Sidecar>> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    Ok(parse(&bytes))
+}
+
+fn parse(bytes: &[u8]) -> Option<Sidecar> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    if cur.u32()? != SIDECAR_MAGIC || cur.u32()? != SIDECAR_VERSION {
+        return None;
+    }
+    let body_checksum = cur.u32()?;
+    let body_len = cur.u32()? as usize;
+    let body = cur.take(body_len)?;
+    if !cur.at_end() || checksum(body) != body_checksum {
+        return None;
+    }
+    let mut cur = Cursor {
+        bytes: body,
+        pos: 0,
+    };
+    let log_len = cur.u64()?;
+    let value_bounded = match cur.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let n_blocks = cur.u32()? as usize;
+    let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20));
+    for _ in 0..n_blocks {
+        blocks.push(BlockMeta {
+            offset: cur.u64()?,
+            stored_bytes: cur.u64()?,
+            payload_len: cur.u32()?,
+            checksum: cur.u32()?,
+            count: cur.u32()?,
+            logical_bytes: cur.u64()?,
+            min_gid: cur.u32()?,
+            max_gid: cur.u32()?,
+            min_start: cur.i64()?,
+            min_end: cur.i64()?,
+            max_end: cur.i64()?,
+            values: cur.opt_interval()?,
+        });
+    }
+    let mut zones = ZoneMap::new();
+    let n_gids = cur.u32()? as usize;
+    for _ in 0..n_gids {
+        let gid = cur.u32()?;
+        let min_start = cur.i64()?;
+        let max_end = cur.i64()?;
+        let values = cur.values()?;
+        let segments = cur.u64()?;
+        let n_runs = cur.u32()? as usize;
+        let mut runs = Vec::with_capacity(n_runs.min(1 << 20));
+        for _ in 0..n_runs {
+            runs.push(ZoneRun {
+                min_start: cur.i64()?,
+                min_end: cur.i64()?,
+                max_end: cur.i64()?,
+                values: cur.values()?,
+                segments: cur.u32()?,
+            });
+        }
+        zones.set_zone(
+            gid,
+            GidZone {
+                min_start,
+                max_end,
+                values,
+                segments,
+                runs,
+            },
+        );
+    }
+    cur.at_end().then_some(Sidecar {
+        log_len,
+        value_bounded,
+        blocks,
+        zones,
+    })
+}
+
+// -------------------------------------------------- little-endian helpers --
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_opt_interval(out: &mut Vec<u8>, v: &Option<ValueInterval>) {
+    match v {
+        None => out.push(0),
+        Some(i) => {
+            out.push(1);
+            put_u64(out, i.lo.to_bits());
+            put_u64(out, i.hi.to_bits());
+        }
+    }
+}
+
+fn put_values(out: &mut Vec<u8>, v: &ZoneValues) {
+    match v {
+        ZoneValues::Empty => out.push(0),
+        ZoneValues::Bounded(i) => {
+            out.push(1);
+            put_u64(out, i.lo.to_bits());
+            put_u64(out, i.hi.to_bits());
+        }
+        ZoneValues::Unbounded => out.push(2),
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn opt_interval(&mut self) -> Option<Option<ValueInterval>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => {
+                let lo = f64::from_bits(self.u64()?);
+                let hi = f64::from_bits(self.u64()?);
+                Some(Some(ValueInterval { lo, hi }))
+            }
+            _ => None,
+        }
+    }
+
+    fn values(&mut self) -> Option<ZoneValues> {
+        match self.u8()? {
+            0 => Some(ZoneValues::Empty),
+            1 => {
+                let lo = f64::from_bits(self.u64()?);
+                let hi = f64::from_bits(self.u64()?);
+                Some(ZoneValues::Bounded(ValueInterval { lo, hi }))
+            }
+            2 => Some(ZoneValues::Unbounded),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mdb_types::{GapsMask, SegmentRecord};
+    use std::path::PathBuf;
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mdb-sidecar-{}-{tag}.idx", std::process::id()))
+    }
+
+    fn sample() -> Sidecar {
+        let mut zones = ZoneMap::new();
+        for i in 0..100i64 {
+            zones.insert(
+                &SegmentRecord {
+                    gid: 1 + (i % 3) as u32,
+                    start_time: i * 1000,
+                    end_time: i * 1000 + 900,
+                    sampling_interval: 100,
+                    mid: 1,
+                    params: Bytes::new(),
+                    gaps: GapsMask::EMPTY,
+                },
+                (i % 7 != 0).then(|| ValueInterval::new(-1.0 - i as f64, i as f64)),
+            );
+        }
+        Sidecar {
+            log_len: 12_345,
+            value_bounded: true,
+            blocks: vec![
+                BlockMeta {
+                    offset: 0,
+                    stored_bytes: 6000,
+                    payload_len: 5956,
+                    checksum: 0xDEAD_BEEF,
+                    count: 50,
+                    logical_bytes: 4_096,
+                    min_gid: 1,
+                    max_gid: 3,
+                    min_start: 0,
+                    min_end: 900,
+                    max_end: 49_900,
+                    values: Some(ValueInterval::new(f64::NEG_INFINITY, 3.5)),
+                },
+                BlockMeta {
+                    offset: 6000,
+                    stored_bytes: 6345,
+                    payload_len: 6301,
+                    checksum: 7,
+                    count: 50,
+                    logical_bytes: 5_120,
+                    min_gid: 1,
+                    max_gid: 3,
+                    min_start: 50_000,
+                    min_end: 50_900,
+                    max_end: 99_900,
+                    values: None,
+                },
+            ],
+            zones,
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let path = temp("roundtrip");
+        let sidecar = sample();
+        write(&path, &sidecar).unwrap();
+        let back = load(&path).unwrap().expect("valid sidecar");
+        assert_eq!(back, sidecar);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        assert_eq!(load(&temp("missing")).unwrap(), None);
+    }
+
+    #[test]
+    fn corruption_anywhere_is_detected() {
+        let path = temp("corrupt");
+        write(&path, &sample()).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        // Flip one byte at a spread of offsets: every mutation must be
+        // rejected (magic, version, checksum, or trailing-bytes check).
+        for pos in (0..good.len()).step_by(13) {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            assert_eq!(load(&path).unwrap(), None, "byte {pos} undetected");
+        }
+        // Truncations are rejected too.
+        for cut in [0, 3, 16, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert_eq!(load(&path).unwrap(), None, "truncation at {cut}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_store_sidecar_round_trips() {
+        let path = temp("empty");
+        let sidecar = Sidecar::default();
+        write(&path, &sidecar).unwrap();
+        assert_eq!(load(&path).unwrap(), Some(sidecar));
+        std::fs::remove_file(&path).ok();
+    }
+}

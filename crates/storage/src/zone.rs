@@ -129,7 +129,7 @@ impl ZoneRun {
 }
 
 /// The zone of one group: aggregate statistics plus the per-run breakdown.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GidZone {
     /// Minimum start time over all segments.
     pub min_start: Timestamp,
@@ -203,7 +203,7 @@ impl GidZone {
 }
 
 /// The store-wide zone map: one [`GidZone`] per group that has segments.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ZoneMap {
     gids: BTreeMap<Gid, GidZone>,
 }
@@ -231,6 +231,19 @@ impl ZoneMap {
     /// All groups with segments, ascending.
     pub fn gids(&self) -> impl Iterator<Item = Gid> + '_ {
         self.gids.keys().copied()
+    }
+
+    /// All `(gid, zone)` pairs, ascending by gid — the iteration the
+    /// persistent sidecar index serializes.
+    pub fn iter(&self) -> impl Iterator<Item = (Gid, &GidZone)> + '_ {
+        self.gids.iter().map(|(g, z)| (*g, z))
+    }
+
+    /// Installs a fully-built zone for `gid`, replacing any existing one —
+    /// the inverse of [`ZoneMap::iter`], used when the sidecar index is
+    /// deserialized instead of replaying every insert.
+    pub fn set_zone(&mut self, gid: Gid, zone: GidZone) {
+        self.gids.insert(gid, zone);
     }
 
     /// Total runs across all groups (diagnostics).

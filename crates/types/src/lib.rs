@@ -14,12 +14,16 @@
 //! * [`RowBatch`] — the columnar ingestion batch (timestamps column plus
 //!   per-series value columns with validity bitmaps) that carries Table 1's
 //!   bulk write size through every ingestion layer, not just the store.
+//! * [`BlockMeta`] — per-block statistics of the out-of-core segment log
+//!   (Section 3.3's block statistics), letting scans skip blocks before
+//!   they are fetched from disk.
 //!
 //! It also provides [`time`], a dependency-free UTC civil-time calendar used
 //! for aggregation in the time dimension (Section 6.3), and the shared
 //! [`MdbError`] error type.
 
 pub mod batch;
+pub mod block;
 pub mod bound;
 pub mod datapoint;
 pub mod dimensions;
@@ -30,6 +34,7 @@ pub mod segment;
 pub mod time;
 
 pub use batch::{BatchView, RowBatch};
+pub use block::BlockMeta;
 pub use bound::ErrorBound;
 pub use datapoint::{DataPoint, Tid, Timestamp, Value};
 pub use dimensions::{DimensionSchema, Dimensions, MemberId, LEVEL_TOP};

@@ -1,0 +1,182 @@
+//! Cache equivalence: the block cache is a performance knob, never a
+//! semantics knob. Three disk-backed engines over byte-identical segments —
+//! cache capacity zero (every scan re-reads disk), roughly one block per
+//! shard (constant eviction), and unbounded (everything stays resident) —
+//! must return **bit-identical** SQL aggregates and DataPoint listings for
+//! arbitrary time ranges and value predicates, over data with per-series
+//! gaps, whole-group gap ticks, and dynamic split/join episodes (the same
+//! ingest pattern as `tests/query_equivalence.rs`).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use modelardb::{
+    DimensionSchema, ErrorBound, ModelarDb, ModelarDbBuilder, SegmentRecord, SeriesSpec,
+    StorageSpec,
+};
+
+/// Ticks ingested by [`engines`] (timestamps `t * 100`).
+const SJ_TICKS: i64 = 900;
+/// Segments per log block.
+const BULK_WRITE: usize = 32;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn case_dir(tag: &str) -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("mdb-cache-eq-{}-{case}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Roughly one cached block per shard: enough to exercise hit/evict cycles,
+/// far too small to hold the store.
+fn one_block_budget() -> u64 {
+    (8 * BULK_WRITE * (std::mem::size_of::<SegmentRecord>() + 16)) as u64
+}
+
+/// Three engines over byte-identical segments, differing only in block-cache
+/// capacity. The ingest mixes per-series gaps, whole-group gap ticks, and a
+/// decorrelation phase noisy enough to force dynamic split and join episodes
+/// (asserted below).
+fn engines() -> Vec<ModelarDb> {
+    let budgets = [Some(0u64), Some(one_block_budget()), None];
+    let mut engines: Vec<ModelarDb> = budgets
+        .iter()
+        .map(|budget| {
+            let mut b = ModelarDbBuilder::new();
+            b.config_mut().compression.error_bound = ErrorBound::absolute(0.5);
+            b.config_mut().compression.split_fraction = 2.0;
+            b.config_mut().bulk_write_size = BULK_WRITE;
+            b.config_mut().storage = StorageSpec::Disk(case_dir("engine"));
+            b.config_mut().memory_budget_bytes = *budget;
+            b.add_dimension(
+                DimensionSchema::from_leaf_up("Location", vec!["Turbine".into(), "Park".into()])
+                    .unwrap(),
+            )
+            .add_series(SeriesSpec::new("a", 100).with_members("Location", &["Aalborg", "1"]))
+            .add_series(SeriesSpec::new("b", 100).with_members("Location", &["Aalborg", "2"]))
+            .correlate("Location 1");
+            b.build().unwrap()
+        })
+        .collect();
+    let mut x = 99u32;
+    for t in 0..SJ_TICKS {
+        x = x.wrapping_mul(1103515245).wrapping_add(12345);
+        let noise = (x >> 16) as f32 / 65536.0;
+        let row = if (150..320).contains(&t) {
+            [Some(5.0 + noise * 0.2), Some(500.0 + noise * 120.0)]
+        } else if t % 97 == 13 {
+            [None, None]
+        } else {
+            [(t % 37 != 0).then_some(5.0), Some(5.1)]
+        };
+        for db in &mut engines {
+            db.ingest_row(t * 100, &row).unwrap();
+        }
+    }
+    for db in &mut engines {
+        db.flush().unwrap();
+    }
+    let stats = engines[0].stats();
+    assert!(stats.splits >= 1, "fixture must exercise dynamic splits");
+    assert!(stats.joins >= 1, "fixture must exercise dynamic joins");
+    let reference = engines[0].segments().unwrap();
+    for db in &engines[1..] {
+        assert_eq!(
+            db.segments().unwrap(),
+            reference,
+            "all engines must hold byte-identical segments"
+        );
+    }
+    engines
+}
+
+fn drop_engines(engines: Vec<ModelarDb>) {
+    for db in engines {
+        if let StorageSpec::Disk(dir) = &db.config().storage {
+            let dir = dir.clone();
+            drop(db);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn aggregates_are_bit_identical_across_cache_capacities(
+        func_idx in 0usize..5,
+        tids in proptest::collection::btree_set(1u32..=2, 1..3),
+        window in 0i64..850,
+        span in 1i64..600,
+        group_by_tid in proptest::bool::ANY,
+    ) {
+        let engines = engines();
+        let func = ["COUNT", "MIN", "MAX", "SUM", "AVG"][func_idx];
+        let tid_list = tids.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
+        let from = window * 100;
+        let to = (window + span).min(SJ_TICKS - 1) * 100;
+        let sql = if group_by_tid {
+            format!(
+                "SELECT Tid, {func}_S(*) FROM Segment WHERE Tid IN ({tid_list}) \
+                 AND TS >= {from} AND TS <= {to} GROUP BY Tid ORDER BY Tid"
+            )
+        } else {
+            format!(
+                "SELECT {func}_S(*) FROM Segment WHERE Tid IN ({tid_list}) \
+                 AND TS >= {from} AND TS <= {to}"
+            )
+        };
+        let reference = engines[0].sql(&sql).unwrap();
+        for db in &engines[1..] {
+            let got = db.sql(&sql).unwrap();
+            prop_assert_eq!(&got.columns, &reference.columns);
+            prop_assert_eq!(&got.rows, &reference.rows, "{}", sql);
+        }
+        // A second pass must agree with the first: the zero-capacity engine
+        // re-reads disk, the bounded one hits a churned cache.
+        for db in &engines {
+            prop_assert_eq!(&db.sql(&sql).unwrap().rows, &reference.rows, "second pass: {}", sql);
+        }
+        drop_engines(engines);
+    }
+
+    #[test]
+    fn value_filters_and_listings_are_bit_identical_across_cache_capacities(
+        bound in -20.0f64..520.0,
+        ge in proptest::bool::ANY,
+        window in 0i64..850,
+        span in 1i64..300,
+    ) {
+        let engines = engines();
+        let from = window * 100;
+        let to = (window + span).min(SJ_TICKS - 1) * 100;
+        let op = if ge { ">=" } else { "<" };
+        for sql in [
+            format!(
+                "SELECT Tid, SUM_S(*), COUNT_S(*) FROM Segment WHERE Value {op} {bound:.3} \
+                 AND TS >= {from} GROUP BY Tid ORDER BY Tid"
+            ),
+            format!(
+                "SELECT Tid, TS, Value FROM DataPoint WHERE TS >= {from} AND TS <= {to}"
+            ),
+            format!(
+                "SELECT Tid, TS, Value FROM DataPoint WHERE Value {op} {bound:.3} \
+                 AND TS >= {from} AND TS <= {to}"
+            ),
+        ] {
+            let reference = engines[0].sql(&sql).unwrap();
+            for db in &engines[1..] {
+                let got = db.sql(&sql).unwrap();
+                prop_assert_eq!(&got.columns, &reference.columns);
+                prop_assert_eq!(&got.rows, &reference.rows, "{}", sql);
+            }
+        }
+        drop_engines(engines);
+    }
+}
