@@ -69,7 +69,7 @@ fn bench_ingest_throughput(c: &mut Criterion) {
         b.iter(|| {
             let cluster = start_cluster();
             let elapsed = ingest_cluster(&cluster, &ds, scale.ticks);
-            cluster.shutdown();
+            cluster.shutdown().unwrap();
             elapsed
         })
     });
@@ -77,7 +77,7 @@ fn bench_ingest_throughput(c: &mut Criterion) {
         b.iter(|| {
             let cluster = start_cluster();
             let elapsed = ingest_cluster_batched(&cluster, &ds, scale.ticks, 512);
-            cluster.shutdown();
+            cluster.shutdown().unwrap();
             elapsed
         })
     });

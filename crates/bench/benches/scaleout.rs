@@ -43,7 +43,7 @@ fn bench_scaleout(c: &mut Criterion) {
                     .unwrap()
             })
         });
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
     }
     group.finish();
 }

@@ -8,7 +8,7 @@
 //! experiments:
 //!   table1  fig13  fig14  fig15  fig16  fig17  fig18  fig19  fig20
 //!   fig21   fig22  fig23  fig24  fig25  fig26  fig27  fig28  mgc
-//!   ingest  query  storage  all
+//!   ingest  query  storage  chaos  all
 //! ```
 //!
 //! Unknown experiments, scales, or options exit non-zero with a usage
@@ -35,18 +35,19 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mdb_bench::*;
-use mdb_cluster::Cluster;
+use mdb_cluster::{Cluster, ClusterConfig, WorkerState};
 use mdb_datagen::{eh, ep, Dataset, Scale, Workloads};
 use mdb_partitioner::CorrelationSpec;
+use mdb_testutil::TempDir;
 use modelardb::{CompressionConfig, ErrorBound, ModelRegistry, SegmentStore};
 
 const SEED: u64 = 42;
 const BOUNDS: [f64; 4] = [0.0, 1.0, 5.0, 10.0];
 
-const EXPERIMENTS: [&str; 21] = [
+const EXPERIMENTS: [&str; 22] = [
     "table1", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
     "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "mgc", "ingest", "query",
-    "storage",
+    "storage", "chaos",
 ];
 
 fn usage() -> String {
@@ -207,6 +208,115 @@ fn run_experiments(experiment: &str, scale: Scale, scale_name: &str) {
     if run("storage") {
         storage_rates(scale, scale_name);
     }
+    if run("chaos") {
+        chaos(scale);
+    }
+}
+
+/// `chaos`: the failover demonstration — a replicated disk-backed cluster
+/// loses a worker *silently* mid-ingest; every probe query must match a
+/// never-failed run bit-for-bit, the health report must name the casualty
+/// with zero groups lost, and a restart over the failed-over directory must
+/// answer identically. Plain asserts: any divergence exits non-zero, which
+/// is exactly what the CI smoke step relies on.
+fn chaos(scale: Scale) {
+    const WORKERS: usize = 4;
+    const VICTIM: usize = 1;
+    let ds = ep(SEED, scale).unwrap();
+    let ticks = ds.scale.ticks;
+    let queries = [
+        "SELECT COUNT_S(*) FROM Segment",
+        "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid",
+        "SELECT Entity, AVG_S(*) FROM Segment GROUP BY Entity ORDER BY Entity",
+    ];
+    let start = |dir: &std::path::Path| {
+        Cluster::start_with(
+            catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap(),
+            Arc::new(ModelRegistry::standard()),
+            ClusterConfig {
+                compression: CompressionConfig {
+                    error_bound: ErrorBound::relative(10.0),
+                    ..Default::default()
+                },
+                replication_factor: 2,
+                storage_dir: Some(dir.to_path_buf()),
+                bulk_write_size: 64,
+                ..ClusterConfig::default()
+            },
+            WORKERS,
+        )
+        .unwrap()
+    };
+    let ingest = |cluster: &Cluster, range: std::ops::Range<u64>| {
+        for tick in range {
+            cluster
+                .ingest_row(ds.timestamp(tick), &ds.row(tick))
+                .unwrap();
+        }
+    };
+
+    let baseline_dir = TempDir::new("repro-chaos-baseline");
+    let baseline = start(baseline_dir.path());
+    ingest(&baseline, 0..ticks);
+    baseline.flush().unwrap();
+    let want: Vec<_> = queries.iter().map(|q| baseline.sql(q).unwrap()).collect();
+    baseline.shutdown().unwrap();
+
+    let chaos_dir = TempDir::new("repro-chaos");
+    let cluster = start(chaos_dir.path());
+    ingest(&cluster, 0..ticks / 3);
+    assert!(cluster.crash_worker(VICTIM), "victim must be active");
+    ingest(&cluster, ticks / 3..ticks);
+    // The first flush may be the one that *reports* the silent death.
+    if cluster.flush().is_err() {
+        cluster.flush().unwrap();
+    }
+    let health = cluster.health();
+    assert_eq!(health.workers[VICTIM].state, WorkerState::Dead);
+    assert!(health.lost_gids.is_empty(), "rf=2 must lose nothing");
+    for (q, want) in queries.iter().zip(&want) {
+        assert_eq!(
+            &cluster.sql(q).unwrap(),
+            want,
+            "{q} diverged after failover"
+        );
+    }
+    cluster.shutdown().unwrap();
+
+    // A restart over the same directory adopts the failed-over placement:
+    // the crashed slot comes back empty (its stale log is routed around)
+    // and results still match the never-failed run.
+    let reopened = start(chaos_dir.path());
+    let snapshot = reopened.health();
+    assert!(
+        snapshot.workers[VICTIM].hosted_gids.is_empty(),
+        "the failed slot must not get its groups back on restart"
+    );
+    assert!(snapshot.lost_gids.is_empty());
+    for (q, want) in queries.iter().zip(&want) {
+        assert_eq!(
+            &reopened.sql(q).unwrap(),
+            want,
+            "{q} diverged after restart"
+        );
+    }
+    reopened.shutdown().unwrap();
+
+    print_figure(
+        "Chaos: replicated failover parity",
+        &["Check", "Status"],
+        &[
+            vec![
+                format!("worker {VICTIM} killed mid-ingest: results bit-identical"),
+                "ok".into(),
+            ],
+            vec![
+                format!("worker {VICTIM} reported dead, 0 groups lost"),
+                "ok".into(),
+            ],
+            vec!["restart over failed-over directory".into(), "ok".into()],
+        ],
+    );
 }
 
 /// `storage`: restart time and resident memory of the out-of-core disk
@@ -742,7 +852,7 @@ fn fig13(scale: Scale) {
             cluster.flush().unwrap();
         });
         rows.push(vec![label.into(), fmt_rate(points, elapsed)]);
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
     }
     print_figure(
         "Figure 13: Ingestion rate, EP",
@@ -928,7 +1038,7 @@ fn fig20(scale: Scale) {
         let sv_max = sv_times.iter().max().copied().unwrap_or_default();
         let dpv_max = dpv_times.iter().max().copied().unwrap_or_default();
         rows.push((nodes, sv_max, dpv_max));
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
     }
     let (base_sv, base_dpv) = (rows[0].1, rows[0].2);
     let rel = |nodes: usize, t: Duration, base: Duration| {

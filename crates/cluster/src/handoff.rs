@@ -1,0 +1,121 @@
+//! Group handoff: shipping one group's copy from a source worker to a
+//! target worker with an atomic routing flip.
+//!
+//! The whole exchange runs under the master's topology **write** lock, so
+//! no batch can be routed while a group is mid-flight: the source drains
+//! the group's ingestor, flushes its store, and exports the group's
+//! segment runs in its deterministic per-group scan order; the target
+//! builds a fresh ingestor, appends the runs (the disk store cuts blocks
+//! at run boundaries, mirroring the source's block structure), and flushes;
+//! only then does the holder list swap source for target. Because a
+//! group's per-group scan order survives the trip, query results are
+//! bit-identical before and after the handoff — and after a restart that
+//! reads the shipped log.
+//!
+//! Append-only stores cannot delete, so the exported segments stay in the
+//! source's log; primary-scoped queries and statistics simply never touch
+//! them again. Handing the same group *back* to a worker whose log still
+//! has such leftovers would double its segments, so the membership
+//! operations never pick a target that already holds (or held) a live copy
+//! — a group returns to a slot only across a restart, where the manifest
+//! routes around the leftovers.
+
+use crossbeam_channel::bounded;
+use mdb_types::{Gid, MdbError, Result};
+
+use crate::{Cluster, Command, Topology};
+
+impl Cluster {
+    /// Moves one copy of `gid` from worker `from` to worker `to`, flipping
+    /// the holder entry in place (a primary stays primary, a replica stays
+    /// a replica). Both workers must be active; the target must not
+    /// already hold the group. Takes the topology write lock — ingestion
+    /// and queries wait until the handoff committed or failed whole.
+    pub fn move_group(&self, gid: Gid, from: usize, to: usize) -> Result<()> {
+        let mut topo = self.topo_write();
+        self.move_copy(&mut topo, gid, from, to)?;
+        self.persist_manifest(&topo);
+        Ok(())
+    }
+
+    /// The locked core of [`Cluster::move_group`]; also used by the
+    /// membership operations, which batch several moves under one lock
+    /// acquisition and persist the manifest once at the end.
+    pub(crate) fn move_copy(
+        &self,
+        topo: &mut Topology,
+        gid: Gid,
+        from: usize,
+        to: usize,
+    ) -> Result<()> {
+        let holders = topo
+            .holders
+            .get(&gid)
+            .ok_or_else(|| MdbError::Config(format!("unknown group {gid}")))?;
+        let position = holders
+            .iter()
+            .position(|&h| h == from)
+            .ok_or_else(|| MdbError::Config(format!("worker {from} does not hold group {gid}")))?;
+        if holders.contains(&to) {
+            return Err(MdbError::Config(format!(
+                "worker {to} already holds group {gid}"
+            )));
+        }
+        let source = topo.workers[from]
+            .sender
+            .clone()
+            .ok_or_else(|| MdbError::Config(format!("worker {from} is not active")))?;
+        let target = topo.workers[to]
+            .sender
+            .clone()
+            .ok_or_else(|| MdbError::Config(format!("worker {to} is not active")))?;
+        // Drain + export on the source. A death here aborts the handoff
+        // with the group still routed to its surviving holders.
+        let (tx, rx) = bounded(1);
+        if source.send(Command::Export(vec![gid], tx)).is_err() {
+            topo.mark_dead(from, "died during handoff export");
+            return Err(MdbError::Ingestion(format!(
+                "worker {from} died during handoff export of group {gid}"
+            )));
+        }
+        let shipped = match rx.recv() {
+            Ok(Ok(shipped)) => shipped,
+            Ok(Err(e)) => {
+                return Err(MdbError::Ingestion(format!(
+                    "worker {from} failed to export group {gid}: {e}"
+                )))
+            }
+            Err(_) => {
+                topo.mark_dead(from, "died during handoff export");
+                return Err(MdbError::Ingestion(format!(
+                    "worker {from} died during handoff export of group {gid}"
+                )));
+            }
+        };
+        // Import on the target; the routing flip waits for its durability.
+        let (tx, rx) = bounded(1);
+        if target.send(Command::Import(shipped, tx)).is_err() {
+            topo.mark_dead(to, "died during handoff import");
+            return Err(MdbError::Ingestion(format!(
+                "worker {to} died during handoff import of group {gid}"
+            )));
+        }
+        match rx.recv() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                return Err(MdbError::Ingestion(format!(
+                    "worker {to} failed to import group {gid}: {e}"
+                )))
+            }
+            Err(_) => {
+                topo.mark_dead(to, "died during handoff import");
+                return Err(MdbError::Ingestion(format!(
+                    "worker {to} died during handoff import of group {gid}"
+                )));
+            }
+        }
+        // Committed: flip the copy to its new holder, same position.
+        topo.holders.get_mut(&gid).expect("checked above")[position] = to;
+        Ok(())
+    }
+}

@@ -1,0 +1,87 @@
+//! Cluster health reporting: per-worker lifecycle state and the
+//! master-side snapshot returned by [`crate::Cluster::health`].
+//!
+//! The master supervises workers instead of trusting them: every
+//! observation point (ingest routing, flush, queries, an explicit health
+//! probe) that sees a worker's channel disconnected declares the worker
+//! dead and strips it from the placement, so the snapshot reflects what
+//! the master has actually verified rather than what it hopes is true.
+
+use mdb_types::Gid;
+
+/// Lifecycle state of one worker slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Spawned and, as far as the master knows, serving its groups.
+    Active,
+    /// Declared dead: a send or receive on its channel failed, it missed a
+    /// health probe, or it was explicitly killed. Its groups were handed to
+    /// surviving replicas (or lost, at replication factor 1).
+    Dead,
+    /// Decommissioned via [`crate::Cluster::remove_worker`]: it drained and
+    /// handed every group off before stopping. The slot index stays
+    /// reserved so placements remain stable across restarts.
+    Removed,
+}
+
+impl std::fmt::Display for WorkerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerState::Active => write!(f, "active"),
+            WorkerState::Dead => write!(f, "dead"),
+            WorkerState::Removed => write!(f, "removed"),
+        }
+    }
+}
+
+/// One worker's slice of a [`ClusterHealth`] snapshot.
+#[derive(Debug, Clone)]
+pub struct WorkerHealth {
+    /// The worker's slot index (stable for the cluster's lifetime).
+    pub index: usize,
+    pub state: WorkerState,
+    /// Every group the worker holds a copy of (primary or replica), sorted.
+    pub hosted_gids: Vec<Gid>,
+    /// The groups this worker currently serves queries for, sorted.
+    pub primary_gids: Vec<Gid>,
+    /// Group batches the worker has ingested.
+    pub batches_ingested: u64,
+    /// The first ingestion error the worker deferred (cleared by the first
+    /// flush that reports it).
+    pub first_error: Option<String>,
+    /// Deferred ingestion errors beyond the first.
+    pub deferred_errors: u64,
+    /// Why a non-[`WorkerState::Active`] worker left service.
+    pub note: Option<String>,
+}
+
+/// A point-in-time snapshot of the cluster, from the master's view after
+/// probing every worker it still believed alive.
+#[derive(Debug, Clone)]
+pub struct ClusterHealth {
+    /// Copies kept per group ([`crate::ClusterConfig::replication_factor`]).
+    pub replication_factor: usize,
+    /// One entry per worker slot, in slot order.
+    pub workers: Vec<WorkerHealth>,
+    /// Groups with no surviving holder: their un-ingested data is refused
+    /// and queries silently omit them until an operator intervenes. Empty
+    /// whenever fewer than `replication_factor` workers have failed.
+    pub lost_gids: Vec<Gid>,
+}
+
+impl ClusterHealth {
+    /// Number of workers still in service.
+    pub fn active_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.state == WorkerState::Active)
+            .count()
+    }
+
+    /// True when a worker has died (so some groups run below their
+    /// configured copy count) or a group has been lost outright. Queries
+    /// still answer, but from fewer (or no) replicas than configured.
+    pub fn is_degraded(&self) -> bool {
+        !self.lost_gids.is_empty() || self.workers.iter().any(|w| w.state == WorkerState::Dead)
+    }
+}

@@ -344,10 +344,10 @@ modelardb.correlation.scaling = series t9572.gz 4.75
 
     #[test]
     fn load_reads_from_disk() {
-        let path = std::env::temp_dir().join(format!("mdb-conf-{}.conf", std::process::id()));
+        let dir = mdb_testutil::TempDir::new("configfile");
+        let path = dir.join("modelardb.conf");
         std::fs::write(&path, SAMPLE).unwrap();
         let cfg = ConfigFile::load(&path).unwrap();
         assert_eq!(cfg.series.len(), 3);
-        std::fs::remove_file(&path).ok();
     }
 }

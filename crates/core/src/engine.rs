@@ -443,8 +443,8 @@ mod tests {
 
     #[test]
     fn disk_storage_survives_reopen() {
-        let dir = std::env::temp_dir().join(format!("mdb-core-reopen-{}", std::process::id()));
-        std::fs::remove_dir_all(&dir).ok();
+        let case = mdb_testutil::TempDir::new("core-reopen");
+        let dir = case.path().to_path_buf();
         let registry = Arc::new(ModelRegistry::standard());
         {
             let mut b = ModelarDbBuilder::new();
@@ -466,7 +466,6 @@ mod tests {
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[0][1].as_i64(), Some(200));
         assert_eq!(r.rows[1][1].as_i64(), Some(200));
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -48,14 +48,14 @@ pub use configfile::ConfigFile;
 pub use engine::{value_bounds_fn, ModelarDb, StorageSpec};
 
 // Re-export the public surface of the component crates.
-pub use mdb_cluster::{Cluster, ClusterConfig};
+pub use mdb_cluster::{Cluster, ClusterConfig, ClusterHealth, WorkerHealth, WorkerState};
 pub use mdb_compression::{CompressionConfig, CompressionStats, GroupIngestor, SegmentGenerator};
 pub use mdb_models::{
     Fitter, ModelRegistry, ModelType, SegmentAgg, MID_GORILLA, MID_PMC_MEAN, MID_SWING,
 };
 pub use mdb_partitioner::{
-    assign_workers, lowest_distance, partition, CorrelationClause, CorrelationPrimitive,
-    CorrelationSpec, Partitioning, ScalingHint,
+    assign_replicas, assign_workers, group_load, lowest_distance, partition, CorrelationClause,
+    CorrelationPrimitive, CorrelationSpec, Partitioning, ScalingHint,
 };
 pub use mdb_query::{parse, Cell, Query, QueryEngine, QueryResult};
 pub use mdb_storage::{

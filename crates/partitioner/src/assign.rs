@@ -9,29 +9,63 @@
 
 use mdb_types::GroupMeta;
 
+/// A group's ingest load: data points per second.
+pub fn group_load(g: &GroupMeta) -> f64 {
+    g.size() as f64 / (g.sampling_interval.max(1) as f64 / 1000.0)
+}
+
 /// Assigns each group to a worker in `0..n_workers`; `result[i]` is the
-/// worker of `groups[i]`.
+/// worker of `groups[i]`. Equivalent to the primaries of
+/// [`assign_replicas`] with a replication factor of 1.
 pub fn assign_workers(groups: &[GroupMeta], n_workers: usize) -> Vec<usize> {
+    assign_replicas(groups, n_workers, 1)
+        .into_iter()
+        .map(|holders| holders[0])
+        .collect()
+}
+
+/// Assigns each group to `replication` distinct workers in `0..n_workers`;
+/// `result[i]` lists the holders of `groups[i]`, primary first.
+///
+/// Placement is the same LPT greedy as [`assign_workers`], generalized:
+/// groups are placed heaviest first (deterministic gid tie-break), and each
+/// takes the `replication` least-loaded workers — the least-loaded of those
+/// becomes the primary. Every holder ingests the group's full stream, so
+/// each charges the group's full load; queries read primaries only, so
+/// replicas cost memory and ingest CPU, never query latency.
+pub fn assign_replicas(
+    groups: &[GroupMeta],
+    n_workers: usize,
+    replication: usize,
+) -> Vec<Vec<usize>> {
     assert!(n_workers > 0, "need at least one worker");
-    // Load = data points per second.
-    let load = |g: &GroupMeta| g.size() as f64 / (g.sampling_interval.max(1) as f64 / 1000.0);
+    assert!(
+        (1..=n_workers).contains(&replication),
+        "replication factor {replication} must be in 1..={n_workers}"
+    );
     let mut order: Vec<usize> = (0..groups.len()).collect();
     order.sort_by(|&a, &b| {
-        load(&groups[b])
-            .partial_cmp(&load(&groups[a]))
+        group_load(&groups[b])
+            .partial_cmp(&group_load(&groups[a]))
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(groups[a].gid.cmp(&groups[b].gid))
     });
     let mut worker_load = vec![0.0f64; n_workers];
-    let mut assignment = vec![0usize; groups.len()];
+    let mut assignment = vec![Vec::new(); groups.len()];
     for idx in order {
-        let (worker, _) = worker_load
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
-            .unwrap();
-        assignment[idx] = worker;
-        worker_load[worker] += load(&groups[idx]);
+        // The `replication` least-loaded workers, ties broken by index (the
+        // sort is stable, so equal loads keep ascending worker order).
+        let mut by_load: Vec<usize> = (0..n_workers).collect();
+        by_load.sort_by(|&a, &b| {
+            worker_load[a]
+                .partial_cmp(&worker_load[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let holders: Vec<usize> = by_load.into_iter().take(replication).collect();
+        for &w in &holders {
+            worker_load[w] += group_load(&groups[idx]);
+        }
+        assignment[idx] = holders;
     }
     assignment
 }
@@ -109,7 +143,59 @@ mod tests {
         assign_workers(&[], 0);
     }
 
+    #[test]
+    fn replicas_are_distinct_and_primary_matches_assign_workers() {
+        let groups = vec![
+            group(1, 1..=4, 100),
+            group(2, 5..=6, 100),
+            group(3, 7..=12, 60_000),
+            group(4, 13..=13, 100),
+        ];
+        for n_workers in 1..=4 {
+            let primaries = assign_workers(&groups, n_workers);
+            for k in 1..=n_workers {
+                let replicated = assign_replicas(&groups, n_workers, k);
+                for (i, holders) in replicated.iter().enumerate() {
+                    assert_eq!(holders.len(), k, "group {i} with rf {k}");
+                    let mut distinct = holders.clone();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    assert_eq!(distinct.len(), k, "holders must be distinct");
+                }
+                if k == 1 {
+                    let firsts: Vec<usize> = replicated.iter().map(|h| h[0]).collect();
+                    assert_eq!(firsts, primaries);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn replication_beyond_workers_panics() {
+        let groups = vec![group(1, 1..=1, 100)];
+        assign_replicas(&groups, 2, 3);
+    }
+
     proptest::proptest! {
+        #[test]
+        fn replica_loads_are_balanced(n_groups in 1usize..30, n_workers in 2usize..6) {
+            let groups: Vec<GroupMeta> = (0..n_groups)
+                .map(|i| group(i as u32 + 1, (i as u32 * 2 + 1)..=(i as u32 * 2 + 2), 1000))
+                .collect();
+            let a = assign_replicas(&groups, n_workers, 2);
+            let mut per_worker = vec![0usize; n_workers];
+            for (g, holders) in groups.iter().zip(&a) {
+                for &w in holders {
+                    per_worker[w] += g.size();
+                }
+            }
+            let max = per_worker.iter().max().unwrap();
+            let min = per_worker.iter().min().unwrap();
+            // All groups weigh the same, so imbalance ≤ two copies.
+            proptest::prop_assert!(max - min <= 4, "{:?}", per_worker);
+        }
+
         #[test]
         fn loads_are_balanced(n_groups in 1usize..40, n_workers in 1usize..8) {
             let groups: Vec<GroupMeta> = (0..n_groups)

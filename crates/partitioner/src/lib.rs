@@ -11,6 +11,6 @@ pub mod assign;
 pub mod grouping;
 pub mod spec;
 
-pub use assign::assign_workers;
+pub use assign::{assign_replicas, assign_workers, group_load};
 pub use grouping::{lowest_distance, partition, Partitioning};
 pub use spec::{CorrelationClause, CorrelationPrimitive, CorrelationSpec, ScalingHint};

@@ -21,7 +21,9 @@ use std::sync::Arc;
 
 use mdb_models::ModelRegistry;
 use mdb_storage::{Catalog, SegmentPredicate, SegmentStore};
-use mdb_types::{time, MdbError, Result, SegmentRecord, Tid, TimeLevel, Timestamp, ValueInterval};
+use mdb_types::{
+    time, Gid, MdbError, Result, SegmentRecord, Tid, TimeLevel, Timestamp, ValueInterval,
+};
 
 use crate::aggregate::{Accumulator, AggFunc, SegmentCursor};
 use crate::cell::{Cell, QueryResult};
@@ -73,6 +75,9 @@ pub struct QueryEngine<'a> {
     pool: Option<&'a ScanPool>,
     /// Pruned-segment count from which an attached pool engages.
     pool_threshold: usize,
+    /// When set, only these groups are visible to the engine (see
+    /// [`QueryEngine::with_gid_scope`]).
+    gid_scope: Option<&'a [Gid]>,
 }
 
 /// The catalog- and registry-dependent half of segment evaluation, split
@@ -269,7 +274,20 @@ impl<'a> QueryEngine<'a> {
             parallelism: 1,
             pool: None,
             pool_threshold: POOL_MIN_SEGMENTS,
+            gid_scope: None,
         }
+    }
+
+    /// Restricts the engine to the given groups: segments of any other gid
+    /// are invisible to every query, as if the store did not contain them.
+    /// The cluster runtime uses this to serve queries from a worker's
+    /// *primary* groups only, so replicated groups are never double-counted
+    /// and a store that retains exported groups after a handoff never
+    /// resurrects them. An empty scope matches nothing (but listings still
+    /// report their column shape).
+    pub fn with_gid_scope(mut self, scope: &'a [Gid]) -> Self {
+        self.gid_scope = Some(scope);
+        self
     }
 
     /// Attaches a persistent [`ScanPool`] (built over the *same* catalog and
@@ -411,7 +429,16 @@ impl<'a> QueryEngine<'a> {
         }
         empty |= value_range.is_empty();
 
-        let gids = tids.as_ref().map(|list| self.catalog.gids_for_tids(list));
+        let mut gids = tids.as_ref().map(|list| self.catalog.gids_for_tids(list));
+        // An engine scoped to a gid subset intersects the scope into the
+        // push-down, so out-of-scope segments are pruned like any other
+        // non-match (a `Some(vec![])` push-down matches nothing).
+        if let Some(scope) = self.gid_scope {
+            gids = Some(match gids {
+                Some(list) => list.into_iter().filter(|g| scope.contains(g)).collect(),
+                None => scope.to_vec(),
+            });
+        }
         let mut pushdown = SegmentPredicate {
             gids,
             ..SegmentPredicate::default()

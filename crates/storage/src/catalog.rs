@@ -375,12 +375,11 @@ mod tests {
 
     #[test]
     fn save_and_load_from_disk() {
-        let dir = std::env::temp_dir().join(format!("mdb-catalog-test-{}", std::process::id()));
+        let dir = mdb_testutil::TempDir::new("catalog-save-load");
         let c = sample();
-        c.save(&dir).unwrap();
-        let back = Catalog::load(&dir).unwrap();
+        c.save(dir.path()).unwrap();
+        let back = Catalog::load(dir.path()).unwrap();
         assert_eq!(back.series, c.series);
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -595,6 +595,16 @@ impl SegmentStore for DiskStore {
         })
     }
 
+    fn import_run(&mut self, run: Vec<SegmentRecord>) -> Result<()> {
+        for segment in run {
+            self.insert(segment)?;
+        }
+        // Cut the block at the run boundary (a no-op if `insert` already
+        // cut one via `bulk_write_size`), so an imported log mirrors the
+        // source's block structure instead of re-batching it.
+        self.write_block()
+    }
+
     fn scan_batches(
         &self,
         predicate: &SegmentPredicate,
@@ -663,17 +673,15 @@ mod tests {
         }
     }
 
-    fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("mdb-disk-{}-{tag}", std::process::id()));
-        std::fs::remove_dir_all(&dir).ok();
-        dir
+    fn temp_dir(tag: &str) -> mdb_testutil::TempDir {
+        mdb_testutil::TempDir::new(&format!("disk-{tag}"))
     }
 
     #[test]
     fn write_flush_reopen_round_trips() {
         let dir = temp_dir("roundtrip");
         {
-            let mut store = DiskStore::open(&dir, 10).unwrap();
+            let mut store = DiskStore::open(dir.path(), 10).unwrap();
             for i in 0..25 {
                 store
                     .insert(seg(i % 3 + 1, i as i64 * 1000, i as i64 * 1000 + 900))
@@ -682,18 +690,17 @@ mod tests {
             store.flush().unwrap();
             assert_eq!(store.len(), 25);
         }
-        let store = DiskStore::open(&dir, 10).unwrap();
+        let store = DiskStore::open(dir.path(), 10).unwrap();
         assert_eq!(store.len(), 25);
         let got = scan_to_vec(&store, &SegmentPredicate::for_gids(vec![2])).unwrap();
         assert!(got.iter().all(|s| s.gid == 2));
         assert!(!got.is_empty());
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn bulk_write_size_triggers_automatic_blocks() {
         let dir = temp_dir("bulk");
-        let mut store = DiskStore::open(&dir, 5).unwrap();
+        let mut store = DiskStore::open(dir.path(), 5).unwrap();
         for i in 0..12 {
             store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
         }
@@ -704,26 +711,24 @@ mod tests {
         store.flush().unwrap();
         assert!(store.persistent_bytes() > durable_before_flush);
         assert_eq!(store.block_count(), 3);
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn unflushed_segments_are_still_queryable() {
         let dir = temp_dir("buffered");
-        let mut store = DiskStore::open(&dir, 1000).unwrap();
+        let mut store = DiskStore::open(dir.path(), 1000).unwrap();
         store.insert(seg(1, 0, 900)).unwrap();
         assert_eq!(
             scan_to_vec(&store, &SegmentPredicate::all()).unwrap().len(),
             1
         );
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn torn_tail_block_is_truncated_on_recovery() {
         let dir = temp_dir("torn");
         {
-            let mut store = DiskStore::open(&dir, 5).unwrap();
+            let mut store = DiskStore::open(dir.path(), 5).unwrap();
             for i in 0..10 {
                 store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
             }
@@ -736,21 +741,20 @@ mod tests {
         bytes.extend_from_slice(&BLOCK_MAGIC.to_le_bytes());
         bytes.extend_from_slice(&[0xAB; 40]);
         std::fs::write(&path, &bytes).unwrap();
-        let store = DiskStore::open(&dir, 5).unwrap();
+        let store = DiskStore::open(dir.path(), 5).unwrap();
         assert_eq!(store.len(), 10, "valid blocks survive");
         assert_eq!(
             std::fs::metadata(&path).unwrap().len(),
             intact as u64,
             "tail truncated"
         );
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn corrupt_payload_is_rejected_at_open_or_read() {
         let dir = temp_dir("corrupt");
         {
-            let mut store = DiskStore::open(&dir, 5).unwrap();
+            let mut store = DiskStore::open(dir.path(), 5).unwrap();
             for i in 0..5 {
                 store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
             }
@@ -764,16 +768,15 @@ mod tests {
         // With the sidecar present its last-block validation fails, so the
         // store falls back to a full rescan: the (single) corrupt block is
         // dropped.
-        let store = DiskStore::open(&dir, 5).unwrap();
+        let store = DiskStore::open(dir.path(), 5).unwrap();
         assert_eq!(store.len(), 0);
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn interior_corruption_is_detected_lazily_by_the_fetch_checksum() {
         let dir = temp_dir("bitrot");
         {
-            let mut store = DiskStore::open(&dir, 5).unwrap();
+            let mut store = DiskStore::open(dir.path(), 5).unwrap();
             for i in 0..10 {
                 store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
             }
@@ -787,32 +790,31 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[HEADER_BYTES + 4] ^= 0x55;
         std::fs::write(&path, &bytes).unwrap();
-        let store = DiskStore::open(&dir, 5).unwrap();
+        let store = DiskStore::open(dir.path(), 5).unwrap();
         assert_eq!(store.len(), 10, "summaries open fine");
         let err = scan_to_vec(&store, &SegmentPredicate::all()).unwrap_err();
         assert!(matches!(err, MdbError::Corrupt(_)), "{err}");
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn append_after_recovery_continues_the_log() {
         let dir = temp_dir("append");
         {
-            let mut store = DiskStore::open(&dir, 2).unwrap();
+            let mut store = DiskStore::open(dir.path(), 2).unwrap();
             for i in 0..4 {
                 store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
             }
             store.flush().unwrap();
         }
         {
-            let mut store = DiskStore::open(&dir, 2).unwrap();
+            let mut store = DiskStore::open(dir.path(), 2).unwrap();
             assert_eq!(store.len(), 4);
             for i in 4..8 {
                 store.insert(seg(2, i * 1000, i * 1000 + 900)).unwrap();
             }
             store.flush().unwrap();
         }
-        let store = DiskStore::open(&dir, 2).unwrap();
+        let store = DiskStore::open(dir.path(), 2).unwrap();
         assert_eq!(store.len(), 8);
         assert_eq!(
             scan_to_vec(&store, &SegmentPredicate::for_gids(vec![2]))
@@ -820,23 +822,21 @@ mod tests {
                 .len(),
             4
         );
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn empty_store_opens_cleanly() {
         let dir = temp_dir("empty");
-        let store = DiskStore::open(&dir, 5).unwrap();
+        let store = DiskStore::open(dir.path(), 5).unwrap();
         assert!(store.is_empty());
         assert_eq!(store.persistent_bytes(), 0);
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn sidecar_reopen_matches_log_rescan_reopen() {
         let dir = temp_dir("sidecar-vs-scan");
         {
-            let mut store = DiskStore::open(&dir, 7).unwrap();
+            let mut store = DiskStore::open(dir.path(), 7).unwrap();
             for i in 0..40 {
                 store
                     .insert(seg(i % 4 + 1, i as i64 * 1000, i as i64 * 1000 + 900))
@@ -844,12 +844,12 @@ mod tests {
             }
             store.flush().unwrap();
         }
-        let with_sidecar = DiskStore::open(&dir, 7).unwrap();
+        let with_sidecar = DiskStore::open(dir.path(), 7).unwrap();
         let via_sidecar = scan_to_vec(&with_sidecar, &SegmentPredicate::all()).unwrap();
         let zones_via_sidecar = with_sidecar.zones().unwrap().clone();
         drop(with_sidecar);
         std::fs::remove_file(dir.join("segments.idx")).unwrap();
-        let rebuilt = DiskStore::open(&dir, 7).unwrap();
+        let rebuilt = DiskStore::open(dir.path(), 7).unwrap();
         let via_scan = scan_to_vec(&rebuilt, &SegmentPredicate::all()).unwrap();
         assert_eq!(via_sidecar, via_scan);
         assert_eq!(&zones_via_sidecar, rebuilt.zones().unwrap());
@@ -857,7 +857,6 @@ mod tests {
             dir.join("segments.idx").exists(),
             "rescan rebuilds the sidecar"
         );
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -866,7 +865,7 @@ mod tests {
         {
             // Written without a value-bounds provider: the sidecar carries
             // boundless value statistics.
-            let mut store = DiskStore::open(&dir, 4).unwrap();
+            let mut store = DiskStore::open(dir.path(), 4).unwrap();
             for i in 0..8 {
                 store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
             }
@@ -876,7 +875,7 @@ mod tests {
         // recomputes them so value pruning works.
         let bounds: ValueBoundsFn =
             Arc::new(|s| Some(ValueInterval::new(s.start_time as f64, s.end_time as f64)));
-        let store = DiskStore::open_with_bounds(&dir, 4, Some(bounds)).unwrap();
+        let store = DiskStore::open_with_bounds(dir.path(), 4, Some(bounds)).unwrap();
         let zone = store.zones().unwrap().gid(1).unwrap();
         assert!(
             matches!(zone.values, crate::zone::ZoneValues::Bounded(_)),
@@ -886,7 +885,7 @@ mod tests {
         // And the rescan rewrote a bounds-aware sidecar: the next open
         // trusts it directly and sees the same statistics.
         let store = DiskStore::open_with_bounds(
-            &dir,
+            dir.path(),
             4,
             Some(Arc::new(|s: &SegmentRecord| {
                 Some(ValueInterval::new(s.start_time as f64, s.end_time as f64))
@@ -895,14 +894,13 @@ mod tests {
         .unwrap();
         let zone = store.zones().unwrap().gid(1).unwrap();
         assert!(matches!(zone.values, crate::zone::ZoneValues::Bounded(_)));
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn blocks_appended_after_a_stale_sidecar_are_recovered() {
         let dir = temp_dir("stale-forward");
         {
-            let mut store = DiskStore::open(&dir, 4).unwrap();
+            let mut store = DiskStore::open(dir.path(), 4).unwrap();
             for i in 0..8 {
                 store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
             }
@@ -912,14 +910,14 @@ mod tests {
         // put the stale sidecar back: reopen must scan just the suffix.
         let stale = std::fs::read(dir.join("segments.idx")).unwrap();
         {
-            let mut store = DiskStore::open(&dir, 4).unwrap();
+            let mut store = DiskStore::open(dir.path(), 4).unwrap();
             for i in 8..16 {
                 store.insert(seg(2, i * 1000, i * 1000 + 900)).unwrap();
             }
             store.flush().unwrap();
         }
         std::fs::write(dir.join("segments.idx"), &stale).unwrap();
-        let store = DiskStore::open(&dir, 4).unwrap();
+        let store = DiskStore::open(dir.path(), 4).unwrap();
         assert_eq!(store.len(), 16);
         assert_eq!(store.block_count(), 4);
         assert_eq!(
@@ -928,13 +926,12 @@ mod tests {
                 .len(),
             8
         );
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn block_pruning_skips_fetches_under_a_time_range() {
         let dir = temp_dir("prune-io");
-        let mut store = DiskStore::open(&dir, 8).unwrap();
+        let mut store = DiskStore::open(dir.path(), 8).unwrap();
         for i in 0..64 {
             store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
         }
@@ -957,7 +954,48 @@ mod tests {
         .unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(store.cache_stats().misses + store.cache_stats().hits, 9);
-        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_import_round_trip_preserves_order_and_run_blocks() {
+        let src_dir = temp_dir("export-src");
+        let dst_dir = temp_dir("export-dst");
+        let mut src = DiskStore::open(src_dir.path(), 4).unwrap();
+        for i in 0..24i64 {
+            // Runs of three: gids 1,1,1,2,2,2,... so exports see real runs.
+            src.insert(seg((i / 3 % 2 + 1) as Gid, i * 1000, i * 1000 + 900))
+                .unwrap();
+        }
+        src.flush().unwrap();
+        let runs = src.export_runs(&[2]).unwrap();
+        let exported: Vec<SegmentRecord> = runs.iter().flatten().cloned().collect();
+        assert_eq!(
+            exported,
+            scan_to_vec(&src, &SegmentPredicate::for_gids(vec![2])).unwrap(),
+            "export preserves scan order"
+        );
+        assert!(runs.len() > 1, "expected several runs, got {}", runs.len());
+
+        // Import into a store whose own bulk size would merge everything
+        // into one block: run boundaries must still be preserved.
+        let mut dst = DiskStore::open(dst_dir.path(), 1000).unwrap();
+        let n_runs = runs.len();
+        for run in runs {
+            dst.import_run(run).unwrap();
+        }
+        dst.flush().unwrap();
+        assert_eq!(dst.block_count(), n_runs, "one block per imported run");
+        assert_eq!(
+            scan_to_vec(&dst, &SegmentPredicate::all()).unwrap(),
+            exported
+        );
+        // A restart scans the identical log order.
+        drop(dst);
+        let dst = DiskStore::open(dst_dir.path(), 1000).unwrap();
+        assert_eq!(
+            scan_to_vec(&dst, &SegmentPredicate::all()).unwrap(),
+            exported
+        );
     }
 
     #[test]
@@ -968,7 +1006,7 @@ mod tests {
         // Budget ≈ 2 blocks per shard × 8 shards.
         let budget = (per_segment * block_segments * 16) as u64;
         let mut store = DiskStore::open_with(
-            &dir,
+            dir.path(),
             DiskStoreOptions {
                 bulk_write_size: block_segments,
                 memory_budget_bytes: Some(budget),
@@ -990,6 +1028,5 @@ mod tests {
             peak < total / 2,
             "peak {peak} should stay well below {total}"
         );
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

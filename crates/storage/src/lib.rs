@@ -146,6 +146,31 @@ pub trait SegmentStore: Send + Sync {
         self.scan(predicate, &mut |segment| f(std::slice::from_ref(segment)))
     }
 
+    /// Collects every segment of the given groups, preserving the store's
+    /// deterministic scan order and its run boundaries — the unit a cluster
+    /// group handoff ships to the receiving worker. For the disk store the
+    /// runs follow block boundaries, so re-importing with
+    /// [`SegmentStore::import_run`] reproduces the source's block structure.
+    fn export_runs(&self, gids: &[Gid]) -> Result<Vec<Vec<SegmentRecord>>> {
+        let mut runs = Vec::new();
+        self.scan_batches(&SegmentPredicate::for_gids(gids.to_vec()), &mut |run| {
+            runs.push(run.to_vec())
+        })?;
+        Ok(runs)
+    }
+
+    /// Appends one exported run as a unit. The default inserts the segments
+    /// one by one; the disk store additionally cuts a block at the run
+    /// boundary, so a handoff target's log mirrors the source's block
+    /// structure instead of merging runs by its own bulk-write size.
+    /// Durability still requires [`SegmentStore::flush`].
+    fn import_run(&mut self, run: Vec<SegmentRecord>) -> Result<()> {
+        for segment in run {
+            self.insert(segment)?;
+        }
+        Ok(())
+    }
+
     /// The store's zone map, if it maintains one (both built-in stores do).
     fn zones(&self) -> Option<&ZoneMap> {
         None

@@ -296,8 +296,10 @@ mod tests {
     use mdb_types::{GapsMask, SegmentRecord};
     use std::path::PathBuf;
 
-    fn temp(tag: &str) -> PathBuf {
-        std::env::temp_dir().join(format!("mdb-sidecar-{}-{tag}.idx", std::process::id()))
+    fn temp(tag: &str) -> (mdb_testutil::TempDir, PathBuf) {
+        let dir = mdb_testutil::TempDir::new(&format!("sidecar-{tag}"));
+        let path = dir.join("segments.idx");
+        (dir, path)
     }
 
     fn sample() -> Sidecar {
@@ -355,22 +357,22 @@ mod tests {
 
     #[test]
     fn round_trips_bit_exactly() {
-        let path = temp("roundtrip");
+        let (_dir, path) = temp("roundtrip");
         let sidecar = sample();
         write(&path, &sidecar).unwrap();
         let back = load(&path).unwrap().expect("valid sidecar");
         assert_eq!(back, sidecar);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn missing_file_is_none() {
-        assert_eq!(load(&temp("missing")).unwrap(), None);
+        let (_dir, path) = temp("missing");
+        assert_eq!(load(&path).unwrap(), None);
     }
 
     #[test]
     fn corruption_anywhere_is_detected() {
-        let path = temp("corrupt");
+        let (_dir, path) = temp("corrupt");
         write(&path, &sample()).unwrap();
         let good = std::fs::read(&path).unwrap();
         // Flip one byte at a spread of offsets: every mutation must be
@@ -386,15 +388,13 @@ mod tests {
             std::fs::write(&path, &good[..cut]).unwrap();
             assert_eq!(load(&path).unwrap(), None, "truncation at {cut}");
         }
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn empty_store_sidecar_round_trips() {
-        let path = temp("empty");
+        let (_dir, path) = temp("empty");
         let sidecar = Sidecar::default();
         write(&path, &sidecar).unwrap();
         assert_eq!(load(&path).unwrap(), Some(sidecar));
-        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,89 @@
+//! Shared test support for the workspace.
+//!
+//! The only facility so far is [`TempDir`]: a scoped temporary directory
+//! that is removed when the value drops — including on panic unwind, which
+//! the ad-hoc `std::env::temp_dir().join(...)` + trailing `remove_dir_all`
+//! pattern it replaces never handled (a failing assertion leaked the
+//! directory and could poison the next run of the same test).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+/// A uniquely named directory under the system temp dir, deleted on drop.
+///
+/// Uniqueness combines the process id with a process-wide counter, so
+/// concurrently running tests (and concurrently running test *binaries*)
+/// never collide. The directory itself is created eagerly; use
+/// [`TempDir::path`] to build paths inside it.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `mdb-<tag>-<pid>-<n>` under [`std::env::temp_dir`].
+    pub fn new(tag: &str) -> Self {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("mdb-{tag}-{}-{n}", std::process::id()));
+        // A stale directory from a previous crashed run (the counter resets
+        // per process, the pid may be recycled) must not leak into this one.
+        std::fs::remove_dir_all(&path).ok();
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        Self { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path to `name` inside the directory (not created).
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.path).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let kept;
+        {
+            let dir = TempDir::new("testutil-basic");
+            kept = dir.path().to_path_buf();
+            assert!(kept.is_dir());
+            std::fs::write(dir.join("x"), b"y").unwrap();
+        }
+        assert!(!kept.exists(), "directory must be removed on drop");
+    }
+
+    #[test]
+    fn two_dirs_never_collide() {
+        let a = TempDir::new("testutil-collide");
+        let b = TempDir::new("testutil-collide");
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn cleans_up_on_panic() {
+        let kept = std::sync::Arc::new(std::sync::Mutex::new(PathBuf::new()));
+        let kept_ref = std::sync::Arc::clone(&kept);
+        let result = std::panic::catch_unwind(move || {
+            let dir = TempDir::new("testutil-panic");
+            *kept_ref.lock().unwrap() = dir.path().to_path_buf();
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert!(!kept.lock().unwrap().exists(), "drop must run on unwind");
+    }
+}

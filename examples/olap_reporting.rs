@@ -75,6 +75,6 @@ fn main() -> modelardb::Result<()> {
     let r = cluster.sql("SELECT CUBE_AVG_HOUR(*) FROM Segment ORDER BY Hour LIMIT 8")?;
     println!("hour-of-day profile (first 8 hours):\n{}", r.to_table());
 
-    cluster.shutdown();
+    cluster.shutdown().unwrap();
     Ok(())
 }

@@ -7,9 +7,7 @@
 //! gaps, whole-group gap ticks, and dynamic split/join episodes (the same
 //! ingest pattern as `tests/query_equivalence.rs`).
 
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
+use mdb_testutil::TempDir;
 use proptest::prelude::*;
 
 use modelardb::{
@@ -22,16 +20,6 @@ const SJ_TICKS: i64 = 900;
 /// Segments per log block.
 const BULK_WRITE: usize = 32;
 
-static CASE: AtomicUsize = AtomicUsize::new(0);
-
-fn case_dir(tag: &str) -> PathBuf {
-    let case = CASE.fetch_add(1, Ordering::Relaxed);
-    let dir =
-        std::env::temp_dir().join(format!("mdb-cache-eq-{}-{case}-{tag}", std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    dir
-}
-
 /// Roughly one cached block per shard: enough to exercise hit/evict cycles,
 /// far too small to hold the store.
 fn one_block_budget() -> u64 {
@@ -41,17 +29,22 @@ fn one_block_budget() -> u64 {
 /// Three engines over byte-identical segments, differing only in block-cache
 /// capacity. The ingest mixes per-series gaps, whole-group gap ticks, and a
 /// decorrelation phase noisy enough to force dynamic split and join episodes
-/// (asserted below).
-fn engines() -> Vec<ModelarDb> {
+/// (asserted below). The returned `TempDir`s own the engines' directories:
+/// keep them alive as long as the engines, drop the engines first.
+fn engines() -> (Vec<TempDir>, Vec<ModelarDb>) {
     let budgets = [Some(0u64), Some(one_block_budget()), None];
+    let dirs: Vec<TempDir> = (0..budgets.len())
+        .map(|_| TempDir::new("cache-eq"))
+        .collect();
     let mut engines: Vec<ModelarDb> = budgets
         .iter()
-        .map(|budget| {
+        .zip(&dirs)
+        .map(|(budget, dir)| {
             let mut b = ModelarDbBuilder::new();
             b.config_mut().compression.error_bound = ErrorBound::absolute(0.5);
             b.config_mut().compression.split_fraction = 2.0;
             b.config_mut().bulk_write_size = BULK_WRITE;
-            b.config_mut().storage = StorageSpec::Disk(case_dir("engine"));
+            b.config_mut().storage = StorageSpec::Disk(dir.path().to_path_buf());
             b.config_mut().memory_budget_bytes = *budget;
             b.add_dimension(
                 DimensionSchema::from_leaf_up("Location", vec!["Turbine".into(), "Park".into()])
@@ -92,17 +85,7 @@ fn engines() -> Vec<ModelarDb> {
             "all engines must hold byte-identical segments"
         );
     }
-    engines
-}
-
-fn drop_engines(engines: Vec<ModelarDb>) {
-    for db in engines {
-        if let StorageSpec::Disk(dir) = &db.config().storage {
-            let dir = dir.clone();
-            drop(db);
-            std::fs::remove_dir_all(&dir).ok();
-        }
-    }
+    (dirs, engines)
 }
 
 proptest! {
@@ -116,7 +99,7 @@ proptest! {
         span in 1i64..600,
         group_by_tid in proptest::bool::ANY,
     ) {
-        let engines = engines();
+        let (_dirs, engines) = engines();
         let func = ["COUNT", "MIN", "MAX", "SUM", "AVG"][func_idx];
         let tid_list = tids.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
         let from = window * 100;
@@ -143,7 +126,7 @@ proptest! {
         for db in &engines {
             prop_assert_eq!(&db.sql(&sql).unwrap().rows, &reference.rows, "second pass: {}", sql);
         }
-        drop_engines(engines);
+        drop(engines);
     }
 
     #[test]
@@ -153,7 +136,7 @@ proptest! {
         window in 0i64..850,
         span in 1i64..300,
     ) {
-        let engines = engines();
+        let (_dirs, engines) = engines();
         let from = window * 100;
         let to = (window + span).min(SJ_TICKS - 1) * 100;
         let op = if ge { ">=" } else { "<" };
@@ -177,6 +160,6 @@ proptest! {
                 prop_assert_eq!(&got.rows, &reference.rows, "{}", sql);
             }
         }
-        drop_engines(engines);
+        drop(engines);
     }
 }

@@ -70,7 +70,7 @@ fn cluster_agrees_with_embedded_engine() {
                 }
             }
         }
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
     }
 }
 
@@ -102,5 +102,5 @@ fn cluster_storage_equals_embedded_storage() {
     assert_eq!(bytes, embedded.storage_bytes());
     assert_eq!(segments, embedded.segment_count());
     assert_eq!(stats.data_points, embedded.stats().data_points);
-    cluster.shutdown();
+    cluster.shutdown().unwrap();
 }

@@ -7,10 +7,9 @@
 //! a resurrected one — rebuild the same zone map those segments imply, and
 //! leave behind a fresh sidecar describing the recovered state.
 
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use mdb_testutil::TempDir;
 use proptest::prelude::*;
 
 use modelardb::{
@@ -23,13 +22,10 @@ use modelardb::{
 /// bounds = 40 bytes, matching `crates/storage/src/disk.rs`.
 const HEADER_BYTES: u64 = 40;
 
-static CASE: AtomicUsize = AtomicUsize::new(0);
-
-fn case_dir() -> PathBuf {
-    let case = CASE.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!("mdb-crash-{}-{case}", std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    dir
+/// A scoped case directory, removed on drop — on failure too, so a broken
+/// run never poisons the next (see `mdb_testutil::TempDir`).
+fn case_dir() -> TempDir {
+    TempDir::new("crash")
 }
 
 /// A deterministic segment: varying gid, times, params length, and gaps.
@@ -74,7 +70,8 @@ proptest! {
         stale_frac in 0.0f64..1.0,
         with_bounds in proptest::bool::ANY,
     ) {
-        let dir = case_dir();
+        let case = case_dir();
+        let dir = case.path();
         // Write the log: one block per explicit flush, recording each
         // block's segments, its end offset, and the sidecar bytes as of
         // that flush (for the stale-sidecar scenario).
@@ -82,7 +79,7 @@ proptest! {
         let mut block_ends: Vec<u64> = Vec::new();
         let mut sidecar_snapshots: Vec<Vec<u8>> = Vec::new();
         {
-            let mut store = DiskStore::open_with(&dir, options(with_bounds)).unwrap();
+            let mut store = DiskStore::open_with(dir, options(with_bounds)).unwrap();
             let mut i = 0;
             for size in &block_sizes {
                 let mut block = Vec::new();
@@ -150,7 +147,7 @@ proptest! {
             .flatten()
             .cloned()
             .collect();
-        let store = DiskStore::open_with(&dir, options(with_bounds)).unwrap();
+        let store = DiskStore::open_with(dir, options(with_bounds)).unwrap();
         let recovered = scan_to_vec(&store, &SegmentPredicate::all()).unwrap();
         prop_assert_eq!(&recovered, &expected);
         prop_assert_eq!(store.len(), expected.len());
@@ -173,11 +170,9 @@ proptest! {
         if !expected.is_empty() {
             prop_assert!(sidecar_path.exists(), "sidecar must be rebuilt");
         }
-        let store = DiskStore::open_with(&dir, options(with_bounds)).unwrap();
+        let store = DiskStore::open_with(dir, options(with_bounds)).unwrap();
         prop_assert_eq!(&scan_to_vec(&store, &SegmentPredicate::all()).unwrap(), &expected);
         prop_assert_eq!(store.zones(), Some(&expected_zones));
-        drop(store);
-        std::fs::remove_dir_all(&dir).ok();
     }
 }
 
@@ -186,9 +181,10 @@ proptest! {
 /// reopen sees old survivors plus new segments.
 #[test]
 fn writes_after_recovery_extend_the_truncated_log() {
-    let dir = case_dir();
+    let case = case_dir();
+    let dir = case.path();
     {
-        let mut store = DiskStore::open_with(&dir, options(true)).unwrap();
+        let mut store = DiskStore::open_with(dir, options(true)).unwrap();
         for i in 0..30 {
             store.insert(seg(i)).unwrap();
             if i % 10 == 9 {
@@ -206,7 +202,7 @@ fn writes_after_recovery_extend_the_truncated_log() {
     file.set_len(len - 1).unwrap();
     std::fs::remove_file(dir.join("segments.idx")).unwrap();
 
-    let mut store = DiskStore::open_with(&dir, options(true)).unwrap();
+    let mut store = DiskStore::open_with(dir, options(true)).unwrap();
     assert_eq!(store.len(), 20, "two intact blocks survive");
     for i in 30..35 {
         store.insert(seg(i)).unwrap();
@@ -214,12 +210,10 @@ fn writes_after_recovery_extend_the_truncated_log() {
     store.flush().unwrap();
     drop(store);
 
-    let store = DiskStore::open_with(&dir, options(true)).unwrap();
+    let store = DiskStore::open_with(dir, options(true)).unwrap();
     let expected: Vec<SegmentRecord> = (0..20).chain(30..35).map(seg).collect();
     assert_eq!(
         scan_to_vec(&store, &SegmentPredicate::all()).unwrap(),
         expected
     );
-    drop(store);
-    std::fs::remove_dir_all(&dir).ok();
 }

@@ -4,8 +4,9 @@
 //! whether the reopen goes through the sidecar index or (sidecar deleted)
 //! through the streaming log rebuild.
 
-use std::path::PathBuf;
 use std::sync::Arc;
+
+use mdb_testutil::TempDir;
 
 use modelardb::{
     Config, DimensionSchema, ErrorBound, ModelRegistry, ModelarDb, ModelarDbBuilder, SeriesSpec,
@@ -24,10 +25,10 @@ const QUERIES: [&str; 6] = [
     "SELECT Tid, TS, Value FROM DataPoint WHERE TS >= 30000 AND TS <= 42000",
 ];
 
-fn dir_for(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("mdb-restart-{}-{tag}", std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    dir
+/// A scoped case directory, removed on drop — on failure too, so a broken
+/// run never poisons the next (see `mdb_testutil::TempDir`).
+fn dir_for(tag: &str) -> TempDir {
+    TempDir::new(&format!("restart-{tag}"))
 }
 
 fn config(dir: &std::path::Path) -> Config {
@@ -94,46 +95,46 @@ fn assert_equivalent(before: &ModelarDb, after: &ModelarDb, label: &str) {
 
 #[test]
 fn reopen_with_sidecar_is_equivalent() {
-    let dir = dir_for("with-sidecar");
-    let before = populated_engine(&dir);
+    let case = dir_for("with-sidecar");
+    let dir = case.path();
+    let before = populated_engine(dir);
     assert!(dir.join("segments.idx").exists(), "flush wrote the sidecar");
-    let after = ModelarDb::reopen(&dir, Arc::new(ModelRegistry::standard()), config(&dir)).unwrap();
+    let after = ModelarDb::reopen(dir, Arc::new(ModelRegistry::standard()), config(dir)).unwrap();
     assert_equivalent(&before, &after, "sidecar reopen");
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn reopen_without_sidecar_is_equivalent() {
-    let dir = dir_for("without-sidecar");
-    let before = populated_engine(&dir);
+    let case = dir_for("without-sidecar");
+    let dir = case.path();
+    let before = populated_engine(dir);
     std::fs::remove_file(dir.join("segments.idx")).unwrap();
-    let after = ModelarDb::reopen(&dir, Arc::new(ModelRegistry::standard()), config(&dir)).unwrap();
+    let after = ModelarDb::reopen(dir, Arc::new(ModelRegistry::standard()), config(dir)).unwrap();
     assert_equivalent(&before, &after, "log-rebuild reopen");
     assert!(
         dir.join("segments.idx").exists(),
         "the rebuild rewrote the sidecar"
     );
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn reopen_chain_stays_equivalent_under_a_bounded_cache() {
     // reopen → reopen again with a tiny block-cache budget: the second
     // engine re-reads blocks on demand yet answers identically.
-    let dir = dir_for("chain");
-    let before = populated_engine(&dir);
+    let case = dir_for("chain");
+    let dir = case.path();
+    let before = populated_engine(dir);
     let registry = Arc::new(ModelRegistry::standard());
-    let middle = ModelarDb::reopen(&dir, Arc::clone(&registry), config(&dir)).unwrap();
+    let middle = ModelarDb::reopen(dir, Arc::clone(&registry), config(dir)).unwrap();
     assert_equivalent(&before, &middle, "first reopen");
     drop(middle);
-    let mut bounded = config(&dir);
+    let mut bounded = config(dir);
     bounded.memory_budget_bytes = Some(0);
-    let after = ModelarDb::reopen(&dir, registry, bounded).unwrap();
+    let after = ModelarDb::reopen(dir, registry, bounded).unwrap();
     assert_equivalent(&before, &after, "bounded reopen");
     assert_eq!(
         after.resident_segments(),
         0,
         "budget 0 keeps nothing parked"
     );
-    std::fs::remove_dir_all(&dir).ok();
 }

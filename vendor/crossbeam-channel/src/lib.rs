@@ -22,6 +22,24 @@ impl<T> fmt::Display for SendError<T> {
     }
 }
 
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity (the message is handed back).
+    Full(T),
+    /// All receivers are gone (the message is handed back).
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Error returned when receiving from an empty channel with no senders left.
 #[derive(Debug, PartialEq, Eq)]
 pub struct RecvError;
@@ -118,6 +136,24 @@ impl<T> Sender<T> {
                     self.chan.not_empty.notify_one();
                     return Ok(());
                 }
+            }
+        }
+    }
+
+    /// Non-blocking send: errors instead of waiting when the channel is at
+    /// capacity or all receivers are gone.
+    pub fn try_send(&self, message: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.chan.state.lock().unwrap();
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(message));
+        }
+        match self.chan.capacity {
+            Some(cap) if state.queue.len() >= cap => Err(TrySendError::Full(message)),
+            _ => {
+                state.queue.push_back(message);
+                drop(state);
+                self.chan.not_empty.notify_one();
+                Ok(())
             }
         }
     }
@@ -230,7 +266,15 @@ impl<T> Drop for Receiver<T> {
         let mut state = self.chan.state.lock().unwrap();
         state.receivers -= 1;
         if state.receivers == 0 {
+            // Buffered messages are undeliverable once the last receiver is
+            // gone: drop them now so anything they hold (e.g. reply senders)
+            // disconnects promptly instead of staying alive as long as the
+            // last `Sender` clone. Messages leave the queue before their
+            // `Drop` runs — it may touch other channels and must not run
+            // under this lock.
+            let orphaned = std::mem::take(&mut state.queue);
             drop(state);
+            drop(orphaned);
             // Wake blocked senders so they observe the disconnection.
             self.chan.not_full.notify_all();
         }
@@ -294,6 +338,31 @@ mod tests {
         handle.join().unwrap().unwrap();
         assert_eq!(rx.recv().unwrap(), 2);
         assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv().unwrap(), 1);
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn dropping_last_receiver_releases_buffered_messages() {
+        // A buffered message can carry a reply sender; once the last
+        // receiver is gone nobody can deliver it, so the message (and the
+        // reply sender inside it) must be dropped — otherwise the replier
+        // waits forever on a reply that can never come.
+        let (tx, rx) = unbounded::<Sender<u8>>();
+        let (reply_tx, reply_rx) = bounded::<u8>(1);
+        assert!(tx.send(reply_tx).is_ok());
+        drop(rx);
+        assert_eq!(reply_rx.recv(), Err(RecvError));
+        let (other_tx, _) = bounded::<u8>(1);
+        assert!(tx.send(other_tx).is_err());
     }
 
     #[test]
