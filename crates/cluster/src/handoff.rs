@@ -15,10 +15,11 @@
 //! Append-only stores cannot delete, so the exported segments stay in the
 //! source's log; primary-scoped queries and statistics simply never touch
 //! them again. Handing the same group *back* to a worker whose log still
-//! has such leftovers would double its segments, so the membership
-//! operations never pick a target that already holds (or held) a live copy
-//! — a group returns to a slot only across a restart, where the manifest
-//! routes around the leftovers.
+//! has such leftovers would double its segments, so the topology tracks
+//! every gid a slot *ever* held ([`Topology::ever_held`], persisted in the
+//! manifest because the leftovers survive restarts too): membership
+//! operations draw targets from outside that set, and [`Cluster::move_group`]
+//! rejects past holders outright.
 
 use crossbeam_channel::bounded;
 use mdb_types::{Gid, MdbError, Result};
@@ -59,6 +60,15 @@ impl Cluster {
         if holders.contains(&to) {
             return Err(MdbError::Config(format!(
                 "worker {to} already holds group {gid}"
+            )));
+        }
+        // A past holder's append-only log still contains the segments it
+        // exported (or lost its copy of); importing the group again would
+        // append a second copy beside them and double every query result.
+        if topo.ever_held[to].contains(&gid) {
+            return Err(MdbError::Config(format!(
+                "worker {to} previously held group {gid} and its log still contains the \
+                 group's segments; importing it again would duplicate them"
             )));
         }
         let source = topo.workers[from]
@@ -114,8 +124,12 @@ impl Cluster {
                 )));
             }
         }
-        // Committed: flip the copy to its new holder, same position.
+        // Committed: flip the copy to its new holder, same position. The
+        // target joins the group's ever-held set, so no later handoff can
+        // route the group back onto the donor's leftover segments — and the
+        // donor keeps its membership for the same reason.
         topo.holders.get_mut(&gid).expect("checked above")[position] = to;
+        topo.ever_held[to].insert(gid);
         Ok(())
     }
 }

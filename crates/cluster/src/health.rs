@@ -14,8 +14,10 @@ use mdb_types::Gid;
 pub enum WorkerState {
     /// Spawned and, as far as the master knows, serving its groups.
     Active,
-    /// Declared dead: a send or receive on its channel failed, it missed a
-    /// health probe, or it was explicitly killed. Its groups were handed to
+    /// Declared dead: its channel disconnected (the thread is provably
+    /// gone) or it was explicitly killed. A merely slow worker is never
+    /// declared dead — a timed-out probe only sets
+    /// [`WorkerHealth::probe_timed_out`]. Its groups were handed to
     /// surviving replicas (or lost, at replication factor 1).
     Dead,
     /// Decommissioned via [`crate::Cluster::remove_worker`]: it drained and
@@ -51,6 +53,12 @@ pub struct WorkerHealth {
     pub first_error: Option<String>,
     /// Deferred ingestion errors beyond the first.
     pub deferred_errors: u64,
+    /// True when this snapshot's liveness probe timed out while the
+    /// worker's channel stayed connected: the worker is slow (its command
+    /// queue is long, or a scan/flush is in flight), **not** declared dead.
+    /// Re-probe to distinguish slow from stuck; only a disconnected channel
+    /// marks a worker [`WorkerState::Dead`].
+    pub probe_timed_out: bool,
     /// Why a non-[`WorkerState::Active`] worker left service.
     pub note: Option<String>,
 }

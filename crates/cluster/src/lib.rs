@@ -38,7 +38,7 @@ mod membership;
 
 pub use health::{ClusterHealth, WorkerHealth, WorkerState};
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -84,7 +84,21 @@ pub struct ClusterConfig {
     /// the workers (each worker's store gets `budget / n_workers`). `None`
     /// keeps every fetched block resident. Only meaningful with
     /// [`ClusterConfig::storage_dir`].
+    ///
+    /// Each worker's share is fixed when it is spawned: a worker added by
+    /// [`Cluster::add_worker`] gets `budget / new_slot_count`, while the
+    /// existing workers keep the share they were spawned with, so the
+    /// cluster-wide cache budget can transiently exceed this total after a
+    /// grow. A restart re-splits the budget evenly over the grown slot
+    /// count.
     pub memory_budget_bytes: Option<u64>,
+    /// How long [`Cluster::health`] waits for a worker's liveness reply
+    /// before reporting it as unresponsive. The probe queues behind any
+    /// pending ingest batches and in-flight scans/flushes, so a busy worker
+    /// can legitimately take a while — which is why a probe *timeout* only
+    /// flags the worker as slow ([`WorkerHealth::probe_timed_out`]) and a
+    /// worker is declared dead solely on proof (a disconnected channel).
+    pub health_probe_timeout: Duration,
     /// Copies kept per group: one primary plus `replication_factor - 1`
     /// replicas, placed on distinct workers by
     /// [`mdb_partitioner::assign_replicas`]. Every holder ingests the same
@@ -104,6 +118,7 @@ impl Default for ClusterConfig {
             storage_dir: None,
             bulk_write_size: 50_000,
             memory_budget_bytes: None,
+            health_probe_timeout: Duration::from_secs(30),
             replication_factor: 1,
         }
     }
@@ -248,6 +263,14 @@ struct Topology {
     /// [`WorkerState::Active`] workers; an empty list means the group was
     /// lost (every holder died before it could be handed off).
     holders: HashMap<Gid, Vec<usize>>,
+    /// Per worker slot: every gid whose segments may live in that worker's
+    /// store — current holds plus everything it *ever* held. Append-only
+    /// stores cannot delete, so a handoff leaves the exported segments in
+    /// the donor's log; importing the same group again would duplicate
+    /// them. Handoff targets are therefore drawn from workers outside this
+    /// set, and the set is persisted in the manifest so the guard survives
+    /// restarts (the leftover segments do too). A superset of `holders`.
+    ever_held: Vec<HashSet<Gid>>,
 }
 
 impl Topology {
@@ -389,22 +412,31 @@ impl Cluster {
         // over a fresh assignment: failovers and handoffs moved groups, and
         // each worker's log only has the groups that ended up on it.
         let manifest = membership::load_manifest(&config, &catalog, n_workers)?;
-        let (holders, removed): (HashMap<Gid, Vec<usize>>, Vec<usize>) = match manifest {
-            Some(m) => (m.holders, m.removed),
+        let (holders, removed, held) = match manifest {
+            Some(m) => (m.holders, m.removed, m.ever_held),
             None => {
                 let assignment =
                     assign_replicas(&catalog.groups, n_workers, config.replication_factor);
-                (
-                    catalog
-                        .groups
-                        .iter()
-                        .zip(assignment)
-                        .map(|(g, holders)| (g.gid, holders))
-                        .collect(),
-                    Vec::new(),
-                )
+                let holders: HashMap<Gid, Vec<usize>> = catalog
+                    .groups
+                    .iter()
+                    .zip(assignment)
+                    .map(|(g, holders)| (g.gid, holders))
+                    .collect();
+                (holders, Vec::new(), HashMap::new())
             }
         };
+        // What each slot's log may contain: everything the manifest says it
+        // ever held (leftovers from handoffs survive restarts in the
+        // append-only logs) plus everything it currently holds.
+        let mut ever_held: Vec<HashSet<Gid>> = (0..n_workers)
+            .map(|i| held.get(&i).into_iter().flatten().copied().collect())
+            .collect();
+        for (&gid, hs) in &holders {
+            for &h in hs {
+                ever_held[h].insert(gid);
+            }
+        }
         // Each worker's budget is an even share of the cluster-wide one.
         let budget_share = config
             .memory_budget_bytes
@@ -453,7 +485,11 @@ impl Cluster {
             catalog,
             registry,
             config,
-            topology: RwLock::new(Topology { workers, holders }),
+            topology: RwLock::new(Topology {
+                workers,
+                holders,
+                ever_held,
+            }),
             group_row_indices,
             scratch_row,
             sizes,
@@ -560,6 +596,12 @@ impl Cluster {
     /// gone are reported in the error, as are ingestion errors workers
     /// deferred from earlier batches (which stay pending until a flush
     /// clears them).
+    ///
+    /// Deferred errors come back as [`MdbError::DeferredIngestion`], which
+    /// means *an earlier batch* failed inside a worker — the batch passed to
+    /// this call was accepted and will be ingested, so it must **not** be
+    /// retried. Only [`MdbError::Ingestion`] means the current batch (or
+    /// part of it) was rejected or dropped.
     pub fn ingest_batch(&self, batch: &RowBatch) -> Result<()> {
         if batch.n_series() != self.catalog.series.len() {
             return Err(MdbError::Ingestion(format!(
@@ -649,7 +691,7 @@ impl Cluster {
         let topo = self.topo_read();
         for index in involved {
             if let Some((message, extra)) = topo.workers[index].shared.peek_error() {
-                return Err(MdbError::Ingestion(format!(
+                return Err(MdbError::DeferredIngestion(format!(
                     "worker {index} deferred an ingestion error: {}",
                     deferred_message(message, extra)
                 )));
@@ -661,7 +703,9 @@ impl Cluster {
     /// Flushes every active worker's buffered ticks and stores. Reports
     /// ingestion errors workers deferred since the last flush (first error
     /// verbatim plus an overflow count; clears them), names the worker in
-    /// every error, and declares workers whose channel died.
+    /// every error, and declares workers whose channel died. A
+    /// [`MdbError::DeferredIngestion`] means the flush itself succeeded and
+    /// only pre-existing deferred errors are being surfaced.
     pub fn flush(&self) -> Result<()> {
         let mut replies = Vec::new();
         let mut failed: Vec<usize> = Vec::new();
@@ -683,7 +727,12 @@ impl Cluster {
                 Ok(Ok(())) => {}
                 Ok(Err(e)) => {
                     if first_error.is_none() {
-                        first_error = Some(MdbError::Ingestion(format!("worker {index}: {e}")));
+                        first_error = Some(match e {
+                            MdbError::DeferredIngestion(m) => {
+                                MdbError::DeferredIngestion(format!("worker {index}: {m}"))
+                            }
+                            e => MdbError::Ingestion(format!("worker {index}: {e}")),
+                        });
                     }
                 }
                 Err(_) => failed.push(index),
@@ -936,11 +985,24 @@ impl Cluster {
     }
 
     /// Probes every worker the master still believes alive (a health
-    /// command round-trip with a timeout), declares the unresponsive ones
-    /// dead, and returns the resulting snapshot: per-worker lifecycle state,
-    /// hosted and primary groups, ingest counters, deferred errors, and the
-    /// groups that have been lost outright.
+    /// command round-trip bounded by
+    /// [`ClusterConfig::health_probe_timeout`]) and returns the resulting
+    /// snapshot: per-worker lifecycle state, hosted and primary groups,
+    /// ingest counters, deferred errors, and the groups that have been lost
+    /// outright.
+    ///
+    /// Only a *disconnected* channel — proof the worker thread is gone — is
+    /// treated as death. A probe that merely times out (the health command
+    /// queues behind pending batches and any in-flight scan or flush, so a
+    /// busy disk-backed worker can be slow without being dead) leaves the
+    /// worker active and sets [`WorkerHealth::probe_timed_out`]; re-probe
+    /// later to distinguish slow from stuck.
     pub fn health(&self) -> ClusterHealth {
+        self.health_with_timeout(self.config.health_probe_timeout)
+    }
+
+    /// [`Cluster::health`] with an explicit probe timeout for this call.
+    pub fn health_with_timeout(&self, timeout: Duration) -> ClusterHealth {
         let targets: Vec<(usize, Sender<Command>)> = {
             let topo = self.topo_read();
             topo.active()
@@ -948,12 +1010,22 @@ impl Cluster {
                 .map(|i| (i, topo.workers[i].sender.clone().unwrap()))
                 .collect()
         };
+        let mut timed_out: Vec<usize> = Vec::new();
         for (index, sender) in targets {
             let (tx, rx) = bounded(1);
-            let alive = sender.send(Command::Health(tx)).is_ok()
-                && rx.recv_timeout(Duration::from_secs(5)).is_ok();
-            if !alive {
-                self.declare_dead(index, "failed health probe");
+            if sender.send(Command::Health(tx)).is_err() {
+                self.declare_dead(index, "health probe found channel disconnected");
+                continue;
+            }
+            match rx.recv_timeout(timeout) {
+                Ok(()) => {}
+                // Slow is not dead: the worker is still connected, its
+                // queue is just long. Killing it here would turn a lagging
+                // worker into (at replication factor 1) reported data loss.
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => timed_out.push(index),
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    self.declare_dead(index, "health probe found channel disconnected");
+                }
             }
         }
         let topo = self.topo_read();
@@ -981,6 +1053,7 @@ impl Cluster {
                     batches_ingested: status.batches_ingested,
                     first_error: status.first_error.clone(),
                     deferred_errors: status.deferred_errors,
+                    probe_timed_out: timed_out.contains(&index),
                     note,
                 }
             })
@@ -1207,12 +1280,22 @@ fn worker_loop(
                 status.batches_ingested += ingested;
             }
             Command::Flush(reply) => {
-                let mut result = drain_all(&mut ingestors, store.as_mut());
+                let drain = drain_all(&mut ingestors, store.as_mut());
                 // Deferred ingestion errors pre-date anything this flush
-                // hit, so they take precedence; reporting clears them.
-                if let Some((message, extra)) = shared.take_error() {
-                    result = Err(MdbError::Ingestion(deferred_message(message, extra)));
-                }
+                // hit, so they are reported first; reporting clears them.
+                // The variant records whether this drain itself succeeded.
+                let result = match shared.take_error() {
+                    Some((message, extra)) => {
+                        let deferred = deferred_message(message, extra);
+                        Err(match &drain {
+                            Ok(()) => MdbError::DeferredIngestion(deferred),
+                            Err(e) => {
+                                MdbError::Ingestion(format!("{deferred}; drain also failed: {e}"))
+                            }
+                        })
+                    }
+                    None => drain,
+                };
                 let _ = reply.send(result);
             }
             Command::QueryPartial(query, scope, reply) => {
@@ -1778,18 +1861,30 @@ mod tests {
             match cluster.ingest_row(ds.timestamp(0), &ds.row(0)) {
                 Ok(()) => std::thread::sleep(Duration::from_millis(2)),
                 Err(e) => {
-                    reported = Some(format!("{e}"));
+                    reported = Some(e);
                     break;
                 }
             }
         }
         // The deferred error surfaces on a later ingest (satellite: not
-        // only at flush) and names the worker.
-        let message = reported.expect("deferred error never surfaced on ingest");
+        // only at flush), names the worker, and is the distinct
+        // DeferredIngestion variant: the batch of the reporting call was
+        // accepted, so callers must not retry it.
+        let error = reported.expect("deferred error never surfaced on ingest");
+        assert!(
+            matches!(error, MdbError::DeferredIngestion(_)),
+            "expected DeferredIngestion, got {error}"
+        );
+        let message = format!("{error}");
         assert!(message.contains("worker 0"), "{message}");
         // Flush reports the deferred state (first error kept verbatim,
-        // later ones only counted) and clears it.
-        cluster.flush().unwrap_err();
+        // later ones only counted) and clears it. The flush itself drained
+        // fine, so the variant again marks the error as deferred-only.
+        let flushed = cluster.flush().unwrap_err();
+        assert!(
+            matches!(flushed, MdbError::DeferredIngestion(_)),
+            "expected DeferredIngestion from flush, got {flushed}"
+        );
         // Reporting cleared the deferred state: the next flush succeeds.
         cluster.flush().unwrap();
         assert_eq!(cluster.health().workers[0].first_error, None);
@@ -1963,6 +2058,115 @@ mod tests {
         }
         cluster.flush().unwrap();
         assert!(!catalog.groups.is_empty());
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn moving_a_group_back_to_a_past_holder_is_refused() {
+        let (_, cluster, ds) = build(2);
+        ingest_all(&cluster, &ds, 300);
+        let want = cluster.sql("SELECT COUNT_S(*) FROM Segment").unwrap();
+        let gid = cluster.assignment()[0][0];
+        cluster.move_group(gid, 0, 1).unwrap();
+        assert_eq!(cluster.sql("SELECT COUNT_S(*) FROM Segment").unwrap(), want);
+        // Worker 0's append-only log still contains the segments it
+        // exported; importing the group again would duplicate them.
+        let err = cluster.move_group(gid, 1, 0).unwrap_err();
+        let message = format!("{err}");
+        assert!(message.contains("previously held"), "{message}");
+        assert_eq!(cluster.sql("SELECT COUNT_S(*) FROM Segment").unwrap(), want);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn remove_worker_never_returns_groups_to_their_donors() {
+        let (_, cluster, ds) = build(2);
+        ingest_all(&cluster, &ds, 300);
+        let baseline: Vec<QueryResult> = QUERIES.iter().map(|q| cluster.sql(q).unwrap()).collect();
+        let before = cluster.assignment();
+        let added = cluster.add_worker().unwrap();
+        let moved = cluster.assignment()[added].clone();
+        assert!(!moved.is_empty());
+        // Decommissioning the new worker must not hand any group back to
+        // the worker it was taken from — that donor's log still contains
+        // the group's segments, and a second copy would double aggregates.
+        cluster.remove_worker(added).unwrap();
+        let after = cluster.assignment();
+        for &gid in &moved {
+            let donor = before.iter().position(|gids| gids.contains(&gid)).unwrap();
+            assert!(
+                !after[donor].contains(&gid),
+                "group {gid} returned to its donor {donor}"
+            );
+        }
+        for (q, want) in QUERIES.iter().zip(&baseline) {
+            assert_eq!(&cluster.sql(q).unwrap(), want, "{q} after grow+shrink");
+        }
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn past_holder_guard_survives_restart() {
+        let dir = mdb_testutil::TempDir::new("cluster-ever-held");
+        let (catalog, default_cluster, ds) = build(2);
+        drop(default_cluster);
+        let config = ClusterConfig {
+            compression: CompressionConfig::with_relative_bound(5.0),
+            storage_dir: Some(dir.path().to_path_buf()),
+            bulk_write_size: 16,
+            ..ClusterConfig::default()
+        };
+        let registry = Arc::new(ModelRegistry::standard());
+        let cluster = Cluster::start_with(
+            Arc::clone(&catalog),
+            Arc::clone(&registry),
+            config.clone(),
+            2,
+        )
+        .unwrap();
+        ingest_all(&cluster, &ds, 300);
+        let want = cluster.sql("SELECT COUNT_S(*) FROM Segment").unwrap();
+        let gid = cluster.assignment()[0][0];
+        cluster.move_group(gid, 0, 1).unwrap();
+        cluster.shutdown().unwrap();
+        // The donor's leftover segments survive the restart in its log, so
+        // the manifest must carry the ever-held guard across it.
+        let reopened = Cluster::start_with(catalog, registry, config, 2).unwrap();
+        assert_eq!(
+            reopened.sql("SELECT COUNT_S(*) FROM Segment").unwrap(),
+            want
+        );
+        let err = reopened.move_group(gid, 1, 0).unwrap_err();
+        let message = format!("{err}");
+        assert!(message.contains("previously held"), "{message}");
+        assert_eq!(
+            reopened.sql("SELECT COUNT_S(*) FROM Segment").unwrap(),
+            want
+        );
+        reopened.shutdown().unwrap();
+    }
+
+    #[test]
+    fn slow_health_probe_marks_worker_slow_not_dead() {
+        let (_, cluster, ds) = build(1);
+        let mut batch = mdb_types::RowBatch::with_capacity(ds.n_series(), 300);
+        for t in 0..300 {
+            batch.push_row_with(ds.timestamp(t), |s| ds.value(s as u32 + 1, t));
+        }
+        cluster.ingest_batch(&batch).unwrap();
+        // Probe with a zero timeout while the worker is still compressing
+        // the batch: the probe times out, but a timeout is not proof of
+        // death — the worker stays active and nothing is reported lost.
+        let health = cluster.health_with_timeout(Duration::ZERO);
+        assert_eq!(health.workers[0].state, WorkerState::Active);
+        assert!(health.workers[0].probe_timed_out);
+        assert!(health.lost_gids.is_empty());
+        assert!(!health.is_degraded());
+        // Once the worker drains, a normal probe succeeds.
+        cluster.flush().unwrap();
+        let settled = cluster.health();
+        assert_eq!(settled.workers[0].state, WorkerState::Active);
+        assert!(!settled.workers[0].probe_timed_out);
         cluster.shutdown().unwrap();
     }
 

@@ -30,6 +30,11 @@ pub(crate) struct Manifest {
     pub holders: HashMap<Gid, Vec<usize>>,
     /// Decommissioned slot indices (not respawned on restart).
     pub removed: Vec<usize>,
+    /// Per slot: every gid whose segments may still sit in that slot's
+    /// append-only log — current holds plus leftovers from handoffs and
+    /// deaths. Restored into [`Topology::ever_held`] so a group is never
+    /// handed back onto leftover segments, even across restarts.
+    pub ever_held: HashMap<usize, Vec<Gid>>,
 }
 
 /// Loads and validates the manifest for a disk-backed cluster, if one was
@@ -66,6 +71,17 @@ pub(crate) fn load_manifest(
             manifest.replication, config.replication_factor
         )));
     }
+    if manifest
+        .holders
+        .values()
+        .flatten()
+        .chain(manifest.ever_held.keys())
+        .any(|&i| i >= n_workers)
+    {
+        return Err(MdbError::Config(
+            "cluster manifest names a worker slot beyond its own slot count".into(),
+        ));
+    }
     let mut manifest_gids: Vec<Gid> = manifest.holders.keys().copied().collect();
     manifest_gids.sort_unstable();
     let mut catalog_gids: Vec<Gid> = catalog.groups.iter().map(|g| g.gid).collect();
@@ -78,6 +94,7 @@ pub(crate) fn load_manifest(
     Ok(Some(Manifest {
         holders: manifest.holders,
         removed: manifest.removed,
+        ever_held: manifest.ever_held,
     }))
 }
 
@@ -86,6 +103,7 @@ struct ParsedManifest {
     replication: usize,
     holders: HashMap<Gid, Vec<usize>>,
     removed: Vec<usize>,
+    ever_held: HashMap<usize, Vec<Gid>>,
 }
 
 fn parse_manifest(text: &str) -> Result<ParsedManifest> {
@@ -98,6 +116,7 @@ fn parse_manifest(text: &str) -> Result<ParsedManifest> {
     let mut replication = None;
     let mut removed = Vec::new();
     let mut holders = HashMap::new();
+    let mut ever_held = HashMap::new();
     for line in lines {
         let line = line.trim();
         if line.is_empty() {
@@ -143,6 +162,20 @@ fn parse_manifest(text: &str) -> Result<ParsedManifest> {
                 }
                 holders.insert(gid, indices);
             }
+            Some("held") => {
+                let slot: usize = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("held slot"))?;
+                let list = parts.next().ok_or_else(|| bad("held gids"))?;
+                let mut gids = Vec::new();
+                if list != "-" {
+                    for item in list.split(',') {
+                        gids.push(item.parse().map_err(|_| bad("held gid"))?);
+                    }
+                }
+                ever_held.insert(slot, gids);
+            }
             _ => return Err(bad("unknown line")),
         }
     }
@@ -151,6 +184,7 @@ fn parse_manifest(text: &str) -> Result<ParsedManifest> {
         replication: replication.ok_or_else(|| bad("missing replication"))?,
         holders,
         removed,
+        ever_held,
     })
 }
 
@@ -181,6 +215,18 @@ fn render_manifest(topo: &Topology, replication: usize) -> String {
         } else {
             let list: Vec<String> = holders.iter().map(|h| h.to_string()).collect();
             out.push_str(&format!("group {gid} {}\n", list.join(",")));
+        }
+    }
+    // Every gid a slot ever held: its log keeps their segments forever
+    // (append-only), so the handoff guard must survive restarts with them.
+    for (slot, held) in topo.ever_held.iter().enumerate() {
+        if held.is_empty() {
+            out.push_str(&format!("held {slot} -\n"));
+        } else {
+            let mut held: Vec<Gid> = held.iter().copied().collect();
+            held.sort_unstable();
+            let list: Vec<String> = held.iter().map(|g| g.to_string()).collect();
+            out.push_str(&format!("held {slot} {}\n", list.join(",")));
         }
     }
     out
@@ -235,6 +281,13 @@ impl Cluster {
     /// atomic-reroute handoff of the handoff module) until it carries
     /// roughly an even share — at least one group, as long as any exist.
     /// Returns the new worker's slot index.
+    ///
+    /// The new worker's block-cache share is
+    /// [`ClusterConfig::memory_budget_bytes`] divided by the *new* slot
+    /// count; existing workers keep the share they were spawned with (their
+    /// caches are not resized in place), so the cluster-wide cache budget
+    /// can exceed the configured total until the next restart re-splits it
+    /// evenly.
     pub fn add_worker(&self) -> Result<usize> {
         let mut topo = self.topo_write();
         let index = topo.workers.len();
@@ -252,6 +305,7 @@ impl Cluster {
             budget_share,
         )?;
         topo.workers.push(worker);
+        topo.ever_held.push(std::collections::HashSet::new());
         // Rebalance: repeatedly take the heaviest movable group from the
         // most-loaded worker while doing so narrows the gap. The first move
         // is forced (with the donor's lightest group) so growing an
@@ -268,11 +322,15 @@ impl Cluster {
             else {
                 break;
             };
-            // Movable: held by the donor, not already held by the new slot.
+            // Movable: held by the donor, never on the new slot (a fresh
+            // slot has an empty ever-held set; the check keeps the
+            // no-leftover-duplication invariant explicit).
             let mut movable: Vec<(Gid, f64)> = topo
                 .holders
                 .iter()
-                .filter(|(_, holders)| holders.contains(&donor) && !holders.contains(&index))
+                .filter(|(&gid, holders)| {
+                    holders.contains(&donor) && !topo.ever_held[index].contains(&gid)
+                })
                 .map(|(&gid, _)| (gid, self.load_of(gid)))
                 .collect();
             if movable.is_empty() {
@@ -316,12 +374,14 @@ impl Cluster {
         }
         let hosted = topo.hosted_gids(index);
         // Pre-check every move before doing any: each group needs an active
-        // target that does not already hold it.
+        // target that never held it — a past holder's append-only log still
+        // contains the segments it exported, and importing the group again
+        // would duplicate them (ever_held is a superset of the current
+        // holders, so this also excludes live copies).
         let eligible = |topo: &Topology, gid: Gid| -> Option<usize> {
-            let holders = &topo.holders[&gid];
             topo.active()
                 .into_iter()
-                .filter(|&i| i != index && !holders.contains(&i))
+                .filter(|&i| i != index && !topo.ever_held[i].contains(&gid))
                 .min_by(|&a, &b| {
                     self.worker_load(topo, a)
                         .total_cmp(&self.worker_load(topo, b))
@@ -332,7 +392,7 @@ impl Cluster {
             if eligible(&topo, gid).is_none() {
                 return Err(MdbError::Config(format!(
                     "cannot remove worker {index}: no other active worker can take group {gid} \
-                     (every candidate already holds a copy)"
+                     (every candidate holds, or previously held, a copy)"
                 )));
             }
         }

@@ -17,6 +17,12 @@ pub enum MdbError {
     /// A time series violated an ingestion invariant (unaligned timestamp,
     /// non-monotonic time, mismatched sampling interval, …).
     Ingestion(String),
+    /// An ingestion error a cluster worker deferred from an *earlier*
+    /// batch, reported on a later call. The operation that returned this
+    /// error succeeded — in particular, a batch handed to
+    /// `Cluster::ingest_batch` was accepted and will be ingested, so
+    /// retrying it would ingest it twice.
+    DeferredIngestion(String),
     /// Corrupt or truncated on-disk data.
     Corrupt(String),
     /// A query referenced unknown tids, members, columns, or used unsupported
@@ -33,6 +39,12 @@ impl fmt::Display for MdbError {
         match self {
             MdbError::Config(m) => write!(f, "configuration error: {m}"),
             MdbError::Ingestion(m) => write!(f, "ingestion error: {m}"),
+            MdbError::DeferredIngestion(m) => {
+                write!(
+                    f,
+                    "deferred ingestion error (current operation succeeded): {m}"
+                )
+            }
             MdbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             MdbError::Query(m) => write!(f, "query error: {m}"),
             MdbError::NotFound(m) => write!(f, "not found: {m}"),
