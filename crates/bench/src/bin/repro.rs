@@ -8,7 +8,7 @@
 //! experiments:
 //!   table1  fig13  fig14  fig15  fig16  fig17  fig18  fig19  fig20
 //!   fig21   fig22  fig23  fig24  fig25  fig26  fig27  fig28  mgc
-//!   ingest  query  storage  chaos  all
+//!   ingest  query  storage  sketch  chaos  all
 //! ```
 //!
 //! Unknown experiments, scales, or options exit non-zero with a usage
@@ -19,7 +19,9 @@
 //! `BENCH_query.json` (time-ranged `SUM_S`/`AVG_S` latency for the plain
 //! sequential scan vs the pruned-parallel path), and `storage` writes
 //! `BENCH_storage.json` (sidecar-assisted vs full-log-scan reopen time and
-//! the resident-segment peak under a bounded memory budget) so the perf
+//! the resident-segment peak under a bounded memory budget), and `sketch`
+//! writes `BENCH_sketch.json` (metadata-only sketch queries vs their exact
+//! full-scan equivalents) so the perf
 //! trajectory is machine-readable across commits. `gate` compares a freshly produced
 //! `BENCH_*.json` against a committed baseline and fails (exit 1) on more
 //! than `--tolerance`-fold regression — of the machine-portable speedup
@@ -44,10 +46,10 @@ use modelardb::{CompressionConfig, ErrorBound, ModelRegistry, SegmentStore};
 const SEED: u64 = 42;
 const BOUNDS: [f64; 4] = [0.0, 1.0, 5.0, 10.0];
 
-const EXPERIMENTS: [&str; 22] = [
+const EXPERIMENTS: [&str; 23] = [
     "table1", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
     "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "mgc", "ingest", "query",
-    "storage", "chaos",
+    "storage", "sketch", "chaos",
 ];
 
 fn usage() -> String {
@@ -208,6 +210,9 @@ fn run_experiments(experiment: &str, scale: Scale, scale_name: &str) {
     if run("storage") {
         storage_rates(scale, scale_name);
     }
+    if run("sketch") {
+        sketch_rates(scale, scale_name);
+    }
     if run("chaos") {
         chaos(scale);
     }
@@ -366,6 +371,7 @@ fn storage_rates(scale: Scale, scale_name: &str) {
                     bulk_write_size: BULK,
                     memory_budget_bytes: budget,
                     value_bounds: Some(std::sync::Arc::clone(&bounds)),
+                    sketch_feed: None,
                 },
             )
             .expect("reopen")
@@ -456,6 +462,124 @@ fn store_segments(store: &modelardb::DiskStore) -> Vec<modelardb::SegmentRecord>
     })
     .expect("scan");
     out
+}
+
+/// `sketch`: the metadata-only sketch path vs exact full scans, on a
+/// disk-backed store, written to `BENCH_sketch.json`. Both paths answer the
+/// same four questions — the 50th and 99th percentile of every stored
+/// value, the distinct series count, and the five heaviest series. The
+/// sketch path runs `P50_S`/`P99_S`/`COUNT_DISTINCT`/`TOP_K_S` SQL, which
+/// resolves from per-block sketches without fetching a single segment body;
+/// the exact path reconstructs every data point through the Data Point View
+/// and computes nearest-rank percentiles and per-series counts from the
+/// rows. The two paths are interleaved (fastest repetition wins) and the
+/// gated `sketch_speedup` is their ratio.
+fn sketch_rates(scale: Scale, scale_name: &str) {
+    const REPS: usize = 7;
+    const BULK: usize = 64;
+    const K: usize = 5;
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for ds in [ep(SEED, scale).unwrap(), eh(SEED, scale).unwrap()] {
+        let ticks = (ds.scale.ticks * 16).max(20_000);
+        let dir = std::env::temp_dir().join(format!(
+            "mdb-repro-sketch-{}-{}",
+            std::process::id(),
+            ds.name
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut db = build_disk_engine(&ds, &dir, 10.0, BULK, None);
+        ingest_engine_batched(&mut db, &ds, ticks, 512);
+        let segments = db.segment_count();
+
+        let sketch_queries: Vec<String> = [
+            "SELECT P50_S(*) FROM Segment".to_string(),
+            "SELECT P99_S(*) FROM Segment".to_string(),
+            "SELECT COUNT_DISTINCT(Tid) FROM Segment".to_string(),
+            format!("SELECT TOP_K_S({K}) FROM Segment"),
+        ]
+        .to_vec();
+        // The exact equivalents: reconstruct every point, sort for the
+        // nearest-rank percentiles, and group for the distinct/top-k part.
+        let exact_pass = |db: &modelardb::ModelarDb| {
+            let mut values: Vec<f64> = db
+                .sql("SELECT Value FROM DataPoint")
+                .expect("value scan")
+                .rows
+                .iter()
+                .map(|r| r[0].as_f64().expect("value"))
+                .collect();
+            values.sort_by(f64::total_cmp);
+            let rank = |q: f64| {
+                let r = (q / 100.0 * values.len() as f64).ceil() as usize;
+                values[r.clamp(1, values.len()) - 1]
+            };
+            let counts = db
+                .sql("SELECT Tid, COUNT(*) FROM DataPoint GROUP BY Tid")
+                .expect("count scan");
+            let mut per_tid: Vec<(i64, i64)> = counts
+                .rows
+                .iter()
+                .map(|r| (r[0].as_i64().expect("tid"), r[1].as_i64().expect("count")))
+                .collect();
+            per_tid.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let top: i64 = per_tid.iter().take(K).map(|(_, c)| c).sum();
+            (rank(50.0), rank(99.0), per_tid.len(), top)
+        };
+
+        let _ = run_queries(&db, &sketch_queries); // warm-up
+        let _ = std::hint::black_box(exact_pass(&db));
+        let mut sketch_elapsed = Duration::MAX;
+        let mut exact_elapsed = Duration::MAX;
+        for _ in 0..REPS {
+            // Interleaved so machine-load drift cannot bias one path.
+            sketch_elapsed = sketch_elapsed.min(run_queries(&db, &sketch_queries));
+            let (_, elapsed) = timed(|| std::hint::black_box(exact_pass(&db)));
+            exact_elapsed = exact_elapsed.min(elapsed);
+        }
+        let speedup = exact_elapsed.as_secs_f64() / sketch_elapsed.as_secs_f64().max(1e-9);
+
+        rows.push(vec![
+            ds.name.clone(),
+            segments.to_string(),
+            fmt_ms(sketch_elapsed),
+            fmt_ms(exact_elapsed),
+            format!("{speedup:.2}x"),
+        ]);
+        entries.push(format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"ticks\": {}, \"segments\": {}, ",
+                "\"sketch_ms\": {:.3}, \"exact_scan_ms\": {:.3}, \"sketch_speedup\": {:.3}}}"
+            ),
+            ds.name,
+            ticks,
+            segments,
+            sketch_elapsed.as_secs_f64() * 1e3,
+            exact_elapsed.as_secs_f64() * 1e3,
+            speedup,
+        ));
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    print_figure(
+        "Sketch functions: block-metadata sketches vs exact full scans",
+        &[
+            "Data set",
+            "Segments",
+            "Sketch path",
+            "Exact scan",
+            "Speedup",
+        ],
+        &rows,
+    );
+    let json = format!(
+        "{{\n  \"scale\": \"{scale_name}\",\n  \"datasets\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_sketch.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_sketch.json"),
+        Err(e) => eprintln!("\nfailed to write BENCH_sketch.json: {e}"),
+    }
 }
 
 /// `query`: time-ranged `SUM_S`/`AVG_S` latency, plain sequential scan vs
@@ -615,12 +739,46 @@ fn gate(args: &[String]) -> Result<(), String> {
         ));
     }
 
-    let base_metrics = bench_metrics(&base_text);
+    let (checked, failures) = gate_report(&base_text, &current_text, tolerance, absolute);
+    // Failures first: if every baseline metric vanished from the current
+    // file, `checked` is zero too, and reporting "no gateable metrics"
+    // instead would hide the coverage loss behind a config-looking error.
+    if !failures.is_empty() {
+        eprintln!("perf gate FAILED against {baseline}:");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+    if checked == 0 {
+        return Err(format!("no gateable metrics found in {baseline}"));
+    }
+    println!(
+        "perf gate OK: {checked} metrics within {tolerance}x of {baseline} (scale {})",
+        base_scale.as_deref().unwrap_or("?")
+    );
+    Ok(())
+}
+
+/// The pure comparison core of `gate`: every metric of the baseline is
+/// looked up in the current run — a baseline metric that is *missing* from
+/// the current file is a failure (the benchmark silently lost coverage),
+/// not a skip — and the gateable ones (`*_speedup`; with `absolute` also
+/// `*_per_sec` and `*_ms`) are compared under `tolerance`. Returns the
+/// number of compared metrics and the failure report.
+fn gate_report(
+    base_text: &str,
+    current_text: &str,
+    tolerance: f64,
+    absolute: bool,
+) -> (usize, Vec<String>) {
     let mut failures = Vec::new();
     let mut checked = 0usize;
-    for (dataset, key, base_value) in &base_metrics {
-        let Some(current_value) = bench_metric(&current_text, dataset, key) else {
-            failures.push(format!("{dataset}/{key}: missing from current run"));
+    for (dataset, key, base_value) in &bench_metrics(base_text) {
+        let Some(current_value) = bench_metric(current_text, dataset, key) else {
+            failures.push(format!(
+                "{dataset}/{key}: missing from current run — the gate would silently lose this metric"
+            ));
             continue;
         };
         let (worse, kind) = if key.ends_with("_speedup") {
@@ -639,22 +797,7 @@ fn gate(args: &[String]) -> Result<(), String> {
             ));
         }
     }
-    if checked == 0 {
-        return Err(format!("no gateable metrics found in {baseline}"));
-    }
-    if failures.is_empty() {
-        println!(
-            "perf gate OK: {checked} metrics within {tolerance}x of {baseline} (scale {})",
-            base_scale.as_deref().unwrap_or("?")
-        );
-        Ok(())
-    } else {
-        eprintln!("perf gate FAILED against {baseline}:");
-        for failure in &failures {
-            eprintln!("  {failure}");
-        }
-        std::process::exit(1);
-    }
+    (checked, failures)
 }
 
 /// The top-level `"scale"` field of a `BENCH_*.json`, if present.
@@ -1192,4 +1335,62 @@ fn mgc_ablation() {
         &["Bound", "MMC (v1)", "MMGC (v2)", "Reduction"],
         &rows,
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gate_report;
+
+    const BASE: &str = r#"{
+  "scale": "small",
+  "datasets": [
+    {"dataset": "EP", "segments": 100, "reopen_speedup": 4.0, "sidecar_reopen_ms": 2.0},
+    {"dataset": "EH", "segments": 200, "reopen_speedup": 3.0, "sidecar_reopen_ms": 5.0}
+  ]
+}
+"#;
+
+    #[test]
+    fn unchanged_metrics_pass() {
+        let (checked, failures) = gate_report(BASE, BASE, 2.0, false);
+        assert_eq!(checked, 2, "both speedups compared");
+        assert_eq!(failures, Vec::<String>::new());
+        // With --absolute the latencies are gated too.
+        let (checked, failures) = gate_report(BASE, BASE, 2.0, true);
+        assert_eq!(checked, 4);
+        assert_eq!(failures, Vec::<String>::new());
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let current = BASE.replace("\"reopen_speedup\": 4.0", "\"reopen_speedup\": 1.5");
+        let (checked, failures) = gate_report(BASE, &current, 2.0, false);
+        assert_eq!(checked, 2);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("EP/reopen_speedup"), "{failures:?}");
+        // 1.5 is within 2x of 3.0, so EH passes; and 2.5 would pass for EP.
+        let current = BASE.replace("\"reopen_speedup\": 4.0", "\"reopen_speedup\": 2.5");
+        let (_, failures) = gate_report(BASE, &current, 2.0, false);
+        assert_eq!(failures, Vec::<String>::new());
+    }
+
+    #[test]
+    fn baseline_metric_missing_from_current_fails_loudly() {
+        // A renamed or dropped metric must fail the gate, not shrink its
+        // coverage: lose one metric from one dataset...
+        let current = BASE.replace(", \"reopen_speedup\": 4.0", "");
+        let (checked, failures) = gate_report(BASE, &current, 2.0, false);
+        assert_eq!(checked, 1, "the surviving EH speedup is still compared");
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("EP/reopen_speedup") && failures[0].contains("missing"),
+            "{failures:?}"
+        );
+        // ...and the pathological case: current shares nothing with the
+        // baseline, so checked == 0 AND every metric is a failure. The
+        // failures must win over any "no gateable metrics" report.
+        let (checked, failures) = gate_report(BASE, "{}", 2.0, false);
+        assert_eq!(checked, 0);
+        assert_eq!(failures.len(), 6, "every baseline metric reported missing");
+    }
 }

@@ -54,7 +54,7 @@ use mdb_query::{merge_partials, Query, QueryEngine, QueryResult, ScanPool, Selec
 use mdb_storage::{
     Catalog, DiskStore, DiskStoreOptions, MemoryStore, SegmentPredicate, SegmentStore,
 };
-use mdb_types::{Gid, MdbError, Result, RowBatch, SegmentRecord, Timestamp, Value};
+use mdb_types::{BlockSketch, Gid, MdbError, Result, RowBatch, SegmentRecord, Timestamp, Value};
 
 /// Cluster runtime configuration.
 #[derive(Debug, Clone)]
@@ -155,6 +155,12 @@ type PartialReply = (Vec<(Gid, PartialAggregates)>, Duration);
 /// per-group rows, and the wall time.
 type RowsReply = (QueryResult, Vec<(Gid, QueryResult)>, Duration);
 
+/// A sketch reply: the worker's per-group sketches merged over its primary
+/// scope, plus the wall time. One merged sketch suffices — sketch merging
+/// is commutative and associative, so the master needs no per-gid ordering
+/// to stay deterministic.
+type SketchReply = (BlockSketch, Duration);
+
 /// Exported state of one group: its segment runs in the source store's
 /// deterministic per-group scan order (run/block boundaries preserved) and
 /// the compression counters accumulated on the source, so statistics
@@ -169,6 +175,9 @@ enum Command {
     QueryPartial(Arc<Query>, GidScope, Sender<Result<PartialReply>>),
     /// Run a listing query per group in the scope.
     QueryRows(Arc<Query>, GidScope, Sender<Result<RowsReply>>),
+    /// Merge the store's sketches over the scoped groups — block metadata
+    /// only, no segment bodies.
+    QuerySketch(Arc<Query>, GidScope, Sender<Result<SketchReply>>),
     /// Compression/storage statistics restricted to the scope, so replicas
     /// and handed-off leftovers are never double counted.
     Stats(GidScope, Sender<Result<(CompressionStats, u64, usize)>>),
@@ -785,6 +794,10 @@ impl Cluster {
     /// One scatter/gather attempt. `Ok(None)` means a worker died and was
     /// declared dead — the caller should retry against the new placement.
     fn try_sql(&self, query: &Arc<Query>) -> Result<Option<(QueryResult, Vec<Duration>)>> {
+        let is_sketch = query
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Sketch(_)));
         let is_aggregate = query
             .items
             .iter()
@@ -808,6 +821,42 @@ impl Cluster {
             return Err(MdbError::Query(
                 "no active workers; see Cluster::health()".into(),
             ));
+        }
+        if is_sketch {
+            // Sketch scatter/gather: each worker merges its primary groups'
+            // sketches from block metadata; the master merges the worker
+            // partials (order-independent) and finalizes. Results are
+            // identical at every worker count and replication factor.
+            let mut replies = Vec::new();
+            for (index, sender, scope) in targets {
+                let (tx, rx) = bounded(1);
+                if sender
+                    .send(Command::QuerySketch(Arc::clone(query), scope, tx))
+                    .is_err()
+                {
+                    self.declare_dead(index, "died during query");
+                    return Ok(None);
+                }
+                replies.push((index, rx));
+            }
+            let mut partials = Vec::new();
+            let mut times = Vec::new();
+            for (index, rx) in replies {
+                match rx.recv() {
+                    Ok(Ok((sketch, elapsed))) => {
+                        partials.push(sketch);
+                        times.push(elapsed);
+                    }
+                    Ok(Err(e)) => return Err(MdbError::Query(format!("worker {index}: {e}"))),
+                    Err(_) => {
+                        self.declare_dead(index, "died during query");
+                        return Ok(None);
+                    }
+                }
+            }
+            let mut result = QueryEngine::finalize_sketches(query, partials)?;
+            QueryEngine::apply_order_limit(&mut result, query)?;
+            return Ok(Some((result, times)));
         }
         if is_aggregate {
             let mut replies = Vec::new();
@@ -1137,6 +1186,7 @@ fn spawn_worker(
     let value_bounds: mdb_storage::ValueBoundsFn = Arc::new(move |segment: &_| {
         mdb_models::segment_value_range(&bounds_registry, segment, *bounds_sizes.get(&segment.gid)?)
     });
+    let sketch_feed = mdb_query::sketch_feed(catalog, registry);
     let store: Box<dyn SegmentStore> = match &config.storage_dir {
         Some(dir) => Box::new(DiskStore::open_with(
             &dir.join(format!("worker-{index}")),
@@ -1144,9 +1194,12 @@ fn spawn_worker(
                 bulk_write_size: config.bulk_write_size,
                 memory_budget_bytes: budget_share,
                 value_bounds: Some(value_bounds),
+                sketch_feed: Some(sketch_feed),
             },
         )?),
-        None => Box::new(MemoryStore::with_value_bounds(value_bounds)),
+        None => {
+            Box::new(MemoryStore::with_value_bounds(value_bounds).with_sketch_feed(sketch_feed))
+        }
     };
     let shared = Arc::new(WorkerShared::default());
     let thread_shared = Arc::clone(&shared);
@@ -1314,6 +1367,15 @@ fn worker_loop(
                     Ok(out)
                 };
                 let _ = reply.send(run().map(|p| (p, start.elapsed())));
+            }
+            Command::QuerySketch(query, scope, reply) => {
+                let start = Instant::now();
+                let run = || -> Result<BlockSketch> {
+                    QueryEngine::new(&catalog, &registry, store.as_ref())
+                        .with_gid_scope(&scope)
+                        .sketch_partial(&query)
+                };
+                let _ = reply.send(run().map(|sketch| (sketch, start.elapsed())));
             }
             Command::QueryRows(query, scope, reply) => {
                 let start = Instant::now();

@@ -57,11 +57,15 @@ impl ModelarDb {
         config: Config,
     ) -> Result<Self> {
         // Both stores maintain a zone map fed by the models' closed-form
-        // value ranges, so scans can prune segment runs before decoding.
+        // value ranges, so scans can prune segment runs before decoding,
+        // plus per-group sketches so P50_S/COUNT_DISTINCT/TOP_K_S queries
+        // resolve from metadata alone.
         let bounds = value_bounds_fn(&catalog, &registry);
+        let sketch_feed = mdb_query::sketch_feed(&catalog, &registry);
         let store: Box<dyn SegmentStore> = match &config.storage {
             StorageSpec::Memory => {
-                let mut store = MemoryStore::with_value_bounds(bounds);
+                let mut store =
+                    MemoryStore::with_value_bounds(bounds).with_sketch_feed(sketch_feed);
                 store.set_pruning(config.zone_pruning);
                 Box::new(store)
             }
@@ -73,6 +77,7 @@ impl ModelarDb {
                         bulk_write_size: config.bulk_write_size,
                         memory_budget_bytes: config.memory_budget_bytes,
                         value_bounds: Some(bounds),
+                        sketch_feed: Some(sketch_feed),
                     },
                 )?;
                 store.set_pruning(config.zone_pruning);

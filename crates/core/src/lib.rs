@@ -57,15 +57,15 @@ pub use mdb_partitioner::{
     assign_replicas, assign_workers, group_load, lowest_distance, partition, CorrelationClause,
     CorrelationPrimitive, CorrelationSpec, Partitioning, ScalingHint,
 };
-pub use mdb_query::{parse, Cell, Query, QueryEngine, QueryResult};
+pub use mdb_query::{parse, sketch_feed, Cell, Query, QueryEngine, QueryResult, SketchFunc};
 pub use mdb_storage::{
     scan_to_vec, CacheStats, Catalog, DiskStore, DiskStoreOptions, MemoryStore, SegmentPredicate,
-    SegmentStore, ValueBoundsFn, ZoneMap,
+    SegmentStore, SketchFeedFn, ValueBoundsFn, ZoneMap,
 };
 pub use mdb_types::{
-    BatchView, BlockMeta, DataPoint, DimensionSchema, Dimensions, ErrorBound, GapsMask, Gid,
-    GroupMeta, MdbError, Result, RowBatch, SegmentRecord, Tid, TimeLevel, TimeSeriesMeta,
-    Timestamp, Value, ValueInterval,
+    BatchView, BlockMeta, BlockSketch, DataPoint, DimensionSchema, Dimensions, ErrorBound,
+    GapsMask, Gid, GroupMeta, MdbError, Result, RowBatch, SegmentRecord, Tid, TimeLevel,
+    TimeSeriesMeta, Timestamp, Value, ValueInterval,
 };
 
 /// The full system configuration; defaults mirror Table 1 of the paper.

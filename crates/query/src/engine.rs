@@ -20,14 +20,15 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mdb_models::ModelRegistry;
-use mdb_storage::{Catalog, SegmentPredicate, SegmentStore};
+use mdb_storage::{Catalog, SegmentPredicate, SegmentStore, SketchFeedFn};
 use mdb_types::{
-    time, Gid, MdbError, Result, SegmentRecord, Tid, TimeLevel, Timestamp, ValueInterval,
+    time, BlockSketch, Gid, MdbError, Result, SegmentRecord, Tid, TimeLevel, Timestamp,
+    ValueInterval,
 };
 
 use crate::aggregate::{Accumulator, AggFunc, SegmentCursor};
 use crate::cell::{Cell, QueryResult};
-use crate::sql::{CmpOp, Predicate, Query, SelectItem, TimeColumn, View};
+use crate::sql::{CmpOp, Predicate, Query, SelectItem, SketchFunc, TimeColumn, View};
 
 /// A hashable group-by key component (group keys are never floats).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -333,6 +334,16 @@ impl<'a> QueryEngine<'a> {
 
     /// Executes a parsed query.
     pub fn execute(&self, query: &Query) -> Result<QueryResult> {
+        if query
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Sketch(_)))
+        {
+            let partial = self.sketch_partial(query)?;
+            let mut result = Self::finalize_sketches(query, vec![partial])?;
+            Self::apply_order_limit(&mut result, query)?;
+            return Ok(result);
+        }
         if query
             .items
             .iter()
@@ -652,6 +663,140 @@ impl<'a> QueryEngine<'a> {
         }
         Ok(out)
     }
+
+    // ------------------------------------------------ sketch functions --
+
+    /// Validates a sketch query and returns its functions in SELECT order.
+    /// Sketches summarize *everything stored* — they cannot be filtered or
+    /// grouped after the fact — so WHERE, GROUP BY, and mixing with other
+    /// select items are rejected rather than silently ignored.
+    fn sketch_items(query: &Query) -> Result<Vec<SketchFunc>> {
+        let mut funcs = Vec::new();
+        for item in &query.items {
+            match item {
+                SelectItem::Sketch(func) => funcs.push(func.clone()),
+                other => {
+                    return Err(MdbError::Query(format!(
+                        "sketch functions cannot be mixed with {other:?}"
+                    )))
+                }
+            }
+        }
+        if query.view != View::Segment {
+            return Err(MdbError::Query(
+                "sketch functions require FROM Segment".into(),
+            ));
+        }
+        if !query.predicates.is_empty() {
+            return Err(MdbError::Query(
+                "sketch functions summarize the whole store; WHERE is not supported".into(),
+            ));
+        }
+        if !query.group_by.is_empty() {
+            return Err(MdbError::Query(
+                "sketch functions do not support GROUP BY".into(),
+            ));
+        }
+        if funcs.iter().any(|f| matches!(f, SketchFunc::TopK(_))) && funcs.len() > 1 {
+            return Err(MdbError::Query(
+                "TOP_K_S returns one row per series and must be the only select item".into(),
+            ));
+        }
+        Ok(funcs)
+    }
+
+    /// The worker half of a sketch query: merge the store's per-group
+    /// sketches (restricted to the engine's gid scope) **without touching
+    /// segment bodies**. Erroring instead of falling back to a scan is
+    /// deliberate: sketch functions promise metadata-only cost, and a store
+    /// that cannot honor that (no feed, or an unsketchable segment) must say
+    /// so rather than silently change its complexity class.
+    pub fn sketch_partial(&self, query: &Query) -> Result<BlockSketch> {
+        Self::sketch_items(query)?;
+        self.store.merge_sketches(self.gid_scope)?.ok_or_else(|| {
+            MdbError::Query(
+                "sketch functions need a sketch-maintaining store \
+                 (no sketch feed configured, or a segment could not be sketched)"
+                    .into(),
+            )
+        })
+    }
+
+    /// The master half: merge worker sketch partials and evaluate the
+    /// functions. Sketch merging is commutative and associative, so any
+    /// partial order and nesting yields the same result — the property the
+    /// cluster relies on for identical answers at every rf and worker count.
+    pub fn finalize_sketches(query: &Query, partials: Vec<BlockSketch>) -> Result<QueryResult> {
+        let funcs = Self::sketch_items(query)?;
+        let mut merged = BlockSketch::new();
+        for partial in &partials {
+            merged.merge(partial);
+        }
+        if let [SketchFunc::TopK(k)] = funcs.as_slice() {
+            let name = SketchFunc::TopK(*k).column_name();
+            let mut result = QueryResult::new(vec!["Tid".into(), name]);
+            for (tid, count) in merged.topk.top_k(*k) {
+                result
+                    .rows
+                    .push(vec![Cell::Int(i64::from(tid)), Cell::Int(count as i64)]);
+            }
+            return Ok(result);
+        }
+        let mut result = QueryResult::new(funcs.iter().map(SketchFunc::column_name).collect());
+        let row = funcs
+            .iter()
+            .map(|func| match func {
+                SketchFunc::Pctl(q) => match merged.quantiles.quantile(*q) {
+                    Some(v) => Cell::Float(v),
+                    None => Cell::Null,
+                },
+                SketchFunc::CountDistinct => Cell::Int(merged.distinct.estimate().round() as i64),
+                SketchFunc::TopK(_) => unreachable!("TOP_K_S handled above"),
+            })
+            .collect();
+        result.rows.push(row);
+        Ok(result)
+    }
+}
+
+/// Builds the ingest-time sketch feed for a store (the closure behind
+/// [`mdb_storage::SketchFeedFn`]): reconstructs every data point of a
+/// segment with exactly the arithmetic the Data Point View uses —
+/// `grid[idx × n_present + series_pos] / scaling` — and feeds the values
+/// into the quantile sketch, each present Tid into the distinct sketch, and
+/// each series' point count into the top-k sketch. Returns `false` (sketches
+/// fail open) when the segment references an unknown group or cannot be
+/// decoded.
+pub fn sketch_feed(catalog: &Arc<Catalog>, registry: &Arc<ModelRegistry>) -> SketchFeedFn {
+    let catalog = Arc::clone(catalog);
+    let registry = Arc::clone(registry);
+    Arc::new(move |segment, sketch| {
+        let Some(group) = catalog.group(segment.gid) else {
+            return false;
+        };
+        let group_size = group.size();
+        let n_present = segment.gaps.count_present(group_size);
+        if n_present == 0 {
+            return true;
+        }
+        let mut cursor = SegmentCursor::new(segment, n_present);
+        let Some(grid) = cursor.grid(&registry) else {
+            return false;
+        };
+        let ticks = grid.len() / n_present;
+        for (series_pos, member_pos) in segment.gaps.present_positions(group_size).enumerate() {
+            let tid = group.tids[member_pos];
+            let scaling = catalog.scaling_of(tid);
+            sketch.distinct.insert(u64::from(tid));
+            sketch.topk.add(tid, ticks as u64);
+            for idx in 0..ticks {
+                sketch
+                    .quantiles
+                    .insert(f64::from(grid[idx * n_present + series_pos]) / scaling);
+            }
+        }
+        true
+    })
 }
 
 impl<'a> SegmentEvaluator<'a> {
@@ -923,6 +1068,11 @@ impl<'a> QueryEngine<'a> {
                         "SELECT * cannot be combined with aggregates".into(),
                     ));
                 }
+                SelectItem::Sketch(_) => {
+                    return Err(MdbError::Query(
+                        "sketch functions cannot be combined with aggregates".into(),
+                    ));
+                }
             }
         }
         let mut result = QueryResult::new(columns);
@@ -953,7 +1103,9 @@ impl<'a> QueryEngine<'a> {
                         }
                         agg_idx += 1;
                     }
-                    SelectItem::AllColumns => unreachable!(),
+                    SelectItem::AllColumns | SelectItem::Sketch(_) => {
+                        unreachable!("rejected while laying out columns")
+                    }
                 }
             }
             result.rows.push(row);
@@ -1027,7 +1179,9 @@ impl<'a> QueryEngine<'a> {
                         .ok_or_else(|| MdbError::Query(format!("unknown column {c}")))?;
                     out.push(canonical.clone());
                 }
-                SelectItem::Agg { .. } => unreachable!("listing path has no aggregates"),
+                SelectItem::Agg { .. } | SelectItem::Sketch(_) => {
+                    unreachable!("listing path has no aggregates or sketches")
+                }
             }
         }
         Ok(out)

@@ -22,5 +22,5 @@ pub mod sql;
 
 pub use aggregate::{Accumulator, AggFunc};
 pub use cell::{Cell, QueryResult};
-pub use engine::{merge_partials, PartialAggregates, QueryEngine, ScanPool};
-pub use sql::{parse, Predicate, Query, SelectItem, View};
+pub use engine::{merge_partials, sketch_feed, PartialAggregates, QueryEngine, ScanPool};
+pub use sql::{parse, Predicate, Query, SelectItem, SketchFunc, View};

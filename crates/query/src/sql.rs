@@ -12,6 +12,8 @@
 //! [LIMIT n]
 //!
 //! item      := * | column | FUNC(*) | FUNC(Value)
+//!            | P50_S(*) | P99_S(*) | PCTL_S(q)  (Segment View, sketches)
+//!            | COUNT_DISTINCT(Tid) | TOP_K_S(k)
 //! FUNC      := COUNT|MIN|MAX|SUM|AVG            (Data Point View)
 //!            | COUNT_S|MIN_S|MAX_S|SUM_S|AVG_S  (Segment View, on models)
 //!            | CUBE_<FUNC>_<LEVEL>              (roll-up in time, Alg. 6)
@@ -51,6 +53,38 @@ pub enum SelectItem {
         func: AggFunc,
         cube: Option<TimeLevel>,
     },
+    /// A sketch-answered function, resolved from block metadata alone
+    /// (never fetching segment bodies); see `mdb_sketch` for the error
+    /// bounds.
+    Sketch(SketchFunc),
+}
+
+/// The sketch-answered functions (Segment View only; approximate, with the
+/// error bounds exported by `mdb_sketch`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchFunc {
+    /// `PCTL_S(q)` — the approximate nearest-rank `q`-percentile of every
+    /// reconstructed value, `0 ≤ q ≤ 100`; `P50_S(*)` and `P99_S(*)` are
+    /// sugar for `PCTL_S(50)` and `PCTL_S(99)`.
+    Pctl(f64),
+    /// `COUNT_DISTINCT(Tid)` — approximate number of distinct time series
+    /// with at least one stored data point.
+    CountDistinct,
+    /// `TOP_K_S(k)` — the `k` time series with the most stored data
+    /// points, heaviest first.
+    TopK(usize),
+}
+
+impl SketchFunc {
+    /// The canonical result column name (`P50_S(*)` parses as sugar, so it
+    /// renders back as `PCTL_S(50)`).
+    pub fn column_name(&self) -> String {
+        match self {
+            SketchFunc::Pctl(q) => format!("PCTL_S({q})"),
+            SketchFunc::CountDistinct => "COUNT_DISTINCT(Tid)".into(),
+            SketchFunc::TopK(k) => format!("TOP_K_S({k})"),
+        }
+    }
 }
 
 /// Comparison operators on time columns.
@@ -364,18 +398,70 @@ fn parse_item(p: &mut Parser) -> Result<SelectItem> {
     let name = p.ident()?;
     if matches!(p.peek(), Some(Token::LParen)) {
         p.next();
-        // Argument: * or a column name (ignored; aggregates run on Value).
-        match p.next() {
-            Some(Token::Star) | Some(Token::Ident(_)) => {}
+        let upper = name.to_ascii_uppercase();
+        // Sketch functions with a numeric argument parse first; everything
+        // else takes * or a column name.
+        match upper.as_str() {
+            "PCTL_S" => {
+                let q = match p.next() {
+                    Some(Token::Int(v)) => v as f64,
+                    Some(Token::Float(v)) => v,
+                    other => {
+                        return Err(MdbError::Query(format!(
+                            "PCTL_S needs a percentile 0..=100, found {other:?}"
+                        )))
+                    }
+                };
+                if !(0.0..=100.0).contains(&q) {
+                    return Err(MdbError::Query(format!(
+                        "PCTL_S percentile {q} out of range 0..=100"
+                    )));
+                }
+                expect_rparen(p)?;
+                return Ok(SelectItem::Sketch(SketchFunc::Pctl(q)));
+            }
+            "TOP_K_S" => {
+                let k = match p.next() {
+                    Some(Token::Int(v)) if v >= 1 => v as usize,
+                    other => {
+                        return Err(MdbError::Query(format!(
+                            "TOP_K_S needs an integer k >= 1, found {other:?}"
+                        )))
+                    }
+                };
+                expect_rparen(p)?;
+                return Ok(SelectItem::Sketch(SketchFunc::TopK(k)));
+            }
+            _ => {}
+        }
+        // Argument: * or a column name (ignored by aggregates, which run on
+        // Value; COUNT_DISTINCT insists on Tid — its argument is meaningful).
+        let arg = match p.next() {
+            Some(Token::Star) => None,
+            Some(Token::Ident(arg)) => Some(arg),
             other => return Err(MdbError::Query(format!("bad aggregate argument {other:?}"))),
-        }
-        match p.next() {
-            Some(Token::RParen) => {}
-            other => return Err(MdbError::Query(format!("expected ), found {other:?}"))),
-        }
-        return parse_agg_name(&name);
+        };
+        expect_rparen(p)?;
+        return match upper.as_str() {
+            "P50_S" => Ok(SelectItem::Sketch(SketchFunc::Pctl(50.0))),
+            "P99_S" => Ok(SelectItem::Sketch(SketchFunc::Pctl(99.0))),
+            "COUNT_DISTINCT" => match arg {
+                Some(arg) if !arg.eq_ignore_ascii_case("Tid") => Err(MdbError::Query(format!(
+                    "COUNT_DISTINCT counts distinct Tid, not {arg}"
+                ))),
+                _ => Ok(SelectItem::Sketch(SketchFunc::CountDistinct)),
+            },
+            _ => parse_agg_name(&name),
+        };
     }
     Ok(SelectItem::Column(name))
+}
+
+fn expect_rparen(p: &mut Parser) -> Result<()> {
+    match p.next() {
+        Some(Token::RParen) => Ok(()),
+        other => Err(MdbError::Query(format!("expected ), found {other:?}"))),
+    }
 }
 
 /// Resolves `SUM`, `SUM_S`, and `CUBE_SUM_HOUR` style names.
@@ -735,6 +821,44 @@ mod tests {
         assert!(parse("SELECT * FROM Segment LIMIT -1").is_err());
         assert!(parse("SELECT * FROM Segment trailing garbage '").is_err());
         assert!(parse("SELECT * FROM DataPoint WHERE TS >= 'not a date'").is_err());
+    }
+
+    #[test]
+    fn sketch_function_forms() {
+        for (sql, func) in [
+            ("P50_S(*)", SketchFunc::Pctl(50.0)),
+            ("P99_S(*)", SketchFunc::Pctl(99.0)),
+            ("p50_s(Value)", SketchFunc::Pctl(50.0)),
+            ("PCTL_S(50)", SketchFunc::Pctl(50.0)),
+            ("PCTL_S(99.9)", SketchFunc::Pctl(99.9)),
+            ("PCTL_S(0)", SketchFunc::Pctl(0.0)),
+            ("COUNT_DISTINCT(Tid)", SketchFunc::CountDistinct),
+            ("count_distinct(*)", SketchFunc::CountDistinct),
+            ("TOP_K_S(3)", SketchFunc::TopK(3)),
+            ("top_k_s(1)", SketchFunc::TopK(1)),
+        ] {
+            let q = parse(&format!("SELECT {sql} FROM Segment")).unwrap();
+            assert_eq!(q.items[0], SelectItem::Sketch(func), "{sql}");
+        }
+        assert_eq!(SketchFunc::Pctl(50.0).column_name(), "PCTL_S(50)");
+        assert_eq!(SketchFunc::Pctl(99.9).column_name(), "PCTL_S(99.9)");
+        assert_eq!(
+            SketchFunc::CountDistinct.column_name(),
+            "COUNT_DISTINCT(Tid)"
+        );
+        assert_eq!(SketchFunc::TopK(7).column_name(), "TOP_K_S(7)");
+    }
+
+    #[test]
+    fn rejects_malformed_sketch_functions() {
+        assert!(parse("SELECT PCTL_S(*) FROM Segment").is_err());
+        assert!(parse("SELECT PCTL_S(101) FROM Segment").is_err());
+        assert!(parse("SELECT PCTL_S(-1) FROM Segment").is_err());
+        assert!(parse("SELECT PCTL_S(50 FROM Segment").is_err());
+        assert!(parse("SELECT TOP_K_S(0) FROM Segment").is_err());
+        assert!(parse("SELECT TOP_K_S(*) FROM Segment").is_err());
+        assert!(parse("SELECT TOP_K_S(2.5) FROM Segment").is_err());
+        assert!(parse("SELECT COUNT_DISTINCT(Value) FROM Segment").is_err());
     }
 
     #[test]

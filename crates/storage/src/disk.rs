@@ -46,12 +46,14 @@ use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use mdb_types::{BlockMeta, Gid, MdbError, Result, SegmentRecord, ValueInterval};
+use mdb_types::{
+    BlockMeta, BlockSketch, BlockSketches, Gid, MdbError, Result, SegmentRecord, ValueInterval,
+};
 
 use crate::cache::{BlockCache, CacheStats};
 use crate::codec::{checksum, read_segment, write_segment};
 use crate::sidecar::{self, Sidecar};
-use crate::zone::{ValueBoundsFn, ZoneMap};
+use crate::zone::{SketchFeedFn, ValueBoundsFn, ZoneMap};
 use crate::{SegmentPredicate, SegmentStore};
 
 const BLOCK_MAGIC: u32 = 0x4D44_4253; // "MDBS"
@@ -71,6 +73,10 @@ pub struct DiskStoreOptions {
     /// (typically `mdb_models::segment_value_range` closed over the
     /// registry); without it only time statistics prune.
     pub value_bounds: Option<ValueBoundsFn>,
+    /// Sketch provider for per-block mergeable sketches (typically
+    /// `mdb_query::sketch_feed`); without it sketch queries are
+    /// unanswerable from this store.
+    pub sketch_feed: Option<SketchFeedFn>,
 }
 
 impl std::fmt::Debug for DiskStoreOptions {
@@ -79,6 +85,7 @@ impl std::fmt::Debug for DiskStoreOptions {
             .field("bulk_write_size", &self.bulk_write_size)
             .field("memory_budget_bytes", &self.memory_budget_bytes)
             .field("value_bounds", &self.value_bounds.is_some())
+            .field("sketch_feed", &self.sketch_feed.is_some())
             .finish()
     }
 }
@@ -110,6 +117,7 @@ pub struct DiskStore {
     /// block append and the next flush is covered by the suffix scan.
     sidecar_dirty: bool,
     value_bounds: Option<ValueBoundsFn>,
+    sketch_feed: Option<SketchFeedFn>,
     pruning: bool,
 }
 
@@ -139,8 +147,8 @@ impl DiskStore {
             dir,
             DiskStoreOptions {
                 bulk_write_size,
-                memory_budget_bytes: None,
                 value_bounds,
+                ..DiskStoreOptions::default()
             },
         )
     }
@@ -156,7 +164,12 @@ impl DiskStore {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("segments.log");
         let sidecar_path = dir.join("segments.idx");
-        let recovered = recover(&path, &sidecar_path, options.value_bounds.as_ref())?;
+        let recovered = recover(
+            &path,
+            &sidecar_path,
+            options.value_bounds.as_ref(),
+            options.sketch_feed.as_ref(),
+        )?;
         // Not truncated on open: recovery decided how much of the log
         // survives.
         let file = OpenOptions::new()
@@ -186,6 +199,7 @@ impl DiskStore {
             sidecar_dirty: false,
             bulk_write_size: options.bulk_write_size.max(1),
             value_bounds: options.value_bounds,
+            sketch_feed: options.sketch_feed,
             pruning: true,
         };
         if !recovered.sidecar_fresh && !store.blocks.is_empty() {
@@ -288,6 +302,7 @@ impl DiskStore {
             checksum(&payload),
             &self.write_buffer,
             &self.buffer_ranges,
+            self.sketch_feed.as_ref(),
         );
         let mut header = Vec::with_capacity(HEADER_BYTES);
         header.extend_from_slice(&BLOCK_MAGIC.to_le_bytes());
@@ -315,6 +330,7 @@ impl DiskStore {
             &Sidecar {
                 log_len: self.persistent_bytes,
                 value_bounded: self.value_bounds.is_some(),
+                sketched: self.sketch_feed.is_some(),
                 blocks: self.blocks.clone(),
                 zones: self.zones.clone(),
             },
@@ -352,6 +368,7 @@ fn summarize_block(
     payload_checksum: u32,
     segments: &[SegmentRecord],
     ranges: &[Option<ValueInterval>],
+    sketch_feed: Option<&SketchFeedFn>,
 ) -> BlockMeta {
     debug_assert_eq!(segments.len(), ranges.len());
     let mut meta = BlockMeta {
@@ -367,6 +384,7 @@ fn summarize_block(
         min_end: i64::MAX,
         max_end: i64::MIN,
         values: Some(ValueInterval::EMPTY),
+        sketches: sketch_feed.and_then(|feed| sketch_block(segments, feed)),
     };
     for (segment, range) in segments.iter().zip(ranges) {
         meta.min_gid = meta.min_gid.min(segment.gid);
@@ -381,6 +399,23 @@ fn summarize_block(
         };
     }
     meta
+}
+
+/// Runs the sketch feed over a batch of segments, grouped by gid (cluster
+/// primary-gid scoping needs per-group granularity). Shared by the write
+/// path, the streaming rescan, and the write-buffer contribution at query
+/// time, so persisted and recomputed sketches cannot diverge. `None` when
+/// any segment fails to decode — the block's sketches fail open.
+fn sketch_block(segments: &[SegmentRecord], feed: &SketchFeedFn) -> Option<Arc<BlockSketches>> {
+    let mut per_gid: std::collections::BTreeMap<Gid, BlockSketch> =
+        std::collections::BTreeMap::new();
+    for segment in segments {
+        let sketch = per_gid.entry(segment.gid).or_default();
+        if !feed(segment, sketch) {
+            return None;
+        }
+    }
+    Some(Arc::new(per_gid.into_iter().collect()))
 }
 
 /// Decodes one block payload into segment records.
@@ -421,6 +456,7 @@ fn recover(
     path: &Path,
     sidecar_path: &Path,
     value_bounds: Option<&ValueBoundsFn>,
+    sketch_feed: Option<&SketchFeedFn>,
 ) -> Result<Recovered> {
     let mut file = match File::open(path) {
         Ok(f) => f,
@@ -446,7 +482,17 @@ fn recover(
         // bounds would permanently disable value pruning a rescan can
         // restore (the other direction is fine — see [`Sidecar`]).
         let bounds_compatible = sc.value_bounded || value_bounds.is_none();
-        if bounds_compatible && sc.log_len <= actual_len && last_block_intact(&mut file, &sc) {
+        // Same rule for sketches: a sidecar written without a sketch feed
+        // (including any sidecar predating the sketch section) has no
+        // sketches to adopt, and adopting it when this open *has* a feed
+        // would leave sketch queries permanently unanswerable when a
+        // rescan can regenerate them from the blocks.
+        let sketch_compatible = sc.sketched || sketch_feed.is_none();
+        if bounds_compatible
+            && sketch_compatible
+            && sc.log_len <= actual_len
+            && last_block_intact(&mut file, &sc)
+        {
             scan_from = sc.log_len;
             sidecar_covered = sc.log_len;
             blocks = sc.blocks;
@@ -461,6 +507,7 @@ fn recover(
         actual_len,
         scan_from,
         value_bounds,
+        sketch_feed,
         &mut blocks,
         &mut zones,
     )?;
@@ -510,11 +557,13 @@ fn last_block_intact(file: &mut File, sc: &Sidecar) -> bool {
 /// (never the whole log at once), appending recovered block summaries and
 /// zone statistics. Returns the byte offset of the end of the last valid
 /// block; a torn or corrupt tail block simply stops the scan.
+#[allow(clippy::too_many_arguments)]
 fn scan_blocks_from(
     file: &mut File,
     actual_len: u64,
     mut offset: u64,
     value_bounds: Option<&ValueBoundsFn>,
+    sketch_feed: Option<&SketchFeedFn>,
     blocks: &mut Vec<BlockMeta>,
     zones: &mut ZoneMap,
 ) -> Result<u64> {
@@ -553,6 +602,7 @@ fn scan_blocks_from(
             expected,
             &segments,
             &ranges,
+            sketch_feed,
         ));
         offset = body_start + u64::from(payload_len);
     }
@@ -626,6 +676,54 @@ impl SegmentStore for DiskStore {
         // Buffered (not yet durable) segments scan last, in insert order.
         emit_matching_runs(&self.write_buffer, predicate, f);
         Ok(())
+    }
+
+    /// Answered from block *metadata* alone: no block body is fetched and
+    /// the cache counters do not move — the whole point of carrying
+    /// sketches in [`BlockMeta`]. The write buffer's (not yet summarized)
+    /// segments are sketched on the fly through the same shared helper.
+    fn merge_sketches(&self, scope: Option<&[Gid]>) -> Result<Option<BlockSketch>> {
+        let Some(feed) = self.sketch_feed.as_ref() else {
+            return Ok(None);
+        };
+        let sorted_scope: Option<Vec<Gid>> = scope.map(|gids| {
+            let mut sorted = gids.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            sorted
+        });
+        let in_scope = |gid: Gid| {
+            sorted_scope
+                .as_deref()
+                .is_none_or(|s| s.binary_search(&gid).is_ok())
+        };
+        let mut merged = BlockSketch::new();
+        let mut merge_set = |sketches: &BlockSketches| {
+            for (gid, sketch) in sketches {
+                if in_scope(*gid) {
+                    merged.merge(sketch);
+                }
+            }
+        };
+        for meta in &self.blocks {
+            if let Some(gids) = sorted_scope.as_deref() {
+                if meta.excludes_gids(gids) {
+                    continue;
+                }
+            }
+            match meta.sketches.as_ref() {
+                Some(sketches) => merge_set(sketches),
+                // A block without sketches (a segment failed to decode at
+                // write time) makes the merged answer unsound: report the
+                // store as sketch-less rather than answer wrong.
+                None => return Ok(None),
+            }
+        }
+        match sketch_block(&self.write_buffer, feed) {
+            Some(sketches) => merge_set(&sketches),
+            None => return Ok(None),
+        }
+        Ok(Some(merged))
     }
 
     fn zones(&self) -> Option<&ZoneMap> {
@@ -1010,7 +1108,7 @@ mod tests {
             DiskStoreOptions {
                 bulk_write_size: block_segments,
                 memory_budget_bytes: Some(budget),
-                value_bounds: None,
+                ..DiskStoreOptions::default()
             },
         )
         .unwrap();

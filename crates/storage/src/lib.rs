@@ -32,13 +32,13 @@ pub mod memory;
 pub mod sidecar;
 pub mod zone;
 
-use mdb_types::{Gid, Result, SegmentRecord, Timestamp, ValueInterval};
+use mdb_types::{BlockSketch, Gid, Result, SegmentRecord, Timestamp, ValueInterval};
 
 pub use cache::{BlockCache, CacheStats};
 pub use catalog::Catalog;
 pub use disk::{DiskStore, DiskStoreOptions};
 pub use memory::MemoryStore;
-pub use zone::{GidZone, ValueBoundsFn, ZoneMap, ZoneRun, ZoneValues};
+pub use zone::{GidZone, SketchFeedFn, ValueBoundsFn, ZoneMap, ZoneRun, ZoneValues};
 
 /// Predicates pushed down to the segment store (Section 6.2: the store only
 /// needs to index one id per segment — the Gid — plus the time interval).
@@ -169,6 +169,18 @@ pub trait SegmentStore: Send + Sync {
             self.insert(segment)?;
         }
         Ok(())
+    }
+
+    /// Merges the per-group sketches covering every stored segment
+    /// (optionally restricted to the groups in `scope`) **without touching
+    /// segment bodies** — for the disk store this reads block metadata
+    /// only, never the `BlockCache`. `Ok(None)` means sketch queries are
+    /// unanswerable here: the store has no sketch feed configured, or some
+    /// segment could not be fed (sketches fail open like every other
+    /// statistic). `Ok(Some)` with an empty sketch means "maintained, but
+    /// nothing stored in scope".
+    fn merge_sketches(&self, _scope: Option<&[Gid]>) -> Result<Option<BlockSketch>> {
+        Ok(None)
     }
 
     /// The store's zone map, if it maintains one (both built-in stores do).

@@ -4,9 +4,9 @@
 
 use std::collections::BTreeMap;
 
-use mdb_types::{Gid, Result, SegmentRecord};
+use mdb_types::{BlockSketch, Gid, Result, SegmentRecord};
 
-use crate::zone::{ValueBoundsFn, ZoneMap};
+use crate::zone::{SketchFeedFn, ValueBoundsFn, ZoneMap};
 use crate::{SegmentPredicate, SegmentStore};
 
 /// Heap-backed store, ordered by `(gid, end_time, gaps)` like the
@@ -19,6 +19,17 @@ pub struct MemoryStore {
     /// Computes stored-value ranges for the zone map; without it, runs are
     /// unbounded and only time statistics prune.
     value_bounds: Option<ValueBoundsFn>,
+    /// Feeds inserted segments into the per-group sketches; without it
+    /// sketch queries are unanswerable from this store.
+    sketch_feed: Option<SketchFeedFn>,
+    /// Per-group sketches over every inserted segment (the in-memory
+    /// analogue of the disk store's per-block sketches — one "block").
+    sketches: BTreeMap<Gid, BlockSketch>,
+    /// Cleared when a segment could not be fed (sketches then fail open),
+    /// mirroring a disk block with `sketches: None`. A rare duplicate-key
+    /// overwrite also clears it: sketch counts are not subtractable, and
+    /// the compression pipeline never produces duplicates.
+    sketches_sound: bool,
     pruning: bool,
 }
 
@@ -47,6 +58,9 @@ impl MemoryStore {
             logical_bytes: 0,
             zones: ZoneMap::new(),
             value_bounds: None,
+            sketch_feed: None,
+            sketches: BTreeMap::new(),
+            sketches_sound: true,
             pruning: true,
         }
     }
@@ -59,6 +73,14 @@ impl MemoryStore {
             value_bounds: Some(value_bounds),
             ..Self::new()
         }
+    }
+
+    /// Builder: additionally maintain per-group sketches on insert, fed by
+    /// `sketch_feed` (typically `mdb_query::sketch_feed`), enabling
+    /// [`SegmentStore::merge_sketches`].
+    pub fn with_sketch_feed(mut self, sketch_feed: SketchFeedFn) -> Self {
+        self.sketch_feed = Some(sketch_feed);
+        self
     }
 
     /// Enables or disables zone-map pruning in [`SegmentStore::scan`] (the
@@ -74,9 +96,18 @@ impl SegmentStore for MemoryStore {
         let range = self.value_bounds.as_ref().and_then(|f| f(&segment));
         self.zones.insert(&segment, range);
         self.logical_bytes += segment.storage_bytes() as u64;
+        if let Some(feed) = self.sketch_feed.as_ref() {
+            let sketch = self.sketches.entry(segment.gid).or_default();
+            if !feed(&segment, sketch) {
+                self.sketches_sound = false;
+            }
+        }
         let key = (segment.gid, segment.end_time, segment.gaps.0);
         if let Some(old) = self.segments.insert(key, segment) {
             self.logical_bytes -= old.storage_bytes() as u64;
+            // The duplicate's first insertion was already sketched and
+            // cannot be subtracted back out.
+            self.sketches_sound = false;
         }
         Ok(())
     }
@@ -152,6 +183,19 @@ impl SegmentStore for MemoryStore {
             }
         }
         Ok(())
+    }
+
+    fn merge_sketches(&self, scope: Option<&[Gid]>) -> Result<Option<BlockSketch>> {
+        if self.sketch_feed.is_none() || !self.sketches_sound {
+            return Ok(None);
+        }
+        let mut merged = BlockSketch::new();
+        for (gid, sketch) in &self.sketches {
+            if scope.is_none_or(|s| s.contains(gid)) {
+                merged.merge(sketch);
+            }
+        }
+        Ok(Some(merged))
     }
 
     fn zones(&self) -> Option<&ZoneMap> {

@@ -21,7 +21,9 @@
 use std::io::Write;
 use std::path::Path;
 
-use mdb_types::{BlockMeta, Result, ValueInterval};
+use std::sync::Arc;
+
+use mdb_types::{BlockMeta, BlockSketch, BlockSketches, Result, ValueInterval};
 
 use crate::codec::checksum;
 use crate::zone::{GidZone, ZoneMap, ZoneRun, ZoneValues};
@@ -41,6 +43,11 @@ pub struct Sidecar {
     /// restore. (The other direction is fine: bounded statistics only
     /// over-approximate.)
     pub value_bounded: bool,
+    /// Whether the statistics were computed with a sketch feed. Same
+    /// adoption rule as `value_bounded`: a store opened *with* a feed must
+    /// not adopt a sketch-less sidecar (including any written before the
+    /// sketch section existed) — a rescan regenerates the sketches.
+    pub sketched: bool,
     /// One summary per block, in log order.
     pub blocks: Vec<BlockMeta>,
     /// The zone map over every segment in those blocks.
@@ -82,6 +89,30 @@ pub fn write(path: &Path, sidecar: &Sidecar) -> Result<()> {
             put_i64(&mut body, run.max_end);
             put_values(&mut body, &run.values);
             put_u32(&mut body, run.segments);
+        }
+    }
+    // Sketch section (this trails the original layout so a pre-sketch
+    // parser's notion of the body simply ended here; a pre-sketch *file*
+    // conversely parses as `sketched: false` with no per-block sketches).
+    // Per block: a presence flag, then gid-tagged length-prefixed sketch
+    // bytes in gid order. The sketch bytes carry their own format version
+    // (`mdb_sketch::SKETCH_FORMAT_VERSION`), and the body checksum covers
+    // the whole section, so truncation or corruption rejects the sidecar
+    // and the store falls back to the streaming rescan.
+    body.push(u8::from(sidecar.sketched));
+    for block in &sidecar.blocks {
+        match &block.sketches {
+            None => body.push(0),
+            Some(sketches) => {
+                body.push(1);
+                put_u32(&mut body, sketches.len() as u32);
+                for (gid, sketch) in sketches.iter() {
+                    put_u32(&mut body, *gid);
+                    let bytes = sketch.to_bytes();
+                    put_u32(&mut body, bytes.len() as u32);
+                    body.extend_from_slice(&bytes);
+                }
+            }
         }
     }
     let mut file_bytes = Vec::with_capacity(16 + body.len());
@@ -150,6 +181,8 @@ fn parse(bytes: &[u8]) -> Option<Sidecar> {
             min_end: cur.i64()?,
             max_end: cur.i64()?,
             values: cur.opt_interval()?,
+            // Filled in by the trailing sketch section, when present.
+            sketches: None,
         });
     }
     let mut zones = ZoneMap::new();
@@ -182,9 +215,42 @@ fn parse(bytes: &[u8]) -> Option<Sidecar> {
             },
         );
     }
+    // Optional sketch section: absent in pre-sketch sidecars (the body
+    // ended at the zones), present — even if only as flags — in everything
+    // written since.
+    let mut sketched = false;
+    if !cur.at_end() {
+        sketched = match cur.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        for block in &mut blocks {
+            match cur.u8()? {
+                0 => {}
+                1 => {
+                    let n = cur.u32()? as usize;
+                    let mut sketches: BlockSketches = Vec::with_capacity(n.min(1 << 16));
+                    let mut prev: Option<u32> = None;
+                    for _ in 0..n {
+                        let gid = cur.u32()?;
+                        if prev.is_some_and(|p| p >= gid) {
+                            return None; // not in canonical gid order
+                        }
+                        prev = Some(gid);
+                        let len = cur.u32()? as usize;
+                        sketches.push((gid, BlockSketch::from_bytes(cur.take(len)?)?));
+                    }
+                    block.sketches = Some(Arc::new(sketches));
+                }
+                _ => return None,
+            }
+        }
+    }
     cur.at_end().then_some(Sidecar {
         log_len,
         value_bounded,
+        sketched,
         blocks,
         zones,
     })
@@ -318,9 +384,18 @@ mod tests {
                 (i % 7 != 0).then(|| ValueInterval::new(-1.0 - i as f64, i as f64)),
             );
         }
+        let mut sketch_a = BlockSketch::new();
+        let mut sketch_b = BlockSketch::new();
+        for i in 0..40u32 {
+            sketch_a.quantiles.insert(f64::from(i) * 0.25 - 3.0);
+            sketch_a.distinct.insert(u64::from(i % 7));
+            sketch_a.topk.add(i % 7, 10);
+            sketch_b.quantiles.insert(-f64::from(i));
+        }
         Sidecar {
             log_len: 12_345,
             value_bounded: true,
+            sketched: true,
             blocks: vec![
                 BlockMeta {
                     offset: 0,
@@ -335,6 +410,7 @@ mod tests {
                     min_end: 900,
                     max_end: 49_900,
                     values: Some(ValueInterval::new(f64::NEG_INFINITY, 3.5)),
+                    sketches: Some(Arc::new(vec![(1, sketch_a), (3, sketch_b)])),
                 },
                 BlockMeta {
                     offset: 6000,
@@ -349,6 +425,7 @@ mod tests {
                     min_end: 50_900,
                     max_end: 99_900,
                     values: None,
+                    sketches: None,
                 },
             ],
             zones,
@@ -396,5 +473,41 @@ mod tests {
         let sidecar = Sidecar::default();
         write(&path, &sidecar).unwrap();
         assert_eq!(load(&path).unwrap(), Some(sidecar));
+    }
+
+    /// A sidecar written before the sketch section existed — its body ends
+    /// at the zone map — must still load, as `sketched: false` with no
+    /// per-block sketches (the store then rescans if it wants sketches).
+    #[test]
+    fn pre_sketch_sidecar_still_loads() {
+        let (_dir, path) = temp("legacy");
+        let mut sidecar = sample();
+        sidecar.sketched = false;
+        for block in &mut sidecar.blocks {
+            block.sketches = None;
+        }
+        write(&path, &sidecar).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // With no sketches the section is exactly the `sketched` flag plus
+        // one presence byte per block; chopping it (and fixing the header's
+        // body length and checksum) reproduces the pre-sketch layout.
+        let section = 1 + sidecar.blocks.len();
+        bytes.truncate(bytes.len() - section);
+        let body_len = (bytes.len() - 16) as u32;
+        bytes[12..16].copy_from_slice(&body_len.to_le_bytes());
+        let body_checksum = checksum(&bytes[16..]);
+        bytes[8..12].copy_from_slice(&body_checksum.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let back = load(&path).unwrap().expect("legacy sidecar loads");
+        assert_eq!(back, sidecar);
+
+        // A *truncated* sketch section, by contrast, is rejected outright
+        // (the checksum no longer matches), forcing the rescan fallback.
+        write(&path, &sample()).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in 1..section + 20 {
+            std::fs::write(&path, &full[..full.len() - cut]).unwrap();
+            assert_eq!(load(&path).unwrap(), None, "cut {cut} undetected");
+        }
     }
 }

@@ -22,13 +22,20 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use mdb_types::{Gid, SegmentRecord, Timestamp, ValueInterval};
+use mdb_types::{BlockSketch, Gid, SegmentRecord, Timestamp, ValueInterval};
 
 use crate::SegmentPredicate;
 
 /// Computes the stored-value range of a segment on the write path, or `None`
 /// when it cannot be known cheaply (the run then becomes unbounded).
 pub type ValueBoundsFn = Arc<dyn Fn(&SegmentRecord) -> Option<ValueInterval> + Send + Sync>;
+
+/// Feeds one segment — its member time series ids and every reconstructed
+/// data-point value — into a block sketch on the write path (typically
+/// `mdb_query::sketch_feed` closed over the catalog and model registry).
+/// Returns `false` when the segment cannot be decoded; the enclosing
+/// block's sketches then fail open to `None`, like every other statistic.
+pub type SketchFeedFn = Arc<dyn Fn(&SegmentRecord, &mut BlockSketch) -> bool + Send + Sync>;
 
 /// How many segments a run covers before a new one is started. Small enough
 /// that a time-ranged query over months of data skips most runs; large

@@ -8,9 +8,18 @@
 //! contains no matching segment, while a fetched block may still contain
 //! non-matching segments that the per-segment predicate filters out.
 
+use std::sync::Arc;
+
 use crate::datapoint::Timestamp;
 use crate::interval::ValueInterval;
 use crate::meta::Gid;
+
+/// Per-group mergeable sketches over one block's segments, sorted by group
+/// id. The per-group granularity is what lets the cluster's primary-gid
+/// scoping pick exactly the non-replicated contributions out of a replica's
+/// blocks; merging the selected entries across blocks (in any order — see
+/// [`mdb_sketch`]) answers sketch queries without fetching a single body.
+pub type BlockSketches = Vec<(Gid, mdb_sketch::BlockSketch)>;
 
 /// Per-block statistics over the segments stored in one log block.
 ///
@@ -18,7 +27,7 @@ use crate::meta::Gid;
 /// the remaining fields summarize its payload. The summary is exactly what
 /// the persistent sidecar index (`segments.idx`) serializes, so a store can
 /// open without scanning or decoding the log itself.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockMeta {
     /// Byte offset of the block header in the log file.
     pub offset: u64,
@@ -49,6 +58,13 @@ pub struct BlockMeta {
     /// one segment's range is unknown (value pruning then cannot skip the
     /// block, which is sound: statistics fail open).
     pub values: Option<ValueInterval>,
+    /// Per-group mergeable sketches over the block's reconstructed values,
+    /// or `None` when the store has no sketch feed (or a segment could not
+    /// be decoded — sketches, like every block statistic, fail open).
+    /// Shared behind an `Arc` because block summaries are cloned freely
+    /// (sidecar writes, recovery) while sketches are the one non-trivial
+    /// field.
+    pub sketches: Option<Arc<BlockSketches>>,
 }
 
 impl BlockMeta {
@@ -98,6 +114,7 @@ mod tests {
             min_end: 1_900,
             max_end: 5_900,
             values: Some(ValueInterval::new(-2.0, 9.0)),
+            sketches: None,
         }
     }
 

@@ -34,12 +34,13 @@ pub mod segment;
 pub mod time;
 
 pub use batch::{BatchView, RowBatch};
-pub use block::BlockMeta;
+pub use block::{BlockMeta, BlockSketches};
 pub use bound::ErrorBound;
 pub use datapoint::{DataPoint, Tid, Timestamp, Value};
 pub use dimensions::{DimensionSchema, Dimensions, MemberId, LEVEL_TOP};
 pub use error::{MdbError, Result};
 pub use interval::ValueInterval;
+pub use mdb_sketch::BlockSketch;
 pub use meta::{Gid, GroupMeta, TimeSeriesMeta};
 pub use segment::{GapsMask, SegmentRecord, MAX_GROUP_SIZE};
 pub use time::TimeLevel;

@@ -5,7 +5,11 @@
 //! garbage), reopening the store must recover **exactly** the segments of
 //! the surviving valid blocks — never an error, never a partial block, never
 //! a resurrected one — rebuild the same zone map those segments imply, and
-//! leave behind a fresh sidecar describing the recovered state.
+//! leave behind a fresh sidecar describing the recovered state. When the
+//! store maintains sketches, recovery must also regenerate them: a sidecar
+//! that predates the sketch section (or whose sketch bytes are damaged) is
+//! rejected in favour of a streaming rescan that rebuilds the sketches from
+//! the surviving blocks.
 
 use std::sync::Arc;
 
@@ -13,8 +17,8 @@ use mdb_testutil::TempDir;
 use proptest::prelude::*;
 
 use modelardb::{
-    scan_to_vec, DiskStore, DiskStoreOptions, GapsMask, SegmentPredicate, SegmentRecord,
-    SegmentStore, ValueBoundsFn, ValueInterval, ZoneMap,
+    scan_to_vec, BlockSketch, DiskStore, DiskStoreOptions, GapsMask, SegmentPredicate,
+    SegmentRecord, SegmentStore, SketchFeedFn, ValueBoundsFn, ValueInterval, ZoneMap,
 };
 
 /// Size of a block header in `segments.log`: six u32 fields (magic,
@@ -49,12 +53,36 @@ fn bounds() -> ValueBoundsFn {
     })
 }
 
-fn options(with_bounds: bool) -> DiskStoreOptions {
+/// A synthetic sketch feed over the synthetic segments of this suite: the
+/// sketches derive from segment fields alone, so the sketch state a recovery
+/// must regenerate is computable directly from the expected segment list.
+fn feed() -> SketchFeedFn {
+    Arc::new(|s: &SegmentRecord, sketch: &mut BlockSketch| {
+        sketch.quantiles.insert(s.start_time as f64);
+        sketch.distinct.insert(u64::from(s.gid));
+        sketch.topk.add(s.gid, 1);
+        true
+    })
+}
+
+/// The sketch state any store holding exactly `segments` must report
+/// (sketch merging is order-independent, so one flat pass suffices).
+fn expected_sketch(segments: &[SegmentRecord]) -> BlockSketch {
+    let feed = feed();
+    let mut sketch = BlockSketch::new();
+    for s in segments {
+        feed(s, &mut sketch);
+    }
+    sketch
+}
+
+fn options(with_bounds: bool, with_feed: bool) -> DiskStoreOptions {
     DiskStoreOptions {
         // Larger than any case writes: blocks are cut by explicit flushes.
         bulk_write_size: 1 << 20,
         memory_budget_bytes: None,
         value_bounds: with_bounds.then(bounds),
+        sketch_feed: with_feed.then(feed),
     }
 }
 
@@ -69,6 +97,7 @@ proptest! {
         sidecar_action in 0usize..4,
         stale_frac in 0.0f64..1.0,
         with_bounds in proptest::bool::ANY,
+        with_feed in proptest::bool::ANY,
     ) {
         let case = case_dir();
         let dir = case.path();
@@ -79,7 +108,7 @@ proptest! {
         let mut block_ends: Vec<u64> = Vec::new();
         let mut sidecar_snapshots: Vec<Vec<u8>> = Vec::new();
         {
-            let mut store = DiskStore::open_with(dir, options(with_bounds)).unwrap();
+            let mut store = DiskStore::open_with(dir, options(with_bounds, with_feed)).unwrap();
             let mut i = 0;
             for size in &block_sizes {
                 let mut block = Vec::new();
@@ -147,10 +176,19 @@ proptest! {
             .flatten()
             .cloned()
             .collect();
-        let store = DiskStore::open_with(dir, options(with_bounds)).unwrap();
+        let store = DiskStore::open_with(dir, options(with_bounds, with_feed)).unwrap();
         let recovered = scan_to_vec(&store, &SegmentPredicate::all()).unwrap();
         prop_assert_eq!(&recovered, &expected);
         prop_assert_eq!(store.len(), expected.len());
+
+        // A sketch-maintaining store regenerates exactly the sketches the
+        // surviving segments imply, whatever happened to the log or sidecar.
+        if with_feed {
+            prop_assert_eq!(
+                store.merge_sketches(None).unwrap().as_ref(),
+                Some(&expected_sketch(&expected))
+            );
+        }
 
         // The zone map equals the one those segments imply.
         let mut expected_zones = ZoneMap::new();
@@ -170,9 +208,125 @@ proptest! {
         if !expected.is_empty() {
             prop_assert!(sidecar_path.exists(), "sidecar must be rebuilt");
         }
-        let store = DiskStore::open_with(dir, options(with_bounds)).unwrap();
+        let store = DiskStore::open_with(dir, options(with_bounds, with_feed)).unwrap();
         prop_assert_eq!(&scan_to_vec(&store, &SegmentPredicate::all()).unwrap(), &expected);
         prop_assert_eq!(store.zones(), Some(&expected_zones));
+        if with_feed {
+            // The rebuilt sidecar persisted the sketches; the adopted copy
+            // answers identically to the rescan that produced it.
+            prop_assert_eq!(
+                store.merge_sketches(None).unwrap().as_ref(),
+                Some(&expected_sketch(&expected))
+            );
+        }
+    }
+}
+
+/// Version migration: a sidecar written before the store maintained
+/// sketches (`sketched: false`) must NOT be adopted by an open that has a
+/// sketch feed — adopting it would leave sketch queries permanently
+/// unanswerable. Instead the open falls back to the streaming rescan, which
+/// regenerates the sketches from the blocks and rewrites the sidecar; the
+/// next open adopts that rewritten, sketch-bearing sidecar and agrees.
+#[test]
+fn pre_sketch_sidecar_falls_back_to_rescan_that_regenerates_sketches() {
+    let case = case_dir();
+    let dir = case.path();
+    let mut all = Vec::new();
+    {
+        // The "old version": no sketch feed, sidecar has no sketches.
+        let mut store = DiskStore::open_with(dir, options(true, false)).unwrap();
+        for i in 0..25 {
+            let s = seg(i);
+            store.insert(s.clone()).unwrap();
+            all.push(s);
+            if i % 8 == 7 {
+                store.flush().unwrap();
+            }
+        }
+        store.flush().unwrap();
+        assert_eq!(store.merge_sketches(None).unwrap(), None);
+    }
+
+    // "Upgrade": reopen with a feed. The sketch-less sidecar is rejected,
+    // the rescan recovers every segment and regenerates their sketches.
+    let store = DiskStore::open_with(dir, options(true, true)).unwrap();
+    assert_eq!(scan_to_vec(&store, &SegmentPredicate::all()).unwrap(), all);
+    let merged = store.merge_sketches(None).unwrap();
+    assert_eq!(merged.as_ref(), Some(&expected_sketch(&all)));
+
+    // Scoped merges see only the requested gids' segments.
+    let scope = [1u32, 3];
+    let in_scope: Vec<SegmentRecord> = all
+        .iter()
+        .filter(|s| scope.contains(&s.gid))
+        .cloned()
+        .collect();
+    assert_eq!(
+        store.merge_sketches(Some(&scope)).unwrap().as_ref(),
+        Some(&expected_sketch(&in_scope))
+    );
+    drop(store);
+
+    // The rescan rewrote the sidecar with the sketch section; a third open
+    // adopts it (no rescan this time) and answers identically.
+    let store = DiskStore::open_with(dir, options(true, true)).unwrap();
+    assert_eq!(scan_to_vec(&store, &SegmentPredicate::all()).unwrap(), all);
+    assert_eq!(
+        store.merge_sketches(None).unwrap().as_ref(),
+        Some(&expected_sketch(&all))
+    );
+}
+
+/// A damaged sketch section — the sidecar's trailing bytes — fails the body
+/// checksum, so the whole sidecar is rejected and the rescan regenerates
+/// both the segments and their sketches.
+#[test]
+fn corrupt_or_truncated_sketch_section_triggers_sketch_rebuilding_rescan() {
+    let case = case_dir();
+    let dir = case.path();
+    let mut all = Vec::new();
+    {
+        let mut store = DiskStore::open_with(dir, options(true, true)).unwrap();
+        for i in 0..20 {
+            let s = seg(i);
+            store.insert(s.clone()).unwrap();
+            all.push(s);
+            if i % 7 == 6 {
+                store.flush().unwrap();
+            }
+        }
+        store.flush().unwrap();
+    }
+    let sidecar_path = dir.join("segments.idx");
+    let pristine = std::fs::read(&sidecar_path).unwrap();
+
+    // Damage modes aimed at the sketch section, which trails the file:
+    // flip the last byte, flip a byte a little further in, truncate one
+    // byte, truncate a whole sketch-sized chunk.
+    let damaged: Vec<Vec<u8>> = vec![
+        {
+            let mut b = pristine.clone();
+            *b.last_mut().unwrap() ^= 0xFF;
+            b
+        },
+        {
+            let mut b = pristine.clone();
+            let at = b.len() - 40;
+            b[at] ^= 0x01;
+            b
+        },
+        pristine[..pristine.len() - 1].to_vec(),
+        pristine[..pristine.len() - 120].to_vec(),
+    ];
+    for bytes in damaged {
+        std::fs::write(&sidecar_path, &bytes).unwrap();
+        let store = DiskStore::open_with(dir, options(true, true)).unwrap();
+        assert_eq!(scan_to_vec(&store, &SegmentPredicate::all()).unwrap(), all);
+        assert_eq!(
+            store.merge_sketches(None).unwrap().as_ref(),
+            Some(&expected_sketch(&all))
+        );
     }
 }
 
@@ -184,7 +338,7 @@ fn writes_after_recovery_extend_the_truncated_log() {
     let case = case_dir();
     let dir = case.path();
     {
-        let mut store = DiskStore::open_with(dir, options(true)).unwrap();
+        let mut store = DiskStore::open_with(dir, options(true, false)).unwrap();
         for i in 0..30 {
             store.insert(seg(i)).unwrap();
             if i % 10 == 9 {
@@ -202,7 +356,7 @@ fn writes_after_recovery_extend_the_truncated_log() {
     file.set_len(len - 1).unwrap();
     std::fs::remove_file(dir.join("segments.idx")).unwrap();
 
-    let mut store = DiskStore::open_with(dir, options(true)).unwrap();
+    let mut store = DiskStore::open_with(dir, options(true, false)).unwrap();
     assert_eq!(store.len(), 20, "two intact blocks survive");
     for i in 30..35 {
         store.insert(seg(i)).unwrap();
@@ -210,7 +364,7 @@ fn writes_after_recovery_extend_the_truncated_log() {
     store.flush().unwrap();
     drop(store);
 
-    let store = DiskStore::open_with(dir, options(true)).unwrap();
+    let store = DiskStore::open_with(dir, options(true, false)).unwrap();
     let expected: Vec<SegmentRecord> = (0..20).chain(30..35).map(seg).collect();
     assert_eq!(
         scan_to_vec(&store, &SegmentPredicate::all()).unwrap(),
