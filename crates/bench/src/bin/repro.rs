@@ -8,7 +8,7 @@
 //! experiments:
 //!   table1  fig13  fig14  fig15  fig16  fig17  fig18  fig19  fig20
 //!   fig21   fig22  fig23  fig24  fig25  fig26  fig27  fig28  mgc
-//!   ingest  query  storage  sketch  chaos  all
+//!   ingest  query  storage  scan  sketch  chaos  all
 //! ```
 //!
 //! Unknown experiments, scales, or options exit non-zero with a usage
@@ -19,9 +19,11 @@
 //! `BENCH_query.json` (time-ranged `SUM_S`/`AVG_S` latency for the plain
 //! sequential scan vs the pruned-parallel path), and `storage` writes
 //! `BENCH_storage.json` (sidecar-assisted vs full-log-scan reopen time and
-//! the resident-segment peak under a bounded memory budget), and `sketch`
-//! writes `BENCH_sketch.json` (metadata-only sketch queries vs their exact
-//! full-scan equivalents) so the perf
+//! the resident-segment peak under a bounded memory budget), `scan` writes
+//! `BENCH_scan.json` (cold-cache full-span aggregate scans over the v1
+//! decode path vs the zero-copy v2 view path, prefetch off and on), and
+//! `sketch` writes `BENCH_sketch.json` (metadata-only sketch queries vs
+//! their exact full-scan equivalents) so the perf
 //! trajectory is machine-readable across commits. `gate` compares a freshly produced
 //! `BENCH_*.json` against a committed baseline and fails (exit 1) on more
 //! than `--tolerance`-fold regression — of the machine-portable speedup
@@ -46,10 +48,10 @@ use modelardb::{CompressionConfig, ErrorBound, ModelRegistry, SegmentStore};
 const SEED: u64 = 42;
 const BOUNDS: [f64; 4] = [0.0, 1.0, 5.0, 10.0];
 
-const EXPERIMENTS: [&str; 23] = [
+const EXPERIMENTS: [&str; 24] = [
     "table1", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
     "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "mgc", "ingest", "query",
-    "storage", "sketch", "chaos",
+    "storage", "scan", "sketch", "chaos",
 ];
 
 fn usage() -> String {
@@ -210,6 +212,9 @@ fn run_experiments(experiment: &str, scale: Scale, scale_name: &str) {
     if run("storage") {
         storage_rates(scale, scale_name);
     }
+    if run("scan") {
+        scan_rates(scale, scale_name);
+    }
     if run("sketch") {
         sketch_rates(scale, scale_name);
     }
@@ -346,6 +351,7 @@ fn storage_rates(scale: Scale, scale_name: &str) {
     /// Block-cache budget for the bounded-resident pass.
     const BUDGET: u64 = 96 * 1024;
     let mut rows = Vec::new();
+    let mut cache_rows = Vec::new();
     let mut entries = Vec::new();
     for ds in [ep(SEED, scale).unwrap(), eh(SEED, scale).unwrap()] {
         let ticks = (ds.scale.ticks * 16).max(20_000);
@@ -364,43 +370,45 @@ fn storage_rates(scale: Scale, scale_name: &str) {
         let catalog = catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap();
         let registry = Arc::new(ModelRegistry::standard());
         let bounds = modelardb::value_bounds_fn(&catalog, &registry);
-        let open = |budget: Option<u64>| {
+        let open = |budget: Option<u64>, prefetch: usize| {
             modelardb::DiskStore::open_with(
                 &dir,
                 modelardb::DiskStoreOptions {
                     bulk_write_size: BULK,
                     memory_budget_bytes: budget,
                     value_bounds: Some(std::sync::Arc::clone(&bounds)),
-                    sketch_feed: None,
+                    prefetch_depth: prefetch,
+                    ..Default::default()
                 },
             )
             .expect("reopen")
         };
-        let blocks = open(None).block_count();
+        let blocks = open(None, 0).block_count();
         // Sanity: both reopen paths must recover identical segments.
-        let via_sidecar = store_segments(&open(None));
+        let via_sidecar = store_segments(&open(None, 0));
         std::fs::remove_file(dir.join("segments.idx")).expect("sidecar present");
-        let rebuilt = open(None);
+        let rebuilt = open(None, 0);
         assert_eq!(via_sidecar, store_segments(&rebuilt), "{}", ds.name);
         drop(rebuilt); // its open rewrote the sidecar
         let mut sidecar_elapsed = Duration::MAX;
         let mut logscan_elapsed = Duration::MAX;
         for _ in 0..REPS {
             // Interleaved so machine-load drift cannot bias one path.
-            let (_, elapsed) = timed(|| std::hint::black_box(open(None).len()));
+            let (_, elapsed) = timed(|| std::hint::black_box(open(None, 0).len()));
             sidecar_elapsed = sidecar_elapsed.min(elapsed);
             std::fs::remove_file(dir.join("segments.idx")).expect("sidecar present");
-            let (_, elapsed) = timed(|| std::hint::black_box(open(None).len()));
+            let (_, elapsed) = timed(|| std::hint::black_box(open(None, 0).len()));
             logscan_elapsed = logscan_elapsed.min(elapsed);
         }
         let speedup = logscan_elapsed.as_secs_f64() / sidecar_elapsed.as_secs_f64().max(1e-9);
 
-        // Bounded-cache pass: scan the whole store and record the resident
-        // high-water mark.
-        let bounded = open(Some(BUDGET));
+        // Bounded-cache pass: scan the whole store with the prefetcher on
+        // and record the resident high-water mark plus the cache counters.
+        let bounded = open(Some(BUDGET), 2);
         let all = store_segments(&bounded);
         assert_eq!(all.len(), segments, "{}", ds.name);
         let peak = bounded.resident_segment_peak();
+        let cache = bounded.cache_stats();
         drop(bounded);
 
         rows.push(vec![
@@ -412,12 +420,22 @@ fn storage_rates(scale: Scale, scale_name: &str) {
             format!("{speedup:.2}x"),
             format!("{peak}/{segments}"),
         ]);
+        cache_rows.push(vec![
+            ds.name.clone(),
+            fmt_bytes(cache.bytes_read),
+            cache.prefetch_issued.to_string(),
+            cache.prefetch_hits.to_string(),
+            cache.decode_validations.to_string(),
+            cache.owned_decodes.to_string(),
+        ]);
         entries.push(format!(
             concat!(
                 "    {{\"dataset\": \"{}\", \"ticks\": {}, \"segments\": {}, \"blocks\": {}, ",
                 "\"sidecar_reopen_ms\": {:.3}, \"logscan_reopen_ms\": {:.3}, ",
                 "\"reopen_speedup\": {:.3}, \"budget_bytes\": {}, ",
-                "\"peak_resident_segments\": {}}}"
+                "\"peak_resident_segments\": {}, \"bytes_read\": {}, ",
+                "\"prefetch_issued\": {}, \"prefetch_hits\": {}, ",
+                "\"decode_validations\": {}}}"
             ),
             ds.name,
             ticks,
@@ -428,6 +446,10 @@ fn storage_rates(scale: Scale, scale_name: &str) {
             speedup,
             BUDGET,
             peak,
+            cache.bytes_read,
+            cache.prefetch_issued,
+            cache.prefetch_hits,
+            cache.decode_validations,
         ));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -444,6 +466,18 @@ fn storage_rates(scale: Scale, scale_name: &str) {
         ],
         &rows,
     );
+    print_figure(
+        "Block cache counters (bounded-cache pass, prefetch depth 2)",
+        &[
+            "Data set",
+            "Bytes read",
+            "Prefetch issued",
+            "Prefetch hits",
+            "Decode validations",
+            "Owned decodes",
+        ],
+        &cache_rows,
+    );
     let json = format!(
         "{{\n  \"scale\": \"{scale_name}\",\n  \"datasets\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
@@ -451,6 +485,254 @@ fn storage_rates(scale: Scale, scale_name: &str) {
     match std::fs::write("BENCH_storage.json", &json) {
         Ok(()) => println!("\nwrote BENCH_storage.json"),
         Err(e) => eprintln!("\nfailed to write BENCH_storage.json: {e}"),
+    }
+}
+
+/// `scan`: cold-cache full-span aggregate scans, written to
+/// `BENCH_scan.json` — the headline of the zero-copy block layout. Each
+/// data set is ingested twice into separate directories, once per on-disk
+/// block format; every repetition then reopens the engine so the block
+/// cache starts empty and each block is read from disk. Three paths are
+/// interleaved (fastest repetition wins): the v1 decode path (every block
+/// decoded into owned segment records), the v2 view path (blocks validated
+/// once, segments folded through borrowed views, zero per-segment
+/// allocation), and the v2 view path with the prefetcher reading ahead of
+/// the fold. The gated `scan_speedup` is v1 time over v2-with-prefetch
+/// time; `EXPECT >= 2x`. Before timing, the two formats must answer the
+/// probe queries bit-identically, and the v2 counters must prove the
+/// claims: zero owned decodes, bytes read equal to the log's persistent
+/// bytes, and every block touched exactly once via demand misses plus
+/// prefetches. The adaptive scan shape (fold-group size and pool bypass
+/// threshold) is recorded alongside the timings.
+fn scan_rates(scale: Scale, scale_name: &str) {
+    const REPS: usize = 5;
+    /// Segments per block — small blocks so even `--scale tiny` gives the
+    /// prefetcher dozens of blocks to read ahead of the fold.
+    const BULK: usize = 64;
+    const PREFETCH: usize = 256;
+    let probes = [
+        "SELECT COUNT_S(*), SUM_S(*), AVG_S(*), MIN_S(*), MAX_S(*) FROM Segment".to_string(),
+        "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid".to_string(),
+    ];
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for ds in [ep(SEED, scale).unwrap(), eh(SEED, scale).unwrap()] {
+        let ticks = (ds.scale.ticks * 16).max(20_000);
+        let dir_for = |format: &str| {
+            std::env::temp_dir().join(format!(
+                "mdb-repro-scan-{}-{}-{format}",
+                std::process::id(),
+                ds.name
+            ))
+        };
+        let (v1_dir, v2_dir) = (dir_for("v1"), dir_for("v2"));
+        let mut segments = 0;
+        for (dir, format) in [
+            (&v1_dir, modelardb::BlockFormat::V1),
+            (&v2_dir, modelardb::BlockFormat::V2),
+        ] {
+            std::fs::remove_dir_all(dir).ok();
+            let mut db = build_disk_engine_with(&ds, dir, 10.0, BULK, None, 0, format);
+            ingest_engine_batched(&mut db, &ds, ticks, 512);
+            segments = db.segment_count();
+        }
+        // Block count and log size, read cheaply through the sidecar.
+        let probe_store = modelardb::DiskStore::open_with(
+            &v2_dir,
+            modelardb::DiskStoreOptions {
+                bulk_write_size: BULK,
+                ..Default::default()
+            },
+        )
+        .expect("reopen");
+        let blocks = probe_store.block_count();
+        let persistent = modelardb::SegmentStore::persistent_bytes(&probe_store);
+        drop(probe_store);
+
+        // Parity and counter checks on a dedicated cold pair of opens: the
+        // formats must be indistinguishable in results, and the v2 counters
+        // must prove the zero-copy claims the timings rest on.
+        let v1_db = build_disk_engine_with(
+            &ds,
+            &v1_dir,
+            10.0,
+            BULK,
+            None,
+            0,
+            modelardb::BlockFormat::V1,
+        );
+        let v2_db = build_disk_engine_with(
+            &ds,
+            &v2_dir,
+            10.0,
+            BULK,
+            None,
+            PREFETCH,
+            modelardb::BlockFormat::V2,
+        );
+        for probe in &probes {
+            assert_eq!(
+                v1_db.sql(probe).unwrap(),
+                v2_db.sql(probe).unwrap(),
+                "{}: v1 and v2 diverged on {probe}",
+                ds.name
+            );
+        }
+        let v2_stats = v2_db.cache_stats();
+        assert_eq!(
+            v2_stats.owned_decodes, 0,
+            "{}: a v2 scan must not decode owned segments",
+            ds.name
+        );
+        assert_eq!(
+            v2_stats.bytes_read, persistent,
+            "{}: a full cold scan must read exactly the log once",
+            ds.name
+        );
+        assert_eq!(
+            v2_stats.prefetch_issued + v2_stats.misses,
+            blocks as u64,
+            "{}: every block must arrive via one prefetch or one miss",
+            ds.name
+        );
+        let v1_stats = v1_db.cache_stats();
+        assert_eq!(
+            v1_stats.owned_decodes, blocks as u64,
+            "{}: the v1 path must decode every block into owned records",
+            ds.name
+        );
+        drop((v1_db, v2_db));
+
+        // The timed unit: a full-span aggregate folded in one pass over the
+        // store — count, time extent, represented points, and a sum over
+        // every parameter byte (so both paths must actually touch the model
+        // parameters, like any value aggregate does).
+        let fold = |acc: &mut (u64, i64, i64, u64, u64), v: &modelardb::SegmentView<'_>| {
+            acc.0 += 1;
+            acc.1 = acc.1.min(v.start_time);
+            acc.2 = acc.2.max(v.end_time);
+            acc.3 += v.len() as u64;
+            acc.4 += v.params.iter().map(|&b| u64::from(b)).sum::<u64>();
+        };
+        let empty = (0u64, i64::MAX, i64::MIN, 0u64, 0u64);
+        let open_store = |dir: &std::path::Path, prefetch: usize| {
+            modelardb::DiskStore::open_with(
+                dir,
+                modelardb::DiskStoreOptions {
+                    bulk_write_size: BULK,
+                    prefetch_depth: prefetch,
+                    ..Default::default()
+                },
+            )
+            .expect("reopen")
+        };
+        let pred = modelardb::SegmentPredicate::all();
+        // The v1 owned-decode scan: every block is decoded into owned
+        // `SegmentRecord`s before the fold sees it. The store is reopened
+        // per pass so the block cache is cold, but the reopen itself (a
+        // sidecar read, identical for both formats) stays outside the
+        // timed region — the metric is scan throughput.
+        let v1_pass = || {
+            let store = open_store(&v1_dir, 0);
+            timed(|| {
+                let mut acc = empty;
+                modelardb::SegmentStore::scan(&store, &pred, &mut |s| fold(&mut acc, &s.view()))
+                    .expect("scan");
+                acc
+            })
+        };
+        // The v2 view scan: blocks validated once, folded through borrowed
+        // views, optionally with the prefetcher reading ahead.
+        let v2_pass = |prefetch: usize| {
+            let store = open_store(&v2_dir, prefetch);
+            timed(|| {
+                let mut acc = empty;
+                modelardb::SegmentStore::scan_runs(&store, &pred, &mut |run| {
+                    for v in run.segments() {
+                        fold(&mut acc, &v);
+                    }
+                })
+                .expect("scan");
+                acc
+            })
+        };
+        let (want, _) = v1_pass();
+        assert_eq!(want, v2_pass(0).0, "{}", ds.name);
+        assert_eq!(want, v2_pass(PREFETCH).0, "{}", ds.name);
+        let mut v1_elapsed = Duration::MAX;
+        let mut v2_elapsed = Duration::MAX;
+        let mut v2_prefetch_elapsed = Duration::MAX;
+        for _ in 0..REPS {
+            // Interleaved so machine-load drift cannot bias one path.
+            let (acc, elapsed) = v1_pass();
+            std::hint::black_box(acc);
+            v1_elapsed = v1_elapsed.min(elapsed);
+            let (acc, elapsed) = v2_pass(0);
+            std::hint::black_box(acc);
+            v2_elapsed = v2_elapsed.min(elapsed);
+            let (acc, elapsed) = v2_pass(PREFETCH);
+            std::hint::black_box(acc);
+            v2_prefetch_elapsed = v2_prefetch_elapsed.min(elapsed);
+        }
+        let speedup = v1_elapsed.as_secs_f64() / v2_prefetch_elapsed.as_secs_f64().max(1e-9);
+
+        // The adaptive scan shape these timings ran under (full span, no
+        // value filter, auto parallelism).
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let shape = modelardb::scan_shape(segments, false, workers);
+
+        rows.push(vec![
+            ds.name.clone(),
+            segments.to_string(),
+            blocks.to_string(),
+            fmt_ms(v1_elapsed),
+            fmt_ms(v2_elapsed),
+            fmt_ms(v2_prefetch_elapsed),
+            format!("{speedup:.2}x"),
+            format!("{}/{}", shape.fold_size, shape.bypass_threshold),
+        ]);
+        entries.push(format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"ticks\": {}, \"segments\": {}, \"blocks\": {}, ",
+                "\"fold_size\": {}, \"bypass_threshold\": {}, ",
+                "\"v1_scan_ms\": {:.3}, \"v2_scan_ms\": {:.3}, ",
+                "\"v2_prefetch_scan_ms\": {:.3}, \"scan_speedup\": {:.3}}}"
+            ),
+            ds.name,
+            ticks,
+            segments,
+            blocks,
+            shape.fold_size,
+            shape.bypass_threshold,
+            v1_elapsed.as_secs_f64() * 1e3,
+            v2_elapsed.as_secs_f64() * 1e3,
+            v2_prefetch_elapsed.as_secs_f64() * 1e3,
+            speedup,
+        ));
+        std::fs::remove_dir_all(&v1_dir).ok();
+        std::fs::remove_dir_all(&v2_dir).ok();
+    }
+    print_figure(
+        "Scan path: cold-cache full-span aggregates, v1 decode vs zero-copy v2 views",
+        &[
+            "Data set",
+            "Segments",
+            "Blocks",
+            "v1 decode",
+            "v2 views",
+            "v2 + prefetch",
+            "Speedup",
+            "Shape",
+        ],
+        &rows,
+    );
+    let json = format!(
+        "{{\n  \"scale\": \"{scale_name}\",\n  \"datasets\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_scan.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_scan.json"),
+        Err(e) => eprintln!("\nfailed to write BENCH_scan.json: {e}"),
     }
 }
 

@@ -88,12 +88,37 @@ pub fn build_disk_engine(
     bulk_write_size: usize,
     memory_budget_bytes: Option<u64>,
 ) -> ModelarDb {
+    build_disk_engine_with(
+        ds,
+        dir,
+        error_pct,
+        bulk_write_size,
+        memory_budget_bytes,
+        Config::default().prefetch_depth,
+        Config::default().block_format,
+    )
+}
+
+/// Like [`build_disk_engine`], but with the scan-path knobs the
+/// `repro scan` experiment sweeps: the prefetch depth (`0` = off) and the
+/// on-disk block layout for newly written blocks.
+pub fn build_disk_engine_with(
+    ds: &Dataset,
+    dir: &std::path::Path,
+    error_pct: f64,
+    bulk_write_size: usize,
+    memory_budget_bytes: Option<u64>,
+    prefetch_depth: usize,
+    block_format: modelardb::BlockFormat,
+) -> ModelarDb {
     let catalog = catalog_from_dataset(ds, &ds.correlation_spec()).expect("catalog");
     let mut config = Config::default();
     config.compression.error_bound = ErrorBound::relative(error_pct);
     config.storage = StorageSpec::Disk(dir.to_path_buf());
     config.bulk_write_size = bulk_write_size;
     config.memory_budget_bytes = memory_budget_bytes;
+    config.prefetch_depth = prefetch_depth;
+    config.block_format = block_format;
     ModelarDb::from_catalog(catalog, Arc::new(ModelRegistry::standard()), config).expect("engine")
 }
 

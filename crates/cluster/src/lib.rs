@@ -99,6 +99,10 @@ pub struct ClusterConfig {
     /// flags the worker as slow ([`WorkerHealth::probe_timed_out`]) and a
     /// worker is declared dead solely on proof (a disconnected channel).
     pub health_probe_timeout: Duration,
+    /// How many zone-map-surviving blocks each disk-backed worker's store
+    /// reads ahead of a scan (`0` disables prefetching). Only meaningful
+    /// with [`ClusterConfig::storage_dir`].
+    pub prefetch_depth: usize,
     /// Copies kept per group: one primary plus `replication_factor - 1`
     /// replicas, placed on distinct workers by
     /// [`mdb_partitioner::assign_replicas`]. Every holder ingests the same
@@ -119,6 +123,7 @@ impl Default for ClusterConfig {
             bulk_write_size: 50_000,
             memory_budget_bytes: None,
             health_probe_timeout: Duration::from_secs(30),
+            prefetch_depth: 2,
             replication_factor: 1,
         }
     }
@@ -1195,6 +1200,8 @@ fn spawn_worker(
                 memory_budget_bytes: budget_share,
                 value_bounds: Some(value_bounds),
                 sketch_feed: Some(sketch_feed),
+                prefetch_depth: config.prefetch_depth,
+                ..Default::default()
             },
         )?),
         None => {

@@ -12,6 +12,8 @@
 //! modelardb.bulk_write_size      = 50000
 //! modelardb.storage              = memory       # or a directory path
 //! modelardb.memory_budget        = 67108864     # block-cache bytes; or "unbounded"
+//! modelardb.prefetch_depth       = 2            # blocks read ahead of a scan; 0 = off
+//! modelardb.block_format         = v2           # layout for new blocks: v1 or v2
 //!
 //! modelardb.dimension            = Location, Country, Park, Turbine
 //! modelardb.dimension            = Measure, Category, Concrete
@@ -33,7 +35,7 @@ use std::path::PathBuf;
 
 use mdb_partitioner::spec::{parse_scaling, parse_weight};
 use mdb_partitioner::CorrelationSpec;
-use mdb_types::{DimensionSchema, ErrorBound, MdbError, Result};
+use mdb_types::{BlockFormat, DimensionSchema, ErrorBound, MdbError, Result};
 
 use crate::builder::{ModelarDbBuilder, SeriesSpec};
 use crate::engine::StorageSpec;
@@ -53,6 +55,8 @@ pub struct ConfigFile {
     /// `Some(budget)` when a `memory_budget` line was present: the inner
     /// value is the block-cache byte budget, `None` meaning "unbounded".
     pub memory_budget_bytes: Option<Option<u64>>,
+    pub prefetch_depth: Option<usize>,
+    pub block_format: Option<BlockFormat>,
 }
 
 impl ConfigFile {
@@ -106,6 +110,21 @@ impl ConfigFile {
                                 number + 1
                             ))
                         })?)
+                    });
+                }
+                "modelardb.prefetch_depth" => {
+                    cfg.prefetch_depth = Some(parse_number(value, number)?);
+                }
+                "modelardb.block_format" => {
+                    cfg.block_format = Some(match value.to_ascii_lowercase().as_str() {
+                        "v1" | "1" => BlockFormat::V1,
+                        "v2" | "2" => BlockFormat::V2,
+                        _ => {
+                            return Err(MdbError::Config(format!(
+                                "line {}: bad block format {value:?} (v1 or v2)",
+                                number + 1
+                            )))
+                        }
                     });
                 }
                 "modelardb.storage" => {
@@ -179,6 +198,12 @@ impl ConfigFile {
             if let Some(budget) = self.memory_budget_bytes {
                 config.memory_budget_bytes = budget;
             }
+            if let Some(depth) = self.prefetch_depth {
+                config.prefetch_depth = depth;
+            }
+            if let Some(format) = self.block_format {
+                config.block_format = format;
+            }
         }
         for schema in self.dimensions {
             builder.add_dimension(schema);
@@ -240,6 +265,8 @@ modelardb.split_fraction = 4
 modelardb.bulk_write_size = 1000
 modelardb.storage       = memory
 modelardb.memory_budget = 8388608
+modelardb.prefetch_depth = 4
+modelardb.block_format  = v2
 
 modelardb.dimension     = Location, Country, Park, Turbine
 modelardb.dimension     = Measure, Category, Concrete
@@ -263,6 +290,8 @@ modelardb.correlation.scaling = series t9572.gz 4.75
         assert_eq!(cfg.bulk_write_size, Some(1000));
         assert!(matches!(cfg.storage, Some(StorageSpec::Memory)));
         assert_eq!(cfg.memory_budget_bytes, Some(Some(8 << 20)));
+        assert_eq!(cfg.prefetch_depth, Some(4));
+        assert_eq!(cfg.block_format, Some(BlockFormat::V2));
         assert_eq!(cfg.dimensions.len(), 2);
         assert_eq!(cfg.dimensions[0].name(), "Location");
         assert_eq!(cfg.dimensions[0].height(), 3);
@@ -312,6 +341,16 @@ modelardb.correlation.scaling = series t9572.gz 4.75
         let cfg = ConfigFile::parse("modelardb.memory_budget = 1024").unwrap();
         assert_eq!(cfg.memory_budget_bytes, Some(Some(1024)));
         assert!(ConfigFile::parse("modelardb.memory_budget = lots").is_err());
+    }
+
+    #[test]
+    fn prefetch_and_block_format_parse() {
+        let cfg = ConfigFile::parse("modelardb.prefetch_depth = 0").unwrap();
+        assert_eq!(cfg.prefetch_depth, Some(0));
+        let cfg = ConfigFile::parse("modelardb.block_format = v1").unwrap();
+        assert_eq!(cfg.block_format, Some(BlockFormat::V1));
+        assert!(ConfigFile::parse("modelardb.block_format = v3").is_err());
+        assert!(ConfigFile::parse("modelardb.prefetch_depth = deep").is_err());
     }
 
     #[test]

@@ -78,6 +78,8 @@ impl ModelarDb {
                         memory_budget_bytes: config.memory_budget_bytes,
                         value_bounds: Some(bounds),
                         sketch_feed: Some(sketch_feed),
+                        prefetch_depth: config.prefetch_depth,
+                        write_format: config.block_format,
                     },
                 )?;
                 store.set_pruning(config.zone_pruning);
@@ -326,6 +328,13 @@ impl ModelarDb {
     /// that shows a bounded [`Config::memory_budget_bytes`] holds.
     pub fn resident_segment_peak(&self) -> usize {
         self.store.resident_segment_peak()
+    }
+
+    /// Block-cache counters of the underlying store (all zeros for the
+    /// in-memory store) — bytes read, prefetches issued and hit, decode
+    /// validations, and owned decodes on the scan path.
+    pub fn cache_stats(&self) -> mdb_storage::CacheStats {
+        self.store.cache_stats()
     }
 
     /// The active configuration.

@@ -57,15 +57,17 @@ pub use mdb_partitioner::{
     assign_replicas, assign_workers, group_load, lowest_distance, partition, CorrelationClause,
     CorrelationPrimitive, CorrelationSpec, Partitioning, ScalingHint,
 };
-pub use mdb_query::{parse, sketch_feed, Cell, Query, QueryEngine, QueryResult, SketchFunc};
+pub use mdb_query::{
+    parse, scan_shape, sketch_feed, Cell, Query, QueryEngine, QueryResult, ScanShape, SketchFunc,
+};
 pub use mdb_storage::{
-    scan_to_vec, CacheStats, Catalog, DiskStore, DiskStoreOptions, MemoryStore, SegmentPredicate,
-    SegmentStore, SketchFeedFn, ValueBoundsFn, ZoneMap,
+    checksum_v2, scan_to_vec, CacheStats, Catalog, DiskStore, DiskStoreOptions, MemoryStore,
+    SegmentPredicate, SegmentStore, SketchFeedFn, ValueBoundsFn, ZoneMap,
 };
 pub use mdb_types::{
-    BatchView, BlockMeta, BlockSketch, DataPoint, DimensionSchema, Dimensions, ErrorBound,
-    GapsMask, Gid, GroupMeta, MdbError, Result, RowBatch, SegmentRecord, Tid, TimeLevel,
-    TimeSeriesMeta, Timestamp, Value, ValueInterval,
+    BatchView, BlockFormat, BlockMeta, BlockSketch, DataPoint, DimensionSchema, Dimensions,
+    ErrorBound, GapsMask, Gid, GroupMeta, MdbError, Result, RowBatch, SegmentRecord, SegmentView,
+    Tid, TimeLevel, TimeSeriesMeta, Timestamp, Value, ValueInterval,
 };
 
 /// The full system configuration; defaults mirror Table 1 of the paper.
@@ -92,6 +94,14 @@ pub struct Config {
     /// in memory; `Some(0)` caches nothing and re-reads blocks on demand.
     /// Ignored by the in-memory store, which is resident by definition.
     pub memory_budget_bytes: Option<u64>,
+    /// How many zone-map-surviving blocks the disk store's prefetcher reads
+    /// ahead of the scan (`0` disables prefetching). Ignored by the
+    /// in-memory store.
+    pub prefetch_depth: usize,
+    /// On-disk layout for newly written blocks: the zero-copy columnar v2
+    /// layout by default; v1 for writing logs older builds can read.
+    /// Existing blocks are read in whichever format they were written.
+    pub block_format: BlockFormat,
 }
 
 impl Default for Config {
@@ -103,6 +113,8 @@ impl Default for Config {
             query_parallelism: 0,
             zone_pruning: true,
             memory_budget_bytes: None,
+            prefetch_depth: 2,
+            block_format: BlockFormat::V2,
         }
     }
 }

@@ -4,7 +4,7 @@
 //! time aggregation and on reconstructed values otherwise.
 
 use mdb_models::{ModelRegistry, SegmentAgg};
-use mdb_types::{SegmentRecord, Value};
+use mdb_types::{SegmentView, Value};
 
 /// A simple aggregate function (suffixed `_S` on the Segment View).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,16 +108,19 @@ impl Accumulator {
 }
 
 /// Lazily reconstructs a segment's values at most once per query, shared by
-/// every (tid, interval) evaluation that needs the fallback path.
+/// every (tid, interval) evaluation that needs the fallback path. Holds a
+/// borrowed [`SegmentView`] by value, so segments read straight out of a
+/// cached block buffer are evaluated without ever materializing an owned
+/// record.
 pub struct SegmentCursor<'a> {
-    pub segment: &'a SegmentRecord,
+    pub segment: SegmentView<'a>,
     pub n_series: usize,
     grid: Option<Vec<Value>>,
 }
 
 impl<'a> SegmentCursor<'a> {
     /// A cursor over `segment`, which represents `n_series` series.
-    pub fn new(segment: &'a SegmentRecord, n_series: usize) -> Self {
+    pub fn new(segment: SegmentView<'a>, n_series: usize) -> Self {
         Self {
             segment,
             n_series,
@@ -129,7 +132,7 @@ impl<'a> SegmentCursor<'a> {
     pub fn grid(&mut self, registry: &ModelRegistry) -> Option<&[Value]> {
         if self.grid.is_none() {
             let model = registry.get(self.segment.mid)?;
-            self.grid = model.grid(&self.segment.params, self.n_series, self.segment.len());
+            self.grid = model.grid(self.segment.params, self.n_series, self.segment.len());
         }
         self.grid.as_deref()
     }
@@ -164,7 +167,7 @@ impl<'a> SegmentCursor<'a> {
         if use_models {
             if let Some(model) = registry.get(self.segment.mid) {
                 if let Some(agg) =
-                    model.agg(&self.segment.params, self.n_series, count, range, series)
+                    model.agg(self.segment.params, self.n_series, count, range, series)
                 {
                     return Some(agg);
                 }
@@ -189,7 +192,7 @@ impl<'a> SegmentCursor<'a> {
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use mdb_types::GapsMask;
+    use mdb_types::{GapsMask, SegmentRecord};
 
     #[test]
     fn accumulator_finalizes_every_function() {
@@ -299,7 +302,7 @@ mod tests {
     fn cursor_uses_model_agg_for_pmc() {
         let registry = ModelRegistry::standard();
         let seg = pmc_segment(2.5, 10);
-        let mut cursor = SegmentCursor::new(&seg, 3);
+        let mut cursor = SegmentCursor::new(seg.view(), 3);
         let agg = cursor.aggregate(&registry, 1, (0, 9)).unwrap();
         assert_eq!(agg.sum, 25.0);
         // The constant-time path never materialized the grid.
@@ -325,7 +328,7 @@ mod tests {
             params: Bytes::from(params),
             gaps: GapsMask::EMPTY,
         };
-        let mut cursor = SegmentCursor::new(&seg, 2);
+        let mut cursor = SegmentCursor::new(seg.view(), 2);
         // Series 0 values: 1, 3, 5. Series 1 values: 2, 4, 6.
         let agg = cursor.aggregate(&registry, 0, (0, 2)).unwrap();
         assert_eq!(agg.sum, 9.0);

@@ -9,21 +9,24 @@
 //!
 //! The partial phase is itself parallel: the rewritten push-down predicate
 //! (including the zone-map value/time pruning of `mdb_storage::zone`) first
-//! shrinks the segment list, then the surviving segments are split into
-//! chunks executed on a scoped worker pool fed over crossbeam channels.
-//! Each segment produces its own fresh [`PartialAggregates`] and the chunks
-//! are folded back **in scan order**, so the result is bit-identical to the
-//! sequential scan no matter how many workers ran — float accumulation
-//! happens in exactly the same order either way.
+//! shrinks the scan to the surviving [`SegmentRun`]s — block-backed runs
+//! share the cached block buffer, so segments are evaluated as borrowed
+//! [`SegmentView`]s with **no per-segment allocation** — then fold groups
+//! of consecutive segments (addressed by global scan index, so boundaries
+//! never depend on block shapes or worker counts) are evaluated on a worker
+//! pool fed over crossbeam channels. Each fold group produces its own fresh
+//! [`PartialAggregates`] and the groups are folded back **in scan order**,
+//! so the result is bit-identical to the sequential scan no matter how many
+//! workers ran — float accumulation happens in exactly the same order
+//! either way.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use mdb_models::ModelRegistry;
-use mdb_storage::{Catalog, SegmentPredicate, SegmentStore, SketchFeedFn};
+use mdb_storage::{Catalog, SegmentPredicate, SegmentRun, SegmentStore, SketchFeedFn};
 use mdb_types::{
-    time, BlockSketch, Gid, MdbError, Result, SegmentRecord, Tid, TimeLevel, Timestamp,
-    ValueInterval,
+    time, BlockSketch, Gid, MdbError, Result, SegmentView, Tid, TimeLevel, Timestamp, ValueInterval,
 };
 
 use crate::aggregate::{Accumulator, AggFunc, SegmentCursor};
@@ -50,19 +53,55 @@ impl KeyCell {
 /// aggregate item in the SELECT list.
 pub type PartialAggregates = HashMap<Vec<KeyCell>, Vec<Accumulator>>;
 
-/// Segments per *fold group*: consecutive runs of this many segments (by
-/// scan index) accumulate into one partial map, and the master folds the
-/// group partials in index order. Group boundaries depend only on the scan
-/// order — never on the worker count — which is what makes results
-/// bit-identical at every parallelism setting. It is also the scoped-worker
-/// chunk size.
-const SCAN_CHUNK: usize = 16;
+/// The shape of one query's parallel scan, derived from the pruned
+/// (surviving) segment count and the worker parallelism — see
+/// [`scan_shape`]. Benchmarks record it so a run's parallel structure is
+/// visible next to its timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanShape {
+    /// Segments per fold group (see [`fold_group_size`]).
+    pub fold_size: usize,
+    /// Pruned-segment count from which an attached pool engages (see
+    /// [`pool_bypass_threshold`]).
+    pub bypass_threshold: usize,
+}
+
+/// Derives the scan shape a query with `survivors` pruned segments and
+/// `workers` pool workers will use.
+pub fn scan_shape(survivors: usize, value_filtered: bool, workers: usize) -> ScanShape {
+    ScanShape {
+        fold_size: fold_group_size(survivors, value_filtered),
+        bypass_threshold: pool_bypass_threshold(workers),
+    }
+}
+
+/// Segments per *fold group*: consecutive segments (by global scan index)
+/// accumulate into one partial map, and the master folds the group partials
+/// in index order. The size scales with the surviving-segment count —
+/// roughly one group per 256 survivors, clamped to `[16, 256]` — so broad
+/// scans amortize per-group overhead while narrow ones still split into
+/// enough groups to parallelize. Group boundaries depend only on the scan
+/// order and the survivor count — never on the worker count or block
+/// shapes — which is what makes results bit-identical at every parallelism
+/// setting. Under a `Value` filter every segment folds alone (the
+/// per-point filter makes a segment's contribution depend on reconstructed
+/// values, so partials cannot be merged across segments ahead of it).
+pub fn fold_group_size(survivors: usize, value_filtered: bool) -> usize {
+    if value_filtered {
+        return 1;
+    }
+    (survivors / 256).clamp(16, 256)
+}
 
 /// Pruned-segment count below which an attached [`ScanPool`] is bypassed:
 /// when the zone map has already cut a query down this far, evaluating
-/// inline is faster than a channel round-trip per chunk. Narrow time-ranged
+/// inline is faster than a channel round-trip per chunk. More workers lower
+/// the bar (each chunk costs the same hop but buys more parallel work);
+/// the floor keeps tiny scans inline regardless. Narrow time-ranged
 /// queries win through pruning; the pool earns its keep on broad scans.
-const POOL_MIN_SEGMENTS: usize = 1024;
+pub fn pool_bypass_threshold(workers: usize) -> usize {
+    (4096 / workers.max(1)).max(256)
+}
 
 /// The query engine for one node's store.
 pub struct QueryEngine<'a> {
@@ -74,8 +113,9 @@ pub struct QueryEngine<'a> {
     parallelism: usize,
     /// A persistent scan pool; preferred over scoped threads when attached.
     pool: Option<&'a ScanPool>,
-    /// Pruned-segment count from which an attached pool engages.
-    pool_threshold: usize,
+    /// Pruned-segment count from which an attached pool engages; `None`
+    /// derives it from the pool's worker count ([`pool_bypass_threshold`]).
+    pool_threshold: Option<usize>,
     /// When set, only these groups are visible to the engine (see
     /// [`QueryEngine::with_gid_scope`]).
     gid_scope: Option<&'a [Gid]>,
@@ -90,16 +130,80 @@ struct SegmentEvaluator<'a> {
     registry: &'a ModelRegistry,
 }
 
+/// The collected scan: the surviving [`SegmentRun`]s plus a prefix-sum
+/// index, so fold groups address segments by **global scan index** — a
+/// block-backed run keeps its cached block alive and its segments are read
+/// as borrowed views, so collecting N surviving segments costs one `Arc`
+/// clone per block, not one record clone per segment.
+struct RunSet {
+    runs: Vec<SegmentRun>,
+    /// `starts[i]` = global index of `runs[i]`'s first segment, with one
+    /// trailing entry holding the total segment count.
+    starts: Vec<usize>,
+}
+
+impl RunSet {
+    /// Collects every run matching `predicate`, in the store's
+    /// deterministic scan order.
+    fn collect(store: &dyn SegmentStore, predicate: &SegmentPredicate) -> Result<RunSet> {
+        let mut runs = Vec::new();
+        let mut starts = vec![0usize];
+        store.scan_runs(predicate, &mut |run| {
+            if run.is_empty() {
+                return;
+            }
+            starts.push(starts.last().unwrap() + run.len());
+            runs.push(run);
+        })?;
+        Ok(RunSet { runs, starts })
+    }
+
+    /// Total segments across all runs.
+    fn len(&self) -> usize {
+        *self.starts.last().unwrap()
+    }
+
+    /// Calls `f` for every segment with global index in `lo..hi`, in scan
+    /// order, as borrowed views.
+    fn for_each_in(
+        &self,
+        lo: usize,
+        hi: usize,
+        f: &mut dyn FnMut(SegmentView<'_>) -> Result<()>,
+    ) -> Result<()> {
+        if lo >= hi {
+            return Ok(());
+        }
+        // The run containing global index `lo` (starts is strictly
+        // increasing because empty runs are never collected).
+        let mut run_idx = match self.starts.binary_search(&lo) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let mut next = lo;
+        while next < hi && run_idx < self.runs.len() {
+            let run = &self.runs[run_idx];
+            let base = self.starts[run_idx];
+            let end = self.starts[run_idx + 1].min(hi);
+            for i in next..end {
+                f(run.segment(i - base))?;
+            }
+            next = end;
+            run_idx += 1;
+        }
+        Ok(())
+    }
+}
+
 /// One query's owned scan state, shipped to [`ScanPool`] workers: the
-/// parsed query, the rewritten predicates, and the pruned segment list.
+/// parsed query, the rewritten predicates, and the pruned runs.
 struct ScanContext {
     query: Query,
     rw: Rewritten,
     aggs: Vec<(AggFunc, Option<TimeLevel>)>,
     cube: Option<TimeLevel>,
-    segments: Vec<SegmentRecord>,
-    /// Segments per fold group: [`SCAN_CHUNK`], or 1 under a `Value` filter
-    /// (see [`QueryEngine::group_partials`]).
+    runs: RunSet,
+    /// Segments per fold group ([`fold_group_size`]).
     fold_size: usize,
     /// Segments per pool job, scaled to the scan so each worker sees only a
     /// few messages per query.
@@ -131,18 +235,21 @@ pub struct ScanPool {
 fn run_pool_job(evaluator: &SegmentEvaluator<'_>, job: &PoolJob) {
     let context = &*job.context;
     let lo = job.chunk * context.chunk_size;
-    let hi = (lo + context.chunk_size).min(context.segments.len());
+    let hi = (lo + context.chunk_size).min(context.runs.len());
     // chunk_size is a multiple of fold_size, so the fold groups line up
     // across transport chunks.
-    let partials = context.segments[lo..hi]
-        .chunks(context.fold_size)
-        .map(|group| {
+    let partials = (lo..hi)
+        .step_by(context.fold_size)
+        .map(|group_lo| {
+            let group_hi = (group_lo + context.fold_size).min(hi);
             evaluator.group_partial(
                 &context.query,
                 &context.rw,
                 &context.aggs,
                 context.cube,
-                group,
+                &context.runs,
+                group_lo,
+                group_hi,
             )
         })
         .collect();
@@ -193,13 +300,12 @@ impl ScanPool {
     /// input order (chunks are reassembled by index, so the later fold is
     /// bit-identical to a sequential scan).
     fn execute(&self, mut context: ScanContext) -> Result<Vec<PartialAggregates>> {
-        let n_segments = context.segments.len();
+        let n_segments = context.runs.len();
         // A few chunks per runner: enough slack to balance uneven segments,
         // few enough that channel hops stay negligible. Rounded to a
         // multiple of the fold-group size so groups align across chunks.
         let target = n_segments.div_ceil(self.workers * 4);
-        context.chunk_size =
-            (context.fold_size * target.div_ceil(context.fold_size).max(1)).max(SCAN_CHUNK);
+        context.chunk_size = context.fold_size * target.div_ceil(context.fold_size).max(1);
         let n_chunks = n_segments.div_ceil(context.chunk_size);
         let context = Arc::new(context);
         let (results, result_rx) = crossbeam_channel::unbounded();
@@ -274,7 +380,7 @@ impl<'a> QueryEngine<'a> {
             store,
             parallelism: 1,
             pool: None,
-            pool_threshold: POOL_MIN_SEGMENTS,
+            pool_threshold: None,
             gid_scope: None,
         }
     }
@@ -301,11 +407,12 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Overrides the pruned-segment count from which an attached pool
-    /// engages (default 1024 — below that, inline evaluation beats a
+    /// engages (by default derived from the pool's worker count — see
+    /// [`pool_bypass_threshold`]; below it, inline evaluation beats a
     /// channel round-trip per chunk). Mainly for tests and benchmarks that
     /// need to force the pool path on small stores.
     pub fn with_pool_threshold(mut self, segments: usize) -> Self {
-        self.pool_threshold = segments;
+        self.pool_threshold = Some(segments);
         self
     }
 
@@ -553,20 +660,19 @@ impl<'a> QueryEngine<'a> {
             return Ok(HashMap::new());
         }
 
-        // Collect the surviving segments once — the store's zone map (and,
-        // for the out-of-core store, its per-block statistics) has already
+        // Collect the surviving runs once — the store's zone map (and, for
+        // the out-of-core store, its per-block statistics) has already
         // skipped runs or whole on-disk blocks outside the time range or
-        // value predicate — then evaluate fixed-size fold groups (possibly
-        // in parallel) and fold the group partials back in scan order. The
-        // collect iterates block-granular batches, so a disk-backed store
-        // fetches each surviving block once and the buffer grows by whole
-        // runs instead of one clone per segment. Group boundaries and the
-        // fold order depend only on the scan order, so every parallelism
-        // setting performs the same float operations in the same order.
-        let mut segments: Vec<SegmentRecord> = Vec::new();
-        self.store
-            .scan_batches(&rw.pushdown, &mut |run| segments.extend_from_slice(run))?;
-        let per_group = self.group_partials(query, &rw, &aggs, cube, segments)?;
+        // value predicate — then evaluate fold groups (possibly in
+        // parallel) and fold the group partials back in scan order. A
+        // block-backed run shares its cached block, so the collect costs
+        // one `Arc` clone per surviving block and segments are evaluated
+        // as borrowed views — no per-segment allocation anywhere on this
+        // path. Group boundaries and the fold order depend only on the
+        // scan order and survivor count, so every parallelism setting
+        // performs the same float operations in the same order.
+        let runs = RunSet::collect(self.store, &rw.pushdown)?;
+        let per_group = self.group_partials(query, &rw, &aggs, cube, runs)?;
         let mut partial: PartialAggregates = HashMap::new();
         for group_partial in per_group {
             merge_partials(&mut partial, group_partial);
@@ -579,53 +685,58 @@ impl<'a> QueryEngine<'a> {
     /// and the work warrants it, on scoped threads under an explicit
     /// parallelism setting, sequentially otherwise.
     ///
-    /// Fold groups are `SCAN_CHUNK` segments, except under a `Value` filter
-    /// where each segment folds alone: value pruning removes segments that
-    /// an unpruned scan would visit (and find contributing nothing), and
-    /// per-segment folding makes such no-op segments irrelevant to the
-    /// float association — so pruned and unpruned value-filtered scans stay
-    /// exactly equal, not just approximately.
+    /// Fold groups are [`fold_group_size`] segments, except under a `Value`
+    /// filter where each segment folds alone: value pruning removes
+    /// segments that an unpruned scan would visit (and find contributing
+    /// nothing), and per-segment folding makes such no-op segments
+    /// irrelevant to the float association — so pruned and unpruned
+    /// value-filtered scans stay exactly equal, not just approximately.
     fn group_partials(
         &self,
         query: &Query,
         rw: &Rewritten,
         aggs: &[(AggFunc, Option<TimeLevel>)],
         cube: Option<TimeLevel>,
-        segments: Vec<SegmentRecord>,
+        runs: RunSet,
     ) -> Result<Vec<PartialAggregates>> {
-        let fold_size = if rw.value_cmps.is_empty() {
-            SCAN_CHUNK
-        } else {
-            1
-        };
+        let n_segments = runs.len();
+        let fold_size = fold_group_size(n_segments, !rw.value_cmps.is_empty());
         if let Some(pool) = self.pool {
-            if pool.workers() > 1 && segments.len() >= self.pool_threshold {
+            let threshold = self
+                .pool_threshold
+                .unwrap_or_else(|| pool_bypass_threshold(pool.workers()));
+            if pool.workers() > 1 && n_segments >= threshold {
                 return pool.execute(ScanContext {
                     query: query.clone(),
                     rw: rw.clone(),
                     aggs: aggs.to_vec(),
                     cube,
-                    segments,
+                    runs,
                     fold_size,
-                    chunk_size: SCAN_CHUNK, // recomputed by execute()
+                    chunk_size: fold_size, // recomputed by execute()
                 });
             }
         }
         let evaluator = self.evaluator();
-        let one = |group: &[SegmentRecord]| evaluator.group_partial(query, rw, aggs, cube, group);
-        let n_chunks = segments.len().div_ceil(fold_size);
-        // With a pool attached, a scan below POOL_MIN_SEGMENTS is cheapest
-        // inline — never worth per-query scoped thread start-up.
+        let one =
+            |lo: usize, hi: usize| evaluator.group_partial(query, rw, aggs, cube, &runs, lo, hi);
+        let n_chunks = n_segments.div_ceil(fold_size);
+        // With a pool attached, a scan below its bypass threshold is
+        // cheapest inline — never worth per-query scoped thread start-up.
         let workers = match self.parallelism {
             _ if self.pool.is_some() => 1,
             0 | 1 => 1,
             n => n.min(n_chunks),
         };
         if workers <= 1 {
-            return segments.chunks(fold_size).map(one).collect();
+            return (0..n_chunks)
+                .map(|chunk| {
+                    let lo = chunk * fold_size;
+                    one(lo, (lo + fold_size).min(n_segments))
+                })
+                .collect();
         }
 
-        let segments = &segments[..];
         let (job_tx, job_rx) = crossbeam_channel::unbounded::<usize>();
         for chunk in 0..n_chunks {
             let _ = job_tx.send(chunk);
@@ -637,11 +748,12 @@ impl<'a> QueryEngine<'a> {
             for _ in 0..workers {
                 let job_rx = job_rx.clone();
                 let result_tx = result_tx.clone();
+                let one = &one;
                 scope.spawn(move || {
                     while let Ok(chunk) = job_rx.recv() {
                         let lo = chunk * fold_size;
-                        let hi = (lo + fold_size).min(segments.len());
-                        let partial = one(&segments[lo..hi]);
+                        let hi = (lo + fold_size).min(n_segments);
+                        let partial = one(lo, hi);
                         if result_tx.send((chunk, partial)).is_err() {
                             break;
                         }
@@ -779,7 +891,7 @@ pub fn sketch_feed(catalog: &Arc<Catalog>, registry: &Arc<ModelRegistry>) -> Ske
         if n_present == 0 {
             return true;
         }
-        let mut cursor = SegmentCursor::new(segment, n_present);
+        let mut cursor = SegmentCursor::new(segment.view(), n_present);
         let Some(grid) = cursor.grid(&registry) else {
             return false;
         };
@@ -800,22 +912,26 @@ pub fn sketch_feed(catalog: &Arc<Catalog>, registry: &Arc<ModelRegistry>) -> Ske
 }
 
 impl<'a> SegmentEvaluator<'a> {
-    /// Evaluates one fold group of segments into a fresh partial-aggregate
-    /// map — the unit of work a scan worker (pooled, scoped, or inline)
-    /// executes. Within the group, segments accumulate in order into the
-    /// same map, exactly like a sequential scan over the group.
+    /// Evaluates one fold group — global scan indices `lo..hi` of the
+    /// collected runs — into a fresh partial-aggregate map, the unit of
+    /// work a scan worker (pooled, scoped, or inline) executes. Within the
+    /// group, segments accumulate in order into the same map, exactly like
+    /// a sequential scan over the group.
+    #[allow(clippy::too_many_arguments)]
     fn group_partial(
         &self,
         query: &Query,
         rw: &Rewritten,
         aggs: &[(AggFunc, Option<TimeLevel>)],
         cube: Option<TimeLevel>,
-        group: &[SegmentRecord],
+        runs: &RunSet,
+        lo: usize,
+        hi: usize,
     ) -> Result<PartialAggregates> {
         let mut partial = PartialAggregates::new();
-        for segment in group {
-            self.iterate_segment(query, rw, aggs, cube, segment, &mut partial)?;
-        }
+        runs.for_each_in(lo, hi, &mut |segment| {
+            self.iterate_segment(query, rw, aggs, cube, segment, &mut partial)
+        })?;
         Ok(partial)
     }
 
@@ -830,7 +946,7 @@ impl<'a> SegmentEvaluator<'a> {
         })
     }
 
-    fn segment_time_matches(rw: &Rewritten, segment: &SegmentRecord) -> bool {
+    fn segment_time_matches(rw: &Rewritten, segment: &SegmentView<'_>) -> bool {
         rw.segment_time.iter().all(|(column, op, value)| {
             let field = match column {
                 TimeColumn::StartTime => segment.start_time,
@@ -874,17 +990,18 @@ impl<'a> SegmentEvaluator<'a> {
         }
     }
 
-    /// The `iterate` step over one segment.
+    /// The `iterate` step over one segment (a borrowed view — block-backed
+    /// segments are evaluated straight out of the cached buffer).
     fn iterate_segment(
         &self,
         query: &Query,
         rw: &Rewritten,
         aggs: &[(AggFunc, Option<TimeLevel>)],
         cube: Option<TimeLevel>,
-        segment: &SegmentRecord,
+        segment: SegmentView<'_>,
         partial: &mut PartialAggregates,
     ) -> Result<()> {
-        if !Self::segment_time_matches(rw, segment) {
+        if !Self::segment_time_matches(rw, &segment) {
             return Ok(());
         }
         let group = self.catalog.group(segment.gid).ok_or_else(|| {
@@ -1130,12 +1247,15 @@ impl<'a> QueryEngine<'a> {
             return Ok(result);
         }
         let mut scan_error = None;
-        self.store.scan(&rw.pushdown, &mut |segment| {
+        self.store.scan_runs(&rw.pushdown, &mut |run| {
             if scan_error.is_some() {
                 return;
             }
-            if let Err(e) = self.list_segment(query, &rw, &columns, segment, &mut result) {
-                scan_error = Some(e);
+            for segment in run.segments() {
+                if let Err(e) = self.list_segment(query, &rw, &columns, segment, &mut result) {
+                    scan_error = Some(e);
+                    break;
+                }
             }
         })?;
         if let Some(e) = scan_error {
@@ -1192,10 +1312,10 @@ impl<'a> QueryEngine<'a> {
         query: &Query,
         rw: &Rewritten,
         columns: &[String],
-        segment: &SegmentRecord,
+        segment: SegmentView<'_>,
         result: &mut QueryResult,
     ) -> Result<()> {
-        if !SegmentEvaluator::segment_time_matches(rw, segment) {
+        if !SegmentEvaluator::segment_time_matches(rw, &segment) {
             return Ok(());
         }
         let group = self.catalog.group(segment.gid).ok_or_else(|| {
@@ -1214,7 +1334,7 @@ impl<'a> QueryEngine<'a> {
                 View::Segment => {
                     let row = columns
                         .iter()
-                        .map(|c| self.segment_cell(c, tid, segment))
+                        .map(|c| self.segment_cell(c, tid, &segment))
                         .collect::<Result<Vec<Cell>>>()?;
                     result.rows.push(row);
                 }
@@ -1260,7 +1380,7 @@ impl<'a> QueryEngine<'a> {
         }))
     }
 
-    fn segment_cell(&self, column: &str, tid: Tid, segment: &SegmentRecord) -> Result<Cell> {
+    fn segment_cell(&self, column: &str, tid: Tid, segment: &SegmentView<'_>) -> Result<Cell> {
         match column.to_ascii_uppercase().as_str() {
             "TID" => Ok(Cell::Int(i64::from(tid))),
             "STARTTIME" => Ok(Cell::Timestamp(segment.start_time)),
@@ -1340,7 +1460,7 @@ fn compare_cells(a: &Cell, b: &Cell) -> std::cmp::Ordering {
 /// matching Figure 12 ("the last value is computed with an inclusive end
 /// time as ModelarDB does not store connected segments").
 pub fn split_at_boundaries(
-    segment: &SegmentRecord,
+    segment: SegmentView<'_>,
     range: (usize, usize),
     level: TimeLevel,
 ) -> Vec<(i64, (usize, usize))> {
@@ -1368,7 +1488,7 @@ mod tests {
     use mdb_compression::{CompressionConfig, GroupIngestor};
     use mdb_models::ModelRegistry;
     use mdb_storage::{MemoryStore, SegmentStore};
-    use mdb_types::{DimensionSchema, ErrorBound, GroupMeta, TimeSeriesMeta, Value};
+    use mdb_types::{DimensionSchema, ErrorBound, GroupMeta, SegmentRecord, TimeSeriesMeta, Value};
     use std::sync::Arc;
 
     /// Builds a populated store: two groups — (1,2) correlated turbines in
@@ -1859,7 +1979,7 @@ mod tests {
             params: Bytes::new(),
             gaps: Default::default(),
         };
-        let parts = split_at_boundaries(&seg, (0, 155), TimeLevel::Hour);
+        let parts = split_at_boundaries(seg.view(), (0, 155), TimeLevel::Hour);
         assert_eq!(parts.len(), 3);
         assert_eq!(parts[0].0, 0);
         assert_eq!(parts[1].0, 1);

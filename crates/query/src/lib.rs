@@ -22,5 +22,8 @@ pub mod sql;
 
 pub use aggregate::{Accumulator, AggFunc};
 pub use cell::{Cell, QueryResult};
-pub use engine::{merge_partials, sketch_feed, PartialAggregates, QueryEngine, ScanPool};
+pub use engine::{
+    fold_group_size, merge_partials, pool_bypass_threshold, scan_shape, sketch_feed,
+    PartialAggregates, QueryEngine, ScanPool, ScanShape,
+};
 pub use sql::{parse, Predicate, Query, SelectItem, SketchFunc, View};

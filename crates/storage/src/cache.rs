@@ -1,55 +1,115 @@
-//! A sharded, memory-budgeted LRU cache over decoded log blocks.
+//! A sharded, memory-budgeted LRU cache over fetched log blocks.
 //!
 //! The out-of-core [`crate::disk::DiskStore`] keeps only block *summaries*
 //! resident; segment bodies are fetched block-by-block on demand and parked
-//! here. The cache holds decoded blocks (`Arc<Vec<SegmentRecord>>`) keyed by
-//! their log offset — blocks are immutable once written, so there is no
-//! invalidation, only eviction. Capacity comes from the engine's
-//! `memory_budget_bytes`: `None` caches everything ever fetched (the
-//! all-resident behaviour the store had before it went out-of-core),
-//! `Some(0)` caches nothing, and anything in between is a hard byte budget
-//! split evenly across shards, each evicting least-recently-used blocks.
+//! here. The cache holds [`CachedBlock`]s keyed by their log offset —
+//! blocks are immutable once written, so there is no invalidation, only
+//! eviction. A v2 block is cached as its validated raw buffer
+//! ([`BlockView`]) and scanned through borrowed [`SegmentView`]s; a legacy
+//! v1 block is cached as the owned records its row-major payload decodes
+//! into. Either way an entry is charged its exact *file* bytes (header +
+//! payload as stored on disk), so the budget arithmetic is not a heap
+//! estimate: cached bytes are file bytes.
+//!
+//! Capacity comes from the engine's `memory_budget_bytes`: `None` caches
+//! everything ever fetched (the all-resident behaviour the store had before
+//! it went out-of-core), `Some(0)` caches nothing, and anything in between
+//! is a hard byte budget split evenly across shards, each evicting
+//! least-recently-used blocks.
 //!
 //! Reads take one shard lock; shards are selected by block offset, so
-//! concurrent scans over different regions of the log rarely contend.
+//! concurrent scans over different regions of the log rarely contend. The
+//! prefetcher inserts through [`BlockCache::insert_prefetched`], which
+//! never displaces a demand-loaded entry and tags the block so the first
+//! demand hit is counted as a prefetch hit.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use mdb_types::{Result, SegmentRecord};
+use mdb_types::{BlockView, Result, SegmentRecord, SegmentView};
 
 /// Number of independently locked shards.
 const SHARDS: usize = 8;
 
-/// Observable cache behaviour: hit ratio for diagnostics, resident/peak
-/// segment counts for the memory-budget benchmark (`repro storage`).
+/// Observable cache behaviour: hit ratio and I/O volume for diagnostics,
+/// resident/peak segment counts for the memory-budget benchmark
+/// (`repro storage`), and decode counters that make the zero-copy claim
+/// checkable — a pure-v2 scan shows `owned_decodes == 0` and exactly one
+/// validation per block read.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Fetches answered from memory.
     pub hits: u64,
-    /// Fetches that had to read and decode a block.
+    /// Fetches that had to read a block from disk.
     pub misses: u64,
     /// Blocks evicted to stay within the budget.
     pub evictions: u64,
+    /// File bytes read from the log (demand loads + prefetches).
+    pub bytes_read: u64,
+    /// Blocks the prefetcher read into the cache ahead of the scan.
+    pub prefetch_issued: u64,
+    /// Demand fetches answered by a block the prefetcher had staged.
+    pub prefetch_hits: u64,
+    /// v2 blocks validated into a [`BlockView`] (once per block read).
+    pub decode_validations: u64,
+    /// Blocks decoded into owned records (v1 payloads only).
+    pub owned_decodes: u64,
     /// Segments currently resident in the cache.
     pub resident_segments: usize,
-    /// Bytes currently resident in the cache.
+    /// Bytes currently resident in the cache (exact file bytes).
     pub resident_bytes: usize,
     /// High-water mark of `resident_segments` over the cache's lifetime.
     pub peak_resident_segments: usize,
 }
 
-/// The in-memory footprint charged for one cached segment: the record
-/// struct itself plus its heap-owned model parameters.
-pub fn segment_resident_bytes(segment: &SegmentRecord) -> usize {
-    std::mem::size_of::<SegmentRecord>() + segment.params.len()
+/// One fetched block as the cache holds it: a validated zero-copy buffer
+/// for v2 payloads, owned decoded records for legacy v1 payloads. Both
+/// variants serve segments as [`SegmentView`]s, so the scan path is
+/// format-agnostic and allocation-free over v2.
+#[derive(Debug)]
+pub enum CachedBlock {
+    /// A validated v2 buffer; segments are borrowed straight out of it.
+    View(BlockView),
+    /// Owned records decoded from a v1 payload.
+    Owned(Vec<SegmentRecord>),
+}
+
+impl CachedBlock {
+    /// Number of segments in the block.
+    pub fn len(&self) -> usize {
+        match self {
+            CachedBlock::View(v) => v.len(),
+            CachedBlock::Owned(records) => records.len(),
+        }
+    }
+
+    /// True when the block holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th segment, borrowed from the block.
+    pub fn segment(&self, i: usize) -> SegmentView<'_> {
+        match self {
+            CachedBlock::View(v) => v.segment(i),
+            CachedBlock::Owned(records) => records[i].view(),
+        }
+    }
+
+    /// Iterates the block's segments in stored (log) order.
+    pub fn segments(&self) -> impl Iterator<Item = SegmentView<'_>> + '_ {
+        (0..self.len()).map(|i| self.segment(i))
+    }
 }
 
 struct Entry {
-    block: Arc<Vec<SegmentRecord>>,
+    block: Arc<CachedBlock>,
+    /// Exact file bytes the block occupies on disk.
     bytes: usize,
     last_used: u64,
+    /// Staged by the prefetcher and not yet demanded.
+    prefetched: bool,
 }
 
 #[derive(Default)]
@@ -67,6 +127,11 @@ pub struct BlockCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    bytes_read: AtomicU64,
+    prefetch_issued: AtomicU64,
+    prefetch_hits: AtomicU64,
+    decode_validations: AtomicU64,
+    owned_decodes: AtomicU64,
     resident_segments: AtomicUsize,
     peak_resident_segments: AtomicUsize,
 }
@@ -95,9 +160,20 @@ impl BlockCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            prefetch_issued: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
+            decode_validations: AtomicU64::new(0),
+            owned_decodes: AtomicU64::new(0),
             resident_segments: AtomicUsize::new(0),
             peak_resident_segments: AtomicUsize::new(0),
         }
+    }
+
+    /// True when the budget is `Some(0)`: nothing is ever parked, so
+    /// prefetching into the cache is pointless.
+    pub fn caches_nothing(&self) -> bool {
+        self.shard_budget == Some(0)
     }
 
     fn shard_of(&self, offset: u64) -> &Mutex<Shard> {
@@ -107,20 +183,36 @@ impl BlockCache {
         &self.shards[(h as usize) % SHARDS]
     }
 
+    fn note_decode(&self, block: &CachedBlock, file_bytes: usize) {
+        self.bytes_read
+            .fetch_add(file_bytes as u64, Ordering::Relaxed);
+        match block {
+            CachedBlock::View(_) => &self.decode_validations,
+            CachedBlock::Owned(_) => &self.owned_decodes,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Returns the block at `offset`, loading it through `load` on a miss.
-    /// The loaded block is cached unless it alone exceeds the shard budget
-    /// (in particular, a zero budget caches nothing); eviction is LRU.
+    /// `load` returns the block plus its exact file footprint in bytes,
+    /// which is what the budget is charged. The loaded block is cached
+    /// unless it alone exceeds the shard budget (in particular, a zero
+    /// budget caches nothing); eviction is LRU.
     pub fn get_or_load(
         &self,
         offset: u64,
-        load: impl FnOnce() -> Result<Vec<SegmentRecord>>,
-    ) -> Result<Arc<Vec<SegmentRecord>>> {
+        load: impl FnOnce() -> Result<(CachedBlock, usize)>,
+    ) -> Result<Arc<CachedBlock>> {
         {
             let mut shard = self.shard_of(offset).lock().expect("cache shard poisoned");
             let tick = shard.tick + 1;
             shard.tick = tick;
             if let Some(entry) = shard.entries.get_mut(&offset) {
                 entry.last_used = tick;
+                if entry.prefetched {
+                    entry.prefetched = false;
+                    self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(&entry.block));
             }
@@ -129,10 +221,44 @@ impl BlockCache {
         // unrelated shard traffic. Two racing loads of the same block both
         // succeed; the second insert simply replaces the first.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let block = Arc::new(load()?);
-        let bytes: usize = block.iter().map(segment_resident_bytes).sum();
+        let (block, file_bytes) = load()?;
+        self.note_decode(&block, file_bytes);
+        let block = Arc::new(block);
+        self.park(offset, &block, file_bytes, false);
+        Ok(block)
+    }
+
+    /// Stages a block the prefetcher read ahead of the scan. A no-op when
+    /// the offset is already cached (the demand path won the race) or when
+    /// the cache is budgeted to hold nothing; otherwise the entry is
+    /// tagged so the first demand fetch counts as a prefetch hit. Returns
+    /// whether the block was actually staged.
+    pub fn insert_prefetched(&self, offset: u64, block: CachedBlock, file_bytes: usize) -> bool {
+        if self.shard_budget.is_some_and(|budget| file_bytes > budget) {
+            return false;
+        }
+        {
+            let shard = self.shard_of(offset).lock().expect("cache shard poisoned");
+            if shard.entries.contains_key(&offset) {
+                return false;
+            }
+        }
+        self.note_decode(&block, file_bytes);
+        self.prefetch_issued.fetch_add(1, Ordering::Relaxed);
+        self.park(offset, &Arc::new(block), file_bytes, true);
+        true
+    }
+
+    /// True when `offset` is already resident (used by the prefetcher to
+    /// skip blocks the scan already pulled in).
+    pub fn contains(&self, offset: u64) -> bool {
+        let shard = self.shard_of(offset).lock().expect("cache shard poisoned");
+        shard.entries.contains_key(&offset)
+    }
+
+    fn park(&self, offset: u64, block: &Arc<CachedBlock>, bytes: usize, prefetched: bool) {
         if self.shard_budget.is_some_and(|budget| bytes > budget) {
-            return Ok(block); // larger than the whole shard: use, don't park
+            return; // larger than the whole shard: use, don't park
         }
         let mut freed_segments = 0usize;
         {
@@ -142,9 +268,10 @@ impl BlockCache {
             if let Some(old) = shard.entries.insert(
                 offset,
                 Entry {
-                    block: Arc::clone(&block),
+                    block: Arc::clone(block),
                     bytes,
                     last_used: tick,
+                    prefetched,
                 },
             ) {
                 shard.bytes -= old.bytes;
@@ -183,7 +310,6 @@ impl BlockCache {
         };
         self.peak_resident_segments
             .fetch_max(resident, Ordering::Relaxed);
-        Ok(block)
     }
 
     /// A point-in-time snapshot of the cache counters.
@@ -199,6 +325,11 @@ impl BlockCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            prefetch_issued: self.prefetch_issued.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            decode_validations: self.decode_validations.load(Ordering::Relaxed),
+            owned_decodes: self.owned_decodes.load(Ordering::Relaxed),
             resident_segments,
             resident_bytes,
             peak_resident_segments: self
@@ -213,9 +344,9 @@ impl BlockCache {
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use mdb_types::GapsMask;
+    use mdb_types::{encode_block_v2, GapsMask};
 
-    fn block(gid: u32, n: usize) -> Vec<SegmentRecord> {
+    fn records(gid: u32, n: usize) -> Vec<SegmentRecord> {
         (0..n)
             .map(|i| SegmentRecord {
                 gid,
@@ -229,6 +360,13 @@ mod tests {
             .collect()
     }
 
+    fn block(gid: u32, n: usize) -> (CachedBlock, usize) {
+        let payload = encode_block_v2(&records(gid, n));
+        let bytes = payload.len() + 40; // header-inclusive file footprint
+        let view = BlockView::parse(payload, n as u32).unwrap();
+        (CachedBlock::View(view), bytes)
+    }
+
     #[test]
     fn hits_after_first_load() {
         let cache = BlockCache::new(None);
@@ -238,11 +376,15 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert_eq!(stats.resident_segments, 4);
+        assert_eq!(stats.decode_validations, 1);
+        assert_eq!(stats.owned_decodes, 0);
+        assert_eq!(stats.bytes_read as usize, block(1, 4).1);
     }
 
     #[test]
     fn zero_budget_caches_nothing() {
         let cache = BlockCache::new(Some(0));
+        assert!(cache.caches_nothing());
         cache.get_or_load(0, || Ok(block(1, 4))).unwrap();
         cache.get_or_load(0, || Ok(block(1, 4))).unwrap();
         let stats = cache.stats();
@@ -254,9 +396,8 @@ mod tests {
 
     #[test]
     fn bounded_budget_evicts_lru_and_tracks_peak() {
-        let one_block = block(1, 8);
-        let block_bytes: usize = one_block.iter().map(segment_resident_bytes).sum();
-        // Room for about two blocks per shard.
+        let (_, block_bytes) = block(1, 8);
+        // Room for about two blocks per shard, charged at file bytes.
         let cache = BlockCache::new(Some((block_bytes * 2 * SHARDS) as u64));
         for offset in 0..64u64 {
             cache.get_or_load(offset, || Ok(block(1, 8))).unwrap();
@@ -268,10 +409,15 @@ mod tests {
             "resident {} exceeds capacity",
             stats.resident_segments
         );
+        assert!(stats.resident_bytes <= 2 * SHARDS * block_bytes);
         assert!(stats.peak_resident_segments <= 2 * SHARDS * 8 + 8);
         // Recently used blocks survive; the cache still answers correctly.
         let last = cache.get_or_load(63, || Ok(block(9, 1))).unwrap();
-        assert_eq!(last[0].gid, 1, "offset 63 must still be the cached block");
+        assert_eq!(
+            last.segment(0).gid,
+            1,
+            "offset 63 must still be the cached block"
+        );
     }
 
     #[test]
@@ -282,5 +428,51 @@ mod tests {
         assert_eq!(cache.stats().resident_segments, 0);
         // A later good load works.
         assert_eq!(cache.get_or_load(7, || Ok(block(2, 2))).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn owned_blocks_serve_views_and_count_decodes() {
+        let cache = BlockCache::new(None);
+        let recs = records(3, 5);
+        let expected = recs.clone();
+        let cached = cache
+            .get_or_load(11, || Ok((CachedBlock::Owned(recs), 300)))
+            .unwrap();
+        for (view, record) in cached.segments().zip(&expected) {
+            assert_eq!(view, record.view());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.owned_decodes, 1);
+        assert_eq!(stats.decode_validations, 0);
+        assert_eq!(stats.bytes_read, 300);
+    }
+
+    #[test]
+    fn prefetched_blocks_hit_and_count_once() {
+        let cache = BlockCache::new(None);
+        let (b, bytes) = block(2, 4);
+        assert!(cache.insert_prefetched(40, b, bytes));
+        assert!(cache.contains(40));
+        // Re-staging the same offset is refused.
+        let (b2, bytes2) = block(2, 4);
+        assert!(!cache.insert_prefetched(40, b2, bytes2));
+        // First demand fetch is a hit and counts as THE prefetch hit…
+        cache.get_or_load(40, || panic!("staged")).unwrap();
+        // …later fetches are plain hits.
+        cache.get_or_load(40, || panic!("staged")).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.prefetch_issued, 1);
+        assert_eq!(stats.prefetch_hits, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.bytes_read as usize, bytes);
+    }
+
+    #[test]
+    fn zero_budget_refuses_prefetch() {
+        let cache = BlockCache::new(Some(0));
+        let (b, bytes) = block(2, 4);
+        assert!(!cache.insert_prefetched(8, b, bytes));
+        assert_eq!(cache.stats().prefetch_issued, 0);
     }
 }

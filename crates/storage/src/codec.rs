@@ -11,7 +11,7 @@ use bytes::{Buf, BufMut, Bytes};
 use mdb_encoding::varint;
 use mdb_types::{GapsMask, MdbError, Result, SegmentRecord};
 
-/// FNV-1a 32-bit checksum, used to detect torn or corrupt blocks.
+/// FNV-1a 32-bit checksum, used to detect torn or corrupt v1 blocks.
 pub fn checksum(bytes: &[u8]) -> u32 {
     let mut hash = 0x811C_9DC5u32;
     for &b in bytes {
@@ -19,6 +19,29 @@ pub fn checksum(bytes: &[u8]) -> u32 {
         hash = hash.wrapping_mul(0x0100_0193);
     }
     hash
+}
+
+/// Word-folded FNV-1a checksum for v2 block payloads: one 64-bit multiply
+/// per eight bytes instead of one 32-bit multiply per byte, so verifying a
+/// cold scan's reads stops being a measurable fraction of scan time. The
+/// payload length seeds the hash, so the zero-padded tail word cannot alias
+/// payloads that differ only in trailing zeros.
+pub fn checksum_v2(bytes: &[u8]) -> u32 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = 0xCBF2_9CE4_8422_2325u64 ^ bytes.len() as u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        hash ^= u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        hash = hash.wrapping_mul(PRIME);
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut word = [0u8; 8];
+        word[..tail.len()].copy_from_slice(tail);
+        hash ^= u64::from_le_bytes(word);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    (hash ^ (hash >> 32)) as u32
 }
 
 /// Serializes one segment into `out`.

@@ -1,15 +1,26 @@
 //! The persistent segment store: an out-of-core append-only block log with a
-//! persistent sidecar index and a memory-budgeted block cache.
+//! persistent sidecar index, a memory-budgeted block cache, and a read-ahead
+//! prefetcher.
 //!
-//! Layout of `segments.log` (unchanged since the first disk store, so old
-//! logs recover):
+//! Layout of `segments.log` (the framing is unchanged since the first disk
+//! store, so old logs recover):
 //!
 //! ```text
 //! repeat:
 //!   [u32 magic] [u32 payload_len] [u32 checksum]
 //!   [u32 count] [u32 min_gid] [u32 max_gid] [i64 min_end] [i64 max_end]
-//!   payload: count × segment records (codec::write_segment)
+//!   payload: per the magic —
+//!     "MDBS": count × varint segment records (codec::write_segment, v1)
+//!     "MDB2": self-describing columnar layout (mdb_types::view, v2)
 //! ```
+//!
+//! The log is heterogeneous: the magic selects the payload format per
+//! block, so a store reopened over v1 blocks keeps serving them through the
+//! owned-decode path while appending new blocks in the configured
+//! `write_format` (v2 by default) — v1 logs migrate lazily, block by block,
+//! as the log grows. A fetched v2 block is validated **once** into a
+//! [`BlockView`] and scanned through borrowed views: the scan path
+//! materializes no owned records and performs no per-segment allocation.
 //!
 //! Writes are buffered until `bulk_write_size` segments accumulate (Table 1:
 //! Bulk Write Size 50,000) or `flush` is called; each flush appends one
@@ -44,20 +55,39 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 use mdb_types::{
-    BlockMeta, BlockSketch, BlockSketches, Gid, MdbError, Result, SegmentRecord, ValueInterval,
+    encode_block_v2, BlockFormat, BlockMeta, BlockSketch, BlockSketches, BlockView, Gid, MdbError,
+    Result, SegmentRecord, ValueInterval,
 };
 
-use crate::cache::{BlockCache, CacheStats};
-use crate::codec::{checksum, read_segment, write_segment};
+use crate::cache::{BlockCache, CacheStats, CachedBlock};
+use crate::codec::{checksum, checksum_v2, read_segment, write_segment};
 use crate::sidecar::{self, Sidecar};
 use crate::zone::{SketchFeedFn, ValueBoundsFn, ZoneMap};
-use crate::{SegmentPredicate, SegmentStore};
+use crate::{SegmentPredicate, SegmentRun, SegmentStore};
 
-const BLOCK_MAGIC: u32 = 0x4D44_4253; // "MDBS"
+const BLOCK_MAGIC: u32 = 0x4D44_4253; // "MDBS" — v1 varint payload
+const BLOCK_MAGIC_V2: u32 = 0x4D44_4232; // "MDB2" — v2 columnar payload
 const HEADER_BYTES: usize = 4 + 4 + 4 + 4 + 4 + 4 + 8 + 8;
+
+fn magic_of(format: BlockFormat) -> u32 {
+    match format {
+        BlockFormat::V1 => BLOCK_MAGIC,
+        BlockFormat::V2 => BLOCK_MAGIC_V2,
+    }
+}
+
+fn format_of(magic: u32) -> Option<BlockFormat> {
+    match magic {
+        BLOCK_MAGIC => Some(BlockFormat::V1),
+        BLOCK_MAGIC_V2 => Some(BlockFormat::V2),
+        _ => None,
+    }
+}
 
 /// How a [`DiskStore`] is opened.
 #[derive(Clone, Default)]
@@ -77,6 +107,13 @@ pub struct DiskStoreOptions {
     /// `mdb_query::sketch_feed`); without it sketch queries are
     /// unanswerable from this store.
     pub sketch_feed: Option<SketchFeedFn>,
+    /// How many zone-map-surviving blocks the background prefetcher reads
+    /// ahead of the scan (0 disables prefetching and spawns no thread).
+    /// Engines pass `Config::prefetch_depth` (default 2).
+    pub prefetch_depth: usize,
+    /// Payload format for newly appended blocks. Existing blocks keep
+    /// their on-disk format and are dispatched on per fetch.
+    pub write_format: BlockFormat,
 }
 
 impl std::fmt::Debug for DiskStoreOptions {
@@ -86,7 +123,145 @@ impl std::fmt::Debug for DiskStoreOptions {
             .field("memory_budget_bytes", &self.memory_budget_bytes)
             .field("value_bounds", &self.value_bounds.is_some())
             .field("sketch_feed", &self.sketch_feed.is_some())
+            .field("prefetch_depth", &self.prefetch_depth)
+            .field("write_format", &self.write_format)
             .finish()
+    }
+}
+
+/// The offsets the prefetcher has accepted but not yet finished: the scan
+/// waits on this before demand-fetching a block it already issued, so a
+/// block is read from disk exactly once per cold scan — never by both the
+/// worker and the demand path racing each other.
+struct PrefetchState {
+    pending: Mutex<std::collections::HashSet<u64>>,
+    done: Condvar,
+}
+
+impl PrefetchState {
+    fn begin_span(&self, span: &[BlockMeta]) {
+        let mut pending = self.pending.lock().expect("prefetch state poisoned");
+        for meta in span {
+            pending.insert(meta.offset);
+        }
+    }
+
+    /// Completes a whole span under one lock with one wake-up — the
+    /// per-block variant would wake the waiting scan once per block, which
+    /// on a loaded machine degenerates into a context switch per block.
+    fn complete_span(&self, span: &[BlockMeta]) {
+        let mut pending = self.pending.lock().expect("prefetch state poisoned");
+        for meta in span {
+            pending.remove(&meta.offset);
+        }
+        drop(pending);
+        self.done.notify_all();
+    }
+
+    fn wait_for(&self, offset: u64) {
+        let mut pending = self.pending.lock().expect("prefetch state poisoned");
+        while pending.contains(&offset) {
+            pending = self.done.wait(pending).expect("prefetch state poisoned");
+        }
+    }
+}
+
+/// The background read-ahead worker: a bounded queue of *spans* — runs of
+/// file-contiguous block summaries the scan wants next — drained by one
+/// thread with its own file handle that reads each span in a single
+/// contiguous read, then verifies and stages its blocks in the shared
+/// cache. Coalescing matters: a cold sequential scan issues one syscall per
+/// span instead of one per block. The queue is fed with `try_send` — when
+/// it is full the scan simply stops issuing, so prefetching never blocks
+/// the scan on anything but a block it would read next anyway. Errors are
+/// swallowed here: the demand fetch re-reads and re-surfaces them.
+struct Prefetcher {
+    tx: Option<SyncSender<Vec<BlockMeta>>>,
+    handle: Option<JoinHandle<()>>,
+    state: Arc<PrefetchState>,
+    depth: usize,
+}
+
+impl Prefetcher {
+    fn spawn(path: &Path, cache: Arc<BlockCache>, depth: usize) -> Result<Self> {
+        let file = File::open(path)?;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<BlockMeta>>(depth);
+        let state = Arc::new(PrefetchState {
+            pending: Mutex::new(std::collections::HashSet::new()),
+            done: Condvar::new(),
+        });
+        let worker_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("mdb-prefetch".into())
+            .spawn(move || prefetch_loop(rx, file, cache, worker_state))?;
+        Ok(Self {
+            tx: Some(tx),
+            handle: Some(handle),
+            state,
+            depth,
+        })
+    }
+
+    /// Queues one file-contiguous span of blocks for read-ahead; false when
+    /// the queue is full (the caller stops issuing for this round).
+    fn issue(&self, span: Vec<BlockMeta>) -> bool {
+        let Some(tx) = self.tx.as_ref() else {
+            return false;
+        };
+        self.state.begin_span(&span);
+        match tx.try_send(span) {
+            Ok(()) => true,
+            Err(TrySendError::Full(span) | TrySendError::Disconnected(span)) => {
+                self.state.complete_span(&span);
+                false
+            }
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // disconnect: the worker drains and exits
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn prefetch_loop(
+    rx: Receiver<Vec<BlockMeta>>,
+    mut file: File,
+    cache: Arc<BlockCache>,
+    state: Arc<PrefetchState>,
+) {
+    let mut buffer = Vec::new();
+    while let Ok(span) = rx.recv() {
+        // One contiguous read covers the whole span, headers included (the
+        // issuer guarantees adjacency in the file).
+        let start = span[0].offset;
+        let total: u64 = span.iter().map(|meta| meta.stored_bytes).sum();
+        buffer.clear();
+        let read_ok = file.seek(SeekFrom::Start(start)).is_ok()
+            && (&mut file)
+                .take(total)
+                .read_to_end(&mut buffer)
+                .is_ok_and(|n| n as u64 == total);
+        let mut at = 0usize;
+        for meta in &span {
+            let stored = meta.stored_bytes as usize;
+            // On any failure just leave the block unstaged: the demand
+            // fetch re-reads and reports the error properly.
+            if read_ok && !cache.contains(meta.offset) {
+                let payload = &buffer[at + HEADER_BYTES..at + stored];
+                if payload_checksum(meta.format, payload) == meta.checksum {
+                    if let Ok(block) = decode_cached(payload.to_vec(), meta) {
+                        cache.insert_prefetched(meta.offset, block, stored);
+                    }
+                }
+            }
+            at += stored;
+        }
+        state.complete_span(&span);
     }
 }
 
@@ -100,7 +275,13 @@ pub struct DiskStore {
     /// Per-block summaries — the only per-segment-body state kept resident.
     blocks: Vec<BlockMeta>,
     zones: ZoneMap,
-    cache: BlockCache,
+    /// Shared with the prefetcher thread (when one is running).
+    cache: Arc<BlockCache>,
+    /// The background read-ahead worker; `None` when `prefetch_depth` is 0
+    /// or the cache is budgeted to hold nothing.
+    prefetch: Option<Prefetcher>,
+    /// Payload format for newly appended blocks.
+    write_format: BlockFormat,
     write_buffer: Vec<SegmentRecord>,
     /// Stored-value range per buffered segment (parallel to `write_buffer`),
     /// computed once at insert for both the zone map and the block summary.
@@ -182,6 +363,17 @@ impl DiskStore {
         let mut writer = BufWriter::new(file);
         writer.seek(SeekFrom::End(0))?;
         let reader = Mutex::new(File::open(&path)?);
+        let cache = Arc::new(BlockCache::new(options.memory_budget_bytes));
+        // No prefetcher when disabled or when nothing can be staged anyway.
+        let prefetch = if options.prefetch_depth > 0 && !cache.caches_nothing() {
+            Some(Prefetcher::spawn(
+                &path,
+                Arc::clone(&cache),
+                options.prefetch_depth,
+            )?)
+        } else {
+            None
+        };
         let store = Self {
             path,
             sidecar_path,
@@ -192,7 +384,9 @@ impl DiskStore {
             persistent_bytes: recovered.valid_len,
             blocks: recovered.blocks,
             zones: recovered.zones,
-            cache: BlockCache::new(options.memory_budget_bytes),
+            cache,
+            prefetch,
+            write_format: options.write_format,
             write_buffer: Vec::new(),
             buffer_ranges: Vec::new(),
             buffer_peak: 0,
@@ -223,9 +417,10 @@ impl DiskStore {
         self.blocks.len()
     }
 
-    /// Block-cache counters (hits, misses, resident and peak segments).
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+    /// Payload format newly appended blocks are written in. Blocks already
+    /// on disk keep whatever format they were written with.
+    pub fn write_format(&self) -> BlockFormat {
+        self.write_format
     }
 
     /// Enables or disables zone-map/block-statistics pruning in scans (the
@@ -266,11 +461,11 @@ impl DiskStore {
         false
     }
 
-    /// Fetches one block through the cache, reading and decoding it on a
-    /// miss. The payload checksum is verified on every read from disk, so
-    /// silent corruption surfaces as [`MdbError::Corrupt`] instead of bad
-    /// query results.
-    fn fetch_block(&self, meta: &BlockMeta) -> Result<Arc<Vec<SegmentRecord>>> {
+    /// Fetches one block through the cache, reading (and for v2 validating,
+    /// for v1 decoding) it on a miss. The payload checksum is verified on
+    /// every read from disk, so silent corruption surfaces as
+    /// [`MdbError::Corrupt`] instead of bad query results.
+    fn fetch_block(&self, meta: &BlockMeta) -> Result<Arc<CachedBlock>> {
         self.cache.get_or_load(meta.offset, || {
             let mut payload = vec![0u8; meta.payload_len as usize];
             {
@@ -278,13 +473,13 @@ impl DiskStore {
                 reader.seek(SeekFrom::Start(meta.offset + HEADER_BYTES as u64))?;
                 reader.read_exact(&mut payload)?;
             }
-            if checksum(&payload) != meta.checksum {
+            if payload_checksum(meta.format, &payload) != meta.checksum {
                 return Err(MdbError::Corrupt(format!(
                     "block at offset {} failed its checksum on read",
                     meta.offset
                 )));
             }
-            decode_block(&payload, meta.count as usize, meta.offset)
+            Ok((decode_cached(payload, meta)?, meta.stored_bytes as usize))
         })
     }
 
@@ -292,20 +487,27 @@ impl DiskStore {
         if self.write_buffer.is_empty() {
             return Ok(());
         }
-        let mut payload = Vec::new();
-        for segment in &self.write_buffer {
-            write_segment(&mut payload, segment);
-        }
+        let payload = match self.write_format {
+            BlockFormat::V1 => {
+                let mut payload = Vec::new();
+                for segment in &self.write_buffer {
+                    write_segment(&mut payload, segment);
+                }
+                payload
+            }
+            BlockFormat::V2 => encode_block_v2(&self.write_buffer),
+        };
         let meta = summarize_block(
             self.persistent_bytes,
             payload.len() as u32,
-            checksum(&payload),
+            payload_checksum(self.write_format, &payload),
+            self.write_format,
             &self.write_buffer,
             &self.buffer_ranges,
             self.sketch_feed.as_ref(),
         );
         let mut header = Vec::with_capacity(HEADER_BYTES);
-        header.extend_from_slice(&BLOCK_MAGIC.to_le_bytes());
+        header.extend_from_slice(&magic_of(self.write_format).to_le_bytes());
         header.extend_from_slice(&meta.payload_len.to_le_bytes());
         header.extend_from_slice(&meta.checksum.to_le_bytes());
         header.extend_from_slice(&meta.count.to_le_bytes());
@@ -345,6 +547,12 @@ fn emit_matching_runs(
     predicate: &SegmentPredicate,
     f: &mut dyn FnMut(&[SegmentRecord]),
 ) {
+    if predicate.matches_every_segment() {
+        if !segments.is_empty() {
+            f(segments);
+        }
+        return;
+    }
     let mut run_start = None;
     for (i, segment) in segments.iter().enumerate() {
         if predicate.matches(segment) {
@@ -358,6 +566,33 @@ fn emit_matching_runs(
     }
 }
 
+/// Emits maximal contiguous index ranges `[lo, hi)` of `block`'s segments
+/// matching `predicate` — evaluated over borrowed views, so no segment is
+/// materialized to decide membership.
+fn emit_view_runs(
+    block: &CachedBlock,
+    predicate: &SegmentPredicate,
+    f: &mut dyn FnMut(usize, usize),
+) {
+    if predicate.matches_every_segment() {
+        if !block.is_empty() {
+            f(0, block.len());
+        }
+        return;
+    }
+    let mut run_start = None;
+    for i in 0..block.len() {
+        if predicate.matches_view(&block.segment(i)) {
+            run_start.get_or_insert(i);
+        } else if let Some(start) = run_start.take() {
+            f(start, i);
+        }
+    }
+    if let Some(start) = run_start {
+        f(start, block.len());
+    }
+}
+
 /// Builds one block's summary from its segments and their (possibly
 /// unknown) stored-value ranges — the single source of truth for both the
 /// write path and the streaming rescan, so sidecar-persisted and
@@ -366,6 +601,7 @@ fn summarize_block(
     offset: u64,
     payload_len: u32,
     payload_checksum: u32,
+    format: BlockFormat,
     segments: &[SegmentRecord],
     ranges: &[Option<ValueInterval>],
     sketch_feed: Option<&SketchFeedFn>,
@@ -375,6 +611,7 @@ fn summarize_block(
         offset,
         stored_bytes: HEADER_BYTES as u64 + u64::from(payload_len),
         payload_len,
+        format,
         checksum: payload_checksum,
         count: segments.len() as u32,
         logical_bytes: 0,
@@ -418,7 +655,35 @@ fn sketch_block(segments: &[SegmentRecord], feed: &SketchFeedFn) -> Option<Arc<B
     Some(Arc::new(per_gid.into_iter().collect()))
 }
 
-/// Decodes one block payload into segment records.
+/// The payload checksum of a block format: v1 keeps the byte-wise FNV the
+/// format shipped with; v2 payloads use the word-folded variant.
+fn payload_checksum(format: BlockFormat, payload: &[u8]) -> u32 {
+    match format {
+        BlockFormat::V1 => checksum(payload),
+        BlockFormat::V2 => checksum_v2(payload),
+    }
+}
+
+/// Turns one checksum-verified payload into the cache's representation:
+/// v2 payloads are validated once into a zero-copy [`BlockView`], v1
+/// payloads are decoded into owned records.
+fn decode_cached(payload: Vec<u8>, meta: &BlockMeta) -> Result<CachedBlock> {
+    match meta.format {
+        BlockFormat::V2 => BlockView::parse(payload, meta.count)
+            .map(CachedBlock::View)
+            .ok_or_else(|| {
+                MdbError::Corrupt(format!(
+                    "v2 block at offset {} passed its checksum but failed layout validation",
+                    meta.offset
+                ))
+            }),
+        BlockFormat::V1 => {
+            decode_block(&payload, meta.count as usize, meta.offset).map(CachedBlock::Owned)
+        }
+    }
+}
+
+/// Decodes one v1 block payload into segment records.
 fn decode_block(payload: &[u8], count: usize, offset: u64) -> Result<Vec<SegmentRecord>> {
     let mut slice = payload;
     let mut segments = Vec::with_capacity(count);
@@ -539,7 +804,7 @@ fn last_block_intact(file: &mut File, sc: &Sidecar) -> bool {
         let payload_len = u32::from_le_bytes(header[4..8].try_into().unwrap());
         let expected = u32::from_le_bytes(header[8..12].try_into().unwrap());
         let count = u32::from_le_bytes(header[12..16].try_into().unwrap());
-        if magic != BLOCK_MAGIC
+        if magic != magic_of(meta.format)
             || payload_len != meta.payload_len
             || expected != meta.checksum
             || count != meta.count
@@ -548,7 +813,7 @@ fn last_block_intact(file: &mut File, sc: &Sidecar) -> bool {
         }
         let mut payload = vec![0u8; payload_len as usize];
         file.read_exact(&mut payload)?;
-        Ok(checksum(&payload) == meta.checksum)
+        Ok(payload_checksum(meta.format, &payload) == meta.checksum)
     };
     check().unwrap_or(false)
 }
@@ -573,9 +838,9 @@ fn scan_blocks_from(
     while offset + (HEADER_BYTES as u64) <= actual_len {
         file.read_exact(&mut header)?;
         let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
-        if magic != BLOCK_MAGIC {
+        let Some(format) = format_of(magic) else {
             break;
-        }
+        };
         let payload_len = u32::from_le_bytes(header[4..8].try_into().unwrap());
         let expected = u32::from_le_bytes(header[8..12].try_into().unwrap());
         let count = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
@@ -585,10 +850,21 @@ fn scan_blocks_from(
         }
         payload.resize(payload_len as usize, 0);
         file.read_exact(&mut payload)?;
-        if checksum(&payload) != expected {
+        if payload_checksum(format, &payload) != expected {
             break; // corrupt tail block
         }
-        let segments = decode_block(&payload, count, offset)?;
+        // The one-time rescan materializes records whatever the format —
+        // zone statistics need every segment once.
+        let segments = match format {
+            BlockFormat::V1 => decode_block(&payload, count, offset)?,
+            BlockFormat::V2 => BlockView::parse(payload.clone(), count as u32)
+                .ok_or_else(|| {
+                    MdbError::Corrupt(format!(
+                        "v2 block at offset {offset} passed its checksum but failed layout validation"
+                    ))
+                })?
+                .to_records(),
+        };
         let ranges: Vec<Option<ValueInterval>> = segments
             .iter()
             .map(|segment| value_bounds.and_then(|f| f(segment)))
@@ -600,6 +876,7 @@ fn scan_blocks_from(
             offset,
             payload_len,
             expected,
+            format,
             &segments,
             &ranges,
             sketch_feed,
@@ -660,21 +937,93 @@ impl SegmentStore for DiskStore {
         predicate: &SegmentPredicate,
         f: &mut dyn FnMut(&[SegmentRecord]),
     ) -> Result<()> {
+        // Materializes block runs into a reused scratch buffer for callers
+        // that want owned-record slices (listing, export, handoff). The
+        // aggregate scan path uses `scan_runs` directly and never pays this.
+        let mut scratch: Vec<SegmentRecord> = Vec::new();
+        self.scan_runs(predicate, &mut |run| match &run {
+            SegmentRun::Inline(records) => f(records),
+            SegmentRun::Block { block, lo, hi } => {
+                if let CachedBlock::Owned(records) = block.as_ref() {
+                    f(&records[*lo..*hi]);
+                } else {
+                    scratch.clear();
+                    scratch.extend(run.segments().map(|view| view.to_record()));
+                    f(&scratch);
+                }
+            }
+        })
+    }
+
+    fn scan_runs(&self, predicate: &SegmentPredicate, f: &mut dyn FnMut(SegmentRun)) -> Result<()> {
         let sorted_gids: Option<Vec<Gid>> = predicate.gids.as_ref().map(|gids| {
             let mut sorted = gids.clone();
             sorted.sort_unstable();
             sorted.dedup();
             sorted
         });
-        for meta in &self.blocks {
-            if self.pruning && Self::block_pruned(meta, predicate, sorted_gids.as_deref()) {
-                continue;
+        let survivors: Vec<&BlockMeta> = self
+            .blocks
+            .iter()
+            .filter(|meta| {
+                !self.pruning || !Self::block_pruned(meta, predicate, sorted_gids.as_deref())
+            })
+            .collect();
+        // Read-ahead: while block k is fetched and folded, the prefetcher
+        // pulls the next surviving blocks into the cache, coalescing
+        // file-adjacent blocks into single-read spans. `issued` never
+        // regresses, so each block is queued at most once per scan; a full
+        // queue just pauses issuing until the scan catches up.
+        let mut issued = 0usize;
+        for (k, meta) in survivors.iter().enumerate() {
+            if let Some(prefetch) = &self.prefetch {
+                issued = issued.max(k + 1);
+                // Top up only once the lookahead has drained to half the
+                // window: topping up on every block would degenerate into
+                // single-block spans (and a thread handoff per block) as
+                // soon as the window slides.
+                let drained = issued <= k + prefetch.depth.div_ceil(2);
+                'issue: while drained && issued < survivors.len() && issued <= k + prefetch.depth {
+                    if self.cache.contains(survivors[issued].offset) {
+                        issued += 1;
+                        continue;
+                    }
+                    let mut span = vec![BlockMeta::clone(survivors[issued])];
+                    let mut next = issued + 1;
+                    while next < survivors.len() && next <= k + prefetch.depth {
+                        let tail = span.last().expect("span is non-empty");
+                        if survivors[next].offset != tail.offset + tail.stored_bytes
+                            || self.cache.contains(survivors[next].offset)
+                        {
+                            break;
+                        }
+                        span.push(BlockMeta::clone(survivors[next]));
+                        next += 1;
+                    }
+                    if !prefetch.issue(span) {
+                        break 'issue;
+                    }
+                    issued = next;
+                }
+            }
+            // If the block is in the prefetcher's hands, wait for it to be
+            // staged instead of reading it a second time.
+            if let Some(prefetch) = &self.prefetch {
+                prefetch.state.wait_for(meta.offset);
             }
             let block = self.fetch_block(meta)?;
-            emit_matching_runs(&block, predicate, f);
+            emit_view_runs(&block, predicate, &mut |lo, hi| {
+                f(SegmentRun::Block {
+                    block: Arc::clone(&block),
+                    lo,
+                    hi,
+                })
+            });
         }
         // Buffered (not yet durable) segments scan last, in insert order.
-        emit_matching_runs(&self.write_buffer, predicate, f);
+        emit_matching_runs(&self.write_buffer, predicate, &mut |run| {
+            f(SegmentRun::Inline(run.to_vec()))
+        });
         Ok(())
     }
 
@@ -740,6 +1089,10 @@ impl SegmentStore for DiskStore {
 
     fn persistent_bytes(&self) -> u64 {
         self.persistent_bytes
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     fn resident_segments(&self) -> usize {
@@ -1100,23 +1453,27 @@ mod tests {
     fn bounded_cache_keeps_resident_segments_near_capacity() {
         let dir = temp_dir("budget");
         let block_segments = 16usize;
-        let per_segment = crate::cache::segment_resident_bytes(&seg(1, 0, 900));
+        let total = 64 * block_segments;
+        // Write once to learn the exact per-block file footprint (the
+        // budget's unit is file bytes now, not a heap estimate).
+        let per_block = {
+            let mut store = DiskStore::open(dir.path(), block_segments).unwrap();
+            for i in 0..total as i64 {
+                store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
+            }
+            store.flush().unwrap();
+            store.persistent_bytes() / store.block_count() as u64
+        };
         // Budget ≈ 2 blocks per shard × 8 shards.
-        let budget = (per_segment * block_segments * 16) as u64;
-        let mut store = DiskStore::open_with(
+        let store = DiskStore::open_with(
             dir.path(),
             DiskStoreOptions {
                 bulk_write_size: block_segments,
-                memory_budget_bytes: Some(budget),
+                memory_budget_bytes: Some(per_block * 16),
                 ..DiskStoreOptions::default()
             },
         )
         .unwrap();
-        let total = 64 * block_segments;
-        for i in 0..total as i64 {
-            store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
-        }
-        store.flush().unwrap();
         assert_eq!(
             scan_to_vec(&store, &SegmentPredicate::all()).unwrap().len(),
             total
@@ -1126,5 +1483,116 @@ mod tests {
             peak < total / 2,
             "peak {peak} should stay well below {total}"
         );
+        let stats = store.cache_stats();
+        assert!(
+            stats.resident_bytes as u64 <= per_block * 16,
+            "file-byte accounting must respect the budget: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn v2_scans_validate_without_owned_decodes() {
+        let dir = temp_dir("v2-counters");
+        let mut store = DiskStore::open(dir.path(), 8).unwrap();
+        for i in 0..32 {
+            store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
+        }
+        store.flush().unwrap();
+        assert_eq!(
+            scan_to_vec(&store, &SegmentPredicate::all()).unwrap().len(),
+            32
+        );
+        let stats = store.cache_stats();
+        assert_eq!(stats.owned_decodes, 0, "v2 blocks never decode to owned");
+        assert_eq!(stats.decode_validations, stats.misses);
+        // Exact accounting: bytes read == file bytes of the fetched blocks.
+        assert_eq!(stats.bytes_read, store.persistent_bytes());
+    }
+
+    #[test]
+    fn v1_write_format_round_trips_and_migrates_lazily() {
+        let dir = temp_dir("v1-compat");
+        // Write a log in the legacy format.
+        {
+            let mut store = DiskStore::open_with(
+                dir.path(),
+                DiskStoreOptions {
+                    bulk_write_size: 4,
+                    write_format: BlockFormat::V1,
+                    ..DiskStoreOptions::default()
+                },
+            )
+            .unwrap();
+            for i in 0..8 {
+                store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        // Reopen with the default (v2) writer: v1 blocks stay readable,
+        // new blocks append as v2, and scans cross the format boundary.
+        let mut store = DiskStore::open(dir.path(), 4).unwrap();
+        assert_eq!(store.len(), 8);
+        assert!(store.blocks.iter().all(|b| b.format == BlockFormat::V1));
+        for i in 8..16 {
+            store.insert(seg(2, i * 1000, i * 1000 + 900)).unwrap();
+        }
+        store.flush().unwrap();
+        assert_eq!(store.blocks[2].format, BlockFormat::V2);
+        let got = scan_to_vec(&store, &SegmentPredicate::all()).unwrap();
+        assert_eq!(got.len(), 16);
+        let stats = store.cache_stats();
+        assert_eq!(stats.owned_decodes, 2, "the two v1 blocks decode owned");
+        assert_eq!(stats.decode_validations, 2, "the two v2 blocks validate");
+        // A third open over the mixed log recovers everything (sidecar and
+        // rescan paths both understand both magics).
+        drop(store);
+        std::fs::remove_file(dir.join("segments.idx")).unwrap();
+        let store = DiskStore::open(dir.path(), 4).unwrap();
+        assert_eq!(scan_to_vec(&store, &SegmentPredicate::all()).unwrap(), got);
+    }
+
+    #[test]
+    fn prefetch_stages_blocks_and_scans_agree() {
+        let dir = temp_dir("prefetch");
+        let build = |depth: usize| {
+            DiskStore::open_with(
+                dir.path(),
+                DiskStoreOptions {
+                    bulk_write_size: 8,
+                    prefetch_depth: depth,
+                    ..DiskStoreOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        {
+            let mut store = build(0);
+            for i in 0..64 {
+                store
+                    .insert(seg(i as Gid % 3 + 1, i * 1000, i * 1000 + 900))
+                    .unwrap();
+            }
+            store.flush().unwrap();
+        }
+        let plain = {
+            let store = build(0);
+            scan_to_vec(&store, &SegmentPredicate::all()).unwrap()
+        };
+        let store = build(2);
+        // Repeat scans: the first may race the prefetcher, later ones hit.
+        for _ in 0..3 {
+            assert_eq!(
+                scan_to_vec(&store, &SegmentPredicate::all()).unwrap(),
+                plain
+            );
+        }
+        let stats = store.cache_stats();
+        assert_eq!(
+            stats.prefetch_issued + stats.misses,
+            8,
+            "every block read exactly once: {stats:?}"
+        );
+        assert_eq!(stats.prefetch_hits, stats.prefetch_issued);
+        assert_eq!(stats.bytes_read, store.persistent_bytes());
     }
 }

@@ -32,10 +32,13 @@ pub mod memory;
 pub mod sidecar;
 pub mod zone;
 
-use mdb_types::{BlockSketch, Gid, Result, SegmentRecord, Timestamp, ValueInterval};
+use std::sync::Arc;
 
-pub use cache::{BlockCache, CacheStats};
+use mdb_types::{BlockSketch, Gid, Result, SegmentRecord, SegmentView, Timestamp, ValueInterval};
+
+pub use cache::{BlockCache, CacheStats, CachedBlock};
 pub use catalog::Catalog;
+pub use codec::{checksum, checksum_v2};
 pub use disk::{DiskStore, DiskStoreOptions};
 pub use memory::MemoryStore;
 pub use zone::{GidZone, SketchFeedFn, ValueBoundsFn, ZoneMap, ZoneRun, ZoneValues};
@@ -86,10 +89,25 @@ impl SegmentPredicate {
         self
     }
 
+    /// True when the per-segment clauses (gid, time) restrict nothing, so
+    /// every segment of a surviving run matches — the full-span fast path:
+    /// scans emit whole blocks as single runs without evaluating a view per
+    /// segment. The run-granular `values` clause is irrelevant here; it
+    /// prunes blocks and runs, never individual segments.
+    pub fn matches_every_segment(&self) -> bool {
+        self.gids.is_none() && self.from.is_none() && self.to.is_none()
+    }
+
     /// Whether `segment` satisfies the gid and time parts of the predicate.
     /// The `values` part is run-granular: it cannot be decided per segment
     /// without decoding the model, so it is intentionally not checked here.
     pub fn matches(&self, segment: &SegmentRecord) -> bool {
+        self.matches_view(&segment.view())
+    }
+
+    /// [`SegmentPredicate::matches`] over a borrowed view — the form the
+    /// zero-copy scan path evaluates without materializing a record.
+    pub fn matches_view(&self, segment: &SegmentView<'_>) -> bool {
         if let Some(gids) = &self.gids {
             if !gids.contains(&segment.gid) {
                 return false;
@@ -106,6 +124,57 @@ impl SegmentPredicate {
             }
         }
         true
+    }
+}
+
+/// One contiguous run of matching segments as [`SegmentStore::scan_runs`]
+/// yields it: either a slice `[lo, hi)` of a cached block — shared, so the
+/// consumer holds the block alive and reads segments as borrowed views with
+/// no per-segment allocation — or a small owned batch (write buffers, the
+/// in-memory store's default adaptation).
+#[derive(Debug)]
+pub enum SegmentRun {
+    /// Segments `lo..hi` of a cached on-disk block.
+    Block {
+        /// The cached block the run borrows from.
+        block: Arc<CachedBlock>,
+        /// First matching segment index (inclusive).
+        lo: usize,
+        /// One past the last matching segment index.
+        hi: usize,
+    },
+    /// An owned batch of segments (already resident, not block-backed).
+    Inline(Vec<SegmentRecord>),
+}
+
+impl SegmentRun {
+    /// Number of segments in the run.
+    pub fn len(&self) -> usize {
+        match self {
+            SegmentRun::Block { lo, hi, .. } => hi - lo,
+            SegmentRun::Inline(records) => records.len(),
+        }
+    }
+
+    /// True when the run is empty (stores never emit empty runs).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th segment of the run as a borrowed view.
+    pub fn segment(&self, i: usize) -> SegmentView<'_> {
+        match self {
+            SegmentRun::Block { block, lo, hi } => {
+                debug_assert!(lo + i < *hi);
+                block.segment(lo + i)
+            }
+            SegmentRun::Inline(records) => records[i].view(),
+        }
+    }
+
+    /// Iterates the run's segments in scan order.
+    pub fn segments(&self) -> impl Iterator<Item = SegmentView<'_>> + '_ {
+        (0..self.len()).map(|i| self.segment(i))
     }
 }
 
@@ -144,6 +213,16 @@ pub trait SegmentStore: Send + Sync {
         f: &mut dyn FnMut(&[SegmentRecord]),
     ) -> Result<()> {
         self.scan(predicate, &mut |segment| f(std::slice::from_ref(segment)))
+    }
+
+    /// Like [`SegmentStore::scan_batches`], but yields [`SegmentRun`]s whose
+    /// segments are read as borrowed [`SegmentView`]s — for the out-of-core
+    /// store a run shares the cached block itself, so the aggregate scan
+    /// path materializes no owned records at all. The concatenation of the
+    /// runs' segments is identical to the `scan` sequence. The default
+    /// adapts [`SegmentStore::scan_batches`] with owned runs.
+    fn scan_runs(&self, predicate: &SegmentPredicate, f: &mut dyn FnMut(SegmentRun)) -> Result<()> {
+        self.scan_batches(predicate, &mut |run| f(SegmentRun::Inline(run.to_vec())))
     }
 
     /// Collects every segment of the given groups, preserving the store's
@@ -214,6 +293,12 @@ pub trait SegmentStore: Send + Sync {
     /// buffer peaks independently) — the `repro storage` benchmark metric.
     fn resident_segment_peak(&self) -> usize {
         self.resident_segments()
+    }
+
+    /// Block-cache counters (reads, prefetches, decode validations). Stores
+    /// without a block cache — the in-memory store — report all zeros.
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
     }
 }
 

@@ -23,13 +23,17 @@ use std::path::Path;
 
 use std::sync::Arc;
 
-use mdb_types::{BlockMeta, BlockSketch, BlockSketches, Result, ValueInterval};
+use mdb_types::{BlockFormat, BlockMeta, BlockSketch, BlockSketches, Result, ValueInterval};
 
 use crate::codec::checksum;
 use crate::zone::{GidZone, ZoneMap, ZoneRun, ZoneValues};
 
 const SIDECAR_MAGIC: u32 = 0x4D44_4249; // "MDBI"
-const SIDECAR_VERSION: u32 = 1;
+                                        // Version 2 added the per-block payload-format tag (v1 varint vs v2
+                                        // columnar blocks). A version-1 sidecar no longer parses; the store falls
+                                        // back to the streaming rescan — which recognizes both block formats — and
+                                        // rewrites a current sidecar, so old stores upgrade on first open.
+const SIDECAR_VERSION: u32 = 2;
 
 /// Everything `DiskStore::open` needs that is not the segment bodies.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -73,6 +77,10 @@ pub fn write(path: &Path, sidecar: &Sidecar) -> Result<()> {
         put_i64(&mut body, block.min_end);
         put_i64(&mut body, block.max_end);
         put_opt_interval(&mut body, &block.values);
+        body.push(match block.format {
+            BlockFormat::V1 => 1,
+            BlockFormat::V2 => 2,
+        });
     }
     let n_gids = sidecar.zones.gids().count() as u32;
     put_u32(&mut body, n_gids);
@@ -181,6 +189,11 @@ fn parse(bytes: &[u8]) -> Option<Sidecar> {
             min_end: cur.i64()?,
             max_end: cur.i64()?,
             values: cur.opt_interval()?,
+            format: match cur.u8()? {
+                1 => BlockFormat::V1,
+                2 => BlockFormat::V2,
+                _ => return None,
+            },
             // Filled in by the trailing sketch section, when present.
             sketches: None,
         });
@@ -401,6 +414,7 @@ mod tests {
                     offset: 0,
                     stored_bytes: 6000,
                     payload_len: 5956,
+                    format: BlockFormat::V1,
                     checksum: 0xDEAD_BEEF,
                     count: 50,
                     logical_bytes: 4_096,
@@ -416,6 +430,7 @@ mod tests {
                     offset: 6000,
                     stored_bytes: 6345,
                     payload_len: 6301,
+                    format: BlockFormat::V2,
                     checksum: 7,
                     count: 50,
                     logical_bytes: 5_120,

@@ -21,6 +21,19 @@ use crate::meta::Gid;
 /// [`mdb_sketch`]) answers sketch queries without fetching a single body.
 pub type BlockSketches = Vec<(Gid, mdb_sketch::BlockSketch)>;
 
+/// On-disk encoding of one block's payload. The log is heterogeneous: a
+/// store reopened over v1 blocks keeps them as-is and appends new blocks in
+/// the configured write format, dispatching per block on the header magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockFormat {
+    /// Row-major varint segments, decoded into owned records on fetch.
+    V1,
+    /// Self-describing columnar layout ([`crate::view::BlockView`]),
+    /// validated once per fetch and scanned through borrowed views.
+    #[default]
+    V2,
+}
+
 /// Per-block statistics over the segments stored in one log block.
 ///
 /// `offset` and `stored_bytes` locate the block inside the append-only log;
@@ -36,6 +49,8 @@ pub struct BlockMeta {
     pub stored_bytes: u64,
     /// Payload length in bytes (excluding the header).
     pub payload_len: u32,
+    /// How the payload is encoded (dictates the fetch-time decode path).
+    pub format: BlockFormat,
     /// FNV-1a checksum of the payload, verified on every fetch.
     pub checksum: u32,
     /// Number of segment records in the payload.
@@ -105,6 +120,7 @@ mod tests {
             offset: 0,
             stored_bytes: 100,
             payload_len: 56,
+            format: BlockFormat::V2,
             checksum: 0,
             count: 3,
             logical_bytes: 75,

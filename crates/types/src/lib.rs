@@ -32,9 +32,10 @@ pub mod interval;
 pub mod meta;
 pub mod segment;
 pub mod time;
+pub mod view;
 
 pub use batch::{BatchView, RowBatch};
-pub use block::{BlockMeta, BlockSketches};
+pub use block::{BlockFormat, BlockMeta, BlockSketches};
 pub use bound::ErrorBound;
 pub use datapoint::{DataPoint, Tid, Timestamp, Value};
 pub use dimensions::{DimensionSchema, Dimensions, MemberId, LEVEL_TOP};
@@ -44,3 +45,4 @@ pub use mdb_sketch::BlockSketch;
 pub use meta::{Gid, GroupMeta, TimeSeriesMeta};
 pub use segment::{GapsMask, SegmentRecord, MAX_GROUP_SIZE};
 pub use time::TimeLevel;
+pub use view::{encode_block_v2, BlockView, SegmentView};

@@ -1,18 +1,19 @@
-//! Cache equivalence: the block cache is a performance knob, never a
-//! semantics knob. Three disk-backed engines over byte-identical segments —
-//! cache capacity zero (every scan re-reads disk), roughly one block per
-//! shard (constant eviction), and unbounded (everything stays resident) —
-//! must return **bit-identical** SQL aggregates and DataPoint listings for
-//! arbitrary time ranges and value predicates, over data with per-series
-//! gaps, whole-group gap ticks, and dynamic split/join episodes (the same
-//! ingest pattern as `tests/query_equivalence.rs`).
+//! Cache equivalence: the block cache, the prefetcher, and the block format
+//! are performance knobs, never semantics knobs. Twelve disk-backed engines
+//! over byte-identical segments — every combination of cache capacity zero
+//! (every scan re-reads disk), roughly one block per shard (constant
+//! eviction), and unbounded (everything stays resident), × prefetch off/on,
+//! × v1 row-major and v2 columnar block layouts — must return
+//! **bit-identical** SQL aggregates and DataPoint listings for arbitrary
+//! time ranges and value predicates, over data with per-series gaps,
+//! whole-group gap ticks, and dynamic split/join episodes (the same ingest
+//! pattern as `tests/query_equivalence.rs`).
 
 use mdb_testutil::TempDir;
 use proptest::prelude::*;
 
 use modelardb::{
-    DimensionSchema, ErrorBound, ModelarDb, ModelarDbBuilder, SegmentRecord, SeriesSpec,
-    StorageSpec,
+    BlockFormat, DimensionSchema, ErrorBound, ModelarDb, ModelarDbBuilder, SeriesSpec, StorageSpec,
 };
 
 /// Ticks ingested by [`engines`] (timestamps `t * 100`).
@@ -20,70 +21,92 @@ const SJ_TICKS: i64 = 900;
 /// Segments per log block.
 const BULK_WRITE: usize = 32;
 
-/// Roughly one cached block per shard: enough to exercise hit/evict cycles,
-/// far too small to hold the store.
-fn one_block_budget() -> u64 {
-    (8 * BULK_WRITE * (std::mem::size_of::<SegmentRecord>() + 16)) as u64
+/// The deterministic ingest row for tick `t` given the PRNG state `x`:
+/// per-series gaps, whole-group gap ticks, and a decorrelation phase noisy
+/// enough to force dynamic split and join episodes (asserted in `engines`).
+fn row(t: i64, x: &mut u32) -> [Option<f32>; 2] {
+    *x = x.wrapping_mul(1103515245).wrapping_add(12345);
+    let noise = (*x >> 16) as f32 / 65536.0;
+    if (150..320).contains(&t) {
+        [Some(5.0 + noise * 0.2), Some(500.0 + noise * 120.0)]
+    } else if t % 97 == 13 {
+        [None, None]
+    } else {
+        [(t % 37 != 0).then_some(5.0), Some(5.1)]
+    }
 }
 
-/// Three engines over byte-identical segments, differing only in block-cache
-/// capacity. The ingest mixes per-series gaps, whole-group gap ticks, and a
-/// decorrelation phase noisy enough to force dynamic split and join episodes
-/// (asserted below). The returned `TempDir`s own the engines' directories:
-/// keep them alive as long as the engines, drop the engines first.
-fn engines() -> (Vec<TempDir>, Vec<ModelarDb>) {
-    let budgets = [Some(0u64), Some(one_block_budget()), None];
-    let dirs: Vec<TempDir> = (0..budgets.len())
-        .map(|_| TempDir::new("cache-eq"))
-        .collect();
-    let mut engines: Vec<ModelarDb> = budgets
-        .iter()
-        .zip(&dirs)
-        .map(|(budget, dir)| {
-            let mut b = ModelarDbBuilder::new();
-            b.config_mut().compression.error_bound = ErrorBound::absolute(0.5);
-            b.config_mut().compression.split_fraction = 2.0;
-            b.config_mut().bulk_write_size = BULK_WRITE;
-            b.config_mut().storage = StorageSpec::Disk(dir.path().to_path_buf());
-            b.config_mut().memory_budget_bytes = *budget;
-            b.add_dimension(
-                DimensionSchema::from_leaf_up("Location", vec!["Turbine".into(), "Park".into()])
-                    .unwrap(),
-            )
-            .add_series(SeriesSpec::new("a", 100).with_members("Location", &["Aalborg", "1"]))
-            .add_series(SeriesSpec::new("b", 100).with_members("Location", &["Aalborg", "2"]))
-            .correlate("Location 1");
-            b.build().unwrap()
-        })
-        .collect();
+fn build(dir: &TempDir, budget: Option<u64>, prefetch: usize, format: BlockFormat) -> ModelarDb {
+    let mut b = ModelarDbBuilder::new();
+    b.config_mut().compression.error_bound = ErrorBound::absolute(0.5);
+    b.config_mut().compression.split_fraction = 2.0;
+    b.config_mut().bulk_write_size = BULK_WRITE;
+    b.config_mut().storage = StorageSpec::Disk(dir.path().to_path_buf());
+    b.config_mut().memory_budget_bytes = budget;
+    b.config_mut().prefetch_depth = prefetch;
+    b.config_mut().block_format = format;
+    b.add_dimension(
+        DimensionSchema::from_leaf_up("Location", vec!["Turbine".into(), "Park".into()]).unwrap(),
+    )
+    .add_series(SeriesSpec::new("a", 100).with_members("Location", &["Aalborg", "1"]))
+    .add_series(SeriesSpec::new("b", 100).with_members("Location", &["Aalborg", "2"]))
+    .correlate("Location 1");
+    b.build().unwrap()
+}
+
+fn ingest(db: &mut ModelarDb) {
     let mut x = 99u32;
     for t in 0..SJ_TICKS {
-        x = x.wrapping_mul(1103515245).wrapping_add(12345);
-        let noise = (x >> 16) as f32 / 65536.0;
-        let row = if (150..320).contains(&t) {
-            [Some(5.0 + noise * 0.2), Some(500.0 + noise * 120.0)]
-        } else if t % 97 == 13 {
-            [None, None]
-        } else {
-            [(t % 37 != 0).then_some(5.0), Some(5.1)]
-        };
-        for db in &mut engines {
-            db.ingest_row(t * 100, &row).unwrap();
-        }
+        let r = row(t, &mut x);
+        db.ingest_row(t * 100, &r).unwrap();
     }
-    for db in &mut engines {
-        db.flush().unwrap();
-    }
-    let stats = engines[0].stats();
+    db.flush().unwrap();
+}
+
+/// Twelve engines over byte-identical segments: cache budget {0, ~one block
+/// per shard, unbounded} × prefetch {off, on} × block format {v1, v2}. The
+/// one-block budget is derived from the reference engine's actual on-disk
+/// bytes — cache accounting charges stored file bytes, so the budget must be
+/// in the same unit to mean "hit/evict churn" rather than "cache nothing" or
+/// "cache everything". The returned `TempDir`s own the engines' directories:
+/// keep them alive as long as the engines, drop the engines first.
+fn engines() -> (Vec<TempDir>, Vec<ModelarDb>) {
+    // The reference engine is built first so the churn budget below can be
+    // measured from its segment log instead of guessed from record sizes.
+    let reference_dir = TempDir::new("cache-eq");
+    let mut reference = build(&reference_dir, None, 0, BlockFormat::V2);
+    ingest(&mut reference);
+    let stats = reference.stats();
     assert!(stats.splits >= 1, "fixture must exercise dynamic splits");
     assert!(stats.joins >= 1, "fixture must exercise dynamic joins");
-    let reference = engines[0].segments().unwrap();
-    for db in &engines[1..] {
-        assert_eq!(
-            db.segments().unwrap(),
-            reference,
-            "all engines must hold byte-identical segments"
-        );
+    let log_len = std::fs::metadata(reference_dir.path().join("segments.log"))
+        .unwrap()
+        .len();
+    let segments = reference.segments().unwrap();
+    // ~8 blocks of stored bytes: one per cache shard, so every scan cycles
+    // through hits and evictions without degenerating to either extreme.
+    let one_block_budget = 8 * log_len * BULK_WRITE as u64 / segments.len() as u64;
+
+    let mut dirs = vec![reference_dir];
+    let mut engines = vec![reference];
+    for budget in [Some(0u64), Some(one_block_budget), None] {
+        for prefetch in [0usize, 2] {
+            for format in [BlockFormat::V1, BlockFormat::V2] {
+                if (budget, prefetch, format) == (None, 0, BlockFormat::V2) {
+                    continue; // the reference engine already covers this cell
+                }
+                let dir = TempDir::new("cache-eq");
+                let mut db = build(&dir, budget, prefetch, format);
+                ingest(&mut db);
+                assert_eq!(
+                    db.segments().unwrap(),
+                    segments,
+                    "all engines must hold byte-identical segments"
+                );
+                dirs.push(dir);
+                engines.push(db);
+            }
+        }
     }
     (dirs, engines)
 }

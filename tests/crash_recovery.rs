@@ -17,8 +17,9 @@ use mdb_testutil::TempDir;
 use proptest::prelude::*;
 
 use modelardb::{
-    scan_to_vec, BlockSketch, DiskStore, DiskStoreOptions, GapsMask, SegmentPredicate,
-    SegmentRecord, SegmentStore, SketchFeedFn, ValueBoundsFn, ValueInterval, ZoneMap,
+    checksum_v2, scan_to_vec, BlockFormat, BlockSketch, DiskStore, DiskStoreOptions, GapsMask,
+    SegmentPredicate, SegmentRecord, SegmentStore, SketchFeedFn, ValueBoundsFn, ValueInterval,
+    ZoneMap,
 };
 
 /// Size of a block header in `segments.log`: six u32 fields (magic,
@@ -83,6 +84,7 @@ fn options(with_bounds: bool, with_feed: bool) -> DiskStoreOptions {
         memory_budget_bytes: None,
         value_bounds: with_bounds.then(bounds),
         sketch_feed: with_feed.then(feed),
+        ..Default::default()
     }
 }
 
@@ -321,6 +323,163 @@ fn corrupt_or_truncated_sketch_section_triggers_sketch_rebuilding_rescan() {
     ];
     for bytes in damaged {
         std::fs::write(&sidecar_path, &bytes).unwrap();
+        let store = DiskStore::open_with(dir, options(true, true)).unwrap();
+        assert_eq!(scan_to_vec(&store, &SegmentPredicate::all()).unwrap(), all);
+        assert_eq!(
+            store.merge_sketches(None).unwrap().as_ref(),
+            Some(&expected_sketch(&all))
+        );
+    }
+}
+
+/// v2 structural damage: payloads whose *outer checksum is valid* (patched
+/// with `checksum_v2` after the corruption) but whose columnar layout fails
+/// `BlockView` validation — a truncated parameter heap, a misaligned section
+/// offset, and a corrupt column (a zero sampling interval). A checksum-valid
+/// but structurally invalid block cannot come from a torn write, so the
+/// recovery rescan must *reject it as corruption* — an `Err`, never a panic,
+/// never silently adopting garbage segments.
+#[test]
+fn checksum_valid_but_structurally_damaged_v2_blocks_are_rejected_without_panic() {
+    // Header field offsets within a block, per `crates/storage/src/disk.rs`:
+    // magic @0, payload_len @4, checksum @8 (all u32 little-endian).
+    const LEN_AT: usize = 4;
+    const SUM_AT: usize = 8;
+    let case = case_dir();
+    let dir = case.path();
+    {
+        let mut store = DiskStore::open_with(dir, options(true, false)).unwrap();
+        assert_eq!(store.write_format(), BlockFormat::V2);
+        for i in 0..30 {
+            store.insert(seg(i)).unwrap();
+            if i % 10 == 9 {
+                store.flush().unwrap();
+            }
+        }
+    }
+    let log_path = dir.join("segments.log");
+    let pristine = std::fs::read(&log_path).unwrap();
+    // Locate the last block by walking the headers.
+    let mut start = 0usize;
+    loop {
+        let len = u32::from_le_bytes(
+            pristine[start + LEN_AT..start + LEN_AT + 4]
+                .try_into()
+                .unwrap(),
+        );
+        let next = start + HEADER_BYTES as usize + len as usize;
+        if next == pristine.len() {
+            break;
+        }
+        start = next;
+    }
+    let body = start + HEADER_BYTES as usize;
+
+    // Each damage mode corrupts the last block's payload, then re-seals the
+    // outer header so the checksum is not what rejects it.
+    let damaged: Vec<Vec<u8>> = vec![
+        {
+            // Truncate the parameter heap: the recorded total length and
+            // section offsets now point past the buffer.
+            let mut b = pristine[..pristine.len() - 3].to_vec();
+            let len = (b.len() - body) as u32;
+            b[start + LEN_AT..start + LEN_AT + 4].copy_from_slice(&len.to_le_bytes());
+            b
+        },
+        {
+            // Misalign a section offset: shift `off_sis` (table entry 3,
+            // bytes 12..16 of the payload) by four bytes.
+            let mut b = pristine.clone();
+            let at = body + 12;
+            let off = u32::from_le_bytes(b[at..at + 4].try_into().unwrap()) + 4;
+            b[at..at + 4].copy_from_slice(&off.to_le_bytes());
+            b
+        },
+        {
+            // Corrupt a column: zero the first sampling interval (`off_sis`
+            // names the SI section; SI < 1 is structurally invalid).
+            let mut b = pristine.clone();
+            let at = body + 12;
+            let off = u32::from_le_bytes(b[at..at + 4].try_into().unwrap()) as usize;
+            b[body + off..body + off + 8].copy_from_slice(&0i64.to_le_bytes());
+            b
+        },
+    ];
+    for mut bytes in damaged {
+        let sum = checksum_v2(&bytes[body..]);
+        bytes[start + SUM_AT..start + SUM_AT + 4].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&log_path, &bytes).unwrap();
+        // Force the rescan: the sidecar (which would defer validation to
+        // fetch time) is gone, so the open itself walks every block.
+        let _ = std::fs::remove_file(dir.join("segments.idx"));
+        let err = DiskStore::open_with(dir, options(true, false))
+            .err()
+            .expect("structurally damaged block must be rejected");
+        assert!(
+            err.to_string().contains("layout validation"),
+            "unexpected error: {err}"
+        );
+    }
+
+    // Control: the pristine bytes still open and hold all 30 segments.
+    std::fs::write(&log_path, &pristine).unwrap();
+    let store = DiskStore::open_with(dir, options(true, false)).unwrap();
+    assert_eq!(store.len(), 30);
+}
+
+/// Lazy v1→v2 migration: a log written entirely in the v1 row-major format
+/// must reopen bit-identically under a v2-writing store — old blocks keep
+/// their format and decode through the owned path while new appends go down
+/// in v2 — and a further reopen of the now mixed-format log still agrees.
+#[test]
+fn v1_logs_reopen_bit_identically_and_mix_with_v2_appends() {
+    let case = case_dir();
+    let dir = case.path();
+    let v1_options = || DiskStoreOptions {
+        write_format: BlockFormat::V1,
+        ..options(true, true)
+    };
+    let mut all = Vec::new();
+    {
+        let mut store = DiskStore::open_with(dir, v1_options()).unwrap();
+        for i in 0..25 {
+            let s = seg(i);
+            store.insert(s.clone()).unwrap();
+            all.push(s);
+            if i % 8 == 7 {
+                store.flush().unwrap();
+            }
+        }
+        store.flush().unwrap();
+    }
+    let v1_log = std::fs::read(dir.join("segments.log")).unwrap();
+
+    // "Upgrade": reopen with the v2 default. Reads are bit-identical and
+    // the v1 bytes on disk are untouched (migration is lazy, not a rewrite).
+    {
+        let mut store = DiskStore::open_with(dir, options(true, true)).unwrap();
+        assert_eq!(store.write_format(), BlockFormat::V2);
+        assert_eq!(scan_to_vec(&store, &SegmentPredicate::all()).unwrap(), all);
+        assert_eq!(std::fs::read(dir.join("segments.log")).unwrap(), v1_log);
+        assert_eq!(
+            store.merge_sketches(None).unwrap().as_ref(),
+            Some(&expected_sketch(&all))
+        );
+        // New appends extend the same log in v2.
+        for i in 25..30 {
+            let s = seg(i);
+            store.insert(s.clone()).unwrap();
+            all.push(s);
+        }
+        store.flush().unwrap();
+    }
+
+    // The mixed-format log reopens to the full segment list, from the
+    // sidecar and — after deleting it — from the raw rescan.
+    for delete_sidecar in [false, true] {
+        if delete_sidecar {
+            std::fs::remove_file(dir.join("segments.idx")).unwrap();
+        }
         let store = DiskStore::open_with(dir, options(true, true)).unwrap();
         assert_eq!(scan_to_vec(&store, &SegmentPredicate::all()).unwrap(), all);
         assert_eq!(

@@ -22,7 +22,7 @@ use proptest::prelude::*;
 
 use modelardb::{
     sketch_feed, value_bounds_fn, Cluster, ClusterConfig, CompressionConfig, DiskStore,
-    DiskStoreOptions, ErrorBound, ModelRegistry, ModelarDb, QueryEngine,
+    DiskStoreOptions, ErrorBound, ModelRegistry, ModelarDb, QueryEngine, SegmentStore,
 };
 
 /// Exact reconstructed values of every stored data point, via the Data
@@ -204,6 +204,7 @@ fn disk_sketch_queries_fetch_no_block_bodies() {
             memory_budget_bytes: None,
             value_bounds: Some(value_bounds_fn(&catalog, &registry)),
             sketch_feed: Some(sketch_feed(&catalog, &registry)),
+            ..Default::default()
         },
     )
     .unwrap();
