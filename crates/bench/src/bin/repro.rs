@@ -8,7 +8,7 @@
 //! experiments:
 //!   table1  fig13  fig14  fig15  fig16  fig17  fig18  fig19  fig20
 //!   fig21   fig22  fig23  fig24  fig25  fig26  fig27  fig28  mgc
-//!   ingest  query  storage  scan  sketch  chaos  all
+//!   ingest  query  storage  scan  sketch  serve  chaos  all
 //! ```
 //!
 //! Unknown experiments, scales, or options exit non-zero with a usage
@@ -23,7 +23,9 @@
 //! `BENCH_scan.json` (cold-cache full-span aggregate scans over the v1
 //! decode path vs the zero-copy v2 view path, prefetch off and on), and
 //! `sketch` writes `BENCH_sketch.json` (metadata-only sketch queries vs
-//! their exact full-scan equivalents) so the perf
+//! their exact full-scan equivalents), and `serve` writes `BENCH_serve.json`
+//! (the networked front-end: remote-vs-in-process query efficiency plus
+//! throughput and tail latency under concurrent connections) so the perf
 //! trajectory is machine-readable across commits. `gate` compares a freshly produced
 //! `BENCH_*.json` against a committed baseline and fails (exit 1) on more
 //! than `--tolerance`-fold regression — of the machine-portable speedup
@@ -43,15 +45,18 @@ use mdb_cluster::{Cluster, ClusterConfig, WorkerState};
 use mdb_datagen::{eh, ep, Dataset, Scale, Workloads};
 use mdb_partitioner::CorrelationSpec;
 use mdb_testutil::TempDir;
-use modelardb::{CompressionConfig, ErrorBound, ModelRegistry, SegmentStore};
+use modelardb::{
+    Client, CommonOptions, CompressionConfig, ErrorBound, ModelRegistry, QueryResult, RowBatch,
+    SegmentStore, Server, ServerOptions, SharedDatastore,
+};
 
 const SEED: u64 = 42;
 const BOUNDS: [f64; 4] = [0.0, 1.0, 5.0, 10.0];
 
-const EXPERIMENTS: [&str; 24] = [
+const EXPERIMENTS: [&str; 25] = [
     "table1", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
     "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "mgc", "ingest", "query",
-    "storage", "scan", "sketch", "chaos",
+    "storage", "scan", "sketch", "serve", "chaos",
 ];
 
 fn usage() -> String {
@@ -218,6 +223,9 @@ fn run_experiments(experiment: &str, scale: Scale, scale_name: &str) {
     if run("sketch") {
         sketch_rates(scale, scale_name);
     }
+    if run("serve") {
+        serve_rates(scale, scale_name);
+    }
     if run("chaos") {
         chaos(scale);
     }
@@ -244,13 +252,16 @@ fn chaos(scale: Scale) {
             catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap(),
             Arc::new(ModelRegistry::standard()),
             ClusterConfig {
-                compression: CompressionConfig {
-                    error_bound: ErrorBound::relative(10.0),
-                    ..Default::default()
-                },
+                common: CommonOptions::builder()
+                    .compression(CompressionConfig {
+                        error_bound: ErrorBound::relative(10.0),
+                        ..Default::default()
+                    })
+                    .storage_dir(Some(dir.to_path_buf()))
+                    .bulk_write_size(64)
+                    .query_parallelism(1)
+                    .build(),
                 replication_factor: 2,
-                storage_dir: Some(dir.to_path_buf()),
-                bulk_write_size: 64,
                 ..ClusterConfig::default()
             },
             WORKERS,
@@ -959,6 +970,186 @@ fn query_rates(scale: Scale, scale_name: &str) {
     match std::fs::write("BENCH_query.json", &json) {
         Ok(()) => println!("\nwrote BENCH_query.json"),
         Err(e) => eprintln!("\nfailed to write BENCH_query.json: {e}"),
+    }
+}
+
+/// The mixed query panel the `serve` experiment replays: time-ranged S-AGG
+/// plus two grouped full-span aggregates, the dashboard-shaped workload a
+/// network front-end serves.
+fn serve_queries(ds: &Dataset, ticks: u64) -> Vec<String> {
+    let mut queries = time_ranged_queries(ds, ticks, "SUM_S", 8);
+    queries.push("SELECT Tid, COUNT_S(*), AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid".into());
+    queries
+        .push("SELECT Category, AVG_S(*) FROM Segment GROUP BY Category ORDER BY Category".into());
+    queries
+}
+
+/// `serve`: the networked front-end vs the in-process engine, written to
+/// `BENCH_serve.json`. For each data set, a twin of the in-process engine
+/// is put behind `mdb_server`, ingested over the wire, and checked for
+/// **bit-identical** results on every panel query — single-client and under
+/// the full concurrent load. Reported per data set:
+///
+/// * `serve_efficiency_speedup` — in-process panel time over single-client
+///   remote panel time (a ratio of two same-machine runs, so it transfers
+///   between machines; the CI gate compares it),
+/// * `queries_per_sec`, `p50_ms`, `p99_ms` — throughput and latency with
+///   `connections` concurrent client threads (32 at tiny, 128 at small,
+///   256 at medium; ungated by default — they are hardware numbers),
+/// * `concurrency_scaling` — concurrent throughput over single-client
+///   throughput (reported, not gated: it tracks the core count).
+fn serve_rates(scale: Scale, scale_name: &str) {
+    const REPS: usize = 5;
+    const ROUNDS: usize = 2; // panel replays per concurrent client
+    let connections: usize = match scale_name {
+        "tiny" => 32,
+        "medium" => 256,
+        _ => 128,
+    };
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for ds in [ep(SEED, scale).unwrap(), eh(SEED, scale).unwrap()] {
+        let ticks = ds.scale.ticks;
+        let queries = serve_queries(&ds, ticks);
+
+        // In-process reference: engine, results, and best panel time.
+        let mut local = build_engine(&ds, true, 10.0);
+        ingest_engine_batched(&mut local, &ds, ticks, 512);
+        let expected: Vec<QueryResult> = queries
+            .iter()
+            .map(|q| local.sql(q).expect("local"))
+            .collect();
+        let _ = run_queries(&local, &queries); // warm-up
+        let mut local_elapsed = Duration::MAX;
+        for _ in 0..REPS {
+            local_elapsed = local_elapsed.min(run_queries(&local, &queries));
+        }
+
+        // The served twin, ingested over the wire by one writer.
+        let server = Server::start(
+            SharedDatastore::new(build_engine(&ds, true, 10.0)),
+            ServerOptions {
+                max_connections: connections + 8,
+                ..ServerOptions::default()
+            },
+        )
+        .expect("server");
+        let addr = server.local_addr();
+        let mut writer = Client::connect(addr).expect("writer");
+        let mut batch = RowBatch::with_capacity(ds.n_series(), 512);
+        let mut tick = 0;
+        while tick < ticks {
+            let len = 512.min(ticks - tick);
+            ds.fill_batch(tick, len, &mut batch);
+            writer.ingest_batch(&batch).expect("wire ingest");
+            tick += len;
+        }
+        writer.flush().expect("wire flush");
+
+        // Single client: verify bit-identity, then time the panel.
+        for (q, want) in queries.iter().zip(&expected) {
+            assert_eq!(&writer.sql(q).expect("remote"), want, "{q}");
+        }
+        let mut remote_elapsed = Duration::MAX;
+        for _ in 0..REPS {
+            let (_, elapsed) = timed(|| {
+                for q in &queries {
+                    let _ = writer.sql(q).expect("remote");
+                }
+            });
+            remote_elapsed = remote_elapsed.min(elapsed);
+        }
+        writer.close().expect("writer close");
+        let efficiency = local_elapsed.as_secs_f64() / remote_elapsed.as_secs_f64().max(1e-9);
+        let single_qps = queries.len() as f64 / remote_elapsed.as_secs_f64().max(1e-9);
+
+        // The soak: `connections` concurrent clients replaying the panel,
+        // every result still bit-identical.
+        let (latencies, wall) = timed(|| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..connections)
+                    .map(|c| {
+                        let queries = &queries;
+                        let expected = &expected;
+                        scope.spawn(move || {
+                            let mut client = Client::connect(addr).expect("soak connect");
+                            let mut latencies = Vec::with_capacity(ROUNDS * queries.len());
+                            for i in 0..ROUNDS * queries.len() {
+                                let at = (c + i) % queries.len();
+                                let (got, elapsed) =
+                                    timed(|| client.sql(&queries[at]).expect("soak query"));
+                                assert_eq!(got, expected[at], "client {c}: {}", queries[at]);
+                                latencies.push(elapsed);
+                            }
+                            client.close().expect("soak close");
+                            latencies
+                        })
+                    })
+                    .collect();
+                let mut all = Vec::new();
+                for handle in handles {
+                    all.extend(handle.join().expect("soak client"));
+                }
+                all
+            })
+        });
+        server.shutdown().expect("server shutdown");
+
+        let total = latencies.len() as f64;
+        let qps = total / wall.as_secs_f64().max(1e-9);
+        let mut sorted = latencies;
+        sorted.sort_unstable();
+        let percentile = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+        let p50 = percentile(0.50);
+        let p99 = percentile(0.99);
+        let scaling = qps / single_qps.max(1e-9);
+
+        rows.push(vec![
+            ds.name.clone(),
+            format!("{connections}"),
+            fmt_ms(local_elapsed),
+            fmt_ms(remote_elapsed),
+            format!("{efficiency:.2}x"),
+            format!("{qps:.0} q/s"),
+            fmt_ms(p50),
+            fmt_ms(p99),
+            format!("{scaling:.2}x"),
+        ]);
+        entries.push(format!(
+            "    {{\"dataset\": \"{}\", \"ticks\": {ticks}, \"connections\": {connections}, \
+             \"panel_queries\": {}, \"local_panel_ms\": {:.3}, \"remote_panel_ms\": {:.3}, \
+             \"serve_efficiency_speedup\": {efficiency:.3}, \"queries_per_sec\": {qps:.1}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"concurrency_scaling\": {scaling:.3}}}",
+            ds.name,
+            queries.len(),
+            local_elapsed.as_secs_f64() * 1e3,
+            remote_elapsed.as_secs_f64() * 1e3,
+            p50.as_secs_f64() * 1e3,
+            p99.as_secs_f64() * 1e3,
+        ));
+    }
+    print_figure(
+        "Networked front-end: in-process vs remote, and the concurrent soak",
+        &[
+            "Data set",
+            "Conns",
+            "Local panel",
+            "Remote panel",
+            "Efficiency",
+            "Throughput",
+            "p50",
+            "p99",
+            "Scaling",
+        ],
+        &rows,
+    );
+    let json = format!(
+        "{{\n  \"scale\": \"{scale_name}\",\n  \"datasets\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_serve.json"),
+        Err(e) => eprintln!("\nfailed to write BENCH_serve.json: {e}"),
     }
 }
 

@@ -29,8 +29,9 @@
 //! full single-node stack (group ingestors → segment store → query engine).
 //! Ingestion is batch-oriented end-to-end: the master splits a columnar
 //! [`RowBatch`] into per-group batches and ships whole batches, and a worker
-//! that falls [`ClusterConfig::ingest_queue_depth`] batches behind blocks the
-//! master (real backpressure) instead of queueing unboundedly.
+//! that falls [`ClusterConfig::ingest_queue_depth`](mdb_query::CommonOptions::ingest_queue_depth)
+//! batches behind blocks the master (real backpressure) instead of queueing
+//! unboundedly.
 
 mod handoff;
 mod health;
@@ -40,7 +41,6 @@ pub use health::{ClusterHealth, WorkerHealth, WorkerState};
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
@@ -50,48 +50,50 @@ use mdb_compression::{CompressionConfig, CompressionStats, GroupIngestor};
 use mdb_models::ModelRegistry;
 use mdb_partitioner::assign_replicas;
 use mdb_query::engine::PartialAggregates;
-use mdb_query::{merge_partials, Query, QueryEngine, QueryResult, ScanPool, SelectItem};
+use mdb_query::{
+    merge_partials, CommonOptions, Query, QueryEngine, QueryResult, ScanPool, SelectItem,
+};
 use mdb_storage::{
     Catalog, DiskStore, DiskStoreOptions, MemoryStore, SegmentPredicate, SegmentStore,
 };
-use mdb_types::{BlockSketch, Gid, MdbError, Result, RowBatch, SegmentRecord, Timestamp, Value};
+use mdb_types::{
+    BlockSketch, Gid, MdbError, Result, RowBatch, SegmentRecord, Tid, Timestamp, Value,
+};
 
 /// Cluster runtime configuration.
+///
+/// The knobs shared with the embedded engine's `Config` live in the
+/// embedded [`CommonOptions`]; `ClusterConfig` derefs to it, so the
+/// historical field paths (`config.compression`, `config.storage_dir`,
+/// `config.ingest_queue_depth`, …) keep working unchanged. Cluster-specific
+/// readings of the shared knobs:
+///
+/// * `common.query_parallelism` — scan workers *per cluster worker*; the
+///   cluster default is `1` (sequential per worker) because the workers
+///   already scan concurrently during scatter/gather. Results are
+///   bit-identical at every setting.
+/// * `common.storage_dir` — when set, every worker persists its segments in
+///   an out-of-core [`mdb_storage::DiskStore`] under `<dir>/worker-<i>`,
+///   and the master persists its placement in `<dir>/cluster.meta` so a
+///   restart serves groups from wherever failovers and handoffs left them.
+/// * `common.memory_budget_bytes` — the *total* block-cache budget, split
+///   evenly over the workers (each worker's store gets `budget /
+///   n_workers`). Each worker's share is fixed when it is spawned: a worker
+///   added by [`Cluster::add_worker`] gets `budget / new_slot_count`, while
+///   the existing workers keep the share they were spawned with, so the
+///   cluster-wide budget can transiently exceed this total after a grow. A
+///   restart re-splits the budget evenly over the grown slot count.
+/// * `common.ingest_queue_depth` — maximum commands buffered per worker
+///   channel. The master's batched ingestion blocks once a worker falls
+///   this many batches behind — real backpressure instead of an unbounded
+///   queue.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Compression settings shared by every worker's group ingestors.
-    pub compression: CompressionConfig,
-    /// Maximum commands buffered per worker channel. The master's batched
-    /// ingestion blocks once a worker falls this many batches behind — real
-    /// backpressure instead of an unbounded queue.
-    pub ingest_queue_depth: usize,
-    /// Scan workers *per cluster worker* for the partial-aggregation phase
-    /// (`0` = the machine's available parallelism). The default of 1 keeps
-    /// each worker sequential, because the workers themselves already run
-    /// concurrently during scatter/gather — raise it when a deployment has
-    /// few workers and many cores. Results are bit-identical either way.
-    pub query_parallelism: usize,
-    /// When set, every worker persists its segments in an out-of-core
-    /// [`mdb_storage::DiskStore`] under `<dir>/worker-<i>` instead of a
-    /// resident [`MemoryStore`], and the master persists its placement in
-    /// `<dir>/cluster.meta` so a restart serves groups from wherever
-    /// failovers and handoffs left them.
-    pub storage_dir: Option<PathBuf>,
-    /// Segments a disk-backed worker buffers before appending a block
-    /// (Table 1's Bulk Write Size). Ignored for memory-backed workers.
-    pub bulk_write_size: usize,
-    /// Total block-cache byte budget across the cluster, split evenly over
-    /// the workers (each worker's store gets `budget / n_workers`). `None`
-    /// keeps every fetched block resident. Only meaningful with
-    /// [`ClusterConfig::storage_dir`].
-    ///
-    /// Each worker's share is fixed when it is spawned: a worker added by
-    /// [`Cluster::add_worker`] gets `budget / new_slot_count`, while the
-    /// existing workers keep the share they were spawned with, so the
-    /// cluster-wide cache budget can transiently exceed this total after a
-    /// grow. A restart re-splits the budget evenly over the grown slot
-    /// count.
-    pub memory_budget_bytes: Option<u64>,
+    /// The knobs shared with the embedded engine (compression, bulk write
+    /// size, cache budget, prefetch depth, per-worker scan parallelism,
+    /// storage root, queue depth), reachable directly on `ClusterConfig`
+    /// through `Deref`.
+    pub common: CommonOptions,
     /// How long [`Cluster::health`] waits for a worker's liveness reply
     /// before reporting it as unresponsive. The probe queues behind any
     /// pending ingest batches and in-flight scans/flushes, so a busy worker
@@ -99,10 +101,6 @@ pub struct ClusterConfig {
     /// flags the worker as slow ([`WorkerHealth::probe_timed_out`]) and a
     /// worker is declared dead solely on proof (a disconnected channel).
     pub health_probe_timeout: Duration,
-    /// How many zone-map-surviving blocks each disk-backed worker's store
-    /// reads ahead of a scan (`0` disables prefetching). Only meaningful
-    /// with [`ClusterConfig::storage_dir`].
-    pub prefetch_depth: usize,
     /// Copies kept per group: one primary plus `replication_factor - 1`
     /// replicas, placed on distinct workers by
     /// [`mdb_partitioner::assign_replicas`]. Every holder ingests the same
@@ -116,16 +114,24 @@ pub struct ClusterConfig {
 impl Default for ClusterConfig {
     fn default() -> Self {
         Self {
-            compression: CompressionConfig::default(),
-            ingest_queue_depth: 8,
-            query_parallelism: 1,
-            storage_dir: None,
-            bulk_write_size: 50_000,
-            memory_budget_bytes: None,
+            common: CommonOptions::builder().query_parallelism(1).build(),
             health_probe_timeout: Duration::from_secs(30),
-            prefetch_depth: 2,
             replication_factor: 1,
         }
+    }
+}
+
+impl std::ops::Deref for ClusterConfig {
+    type Target = CommonOptions;
+
+    fn deref(&self) -> &CommonOptions {
+        &self.common
+    }
+}
+
+impl std::ops::DerefMut for ClusterConfig {
+    fn deref_mut(&mut self) -> &mut CommonOptions {
+        &mut self.common
     }
 }
 
@@ -133,8 +139,16 @@ impl ClusterConfig {
     /// A config with the given compression settings and the default queue
     /// depth.
     pub fn with_compression(compression: CompressionConfig) -> Self {
+        let mut config = Self::default();
+        config.common.compression = compression;
+        config
+    }
+
+    /// Builds a cluster config from shared options; the cluster-only knobs
+    /// take their defaults.
+    pub fn from_common(common: CommonOptions) -> Self {
         Self {
-            compression,
+            common,
             ..Self::default()
         }
     }
@@ -396,7 +410,8 @@ impl Cluster {
     /// Starts `n_workers` workers for the groups in `catalog`, placing each
     /// group on [`ClusterConfig::replication_factor`] workers (primary
     /// first) with [`mdb_partitioner::assign_replicas`]. Worker command
-    /// channels are bounded at [`ClusterConfig::ingest_queue_depth`], so
+    /// channels are bounded at
+    /// [`ClusterConfig::ingest_queue_depth`](mdb_query::CommonOptions::ingest_queue_depth), so
     /// ingestion blocks (backpressure) instead of queueing unboundedly when
     /// workers lag. On disk-backed clusters a placement manifest written
     /// beside the worker directories is adopted on restart, so groups are
@@ -1172,6 +1187,75 @@ impl Drop for Cluster {
     }
 }
 
+impl mdb_query::Datastore for Cluster {
+    fn backend(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn ingest_batch(&mut self, batch: &RowBatch) -> Result<()> {
+        Cluster::ingest_batch(self, batch)
+    }
+
+    fn ingest_points(&mut self, points: &[(Tid, Timestamp, Value)]) -> Result<()> {
+        // The cluster's ingest surface is full-width batches; assemble the
+        // loose points into rows (timestamp order, absent series = gaps)
+        // and route them through the batch path. Rows a whole group missed
+        // are dropped before routing, so point streams covering disjoint
+        // groups interleave without disturbing each other.
+        if points.is_empty() {
+            return Ok(());
+        }
+        let tid_to_row: HashMap<Tid, usize> = self
+            .catalog
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.tid, i))
+            .collect();
+        let width = self.catalog.series.len();
+        let mut rows: BTreeMap<Timestamp, Vec<Option<Value>>> = BTreeMap::new();
+        for &(tid, timestamp, value) in points {
+            let index = *tid_to_row
+                .get(&tid)
+                .ok_or_else(|| MdbError::NotFound(format!("time series {tid}")))?;
+            rows.entry(timestamp).or_insert_with(|| vec![None; width])[index] = Some(value);
+        }
+        let mut batch = RowBatch::with_capacity(width, rows.len());
+        for (timestamp, row) in rows {
+            batch.push_row(timestamp, &row);
+        }
+        Cluster::ingest_batch(self, &batch)
+    }
+
+    fn sql(&self, query: &str) -> Result<QueryResult> {
+        Cluster::sql(self, query)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        Cluster::flush(self)
+    }
+
+    fn health(&self) -> Result<mdb_query::DatastoreHealth> {
+        let health = Cluster::health(self);
+        Ok(mdb_query::DatastoreHealth {
+            backend: "cluster".to_string(),
+            degraded: health.is_degraded(),
+            detail: format!(
+                "{}/{} workers active, replication factor {}{}",
+                health.active_workers(),
+                health.workers.len(),
+                health.replication_factor,
+                if health.lost_gids.is_empty() {
+                    String::new()
+                } else {
+                    format!(", {} groups lost", health.lost_gids.len())
+                }
+            ),
+            lost_gids: health.lost_gids,
+        })
+    }
+}
+
 /// Spawns one worker slot: builds its store (disk recovery errors surface
 /// here, in the master, instead of killing a thread silently), its shared
 /// status block, and the supervised thread whose panics are caught and
@@ -1585,11 +1669,9 @@ mod tests {
         n_workers: usize,
         replication_factor: usize,
     ) -> Cluster {
-        let config = ClusterConfig {
-            compression: CompressionConfig::with_relative_bound(5.0),
-            replication_factor,
-            ..ClusterConfig::default()
-        };
+        let mut config =
+            ClusterConfig::with_compression(CompressionConfig::with_relative_bound(5.0));
+        config.replication_factor = replication_factor;
         Cluster::start_with(
             Arc::clone(catalog),
             Arc::new(ModelRegistry::standard()),
@@ -1623,11 +1705,9 @@ mod tests {
         // exercises backpressure (sends block until the workers drain).
         let (catalog, default_cluster, _) = build(2);
         drop(default_cluster);
-        let config = ClusterConfig {
-            compression: CompressionConfig::with_relative_bound(5.0),
-            ingest_queue_depth: 1,
-            ..ClusterConfig::default()
-        };
+        let mut config =
+            ClusterConfig::with_compression(CompressionConfig::with_relative_bound(5.0));
+        config.ingest_queue_depth = 1;
         let by_batch =
             Cluster::start_with(catalog, Arc::new(ModelRegistry::standard()), config, 2).unwrap();
         let mut batch = mdb_types::RowBatch::with_capacity(ds.n_series(), 64);
@@ -1667,13 +1747,11 @@ mod tests {
         // Disk-backed workers with a deliberately tiny shared budget: every
         // worker gets budget / n_workers for its block cache, and a small
         // bulk write size produces multiple blocks per worker.
-        let config = ClusterConfig {
-            compression: CompressionConfig::with_relative_bound(5.0),
-            storage_dir: Some(dir.path().to_path_buf()),
-            bulk_write_size: 16,
-            memory_budget_bytes: Some(64 * 1024),
-            ..ClusterConfig::default()
-        };
+        let mut config =
+            ClusterConfig::with_compression(CompressionConfig::with_relative_bound(5.0));
+        config.storage_dir = Some(dir.path().to_path_buf());
+        config.bulk_write_size = 16;
+        config.memory_budget_bytes = Some(64 * 1024);
         let registry = Arc::new(ModelRegistry::standard());
         let by_disk = Cluster::start_with(
             Arc::clone(&catalog),
@@ -1746,10 +1824,8 @@ mod tests {
     fn zero_queue_depth_rejected() {
         let catalog = Arc::new(Catalog::new());
         let registry = Arc::new(ModelRegistry::standard());
-        let config = ClusterConfig {
-            ingest_queue_depth: 0,
-            ..ClusterConfig::default()
-        };
+        let config =
+            ClusterConfig::from_common(CommonOptions::builder().ingest_queue_depth(0).build());
         assert!(Cluster::start_with(catalog, registry, config, 1).is_err());
     }
 
@@ -1965,12 +2041,10 @@ mod tests {
         let dir = mdb_testutil::TempDir::new("cluster-drain-fail");
         let (catalog, default_cluster, ds) = build(1);
         drop(default_cluster);
-        let config = ClusterConfig {
-            compression: CompressionConfig::with_relative_bound(5.0),
-            storage_dir: Some(dir.path().to_path_buf()),
-            bulk_write_size: 8,
-            ..ClusterConfig::default()
-        };
+        let mut config =
+            ClusterConfig::with_compression(CompressionConfig::with_relative_bound(5.0));
+        config.storage_dir = Some(dir.path().to_path_buf());
+        config.bulk_write_size = 8;
         let cluster = Cluster::start_with(
             Arc::clone(&catalog),
             Arc::new(ModelRegistry::standard()),
@@ -2179,12 +2253,10 @@ mod tests {
         let dir = mdb_testutil::TempDir::new("cluster-ever-held");
         let (catalog, default_cluster, ds) = build(2);
         drop(default_cluster);
-        let config = ClusterConfig {
-            compression: CompressionConfig::with_relative_bound(5.0),
-            storage_dir: Some(dir.path().to_path_buf()),
-            bulk_write_size: 16,
-            ..ClusterConfig::default()
-        };
+        let mut config =
+            ClusterConfig::with_compression(CompressionConfig::with_relative_bound(5.0));
+        config.storage_dir = Some(dir.path().to_path_buf());
+        config.bulk_write_size = 16;
         let registry = Arc::new(ModelRegistry::standard());
         let cluster = Cluster::start_with(
             Arc::clone(&catalog),

@@ -20,7 +20,7 @@ use mdb_types::{Gid, MdbError, Result};
 use crate::{Cluster, ClusterConfig, Topology, WorkerState};
 
 /// File name of the placement manifest inside
-/// [`ClusterConfig::storage_dir`].
+/// [`ClusterConfig::storage_dir`](mdb_query::CommonOptions::storage_dir).
 const MANIFEST_FILE: &str = "cluster.meta";
 const MANIFEST_HEADER: &str = "mdb-cluster-manifest v1";
 
@@ -283,7 +283,8 @@ impl Cluster {
     /// Returns the new worker's slot index.
     ///
     /// The new worker's block-cache share is
-    /// [`ClusterConfig::memory_budget_bytes`] divided by the *new* slot
+    /// [`ClusterConfig::memory_budget_bytes`](mdb_query::CommonOptions::memory_budget_bytes)
+    /// divided by the *new* slot
     /// count; existing workers keep the share they were spawned with (their
     /// caches are not resized in place), so the cluster-wide cache budget
     /// can exceed the configured total until the next restart re-splits it

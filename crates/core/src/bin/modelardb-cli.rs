@@ -1,8 +1,13 @@
-//! `modelardb-cli` — load a configuration file, ingest CSV data, run SQL.
+//! `modelardb-cli` — load a configuration file, ingest CSV data, run SQL,
+//! serve the store over TCP, or drive a remote server.
 //!
 //! ```text
 //! modelardb-cli <config.conf> ingest <data.csv> [query…]
 //! modelardb-cli <config.conf> demo   <ticks>    [query…]
+//! modelardb-cli <config.conf> serve  <addr>
+//! modelardb-cli --connect <host:port> ingest <data.csv> [query…]
+//! modelardb-cli --connect <host:port> sql    <query…>
+//! modelardb-cli --connect <host:port> health
 //! ```
 //!
 //! The CSV format is `source,timestamp_ms,value` (header optional), matching
@@ -10,10 +15,17 @@
 //! resolved to a Tid through the configured `modelardb.source` entries.
 //! Queries given on the command line run after ingestion; with none, a
 //! default summary query runs.
+//!
+//! `--connect` speaks the same wire protocol as `modelardb-cli … serve`, so
+//! one CLI drives local and remote stores with identical commands and
+//! bit-identical results.
 
 use std::collections::HashMap;
 
-use modelardb::{ConfigFile, MdbError, ModelarDb, Result, Tid};
+use modelardb::{Client, ConfigFile, MdbError, ModelarDb, Result, Tid};
+
+const SUMMARY_QUERY: &str =
+    "SELECT Tid, COUNT_S(*), AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid";
 
 fn main() {
     if let Err(e) = run() {
@@ -22,18 +34,34 @@ fn main() {
     }
 }
 
+fn usage() -> MdbError {
+    MdbError::Config(
+        "usage: modelardb-cli <config.conf> (ingest <data.csv> | demo <ticks> | serve <addr>) [query…]\n       modelardb-cli --connect <host:port> (ingest <data.csv> | sql | health) [query…]"
+            .into(),
+    )
+}
+
 fn run() -> Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = || {
-        MdbError::Config(
-            "usage: modelardb-cli <config.conf> (ingest <data.csv> | demo <ticks>) [query…]".into(),
-        )
-    };
-    let config_path = args.first().ok_or_else(usage)?;
-    let mode = args.get(1).ok_or_else(usage)?;
-    let target = args.get(2).ok_or_else(usage)?;
+    match args.first().map(String::as_str) {
+        Some("--connect") => {
+            let addr = args.get(1).ok_or_else(usage)?;
+            run_remote(addr, &args[2..])
+        }
+        Some(config_path) => run_local(config_path, &args[1..]),
+        None => Err(usage()),
+    }
+}
+
+fn run_local(config_path: &str, args: &[String]) -> Result<()> {
+    let mode = args.first().ok_or_else(usage)?;
+    let target = args.get(1).ok_or_else(usage)?;
 
     let config = ConfigFile::load(std::path::Path::new(config_path))?;
+    let mut server_options = modelardb::ServerOptions::from_common(&config.common_options());
+    if let Some(n) = config.max_connections {
+        server_options.max_connections = n;
+    }
     let mut db = config.into_builder()?.build()?;
     let sources: HashMap<String, Tid> = source_map(&db);
     println!(
@@ -82,18 +110,72 @@ fn run() -> Result<()> {
                 db.storage_bytes()
             );
         }
+        "serve" => {
+            server_options.addr = target.to_string();
+            return serve(db, server_options);
+        }
         other => return Err(MdbError::Config(format!("unknown mode {other}"))),
     }
 
-    let queries: Vec<&String> = args.iter().skip(3).collect();
+    let queries = &args[2..];
     if queries.is_empty() {
-        let r =
-            db.sql("SELECT Tid, COUNT_S(*), AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid")?;
-        println!("\n{}", r.to_table());
+        println!("\n{}", db.sql(SUMMARY_QUERY)?.to_table());
     } else {
         for q in queries {
             println!("\n> {q}");
             println!("{}", db.sql(q)?.to_table());
+        }
+    }
+    Ok(())
+}
+
+/// Serves the configured store until the process is killed.
+fn serve(db: ModelarDb, options: modelardb::ServerOptions) -> Result<()> {
+    use modelardb::{Server, SharedDatastore};
+    let server = Server::start(SharedDatastore::new(db), options)?;
+    println!("serving on {}", server.local_addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Drives a remote server over the wire protocol.
+fn run_remote(addr: &str, args: &[String]) -> Result<()> {
+    let mode = args.first().ok_or_else(usage)?;
+    let mut client = Client::connect(addr)?;
+    match mode.as_str() {
+        "ingest" => {
+            let path = args.get(1).ok_or_else(usage)?;
+            let text = std::fs::read_to_string(path)?;
+            // No local catalog: `tidN` and raw-number sources only.
+            let points = parse_csv(&text, &HashMap::new())?;
+            let info = client.ingest_points(&points)?;
+            client.flush()?;
+            println!("{info}");
+            run_remote_queries(&mut client, &args[2..])?;
+        }
+        "sql" => run_remote_queries(&mut client, &args[1..])?,
+        "health" => {
+            let health = client.health()?;
+            println!(
+                "{}{}: {}",
+                health.backend,
+                if health.degraded { " (degraded)" } else { "" },
+                health.detail
+            );
+        }
+        other => return Err(MdbError::Config(format!("unknown remote mode {other}"))),
+    }
+    client.close()
+}
+
+fn run_remote_queries(client: &mut Client, queries: &[String]) -> Result<()> {
+    if queries.is_empty() {
+        println!("\n{}", client.sql(SUMMARY_QUERY)?.to_table());
+    } else {
+        for q in queries {
+            println!("\n> {q}");
+            println!("{}", client.sql(q)?.to_table());
         }
     }
     Ok(())
@@ -123,6 +205,7 @@ fn parse_csv(text: &str, sources: &HashMap<String, Tid>) -> Result<Vec<(Tid, i64
             .get(source)
             .copied()
             .or_else(|| source.parse::<Tid>().ok())
+            .or_else(|| source.strip_prefix("tid").and_then(|n| n.parse().ok()))
             .ok_or_else(|| {
                 MdbError::Ingestion(format!("csv line {}: unknown source {source:?}", i + 1))
             })?;
@@ -145,6 +228,13 @@ mod tests {
         assert_eq!(rows, vec![(1, 100, 1.5), (1, 200, 2.5)]);
         let no_header = "tid1,100,1.5\n\n   \n";
         assert_eq!(parse_csv(no_header, &sources).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn csv_resolves_tid_names_without_a_catalog() {
+        // The --connect path has no source map; `tidN` still resolves.
+        let rows = parse_csv("tid7,100,1.0\n7,200,2.0", &HashMap::new()).unwrap();
+        assert_eq!(rows, vec![(7, 100, 1.0), (7, 200, 2.0)]);
     }
 
     #[test]

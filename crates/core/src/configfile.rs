@@ -14,6 +14,9 @@
 //! modelardb.memory_budget        = 67108864     # block-cache bytes; or "unbounded"
 //! modelardb.prefetch_depth       = 2            # blocks read ahead of a scan; 0 = off
 //! modelardb.block_format         = v2           # layout for new blocks: v1 or v2
+//! modelardb.query_parallelism    = 0            # scan workers; 0 = auto
+//! modelardb.ingest_queue_depth   = 8            # bound on buffered ingest batches
+//! modelardb.max_connections      = 256          # concurrent server sessions (serve mode)
 //!
 //! modelardb.dimension            = Location, Country, Park, Turbine
 //! modelardb.dimension            = Measure, Category, Concrete
@@ -35,6 +38,7 @@ use std::path::PathBuf;
 
 use mdb_partitioner::spec::{parse_scaling, parse_weight};
 use mdb_partitioner::CorrelationSpec;
+use mdb_query::CommonOptions;
 use mdb_types::{BlockFormat, DimensionSchema, ErrorBound, MdbError, Result};
 
 use crate::builder::{ModelarDbBuilder, SeriesSpec};
@@ -57,6 +61,13 @@ pub struct ConfigFile {
     pub memory_budget_bytes: Option<Option<u64>>,
     pub prefetch_depth: Option<usize>,
     pub block_format: Option<BlockFormat>,
+    pub query_parallelism: Option<usize>,
+    pub ingest_queue_depth: Option<usize>,
+    /// Server-only (like [`ServerOptions::max_connections`]): ignored by
+    /// the embedded engine and the cluster, applied by `serve` mode.
+    ///
+    /// [`ServerOptions::max_connections`]: mdb_server::ServerOptions
+    pub max_connections: Option<usize>,
 }
 
 impl ConfigFile {
@@ -114,6 +125,15 @@ impl ConfigFile {
                 }
                 "modelardb.prefetch_depth" => {
                     cfg.prefetch_depth = Some(parse_number(value, number)?);
+                }
+                "modelardb.query_parallelism" => {
+                    cfg.query_parallelism = Some(parse_number(value, number)?);
+                }
+                "modelardb.ingest_queue_depth" => {
+                    cfg.ingest_queue_depth = Some(parse_number(value, number)?);
+                }
+                "modelardb.max_connections" => {
+                    cfg.max_connections = Some(parse_number(value, number)?);
                 }
                 "modelardb.block_format" => {
                     cfg.block_format = Some(match value.to_ascii_lowercase().as_str() {
@@ -174,32 +194,53 @@ impl ConfigFile {
         Self::parse(&std::fs::read_to_string(path)?)
     }
 
+    /// The deployment-shared knobs of the parsed file as one
+    /// [`CommonOptions`] value — the single place the file's tuning lines
+    /// are interpreted. Both the engine builder ([`ConfigFile::into_builder`])
+    /// and a cluster config ([`ClusterConfig::from_common`]) start from it.
+    ///
+    /// [`ClusterConfig::from_common`]: mdb_cluster::ClusterConfig::from_common
+    pub fn common_options(&self) -> CommonOptions {
+        let mut options = CommonOptions::default();
+        options.compression.error_bound = ErrorBound::relative(self.error_bound_percent);
+        if let Some(limit) = self.length_limit {
+            options.compression.length_limit = limit;
+        }
+        if let Some(split) = self.dynamic_split {
+            options.compression.dynamic_split = split;
+        }
+        if let Some(fraction) = self.split_fraction {
+            options.compression.split_fraction = fraction;
+        }
+        if let Some(size) = self.bulk_write_size {
+            options.bulk_write_size = size;
+        }
+        if let Some(StorageSpec::Disk(dir)) = &self.storage {
+            options.storage_dir = Some(dir.clone());
+        }
+        if let Some(budget) = self.memory_budget_bytes {
+            options.memory_budget_bytes = budget;
+        }
+        if let Some(depth) = self.prefetch_depth {
+            options.prefetch_depth = depth;
+        }
+        if let Some(workers) = self.query_parallelism {
+            options.query_parallelism = workers;
+        }
+        if let Some(depth) = self.ingest_queue_depth {
+            options.ingest_queue_depth = depth;
+        }
+        options
+    }
+
     /// Turns the parsed file into a ready-to-build engine builder.
     pub fn into_builder(self) -> Result<ModelarDbBuilder> {
         let mut builder = ModelarDbBuilder::new();
         {
             let config = builder.config_mut();
-            config.compression.error_bound = ErrorBound::relative(self.error_bound_percent);
-            if let Some(limit) = self.length_limit {
-                config.compression.length_limit = limit;
-            }
-            if let Some(split) = self.dynamic_split {
-                config.compression.dynamic_split = split;
-            }
-            if let Some(fraction) = self.split_fraction {
-                config.compression.split_fraction = fraction;
-            }
-            if let Some(size) = self.bulk_write_size {
-                config.bulk_write_size = size;
-            }
+            config.common = self.common_options();
             if let Some(storage) = self.storage {
                 config.storage = storage;
-            }
-            if let Some(budget) = self.memory_budget_bytes {
-                config.memory_budget_bytes = budget;
-            }
-            if let Some(depth) = self.prefetch_depth {
-                config.prefetch_depth = depth;
             }
             if let Some(format) = self.block_format {
                 config.block_format = format;
@@ -267,6 +308,9 @@ modelardb.storage       = memory
 modelardb.memory_budget = 8388608
 modelardb.prefetch_depth = 4
 modelardb.block_format  = v2
+modelardb.query_parallelism = 2
+modelardb.ingest_queue_depth = 16
+modelardb.max_connections = 64
 
 modelardb.dimension     = Location, Country, Park, Turbine
 modelardb.dimension     = Measure, Category, Concrete
@@ -292,6 +336,9 @@ modelardb.correlation.scaling = series t9572.gz 4.75
         assert_eq!(cfg.memory_budget_bytes, Some(Some(8 << 20)));
         assert_eq!(cfg.prefetch_depth, Some(4));
         assert_eq!(cfg.block_format, Some(BlockFormat::V2));
+        assert_eq!(cfg.query_parallelism, Some(2));
+        assert_eq!(cfg.ingest_queue_depth, Some(16));
+        assert_eq!(cfg.max_connections, Some(64));
         assert_eq!(cfg.dimensions.len(), 2);
         assert_eq!(cfg.dimensions[0].name(), "Location");
         assert_eq!(cfg.dimensions[0].height(), 3);
@@ -341,6 +388,20 @@ modelardb.correlation.scaling = series t9572.gz 4.75
         let cfg = ConfigFile::parse("modelardb.memory_budget = 1024").unwrap();
         assert_eq!(cfg.memory_budget_bytes, Some(Some(1024)));
         assert!(ConfigFile::parse("modelardb.memory_budget = lots").is_err());
+    }
+
+    #[test]
+    fn tuning_keys_land_in_common_options() {
+        let cfg = ConfigFile::parse(SAMPLE).unwrap();
+        let options = cfg.common_options();
+        assert_eq!(options.query_parallelism, 2);
+        assert_eq!(options.ingest_queue_depth, 16);
+        assert_eq!(options.bulk_write_size, 1000);
+        assert_eq!(options.memory_budget_bytes, Some(8 << 20));
+        // max_connections is server-only: not a CommonOptions knob.
+        assert!(ConfigFile::parse("modelardb.max_connections = many").is_err());
+        assert!(ConfigFile::parse("modelardb.query_parallelism = -1").is_err());
+        assert!(ConfigFile::parse("modelardb.ingest_queue_depth = none").is_err());
     }
 
     #[test]

@@ -45,7 +45,8 @@ pub struct ModelarDb {
     /// the [`ModelarDb::ingest_batch`] path), reused across calls.
     scratch_row: RowBatch,
     /// Persistent scan workers for parallel aggregate queries; `None` when
-    /// [`Config::query_parallelism`] resolves to a single worker.
+    /// [`Config::query_parallelism`](mdb_query::CommonOptions::query_parallelism)
+    /// resolves to a single worker.
     scan_pool: Option<ScanPool>,
 }
 
@@ -275,7 +276,8 @@ impl ModelarDb {
 
     /// Executes a SQL query (Section 6's Segment View and Data Point View).
     /// Aggregate scans run on the engine's persistent pool of
-    /// [`Config::query_parallelism`] workers over the zone-map-pruned
+    /// [`Config::query_parallelism`](mdb_query::CommonOptions::query_parallelism)
+    /// workers over the zone-map-pruned
     /// segment list; results are bit-identical to a sequential scan.
     pub fn sql(&self, text: &str) -> Result<QueryResult> {
         let mut engine = QueryEngine::new(&self.catalog, &self.registry, self.store.as_ref())
@@ -325,7 +327,10 @@ impl ModelarDb {
     }
 
     /// High-water mark of resident segments — the `repro storage` metric
-    /// that shows a bounded [`Config::memory_budget_bytes`] holds.
+    /// that shows a bounded `memory_budget_bytes` (reachable as
+    /// `config.memory_budget_bytes` through [`CommonOptions`]) holds.
+    ///
+    /// [`CommonOptions`]: mdb_query::CommonOptions
     pub fn resident_segment_peak(&self) -> usize {
         self.store.resident_segment_peak()
     }
@@ -340,6 +345,44 @@ impl ModelarDb {
     /// The active configuration.
     pub fn config(&self) -> &Config {
         &self.config
+    }
+}
+
+impl mdb_query::Datastore for ModelarDb {
+    fn backend(&self) -> &'static str {
+        "engine"
+    }
+
+    fn ingest_batch(&mut self, batch: &RowBatch) -> Result<()> {
+        ModelarDb::ingest_batch(self, batch)
+    }
+
+    fn ingest_points(&mut self, points: &[(Tid, Timestamp, Value)]) -> Result<()> {
+        for &(tid, timestamp, value) in points {
+            self.ingest_point(tid, timestamp, value)?;
+        }
+        Ok(())
+    }
+
+    fn sql(&self, query: &str) -> Result<QueryResult> {
+        ModelarDb::sql(self, query)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        ModelarDb::flush(self)
+    }
+
+    fn health(&self) -> Result<mdb_query::DatastoreHealth> {
+        Ok(mdb_query::DatastoreHealth {
+            backend: "engine".to_string(),
+            degraded: false,
+            lost_gids: Vec::new(),
+            detail: format!(
+                "{} groups, {} segments stored",
+                self.catalog.groups.len(),
+                self.segment_count()
+            ),
+        })
     }
 }
 

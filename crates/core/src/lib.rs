@@ -58,8 +58,10 @@ pub use mdb_partitioner::{
     CorrelationPrimitive, CorrelationSpec, Partitioning, ScalingHint,
 };
 pub use mdb_query::{
-    parse, scan_shape, sketch_feed, Cell, Query, QueryEngine, QueryResult, ScanShape, SketchFunc,
+    parse, scan_shape, sketch_feed, Cell, CommonOptions, CommonOptionsBuilder, Datastore,
+    DatastoreHealth, Query, QueryEngine, QueryResult, ScanShape, SketchFunc,
 };
+pub use mdb_server::{Client, Server, ServerOptions, SharedDatastore};
 pub use mdb_storage::{
     checksum_v2, scan_to_vec, CacheStats, Catalog, DiskStore, DiskStoreOptions, MemoryStore,
     SegmentPredicate, SegmentStore, SketchFeedFn, ValueBoundsFn, ZoneMap,
@@ -71,33 +73,28 @@ pub use mdb_types::{
 };
 
 /// The full system configuration; defaults mirror Table 1 of the paper.
+///
+/// The knobs every deployment shares (compression, bulk write size, cache
+/// budget, prefetch depth, scan parallelism, queue depths) live in the
+/// embedded [`CommonOptions`]; `Config` adds the engine-only knobs. The
+/// struct derefs to [`CommonOptions`], so the historical field paths
+/// (`config.compression`, `config.bulk_write_size`, …) keep working.
 #[derive(Debug, Clone)]
 pub struct Config {
-    /// Compression settings (error bound, model length limit 50, dynamic
-    /// split fraction 10, …).
-    pub compression: CompressionConfig,
-    /// Segments buffered before a bulk write (Table 1: 50,000).
-    pub bulk_write_size: usize,
+    /// The knobs shared with [`ClusterConfig`] — compression, bulk write
+    /// size, block-cache budget, prefetch depth, scan parallelism, queue
+    /// depths — reachable directly on `Config` through `Deref`.
+    ///
+    /// The embedded engine ignores `common.storage_dir`; its persistence
+    /// location is [`Config::storage`] (see [`Config::from_common`], which
+    /// maps one onto the other).
+    pub common: CommonOptions,
     /// Where segments are persisted.
     pub storage: StorageSpec,
-    /// Scan workers for the partial-aggregation phase: `0` (auto) uses the
-    /// machine's available parallelism once enough segments survive pruning
-    /// to amortize thread start-up; `1` scans sequentially. Results are
-    /// bit-identical at every setting.
-    pub query_parallelism: usize,
     /// Whether scans consult the store's zone map to skip segment runs
     /// outside a query's time range or value predicate. Disabling yields
     /// the plain sequential scan (the `repro query` baseline).
     pub zone_pruning: bool,
-    /// Byte budget for the disk store's block cache — the bound on segment
-    /// bodies kept resident. `None` (the default) keeps every fetched block
-    /// in memory; `Some(0)` caches nothing and re-reads blocks on demand.
-    /// Ignored by the in-memory store, which is resident by definition.
-    pub memory_budget_bytes: Option<u64>,
-    /// How many zone-map-surviving blocks the disk store's prefetcher reads
-    /// ahead of the scan (`0` disables prefetching). Ignored by the
-    /// in-memory store.
-    pub prefetch_depth: usize,
     /// On-disk layout for newly written blocks: the zero-copy columnar v2
     /// layout by default; v1 for writing logs older builds can read.
     /// Existing blocks are read in whichever format they were written.
@@ -107,14 +104,41 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         Self {
-            compression: CompressionConfig::default(),
-            bulk_write_size: 50_000,
+            common: CommonOptions::default(),
             storage: StorageSpec::Memory,
-            query_parallelism: 0,
             zone_pruning: true,
-            memory_budget_bytes: None,
-            prefetch_depth: 2,
             block_format: BlockFormat::V2,
+        }
+    }
+}
+
+impl std::ops::Deref for Config {
+    type Target = CommonOptions;
+
+    fn deref(&self) -> &CommonOptions {
+        &self.common
+    }
+}
+
+impl std::ops::DerefMut for Config {
+    fn deref_mut(&mut self) -> &mut CommonOptions {
+        &mut self.common
+    }
+}
+
+impl Config {
+    /// Builds an engine config from shared options: `storage_dir` becomes
+    /// the engine's [`StorageSpec`] (`None` = in-memory), everything else
+    /// carries over; the engine-only knobs take their defaults.
+    pub fn from_common(common: CommonOptions) -> Self {
+        let storage = match &common.storage_dir {
+            Some(dir) => StorageSpec::Disk(dir.clone()),
+            None => StorageSpec::Memory,
+        };
+        Self {
+            common,
+            storage,
+            ..Self::default()
         }
     }
 }

@@ -49,7 +49,12 @@ pub const SEGMENT_HEADER_BYTES: usize = 25;
 /// timestamp and returns `true`, or returns `false` and leaves the fitter
 /// representing exactly the previously accepted timestamps (so `params` stays
 /// valid after a failed append — the Figure 9 contract).
-pub trait Fitter {
+///
+/// Fitters are `Send + Sync` so an engine owning them can be driven from a
+/// network server's sessions; the built-in fitters are plain value structs,
+/// and user-defined ones should be too (interior shared state belongs in
+/// the [`ModelType`], which is already shared).
+pub trait Fitter: Send + Sync {
     /// Tries to extend the model with the group's values at `timestamp`
     /// (`values[i]` belongs to the `i`-th series represented by the segment).
     fn append(&mut self, timestamp: Timestamp, values: &[Value]) -> bool;

@@ -1,0 +1,62 @@
+//! The unified front-door of every ModelarDB+ deployment.
+//!
+//! The embedded engine (`ModelarDb`) and the cluster runtime (`Cluster`)
+//! expose the same four capabilities — ingest, SQL, flush, health — with
+//! historically slightly different signatures, so every caller that wanted
+//! to drive "either one" (the network server, `repro`, the integration
+//! tests) duplicated match arms. [`Datastore`] is the common trait both
+//! implement; code routes through `&mut dyn Datastore` and works against
+//! either deployment, with bit-identical query results.
+
+use mdb_types::{Gid, Result, RowBatch, Tid, Timestamp, Value};
+
+use crate::QueryResult;
+
+/// A uniform health summary; the cluster fills it from its worker probes,
+/// the embedded engine is healthy whenever it can answer at all.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DatastoreHealth {
+    /// Which deployment answered: `"engine"` or `"cluster"`.
+    pub backend: String,
+    /// True when data is being served below the configured redundancy (a
+    /// dead cluster worker) or not at all ([`DatastoreHealth::lost_gids`]).
+    /// Always false for the embedded engine.
+    pub degraded: bool,
+    /// Groups with no surviving holder; queries silently omit them.
+    pub lost_gids: Vec<Gid>,
+    /// Human-readable detail (worker states, segment counts, …).
+    pub detail: String,
+}
+
+/// Ingestion and SQL over *some* ModelarDB+ deployment.
+///
+/// Mutating operations take `&mut self` — the embedded engine genuinely
+/// needs exclusive access, and the cluster (internally synchronized, all
+/// `&self`) satisfies the stricter signature for free. Queries take
+/// `&self`, so a shared wrapper (the server's `RwLock`) can serve many
+/// readers concurrently.
+pub trait Datastore: Send + Sync {
+    /// A short static name for the deployment (`"engine"`, `"cluster"`).
+    fn backend(&self) -> &'static str;
+
+    /// Ingests a full-width batch: column `i` belongs to the catalog's
+    /// `series[i]`. Rows every member of a group missed are skipped as
+    /// gaps, so writers owning disjoint groups can interleave batches
+    /// freely — the per-group segment streams stay deterministic.
+    fn ingest_batch(&mut self, batch: &RowBatch) -> Result<()>;
+
+    /// Ingests loose `(tid, timestamp, value)` points, assembling rows
+    /// internally; the out-of-band path for sources that do not produce
+    /// aligned batches.
+    fn ingest_points(&mut self, points: &[(Tid, Timestamp, Value)]) -> Result<()>;
+
+    /// Runs one SQL statement. Results are bit-identical across
+    /// deployments, parallelism, and placement.
+    fn sql(&self, query: &str) -> Result<QueryResult>;
+
+    /// Drains every buffer so subsequent queries see all ingested data.
+    fn flush(&mut self) -> Result<()>;
+
+    /// Probes the deployment's health.
+    fn health(&self) -> Result<DatastoreHealth>;
+}

@@ -17,13 +17,17 @@
 
 pub mod aggregate;
 pub mod cell;
+pub mod datastore;
 pub mod engine;
+pub mod options;
 pub mod sql;
 
 pub use aggregate::{Accumulator, AggFunc};
 pub use cell::{Cell, QueryResult};
+pub use datastore::{Datastore, DatastoreHealth};
 pub use engine::{
     fold_group_size, merge_partials, pool_bypass_threshold, scan_shape, sketch_feed,
     PartialAggregates, QueryEngine, ScanPool, ScanShape,
 };
+pub use options::{CommonOptions, CommonOptionsBuilder};
 pub use sql::{parse, Predicate, Query, SelectItem, SketchFunc, View};

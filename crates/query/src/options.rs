@@ -1,0 +1,181 @@
+//! The deployment knobs shared by every way of running ModelarDB+.
+//!
+//! The embedded engine's `Config` and the cluster runtime's `ClusterConfig`
+//! historically each carried their own copy of the same tuning knobs
+//! (compression settings, bulk write size, block-cache budget, prefetch
+//! depth, scan parallelism, storage location, queue depths), and the two
+//! drifted. [`CommonOptions`] is the single source of truth both configs
+//! now embed; they `Deref` to it, so the old field paths
+//! (`config.compression`, `config.prefetch_depth`, …) keep working
+//! unchanged for one release.
+
+use std::path::PathBuf;
+
+use mdb_compression::CompressionConfig;
+
+/// Tuning knobs common to the embedded engine, the cluster runtime, and the
+/// network server. Defaults mirror Table 1 of the paper where the paper
+/// specifies a value.
+#[derive(Debug, Clone)]
+pub struct CommonOptions {
+    /// Compression settings (error bound, model length limit 50, dynamic
+    /// split fraction 10, …).
+    pub compression: CompressionConfig,
+    /// Segments buffered before a bulk write (Table 1: 50,000). Ignored by
+    /// purely in-memory deployments.
+    pub bulk_write_size: usize,
+    /// Byte budget for the disk store's block cache — the bound on segment
+    /// bodies kept resident. `None` (the default) keeps every fetched block
+    /// in memory; `Some(0)` caches nothing and re-reads blocks on demand.
+    /// A cluster splits the budget evenly over its workers. Ignored by
+    /// in-memory deployments, which are resident by definition.
+    pub memory_budget_bytes: Option<u64>,
+    /// How many zone-map-surviving blocks the disk store's prefetcher reads
+    /// ahead of the scan (`0` disables prefetching). Ignored by in-memory
+    /// deployments.
+    pub prefetch_depth: usize,
+    /// Scan workers for the partial-aggregation phase: `0` (auto) uses the
+    /// machine's available parallelism; `1` scans sequentially. A cluster
+    /// applies this *per worker* (its default stays 1 because the workers
+    /// already scan concurrently). Results are bit-identical at every
+    /// setting.
+    pub query_parallelism: usize,
+    /// Where segments are persisted: `None` keeps them in memory, `Some`
+    /// persists under this directory (the engine's block log + catalog, or
+    /// one `worker-<i>` subdirectory per cluster worker plus the
+    /// `cluster.meta` manifest).
+    pub storage_dir: Option<PathBuf>,
+    /// Maximum batches buffered per bounded ingest queue (a cluster
+    /// worker's command channel, or a server session's request queue).
+    /// Senders block once a consumer falls this far behind — real
+    /// backpressure instead of an unbounded queue.
+    pub ingest_queue_depth: usize,
+}
+
+impl Default for CommonOptions {
+    fn default() -> Self {
+        Self {
+            compression: CompressionConfig::default(),
+            bulk_write_size: 50_000,
+            memory_budget_bytes: None,
+            prefetch_depth: 2,
+            query_parallelism: 0,
+            storage_dir: None,
+            ingest_queue_depth: 8,
+        }
+    }
+}
+
+impl CommonOptions {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> CommonOptionsBuilder {
+        CommonOptionsBuilder {
+            options: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`CommonOptions`]; every setter has the field's name.
+///
+/// ```
+/// use mdb_query::CommonOptions;
+///
+/// let options = CommonOptions::builder()
+///     .bulk_write_size(1_000)
+///     .memory_budget_bytes(Some(8 << 20))
+///     .prefetch_depth(4)
+///     .build();
+/// assert_eq!(options.bulk_write_size, 1_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CommonOptionsBuilder {
+    options: CommonOptions,
+}
+
+impl CommonOptionsBuilder {
+    /// Replaces the compression settings wholesale.
+    pub fn compression(mut self, compression: CompressionConfig) -> Self {
+        self.options.compression = compression;
+        self
+    }
+
+    /// Segments buffered before a bulk write.
+    pub fn bulk_write_size(mut self, size: usize) -> Self {
+        self.options.bulk_write_size = size;
+        self
+    }
+
+    /// Block-cache byte budget (`None` = unbounded).
+    pub fn memory_budget_bytes(mut self, budget: Option<u64>) -> Self {
+        self.options.memory_budget_bytes = budget;
+        self
+    }
+
+    /// Blocks read ahead of a scan (`0` = off).
+    pub fn prefetch_depth(mut self, depth: usize) -> Self {
+        self.options.prefetch_depth = depth;
+        self
+    }
+
+    /// Scan workers for partial aggregation (`0` = auto).
+    pub fn query_parallelism(mut self, workers: usize) -> Self {
+        self.options.query_parallelism = workers;
+        self
+    }
+
+    /// Persistence root (`None` = in-memory).
+    pub fn storage_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.options.storage_dir = dir;
+        self
+    }
+
+    /// Bound on batches buffered per ingest queue.
+    pub fn ingest_queue_depth(mut self, depth: usize) -> Self {
+        self.options.ingest_queue_depth = depth;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> CommonOptions {
+        self.options
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_table1() {
+        let o = CommonOptions::default();
+        assert_eq!(o.bulk_write_size, 50_000);
+        assert_eq!(o.compression.length_limit, 50);
+        assert_eq!(o.memory_budget_bytes, None);
+        assert_eq!(o.prefetch_depth, 2);
+        assert_eq!(o.query_parallelism, 0);
+        assert!(o.storage_dir.is_none());
+        assert_eq!(o.ingest_queue_depth, 8);
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let o = CommonOptions::builder()
+            .compression(CompressionConfig::default())
+            .bulk_write_size(7)
+            .memory_budget_bytes(Some(1))
+            .prefetch_depth(9)
+            .query_parallelism(3)
+            .storage_dir(Some(PathBuf::from("/tmp/x")))
+            .ingest_queue_depth(2)
+            .build();
+        assert_eq!(o.bulk_write_size, 7);
+        assert_eq!(o.memory_budget_bytes, Some(1));
+        assert_eq!(o.prefetch_depth, 9);
+        assert_eq!(o.query_parallelism, 3);
+        assert_eq!(
+            o.storage_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/x"))
+        );
+        assert_eq!(o.ingest_queue_depth, 2);
+    }
+}

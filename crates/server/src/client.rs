@@ -1,0 +1,167 @@
+//! A blocking client for the framed wire protocol.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use mdb_query::{DatastoreHealth, QueryResult};
+use mdb_types::{MdbError, Result, RowBatch, Tid, Timestamp, Value};
+
+use crate::protocol::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+
+/// A connected session. One request is in flight at a time; every method
+/// blocks until the server's reply arrives. Typed server-side failures come
+/// back as the [`MdbError`] variant the server observed, so remote and
+/// in-process callers handle errors identically.
+pub struct Client {
+    reader: std::io::BufReader<TcpStream>,
+    writer: std::io::BufWriter<TcpStream>,
+    session: u64,
+}
+
+impl Client {
+    /// Connects and performs the `Hello` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            reader: std::io::BufReader::new(stream.try_clone()?),
+            writer: std::io::BufWriter::new(stream),
+            session: 0,
+        };
+        client.send(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match client.recv()? {
+            Response::Hello { session, .. } => client.session = session,
+            other => return Err(unexpected(other)),
+        }
+        Ok(client)
+    }
+
+    /// The server-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Runs one SQL statement, reassembling the streamed result frames.
+    pub fn sql(&mut self, text: &str) -> Result<QueryResult> {
+        self.send(&Request::Sql {
+            text: text.to_string(),
+        })?;
+        self.recv_result()
+    }
+
+    /// Parses and names a statement on the server for this session.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<String> {
+        self.send(&Request::Prepare {
+            name: name.to_string(),
+            sql: sql.to_string(),
+        })?;
+        self.recv_ok()
+    }
+
+    /// Runs a statement prepared earlier in this session.
+    pub fn exec_prepared(&mut self, name: &str) -> Result<QueryResult> {
+        self.send(&Request::ExecPrepared {
+            name: name.to_string(),
+        })?;
+        self.recv_result()
+    }
+
+    /// Ingests a full-width row batch.
+    pub fn ingest_batch(&mut self, batch: &RowBatch) -> Result<String> {
+        self.send(&Request::IngestBatch(batch.clone()))?;
+        self.recv_ok()
+    }
+
+    /// Ingests loose points.
+    pub fn ingest_points(&mut self, points: &[(Tid, Timestamp, Value)]) -> Result<String> {
+        self.send(&Request::IngestPoints(points.to_vec()))?;
+        self.recv_ok()
+    }
+
+    /// Flushes the datastore so queries see everything ingested so far.
+    pub fn flush(&mut self) -> Result<String> {
+        self.send(&Request::Flush)?;
+        self.recv_ok()
+    }
+
+    /// Probes the datastore's health.
+    pub fn health(&mut self) -> Result<DatastoreHealth> {
+        self.send(&Request::Health)?;
+        match self.recv()? {
+            Response::Health(health) => Ok(health),
+            Response::Error { code, message } => Err(code.into_error(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Sets a session option (`errors` = `strict` | `deferred`).
+    pub fn set_option(&mut self, key: &str, value: &str) -> Result<String> {
+        self.send(&Request::SetOption {
+            key: key.to_string(),
+            value: value.to_string(),
+        })?;
+        self.recv_ok()
+    }
+
+    /// Ends the session cleanly.
+    pub fn close(mut self) -> Result<()> {
+        self.send(&Request::Bye)?;
+        self.recv_ok()?;
+        Ok(())
+    }
+
+    fn send(&mut self, request: &Request) -> Result<()> {
+        write_frame(&mut self.writer, &request.encode())?;
+        use std::io::Write;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response> {
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            MdbError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        Response::decode(&payload)
+            .map_err(|error| MdbError::Corrupt(format!("undecodable response frame: {error:?}")))
+    }
+
+    fn recv_ok(&mut self) -> Result<String> {
+        match self.recv()? {
+            Response::Ok { info } => Ok(info),
+            Response::Error { code, message } => Err(code.into_error(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn recv_result(&mut self) -> Result<QueryResult> {
+        let mut result = match self.recv()? {
+            Response::ResultHeader { columns } => QueryResult::new(columns),
+            Response::Error { code, message } => return Err(code.into_error(message)),
+            other => return Err(unexpected(other)),
+        };
+        loop {
+            match self.recv()? {
+                Response::ResultRows { mut rows } => result.rows.append(&mut rows),
+                Response::ResultEnd { rows } => {
+                    if rows != result.rows.len() as u64 {
+                        return Err(MdbError::Corrupt(format!(
+                            "result stream ended at {} rows but announced {rows}",
+                            result.rows.len()
+                        )));
+                    }
+                    return Ok(result);
+                }
+                Response::Error { code, message } => return Err(code.into_error(message)),
+                other => return Err(unexpected(other)),
+            }
+        }
+    }
+}
+
+fn unexpected(response: Response) -> MdbError {
+    MdbError::Corrupt(format!("unexpected response frame: {response:?}"))
+}

@@ -1,0 +1,122 @@
+//! A networked front-end for ModelarDB+.
+//!
+//! The paper's deployment (Section 4) fronts the storage engine with a
+//! Spark-based endpoint; this reproduction stays on its std/crossbeam
+//! thread-per-connection stack and instead exposes ingestion and SQL over a
+//! small framed TCP protocol:
+//!
+//! * **Framing** — every message is `[u32 le length][kind][payload]`, capped
+//!   at [`protocol::MAX_FRAME_BYTES`] (see [`protocol`] for the frame
+//!   catalogue). Floats cross the wire as IEEE-754 bit patterns, so query
+//!   results are **bit-identical** to an in-process run.
+//! * **Sessions** — each connection is a session with its own prepared
+//!   statements and error-consistency option. Query errors come back as
+//!   typed error frames; the connection is never dropped just because a
+//!   statement failed.
+//! * **Admission control** — a connection semaphore bounds concurrent
+//!   sessions (excess connections wait in the listen backlog) and a bounded
+//!   per-session frame queue bounds pipelined requests (excess bytes wait in
+//!   TCP flow control). Overload degrades to blocking, not to OOM.
+//! * **Routing** — the server drives any [`Datastore`]:
+//!   the embedded engine or the cluster runtime, chosen at startup.
+//!
+//! ```no_run
+//! use mdb_server::{Client, Server, ServerOptions, SharedDatastore};
+//! use modelardb::{ModelarDbBuilder, SeriesSpec};
+//!
+//! let mut builder = ModelarDbBuilder::new();
+//! builder.add_series(SeriesSpec::new("s0", 100));
+//! builder.add_series(SeriesSpec::new("s1", 100));
+//! let engine = builder.build()?;
+//!
+//! let server = Server::start(SharedDatastore::new(engine), ServerOptions::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! client.ingest_points(&[(0, 0, 1.0), (1, 0, 2.0)])?;
+//! client.flush()?;
+//! let result = client.sql("SELECT Tid, MIN_S FROM Segment GROUP BY Tid")?;
+//! client.close()?;
+//! server.shutdown()?;
+//! # Ok::<(), mdb_types::MdbError>(())
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{ErrorCode, Request, Response, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use server::{Server, ServerOptions};
+
+use std::sync::{Arc, RwLock};
+
+use mdb_query::{Datastore, DatastoreHealth, QueryResult};
+use mdb_types::{Result, RowBatch, Tid, Timestamp, Value};
+
+/// A cloneable handle to the one datastore a server (and anything else in
+/// the process) serves.
+///
+/// Reads (`sql`, `health`) take the lock shared, so concurrent sessions
+/// query in parallel; mutations take it exclusive, matching the trait's
+/// `&mut self` contract. A poisoned lock is ignored — the datastore's own
+/// invariants are transactional per call, and refusing service on an
+/// unrelated panic would turn one bad session into a full outage.
+#[derive(Clone)]
+pub struct SharedDatastore {
+    inner: Arc<RwLock<Box<dyn Datastore>>>,
+}
+
+impl SharedDatastore {
+    /// Wraps a datastore (an engine or a cluster).
+    pub fn new(datastore: impl Datastore + 'static) -> Self {
+        Self::from_boxed(Box::new(datastore))
+    }
+
+    /// Wraps an already-boxed datastore.
+    pub fn from_boxed(datastore: Box<dyn Datastore>) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(datastore)),
+        }
+    }
+
+    /// The wrapped deployment's name (`"engine"`, `"cluster"`).
+    pub fn backend(&self) -> &'static str {
+        self.read().backend()
+    }
+
+    /// See [`Datastore::ingest_batch`].
+    pub fn ingest_batch(&self, batch: &RowBatch) -> Result<()> {
+        self.write().ingest_batch(batch)
+    }
+
+    /// See [`Datastore::ingest_points`].
+    pub fn ingest_points(&self, points: &[(Tid, Timestamp, Value)]) -> Result<()> {
+        self.write().ingest_points(points)
+    }
+
+    /// See [`Datastore::sql`] (shared lock: queries run concurrently).
+    pub fn sql(&self, query: &str) -> Result<QueryResult> {
+        self.read().sql(query)
+    }
+
+    /// See [`Datastore::flush`].
+    pub fn flush(&self) -> Result<()> {
+        self.write().flush()
+    }
+
+    /// See [`Datastore::health`].
+    pub fn health(&self) -> Result<DatastoreHealth> {
+        self.read().health()
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Box<dyn Datastore>> {
+        self.inner
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Box<dyn Datastore>> {
+        self.inner
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}

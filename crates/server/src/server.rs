@@ -1,0 +1,491 @@
+//! The TCP server: accept loop, admission control, and session threads.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use mdb_types::{MdbError, Result};
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, PROTOCOL_VERSION,
+};
+use crate::SharedDatastore;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// The address to bind; port 0 picks a free port (read it back from
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Admission control: at most this many connections are served at once.
+    /// The permit is taken *before* `accept`, so excess connections wait in
+    /// the listen backlog — overload degrades to blocking, never to
+    /// unbounded thread or memory growth.
+    pub max_connections: usize,
+    /// Frames a session buffers between its socket reader and its executor.
+    /// A client pipelining more requests than this blocks in the kernel's
+    /// TCP flow control until the executor catches up.
+    pub ingest_queue_depth: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 256,
+            ingest_queue_depth: 8,
+        }
+    }
+}
+
+impl ServerOptions {
+    /// Options derived from the shared tuning knobs (`ingest_queue_depth`
+    /// keeps its configured meaning: frames in flight per producer).
+    pub fn from_common(common: &mdb_query::CommonOptions) -> Self {
+        Self {
+            ingest_queue_depth: common.ingest_queue_depth,
+            ..Self::default()
+        }
+    }
+}
+
+/// A counting semaphore (std has none; built on `Mutex` + `Condvar`).
+struct Semaphore {
+    permits: Mutex<usize>,
+    released: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Self {
+            permits: Mutex::new(permits),
+            released: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut permits = self.permits.lock().unwrap();
+        while *permits == 0 {
+            permits = self.released.wait(permits).unwrap();
+        }
+        *permits -= 1;
+    }
+
+    fn release(&self) {
+        *self.permits.lock().unwrap() += 1;
+        self.released.notify_one();
+    }
+}
+
+/// State shared between the accept loop, the sessions, and `shutdown`.
+struct Shared {
+    shutting_down: AtomicBool,
+    admission: Semaphore,
+    /// One registered stream clone per live session, so `shutdown` can
+    /// close their read halves and drain them.
+    registry: Mutex<HashMap<u64, TcpStream>>,
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+    next_session: AtomicU64,
+    queue_depth: usize,
+}
+
+impl Shared {
+    /// Registers a session's stream unless shutdown already swept the
+    /// registry (the flag is checked under the registry lock, so a session
+    /// either gets swept or refuses to start — never slips between).
+    fn register(&self, session: u64, stream: TcpStream) -> bool {
+        let mut registry = self.registry.lock().unwrap();
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return false;
+        }
+        registry.insert(session, stream);
+        true
+    }
+
+    fn deregister(&self, session: u64) -> Option<TcpStream> {
+        self.registry.lock().unwrap().remove(&session)
+    }
+}
+
+/// A running ModelarDB+ network front-end.
+///
+/// Owns a listener thread and one session (plus one socket-reader) thread
+/// per admitted connection, all routed to one [`SharedDatastore`]. Dropping
+/// the server shuts it down; [`Server::shutdown`] does the same but
+/// surfaces the final flush's result.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    datastore: SharedDatastore,
+}
+
+impl Server {
+    /// Binds `options.addr` and starts serving `datastore`.
+    pub fn start(datastore: SharedDatastore, options: ServerOptions) -> Result<Server> {
+        let listener = TcpListener::bind(&options.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            shutting_down: AtomicBool::new(false),
+            admission: Semaphore::new(options.max_connections.max(1)),
+            registry: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(Vec::new()),
+            next_session: AtomicU64::new(1),
+            queue_depth: options.ingest_queue_depth,
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let datastore = datastore.clone();
+            std::thread::spawn(move || accept_loop(listener, shared, datastore))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            datastore,
+        })
+    }
+
+    /// The bound address (the actual port when `addr` asked for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of sessions currently being served.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.registry.lock().unwrap().len()
+    }
+
+    /// Stops accepting, drains every session (their read halves are closed,
+    /// queued requests still get answered), joins all threads, and flushes
+    /// the datastore through its normal path.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.shutdown_impl()
+    }
+
+    fn shutdown_impl(&mut self) -> Result<()> {
+        let Some(accept) = self.accept.take() else {
+            return Ok(());
+        };
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Close every live session's read half under the registry lock:
+        // readers see EOF, executors drain what was already queued, reply,
+        // and exit. Writes (replies) still go through.
+        {
+            let registry = self.shared.registry.lock().unwrap();
+            for stream in registry.values() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+        // Wake the accept loop if it is blocked in `accept` (the probe
+        // connection is dropped immediately; if the loop was instead blocked
+        // on admission, a draining session's released permit wakes it).
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        let sessions = std::mem::take(&mut *self.shared.sessions.lock().unwrap());
+        for session in sessions {
+            let _ = session.join();
+        }
+        self.datastore.flush()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.shutdown_impl();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, datastore: SharedDatastore) {
+    loop {
+        shared.admission.acquire();
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            shared.admission.release();
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                shared.admission.release();
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // The shutdown probe (or a client racing it): turn it away.
+            shared.admission.release();
+            return;
+        }
+        let session = shared.next_session.fetch_add(1, Ordering::SeqCst);
+        let handle = {
+            let shared = Arc::clone(&shared);
+            let datastore = datastore.clone();
+            std::thread::spawn(move || {
+                run_session(stream, session, &shared, &datastore);
+                shared.deregister(session);
+                shared.admission.release();
+            })
+        };
+        shared.sessions.lock().unwrap().push(handle);
+    }
+}
+
+/// What the socket-reader thread hands the executor.
+enum Incoming {
+    /// One intact frame's payload.
+    Frame(Vec<u8>),
+    /// The framing broke (oversized prefix, EOF mid-frame, socket error):
+    /// nothing after this point can be parsed.
+    Broken(String),
+}
+
+/// Per-session request state.
+struct Session {
+    prepared: HashMap<String, String>,
+    /// `false` (strict, the default): `DeferredIngestion` is an error frame.
+    /// `true` (`SET errors = deferred`): it becomes `Ok` with the detail in
+    /// `info`, acknowledging that the operation itself succeeded.
+    lenient_deferred: bool,
+}
+
+fn run_session(stream: TcpStream, session: u64, shared: &Shared, datastore: &SharedDatastore) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(registered) = stream.try_clone() else {
+        return;
+    };
+    if !shared.register(session, registered) {
+        // Shutdown already swept the registry; turn the connection away.
+        let mut out = std::io::BufWriter::new(stream);
+        let bye = Response::Error {
+            code: ErrorCode::Unavailable,
+            message: "server is shutting down".to_string(),
+        };
+        let _ = write_frame(&mut out, &bye.encode());
+        return;
+    }
+
+    // The reader decodes framing only; the bounded queue is the per-session
+    // admission control (depth frames in flight, then TCP backpressure).
+    let (frames_tx, frames) = crossbeam_channel::bounded(shared.queue_depth.max(1));
+    let reader = std::thread::spawn(move || {
+        let mut input = std::io::BufReader::new(read_half);
+        loop {
+            match read_frame(&mut input) {
+                Ok(Some(payload)) => {
+                    if frames_tx.send(Incoming::Frame(payload)).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => return, // clean EOF at a frame boundary
+                Err(error) => {
+                    let _ = frames_tx.send(Incoming::Broken(error.to_string()));
+                    return;
+                }
+            }
+        }
+    });
+
+    let mut out = std::io::BufWriter::new(stream);
+    execute_session(session, &frames, &mut out, datastore);
+
+    // Unblock and collect the reader even when the executor left first
+    // (e.g. a write error while the client is still sending).
+    if let Some(registered) = shared.deregister(session) {
+        let _ = registered.shutdown(Shutdown::Both);
+    }
+    drop(frames);
+    let _ = reader.join();
+}
+
+/// Runs the session protocol; returns when the connection is done.
+fn execute_session(
+    session: u64,
+    frames: &crossbeam_channel::Receiver<Incoming>,
+    out: &mut impl std::io::Write,
+    datastore: &SharedDatastore,
+) {
+    // Handshake: the first frame must be a matching Hello.
+    let hello = match frames.recv() {
+        Ok(Incoming::Frame(payload)) => Request::decode(&payload),
+        Ok(Incoming::Broken(message)) => {
+            let _ = send(out, &[protocol_error(message)]);
+            return;
+        }
+        Err(_) => return,
+    };
+    let reply = match hello {
+        Ok(Request::Hello {
+            version: PROTOCOL_VERSION,
+        }) => Response::Hello {
+            version: PROTOCOL_VERSION,
+            session,
+        },
+        Ok(Request::Hello { version }) => protocol_error(format!(
+            "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
+        )),
+        Ok(other) => protocol_error(format!("expected Hello, got {other:?}")),
+        Err(error) => frame_error(error),
+    };
+    let greeted = matches!(reply, Response::Hello { .. });
+    if send(out, &[reply]).is_err() || !greeted {
+        return;
+    }
+
+    let mut state = Session {
+        prepared: HashMap::new(),
+        lenient_deferred: false,
+    };
+    loop {
+        let request = match frames.recv() {
+            Ok(Incoming::Frame(payload)) => match Request::decode(&payload) {
+                Ok(request) => request,
+                Err(error) => {
+                    // Malformed payload in an intact envelope: answer and
+                    // keep serving. A fatal decode closes after answering.
+                    let fatal = matches!(error, FrameError::Fatal(_));
+                    if send(out, &[frame_error(error)]).is_err() || fatal {
+                        return;
+                    }
+                    continue;
+                }
+            },
+            Ok(Incoming::Broken(message)) => {
+                let _ = send(out, &[protocol_error(message)]);
+                return;
+            }
+            Err(_) => return, // client closed cleanly (or shutdown drained us)
+        };
+        let last = matches!(request, Request::Bye);
+        let responses = handle_request(request, &mut state, datastore);
+        if send(out, &responses).is_err() || last {
+            return;
+        }
+    }
+}
+
+fn handle_request(
+    request: Request,
+    state: &mut Session,
+    datastore: &SharedDatastore,
+) -> Vec<Response> {
+    match request {
+        Request::Hello { .. } => vec![protocol_error("session already greeted".to_string())],
+        Request::Sql { text } => run_sql(&text, datastore),
+        Request::Prepare { name, sql } => match mdb_query::parse(&sql) {
+            Ok(_) => {
+                state.prepared.insert(name.clone(), sql);
+                vec![Response::Ok {
+                    info: format!("prepared '{name}'"),
+                }]
+            }
+            Err(error) => vec![engine_error(error)],
+        },
+        Request::ExecPrepared { name } => match state.prepared.get(&name) {
+            Some(sql) => run_sql(&sql.clone(), datastore),
+            None => vec![engine_error(MdbError::NotFound(format!(
+                "no prepared statement '{name}' in this session"
+            )))],
+        },
+        Request::IngestBatch(batch) => {
+            let rows = batch.len();
+            ack_ingest(
+                datastore.ingest_batch(&batch),
+                format!("ingested {rows} rows"),
+                state,
+            )
+        }
+        Request::IngestPoints(points) => {
+            let n = points.len();
+            ack_ingest(
+                datastore.ingest_points(&points),
+                format!("ingested {n} points"),
+                state,
+            )
+        }
+        Request::Flush => ack_ingest(datastore.flush(), "flushed".to_string(), state),
+        Request::Health => match datastore.health() {
+            Ok(health) => vec![Response::Health(health)],
+            Err(error) => vec![engine_error(error)],
+        },
+        Request::SetOption { key, value } => set_option(&key, &value, state),
+        Request::Bye => vec![Response::Ok {
+            info: "bye".to_string(),
+        }],
+    }
+}
+
+fn run_sql(text: &str, datastore: &SharedDatastore) -> Vec<Response> {
+    match datastore.sql(text) {
+        Ok(result) => Response::stream_result(result),
+        Err(error) => vec![engine_error(error)],
+    }
+}
+
+/// Acknowledges a mutating operation, honoring the session's configured
+/// consistency of errors for deferred failures.
+fn ack_ingest(outcome: Result<()>, info: String, state: &Session) -> Vec<Response> {
+    match outcome {
+        Ok(()) => vec![Response::Ok { info }],
+        Err(MdbError::DeferredIngestion(detail)) if state.lenient_deferred => {
+            vec![Response::Ok {
+                info: format!("{info}; deferred failure reported: {detail}"),
+            }]
+        }
+        Err(error) => vec![engine_error(error)],
+    }
+}
+
+fn set_option(key: &str, value: &str, state: &mut Session) -> Vec<Response> {
+    match (key, value) {
+        ("errors", "strict") => state.lenient_deferred = false,
+        ("errors", "deferred") => state.lenient_deferred = true,
+        ("errors", other) => {
+            return vec![engine_error(MdbError::Config(format!(
+                "option 'errors' takes 'strict' or 'deferred', not '{other}'"
+            )))]
+        }
+        (other, _) => {
+            return vec![engine_error(MdbError::Config(format!(
+                "unknown session option '{other}'"
+            )))]
+        }
+    }
+    vec![Response::Ok {
+        info: format!("{key} = {value}"),
+    }]
+}
+
+fn engine_error(error: MdbError) -> Response {
+    Response::Error {
+        code: ErrorCode::of(&error),
+        message: error.to_string(),
+    }
+}
+
+fn protocol_error(message: String) -> Response {
+    Response::Error {
+        code: ErrorCode::Protocol,
+        message,
+    }
+}
+
+fn frame_error(error: FrameError) -> Response {
+    match error {
+        FrameError::Malformed(message) | FrameError::Fatal(message) => protocol_error(message),
+    }
+}
+
+/// Writes the responses to one request and flushes them as a unit.
+fn send(out: &mut impl std::io::Write, responses: &[Response]) -> std::io::Result<()> {
+    for response in responses {
+        write_frame(out, &response.encode())?;
+    }
+    out.flush()
+}

@@ -47,17 +47,14 @@ fn start(
     replication_factor: usize,
     storage_dir: Option<&std::path::Path>,
 ) -> Cluster {
-    let config = ClusterConfig {
-        compression: CompressionConfig {
-            error_bound: ErrorBound::relative(5.0),
-            ..Default::default()
-        },
-        replication_factor,
-        storage_dir: storage_dir.map(|p| p.to_path_buf()),
-        // Small blocks so disk-backed cases exercise multi-block handoff.
-        bulk_write_size: 16,
-        ..ClusterConfig::default()
-    };
+    let mut config = ClusterConfig::with_compression(CompressionConfig {
+        error_bound: ErrorBound::relative(5.0),
+        ..Default::default()
+    });
+    config.replication_factor = replication_factor;
+    config.storage_dir = storage_dir.map(|p| p.to_path_buf());
+    // Small blocks so disk-backed cases exercise multi-block handoff.
+    config.bulk_write_size = 16;
     Cluster::start_with(
         Arc::clone(catalog),
         Arc::new(ModelRegistry::standard()),

@@ -1,0 +1,398 @@
+//! Integration: the networked front-end under concurrent clients.
+//!
+//! * Many writers (each owning disjoint groups) and many readers drive one
+//!   server; the final query results are **bit-identical** to an in-process
+//!   run of the same deployment — over the embedded engine and the cluster.
+//! * A protocol damage matrix: truncated, oversized, garbage, and
+//!   zero-length frames each produce a typed error frame (and close the
+//!   connection only when the framing itself is broken) — never a panic, a
+//!   hang, or a silent drop.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use mdb_bench::{build_engine, catalog_from_dataset, ingest_engine_batched};
+use mdb_server::protocol::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+use mdb_server::ErrorCode;
+use modelardb::{
+    Client, Cluster, CompressionConfig, ErrorBound, MdbError, ModelRegistry, RowBatch, Server,
+    ServerOptions, SharedDatastore,
+};
+
+const TICKS: u64 = 600;
+const WRITERS: usize = 6;
+const READERS: usize = 6;
+const BATCH: u64 = 64;
+
+fn queries() -> Vec<String> {
+    vec![
+        "SELECT COUNT_S(*) FROM Segment".into(),
+        "SELECT Tid, SUM_S(*) FROM Segment GROUP BY Tid ORDER BY Tid".into(),
+        "SELECT Type, AVG_S(*) FROM Segment GROUP BY Type ORDER BY Type".into(),
+        "SELECT Entity, MIN_S(*), MAX_S(*) FROM Segment GROUP BY Entity ORDER BY Entity".into(),
+        "SELECT Tid, CUBE_SUM_DAY(*) FROM Segment WHERE Tid IN (1,2,5) GROUP BY Tid".into(),
+        "SELECT SUM(Value) FROM DataPoint WHERE Tid = 3".into(),
+    ]
+}
+
+/// Writes `ds`'s ticks through `writers` concurrent connections, each owning
+/// a disjoint set of groups and sending full-width batches (None for every
+/// unowned column). Whole-group-missing rows are skipped as gaps, so the
+/// per-group segment streams are independent of the interleaving.
+fn concurrent_ingest(addr: std::net::SocketAddr, ds: &Arc<mdb_datagen::Dataset>) {
+    let catalog = catalog_from_dataset(ds, &ds.correlation_spec()).unwrap();
+    let n_series = ds.n_series();
+    // Column index of each tid in catalog order (tids are 1-based here).
+    let column_of = |tid: modelardb::Tid| {
+        catalog
+            .series
+            .iter()
+            .position(|m| m.tid == tid)
+            .expect("tid in catalog")
+    };
+    std::thread::scope(|scope| {
+        for writer in 0..WRITERS {
+            let ds = Arc::clone(ds);
+            let owned: Vec<usize> = catalog
+                .groups
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % WRITERS == writer)
+                .flat_map(|(_, g)| g.tids.iter().map(|&t| column_of(t)).collect::<Vec<_>>())
+                .collect();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("writer connect");
+                let mut tick = 0u64;
+                while tick < TICKS {
+                    let len = BATCH.min(TICKS - tick);
+                    let mut batch = RowBatch::with_capacity(n_series, len as usize);
+                    for t in tick..tick + len {
+                        let full = ds.row(t);
+                        let row: Vec<Option<f32>> = (0..n_series)
+                            .map(|col| {
+                                if owned.contains(&col) {
+                                    full[col]
+                                } else {
+                                    None
+                                }
+                            })
+                            .collect();
+                        batch.push_row(ds.timestamp(t), &row);
+                    }
+                    client.ingest_batch(&batch).expect("ingest over wire");
+                    tick += len;
+                }
+                client.close().expect("writer close");
+            });
+        }
+    });
+}
+
+/// Runs the query panel through `READERS` concurrent connections and checks
+/// every result for exact (bit-identical) equality with `expected`.
+fn concurrent_read_and_compare(addr: std::net::SocketAddr, expected: &[modelardb::QueryResult]) {
+    std::thread::scope(|scope| {
+        for reader in 0..READERS {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("reader connect");
+                for (q, want) in queries().iter().zip(expected) {
+                    let got = client.sql(q).expect("remote query");
+                    assert_eq!(&got, want, "reader {reader}: {q}");
+                }
+                client.close().expect("reader close");
+            });
+        }
+    });
+}
+
+#[test]
+fn engine_over_wire_is_bit_identical_to_in_process() {
+    let ds = Arc::new(mdb_datagen::ep(13, mdb_datagen::Scale::tiny()).unwrap());
+
+    // In-process reference: same engine configuration, same data.
+    let mut reference = build_engine(&ds, true, 5.0);
+    ingest_engine_batched(&mut reference, &ds, TICKS, BATCH);
+    let expected: Vec<_> = queries()
+        .iter()
+        .map(|q| reference.sql(q).unwrap())
+        .collect();
+
+    let datastore = SharedDatastore::new(build_engine(&ds, true, 5.0));
+    let server = Server::start(datastore.clone(), ServerOptions::default()).unwrap();
+    let addr = server.local_addr();
+
+    concurrent_ingest(addr, &ds);
+    // One global flush after every writer finished (flushing mid-stream
+    // would cut other writers' open segments early).
+    Client::connect(addr).unwrap().flush().unwrap();
+    concurrent_read_and_compare(addr, &expected);
+
+    let mut probe = Client::connect(addr).unwrap();
+    let health = probe.health().unwrap();
+    assert_eq!(health.backend, "engine");
+    assert!(!health.degraded);
+    probe.close().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn cluster_over_wire_is_bit_identical_to_in_process() {
+    let ds = Arc::new(mdb_datagen::ep(13, mdb_datagen::Scale::tiny()).unwrap());
+    let compression = CompressionConfig {
+        error_bound: ErrorBound::relative(5.0),
+        ..Default::default()
+    };
+
+    // In-process reference cluster, ingested serially with full rows.
+    let reference = Cluster::start(
+        catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap(),
+        Arc::new(ModelRegistry::standard()),
+        compression.clone(),
+        3,
+    )
+    .unwrap();
+    for tick in 0..TICKS {
+        reference
+            .ingest_row(ds.timestamp(tick), &ds.row(tick))
+            .unwrap();
+    }
+    reference.flush().unwrap();
+    let expected: Vec<_> = queries()
+        .iter()
+        .map(|q| reference.sql(q).unwrap())
+        .collect();
+
+    let served = Cluster::start(
+        catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap(),
+        Arc::new(ModelRegistry::standard()),
+        compression,
+        3,
+    )
+    .unwrap();
+    let server = Server::start(SharedDatastore::new(served), ServerOptions::default()).unwrap();
+    let addr = server.local_addr();
+
+    concurrent_ingest(addr, &ds);
+    Client::connect(addr).unwrap().flush().unwrap();
+    concurrent_read_and_compare(addr, &expected);
+
+    let mut probe = Client::connect(addr).unwrap();
+    assert_eq!(probe.health().unwrap().backend, "cluster");
+    probe.close().unwrap();
+    server.shutdown().unwrap();
+    reference.shutdown().unwrap();
+}
+
+#[test]
+fn query_errors_are_frames_not_disconnects() {
+    let ds = mdb_datagen::ep(13, mdb_datagen::Scale::tiny()).unwrap();
+    let server = Server::start(
+        SharedDatastore::new(build_engine(&ds, true, 5.0)),
+        ServerOptions::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // A bad statement is a typed error; the session keeps working.
+    match client.sql("SELECT nonsense FROM nowhere") {
+        Err(MdbError::Query(_)) => {}
+        other => panic!("expected Query error, got {other:?}"),
+    }
+    client
+        .ingest_points(&[(1, 0, 1.0), (1, 60_000, 1.1)])
+        .unwrap();
+    client.flush().unwrap();
+    assert_eq!(
+        client
+            .sql("SELECT COUNT_S(*) FROM Segment")
+            .unwrap()
+            .rows
+            .len(),
+        1
+    );
+
+    // Prepared statements are session state.
+    client
+        .prepare("count", "SELECT COUNT_S(*) FROM Segment")
+        .unwrap();
+    assert_eq!(
+        client.exec_prepared("count").unwrap(),
+        client.sql("SELECT COUNT_S(*) FROM Segment").unwrap()
+    );
+    match client.exec_prepared("ghost") {
+        Err(MdbError::NotFound(_)) => {}
+        other => panic!("expected NotFound, got {other:?}"),
+    }
+    match client.prepare("bad", "SELEKT oops") {
+        Err(MdbError::Query(_)) => {}
+        other => panic!("expected Query error, got {other:?}"),
+    }
+
+    // Session options validate their values.
+    client.set_option("errors", "deferred").unwrap();
+    client.set_option("errors", "strict").unwrap();
+    match client.set_option("errors", "sometimes") {
+        Err(MdbError::Config(_)) => {}
+        other => panic!("expected Config error, got {other:?}"),
+    }
+
+    // A second session does not see the first session's statements.
+    let mut other = Client::connect(server.local_addr()).unwrap();
+    assert!(matches!(
+        other.exec_prepared("count"),
+        Err(MdbError::NotFound(_))
+    ));
+    other.close().unwrap();
+    client.close().unwrap();
+    server.shutdown().unwrap();
+}
+
+/// Raw-socket helper: performs the Hello handshake manually.
+fn raw_hello(addr: std::net::SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut stream,
+        &Request::Hello {
+            version: PROTOCOL_VERSION,
+        }
+        .encode(),
+    )
+    .unwrap();
+    let reply = read_frame(&mut stream).unwrap().unwrap();
+    assert!(matches!(
+        Response::decode(&reply).unwrap(),
+        Response::Hello { .. }
+    ));
+    stream
+}
+
+fn expect_error(stream: &mut TcpStream, code: ErrorCode) {
+    let payload = read_frame(stream).unwrap().expect("an error frame");
+    match Response::decode(&payload).unwrap() {
+        Response::Error { code: got, .. } => assert_eq!(got, code),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn protocol_damage_matrix() {
+    let ds = mdb_datagen::ep(13, mdb_datagen::Scale::tiny()).unwrap();
+    let server = Server::start(
+        SharedDatastore::new(build_engine(&ds, true, 5.0)),
+        ServerOptions::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Unknown request kind after a valid handshake: error frame, session
+    // still answers the next well-formed request.
+    {
+        let mut stream = raw_hello(addr);
+        write_frame(&mut stream, &[0x7f, 1, 2, 3]).unwrap();
+        expect_error(&mut stream, ErrorCode::Protocol);
+        write_frame(&mut stream, &Request::Health.encode()).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Health(_)
+        ));
+    }
+
+    // Truncated payload (a string length pointing past the frame end).
+    {
+        let mut stream = raw_hello(addr);
+        write_frame(&mut stream, &[0x02, 200, 0, 0, 0, b'S']).unwrap();
+        expect_error(&mut stream, ErrorCode::Protocol);
+        write_frame(&mut stream, &Request::Bye.encode()).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Ok { .. }
+        ));
+    }
+
+    // Oversized length prefix: the framing is broken, so the server answers
+    // with an error frame and closes.
+    {
+        use std::io::Write;
+        let mut stream = raw_hello(addr);
+        stream.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+        expect_error(&mut stream, ErrorCode::Protocol);
+        assert!(read_frame(&mut stream).unwrap().is_none());
+    }
+
+    // Zero-length frame: same — unrecoverable framing damage.
+    {
+        use std::io::Write;
+        let mut stream = raw_hello(addr);
+        stream.write_all(&0u32.to_le_bytes()).unwrap();
+        expect_error(&mut stream, ErrorCode::Protocol);
+        assert!(read_frame(&mut stream).unwrap().is_none());
+    }
+
+    // Garbage instead of Hello: typed error, then close.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, &[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        expect_error(&mut stream, ErrorCode::Protocol);
+        assert!(read_frame(&mut stream).unwrap().is_none());
+    }
+
+    // Wrong protocol version: typed error, then close.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, &Request::Hello { version: 999 }.encode()).unwrap();
+        expect_error(&mut stream, ErrorCode::Protocol);
+        assert!(read_frame(&mut stream).unwrap().is_none());
+    }
+
+    // A client vanishing mid-frame must not poison the server.
+    {
+        use std::io::Write;
+        let mut stream = raw_hello(addr);
+        stream.write_all(&[64, 0, 0, 0, 0x02]).unwrap(); // promises 64 bytes…
+        drop(stream); // …and leaves.
+    }
+
+    // After all of the above, a normal session still works end to end.
+    let mut client = Client::connect(addr).unwrap();
+    client.ingest_points(&[(1, 0, 42.0)]).unwrap();
+    client.flush().unwrap();
+    assert!(!client
+        .sql("SELECT COUNT_S(*) FROM Segment")
+        .unwrap()
+        .rows
+        .is_empty());
+    client.close().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn admission_permits_recycle_and_shutdown_flushes() {
+    let ds = mdb_datagen::ep(13, mdb_datagen::Scale::tiny()).unwrap();
+    let datastore = SharedDatastore::new(build_engine(&ds, true, 5.0));
+    let server = Server::start(
+        datastore.clone(),
+        ServerOptions {
+            max_connections: 1,
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // With one permit, sequential sessions must still all be served.
+    for round in 0..3 {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .ingest_points(&[(1, round * 60_000, round as f32)])
+            .unwrap();
+        client.close().unwrap();
+    }
+
+    // No client ever flushed; shutdown drains sessions and flushes the
+    // datastore through its normal path.
+    server.shutdown().unwrap();
+    let count = datastore.sql("SELECT COUNT(Value) FROM DataPoint").unwrap();
+    assert_eq!(count.rows[0][0].as_f64(), Some(3.0));
+}
