@@ -31,6 +31,14 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// largest batch `repro serve` ships, far below an OOM).
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
 
+/// Upper bound on the series count one `IngestBatch` frame may claim.
+/// Decoding allocates one column per claimed series *before* any cell data
+/// is read, so without this cap a 9-byte frame claiming `u32::MAX` series
+/// and zero rows would drive a multi-GB allocation. 65 536 is far above any
+/// realistic batch width (the repro workloads use dozens of series) while
+/// keeping the worst-case pre-allocation at a few MB.
+pub const MAX_BATCH_SERIES: usize = 65_536;
+
 /// Rows per [`Response::ResultRows`] frame when a result is streamed.
 pub const RESULT_CHUNK_ROWS: usize = 256;
 
@@ -142,15 +150,17 @@ impl ErrorCode {
     }
 }
 
-/// Why a frame could not be decoded.
+/// Why a frame's payload could not be decoded. The envelope itself is
+/// validated by [`read_frame`], which reports damage (oversized length
+/// prefix, stream ending mid-frame) as `io::Error` — by then
+/// resynchronization is impossible and the session closes. A payload
+/// error, in contrast, is always recoverable: the session answers with an
+/// error frame and keeps serving.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FrameError {
-    /// The payload was malformed but the envelope was intact: the session
-    /// answers with an error frame and keeps going.
+    /// The payload was malformed (unknown kind, truncated fields, bad
+    /// UTF-8) inside an intact envelope.
     Malformed(String),
-    /// The framing itself cannot be trusted (oversized length prefix):
-    /// the session answers with an error frame and closes.
-    Fatal(String),
 }
 
 // ---------------------------------------------------------------- encoding
@@ -208,6 +218,7 @@ fn put_cell(out: &mut Vec<u8>, cell: &Cell) {
 
 fn put_batch(out: &mut Vec<u8>, batch: &RowBatch) {
     let view = batch.view();
+    debug_assert!(view.n_series() <= MAX_BATCH_SERIES);
     put_u32(out, view.n_series() as u32);
     put_u32(out, view.len() as u32);
     for row in 0..view.len() {
@@ -325,6 +336,11 @@ impl<'a> Reader<'a> {
         let n_rows = self.count(8)?;
         if n_series == 0 {
             return Err(FrameError::Malformed("batch has zero series".to_string()));
+        }
+        if n_series > MAX_BATCH_SERIES {
+            return Err(FrameError::Malformed(format!(
+                "batch claims {n_series} series (limit {MAX_BATCH_SERIES})"
+            )));
         }
         let mut timestamps = Vec::with_capacity(n_rows);
         for _ in 0..n_rows {
@@ -746,6 +762,42 @@ mod tests {
             );
         }
         assert!(Response::decode(&[0x83, 99, 0, 0, 0, 0]).is_err()); // unknown error code
+    }
+
+    #[test]
+    fn hostile_batch_width_is_rejected_before_allocation() {
+        // A 9-byte frame claiming u32::MAX series and zero rows: the zero
+        // row count means no bitmap or timestamp bytes constrain the claim,
+        // so only the width cap stands between this frame and a ~240 GB
+        // column allocation.
+        let mut huge = vec![0x05];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&huge),
+            Err(FrameError::Malformed(_))
+        ));
+
+        // The same claim with one row is rejected by the cap too, before
+        // the (absent) bitmap is even looked at.
+        let mut wide = vec![0x05];
+        wide.extend_from_slice(&u32::MAX.to_le_bytes());
+        wide.extend_from_slice(&1u32.to_le_bytes());
+        wide.extend_from_slice(&0i64.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&wide),
+            Err(FrameError::Malformed(_))
+        ));
+
+        // An honest empty batch with a real width still round-trips.
+        let empty = RowBatch::new(16);
+        match Request::decode(&Request::IngestBatch(empty).encode()).unwrap() {
+            Request::IngestBatch(decoded) => {
+                assert_eq!(decoded.len(), 0);
+                assert_eq!(decoded.n_series(), 16);
+            }
+            other => panic!("decoded {other:?}"),
+        }
     }
 
     #[test]

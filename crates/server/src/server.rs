@@ -51,6 +51,12 @@ impl ServerOptions {
     }
 }
 
+/// How long `shutdown` waits for sessions to drain and answer their queued
+/// requests before severing their sockets outright. Sessions normally exit
+/// within milliseconds of their read half closing; the cap only bites when
+/// a client stops reading its own replies.
+const SHUTDOWN_DRAIN_GRACE: std::time::Duration = std::time::Duration::from_secs(5);
+
 /// A counting semaphore (std has none; built on `Mutex` + `Condvar`).
 struct Semaphore {
     permits: Mutex<usize>,
@@ -184,6 +190,26 @@ impl Server {
         // on admission, a draining session's released permit wakes it).
         let _ = TcpStream::connect(self.addr);
         let _ = accept.join();
+        // Draining sessions deregister themselves as they finish. One stuck
+        // writing to a client that stopped reading (full TCP send window)
+        // would block its `session.join()` below forever — so after a grace
+        // period sever both halves, which fails the blocked write and lets
+        // the straggler exit.
+        let deadline = std::time::Instant::now() + SHUTDOWN_DRAIN_GRACE;
+        loop {
+            let registry = self.shared.registry.lock().unwrap();
+            if registry.is_empty() {
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                for stream in registry.values() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                break;
+            }
+            drop(registry);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
         let sessions = std::mem::take(&mut *self.shared.sessions.lock().unwrap());
         for session in sessions {
             let _ = session.join();
@@ -230,7 +256,19 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, datastore: SharedData
                 shared.admission.release();
             })
         };
-        shared.sessions.lock().unwrap().push(handle);
+        // Reap finished sessions before tracking the new one, so the handle
+        // list stays proportional to live connections under churn rather
+        // than growing with every connection ever served.
+        let mut sessions = shared.sessions.lock().unwrap();
+        let mut i = 0;
+        while i < sessions.len() {
+            if sessions[i].is_finished() {
+                let _ = sessions.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        sessions.push(handle);
     }
 }
 
@@ -348,9 +386,8 @@ fn execute_session(
                 Ok(request) => request,
                 Err(error) => {
                     // Malformed payload in an intact envelope: answer and
-                    // keep serving. A fatal decode closes after answering.
-                    let fatal = matches!(error, FrameError::Fatal(_));
-                    if send(out, &[frame_error(error)]).is_err() || fatal {
+                    // keep serving (envelope damage arrives as `Broken`).
+                    if send(out, &[frame_error(error)]).is_err() {
                         return;
                     }
                     continue;
@@ -477,9 +514,8 @@ fn protocol_error(message: String) -> Response {
 }
 
 fn frame_error(error: FrameError) -> Response {
-    match error {
-        FrameError::Malformed(message) | FrameError::Fatal(message) => protocol_error(message),
-    }
+    let FrameError::Malformed(message) = error;
+    protocol_error(message)
 }
 
 /// Writes the responses to one request and flushes them as a unit.
