@@ -8,7 +8,7 @@
 //! experiments:
 //!   table1  fig13  fig14  fig15  fig16  fig17  fig18  fig19  fig20
 //!   fig21   fig22  fig23  fig24  fig25  fig26  fig27  fig28  mgc
-//!   ingest  query  storage  scan  sketch  serve  chaos  all
+//!   ingest  query  storage  scan  sketch  rollup  serve  chaos  all
 //! ```
 //!
 //! Unknown experiments, scales, or options exit non-zero with a usage
@@ -23,7 +23,10 @@
 //! `BENCH_scan.json` (cold-cache full-span aggregate scans over the v1
 //! decode path vs the zero-copy v2 view path, prefetch off and on), and
 //! `sketch` writes `BENCH_sketch.json` (metadata-only sketch queries vs
-//! their exact full-scan equivalents), and `serve` writes `BENCH_serve.json`
+//! their exact full-scan equivalents), `rollup` writes `BENCH_rollup.json`
+//! (whole-bucket time-hierarchy aggregates served from the incrementally
+//! materialized rollup cells vs the full bucketed scan — bit-identical
+//! answers, checked in-run), and `serve` writes `BENCH_serve.json`
 //! (the networked front-end: remote-vs-in-process query efficiency plus
 //! throughput and tail latency under concurrent connections) so the perf
 //! trajectory is machine-readable across commits. `gate` compares a freshly produced
@@ -53,10 +56,10 @@ use modelardb::{
 const SEED: u64 = 42;
 const BOUNDS: [f64; 4] = [0.0, 1.0, 5.0, 10.0];
 
-const EXPERIMENTS: [&str; 25] = [
+const EXPERIMENTS: [&str; 26] = [
     "table1", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
     "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "mgc", "ingest", "query",
-    "storage", "scan", "sketch", "serve", "chaos",
+    "storage", "scan", "sketch", "rollup", "serve", "chaos",
 ];
 
 fn usage() -> String {
@@ -222,6 +225,9 @@ fn run_experiments(experiment: &str, scale: Scale, scale_name: &str) {
     }
     if run("sketch") {
         sketch_rates(scale, scale_name);
+    }
+    if run("rollup") {
+        rollup_rates(scale, scale_name);
     }
     if run("serve") {
         serve_rates(scale, scale_name);
@@ -875,6 +881,113 @@ fn sketch_rates(scale: Scale, scale_name: &str) {
     }
 }
 
+/// `rollup`: whole-bucket time-hierarchy aggregates served from the
+/// incrementally materialized rollup cells vs the full bucketed scan, on a
+/// disk-backed store, written to `BENCH_rollup.json`. The two paths are the
+/// *same query on the same engine* with serving toggled — they are
+/// bit-identical by construction (asserted in-run), so the gated
+/// `*_speedup` is a pure read-path ratio. The served pass is additionally
+/// checked to perform **zero** block-cache fetches: a fully covered bucket
+/// is answered from cells without touching a segment body.
+fn rollup_rates(scale: Scale, scale_name: &str) {
+    const REPS: usize = 7;
+    const BULK: usize = 64;
+    const N_QUERIES: usize = 20;
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for ds in [ep(SEED, scale).unwrap(), eh(SEED, scale).unwrap()] {
+        let ticks = (ds.scale.ticks * 16).max(20_000);
+        let dir = std::env::temp_dir().join(format!(
+            "mdb-repro-rollup-{}-{}",
+            std::process::id(),
+            ds.name
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut db = build_disk_engine(&ds, &dir, 10.0, BULK, None);
+        ingest_engine_batched(&mut db, &ds, ticks, 512);
+        let segments = db.segment_count();
+        let mut entry = format!(
+            "    {{\"dataset\": \"{}\", \"ticks\": {ticks}, \"segments\": {segments}",
+            ds.name
+        );
+
+        let classes: [(&str, String); 2] = [
+            (
+                "CUBE_SUM_HOUR",
+                "SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment GROUP BY Tid".to_string(),
+            ),
+            (
+                "CUBE_AVG_DAY",
+                "SELECT Tid, CUBE_AVG_DAY(*) FROM Segment GROUP BY Tid".to_string(),
+            ),
+        ];
+        for (class, query) in &classes {
+            let queries = vec![query.clone(); N_QUERIES];
+            // Correctness choke before any timing: the served answer is the
+            // scanned answer, and serving fetches no segment bodies.
+            db.set_rollup_serve(true);
+            let served = db.sql(query).expect("served query");
+            let before = db.cache_stats();
+            let _ = db.sql(query).expect("served query");
+            let after = db.cache_stats();
+            assert_eq!(
+                (after.hits, after.misses, after.bytes_read),
+                (before.hits, before.misses, before.bytes_read),
+                "{}/{class}: the served pass must not fetch segment bodies",
+                ds.name
+            );
+            db.set_rollup_serve(false);
+            let scanned = db.sql(query).expect("scanned query");
+            assert_eq!(
+                served, scanned,
+                "{}/{class}: served and scanned answers must be identical",
+                ds.name
+            );
+
+            let mut served_elapsed = Duration::MAX;
+            let mut scan_elapsed = Duration::MAX;
+            for _ in 0..REPS {
+                // Interleaved so machine-load drift cannot bias one path.
+                db.set_rollup_serve(true);
+                served_elapsed = served_elapsed.min(run_queries(&db, &queries));
+                db.set_rollup_serve(false);
+                scan_elapsed = scan_elapsed.min(run_queries(&db, &queries));
+            }
+            let speedup = scan_elapsed.as_secs_f64() / served_elapsed.as_secs_f64().max(1e-9);
+            rows.push(vec![
+                ds.name.clone(),
+                (*class).into(),
+                fmt_ms(served_elapsed),
+                fmt_ms(scan_elapsed),
+                format!("{speedup:.2}x"),
+            ]);
+            let key = class.to_ascii_lowercase();
+            entry.push_str(&format!(
+                ", \"{key}_served_ms\": {:.3}, \"{key}_scan_ms\": {:.3}, \"{key}_speedup\": {speedup:.3}",
+                served_elapsed.as_secs_f64() * 1e3,
+                scan_elapsed.as_secs_f64() * 1e3,
+            ));
+        }
+        entry.push('}');
+        entries.push(entry);
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    print_figure(
+        "Continuous aggregates: materialized rollup cells vs bucketed scans",
+        &["Data set", "Aggregate", "Served", "Scanned", "Speedup"],
+        &rows,
+    );
+    let json = format!(
+        "{{\n  \"scale\": \"{scale_name}\",\n  \"datasets\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_rollup.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_rollup.json"),
+        Err(e) => eprintln!("\nfailed to write BENCH_rollup.json: {e}"),
+    }
+}
+
 /// `query`: time-ranged `SUM_S`/`AVG_S` latency, plain sequential scan vs
 /// the pruned-parallel path, on both data sets; written to
 /// `BENCH_query.json`. Sixteen times the scale's ticks (at least 20,000)
@@ -895,6 +1008,12 @@ fn query_rates(scale: Scale, scale_name: &str) {
         ingest_engine_batched(&mut sequential, &ds, ticks, 512);
         let mut pruned = build_engine_with(&ds, true, 10.0, 0, true);
         ingest_engine_batched(&mut pruned, &ds, ticks, 512);
+        // This experiment measures the *scan* paths: with rollup serving
+        // left on, both engines would answer the whole-bucket interior of
+        // every window from materialized cells and the gated speedups would
+        // track cell lookups instead (the `rollup` experiment covers those).
+        sequential.set_rollup_serve(false);
+        pruned.set_rollup_serve(false);
         let segments = pruned.segment_count();
         let mut entry = format!(
             "    {{\"dataset\": \"{}\", \"ticks\": {ticks}, \"segments\": {segments}, \"queries_per_class\": {N_QUERIES}",
@@ -1012,8 +1131,11 @@ fn serve_rates(scale: Scale, scale_name: &str) {
         let ticks = ds.scale.ticks;
         let queries = serve_queries(&ds, ticks);
 
-        // In-process reference: engine, results, and best panel time.
+        // In-process reference: engine, results, and best panel time. Both
+        // twins scan (rollup serving off) so the efficiency ratio keeps
+        // measuring the front-end against real query work, not cell reads.
         let mut local = build_engine(&ds, true, 10.0);
+        local.set_rollup_serve(false);
         ingest_engine_batched(&mut local, &ds, ticks, 512);
         let expected: Vec<QueryResult> = queries
             .iter()
@@ -1026,8 +1148,10 @@ fn serve_rates(scale: Scale, scale_name: &str) {
         }
 
         // The served twin, ingested over the wire by one writer.
+        let mut remote_engine = build_engine(&ds, true, 10.0);
+        remote_engine.set_rollup_serve(false);
         let server = Server::start(
-            SharedDatastore::new(build_engine(&ds, true, 10.0)),
+            SharedDatastore::new(remote_engine),
             ServerOptions {
                 max_connections: connections + 8,
                 ..ServerOptions::default()
@@ -1212,7 +1336,14 @@ fn gate(args: &[String]) -> Result<(), String> {
         ));
     }
 
-    let (checked, failures) = gate_report(&base_text, &current_text, tolerance, absolute);
+    let (checked, failures, notices) = gate_report(&base_text, &current_text, tolerance, absolute);
+    // A metric the current run has but the baseline lacks passes the gate
+    // by construction — and would keep passing forever. Say so loudly (on
+    // stderr, before any verdict) so the baseline gets regenerated instead
+    // of the coverage gap going unnoticed.
+    for notice in &notices {
+        eprintln!("perf gate notice: {notice}");
+    }
     // Failures first: if every baseline metric vanished from the current
     // file, `checked` is zero too, and reporting "no gateable metrics"
     // instead would hide the coverage loss behind a config-looking error.
@@ -1237,14 +1368,17 @@ fn gate(args: &[String]) -> Result<(), String> {
 /// looked up in the current run — a baseline metric that is *missing* from
 /// the current file is a failure (the benchmark silently lost coverage),
 /// not a skip — and the gateable ones (`*_speedup`; with `absolute` also
-/// `*_per_sec` and `*_ms`) are compared under `tolerance`. Returns the
-/// number of compared metrics and the failure report.
+/// `*_per_sec` and `*_ms`) are compared under `tolerance`. The reverse
+/// direction is reported too: a *new* metric the baseline has never seen
+/// is ungated by construction, so it becomes a notice (not a failure) the
+/// caller must surface. Returns the number of compared metrics, the
+/// failure report, and the new-metric notices.
 fn gate_report(
     base_text: &str,
     current_text: &str,
     tolerance: f64,
     absolute: bool,
-) -> (usize, Vec<String>) {
+) -> (usize, Vec<String>, Vec<String>) {
     let mut failures = Vec::new();
     let mut checked = 0usize;
     for (dataset, key, base_value) in &bench_metrics(base_text) {
@@ -1270,7 +1404,17 @@ fn gate_report(
             ));
         }
     }
-    (checked, failures)
+    let notices = bench_metrics(current_text)
+        .iter()
+        .filter(|(dataset, key, _)| bench_metric(base_text, dataset, key).is_none())
+        .map(|(dataset, key, _)| {
+            format!(
+                "NEW metric {dataset}/{key}: absent from the baseline — it passes ungated \
+                 until the baseline is regenerated"
+            )
+        })
+        .collect();
+    (checked, failures, notices)
 }
 
 /// The top-level `"scale"` field of a `BENCH_*.json`, if present.
@@ -1825,11 +1969,12 @@ mod tests {
 
     #[test]
     fn unchanged_metrics_pass() {
-        let (checked, failures) = gate_report(BASE, BASE, 2.0, false);
+        let (checked, failures, notices) = gate_report(BASE, BASE, 2.0, false);
         assert_eq!(checked, 2, "both speedups compared");
         assert_eq!(failures, Vec::<String>::new());
+        assert_eq!(notices, Vec::<String>::new());
         // With --absolute the latencies are gated too.
-        let (checked, failures) = gate_report(BASE, BASE, 2.0, true);
+        let (checked, failures, _) = gate_report(BASE, BASE, 2.0, true);
         assert_eq!(checked, 4);
         assert_eq!(failures, Vec::<String>::new());
     }
@@ -1837,13 +1982,13 @@ mod tests {
     #[test]
     fn regression_beyond_tolerance_fails() {
         let current = BASE.replace("\"reopen_speedup\": 4.0", "\"reopen_speedup\": 1.5");
-        let (checked, failures) = gate_report(BASE, &current, 2.0, false);
+        let (checked, failures, _) = gate_report(BASE, &current, 2.0, false);
         assert_eq!(checked, 2);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("EP/reopen_speedup"), "{failures:?}");
         // 1.5 is within 2x of 3.0, so EH passes; and 2.5 would pass for EP.
         let current = BASE.replace("\"reopen_speedup\": 4.0", "\"reopen_speedup\": 2.5");
-        let (_, failures) = gate_report(BASE, &current, 2.0, false);
+        let (_, failures, _) = gate_report(BASE, &current, 2.0, false);
         assert_eq!(failures, Vec::<String>::new());
     }
 
@@ -1852,7 +1997,7 @@ mod tests {
         // A renamed or dropped metric must fail the gate, not shrink its
         // coverage: lose one metric from one dataset...
         let current = BASE.replace(", \"reopen_speedup\": 4.0", "");
-        let (checked, failures) = gate_report(BASE, &current, 2.0, false);
+        let (checked, failures, _) = gate_report(BASE, &current, 2.0, false);
         assert_eq!(checked, 1, "the surviving EH speedup is still compared");
         assert_eq!(failures.len(), 1);
         assert!(
@@ -1862,8 +2007,31 @@ mod tests {
         // ...and the pathological case: current shares nothing with the
         // baseline, so checked == 0 AND every metric is a failure. The
         // failures must win over any "no gateable metrics" report.
-        let (checked, failures) = gate_report(BASE, "{}", 2.0, false);
+        let (checked, failures, _) = gate_report(BASE, "{}", 2.0, false);
         assert_eq!(checked, 0);
         assert_eq!(failures.len(), 6, "every baseline metric reported missing");
+    }
+
+    #[test]
+    fn new_metric_absent_from_baseline_is_reported_not_failed() {
+        // A metric added by the current run passes by construction (nothing
+        // gates it) — that must produce a loud notice, never silence.
+        let current = BASE.replace(
+            "\"reopen_speedup\": 4.0",
+            "\"reopen_speedup\": 4.0, \"rollup_speedup\": 9.0",
+        );
+        let (checked, failures, notices) = gate_report(BASE, &current, 2.0, false);
+        assert_eq!(checked, 2, "the known speedups are still compared");
+        assert_eq!(
+            failures,
+            Vec::<String>::new(),
+            "a new metric is not a failure"
+        );
+        assert_eq!(notices.len(), 1);
+        assert!(
+            notices[0].contains("NEW metric EP/rollup_speedup")
+                && notices[0].contains("absent from the baseline"),
+            "{notices:?}"
+        );
     }
 }

@@ -57,7 +57,7 @@ use mdb_storage::{
     Catalog, DiskStore, DiskStoreOptions, MemoryStore, SegmentPredicate, SegmentStore,
 };
 use mdb_types::{
-    BlockSketch, Gid, MdbError, Result, RowBatch, SegmentRecord, Tid, Timestamp, Value,
+    BlockSketch, Gid, MdbError, Result, RowBatch, SegmentRecord, Tid, TimeLevel, Timestamp, Value,
 };
 
 /// Cluster runtime configuration.
@@ -1276,6 +1276,8 @@ fn spawn_worker(
         mdb_models::segment_value_range(&bounds_registry, segment, *bounds_sizes.get(&segment.gid)?)
     });
     let sketch_feed = mdb_query::sketch_feed(catalog, registry);
+    let rollup_feed = (!config.rollup_levels.is_empty())
+        .then(|| mdb_query::rollup_feed(catalog, registry, &config.rollup_levels));
     let store: Box<dyn SegmentStore> = match &config.storage_dir {
         Some(dir) => Box::new(DiskStore::open_with(
             &dir.join(format!("worker-{index}")),
@@ -1284,12 +1286,18 @@ fn spawn_worker(
                 memory_budget_bytes: budget_share,
                 value_bounds: Some(value_bounds),
                 sketch_feed: Some(sketch_feed),
+                rollup_feed,
                 prefetch_depth: config.prefetch_depth,
                 ..Default::default()
             },
         )?),
         None => {
-            Box::new(MemoryStore::with_value_bounds(value_bounds).with_sketch_feed(sketch_feed))
+            let mut store =
+                MemoryStore::with_value_bounds(value_bounds).with_sketch_feed(sketch_feed);
+            if let Some(feed) = rollup_feed {
+                store = store.with_rollup_feed(feed);
+            }
+            Box::new(store)
         }
     };
     let shared = Arc::new(WorkerShared::default());
@@ -1298,6 +1306,8 @@ fn spawn_worker(
     let registry_ref = Arc::clone(registry);
     let compression = config.compression.clone();
     let query_parallelism = config.query_parallelism;
+    let rollup_levels = config.rollup_levels.clone();
+    let rollup_serve = config.rollup_serve;
     let handle = std::thread::spawn(move || {
         let panic_shared = Arc::clone(&thread_shared);
         let result = catch_unwind(AssertUnwindSafe(move || {
@@ -1307,6 +1317,8 @@ fn spawn_worker(
                 registry_ref,
                 compression,
                 query_parallelism,
+                rollup_levels,
+                rollup_serve,
                 hosted,
                 store,
                 thread_shared,
@@ -1374,6 +1386,8 @@ fn worker_loop(
     registry: Arc<ModelRegistry>,
     config: CompressionConfig,
     query_parallelism: usize,
+    rollup_levels: Vec<TimeLevel>,
+    rollup_serve: bool,
     hosted: Vec<Gid>,
     mut store: Box<dyn SegmentStore>,
     shared: Arc<WorkerShared>,
@@ -1449,6 +1463,7 @@ fn worker_loop(
                     for gid in scope.iter() {
                         let mut engine = QueryEngine::new(&catalog, &registry, store.as_ref())
                             .with_parallelism(query_parallelism)
+                            .with_rollups(&rollup_levels, rollup_serve)
                             .with_gid_scope(std::slice::from_ref(gid));
                         if let Some(pool) = &scan_pool {
                             engine = engine.with_scan_pool(pool);

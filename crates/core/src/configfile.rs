@@ -17,6 +17,8 @@
 //! modelardb.query_parallelism    = 0            # scan workers; 0 = auto
 //! modelardb.ingest_queue_depth   = 8            # bound on buffered ingest batches
 //! modelardb.max_connections      = 256          # concurrent server sessions (serve mode)
+//! modelardb.rollup_levels        = hour, day, month  # continuous aggregates; "none" = off
+//! modelardb.rollup_serve         = true         # answer whole buckets from rollup cells
 //!
 //! modelardb.dimension            = Location, Country, Park, Turbine
 //! modelardb.dimension            = Measure, Category, Concrete
@@ -39,7 +41,7 @@ use std::path::PathBuf;
 use mdb_partitioner::spec::{parse_scaling, parse_weight};
 use mdb_partitioner::CorrelationSpec;
 use mdb_query::CommonOptions;
-use mdb_types::{BlockFormat, DimensionSchema, ErrorBound, MdbError, Result};
+use mdb_types::{BlockFormat, DimensionSchema, ErrorBound, MdbError, Result, TimeLevel};
 
 use crate::builder::{ModelarDbBuilder, SeriesSpec};
 use crate::engine::StorageSpec;
@@ -68,6 +70,10 @@ pub struct ConfigFile {
     ///
     /// [`ServerOptions::max_connections`]: mdb_server::ServerOptions
     pub max_connections: Option<usize>,
+    /// `Some(levels)` when a `rollup_levels` line was present; `none`
+    /// parses to an empty list (rollups off).
+    pub rollup_levels: Option<Vec<TimeLevel>>,
+    pub rollup_serve: Option<bool>,
 }
 
 impl ConfigFile {
@@ -134,6 +140,31 @@ impl ConfigFile {
                 }
                 "modelardb.max_connections" => {
                     cfg.max_connections = Some(parse_number(value, number)?);
+                }
+                "modelardb.rollup_levels" => {
+                    cfg.rollup_levels = Some(if value.eq_ignore_ascii_case("none") {
+                        Vec::new()
+                    } else {
+                        value
+                            .split(',')
+                            .map(str::trim)
+                            .map(|name| {
+                                TimeLevel::parse(name).ok_or_else(|| {
+                                    MdbError::Config(format!(
+                                        "line {}: bad rollup level {name:?} \
+                                         (year/month/day/hour/minute/second, or \"none\")",
+                                        number + 1
+                                    ))
+                                })
+                            })
+                            .collect::<Result<Vec<TimeLevel>>>()?
+                    });
+                }
+                "modelardb.rollup_serve" => {
+                    cfg.rollup_serve = Some(matches!(
+                        value.to_ascii_lowercase().as_str(),
+                        "true" | "on" | "1"
+                    ));
                 }
                 "modelardb.block_format" => {
                     cfg.block_format = Some(match value.to_ascii_lowercase().as_str() {
@@ -229,6 +260,12 @@ impl ConfigFile {
         }
         if let Some(depth) = self.ingest_queue_depth {
             options.ingest_queue_depth = depth;
+        }
+        if let Some(levels) = &self.rollup_levels {
+            options.rollup_levels = levels.clone();
+        }
+        if let Some(serve) = self.rollup_serve {
+            options.rollup_serve = serve;
         }
         options
     }
@@ -402,6 +439,31 @@ modelardb.correlation.scaling = series t9572.gz 4.75
         assert!(ConfigFile::parse("modelardb.max_connections = many").is_err());
         assert!(ConfigFile::parse("modelardb.query_parallelism = -1").is_err());
         assert!(ConfigFile::parse("modelardb.ingest_queue_depth = none").is_err());
+    }
+
+    #[test]
+    fn rollup_keys_parse_and_land_in_common_options() {
+        let cfg =
+            ConfigFile::parse("modelardb.rollup_levels = day, hour\nmodelardb.rollup_serve = off")
+                .unwrap();
+        assert_eq!(
+            cfg.rollup_levels,
+            Some(vec![TimeLevel::Day, TimeLevel::Hour])
+        );
+        assert_eq!(cfg.rollup_serve, Some(false));
+        let options = cfg.common_options();
+        assert_eq!(options.rollup_levels, vec![TimeLevel::Day, TimeLevel::Hour]);
+        assert!(!options.rollup_serve);
+        // "none" disables rollups; absent keys keep the defaults.
+        let cfg = ConfigFile::parse("modelardb.rollup_levels = none").unwrap();
+        assert_eq!(cfg.rollup_levels, Some(Vec::new()));
+        assert!(cfg.common_options().rollup_levels.is_empty());
+        let defaults = ConfigFile::parse("").unwrap().common_options();
+        assert_eq!(
+            defaults.rollup_levels,
+            CommonOptions::default().rollup_levels
+        );
+        assert!(ConfigFile::parse("modelardb.rollup_levels = fortnight").is_err());
     }
 
     #[test]

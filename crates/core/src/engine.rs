@@ -48,6 +48,12 @@ pub struct ModelarDb {
     /// [`Config::query_parallelism`](mdb_query::CommonOptions::query_parallelism)
     /// resolves to a single worker.
     scan_pool: Option<ScanPool>,
+    /// Whether whole-bucket aggregates are answered from rollup cells
+    /// (initialized from [`Config::rollup_serve`]
+    /// (mdb_query::CommonOptions::rollup_serve); toggleable at runtime so
+    /// benchmarks can measure the served and scanned paths on one engine —
+    /// the two are bit-identical by construction).
+    rollup_serve: bool,
 }
 
 impl ModelarDb {
@@ -63,10 +69,15 @@ impl ModelarDb {
         // resolve from metadata alone.
         let bounds = value_bounds_fn(&catalog, &registry);
         let sketch_feed = mdb_query::sketch_feed(&catalog, &registry);
+        let rollup_feed = (!config.rollup_levels.is_empty())
+            .then(|| mdb_query::rollup_feed(&catalog, &registry, &config.rollup_levels));
         let store: Box<dyn SegmentStore> = match &config.storage {
             StorageSpec::Memory => {
                 let mut store =
                     MemoryStore::with_value_bounds(bounds).with_sketch_feed(sketch_feed);
+                if let Some(feed) = rollup_feed {
+                    store = store.with_rollup_feed(feed);
+                }
                 store.set_pruning(config.zone_pruning);
                 Box::new(store)
             }
@@ -79,6 +90,7 @@ impl ModelarDb {
                         memory_budget_bytes: config.memory_budget_bytes,
                         value_bounds: Some(bounds),
                         sketch_feed: Some(sketch_feed),
+                        rollup_feed,
                         prefetch_depth: config.prefetch_depth,
                         write_format: config.block_format,
                     },
@@ -127,6 +139,7 @@ impl ModelarDb {
                 resolved_workers,
             )
         });
+        let rollup_serve = config.rollup_serve;
         Ok(Self {
             catalog,
             registry,
@@ -138,6 +151,7 @@ impl ModelarDb {
             pending: BTreeMap::new(),
             scratch_row,
             scan_pool,
+            rollup_serve,
         })
     }
 
@@ -281,11 +295,20 @@ impl ModelarDb {
     /// segment list; results are bit-identical to a sequential scan.
     pub fn sql(&self, text: &str) -> Result<QueryResult> {
         let mut engine = QueryEngine::new(&self.catalog, &self.registry, self.store.as_ref())
-            .with_parallelism(self.config.query_parallelism);
+            .with_parallelism(self.config.query_parallelism)
+            .with_rollups(&self.config.rollup_levels, self.rollup_serve);
         if let Some(pool) = &self.scan_pool {
             engine = engine.with_scan_pool(pool);
         }
         engine.sql(text)
+    }
+
+    /// Enables or disables answering whole-bucket aggregates from the
+    /// materialized rollup cells. Results are bit-identical either way
+    /// (scanning keeps the bucketed association); the toggle exists so the
+    /// `repro rollup` benchmark can time both paths on the same engine.
+    pub fn set_rollup_serve(&mut self, serve: bool) {
+        self.rollup_serve = serve;
     }
 
     /// Merged compression statistics across all groups.

@@ -58,13 +58,14 @@ pub use mdb_partitioner::{
     CorrelationPrimitive, CorrelationSpec, Partitioning, ScalingHint,
 };
 pub use mdb_query::{
-    parse, scan_shape, sketch_feed, Cell, CommonOptions, CommonOptionsBuilder, Datastore,
-    DatastoreHealth, Query, QueryEngine, QueryResult, ScanShape, SketchFunc,
+    parse, rollup_feed, scan_shape, sketch_feed, Cell, CommonOptions, CommonOptionsBuilder,
+    Datastore, DatastoreHealth, Query, QueryEngine, QueryResult, ScanShape, SketchFunc,
 };
 pub use mdb_server::{Client, Server, ServerOptions, SharedDatastore};
 pub use mdb_storage::{
     checksum_v2, scan_to_vec, CacheStats, Catalog, DiskStore, DiskStoreOptions, MemoryStore,
-    SegmentPredicate, SegmentStore, SketchFeedFn, ValueBoundsFn, ZoneMap,
+    RollupAcc, RollupCells, RollupDelta, RollupFeed, RollupFeedFn, SegmentPredicate, SegmentStore,
+    SketchFeedFn, ValueBoundsFn, ZoneMap,
 };
 pub use mdb_types::{
     BatchView, BlockFormat, BlockMeta, BlockSketch, DataPoint, DimensionSchema, Dimensions,

@@ -19,12 +19,20 @@
 //! so the result is bit-identical to the sequential scan no matter how many
 //! workers ran — float accumulation happens in exactly the same order
 //! either way.
+//!
+//! When the store maintains continuous aggregates ([`mdb_storage::rollup`]),
+//! whole-bucket time-hierarchy aggregates are answered from materialized
+//! cells instead of a scan — see [`QueryEngine::with_rollups`] — with
+//! segment scans only for the partial buckets at the edges of a time range.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use mdb_models::ModelRegistry;
-use mdb_storage::{Catalog, SegmentPredicate, SegmentRun, SegmentStore, SketchFeedFn};
+use mdb_storage::{
+    Catalog, RollupAcc, RollupDelta, RollupFeed, SegmentPredicate, SegmentRun, SegmentStore,
+    SketchFeedFn,
+};
 use mdb_types::{
     time, BlockSketch, Gid, MdbError, Result, SegmentView, Tid, TimeLevel, Timestamp, ValueInterval,
 };
@@ -49,9 +57,44 @@ impl KeyCell {
     }
 }
 
+/// FNV-1a, the hasher behind [`PartialAggregates`]. Group keys are short
+/// cell vectors derived from the catalog (tids and dimension members), not
+/// from untrusted input, so SipHash's per-hash setup cost buys no HashDoS
+/// protection worth having — and it dominates bucketed scans and rollup
+/// serving, where a query hashes tens of thousands of per-(tid, bucket)
+/// keys.
+#[derive(Debug, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Builds [`FnvHasher`]s seeded with the FNV offset basis; the hasher
+/// state of [`PartialAggregates`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
 /// Worker-local partial aggregation state: group key → one accumulator per
 /// aggregate item in the SELECT list.
-pub type PartialAggregates = HashMap<Vec<KeyCell>, Vec<Accumulator>>;
+pub type PartialAggregates = HashMap<Vec<KeyCell>, Vec<Accumulator>, FnvBuildHasher>;
 
 /// The shape of one query's parallel scan, derived from the pruned
 /// (surviving) segment count and the worker parallelism — see
@@ -83,11 +126,13 @@ pub fn scan_shape(survivors: usize, value_filtered: bool, workers: usize) -> Sca
 /// enough groups to parallelize. Group boundaries depend only on the scan
 /// order and the survivor count — never on the worker count or block
 /// shapes — which is what makes results bit-identical at every parallelism
-/// setting. Under a `Value` filter every segment folds alone (the
-/// per-point filter makes a segment's contribution depend on reconstructed
-/// values, so partials cannot be merged across segments ahead of it).
-pub fn fold_group_size(survivors: usize, value_filtered: bool) -> usize {
-    if value_filtered {
+/// setting. With `per_segment` every segment folds alone: under a `Value`
+/// filter the per-point filter makes a segment's contribution depend on
+/// reconstructed values, and for time-bucketed aggregates the per-key left
+/// fold must visit segments strictly in scan order so it reproduces exactly
+/// the float association the incremental rollup cells were built with.
+pub fn fold_group_size(survivors: usize, per_segment: bool) -> usize {
+    if per_segment {
         return 1;
     }
     (survivors / 256).clamp(16, 256)
@@ -119,6 +164,14 @@ pub struct QueryEngine<'a> {
     /// When set, only these groups are visible to the engine (see
     /// [`QueryEngine::with_gid_scope`]).
     gid_scope: Option<&'a [Gid]>,
+    /// The time levels the store's continuous aggregates materialize (empty
+    /// = rollups off). Non-empty switches eligible plain aggregates to the
+    /// bucketed scan so serve and scan share one float association.
+    rollup_levels: &'a [TimeLevel],
+    /// Whether whole-bucket aggregates may be answered from rollup cells.
+    /// Scanning with `rollup_levels` still set keeps the bucketed
+    /// association, which is what makes the two paths bit-identical.
+    rollup_serve: bool,
 }
 
 /// The catalog- and registry-dependent half of segment evaluation, split
@@ -382,7 +435,21 @@ impl<'a> QueryEngine<'a> {
             pool: None,
             pool_threshold: None,
             gid_scope: None,
+            rollup_levels: &[],
+            rollup_serve: false,
         }
+    }
+
+    /// Declares the continuous-aggregate configuration: `levels` must match
+    /// the store's rollup feed (empty disables rollups entirely), and
+    /// `serve` controls whether whole-bucket aggregates are answered from
+    /// the materialized cells. `serve = false` with non-empty levels keeps
+    /// the bucketed scan association, so toggling `serve` never changes a
+    /// single output bit — only how many segment bodies are read.
+    pub fn with_rollups(mut self, levels: &'a [TimeLevel], serve: bool) -> Self {
+        self.rollup_levels = levels;
+        self.rollup_serve = serve;
+        self
     }
 
     /// Restricts the engine to the given groups: segments of any other gid
@@ -657,7 +724,28 @@ impl<'a> QueryEngine<'a> {
 
         let rw = self.rewrite(query)?;
         if rw.empty {
-            return Ok(HashMap::new());
+            return Ok(PartialAggregates::default());
+        }
+
+        // The time level this query buckets at: an explicit CUBE level, or
+        // the finest configured rollup level for an eligible plain
+        // aggregate. Bucketing fixes the float association to a per-(tid,
+        // bucket) left fold in scan order — the association the incremental
+        // rollup cells are maintained with — so the materialized and
+        // scanned paths are bit-identical and toggling serving never
+        // changes an output.
+        let bucket = cube.or_else(|| self.plain_bucket_level(query, &rw));
+        if let Some(level) = bucket {
+            if self.rollup_serve
+                && query.view == View::Segment
+                && rw.value_cmps.is_empty()
+                && rw.segment_time.is_empty()
+                && self.rollup_levels.contains(&level)
+            {
+                if let Some(partial) = self.serve_from_rollups(query, &rw, &aggs, level)? {
+                    return Ok(partial);
+                }
+            }
         }
 
         // Collect the surviving runs once — the store's zone map (and, for
@@ -672,12 +760,149 @@ impl<'a> QueryEngine<'a> {
         // scan order and survivor count, so every parallelism setting
         // performs the same float operations in the same order.
         let runs = RunSet::collect(self.store, &rw.pushdown)?;
-        let per_group = self.group_partials(query, &rw, &aggs, cube, runs)?;
-        let mut partial: PartialAggregates = HashMap::new();
+        let per_group = self.group_partials(query, &rw, &aggs, bucket, runs)?;
+        let mut partial = PartialAggregates::default();
         for group_partial in per_group {
             merge_partials(&mut partial, group_partial);
         }
         Ok(partial)
+    }
+
+    /// The bucketing level for a plain (non-CUBE) aggregate, or `None` to
+    /// scan unbucketed. Only whole-store-association-free queries are
+    /// eligible: Segment View (model-based aggregation, the association the
+    /// rollup feed uses), no per-point `Value` filter, and no raw
+    /// segment-time comparisons (a `StartTime`/`EndTime` predicate keeps or
+    /// drops *whole segments*, which cells cannot express). `TS` range
+    /// bounds stay eligible — partial edge buckets are scanned.
+    fn plain_bucket_level(&self, query: &Query, rw: &Rewritten) -> Option<TimeLevel> {
+        if query.view != View::Segment || !rw.value_cmps.is_empty() || !rw.segment_time.is_empty() {
+            return None;
+        }
+        mdb_storage::rollup::finest_level(self.rollup_levels)
+    }
+
+    /// Whether the bucket starting at `b` lies entirely inside the query's
+    /// `TS` range, so its materialized cell covers exactly what a scan
+    /// would visit. A saturated `next_boundary` (bucket runs past
+    /// `i64::MAX`) still compares correctly: the bucket is only covered by
+    /// an unbounded upper range.
+    fn bucket_covered(level: TimeLevel, b: Timestamp, from: Timestamp, to: Timestamp) -> bool {
+        (from == i64::MIN || b >= from)
+            && (to == i64::MAX || time::next_boundary(level, b).saturating_sub(1) <= to)
+    }
+
+    /// Answers a bucketed aggregate from the store's materialized rollup
+    /// cells: covered buckets become per-(tid, bucket) partials straight
+    /// from the cells (no segment bodies are read), and the at-most-two
+    /// partial buckets at the range edges are scanned through the ordinary
+    /// bucketed path with the `TS` bounds narrowed to the partial windows.
+    /// Returns `Ok(None)` when the store cannot serve (no rollup feed, a
+    /// poisoned cell set, or the level is not materialized) — the caller
+    /// falls back to the full bucketed scan, which produces bit-identical
+    /// partials.
+    fn serve_from_rollups(
+        &self,
+        query: &Query,
+        rw: &Rewritten,
+        aggs: &[(AggFunc, Option<TimeLevel>)],
+        level: TimeLevel,
+    ) -> Result<Option<PartialAggregates>> {
+        let evaluator = self.evaluator();
+        let mut partial = PartialAggregates::default();
+        let mut cell_error: Option<MdbError> = None;
+        // Cells arrive grouped by tid, so the group columns (catalog
+        // lookups) are resolved once per tid, not once per cell.
+        let mut prefix: Option<(Tid, Vec<KeyCell>)> = None;
+        let served = self.store.rollup_cells(
+            level,
+            rw.pushdown.gids.as_deref(),
+            &mut |_gid, tid, bucket, acc| {
+                if cell_error.is_some()
+                    || !Self::bucket_covered(level, bucket, rw.ts_from, rw.ts_to)
+                    || !evaluator.tid_matches(rw, tid)
+                {
+                    return;
+                }
+                match &prefix {
+                    Some((t, _)) if *t == tid => {}
+                    _ => {
+                        let mut cells = Vec::with_capacity(query.group_by.len());
+                        for column in &query.group_by {
+                            match evaluator.key_cell(column, tid) {
+                                Ok(cell) => cells.push(cell),
+                                Err(e) => {
+                                    cell_error = Some(e);
+                                    return;
+                                }
+                            }
+                        }
+                        prefix = Some((tid, cells));
+                    }
+                }
+                let (_, cells) = prefix.as_ref().expect("the prefix was just filled");
+                let mut key: Vec<KeyCell> = Vec::with_capacity(cells.len() + 2);
+                key.extend_from_slice(cells);
+                key.push(KeyCell::Int(i64::from(tid)));
+                key.push(KeyCell::Int(bucket));
+                let acc = Accumulator {
+                    count: acc.count,
+                    sum: acc.sum,
+                    min: acc.min,
+                    max: acc.max,
+                };
+                partial.insert(key, vec![acc; aggs.len()]);
+            },
+        )?;
+        if let Some(e) = cell_error {
+            return Err(e);
+        }
+        if !served {
+            return Ok(None);
+        }
+        // Scan the partial buckets at the edges of the TS range (at most a
+        // leading and a trailing window; one window when both edges fall in
+        // the same bucket). Their keys are disjoint from every served cell,
+        // so the merge order cannot affect any accumulator.
+        for (lo, hi) in Self::edge_windows(level, rw.ts_from, rw.ts_to) {
+            let mut rw_edge = rw.clone();
+            rw_edge.ts_from = lo;
+            rw_edge.ts_to = hi;
+            rw_edge.pushdown.from = Some(lo);
+            rw_edge.pushdown.to = Some(hi);
+            let runs = RunSet::collect(self.store, &rw_edge.pushdown)?;
+            for group_partial in self.group_partials(query, &rw_edge, aggs, Some(level), runs)? {
+                merge_partials(&mut partial, group_partial);
+            }
+        }
+        Ok(Some(partial))
+    }
+
+    /// The sub-ranges of `[from, to]` that lie in partially-covered
+    /// buckets of `level` — empty when both edges are bucket-aligned (or
+    /// unbounded).
+    fn edge_windows(
+        level: TimeLevel,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<(Timestamp, Timestamp)> {
+        let lead = (from != i64::MIN && time::truncate(level, from) != from)
+            .then(|| time::truncate(level, from));
+        let trail = (to != i64::MAX && time::next_boundary(level, to) != to.saturating_add(1))
+            .then(|| time::truncate(level, to));
+        match (lead, trail) {
+            (Some(a), Some(b)) if a == b => vec![(from, to)],
+            (lead, trail) => {
+                let mut windows = Vec::new();
+                if lead.is_some() {
+                    windows.push((from, to.min(time::next_boundary(level, from) - 1)));
+                }
+                if let Some(b) = trail {
+                    windows.push((from.max(b), to));
+                }
+                windows
+            }
+        }
     }
 
     /// Evaluates each fold group into its own fresh [`PartialAggregates`],
@@ -700,7 +925,7 @@ impl<'a> QueryEngine<'a> {
         runs: RunSet,
     ) -> Result<Vec<PartialAggregates>> {
         let n_segments = runs.len();
-        let fold_size = fold_group_size(n_segments, !rw.value_cmps.is_empty());
+        let fold_size = fold_group_size(n_segments, !rw.value_cmps.is_empty() || cube.is_some());
         if let Some(pool) = self.pool {
             let threshold = self
                 .pool_threshold
@@ -911,6 +1136,65 @@ pub fn sketch_feed(catalog: &Arc<Catalog>, registry: &Arc<ModelRegistry>) -> Ske
     })
 }
 
+/// Builds the ingest-time rollup feed for a store (the closure behind
+/// [`mdb_storage::RollupFeedFn`]): for every present series of a finalized
+/// segment and every configured time level, the segment's tick range is
+/// split at calendar boundaries ([`split_at_boundaries`]) and each
+/// sub-range is aggregated with **exactly** the arithmetic the Segment
+/// View's bucketed scan uses — a fresh [`Accumulator`] folded with
+/// [`Accumulator::add_segment_agg`] over the model's constant-time
+/// aggregate — so a cell built incrementally from these deltas is
+/// bit-identical to the per-(tid, bucket) partial a scan would produce.
+/// Returns `None` (poisoning the cells; queries fall back to scanning)
+/// when the segment references an unknown group or cannot be aggregated.
+pub fn rollup_feed(
+    catalog: &Arc<Catalog>,
+    registry: &Arc<ModelRegistry>,
+    levels: &[TimeLevel],
+) -> RollupFeed {
+    let catalog = Arc::clone(catalog);
+    let registry = Arc::clone(registry);
+    let feed_levels = levels.to_vec();
+    RollupFeed {
+        levels: levels.to_vec(),
+        feed: Arc::new(move |segment: &mdb_types::SegmentRecord| {
+            let group = catalog.group(segment.gid)?;
+            let group_size = group.size();
+            let n_present = segment.gaps.count_present(group_size);
+            if n_present == 0 {
+                return Some(Vec::new());
+            }
+            let mut cursor = SegmentCursor::new(segment.view(), n_present);
+            let last_tick = cursor.segment.len() - 1;
+            let mut deltas = Vec::new();
+            for (series_pos, member_pos) in segment.gaps.present_positions(group_size).enumerate() {
+                let tid = group.tids[member_pos];
+                let scaling = catalog.scaling_of(tid);
+                for &level in &feed_levels {
+                    for (bucket, sub) in split_at_boundaries(segment.view(), (0, last_tick), level)
+                    {
+                        let agg = cursor.aggregate_with(&registry, series_pos, sub, true)?;
+                        let mut acc = Accumulator::new();
+                        acc.add_segment_agg(agg, (sub.1 - sub.0 + 1) as u64, scaling);
+                        deltas.push(RollupDelta {
+                            tid,
+                            level,
+                            bucket,
+                            acc: RollupAcc {
+                                count: acc.count,
+                                sum: acc.sum,
+                                min: acc.min,
+                                max: acc.max,
+                            },
+                        });
+                    }
+                }
+            }
+            Some(deltas)
+        }),
+    }
+}
+
 impl<'a> SegmentEvaluator<'a> {
     /// Evaluates one fold group — global scan indices `lo..hi` of the
     /// collected runs — into a fresh partial-aggregate map, the unit of
@@ -928,7 +1212,7 @@ impl<'a> SegmentEvaluator<'a> {
         lo: usize,
         hi: usize,
     ) -> Result<PartialAggregates> {
-        let mut partial = PartialAggregates::new();
+        let mut partial = PartialAggregates::default();
         runs.for_each_in(lo, hi, &mut |segment| {
             self.iterate_segment(query, rw, aggs, cube, segment, &mut partial)
         })?;
@@ -1074,9 +1358,16 @@ impl<'a> SegmentEvaluator<'a> {
                 Some(level) => {
                     // Algorithm 6: split the tick range at calendar
                     // boundaries; each sub-interval lands in its own bucket.
-                    for (part, sub) in split_at_boundaries(segment, range, level) {
+                    // Partial keys carry a (tid, bucket-start) suffix — the
+                    // same granularity rollup cells are materialized at —
+                    // which `finalize_aggregates` folds away in sorted key
+                    // order, so the served and scanned paths (and every
+                    // cluster layout) combine the exact same accumulators
+                    // in the exact same order.
+                    for (bucket_start, sub) in split_at_boundaries(segment, range, level) {
                         let mut bucket_key = key.clone();
-                        bucket_key.push(KeyCell::Int(part));
+                        bucket_key.push(KeyCell::Int(i64::from(tid)));
+                        bucket_key.push(KeyCell::Int(bucket_start));
                         if filtered {
                             let scratch = Self::filtered_accumulator(
                                 self.registry,
@@ -1155,9 +1446,56 @@ impl<'a> QueryEngine<'a> {
             .collect();
         let cube = aggs.iter().find_map(|(_, c)| *c);
 
-        let mut merged: PartialAggregates = HashMap::new();
+        let mut merged = PartialAggregates::default();
         for partial in partials {
             merge_partials(&mut merged, partial);
+        }
+
+        // Bucketed partials (CUBE queries and rollup-eligible plain
+        // aggregates) carry a (tid, bucket-start) key suffix. Fold it away
+        // in ascending (tid, bucket) order: every path that can produce
+        // these partials — materialized cells, bucketed scan, any cluster
+        // layout — arrives at identical per-(tid, bucket) accumulators, so
+        // folding them in one deterministic order makes the final rows
+        // bit-identical everywhere. The integer suffix alone determines the
+        // whole key (every group column is a function of the tid), so it is
+        // a total order over the partials — and far cheaper to sort by than
+        // the full heterogeneous keys; with tens of thousands of buckets
+        // the sort is on the served path's critical path. For CUBE queries
+        // the bucket start becomes the display date-part; for plain
+        // aggregates the suffix folds away entirely.
+        let suffix_len = query.group_by.len() + 2;
+        if merged.keys().next().is_some_and(|k| k.len() == suffix_len) {
+            let mut items: Vec<(i64, i64, Vec<KeyCell>, Vec<Accumulator>)> = merged
+                .drain()
+                .map(|(key, accs)| {
+                    let [.., KeyCell::Int(tid), KeyCell::Int(bucket)] = key.as_slice() else {
+                        unreachable!("the key suffix is always a pair of Int cells")
+                    };
+                    (*tid, *bucket, key, accs)
+                })
+                .collect();
+            items.sort_unstable_by_key(|&(tid, bucket, ..)| (tid, bucket));
+            let mut folded = PartialAggregates::default();
+            let mut scratch: Vec<KeyCell> = Vec::new();
+            for (_, bucket, key, accs) in items {
+                scratch.clear();
+                scratch.extend_from_slice(&key[..query.group_by.len()]);
+                if let Some(level) = cube {
+                    scratch.push(KeyCell::Int(time::part(level, bucket)));
+                }
+                match folded.get_mut(scratch.as_slice()) {
+                    Some(mine) => {
+                        for (mine, theirs) in mine.iter_mut().zip(&accs) {
+                            mine.merge(theirs);
+                        }
+                    }
+                    None => {
+                        folded.insert(scratch.clone(), accs);
+                    }
+                }
+            }
+            merged = folded;
         }
 
         // Column layout: SELECT order, with the implicit time-part column
@@ -1455,15 +1793,18 @@ fn compare_cells(a: &Cell, b: &Cell) -> std::cmp::Ordering {
 }
 
 /// Algorithm 6's interval walk: splits the tick-index `range` of `segment`
-/// at calendar boundaries of `level`, yielding `(date-part key, sub-range)`
-/// pairs. The final sub-interval ends at the segment's inclusive end time,
-/// matching Figure 12 ("the last value is computed with an inclusive end
-/// time as ModelarDB does not store connected segments").
+/// at calendar boundaries of `level`, yielding `(bucket start, sub-range)`
+/// pairs — the bucket start is the absolute timestamp of the containing
+/// bucket (the key rollup cells are materialized under); the display
+/// date-part is derived from it at finalize. The final sub-interval ends at
+/// the segment's inclusive end time, matching Figure 12 ("the last value is
+/// computed with an inclusive end time as ModelarDB does not store
+/// connected segments").
 pub fn split_at_boundaries(
     segment: SegmentView<'_>,
     range: (usize, usize),
     level: TimeLevel,
-) -> Vec<(i64, (usize, usize))> {
+) -> Vec<(Timestamp, (usize, usize))> {
     let si = segment.sampling_interval;
     let start_ts = segment.start_time + range.0 as i64 * si;
     let end_ts = segment.start_time + range.1 as i64 * si;
@@ -1476,7 +1817,7 @@ pub fn split_at_boundaries(
         let sub_end = current + (capped - current) / si * si;
         let idx_a = ((current - segment.start_time) / si) as usize;
         let idx_b = ((sub_end - segment.start_time) / si) as usize;
-        out.push((time::part(level, current), (idx_a, idx_b)));
+        out.push((time::truncate(level, current), (idx_a, idx_b)));
         current = sub_end + si;
     }
     out
@@ -1981,9 +2322,12 @@ mod tests {
         };
         let parts = split_at_boundaries(seg.view(), (0, 155), TimeLevel::Hour);
         assert_eq!(parts.len(), 3);
-        assert_eq!(parts[0].0, 0);
-        assert_eq!(parts[1].0, 1);
-        assert_eq!(parts[2].0, 2);
+        // Buckets are keyed by absolute start timestamp (midnight-anchored
+        // hours here), not by display date-part.
+        let hour0 = mdb_types::time::truncate(TimeLevel::Hour, t0);
+        assert_eq!(parts[0].0, hour0);
+        assert_eq!(parts[1].0, hour0 + 3_600_000);
+        assert_eq!(parts[2].0, hour0 + 7_200_000);
         // [00:13, 01:00) = 47 ticks, [01:00, 02:00) = 60, [02:00, 02:48] = 49.
         assert_eq!(parts[0].1, (0, 46));
         assert_eq!(parts[1].1, (47, 106));

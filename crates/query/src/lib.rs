@@ -26,7 +26,7 @@ pub use aggregate::{Accumulator, AggFunc};
 pub use cell::{Cell, QueryResult};
 pub use datastore::{Datastore, DatastoreHealth};
 pub use engine::{
-    fold_group_size, merge_partials, pool_bypass_threshold, scan_shape, sketch_feed,
+    fold_group_size, merge_partials, pool_bypass_threshold, rollup_feed, scan_shape, sketch_feed,
     PartialAggregates, QueryEngine, ScanPool, ScanShape,
 };
 pub use options::{CommonOptions, CommonOptionsBuilder};

@@ -12,6 +12,7 @@
 use std::path::PathBuf;
 
 use mdb_compression::CompressionConfig;
+use mdb_types::TimeLevel;
 
 /// Tuning knobs common to the embedded engine, the cluster runtime, and the
 /// network server. Defaults mirror Table 1 of the paper where the paper
@@ -50,6 +51,16 @@ pub struct CommonOptions {
     /// Senders block once a consumer falls this far behind — real
     /// backpressure instead of an unbounded queue.
     pub ingest_queue_depth: usize,
+    /// Time levels at which continuous aggregates (rollup cells) are
+    /// incrementally materialized as segments finalize. Empty disables
+    /// rollups; the order is part of the configuration identity (a store
+    /// sidecar is only adopted when its levels match exactly).
+    pub rollup_levels: Vec<TimeLevel>,
+    /// Whether whole-bucket time-hierarchy aggregates are answered from
+    /// the materialized cells (`true`, the default) or always scanned.
+    /// Either setting produces bit-identical results — the knob only
+    /// changes how many segment bodies are read.
+    pub rollup_serve: bool,
 }
 
 impl Default for CommonOptions {
@@ -62,6 +73,8 @@ impl Default for CommonOptions {
             query_parallelism: 0,
             storage_dir: None,
             ingest_queue_depth: 8,
+            rollup_levels: vec![TimeLevel::Hour, TimeLevel::Day, TimeLevel::Month],
+            rollup_serve: true,
         }
     }
 }
@@ -135,6 +148,18 @@ impl CommonOptionsBuilder {
         self
     }
 
+    /// Time levels to materialize continuous aggregates at (empty = off).
+    pub fn rollup_levels(mut self, levels: Vec<TimeLevel>) -> Self {
+        self.options.rollup_levels = levels;
+        self
+    }
+
+    /// Whether whole-bucket aggregates are served from rollup cells.
+    pub fn rollup_serve(mut self, serve: bool) -> Self {
+        self.options.rollup_serve = serve;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> CommonOptions {
         self.options
@@ -155,6 +180,11 @@ mod tests {
         assert_eq!(o.query_parallelism, 0);
         assert!(o.storage_dir.is_none());
         assert_eq!(o.ingest_queue_depth, 8);
+        assert_eq!(
+            o.rollup_levels,
+            vec![TimeLevel::Hour, TimeLevel::Day, TimeLevel::Month]
+        );
+        assert!(o.rollup_serve);
     }
 
     #[test]
@@ -167,6 +197,8 @@ mod tests {
             .query_parallelism(3)
             .storage_dir(Some(PathBuf::from("/tmp/x")))
             .ingest_queue_depth(2)
+            .rollup_levels(vec![TimeLevel::Day])
+            .rollup_serve(false)
             .build();
         assert_eq!(o.bulk_write_size, 7);
         assert_eq!(o.memory_budget_bytes, Some(1));
@@ -177,5 +209,7 @@ mod tests {
             Some(std::path::Path::new("/tmp/x"))
         );
         assert_eq!(o.ingest_queue_depth, 2);
+        assert_eq!(o.rollup_levels, vec![TimeLevel::Day]);
+        assert!(!o.rollup_serve);
     }
 }

@@ -61,11 +61,12 @@ use std::thread::JoinHandle;
 
 use mdb_types::{
     encode_block_v2, BlockFormat, BlockMeta, BlockSketch, BlockSketches, BlockView, Gid, MdbError,
-    Result, SegmentRecord, ValueInterval,
+    Result, SegmentRecord, Tid, TimeLevel, Timestamp, ValueInterval,
 };
 
 use crate::cache::{BlockCache, CacheStats, CachedBlock};
 use crate::codec::{checksum, checksum_v2, read_segment, write_segment};
+use crate::rollup::{RollupAcc, RollupCells, RollupFeed};
 use crate::sidecar::{self, Sidecar};
 use crate::zone::{SketchFeedFn, ValueBoundsFn, ZoneMap};
 use crate::{SegmentPredicate, SegmentRun, SegmentStore};
@@ -107,6 +108,11 @@ pub struct DiskStoreOptions {
     /// `mdb_query::sketch_feed`); without it sketch queries are
     /// unanswerable from this store.
     pub sketch_feed: Option<SketchFeedFn>,
+    /// Continuous-aggregate feed (typically `mdb_query::rollup_feed`):
+    /// materialized rollup cells are maintained on insert, persisted in the
+    /// sidecar, and rebuilt by the streaming rescan. Without it rollup
+    /// queries fall back to the scan path.
+    pub rollup_feed: Option<RollupFeed>,
     /// How many zone-map-surviving blocks the background prefetcher reads
     /// ahead of the scan (0 disables prefetching and spawns no thread).
     /// Engines pass `Config::prefetch_depth` (default 2).
@@ -123,6 +129,7 @@ impl std::fmt::Debug for DiskStoreOptions {
             .field("memory_budget_bytes", &self.memory_budget_bytes)
             .field("value_bounds", &self.value_bounds.is_some())
             .field("sketch_feed", &self.sketch_feed.is_some())
+            .field("rollup_feed", &self.rollup_feed.is_some())
             .field("prefetch_depth", &self.prefetch_depth)
             .field("write_format", &self.write_format)
             .finish()
@@ -299,6 +306,12 @@ pub struct DiskStore {
     sidecar_dirty: bool,
     value_bounds: Option<ValueBoundsFn>,
     sketch_feed: Option<SketchFeedFn>,
+    /// Continuous-aggregate feed; `None` disables rollup maintenance.
+    rollup_feed: Option<RollupFeed>,
+    /// The materialized cell map, present exactly when a feed is configured.
+    /// Fed on every insert, so cells always cover the write buffer too —
+    /// the same coverage a scan has.
+    rollups: Option<RollupCells>,
     pruning: bool,
 }
 
@@ -350,6 +363,7 @@ impl DiskStore {
             &sidecar_path,
             options.value_bounds.as_ref(),
             options.sketch_feed.as_ref(),
+            options.rollup_feed.as_ref(),
         )?;
         // Not truncated on open: recovery decided how much of the log
         // survives.
@@ -394,6 +408,8 @@ impl DiskStore {
             bulk_write_size: options.bulk_write_size.max(1),
             value_bounds: options.value_bounds,
             sketch_feed: options.sketch_feed,
+            rollup_feed: options.rollup_feed,
+            rollups: recovered.rollups,
             pruning: true,
         };
         if !recovered.sidecar_fresh && !store.blocks.is_empty() {
@@ -535,6 +551,7 @@ impl DiskStore {
                 sketched: self.sketch_feed.is_some(),
                 blocks: self.blocks.clone(),
                 zones: self.zones.clone(),
+                rollups: self.rollups.clone(),
             },
         )
     }
@@ -709,6 +726,9 @@ fn decode_block(payload: &[u8], count: usize, offset: u64) -> Result<Vec<Segment
 struct Recovered {
     blocks: Vec<BlockMeta>,
     zones: ZoneMap,
+    /// Rollup cells adopted from the sidecar and/or rebuilt by the scan;
+    /// present exactly when a rollup feed was configured.
+    rollups: Option<RollupCells>,
     valid_len: u64,
     /// True when the on-disk sidecar already describes exactly this state.
     sidecar_fresh: bool,
@@ -722,13 +742,16 @@ fn recover(
     sidecar_path: &Path,
     value_bounds: Option<&ValueBoundsFn>,
     sketch_feed: Option<&SketchFeedFn>,
+    rollup_feed: Option<&RollupFeed>,
 ) -> Result<Recovered> {
+    let mut rollups = rollup_feed.map(|feed| RollupCells::new(feed.levels.clone()));
     let mut file = match File::open(path) {
         Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Ok(Recovered {
                 blocks: Vec::new(),
                 zones: ZoneMap::new(),
+                rollups,
                 valid_len: 0,
                 sidecar_fresh: false,
             });
@@ -753,8 +776,21 @@ fn recover(
         // would leave sketch queries permanently unanswerable when a
         // rescan can regenerate them from the blocks.
         let sketch_compatible = sc.sketched || sketch_feed.is_none();
+        // And for rollups: a store opened *with* a feed only adopts a
+        // sidecar whose cells were maintained at the same levels (a
+        // poisoned map is adopted as-is — staying unsound is correct; a
+        // level mismatch or a rollup-less sidecar forces the rescan that
+        // rebuilds the cells).
+        let rollup_compatible = match rollup_feed {
+            None => true,
+            Some(feed) => sc
+                .rollups
+                .as_ref()
+                .is_some_and(|cells| cells.levels() == feed.levels.as_slice()),
+        };
         if bounds_compatible
             && sketch_compatible
+            && rollup_compatible
             && sc.log_len <= actual_len
             && last_block_intact(&mut file, &sc)
         {
@@ -762,6 +798,9 @@ fn recover(
             sidecar_covered = sc.log_len;
             blocks = sc.blocks;
             zones = sc.zones;
+            if rollup_feed.is_some() {
+                rollups = sc.rollups;
+            }
         }
         // A sidecar describing more log than exists (the log lost a tail)
         // or whose last block fails validation cannot be trusted at all:
@@ -773,12 +812,15 @@ fn recover(
         scan_from,
         value_bounds,
         sketch_feed,
+        rollup_feed,
+        &mut rollups,
         &mut blocks,
         &mut zones,
     )?;
     Ok(Recovered {
         blocks,
         zones,
+        rollups,
         valid_len,
         sidecar_fresh: valid_len == sidecar_covered,
     })
@@ -829,6 +871,8 @@ fn scan_blocks_from(
     mut offset: u64,
     value_bounds: Option<&ValueBoundsFn>,
     sketch_feed: Option<&SketchFeedFn>,
+    rollup_feed: Option<&RollupFeed>,
+    rollups: &mut Option<RollupCells>,
     blocks: &mut Vec<BlockMeta>,
     zones: &mut ZoneMap,
 ) -> Result<u64> {
@@ -872,6 +916,13 @@ fn scan_blocks_from(
         for (segment, range) in segments.iter().zip(&ranges) {
             zones.insert(segment, *range);
         }
+        // Rebuild (or extend, on a suffix scan) the rollup cells in log
+        // order — the same order the insert path fed them in originally.
+        if let (Some(feed), Some(cells)) = (rollup_feed, rollups.as_mut()) {
+            for segment in &segments {
+                cells.feed_segment(&feed.feed, segment);
+            }
+        }
         blocks.push(summarize_block(
             offset,
             payload_len,
@@ -890,6 +941,9 @@ impl SegmentStore for DiskStore {
     fn insert(&mut self, segment: SegmentRecord) -> Result<()> {
         let range = self.value_bounds.as_ref().and_then(|f| f(&segment));
         self.zones.insert(&segment, range);
+        if let (Some(feed), Some(cells)) = (self.rollup_feed.as_ref(), self.rollups.as_mut()) {
+            cells.feed_segment(&feed.feed, &segment);
+        }
         self.logical_bytes += segment.storage_bytes() as u64;
         self.n_segments += 1;
         self.write_buffer.push(segment);
@@ -1073,6 +1127,27 @@ impl SegmentStore for DiskStore {
             None => return Ok(None),
         }
         Ok(Some(merged))
+    }
+
+    /// Answered from the materialized cell map alone: no block body is
+    /// fetched and the cache counters do not move. Cells are fed on insert,
+    /// so buffered segments are covered exactly like a scan would cover
+    /// them. `Ok(false)` (no feed, unmaintained level, or a poisoned map)
+    /// sends the caller to the scan path.
+    fn rollup_cells(
+        &self,
+        level: TimeLevel,
+        scope: Option<&[Gid]>,
+        f: &mut dyn FnMut(Gid, Tid, Timestamp, &RollupAcc),
+    ) -> Result<bool> {
+        let Some(cells) = self.rollups.as_ref() else {
+            return Ok(false);
+        };
+        if !cells.is_sound() || !cells.levels().contains(&level) {
+            return Ok(false);
+        }
+        cells.for_each(level, scope, f);
+        Ok(true)
     }
 
     fn zones(&self) -> Option<&ZoneMap> {
@@ -1549,6 +1624,137 @@ mod tests {
         std::fs::remove_file(dir.join("segments.idx")).unwrap();
         let store = DiskStore::open(dir.path(), 4).unwrap();
         assert_eq!(scan_to_vec(&store, &SegmentPredicate::all()).unwrap(), got);
+    }
+
+    /// A deterministic synthetic rollup feed: one delta per segment keyed by
+    /// its start hour, so cells are exactly reconstructible from the log.
+    fn test_rollup_feed() -> crate::rollup::RollupFeed {
+        use crate::rollup::{RollupAcc, RollupDelta, RollupFeed};
+        use mdb_types::TimeLevel;
+        RollupFeed {
+            levels: vec![TimeLevel::Hour],
+            feed: Arc::new(|s: &SegmentRecord| {
+                Some(vec![RollupDelta {
+                    tid: s.gid * 100,
+                    level: TimeLevel::Hour,
+                    bucket: s.start_time.div_euclid(3_600_000) * 3_600_000,
+                    acc: RollupAcc {
+                        count: 1,
+                        sum: s.end_time as f64 * 0.5,
+                        min: s.start_time as f64,
+                        max: s.end_time as f64,
+                    },
+                }])
+            }),
+        }
+    }
+
+    type FlatCell = (Gid, Tid, Timestamp, u64, u64);
+
+    fn collect_cells(store: &DiskStore) -> Option<Vec<FlatCell>> {
+        let mut cells = Vec::new();
+        store
+            .rollup_cells(TimeLevel::Hour, None, &mut |g, t, b, a| {
+                cells.push((g, t, b, a.count, a.sum.to_bits()))
+            })
+            .unwrap()
+            .then_some(cells)
+    }
+
+    #[test]
+    fn rollup_cells_survive_sidecar_reopen_and_rescan_rebuild() {
+        let dir = temp_dir("rollups");
+        let open = || {
+            DiskStore::open_with(
+                dir.path(),
+                DiskStoreOptions {
+                    bulk_write_size: 4,
+                    rollup_feed: Some(test_rollup_feed()),
+                    ..DiskStoreOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let original = {
+            let mut store = open();
+            for i in 0..10 {
+                store
+                    .insert(seg(i % 3 + 1, i as i64 * 1000, i as i64 * 1000 + 900))
+                    .unwrap();
+            }
+            // Cells cover the write buffer too (two segments not yet in a
+            // block).
+            let cells = collect_cells(&store).expect("served before flush");
+            store.flush().unwrap();
+            assert_eq!(collect_cells(&store).unwrap(), cells);
+            cells
+        };
+        // Reopen via the sidecar: adopted bit-exactly.
+        assert_eq!(collect_cells(&open()).unwrap(), original);
+        // Delete the sidecar: the streaming rescan rebuilds identical cells
+        // (and rewrites the sidecar).
+        std::fs::remove_file(dir.join("segments.idx")).unwrap();
+        assert_eq!(collect_cells(&open()).unwrap(), original);
+        assert_eq!(collect_cells(&open()).unwrap(), original);
+        // Opening without a feed serves nothing, and its sidecar rewrite (if
+        // any) must not poison a later feed-ful open.
+        let plain = DiskStore::open(dir.path(), 4).unwrap();
+        assert!(collect_cells(&plain).is_none());
+        drop(plain);
+        assert_eq!(collect_cells(&open()).unwrap(), original);
+    }
+
+    #[test]
+    fn rollup_level_mismatch_forces_a_rebuilding_rescan() {
+        let dir = temp_dir("rollup-levels");
+        {
+            let mut store = DiskStore::open_with(
+                dir.path(),
+                DiskStoreOptions {
+                    bulk_write_size: 4,
+                    rollup_feed: Some(test_rollup_feed()),
+                    ..DiskStoreOptions::default()
+                },
+            )
+            .unwrap();
+            for i in 0..8 {
+                store.insert(seg(1, i * 1000, i * 1000 + 900)).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        // Reopen with a feed maintaining a different level set: the sidecar
+        // cells are incompatible, so a rescan rebuilds at the new levels.
+        let mut feed = test_rollup_feed();
+        feed.levels = vec![mdb_types::TimeLevel::Day];
+        feed.feed = {
+            let inner = test_rollup_feed().feed;
+            Arc::new(move |s: &SegmentRecord| {
+                inner(s).map(|deltas| {
+                    deltas
+                        .into_iter()
+                        .map(|mut d| {
+                            d.level = mdb_types::TimeLevel::Day;
+                            d.bucket = 0;
+                            d
+                        })
+                        .collect()
+                })
+            })
+        };
+        let store = DiskStore::open_with(
+            dir.path(),
+            DiskStoreOptions {
+                bulk_write_size: 4,
+                rollup_feed: Some(feed),
+                ..DiskStoreOptions::default()
+            },
+        )
+        .unwrap();
+        let mut n = 0;
+        assert!(store
+            .rollup_cells(mdb_types::TimeLevel::Day, None, &mut |_, _, _, _| n += 1)
+            .unwrap());
+        assert_eq!(n, 1, "all 8 segments fold into the single day bucket");
     }
 
     #[test]

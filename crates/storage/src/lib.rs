@@ -29,18 +29,22 @@ pub mod catalog;
 pub mod codec;
 pub mod disk;
 pub mod memory;
+pub mod rollup;
 pub mod sidecar;
 pub mod zone;
 
 use std::sync::Arc;
 
-use mdb_types::{BlockSketch, Gid, Result, SegmentRecord, SegmentView, Timestamp, ValueInterval};
+use mdb_types::{
+    BlockSketch, Gid, Result, SegmentRecord, SegmentView, Tid, TimeLevel, Timestamp, ValueInterval,
+};
 
 pub use cache::{BlockCache, CacheStats, CachedBlock};
 pub use catalog::Catalog;
 pub use codec::{checksum, checksum_v2};
 pub use disk::{DiskStore, DiskStoreOptions};
 pub use memory::MemoryStore;
+pub use rollup::{RollupAcc, RollupCells, RollupDelta, RollupFeed, RollupFeedFn};
 pub use zone::{GidZone, SketchFeedFn, ValueBoundsFn, ZoneMap, ZoneRun, ZoneValues};
 
 /// Predicates pushed down to the segment store (Section 6.2: the store only
@@ -260,6 +264,23 @@ pub trait SegmentStore: Send + Sync {
     /// nothing stored in scope".
     fn merge_sketches(&self, _scope: Option<&[Gid]>) -> Result<Option<BlockSketch>> {
         Ok(None)
+    }
+
+    /// Visits every materialized rollup cell of `level` (optionally
+    /// restricted to `scope` groups) in `(gid, tid, bucket)` key order,
+    /// **without touching segment bodies** — for the disk store this never
+    /// reads the `BlockCache`. Returns `Ok(false)` when cells cannot serve
+    /// here: no rollup feed is configured, `level` is not maintained, or the
+    /// cell map was poisoned (rollups fail open like sketches); the caller
+    /// then falls back to the scan path. `Ok(true)` means every stored
+    /// segment's contribution at `level` was visited.
+    fn rollup_cells(
+        &self,
+        _level: TimeLevel,
+        _scope: Option<&[Gid]>,
+        _f: &mut dyn FnMut(Gid, Tid, Timestamp, &rollup::RollupAcc),
+    ) -> Result<bool> {
+        Ok(false)
     }
 
     /// The store's zone map, if it maintains one (both built-in stores do).

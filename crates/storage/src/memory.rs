@@ -2,10 +2,12 @@
 //! Memory Segment Cache of Figure 4) and the store used by tests and
 //! micro-benchmarks.
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
-use mdb_types::{BlockSketch, Gid, Result, SegmentRecord};
+use mdb_types::{BlockSketch, Gid, Result, SegmentRecord, Tid, TimeLevel, Timestamp};
 
+use crate::rollup::{RollupAcc, RollupCells, RollupFeed};
 use crate::zone::{SketchFeedFn, ValueBoundsFn, ZoneMap};
 use crate::{SegmentPredicate, SegmentStore};
 
@@ -30,6 +32,18 @@ pub struct MemoryStore {
     /// overwrite also clears it: sketch counts are not subtractable, and
     /// the compression pipeline never produces duplicates.
     sketches_sound: bool,
+    /// Continuous-aggregate feed; `None` disables rollup maintenance.
+    rollup_feed: Option<RollupFeed>,
+    /// Materialized rollup cells, present exactly when a feed is configured.
+    /// Unlike the disk store (whose scan order *is* insert order), this
+    /// store scans in `(gid, end_time, gaps)` key order — so the cells stay
+    /// sound only while every gid's inserts arrive in ascending key order;
+    /// an out-of-order or duplicate insert poisons the map (queries then
+    /// fall back to the scan path, which remains exact).
+    rollups: Option<RollupCells>,
+    /// Highest `(end_time, gaps)` key inserted per gid — the out-of-order
+    /// detector for the invariant above.
+    rollup_max_key: BTreeMap<Gid, (Timestamp, u64)>,
     pruning: bool,
 }
 
@@ -61,6 +75,9 @@ impl MemoryStore {
             sketch_feed: None,
             sketches: BTreeMap::new(),
             sketches_sound: true,
+            rollup_feed: None,
+            rollups: None,
+            rollup_max_key: BTreeMap::new(),
             pruning: true,
         }
     }
@@ -83,6 +100,15 @@ impl MemoryStore {
         self
     }
 
+    /// Builder: additionally maintain materialized rollup cells on insert,
+    /// fed by `rollup_feed` (typically `mdb_query::rollup_feed`), enabling
+    /// [`SegmentStore::rollup_cells`].
+    pub fn with_rollup_feed(mut self, rollup_feed: RollupFeed) -> Self {
+        self.rollups = Some(RollupCells::new(rollup_feed.levels.clone()));
+        self.rollup_feed = Some(rollup_feed);
+        self
+    }
+
     /// Enables or disables zone-map pruning in [`SegmentStore::scan`] (the
     /// map is still maintained). Disabling yields the plain sequential scan —
     /// the baseline the `repro query` benchmark measures against.
@@ -101,6 +127,26 @@ impl SegmentStore for MemoryStore {
             if !feed(&segment, sketch) {
                 self.sketches_sound = false;
             }
+        }
+        if let (Some(feed), Some(cells)) = (self.rollup_feed.as_ref(), self.rollups.as_mut()) {
+            // Cells fold contributions in insert order, but this store scans
+            // in key order: a non-ascending key within a gid (out-of-order
+            // insert or duplicate overwrite) breaks the order equivalence,
+            // so the map poisons and queries fall back to the exact scan.
+            let key = (segment.end_time, segment.gaps.0);
+            match self.rollup_max_key.entry(segment.gid) {
+                Entry::Occupied(mut max) => {
+                    if key <= *max.get() {
+                        cells.poison();
+                    } else {
+                        max.insert(key);
+                    }
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(key);
+                }
+            }
+            cells.feed_segment(&feed.feed, &segment);
         }
         let key = (segment.gid, segment.end_time, segment.gaps.0);
         if let Some(old) = self.segments.insert(key, segment) {
@@ -198,6 +244,22 @@ impl SegmentStore for MemoryStore {
         Ok(Some(merged))
     }
 
+    fn rollup_cells(
+        &self,
+        level: TimeLevel,
+        scope: Option<&[Gid]>,
+        f: &mut dyn FnMut(Gid, Tid, Timestamp, &RollupAcc),
+    ) -> Result<bool> {
+        let Some(cells) = self.rollups.as_ref() else {
+            return Ok(false);
+        };
+        if !cells.is_sound() || !cells.levels().contains(&level) {
+            return Ok(false);
+        }
+        cells.for_each(level, scope, f);
+        Ok(true)
+    }
+
     fn zones(&self) -> Option<&ZoneMap> {
         Some(&self.zones)
     }
@@ -287,6 +349,59 @@ mod tests {
         // True duplicates overwrite.
         store.insert(seg(1, 0, 900, 0b10)).unwrap();
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn rollup_cells_serve_in_order_and_poison_out_of_order() {
+        use crate::rollup::{RollupAcc, RollupDelta, RollupFeed};
+        use std::sync::Arc;
+        let feed = RollupFeed {
+            levels: vec![TimeLevel::Hour],
+            feed: Arc::new(|s: &SegmentRecord| {
+                Some(vec![RollupDelta {
+                    tid: s.gid * 10,
+                    level: TimeLevel::Hour,
+                    bucket: 0,
+                    acc: RollupAcc {
+                        count: 1,
+                        sum: s.end_time as f64,
+                        min: 0.0,
+                        max: 1.0,
+                    },
+                }])
+            }),
+        };
+        let mut store = MemoryStore::new().with_rollup_feed(feed);
+        store.insert(seg(1, 0, 900, 0)).unwrap();
+        store.insert(seg(1, 1000, 1900, 0)).unwrap();
+        let mut seen = Vec::new();
+        assert!(store
+            .rollup_cells(TimeLevel::Hour, None, &mut |g, t, b, a| {
+                seen.push((g, t, b, a.count, a.sum))
+            })
+            .unwrap());
+        assert_eq!(seen, vec![(1, 10, 0, 2, 2800.0)]);
+        assert!(
+            !store
+                .rollup_cells(TimeLevel::Day, None, &mut |_, _, _, _| {})
+                .unwrap(),
+            "unmaintained level is not served"
+        );
+        // An out-of-order insert within the gid breaks the insert-order ==
+        // scan-order equivalence: the map poisons.
+        store.insert(seg(1, 500, 950, 0)).unwrap();
+        assert!(!store
+            .rollup_cells(TimeLevel::Hour, None, &mut |_, _, _, _| {})
+            .unwrap());
+    }
+
+    #[test]
+    fn rollups_absent_without_a_feed() {
+        let mut store = MemoryStore::new();
+        store.insert(seg(1, 0, 900, 0)).unwrap();
+        assert!(!store
+            .rollup_cells(TimeLevel::Hour, None, &mut |_, _, _, _| {})
+            .unwrap());
     }
 
     #[test]

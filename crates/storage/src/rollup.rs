@@ -1,0 +1,348 @@
+//! Continuous aggregates: incrementally materialized time-hierarchy rollup
+//! cells.
+//!
+//! A *cell* is one `(gid, level, tid, bucket_start)` accumulator holding the
+//! SUM/COUNT/MIN/MAX of every data point the store has absorbed for that time
+//! series inside that calendar bucket (AVG derives as SUM/COUNT at
+//! finalization, exactly like the scan path). Cells are maintained on the
+//! same append path that feeds [`mdb_types::BlockMeta`] statistics and the
+//! block sketches: a caller-provided [`RollupFeedFn`] (typically
+//! `mdb_query::rollup_feed` closed over the catalog and model registry)
+//! decodes each finalized segment once and returns its per-bucket deltas,
+//! which are folded into the cell map in segment order. Because the fold
+//! applies *the same floating-point operations in the same order* as the
+//! query engine's bucketed scan, a cell-served aggregate is bit-identical to
+//! the re-aggregating scan — the invariant `tests/rollup_equivalence.rs`
+//! pins.
+//!
+//! Like every other derived statistic in this store, rollups fail open: a
+//! segment the feed cannot decode, or an ingestion order the store cannot
+//! guarantee matches its scan order, poisons the cell map
+//! ([`RollupCells::poison`]) and queries transparently fall back to the scan
+//! path. Soundness (not freshness) is the contract — cells either serve the
+//! exact scan answer or do not serve at all.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mdb_types::{Gid, SegmentRecord, Tid, TimeLevel, Timestamp};
+
+/// Stable one-byte tag for a [`TimeLevel`], ordered coarse → fine, used as
+/// the level component of cell keys and in the sidecar encoding.
+pub fn level_tag(level: TimeLevel) -> u8 {
+    match level {
+        TimeLevel::Year => 0,
+        TimeLevel::Month => 1,
+        TimeLevel::Day => 2,
+        TimeLevel::Hour => 3,
+        TimeLevel::Minute => 4,
+        TimeLevel::Second => 5,
+    }
+}
+
+/// Inverse of [`level_tag`]; `None` for tags this version does not know.
+pub fn level_from_tag(tag: u8) -> Option<TimeLevel> {
+    match tag {
+        0 => Some(TimeLevel::Year),
+        1 => Some(TimeLevel::Month),
+        2 => Some(TimeLevel::Day),
+        3 => Some(TimeLevel::Hour),
+        4 => Some(TimeLevel::Minute),
+        5 => Some(TimeLevel::Second),
+        _ => None,
+    }
+}
+
+/// The finest (largest tag) of a set of maintained levels — the bucket width
+/// the query engine keys plain whole-range aggregates by so they too can be
+/// cell-served.
+pub fn finest_level(levels: &[TimeLevel]) -> Option<TimeLevel> {
+    levels.iter().copied().max_by_key(|l| level_tag(*l))
+}
+
+/// One materialized cell: the accumulator state of every data point of one
+/// time series inside one calendar bucket. Field semantics and merge
+/// arithmetic mirror the query engine's `Accumulator` exactly — that
+/// equivalence is what makes cell-served results bit-identical to scans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RollupAcc {
+    /// Number of data points.
+    pub count: u64,
+    /// Sum of reconstructed (descaled) values.
+    pub sum: f64,
+    /// Minimum reconstructed value.
+    pub min: f64,
+    /// Maximum reconstructed value.
+    pub max: f64,
+}
+
+impl RollupAcc {
+    /// Folds another accumulator in — identical operations, in identical
+    /// order, to `Accumulator::merge` on the scan path.
+    pub fn merge(&mut self, other: &RollupAcc) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The contribution of one segment to one cell, as produced by a
+/// [`RollupFeedFn`]: the segment's data points falling in `bucket` at
+/// `level`, pre-aggregated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollupDelta {
+    /// The member time series the delta belongs to.
+    pub tid: Tid,
+    /// The hierarchy level of the bucket.
+    pub level: TimeLevel,
+    /// Bucket start (`mdb_types::time::truncate(level, ts)` of every covered
+    /// point).
+    pub bucket: Timestamp,
+    /// Pre-aggregated contribution.
+    pub acc: RollupAcc,
+}
+
+/// Decodes one finalized segment into its per-bucket deltas for every
+/// maintained level, in the same order the query engine's bucketed scan
+/// would visit them. `None` means the segment cannot be decoded; the cell
+/// map then poisons (fails open), like the sketch feed.
+pub type RollupFeedFn = Arc<dyn Fn(&SegmentRecord) -> Option<Vec<RollupDelta>> + Send + Sync>;
+
+/// A rollup feed bundled with the levels it materializes — what stores are
+/// configured with.
+#[derive(Clone)]
+pub struct RollupFeed {
+    /// The hierarchy levels the feed produces deltas for.
+    pub levels: Vec<TimeLevel>,
+    /// The per-segment delta function.
+    pub feed: RollupFeedFn,
+}
+
+impl std::fmt::Debug for RollupFeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RollupFeed")
+            .field("levels", &self.levels)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The materialized cell map of one store: every cell for every maintained
+/// level, keyed `(gid, level_tag, tid, bucket_start)`, plus a soundness flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollupCells {
+    levels: Vec<TimeLevel>,
+    sound: bool,
+    cells: BTreeMap<(Gid, u8, Tid, Timestamp), RollupAcc>,
+}
+
+impl RollupCells {
+    /// An empty, sound cell map maintaining `levels`.
+    pub fn new(levels: Vec<TimeLevel>) -> Self {
+        Self {
+            levels,
+            sound: true,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// Rebuilds a cell map from previously serialized parts (sidecar load).
+    pub fn from_parts(
+        levels: Vec<TimeLevel>,
+        sound: bool,
+        cells: BTreeMap<(Gid, u8, Tid, Timestamp), RollupAcc>,
+    ) -> Self {
+        Self {
+            levels,
+            sound,
+            cells,
+        }
+    }
+
+    /// The levels this map maintains.
+    pub fn levels(&self) -> &[TimeLevel] {
+        &self.levels
+    }
+
+    /// True while the map still mirrors the scan path exactly.
+    pub fn is_sound(&self) -> bool {
+        self.sound
+    }
+
+    /// Marks the map unsound: queries fall back to the scan path from here
+    /// on. Irreversible short of a full rebuild.
+    pub fn poison(&mut self) {
+        self.sound = false;
+    }
+
+    /// Number of materialized cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cell is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Folds one segment's deltas into the map, in delta order — the same
+    /// left-fold the scan path performs when it merges per-segment partials
+    /// in scan order.
+    pub fn apply(&mut self, gid: Gid, deltas: &[RollupDelta]) {
+        for d in deltas {
+            match self.cells.entry((gid, level_tag(d.level), d.tid, d.bucket)) {
+                Entry::Vacant(v) => {
+                    v.insert(d.acc);
+                }
+                Entry::Occupied(mut o) => o.get_mut().merge(&d.acc),
+            }
+        }
+    }
+
+    /// Feeds one finalized segment through `feed`, poisoning on decode
+    /// failure. No-op once poisoned.
+    pub fn feed_segment(&mut self, feed: &RollupFeedFn, segment: &SegmentRecord) {
+        if !self.sound {
+            return;
+        }
+        match feed(segment) {
+            Some(deltas) => self.apply(segment.gid, &deltas),
+            None => self.sound = false,
+        }
+    }
+
+    /// Visits every cell of `level` (optionally restricted to `scope`
+    /// groups, deduplicated) in `(gid, tid, bucket)` key order. Does not
+    /// check soundness — callers gate on [`RollupCells::is_sound`].
+    pub fn for_each(
+        &self,
+        level: TimeLevel,
+        scope: Option<&[Gid]>,
+        f: &mut dyn FnMut(Gid, Tid, Timestamp, &RollupAcc),
+    ) {
+        let tag = level_tag(level);
+        match scope {
+            Some(gids) => {
+                let mut gids = gids.to_vec();
+                gids.sort_unstable();
+                gids.dedup();
+                for gid in gids {
+                    let range =
+                        (gid, tag, Tid::MIN, Timestamp::MIN)..=(gid, tag, Tid::MAX, Timestamp::MAX);
+                    for (&(g, _, tid, bucket), acc) in self.cells.range(range) {
+                        f(g, tid, bucket, acc);
+                    }
+                }
+            }
+            None => {
+                for (&(g, t, tid, bucket), acc) in &self.cells {
+                    if t == tag {
+                        f(g, tid, bucket, acc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterates every cell in key order (sidecar serialization).
+    pub fn iter(&self) -> impl Iterator<Item = (&(Gid, u8, Tid, Timestamp), &RollupAcc)> + '_ {
+        self.cells.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(count: u64, sum: f64, min: f64, max: f64) -> RollupAcc {
+        RollupAcc {
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    #[test]
+    fn level_tags_round_trip_and_order_coarse_to_fine() {
+        let levels = [
+            TimeLevel::Year,
+            TimeLevel::Month,
+            TimeLevel::Day,
+            TimeLevel::Hour,
+            TimeLevel::Minute,
+            TimeLevel::Second,
+        ];
+        for (i, level) in levels.iter().enumerate() {
+            assert_eq!(level_tag(*level) as usize, i);
+            assert_eq!(level_from_tag(i as u8), Some(*level));
+        }
+        assert_eq!(level_from_tag(6), None);
+        assert_eq!(
+            finest_level(&[TimeLevel::Hour, TimeLevel::Month, TimeLevel::Day]),
+            Some(TimeLevel::Hour)
+        );
+        assert_eq!(finest_level(&[]), None);
+    }
+
+    #[test]
+    fn apply_folds_in_delta_order() {
+        let mut cells = RollupCells::new(vec![TimeLevel::Hour]);
+        let d = |bucket, sum| RollupDelta {
+            tid: 7,
+            level: TimeLevel::Hour,
+            bucket,
+            acc: acc(2, sum, sum, sum),
+        };
+        cells.apply(1, &[d(0, 1.5), d(3_600_000, 2.5)]);
+        cells.apply(1, &[d(0, 4.0)]);
+        assert_eq!(cells.len(), 2);
+        let mut seen = Vec::new();
+        cells.for_each(TimeLevel::Hour, None, &mut |g, tid, bucket, a| {
+            seen.push((g, tid, bucket, *a))
+        });
+        assert_eq!(seen[0], (1, 7, 0, acc(4, 5.5, 1.5, 4.0)));
+        assert_eq!(seen[1], (1, 7, 3_600_000, acc(2, 2.5, 2.5, 2.5)));
+    }
+
+    #[test]
+    fn scope_filters_and_deduplicates() {
+        let mut cells = RollupCells::new(vec![TimeLevel::Day]);
+        let d = RollupDelta {
+            tid: 1,
+            level: TimeLevel::Day,
+            bucket: 0,
+            acc: acc(1, 1.0, 1.0, 1.0),
+        };
+        cells.apply(1, std::slice::from_ref(&d));
+        cells.apply(2, std::slice::from_ref(&d));
+        let mut n = 0;
+        cells.for_each(TimeLevel::Day, Some(&[2, 2, 2]), &mut |g, _, _, _| {
+            assert_eq!(g, 2);
+            n += 1;
+        });
+        assert_eq!(n, 1);
+        let mut m = 0;
+        cells.for_each(TimeLevel::Hour, None, &mut |_, _, _, _| m += 1);
+        assert_eq!(m, 0, "unmaintained level yields no cells");
+    }
+
+    #[test]
+    fn feed_failure_poisons() {
+        let mut cells = RollupCells::new(vec![TimeLevel::Hour]);
+        let fail: RollupFeedFn = Arc::new(|_| None);
+        let seg = SegmentRecord {
+            gid: 1,
+            start_time: 0,
+            end_time: 900,
+            sampling_interval: 100,
+            mid: 0,
+            params: bytes::Bytes::new(),
+            gaps: mdb_types::GapsMask::EMPTY,
+        };
+        assert!(cells.is_sound());
+        cells.feed_segment(&fail, &seg);
+        assert!(!cells.is_sound());
+    }
+}

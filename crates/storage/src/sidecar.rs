@@ -18,6 +18,7 @@
 //! Writes go through a temp file and an atomic rename, so a crash mid-write
 //! leaves the previous sidecar (or none), never a torn one.
 
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::Path;
 
@@ -26,6 +27,7 @@ use std::sync::Arc;
 use mdb_types::{BlockFormat, BlockMeta, BlockSketch, BlockSketches, Result, ValueInterval};
 
 use crate::codec::checksum;
+use crate::rollup::{self, RollupAcc, RollupCells};
 use crate::zone::{GidZone, ZoneMap, ZoneRun, ZoneValues};
 
 const SIDECAR_MAGIC: u32 = 0x4D44_4249; // "MDBI"
@@ -56,6 +58,13 @@ pub struct Sidecar {
     pub blocks: Vec<BlockMeta>,
     /// The zone map over every segment in those blocks.
     pub zones: ZoneMap,
+    /// The materialized rollup cells covering those blocks, when the store
+    /// maintains them. `None` means rollups were not maintained when the
+    /// sidecar was written (including every pre-rollup file) — a store
+    /// opened *with* a rollup feed must not adopt such a sidecar; the rescan
+    /// rebuilds the cells. A present-but-poisoned map (its levels recorded,
+    /// its cells dropped) is adopted as unsound.
+    pub rollups: Option<RollupCells>,
 }
 
 /// Serializes and writes the sidecar atomically (temp file + rename).
@@ -119,6 +128,36 @@ pub fn write(path: &Path, sidecar: &Sidecar) -> Result<()> {
                     let bytes = sketch.to_bytes();
                     put_u32(&mut body, bytes.len() as u32);
                     body.extend_from_slice(&bytes);
+                }
+            }
+        }
+    }
+    // Rollup section (trails the sketch section; absent in older files,
+    // which parse as "rollups not maintained"). Flag: 0 = not maintained,
+    // 1 = sound cells follow (levels, then the cell map flat in key order,
+    // f64 fields as raw bits so reload is bit-exact), 2 = maintained but
+    // poisoned (levels only; adopters must treat the map as unsound). The
+    // body checksum covers the section, so truncation mid-cells rejects the
+    // whole sidecar and the store falls back to the streaming rescan.
+    match &sidecar.rollups {
+        None => body.push(0),
+        Some(cells) => {
+            body.push(if cells.is_sound() { 1 } else { 2 });
+            body.push(cells.levels().len() as u8);
+            for level in cells.levels() {
+                body.push(rollup::level_tag(*level));
+            }
+            if cells.is_sound() {
+                put_u64(&mut body, cells.len() as u64);
+                for (&(gid, tag, tid, bucket), acc) in cells.iter() {
+                    put_u32(&mut body, gid);
+                    body.push(tag);
+                    put_u32(&mut body, tid);
+                    put_i64(&mut body, bucket);
+                    put_u64(&mut body, acc.count);
+                    put_u64(&mut body, acc.sum.to_bits());
+                    put_u64(&mut body, acc.min.to_bits());
+                    put_u64(&mut body, acc.max.to_bits());
                 }
             }
         }
@@ -260,12 +299,50 @@ fn parse(bytes: &[u8]) -> Option<Sidecar> {
             }
         }
     }
+    // Optional rollup section: absent in pre-rollup sidecars (the body
+    // ended at the sketches).
+    let mut rollups = None;
+    if !cur.at_end() {
+        match cur.u8()? {
+            0 => {}
+            flag @ (1 | 2) => {
+                let n_levels = cur.u8()? as usize;
+                let mut levels = Vec::with_capacity(n_levels.min(8));
+                for _ in 0..n_levels {
+                    levels.push(rollup::level_from_tag(cur.u8()?)?);
+                }
+                let mut cells = BTreeMap::new();
+                if flag == 1 {
+                    let n = cur.u64()? as usize;
+                    for _ in 0..n {
+                        let gid = cur.u32()?;
+                        let tag = cur.u8()?;
+                        rollup::level_from_tag(tag)?;
+                        let tid = cur.u32()?;
+                        let bucket = cur.i64()?;
+                        let acc = RollupAcc {
+                            count: cur.u64()?,
+                            sum: f64::from_bits(cur.u64()?),
+                            min: f64::from_bits(cur.u64()?),
+                            max: f64::from_bits(cur.u64()?),
+                        };
+                        if cells.insert((gid, tag, tid, bucket), acc).is_some() {
+                            return None; // duplicate cell key
+                        }
+                    }
+                }
+                rollups = Some(RollupCells::from_parts(levels, flag == 1, cells));
+            }
+            _ => return None,
+        }
+    }
     cur.at_end().then_some(Sidecar {
         log_len,
         value_bounded,
         sketched,
         blocks,
         zones,
+        rollups,
     })
 }
 
@@ -444,7 +521,41 @@ mod tests {
                 },
             ],
             zones,
+            rollups: Some(sample_rollups(true)),
         }
+    }
+
+    fn sample_rollups(sound: bool) -> RollupCells {
+        use mdb_types::TimeLevel;
+        let mut cells = BTreeMap::new();
+        if sound {
+            for i in 0..20u32 {
+                cells.insert(
+                    (
+                        1 + i % 3,
+                        rollup::level_tag(TimeLevel::Hour),
+                        10 + i,
+                        i64::from(i) * 3_600_000,
+                    ),
+                    RollupAcc {
+                        count: u64::from(i) + 1,
+                        sum: f64::from(i) * 0.125 - 1.0,
+                        min: -f64::from(i),
+                        max: f64::from(i),
+                    },
+                );
+            }
+            cells.insert(
+                (2, rollup::level_tag(TimeLevel::Day), 11, -86_400_000),
+                RollupAcc {
+                    count: 3,
+                    sum: -0.0,
+                    min: f64::INFINITY,
+                    max: f64::NEG_INFINITY,
+                },
+            );
+        }
+        RollupCells::from_parts(vec![TimeLevel::Hour, TimeLevel::Day], sound, cells)
     }
 
     #[test]
@@ -501,12 +612,14 @@ mod tests {
         for block in &mut sidecar.blocks {
             block.sketches = None;
         }
+        sidecar.rollups = None;
         write(&path, &sidecar).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
-        // With no sketches the section is exactly the `sketched` flag plus
-        // one presence byte per block; chopping it (and fixing the header's
-        // body length and checksum) reproduces the pre-sketch layout.
-        let section = 1 + sidecar.blocks.len();
+        // With no sketches and no rollups the trailing sections are exactly
+        // the `sketched` flag, one presence byte per block, and the rollup
+        // flag; chopping them (and fixing the header's body length and
+        // checksum) reproduces the pre-sketch layout.
+        let section = 1 + sidecar.blocks.len() + 1;
         bytes.truncate(bytes.len() - section);
         let body_len = (bytes.len() - 16) as u32;
         bytes[12..16].copy_from_slice(&body_len.to_le_bytes());
@@ -524,5 +637,40 @@ mod tests {
             std::fs::write(&path, &full[..full.len() - cut]).unwrap();
             assert_eq!(load(&path).unwrap(), None, "cut {cut} undetected");
         }
+    }
+
+    /// The rollup section round-trips both states: sound with cells
+    /// (f64 fields bit-exact, including `-0.0` and infinities) and poisoned
+    /// with levels only.
+    #[test]
+    fn rollup_section_round_trips_sound_and_poisoned() {
+        let (_dir, path) = temp("rollups");
+        let sidecar = sample();
+        write(&path, &sidecar).unwrap();
+        let back = load(&path).unwrap().expect("valid sidecar");
+        let cells = back.rollups.as_ref().expect("rollups present");
+        assert!(cells.is_sound());
+        assert_eq!(cells.len(), 21);
+        let mut mine = cells.iter();
+        for (key, acc) in sidecar.rollups.as_ref().unwrap().iter() {
+            let (bkey, bacc) = mine.next().unwrap();
+            assert_eq!(bkey, key);
+            assert_eq!(bacc.count, acc.count);
+            assert_eq!(bacc.sum.to_bits(), acc.sum.to_bits());
+            assert_eq!(bacc.min.to_bits(), acc.min.to_bits());
+            assert_eq!(bacc.max.to_bits(), acc.max.to_bits());
+        }
+
+        let mut poisoned = sample();
+        poisoned.rollups = Some(sample_rollups(false));
+        write(&path, &poisoned).unwrap();
+        let back = load(&path).unwrap().expect("valid sidecar");
+        let cells = back.rollups.as_ref().expect("rollups present");
+        assert!(!cells.is_sound());
+        assert!(cells.is_empty());
+        assert_eq!(
+            cells.levels(),
+            &[mdb_types::TimeLevel::Hour, mdb_types::TimeLevel::Day]
+        );
     }
 }

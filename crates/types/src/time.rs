@@ -149,40 +149,61 @@ pub fn compose(c: Civil) -> Timestamp {
         + i64::from(c.millisecond)
 }
 
+/// Clamps an `i128` millisecond value into the `Timestamp` (`i64`) domain.
+///
+/// `truncate` and `next_boundary` compute in `i128` and saturate at the
+/// domain edges: near `Timestamp::MIN` the true bucket start may not be
+/// representable, and near `Timestamp::MAX` there may be no representable
+/// strictly-greater boundary. Saturation preserves `truncate(ts) <= ts` and
+/// idempotence; `next_boundary` may return `Timestamp::MAX` itself (its only
+/// non-strict result) when it saturates.
+fn clamp_ms(ms: i128) -> Timestamp {
+    ms.clamp(i128::from(Timestamp::MIN), i128::from(Timestamp::MAX)) as Timestamp
+}
+
 /// Floors `ts` to the start of the calendar unit containing it at `level`.
+///
+/// Saturates to `Timestamp::MIN` when the true bucket start is below the
+/// representable range; `truncate(ts) <= ts` and idempotence hold everywhere.
 pub fn truncate(level: TimeLevel, ts: Timestamp) -> Timestamp {
     if let Some(unit) = level.fixed_duration_ms() {
-        return ts.div_euclid(unit) * unit;
+        return clamp_ms(i128::from(ts.div_euclid(unit)) * i128::from(unit));
     }
     let c = decompose(ts);
-    match level {
-        TimeLevel::Month => days_from_civil(c.year, c.month, 1) * MS_PER_DAY,
-        TimeLevel::Year => days_from_civil(c.year, 1, 1) * MS_PER_DAY,
+    let days = match level {
+        TimeLevel::Month => days_from_civil(c.year, c.month, 1),
+        TimeLevel::Year => days_from_civil(c.year, 1, 1),
         _ => unreachable!(),
-    }
+    };
+    clamp_ms(i128::from(days) * i128::from(MS_PER_DAY))
 }
 
 /// The first boundary of `level` strictly after `ts` — the `ceilToLevel` /
 /// `updateForLevel` helpers of Algorithm 6 (for a timestamp exactly on a
 /// boundary, the *next* boundary is returned so that the interval
 /// `[boundary, next)` is half-open).
+///
+/// Saturates to `Timestamp::MAX` when no representable strictly-greater
+/// boundary exists; callers treating `[boundary, next)` as half-open must
+/// regard a saturated result as an open-ended final bucket.
 pub fn next_boundary(level: TimeLevel, ts: Timestamp) -> Timestamp {
     if let Some(unit) = level.fixed_duration_ms() {
-        return (ts.div_euclid(unit) + 1) * unit;
+        return clamp_ms((i128::from(ts.div_euclid(unit)) + 1) * i128::from(unit));
     }
     let c = decompose(ts);
-    match level {
+    let days = match level {
         TimeLevel::Month => {
             let (y, m) = if c.month == 12 {
                 (c.year + 1, 1)
             } else {
                 (c.year, c.month + 1)
             };
-            days_from_civil(y, m, 1) * MS_PER_DAY
+            days_from_civil(y, m, 1)
         }
-        TimeLevel::Year => days_from_civil(c.year + 1, 1, 1) * MS_PER_DAY,
+        TimeLevel::Year => days_from_civil(c.year + 1, 1, 1),
         _ => unreachable!(),
-    }
+    };
+    clamp_ms(i128::from(days) * i128::from(MS_PER_DAY))
 }
 
 /// The DatePart-style group key of `ts` at `level`: year number, month of
@@ -424,6 +445,124 @@ mod tests {
             let nb = next_boundary(level, ts);
             proptest::prop_assert!(nb > ts);
             proptest::prop_assert_eq!(truncate(level, nb), nb);
+        }
+    }
+
+    /// Naive per-point bucketing oracle: zero out every civil field finer
+    /// than `level`. Independent of the `div_euclid`/`days_from_civil`
+    /// arithmetic used by `truncate`.
+    fn oracle_bucket_start(level: TimeLevel, ts: Timestamp) -> Timestamp {
+        let mut c = decompose(ts);
+        c.millisecond = 0;
+        if level == TimeLevel::Second {
+            return compose(c);
+        }
+        c.second = 0;
+        if level == TimeLevel::Minute {
+            return compose(c);
+        }
+        c.minute = 0;
+        if level == TimeLevel::Hour {
+            return compose(c);
+        }
+        c.hour = 0;
+        if level == TimeLevel::Day {
+            return compose(c);
+        }
+        c.day = 1;
+        if level == TimeLevel::Month {
+            return compose(c);
+        }
+        c.month = 1;
+        compose(c)
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(96))]
+        #[test]
+        fn bucketing_agrees_with_per_point_oracle(
+            start in -4_000_000_000_000i64..4_000_000_000_000,
+            span_units in 0i64..96,
+            jitter in 0i64..500_000,
+            level_idx in 0usize..3,
+        ) {
+            let level = [TimeLevel::Hour, TimeLevel::Day, TimeLevel::Month][level_idx];
+            // ~One unit at this level, so the range covers up to ~96 buckets
+            // (31 days approximates a month; exactness is not needed, only a
+            // bound on the walk below). span_units == 0 with jitter == 0
+            // exercises the zero-width range.
+            let unit = level.fixed_duration_ms().unwrap_or(31 * MS_PER_DAY);
+            let end = (start + span_units * unit + jitter).min(4_000_000_000_000);
+            let step = ((end - start) / 64).max(1);
+
+            // Every sampled point lands in the oracle's bucket.
+            let mut sampled_buckets = std::collections::BTreeSet::new();
+            let mut p = start;
+            loop {
+                let b = truncate(level, p);
+                proptest::prop_assert_eq!(b, oracle_bucket_start(level, p));
+                proptest::prop_assert!(b <= p);
+                proptest::prop_assert!(next_boundary(level, b) > p);
+                sampled_buckets.insert(b);
+                if p >= end {
+                    break;
+                }
+                p = (p + step).min(end);
+            }
+
+            // Walking boundaries from the first bucket enumerates a strictly
+            // increasing sequence of self-truncating bucket starts covering
+            // every sampled bucket.
+            let mut walked = std::collections::BTreeSet::new();
+            let mut b = truncate(level, start);
+            while b <= end {
+                proptest::prop_assert_eq!(truncate(level, b), b);
+                walked.insert(b);
+                let nb = next_boundary(level, b);
+                proptest::prop_assert!(nb > b);
+                b = nb;
+            }
+            proptest::prop_assert!(sampled_buckets.is_subset(&walked));
+        }
+
+        #[test]
+        fn truncate_and_next_boundary_are_monotone_over_full_domain(
+            a in proptest::num::i64::ANY,
+            b in proptest::num::i64::ANY,
+            level_idx in 0usize..6,
+        ) {
+            let level = [TimeLevel::Year, TimeLevel::Month, TimeLevel::Day, TimeLevel::Hour, TimeLevel::Minute, TimeLevel::Second][level_idx];
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            proptest::prop_assert!(truncate(level, lo) <= truncate(level, hi));
+            proptest::prop_assert!(next_boundary(level, lo) <= next_boundary(level, hi));
+            let t = truncate(level, hi);
+            proptest::prop_assert!(t <= hi);
+            proptest::prop_assert_eq!(truncate(level, t), t);
+        }
+    }
+
+    #[test]
+    fn i64_extremes_saturate_without_panicking() {
+        let levels = [
+            TimeLevel::Year,
+            TimeLevel::Month,
+            TimeLevel::Day,
+            TimeLevel::Hour,
+            TimeLevel::Minute,
+            TimeLevel::Second,
+        ];
+        for ts in [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX] {
+            for level in levels {
+                let t = truncate(level, ts);
+                assert!(t <= ts, "truncate({level:?}, {ts}) = {t} above input");
+                assert_eq!(truncate(level, t), t, "truncate not idempotent at {ts}");
+                let nb = next_boundary(level, ts);
+                assert!(
+                    nb > ts || nb == i64::MAX,
+                    "next_boundary({level:?}, {ts}) = {nb} neither greater nor saturated"
+                );
+                assert!(nb >= t);
+            }
         }
     }
 }

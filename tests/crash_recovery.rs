@@ -17,9 +17,9 @@ use mdb_testutil::TempDir;
 use proptest::prelude::*;
 
 use modelardb::{
-    checksum_v2, scan_to_vec, BlockFormat, BlockSketch, DiskStore, DiskStoreOptions, GapsMask,
-    SegmentPredicate, SegmentRecord, SegmentStore, SketchFeedFn, ValueBoundsFn, ValueInterval,
-    ZoneMap,
+    checksum_v2, scan_to_vec, BlockFormat, BlockSketch, DiskStore, DiskStoreOptions, GapsMask, Gid,
+    RollupAcc, RollupCells, RollupDelta, RollupFeed, SegmentPredicate, SegmentRecord, SegmentStore,
+    SketchFeedFn, Tid, TimeLevel, Timestamp, ValueBoundsFn, ValueInterval, ZoneMap,
 };
 
 /// Size of a block header in `segments.log`: six u32 fields (magic,
@@ -329,6 +329,147 @@ fn corrupt_or_truncated_sketch_section_triggers_sketch_rebuilding_rescan() {
             store.merge_sketches(None).unwrap().as_ref(),
             Some(&expected_sketch(&all))
         );
+    }
+}
+
+/// A deterministic synthetic rollup feed over this suite's segments: one
+/// delta per segment, bucketed coarsely enough that cells merge, so the
+/// cell state a recovery must regenerate is computable from the expected
+/// segment list alone.
+fn rollup() -> RollupFeed {
+    RollupFeed {
+        levels: vec![TimeLevel::Hour],
+        feed: Arc::new(|s: &SegmentRecord| {
+            Some(vec![RollupDelta {
+                tid: s.gid * 10,
+                level: TimeLevel::Hour,
+                bucket: s.start_time.div_euclid(10_000) * 10_000,
+                acc: RollupAcc {
+                    count: 1,
+                    sum: s.end_time as f64 * 0.5,
+                    min: s.start_time as f64,
+                    max: s.end_time as f64,
+                },
+            }])
+        }),
+    }
+}
+
+/// One rollup cell flattened for exact comparison (float fields as raw
+/// bits, so "equal" means bit-identical).
+type FlatCell = (Gid, Tid, Timestamp, u64, u64, u64, u64);
+
+/// The cells any store holding exactly `segments` must serve.
+fn expected_cells(segments: &[SegmentRecord]) -> Vec<FlatCell> {
+    let feed = rollup();
+    let mut cells = RollupCells::new(feed.levels.clone());
+    for s in segments {
+        cells.feed_segment(&feed.feed, s);
+    }
+    let mut flat = Vec::new();
+    cells.for_each(TimeLevel::Hour, None, &mut |g, t, b, a| {
+        flat.push((
+            g,
+            t,
+            b,
+            a.count,
+            a.sum.to_bits(),
+            a.min.to_bits(),
+            a.max.to_bits(),
+        ));
+    });
+    flat
+}
+
+fn collect_cells(store: &DiskStore) -> Vec<FlatCell> {
+    let mut flat = Vec::new();
+    assert!(
+        store
+            .rollup_cells(TimeLevel::Hour, None, &mut |g, t, b, a| {
+                flat.push((
+                    g,
+                    t,
+                    b,
+                    a.count,
+                    a.sum.to_bits(),
+                    a.min.to_bits(),
+                    a.max.to_bits(),
+                ));
+            })
+            .unwrap(),
+        "the feed-ful store must serve its cells"
+    );
+    flat
+}
+
+/// Damage aimed at the *rollup section* — the sidecar's trailing bytes,
+/// behind a perfectly valid sketch section. The body checksum covers the
+/// whole file, so every mode rejects the sidecar as one unit; the streaming
+/// rescan must then rebuild the rollup cells *and* still regenerate the
+/// sketches — recovering from rollup damage never costs the sketch restore.
+#[test]
+fn damaged_rollup_section_rebuilds_cells_without_losing_sketches() {
+    let case = case_dir();
+    let dir = case.path();
+    let with_rollups = || DiskStoreOptions {
+        rollup_feed: Some(rollup()),
+        ..options(true, true)
+    };
+    let mut all = Vec::new();
+    {
+        let mut store = DiskStore::open_with(dir, with_rollups()).unwrap();
+        for i in 0..20 {
+            let s = seg(i);
+            store.insert(s.clone()).unwrap();
+            all.push(s);
+            if i % 7 == 6 {
+                store.flush().unwrap();
+            }
+        }
+        store.flush().unwrap();
+        assert_eq!(collect_cells(&store), expected_cells(&all));
+    }
+    let sidecar_path = dir.join("segments.idx");
+    let pristine = std::fs::read(&sidecar_path).unwrap();
+    // The rollup section's size, from its layout: a flag byte, a level
+    // count, one tag per level, a u64 cell count, then 49 bytes per cell.
+    let section = 3 + 8 + 49 * expected_cells(&all).len();
+    assert!(pristine.len() > section + 16, "the section trails the file");
+
+    let damaged: Vec<Vec<u8>> = vec![
+        // Truncated one byte into the last cell.
+        pristine[..pristine.len() - 1].to_vec(),
+        // Truncated mid-section: only the flag byte survives.
+        pristine[..pristine.len() - (section - 1)].to_vec(),
+        // A flipped byte in the last cell's accumulator.
+        {
+            let mut b = pristine.clone();
+            *b.last_mut().unwrap() ^= 0xFF;
+            b
+        },
+        // A flipped byte around the middle of the cell list.
+        {
+            let mut b = pristine.clone();
+            let at = b.len() - section / 2;
+            b[at] ^= 0x01;
+            b
+        },
+    ];
+    for bytes in damaged {
+        std::fs::write(&sidecar_path, &bytes).unwrap();
+        let store = DiskStore::open_with(dir, with_rollups()).unwrap();
+        assert_eq!(scan_to_vec(&store, &SegmentPredicate::all()).unwrap(), all);
+        assert_eq!(
+            store.merge_sketches(None).unwrap().as_ref(),
+            Some(&expected_sketch(&all)),
+            "sketch restore must survive rollup-section damage"
+        );
+        assert_eq!(collect_cells(&store), expected_cells(&all));
+        drop(store);
+        // The rescan rewrote the sidecar; the next open adopts it (no
+        // rescan) and serves identical cells.
+        let adopted = DiskStore::open_with(dir, with_rollups()).unwrap();
+        assert_eq!(collect_cells(&adopted), expected_cells(&all));
     }
 }
 

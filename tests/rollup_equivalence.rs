@@ -1,0 +1,364 @@
+//! The continuous-aggregate pinning harness: serving a bucketed aggregate
+//! from the incrementally materialized rollup cells must be **bit-identical**
+//! to scanning the segments — for any query shape, any ingestion cadence,
+//! any restart, and any cluster layout. The cells are maintained with the
+//! same per-(tid, bucket) left fold the bucketed scan uses, so toggling
+//! `rollup_serve` may change how many segment bodies are read but never a
+//! single output bit. Fully covered buckets are answered without touching
+//! the block cache at all (asserted on [`modelardb::CacheStats`]).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mdb_bench::{build_disk_engine, build_engine, catalog_from_dataset, ingest_engine};
+use mdb_datagen::{ep, Dataset, Scale};
+use mdb_testutil::TempDir;
+use modelardb::{
+    Cell, Cluster, ClusterConfig, CompressionConfig, Config, ErrorBound, ModelRegistry, ModelarDb,
+    QueryResult, StorageSpec,
+};
+
+const TICKS: u64 = 400;
+const HOUR_MS: i64 = 3_600_000;
+
+/// Bit-level equality: floats compare by `to_bits`, so a `-0.0` vs `0.0` or
+/// an association drift that ordinary `==` would forgive still fails.
+fn assert_bit_identical(a: &QueryResult, b: &QueryResult, label: &str) {
+    assert_eq!(a.columns, b.columns, "{label}: columns");
+    assert_eq!(a.rows.len(), b.rows.len(), "{label}: row count");
+    for (i, (ra, rb)) in a.rows.iter().zip(&b.rows).enumerate() {
+        for (x, y) in ra.iter().zip(rb) {
+            match (x, y) {
+                (Cell::Float(fa), Cell::Float(fb)) => {
+                    assert_eq!(fa.to_bits(), fb.to_bits(), "{label}: row {i}, {fa} vs {fb}")
+                }
+                _ => assert_eq!(x, y, "{label}: row {i}"),
+            }
+        }
+    }
+}
+
+/// The query panel every fixture is checked against: explicit `CUBE_*`
+/// roll-ups at several levels and group-bys, plain aggregates over the whole
+/// store, and `TS`-ranged plain aggregates both bucket-aligned (served
+/// entirely from cells) and unaligned (cells plus scanned edge buckets).
+fn panel(ds: &Dataset) -> Vec<String> {
+    let aligned_from = ds.start + HOUR_MS;
+    let aligned_to = ds.start + 4 * HOUR_MS - 1;
+    let ragged_from = ds.timestamp(37);
+    let ragged_to = ds.timestamp(TICKS - 23);
+    vec![
+        "SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment GROUP BY Tid ORDER BY Tid".into(),
+        "SELECT CUBE_AVG_HOUR(*) FROM Segment".into(),
+        "SELECT Entity, CUBE_MIN_DAY(*), CUBE_MAX_DAY(*) FROM Segment \
+         GROUP BY Entity ORDER BY Entity"
+            .into(),
+        "SELECT CUBE_COUNT_HOUR(*) FROM Segment WHERE Tid IN (1, 3, 5)".into(),
+        "SELECT SUM_S(*) FROM Segment".into(),
+        "SELECT Tid, AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid".into(),
+        format!(
+            "SELECT Tid, SUM_S(*), COUNT_S(*) FROM Segment \
+             WHERE TS >= {aligned_from} AND TS <= {aligned_to} GROUP BY Tid ORDER BY Tid"
+        ),
+        format!(
+            "SELECT Tid, MIN_S(*), MAX_S(*) FROM Segment \
+             WHERE TS >= {ragged_from} AND TS <= {ragged_to} GROUP BY Tid ORDER BY Tid"
+        ),
+    ]
+}
+
+/// Runs `queries` twice on the same engine — rollup serving on, then off —
+/// and demands bit-identity, returning the served results.
+fn served_equals_scanned(db: &mut ModelarDb, queries: &[String], label: &str) -> Vec<QueryResult> {
+    let mut served = Vec::new();
+    for q in queries {
+        db.set_rollup_serve(true);
+        let on = db.sql(q).unwrap();
+        db.set_rollup_serve(false);
+        let off = db.sql(q).unwrap();
+        assert_bit_identical(&on, &off, &format!("{label}: {q}"));
+        served.push(on);
+    }
+    db.set_rollup_serve(true);
+    served
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Any aggregate shape, any TS window (aligned or ragged), any flush
+    // cadence: the materialized path and the scan produce the same bits.
+    #[test]
+    fn served_aggregates_are_bit_identical_to_scans(
+        func_idx in 0usize..5,
+        cube in proptest::bool::ANY,
+        level_idx in 0usize..2,
+        tids in proptest::collection::btree_set(1u32..=6, 1..4),
+        window in 0u64..300,
+        span in 1u64..400,
+        align in proptest::bool::ANY,
+        group_by_tid in proptest::bool::ANY,
+        flush_every in 40u64..400,
+    ) {
+        let ds = ep(7, Scale::tiny()).unwrap();
+        let mut db = build_engine(&ds, true, 5.0);
+        for tick in 0..TICKS {
+            db.ingest_row(ds.timestamp(tick), &ds.row(tick)).unwrap();
+            if tick % flush_every == flush_every - 1 {
+                db.flush().unwrap();
+            }
+        }
+        db.flush().unwrap();
+
+        let func = ["COUNT", "MIN", "MAX", "SUM", "AVG"][func_idx];
+        let agg = if cube {
+            let level = ["HOUR", "DAY"][level_idx];
+            format!("CUBE_{func}_{level}(*)")
+        } else {
+            format!("{func}_S(*)")
+        };
+        let tid_list = tids.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
+        let mut from = ds.timestamp(window);
+        let mut to = ds.timestamp((window + span).min(TICKS - 1));
+        if align {
+            // Snap to hour boundaries so every surviving bucket is fully
+            // covered and the serve path reads no segment at all.
+            from -= from.rem_euclid(HOUR_MS);
+            to = to - to.rem_euclid(HOUR_MS) + HOUR_MS - 1;
+        }
+        let sql = if group_by_tid {
+            format!(
+                "SELECT Tid, {agg} FROM Segment WHERE Tid IN ({tid_list}) \
+                 AND TS >= {from} AND TS <= {to} GROUP BY Tid ORDER BY Tid"
+            )
+        } else {
+            format!(
+                "SELECT {agg} FROM Segment WHERE Tid IN ({tid_list}) \
+                 AND TS >= {from} AND TS <= {to}"
+            )
+        };
+        db.set_rollup_serve(true);
+        let on = db.sql(&sql).unwrap();
+        db.set_rollup_serve(false);
+        let off = db.sql(&sql).unwrap();
+        assert_bit_identical(&on, &off, &sql);
+    }
+}
+
+#[test]
+fn panel_is_served_bit_identically() {
+    let ds = ep(7, Scale::tiny()).unwrap();
+    let mut db = build_engine(&ds, true, 5.0);
+    ingest_engine(&mut db, &ds, TICKS);
+    served_equals_scanned(&mut db, &panel(&ds), "memory engine");
+}
+
+#[test]
+fn restarts_preserve_rollup_answers() {
+    // Reopening through the sidecar's rollups section, and through the
+    // streaming rescan when the sidecar is gone, must both reproduce the
+    // writer's served results bit-for-bit — and keep agreeing with a scan.
+    let case = TempDir::new("rollup-restart");
+    let dir = case.path();
+    let ds = ep(7, Scale::tiny()).unwrap();
+    let mut db = build_disk_engine(&ds, dir, 5.0, 32, None);
+    for tick in 0..TICKS {
+        db.ingest_row(ds.timestamp(tick), &ds.row(tick)).unwrap();
+        if tick % 150 == 149 {
+            db.flush().unwrap();
+        }
+    }
+    db.flush().unwrap();
+    let queries = panel(&ds);
+    let want = served_equals_scanned(&mut db, &queries, "writer");
+    drop(db);
+
+    let registry = Arc::new(ModelRegistry::standard());
+    let config = || {
+        let mut config = Config::default();
+        config.compression.error_bound = ErrorBound::relative(5.0);
+        config.storage = StorageSpec::Disk(dir.to_path_buf());
+        config.bulk_write_size = 32;
+        config
+    };
+
+    // Sidecar intact: the rollup cells are adopted, not rebuilt.
+    let mut reopened = ModelarDb::reopen(dir, Arc::clone(&registry), config()).unwrap();
+    for (q, want) in queries.iter().zip(&want) {
+        assert_bit_identical(
+            &reopened.sql(q).unwrap(),
+            want,
+            &format!("sidecar reopen: {q}"),
+        );
+    }
+    served_equals_scanned(&mut reopened, &queries, "sidecar reopen");
+    drop(reopened);
+
+    // Sidecar deleted: the streaming rescan rebuilds the cells from the log.
+    std::fs::remove_file(dir.join("segments.idx")).unwrap();
+    let mut rebuilt = ModelarDb::reopen(dir, registry, config()).unwrap();
+    for (q, want) in queries.iter().zip(&want) {
+        assert_bit_identical(
+            &rebuilt.sql(q).unwrap(),
+            want,
+            &format!("rescan reopen: {q}"),
+        );
+    }
+    served_equals_scanned(&mut rebuilt, &queries, "rescan reopen");
+}
+
+#[test]
+fn fully_covered_queries_read_no_segment_bodies() {
+    // A cold reopened disk engine answers whole-bucket aggregates without a
+    // single block-cache fetch; the scan path for the same queries fetches.
+    let case = TempDir::new("rollup-zero-fetch");
+    let dir = case.path();
+    let ds = ep(7, Scale::tiny()).unwrap();
+    let mut db = build_disk_engine(&ds, dir, 5.0, 32, None);
+    ingest_engine(&mut db, &ds, TICKS);
+    drop(db);
+
+    let mut config = Config::default();
+    config.compression.error_bound = ErrorBound::relative(5.0);
+    config.storage = StorageSpec::Disk(dir.to_path_buf());
+    config.bulk_write_size = 32;
+    let mut db = ModelarDb::reopen(dir, Arc::new(ModelRegistry::standard()), config).unwrap();
+
+    let covered = [
+        "SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment GROUP BY Tid ORDER BY Tid".to_string(),
+        "SELECT CUBE_AVG_DAY(*) FROM Segment".to_string(),
+        "SELECT SUM_S(*) FROM Segment".to_string(),
+        format!(
+            "SELECT Tid, SUM_S(*) FROM Segment WHERE TS >= {} AND TS <= {} \
+             GROUP BY Tid ORDER BY Tid",
+            ds.start + HOUR_MS,
+            ds.start + 3 * HOUR_MS - 1
+        ),
+    ];
+    let before = db.cache_stats();
+    let served: Vec<QueryResult> = covered.iter().map(|q| db.sql(q).unwrap()).collect();
+    let after = db.cache_stats();
+    assert_eq!(
+        after.hits, before.hits,
+        "served queries must not hit the cache"
+    );
+    assert_eq!(
+        after.misses, before.misses,
+        "served queries must not fetch blocks"
+    );
+    assert_eq!(
+        after.bytes_read, before.bytes_read,
+        "served queries must not read the log"
+    );
+
+    db.set_rollup_serve(false);
+    for (q, want) in covered.iter().zip(&served) {
+        assert_bit_identical(&db.sql(q).unwrap(), want, q);
+    }
+    let post = db.cache_stats();
+    assert!(
+        post.hits + post.misses > after.hits + after.misses,
+        "the scan path control must actually fetch blocks"
+    );
+    assert!(
+        !served[0].rows.is_empty(),
+        "the served results must be non-trivial"
+    );
+}
+
+/// Starts a cluster over `catalog` with the shared compression settings and
+/// the given worker count / replication factor.
+fn start_cluster(
+    catalog: &Arc<modelardb::Catalog>,
+    n_workers: usize,
+    replication_factor: usize,
+) -> Cluster {
+    let mut config = ClusterConfig::with_compression(CompressionConfig {
+        error_bound: ErrorBound::relative(5.0),
+        ..Default::default()
+    });
+    config.replication_factor = replication_factor;
+    Cluster::start_with(
+        Arc::clone(catalog),
+        Arc::new(ModelRegistry::standard()),
+        config,
+        n_workers,
+    )
+    .unwrap()
+}
+
+fn ingest_cluster(cluster: &Cluster, ds: &Dataset) {
+    for tick in 0..TICKS {
+        cluster
+            .ingest_row(ds.timestamp(tick), &ds.row(tick))
+            .unwrap();
+    }
+    cluster.flush().unwrap();
+}
+
+#[test]
+fn cluster_serving_matches_the_embedded_scan_at_any_layout() {
+    // The embedded engine with serving OFF is the ground truth: a cluster
+    // with serving ON (the default) must reproduce it bit-for-bit at every
+    // worker count — per-(tid, bucket) partials merge in global gid order,
+    // so placement never leaks into the float association.
+    let ds = ep(13, Scale::tiny()).unwrap();
+    let mut embedded = build_engine(&ds, true, 5.0);
+    ingest_engine(&mut embedded, &ds, TICKS);
+    let queries = panel(&ds);
+    let want = served_equals_scanned(&mut embedded, &queries, "embedded");
+
+    for n_workers in [1usize, 2, 4] {
+        let catalog = catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap();
+        let cluster = start_cluster(&catalog, n_workers, 1);
+        ingest_cluster(&cluster, &ds);
+        for (q, want) in queries.iter().zip(&want) {
+            assert_bit_identical(
+                &cluster.sql(q).unwrap(),
+                want,
+                &format!("{q} ({n_workers} workers)"),
+            );
+        }
+        cluster.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn cluster_rollups_survive_replication_failover_and_membership_changes() {
+    let ds = ep(13, Scale::tiny()).unwrap();
+    let mut embedded = build_engine(&ds, true, 5.0);
+    ingest_engine(&mut embedded, &ds, TICKS);
+    let queries = panel(&ds);
+    let want = served_equals_scanned(&mut embedded, &queries, "embedded");
+
+    // RF=2: killing a worker promotes replicas; the promoted copies carry
+    // the same cells, so served results stay bit-identical to the reference.
+    let catalog = catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap();
+    let cluster = start_cluster(&catalog, 3, 2);
+    ingest_cluster(&cluster, &ds);
+    assert!(cluster.kill_worker(1));
+    for (q, want) in queries.iter().zip(&want) {
+        assert_bit_identical(&cluster.sql(q).unwrap(), want, &format!("{q} (after kill)"));
+    }
+    cluster.shutdown().unwrap();
+
+    // Grow then shrink: group handoff re-feeds the receiving store's cells
+    // through the ordinary insert path, so answers never change.
+    let catalog = catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap();
+    let cluster = start_cluster(&catalog, 2, 1);
+    ingest_cluster(&cluster, &ds);
+    let added = cluster.add_worker().unwrap();
+    for (q, want) in queries.iter().zip(&want) {
+        assert_bit_identical(&cluster.sql(q).unwrap(), want, &format!("{q} (after grow)"));
+    }
+    cluster.remove_worker(added).unwrap();
+    for (q, want) in queries.iter().zip(&want) {
+        assert_bit_identical(
+            &cluster.sql(q).unwrap(),
+            want,
+            &format!("{q} (after shrink)"),
+        );
+    }
+    cluster.shutdown().unwrap();
+}

@@ -88,14 +88,18 @@ fn concurrent_ingest(addr: std::net::SocketAddr, ds: &Arc<mdb_datagen::Dataset>)
     });
 }
 
-/// Runs the query panel through `READERS` concurrent connections and checks
+/// Runs a query panel through `READERS` concurrent connections and checks
 /// every result for exact (bit-identical) equality with `expected`.
-fn concurrent_read_and_compare(addr: std::net::SocketAddr, expected: &[modelardb::QueryResult]) {
+fn concurrent_read_and_compare_panel(
+    addr: std::net::SocketAddr,
+    panel: &[String],
+    expected: &[modelardb::QueryResult],
+) {
     std::thread::scope(|scope| {
         for reader in 0..READERS {
             scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("reader connect");
-                for (q, want) in queries().iter().zip(expected) {
+                for (q, want) in panel.iter().zip(expected) {
                     let got = client.sql(q).expect("remote query");
                     assert_eq!(&got, want, "reader {reader}: {q}");
                 }
@@ -103,6 +107,11 @@ fn concurrent_read_and_compare(addr: std::net::SocketAddr, expected: &[modelardb
             });
         }
     });
+}
+
+/// [`concurrent_read_and_compare_panel`] over the default [`queries`] panel.
+fn concurrent_read_and_compare(addr: std::net::SocketAddr, expected: &[modelardb::QueryResult]) {
+    concurrent_read_and_compare_panel(addr, &queries(), expected);
 }
 
 #[test]
@@ -181,6 +190,77 @@ fn cluster_over_wire_is_bit_identical_to_in_process() {
     probe.close().unwrap();
     server.shutdown().unwrap();
     reference.shutdown().unwrap();
+}
+
+/// The rollup-servable panel: CUBE aggregates at materialized levels and
+/// whole-bucket time-ranged plain aggregates — the queries the engine
+/// answers from its continuous-aggregate cells instead of segment scans.
+fn rollup_queries(ds: &mdb_datagen::Dataset) -> Vec<String> {
+    const HOUR_MS: i64 = 3_600_000;
+    vec![
+        "SELECT Tid, CUBE_SUM_HOUR(*) FROM Segment GROUP BY Tid ORDER BY Tid".into(),
+        "SELECT Entity, CUBE_AVG_DAY(*) FROM Segment GROUP BY Entity ORDER BY Entity".into(),
+        "SELECT CUBE_MIN_HOUR(*), CUBE_MAX_HOUR(*) FROM Segment".into(),
+        format!(
+            "SELECT SUM_S(*), COUNT_S(*) FROM Segment WHERE TS >= {} AND TS <= {}",
+            ds.start + HOUR_MS,
+            ds.start + 4 * HOUR_MS - 1
+        ),
+        "SELECT Tid, AVG_S(*) FROM Segment GROUP BY Tid ORDER BY Tid".into(),
+    ]
+}
+
+#[test]
+fn rollup_served_queries_over_wire_match_in_process_scans() {
+    let ds = Arc::new(mdb_datagen::ep(13, mdb_datagen::Scale::tiny()).unwrap());
+    let panel = rollup_queries(&ds);
+
+    // In-process reference, ingested over its normal path. The served
+    // results must be bit-identical to the same engine's full scans —
+    // the continuous-aggregate contract — before they become the wire
+    // expectation.
+    let mut reference = build_engine(&ds, true, 5.0);
+    ingest_engine_batched(&mut reference, &ds, TICKS, BATCH);
+    let expected: Vec<_> = panel.iter().map(|q| reference.sql(q).unwrap()).collect();
+    reference.set_rollup_serve(false);
+    for (q, want) in panel.iter().zip(&expected) {
+        let scanned = reference.sql(q).unwrap();
+        assert_eq!(&scanned, want, "serve/scan divergence in-process: {q}");
+    }
+
+    // Engine behind the server: concurrent wire ingest, concurrent wire
+    // reads, every answer served from cells and equal to the reference.
+    let server = Server::start(
+        SharedDatastore::new(build_engine(&ds, true, 5.0)),
+        ServerOptions::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    concurrent_ingest(addr, &ds);
+    Client::connect(addr).unwrap().flush().unwrap();
+    concurrent_read_and_compare_panel(addr, &panel, &expected);
+    server.shutdown().unwrap();
+
+    // Cluster behind the server: workers answer from their own cells and
+    // the master merges the partials — still the same bits as the
+    // embedded engine's answers.
+    let compression = CompressionConfig {
+        error_bound: ErrorBound::relative(5.0),
+        ..Default::default()
+    };
+    let cluster = Cluster::start(
+        catalog_from_dataset(&ds, &ds.correlation_spec()).unwrap(),
+        Arc::new(ModelRegistry::standard()),
+        compression,
+        3,
+    )
+    .unwrap();
+    let server = Server::start(SharedDatastore::new(cluster), ServerOptions::default()).unwrap();
+    let addr = server.local_addr();
+    concurrent_ingest(addr, &ds);
+    Client::connect(addr).unwrap().flush().unwrap();
+    concurrent_read_and_compare_panel(addr, &panel, &expected);
+    server.shutdown().unwrap();
 }
 
 #[test]
